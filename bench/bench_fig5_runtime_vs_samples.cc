@@ -1,0 +1,67 @@
+// Figure 5 of the paper: running time of ApproxF1 / ApproxF2 as a function
+// of the sample count R on the 1,000-node synthetic graph (k = 30), for
+// L = 5 and L = 10.
+//
+// Expected shape: runtime grows linearly in R (the index has n*R*L
+// postings and every phase scans it a bounded number of times), and the
+// L = 10 curve sits ~2x above L = 5.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/approx_greedy.h"
+#include "graph/generators.h"
+#include "harness/experiment.h"
+#include "harness/table_printer.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace rwdom;
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBanner("Figure 5",
+              "Approximate greedy running time vs sample count R "
+              "(1,000-node synthetic graph, k=30)",
+              args);
+
+  Graph graph = GeneratePowerLawWithSize(1000, 9956, args.seed).value();
+  const int32_t k = 30;
+  const std::vector<int32_t> r_values = {50, 100, 150, 200, 250};
+  // Median-of-3 repetitions to stabilize sub-second timings.
+  const int kReps = 3;
+
+  CsvWriter csv({"L", "algorithm", "R", "seconds"});
+  for (int32_t length : {5, 10}) {
+    std::printf("(%s) L=%d\n", length == 5 ? "a" : "b", length);
+    TablePrinter table({"R", "ApproxF1 seconds", "ApproxF2 seconds"});
+    for (int32_t r : r_values) {
+      double seconds[2];
+      int index = 0;
+      for (Problem problem :
+           {Problem::kHittingTime, Problem::kDominatedCount}) {
+        std::vector<double> times;
+        for (int rep = 0; rep < kReps; ++rep) {
+          ApproxGreedyOptions options{
+              .length = length,
+              .num_replicates = r,
+              .seed = args.seed + static_cast<uint64_t>(rep),
+              .lazy = true};
+          ApproxGreedy approx(&graph, problem, options);
+          times.push_back(approx.Select(k).seconds);
+        }
+        std::sort(times.begin(), times.end());
+        seconds[index++] = times[times.size() / 2];
+      }
+      table.AddRow({std::to_string(r), StrFormat("%.4f", seconds[0]),
+                    StrFormat("%.4f", seconds[1])});
+      csv.AddRow({std::to_string(length), "ApproxF1", std::to_string(r),
+                  StrFormat("%.5f", seconds[0])});
+      csv.AddRow({std::to_string(length), "ApproxF2", std::to_string(r),
+                  StrFormat("%.5f", seconds[1])});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  MaybeDumpCsv(args, "fig5_runtime_vs_samples", csv.ToString());
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Google-benchmark micro kernels for the hot paths behind every figure:
+// walk sampling, the hitting-time / hit-probability DPs, inverted index
+// construction, gain evaluation, and graph generation.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "graph/generators.h"
+#include "graph/node_set.h"
+#include "index/gain_state.h"
+#include "index/inverted_walk_index.h"
+#include "walk/hit_probability_dp.h"
+#include "walk/hitting_time_dp.h"
+#include "walk/sampled_evaluator.h"
+#include "graph/properties.h"
+#include "walk/walk_source.h"
+
+namespace rwdom {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph* const kGraph =
+      new Graph(GeneratePowerLawWithSize(10000, 50000, 1).value());
+  return *kGraph;
+}
+
+void BM_RandomWalkSampling(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  const int32_t length = static_cast<int32_t>(state.range(0));
+  RandomWalkSource source(&graph, 7);
+  std::vector<NodeId> walk;
+  NodeId start = 0;
+  for (auto _ : state) {
+    source.SampleWalk(start, length, &walk);
+    benchmark::DoNotOptimize(walk.data());
+    start = (start + 1) % graph.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() * length);
+}
+BENCHMARK(BM_RandomWalkSampling)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HittingTimeDp(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  const int32_t length = static_cast<int32_t>(state.range(0));
+  HittingTimeDp dp(&graph, length);
+  NodeFlagSet targets(graph.num_nodes(), {1, 5, 9, 42, 137});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp.F1(targets));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_edges() * length);
+}
+BENCHMARK(BM_HittingTimeDp)->Arg(5)->Arg(10);
+
+void BM_HitProbabilityDp(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  const int32_t length = static_cast<int32_t>(state.range(0));
+  HitProbabilityDp dp(&graph, length);
+  NodeFlagSet targets(graph.num_nodes(), {1, 5, 9, 42, 137});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp.F2(targets));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_edges() * length);
+}
+BENCHMARK(BM_HitProbabilityDp)->Arg(5)->Arg(10);
+
+void BM_InvertedIndexBuild(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  const int32_t replicates = static_cast<int32_t>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    RandomWalkSource source(&graph, seed++);
+    InvertedWalkIndex index = InvertedWalkIndex::Build(6, replicates, &source);
+    benchmark::DoNotOptimize(index.TotalEntries());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_nodes() *
+                          replicates);
+}
+BENCHMARK(BM_InvertedIndexBuild)->Arg(10)->Arg(50);
+
+void BM_ApproxGainFullScan(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  static const InvertedWalkIndex* const kIndex = [] {
+    RandomWalkSource source(&BenchGraph(), 3);
+    return new InvertedWalkIndex(InvertedWalkIndex::Build(6, 50, &source));
+  }();
+  GainState gain_state(kIndex, Problem::kHittingTime);
+  for (auto _ : state) {
+    double best = 0.0;
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      best = std::max(best, gain_state.ApproxGain(u));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+  state.SetItemsProcessed(state.iterations() * kIndex->TotalEntries());
+}
+BENCHMARK(BM_ApproxGainFullScan);
+
+void BM_SampledEvaluator(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  const int32_t samples = static_cast<int32_t>(state.range(0));
+  SampledEvaluator evaluator(6, samples);
+  NodeFlagSet targets(graph.num_nodes(), {1, 5, 9, 42, 137});
+  uint64_t seed = 11;
+  for (auto _ : state) {
+    RandomWalkSource source(&graph, seed++);
+    SampledObjectives result = evaluator.Evaluate(targets, &source);
+    benchmark::DoNotOptimize(result.f1);
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_nodes() * samples);
+}
+BENCHMARK(BM_SampledEvaluator)->Arg(10)->Arg(50);
+
+void BM_GeneratePowerLaw(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    Graph graph = GeneratePowerLawWithSize(n, 5 * n, seed++).value();
+    benchmark::DoNotOptimize(graph.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GeneratePowerLaw)->Arg(10000)->Arg(100000);
+
+void BM_BfsSweep(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  NodeId start = 0;
+  for (auto _ : state) {
+    auto dist = BfsDistances(graph, start);
+    benchmark::DoNotOptimize(dist.data());
+    start = (start + 1) % graph.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_edges());
+}
+BENCHMARK(BM_BfsSweep);
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,86 @@
+// Ads placement in an advertisement network (paper §1.1, second motivation)
+// plus two of the paper's §5 extensions.
+//
+// Scenario: an advertiser pays users to host an ad; browsing users find it
+// via L-length random walks. Two business questions:
+//
+//   (a) "I can pay for k placements — maximize expected reach, but I also
+//        care about how fast users find the ad."  -> the λ-blend combined
+//        objective (extension 1): λ·F1/L + (1-λ)·F2.
+//   (b) "I need the ad to reach at least a fraction α of the network —
+//        what is the minimum number of paid placements?" -> minimum-seed
+//        α-coverage (extension 3).
+//
+// Run: ./build/examples/ads_placement
+#include <cstdio>
+#include <memory>
+
+#include "core/combined_objective.h"
+#include "core/greedy_selector.h"
+#include "core/min_seed_cover.h"
+#include "eval/metrics.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "harness/table_printer.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace rwdom;
+
+  // Community-structured ad network (real networks are clustered, which is
+  // what makes the two objectives pull in different directions).
+  Graph graph =
+      GeneratePowerLawCommunity(1500, 9000, /*num_communities=*/12,
+                                /*mixing=*/0.08, /*seed=*/3)
+          .value();
+  const int32_t kBrowseLength = 5;
+  std::printf("ad network: %s\n\n",
+              ComputeGraphStats(graph).ToString().c_str());
+
+  // --- (a) λ-blend: sweep the speed/reach trade-off for k = 15. ---
+  std::printf("(a) blended objective lambda*F1/L + (1-lambda)*F2, k=15\n");
+  TablePrinter blend_table(
+      {"lambda", "avg discovery hops (AHT)", "users reached (EHN)"});
+  for (double lambda : {0.0, 0.5, 1.0}) {
+    std::unique_ptr<Objective> blend =
+        MakeLambdaBlendObjective(&graph, kBrowseLength, lambda);
+    GreedySelector greedy(blend.get(), "Blend");
+    SelectionResult result = greedy.Select(15);
+    MetricsResult metrics =
+        ExactMetrics(graph, result.selected, kBrowseLength);
+    blend_table.AddRow({StrFormat("%.1f", lambda),
+                        StrFormat("%.3f", metrics.aht),
+                        StrFormat("%.0f", metrics.ehn)});
+  }
+  blend_table.Print();
+  std::printf(
+      "lambda=1 targets discovery time (F1), lambda=0 targets reach (F2);\n"
+      "any blend stays submodular, so the greedy guarantee holds. On social\n"
+      "graphs the two objectives agree closely — exactly the near-overlap\n"
+      "of the ApproxF1/ApproxF2 curves in the paper's Figs. 6-7.\n\n");
+
+  // --- (b) minimum placements for target coverage. ---
+  std::printf("(b) minimum paid placements for target coverage alpha\n");
+  TablePrinter cover_table(
+      {"alpha", "placements needed", "achieved coverage", "seconds"});
+  ApproxGreedyOptions options{.length = kBrowseLength,
+                              .num_replicates = 100,
+                              .seed = 9,
+                              .lazy = true};
+  for (double alpha : {0.5, 0.7, 0.9}) {
+    MinSeedCoverResult cover = MinSeedCover(graph, alpha, options);
+    double achieved = cover.coverage_after_pick.empty()
+                          ? 0.0
+                          : cover.coverage_after_pick.back() /
+                                static_cast<double>(graph.num_nodes());
+    cover_table.AddRow({StrFormat("%.1f", alpha),
+                        std::to_string(cover.selected.size()),
+                        StrFormat("%.1f%%", 100.0 * achieved),
+                        StrFormat("%.2f", cover.seconds)});
+  }
+  cover_table.Print();
+  std::printf(
+      "\nDiminishing returns in action: each extra 20%% of coverage costs\n"
+      "disproportionately more placements (submodularity).\n");
+  return 0;
+}

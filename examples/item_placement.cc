@@ -1,0 +1,73 @@
+// Item placement in an online social network (paper §1.1, first motivation).
+//
+// Scenario: an application developer gives a Facebook-style app to k users
+// for free; other users discover it by social browsing, modeled as an
+// L-length random walk over the friendship graph. Question (2) of the
+// paper: choose the k users so that as many others as possible discover
+// the app (maximize F2).
+//
+// This example sweeps k for four strategies and prints the expected number
+// of users who discover the app (EHN) and the average discovery time (AHT),
+// reproducing the qualitative story of the paper's Figs. 6-7 on a
+// co-authorship-sized network.
+//
+// Run: ./build/examples/item_placement
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/selector_registry.h"
+#include "eval/metrics.h"
+#include "graph/properties.h"
+#include "harness/dataset_registry.h"
+#include "harness/table_printer.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace rwdom;
+
+  // A friendship network the size of the paper's CAGrQc dataset (real file
+  // used automatically if placed at data/CAGrQc.txt).
+  Dataset dataset = LoadOrSynthesizeDataset("CAGrQc", "data").value();
+  const Graph& graph = dataset.graph;
+  std::printf("social network (%s): %s\n\n",
+              dataset.from_file ? "real" : "synthetic stand-in",
+              ComputeGraphStats(graph).ToString().c_str());
+
+  const int32_t kAttentionSpan = 6;  // L: home-pages visited per session.
+  SelectorParams params{.length = kAttentionSpan,
+                        .num_samples = 100,
+                        .seed = 7,
+                        .lazy = true};
+
+  const std::vector<int32_t> ks = {10, 20, 40, 80};
+  TablePrinter table(
+      {"strategy", "k", "users reached (EHN)", "avg discovery hops (AHT)",
+       "select seconds"});
+
+  for (const char* strategy :
+       {"ApproxF2", "ApproxF1", "Degree", "Dominate"}) {
+    std::unique_ptr<Selector> selector =
+        MakeSelector(strategy, &graph, params).value();
+    // Greedy selections are nested, so one k=max run covers the sweep.
+    SelectionResult selection = selector->Select(ks.back());
+    for (int32_t k : ks) {
+      std::vector<NodeId> seeds(selection.selected.begin(),
+                                selection.selected.begin() + k);
+      MetricsResult metrics =
+          SampledMetrics(graph, seeds, kAttentionSpan, /*num_samples=*/500,
+                         /*seed=*/11);
+      table.AddRow({strategy, std::to_string(k),
+                    StrFormat("%.0f", metrics.ehn),
+                    StrFormat("%.3f", metrics.aht),
+                    StrFormat("%.2f", selection.seconds)});
+    }
+  }
+  table.Print();
+
+  std::printf(
+      "\nReading the table: the greedy placements reach far more users than\n"
+      "picking celebrities (Degree) or a 1-hop dominating set, and the gap\n"
+      "widens with budget k — the paper's Fig. 7 effect.\n");
+  return 0;
+}

@@ -1,0 +1,372 @@
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "core/approx_greedy.h"
+#include "core/min_seed_cover.h"
+#include "core/selector_registry.h"
+#include "eval/metrics.h"
+#include "graph/clustering.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graph/properties.h"
+#include "harness/dataset_registry.h"
+#include "harness/table_printer.h"
+#include "index/index_io.h"
+#include "util/strings.h"
+#include "walk/hitting_time_knn.h"
+
+namespace rwdom {
+namespace {
+
+// --- Flag access helpers -------------------------------------------------
+
+std::string FlagOr(const CliInvocation& invocation, const std::string& key,
+                   const std::string& fallback) {
+  auto it = invocation.flags.find(key);
+  return it == invocation.flags.end() ? fallback : it->second;
+}
+
+Result<int64_t> IntFlagOr(const CliInvocation& invocation,
+                          const std::string& key, int64_t fallback) {
+  auto it = invocation.flags.find(key);
+  if (it == invocation.flags.end()) return fallback;
+  RWDOM_ASSIGN_OR_RETURN(int64_t value, ParseInt64(it->second));
+  return value;
+}
+
+Result<double> DoubleFlagOr(const CliInvocation& invocation,
+                            const std::string& key, double fallback) {
+  auto it = invocation.flags.find(key);
+  if (it == invocation.flags.end()) return fallback;
+  RWDOM_ASSIGN_OR_RETURN(double value, ParseDouble(it->second));
+  return value;
+}
+
+// Resolves --graph=FILE or --dataset=NAME into a Graph.
+Result<Graph> ResolveGraph(const CliInvocation& invocation) {
+  const bool has_graph = invocation.flags.count("graph") > 0;
+  const bool has_dataset = invocation.flags.count("dataset") > 0;
+  if (has_graph == has_dataset) {
+    return Status::InvalidArgument(
+        "exactly one of --graph=FILE or --dataset=NAME is required");
+  }
+  if (has_graph) {
+    RWDOM_ASSIGN_OR_RETURN(LoadedGraph loaded,
+                           LoadEdgeList(invocation.flags.at("graph")));
+    return std::move(loaded.graph);
+  }
+  RWDOM_ASSIGN_OR_RETURN(
+      Dataset dataset,
+      LoadOrSynthesizeDataset(invocation.flags.at("dataset"),
+                              FlagOr(invocation, "data_dir", "data")));
+  return std::move(dataset.graph);
+}
+
+Result<SelectorParams> ResolveSelectorParams(
+    const CliInvocation& invocation) {
+  SelectorParams params;
+  RWDOM_ASSIGN_OR_RETURN(int64_t length, IntFlagOr(invocation, "L", 6));
+  RWDOM_ASSIGN_OR_RETURN(int64_t samples, IntFlagOr(invocation, "R", 100));
+  RWDOM_ASSIGN_OR_RETURN(int64_t seed, IntFlagOr(invocation, "seed", 42));
+  if (length < 0) return Status::InvalidArgument("--L must be >= 0");
+  if (samples < 1) return Status::InvalidArgument("--R must be >= 1");
+  params.length = static_cast<int32_t>(length);
+  params.num_samples = static_cast<int32_t>(samples);
+  params.seed = static_cast<uint64_t>(seed);
+  return params;
+}
+
+Result<std::vector<NodeId>> ParseSeedList(const std::string& text,
+                                          NodeId num_nodes) {
+  std::vector<NodeId> seeds;
+  for (std::string_view field : SplitString(text, ',')) {
+    RWDOM_ASSIGN_OR_RETURN(int64_t value, ParseInt64(field));
+    if (value < 0 || value >= num_nodes) {
+      return Status::OutOfRange(
+          StrFormat("seed %lld outside [0, %d)",
+                    static_cast<long long>(value), num_nodes));
+    }
+    seeds.push_back(static_cast<NodeId>(value));
+  }
+  return seeds;
+}
+
+// --- Commands ------------------------------------------------------------
+
+Status RunDatasets(const CliInvocation&, std::ostream& out) {
+  TablePrinter table({"name", "nodes", "edges"});
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    table.AddRow({spec.name, FormatWithCommas(spec.nodes),
+                  FormatWithCommas(spec.edges)});
+  }
+  out << table.ToString();
+  return Status::OK();
+}
+
+Status RunStats(const CliInvocation& invocation, std::ostream& out) {
+  RWDOM_ASSIGN_OR_RETURN(Graph graph, ResolveGraph(invocation));
+  GraphStats stats = ComputeGraphStats(graph);
+  out << stats.ToString() << "\n";
+  out << StrFormat("triangles=%lld avg_clustering=%.4f transitivity=%.4f\n",
+                   static_cast<long long>(CountTriangles(graph)),
+                   AverageClusteringCoefficient(graph),
+                   GlobalClusteringCoefficient(graph));
+  return Status::OK();
+}
+
+Status RunGenerate(const CliInvocation& invocation, std::ostream& out) {
+  const std::string model = FlagOr(invocation, "model", "");
+  const std::string out_path = FlagOr(invocation, "out", "");
+  if (out_path.empty()) {
+    return Status::InvalidArgument("--out=FILE is required");
+  }
+  RWDOM_ASSIGN_OR_RETURN(int64_t n64, IntFlagOr(invocation, "n", 0));
+  RWDOM_ASSIGN_OR_RETURN(int64_t m, IntFlagOr(invocation, "m", 0));
+  RWDOM_ASSIGN_OR_RETURN(int64_t seed, IntFlagOr(invocation, "seed", 42));
+  const NodeId n = static_cast<NodeId>(n64);
+
+  Result<Graph> graph = Status::InvalidArgument(
+      "unknown --model (want ba, plc, er, ws, or cl): " + model);
+  if (model == "ba") {
+    RWDOM_ASSIGN_OR_RETURN(int64_t attach,
+                           IntFlagOr(invocation, "attach", 5));
+    graph = GenerateBarabasiAlbert(n, static_cast<int32_t>(attach),
+                                   static_cast<uint64_t>(seed));
+  } else if (model == "plc") {
+    RWDOM_ASSIGN_OR_RETURN(int64_t communities,
+                           IntFlagOr(invocation, "communities", 16));
+    RWDOM_ASSIGN_OR_RETURN(double mixing,
+                           DoubleFlagOr(invocation, "mixing", 0.08));
+    graph = GeneratePowerLawCommunity(n, m,
+                                      static_cast<int32_t>(communities),
+                                      mixing, static_cast<uint64_t>(seed));
+  } else if (model == "er") {
+    graph = GenerateErdosRenyiGnm(n, m, static_cast<uint64_t>(seed));
+  } else if (model == "ws") {
+    RWDOM_ASSIGN_OR_RETURN(int64_t k, IntFlagOr(invocation, "k", 4));
+    RWDOM_ASSIGN_OR_RETURN(double beta,
+                           DoubleFlagOr(invocation, "beta", 0.1));
+    graph = GenerateWattsStrogatz(n, static_cast<int32_t>(k), beta,
+                                  static_cast<uint64_t>(seed));
+  } else if (model == "cl") {
+    RWDOM_ASSIGN_OR_RETURN(double gamma,
+                           DoubleFlagOr(invocation, "gamma", 2.5));
+    RWDOM_ASSIGN_OR_RETURN(double avg_degree,
+                           DoubleFlagOr(invocation, "avg_degree", 10.0));
+    graph = GenerateChungLu(n, gamma, avg_degree,
+                            static_cast<uint64_t>(seed));
+  }
+  if (!graph.ok()) return graph.status();
+  RWDOM_RETURN_IF_ERROR(
+      SaveEdgeList(*graph, out_path, "generated by rwdom (" + model + ")"));
+  out << StrFormat("wrote %s: n=%d m=%lld\n", out_path.c_str(),
+                   graph->num_nodes(),
+                   static_cast<long long>(graph->num_edges()));
+  return Status::OK();
+}
+
+Status RunSelect(const CliInvocation& invocation, std::ostream& out) {
+  RWDOM_ASSIGN_OR_RETURN(Graph graph, ResolveGraph(invocation));
+  RWDOM_ASSIGN_OR_RETURN(SelectorParams params,
+                         ResolveSelectorParams(invocation));
+  RWDOM_ASSIGN_OR_RETURN(int64_t k, IntFlagOr(invocation, "k", 10));
+  if (k < 0) return Status::InvalidArgument("--k must be >= 0");
+  const std::string algorithm = FlagOr(invocation, "algorithm", "ApproxF2");
+  RWDOM_ASSIGN_OR_RETURN(std::unique_ptr<Selector> selector,
+                         MakeSelector(algorithm, &graph, params));
+
+  SelectionResult result = selector->Select(static_cast<int32_t>(k));
+  out << StrFormat("%s selected %zu seeds in %.3f s\nseeds:",
+                   algorithm.c_str(), result.selected.size(),
+                   result.seconds);
+  for (NodeId u : result.selected) out << " " << u;
+  out << "\n";
+
+  MetricsResult metrics =
+      SampledMetrics(graph, result.selected, params.length,
+                     /*num_samples=*/500, params.seed + 1);
+  out << StrFormat("AHT=%.4f EHN=%.1f (L=%d, metric R=500)\n", metrics.aht,
+                   metrics.ehn, params.length);
+
+  // Optional: persist the inverted index for reuse across runs.
+  const std::string save_index = FlagOr(invocation, "save_index", "");
+  if (!save_index.empty()) {
+    if (algorithm != "ApproxF1" && algorithm != "ApproxF2") {
+      return Status::InvalidArgument(
+          "--save_index only applies to ApproxF1/ApproxF2");
+    }
+    ApproxGreedyOptions options{.length = params.length,
+                                .num_replicates = params.num_samples,
+                                .seed = params.seed,
+                                .lazy = params.lazy};
+    ApproxGreedy approx(&graph,
+                        algorithm == "ApproxF1" ? Problem::kHittingTime
+                                                : Problem::kDominatedCount,
+                        options);
+    approx.Select(static_cast<int32_t>(k));
+    RWDOM_RETURN_IF_ERROR(
+        WalkIndexSerializer::Save(*approx.index(), save_index));
+    out << "index saved to " << save_index << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunEvaluate(const CliInvocation& invocation, std::ostream& out) {
+  RWDOM_ASSIGN_OR_RETURN(Graph graph, ResolveGraph(invocation));
+  RWDOM_ASSIGN_OR_RETURN(SelectorParams params,
+                         ResolveSelectorParams(invocation));
+  const std::string seeds_text = FlagOr(invocation, "seeds", "");
+  if (seeds_text.empty()) {
+    return Status::InvalidArgument("--seeds=a,b,c is required");
+  }
+  RWDOM_ASSIGN_OR_RETURN(std::vector<NodeId> seeds,
+                         ParseSeedList(seeds_text, graph.num_nodes()));
+  RWDOM_ASSIGN_OR_RETURN(int64_t metric_r, IntFlagOr(invocation, "R", 500));
+  MetricsResult metrics =
+      SampledMetrics(graph, seeds, params.length,
+                     static_cast<int32_t>(metric_r), params.seed);
+  out << StrFormat("k=%zu L=%d R=%lld\nAHT=%.4f\nEHN=%.1f\n", seeds.size(),
+                   params.length, static_cast<long long>(metric_r),
+                   metrics.aht, metrics.ehn);
+  return Status::OK();
+}
+
+Status RunKnn(const CliInvocation& invocation, std::ostream& out) {
+  RWDOM_ASSIGN_OR_RETURN(Graph graph, ResolveGraph(invocation));
+  RWDOM_ASSIGN_OR_RETURN(SelectorParams params,
+                         ResolveSelectorParams(invocation));
+  RWDOM_ASSIGN_OR_RETURN(int64_t query, IntFlagOr(invocation, "query", -1));
+  RWDOM_ASSIGN_OR_RETURN(int64_t k, IntFlagOr(invocation, "k", 10));
+  if (query < 0 || query >= graph.num_nodes()) {
+    return Status::OutOfRange("--query must name a node of the graph");
+  }
+  if (k < 0) return Status::InvalidArgument("--k must be >= 0");
+  const std::string mode = FlagOr(invocation, "mode", "exact");
+  std::vector<HittingTimeNeighbor> rows;
+  if (mode == "exact") {
+    rows = ExactHittingTimeKnn(graph, static_cast<NodeId>(query),
+                               static_cast<int32_t>(k), params.length);
+  } else if (mode == "sampled") {
+    RandomWalkSource source(&graph, params.seed);
+    rows = SampledHittingTimeKnn(&source, static_cast<NodeId>(query),
+                                 static_cast<int32_t>(k), params.length,
+                                 params.num_samples);
+  } else {
+    return Status::InvalidArgument("--mode must be exact or sampled");
+  }
+  TablePrinter table({"rank", "node", "h^L(node -> query)"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    table.AddRow({std::to_string(i + 1), std::to_string(rows[i].node),
+                  StrFormat("%.4f", rows[i].hitting_time)});
+  }
+  out << table.ToString();
+  return Status::OK();
+}
+
+Status RunCover(const CliInvocation& invocation, std::ostream& out) {
+  RWDOM_ASSIGN_OR_RETURN(Graph graph, ResolveGraph(invocation));
+  RWDOM_ASSIGN_OR_RETURN(SelectorParams params,
+                         ResolveSelectorParams(invocation));
+  RWDOM_ASSIGN_OR_RETURN(double alpha,
+                         DoubleFlagOr(invocation, "alpha", 0.9));
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("--alpha must be in [0, 1]");
+  }
+  ApproxGreedyOptions options{.length = params.length,
+                              .num_replicates = params.num_samples,
+                              .seed = params.seed,
+                              .lazy = true};
+  MinSeedCoverResult cover = MinSeedCover(graph, alpha, options);
+  out << StrFormat("alpha=%.2f -> %zu seeds (target %s) in %.3f s\nseeds:",
+                   alpha, cover.selected.size(),
+                   cover.reached_target ? "reached" : "NOT reached",
+                   cover.seconds);
+  for (NodeId u : cover.selected) out << " " << u;
+  out << "\n";
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string CliUsage() {
+  return
+      "rwdom — random-walk domination toolkit (Li et al., ICDE'14)\n"
+      "\n"
+      "usage: rwdom COMMAND [--flag=value ...]\n"
+      "\n"
+      "commands:\n"
+      "  datasets   list the paper's Table-2 datasets\n"
+      "  stats      graph statistics (--graph=FILE | --dataset=NAME)\n"
+      "  generate   synthesize a graph (--model=ba|plc|er|ws|cl --n=N\n"
+      "             [--m=M ...] --out=FILE)\n"
+      "  select     pick k seeds (--algorithm=ApproxF2 --k=K [--L --R\n"
+      "             --seed --save_index=FILE])\n"
+      "  evaluate   score a seed set (--seeds=1,2,3 [--L --R])\n"
+      "  cover      minimum seeds for alpha coverage (--alpha=0.9)\n"
+      "  knn        truncated-hitting-time neighbors (--query=NODE --k=10\n"
+      "             [--mode=exact|sampled])\n"
+      "  help       this text\n"
+      "\n"
+      "graph input: --graph=EDGELIST or --dataset=NAME [--data_dir=DIR]\n"
+      "algorithms: Degree Dominate Random DPF1 DPF2 SamplingF1 SamplingF2\n"
+      "            ApproxF1 ApproxF2 EdgeGreedy\n";
+}
+
+Result<CliInvocation> ParseCliArgs(int argc, const char* const* argv) {
+  if (argc < 2) {
+    return Status::InvalidArgument("missing command (try `rwdom help`)");
+  }
+  CliInvocation invocation;
+  invocation.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument("expected --flag=value, got: " +
+                                     std::string(arg));
+    }
+    arg.remove_prefix(2);
+    size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("flag needs a value: --" +
+                                     std::string(arg));
+    }
+    invocation.flags[std::string(arg.substr(0, eq))] =
+        std::string(arg.substr(eq + 1));
+  }
+  return invocation;
+}
+
+Status RunCliCommand(const CliInvocation& invocation, std::ostream& out) {
+  if (invocation.command == "datasets") return RunDatasets(invocation, out);
+  if (invocation.command == "stats") return RunStats(invocation, out);
+  if (invocation.command == "generate") return RunGenerate(invocation, out);
+  if (invocation.command == "select") return RunSelect(invocation, out);
+  if (invocation.command == "evaluate") return RunEvaluate(invocation, out);
+  if (invocation.command == "cover") return RunCover(invocation, out);
+  if (invocation.command == "knn") return RunKnn(invocation, out);
+  if (invocation.command == "help") {
+    out << CliUsage();
+    return Status::OK();
+  }
+  return Status::NotFound("unknown command: " + invocation.command);
+}
+
+int CliMain(int argc, const char* const* argv) {
+  Result<CliInvocation> invocation = ParseCliArgs(argc, argv);
+  if (!invocation.ok()) {
+    std::fprintf(stderr, "%s\n%s", invocation.status().ToString().c_str(),
+                 CliUsage().c_str());
+    return 2;
+  }
+  Status status = RunCliCommand(*invocation, std::cout);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace rwdom

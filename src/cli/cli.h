@@ -1,0 +1,47 @@
+// The `rwdom` command-line tool, as a library so commands are unit-testable.
+//
+// Commands:
+//   rwdom datasets
+//   rwdom stats    (--graph=FILE | --dataset=NAME) [--data_dir=DIR]
+//   rwdom generate --model=ba|plc|er|ws|cl --n=N [--m=M] [...] --out=FILE
+//   rwdom select   (--graph=FILE | --dataset=NAME) --algorithm=NAME --k=K
+//                  [--L=6] [--R=100] [--seed=42] [--save_index=FILE]
+//   rwdom evaluate (--graph=FILE | --dataset=NAME) --seeds=1,2,3
+//                  [--L=6] [--R=500] [--seed=42]
+//   rwdom cover    (--graph=FILE | --dataset=NAME) --alpha=0.9
+//                  [--L=6] [--R=100] [--seed=42]
+#ifndef RWDOM_CLI_CLI_H_
+#define RWDOM_CLI_CLI_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rwdom {
+
+/// Parsed command line: one command word plus --key=value flags.
+struct CliInvocation {
+  std::string command;
+  std::map<std::string, std::string> flags;
+};
+
+/// Parses argv[1..); rejects positional arguments after the command and
+/// malformed flags.
+Result<CliInvocation> ParseCliArgs(int argc, const char* const* argv);
+
+/// Dispatches one invocation, writing human-readable output to `out`.
+Status RunCliCommand(const CliInvocation& invocation, std::ostream& out);
+
+/// Convenience entry point for main(): parse + run + report errors to
+/// stderr; returns the process exit code.
+int CliMain(int argc, const char* const* argv);
+
+/// The help text (also printed for `rwdom help`).
+std::string CliUsage();
+
+}  // namespace rwdom
+
+#endif  // RWDOM_CLI_CLI_H_

@@ -1,0 +1,74 @@
+// Algorithm 6 of the paper: the approximate greedy algorithm.
+//
+// Builds the inverted walk index once (Algorithm 3: R walks per node,
+// O(nRL) time and space), then runs k greedy rounds whose marginal gains
+// come from the index (Algorithm 4) with incremental D-array maintenance
+// (Algorithm 5). Total time O(kRLn) — linear in graph size — with a
+// (1 - 1/e - eps) guarantee. This is the paper's ApproxF1 / ApproxF2.
+#ifndef RWDOM_CORE_APPROX_GREEDY_H_
+#define RWDOM_CORE_APPROX_GREEDY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/selector.h"
+#include "index/gain_state.h"
+#include "index/inverted_walk_index.h"
+#include "walk/problem.h"
+#include "walk/walk_source.h"
+
+namespace rwdom {
+
+/// Runs the k greedy rounds of Algorithm 6 over a prepared GainState
+/// (plain or CELF-lazy). Shared by the unweighted and weighted approximate
+/// greedy selectors. Fills selected/gains/objective_estimate; the caller
+/// owns timing. `num_evaluations` (optional) receives the gain-oracle call
+/// count.
+SelectionResult RunGainStateGreedy(GainState* state, int32_t k, bool lazy,
+                                   int64_t* num_evaluations);
+
+/// Tuning knobs for ApproxGreedy.
+struct ApproxGreedyOptions {
+  int32_t length = 6;          ///< L, the walk budget.
+  int32_t num_replicates = 100;  ///< R, walks per node (paper default 100).
+  uint64_t seed = 42;          ///< Master seed for walk generation.
+  bool lazy = true;            ///< CELF lazy gain evaluation.
+};
+
+/// ApproxF1 / ApproxF2 selector. Each Select() call rebuilds the index
+/// (deterministically from the seed), so reported seconds include index
+/// construction, matching the paper's timing protocol.
+class ApproxGreedy final : public Selector {
+ public:
+  /// `graph` must outlive this object.
+  ApproxGreedy(const Graph* graph, Problem problem,
+               ApproxGreedyOptions options);
+
+  /// Test/advanced constructor: walks for the index come from `source`
+  /// (e.g. a FixedWalkSource replaying scripted walks). `source` must
+  /// outlive this object and is consumed by the next Select() only.
+  ApproxGreedy(const Graph* graph, Problem problem,
+               ApproxGreedyOptions options, WalkSource* source);
+
+  SelectionResult Select(int32_t k) override;
+  std::string name() const override;
+
+  /// The index built by the last Select(); null before the first call.
+  const InvertedWalkIndex* index() const { return index_.get(); }
+
+  /// Gain evaluations performed in the last Select() (CELF ablation).
+  int64_t last_num_evaluations() const { return num_evaluations_; }
+
+ private:
+  const Graph& graph_;
+  Problem problem_;
+  ApproxGreedyOptions options_;
+  WalkSource* external_source_;  // Not owned; may be null.
+  std::unique_ptr<InvertedWalkIndex> index_;
+  int64_t num_evaluations_ = 0;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_CORE_APPROX_GREEDY_H_

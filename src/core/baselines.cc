@@ -1,0 +1,112 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "graph/node_set.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace rwdom {
+
+SelectionResult DegreeBaseline::Select(int32_t k) {
+  RWDOM_CHECK_GE(k, 0);
+  WallTimer timer;
+  const NodeId n = graph_.num_nodes();
+  std::vector<NodeId> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  const int32_t budget = std::min<int64_t>(k, n);
+  std::partial_sort(order.begin(), order.begin() + budget, order.end(),
+                    [this](NodeId a, NodeId b) {
+                      int32_t da = graph_.degree(a);
+                      int32_t db = graph_.degree(b);
+                      if (da != db) return da > db;
+                      return a < b;
+                    });
+  SelectionResult result;
+  result.selected.assign(order.begin(), order.begin() + budget);
+  result.objective_estimate =
+      std::numeric_limits<double>::quiet_NaN();
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+SelectionResult DominateBaseline::Select(int32_t k) {
+  RWDOM_CHECK_GE(k, 0);
+  WallTimer timer;
+  const NodeId n = graph_.num_nodes();
+  NodeFlagSet covered(n);
+  NodeFlagSet selected(n);
+
+  // Coverage gain of u = |N[u] \ covered|; submodular, so CELF applies.
+  auto coverage_gain = [&](NodeId u) {
+    int32_t gain = covered.Contains(u) ? 0 : 1;
+    for (NodeId v : graph_.neighbors(u)) {
+      if (!covered.Contains(v)) ++gain;
+    }
+    return gain;
+  };
+
+  struct Entry {
+    int32_t gain;
+    NodeId node;
+    int32_t round;
+  };
+  struct Less {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.gain != b.gain) return a.gain < b.gain;
+      return a.node > b.node;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Less> heap;
+  for (NodeId u = 0; u < n; ++u) {
+    // Initial gain is deg(u) + 1; no scan needed.
+    heap.push({graph_.degree(u) + 1, u, 0});
+  }
+
+  SelectionResult result;
+  const int32_t budget = std::min<int64_t>(k, n);
+  int32_t round = 0;
+  while (round < budget && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (selected.Contains(top.node)) continue;
+    if (top.round == round) {
+      selected.Insert(top.node);
+      covered.Insert(top.node);
+      for (NodeId v : graph_.neighbors(top.node)) covered.Insert(v);
+      result.selected.push_back(top.node);
+      result.gains.push_back(static_cast<double>(top.gain));
+      ++round;
+      continue;
+    }
+    heap.push({coverage_gain(top.node), top.node, round});
+  }
+  result.objective_estimate =
+      static_cast<double>(covered.size());  // Nodes 1-hop dominated.
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+SelectionResult RandomBaseline::Select(int32_t k) {
+  RWDOM_CHECK_GE(k, 0);
+  WallTimer timer;
+  const NodeId n = graph_.num_nodes();
+  Rng rng(seed_);
+  NodeFlagSet selected(n);
+  SelectionResult result;
+  const int32_t budget = std::min<int64_t>(k, n);
+  while (static_cast<int32_t>(result.selected.size()) < budget) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(static_cast<uint64_t>(n)));
+    if (selected.Insert(u)) result.selected.push_back(u);
+  }
+  result.objective_estimate = std::numeric_limits<double>::quiet_NaN();
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,63 @@
+// The paper's two baseline algorithms (§4.1) plus a random-pick control:
+//
+//  * Degree   — pick the k highest-degree nodes.
+//  * Dominate — classic greedy partial dominating set: each round pick the
+//               node whose closed neighborhood covers the most not-yet-
+//               covered nodes (deterministic 1-hop domination).
+//  * Random   — k uniform nodes (sanity control, not in the paper).
+#ifndef RWDOM_CORE_BASELINES_H_
+#define RWDOM_CORE_BASELINES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/selector.h"
+
+namespace rwdom {
+
+/// Top-k by degree; ties break toward the lower node id.
+class DegreeBaseline final : public Selector {
+ public:
+  /// `graph` must outlive this object.
+  explicit DegreeBaseline(const Graph* graph) : graph_(*graph) {}
+
+  SelectionResult Select(int32_t k) override;
+  std::string name() const override { return "Degree"; }
+
+ private:
+  const Graph& graph_;
+};
+
+/// Greedy max-coverage over closed neighborhoods (the paper's Dominate
+/// baseline). Implemented with lazy evaluation — coverage gain is
+/// submodular — so it is near-linear in practice.
+class DominateBaseline final : public Selector {
+ public:
+  /// `graph` must outlive this object.
+  explicit DominateBaseline(const Graph* graph) : graph_(*graph) {}
+
+  SelectionResult Select(int32_t k) override;
+  std::string name() const override { return "Dominate"; }
+
+ private:
+  const Graph& graph_;
+};
+
+/// k distinct uniform-random nodes.
+class RandomBaseline final : public Selector {
+ public:
+  /// `graph` must outlive this object.
+  RandomBaseline(const Graph* graph, uint64_t seed)
+      : graph_(*graph), seed_(seed) {}
+
+  SelectionResult Select(int32_t k) override;
+  std::string name() const override { return "Random"; }
+
+ private:
+  const Graph& graph_;
+  uint64_t seed_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_CORE_BASELINES_H_

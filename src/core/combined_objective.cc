@@ -1,0 +1,70 @@
+#include "core/combined_objective.h"
+
+#include <utility>
+
+#include "core/exact_objective.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace rwdom {
+
+CombinedObjective::CombinedObjective(const Objective* a, double weight_a,
+                                     const Objective* b, double weight_b)
+    : a_(*a), b_(*b), weight_a_(weight_a), weight_b_(weight_b) {
+  RWDOM_CHECK(weight_a >= 0.0 && weight_b >= 0.0)
+      << "negative weights break submodularity";
+  RWDOM_CHECK_EQ(a->universe_size(), b->universe_size());
+}
+
+double CombinedObjective::Value(const NodeFlagSet& s) const {
+  return weight_a_ * a_.Value(s) + weight_b_ * b_.Value(s);
+}
+
+double CombinedObjective::ValueWithExtra(const NodeFlagSet& s,
+                                         NodeId u) const {
+  return weight_a_ * a_.ValueWithExtra(s, u) +
+         weight_b_ * b_.ValueWithExtra(s, u);
+}
+
+std::string CombinedObjective::name() const {
+  return StrFormat("%.3g*%s + %.3g*%s", weight_a_, a_.name().c_str(),
+                   weight_b_, b_.name().c_str());
+}
+
+namespace {
+
+// Owns its component objectives; CombinedObjective itself only borrows.
+class LambdaBlendObjective final : public Objective {
+ public:
+  LambdaBlendObjective(const Graph* graph, int32_t length, double lambda)
+      : f1_(graph, Problem::kHittingTime, length),
+        f2_(graph, Problem::kDominatedCount, length),
+        combined_(&f1_, lambda / static_cast<double>(length), &f2_,
+                  1.0 - lambda) {}
+
+  NodeId universe_size() const override { return combined_.universe_size(); }
+  double Value(const NodeFlagSet& s) const override {
+    return combined_.Value(s);
+  }
+  double ValueWithExtra(const NodeFlagSet& s, NodeId u) const override {
+    return combined_.ValueWithExtra(s, u);
+  }
+  std::string name() const override { return combined_.name(); }
+
+ private:
+  ExactObjective f1_;
+  ExactObjective f2_;
+  CombinedObjective combined_;
+};
+
+}  // namespace
+
+std::unique_ptr<Objective> MakeLambdaBlendObjective(const Graph* graph,
+                                                    int32_t length,
+                                                    double lambda) {
+  RWDOM_CHECK(lambda >= 0.0 && lambda <= 1.0);
+  RWDOM_CHECK_GE(length, 1);
+  return std::make_unique<LambdaBlendObjective>(graph, length, lambda);
+}
+
+}  // namespace rwdom

@@ -1,0 +1,48 @@
+// Weighted combination of objectives — the first future direction in §5 of
+// the paper: a positive combination of F1 and F2 is itself nondecreasing
+// and submodular, so the same greedy machinery applies with the same
+// (1 - 1/e) guarantee.
+//
+// The canonical use normalizes F1 by L so both terms live on the scale
+// "number of nodes": F_λ(S) = λ·F1(S)/L + (1-λ)·F2(S).
+#ifndef RWDOM_CORE_COMBINED_OBJECTIVE_H_
+#define RWDOM_CORE_COMBINED_OBJECTIVE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/objective.h"
+#include "walk/problem.h"
+
+namespace rwdom {
+
+/// w1 * A(S) + w2 * B(S). Both component objectives must share a universe;
+/// weights must be non-negative (to preserve submodularity).
+class CombinedObjective final : public Objective {
+ public:
+  /// Neither pointer is owned; both must outlive this object.
+  CombinedObjective(const Objective* a, double weight_a, const Objective* b,
+                    double weight_b);
+
+  NodeId universe_size() const override { return a_.universe_size(); }
+  double Value(const NodeFlagSet& s) const override;
+  double ValueWithExtra(const NodeFlagSet& s, NodeId u) const override;
+  std::string name() const override;
+
+ private:
+  const Objective& a_;
+  const Objective& b_;
+  double weight_a_;
+  double weight_b_;
+};
+
+/// Convenience factory for the canonical λ-blend of exact F1 (normalized by
+/// L) and exact F2 over `graph`. Returned objective owns its components.
+/// Requires 0 <= lambda <= 1.
+std::unique_ptr<Objective> MakeLambdaBlendObjective(const Graph* graph,
+                                                    int32_t length,
+                                                    double lambda);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_CORE_COMBINED_OBJECTIVE_H_

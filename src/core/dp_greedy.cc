@@ -1,0 +1,12 @@
+#include "core/dp_greedy.h"
+
+namespace rwdom {
+
+DpGreedy::DpGreedy(const Graph* graph, Problem problem, int32_t length,
+                   GreedyOptions options)
+    : objective_(graph, problem, length),
+      greedy_(&objective_,
+              std::string("DP") + std::string(ProblemName(problem)),
+              options) {}
+
+}  // namespace rwdom

@@ -1,0 +1,38 @@
+// DPF1 / DPF2: the paper's DP-based greedy algorithm — Algorithm 1 with
+// exact marginal gains computed by the O(mL) dynamic program. Near-optimal
+// ((1 - 1/e)) but over-cubic in graph size overall; practical only for
+// small graphs, exactly as in the paper's evaluation (§4.2).
+#ifndef RWDOM_CORE_DP_GREEDY_H_
+#define RWDOM_CORE_DP_GREEDY_H_
+
+#include <string>
+
+#include "core/exact_objective.h"
+#include "core/greedy_selector.h"
+#include "core/selector.h"
+#include "walk/problem.h"
+
+namespace rwdom {
+
+/// The paper's DPF1 (Problem 1) / DPF2 (Problem 2) selector.
+class DpGreedy final : public Selector {
+ public:
+  /// `graph` must outlive this object.
+  DpGreedy(const Graph* graph, Problem problem, int32_t length,
+           GreedyOptions options = {});
+
+  SelectionResult Select(int32_t k) override { return greedy_.Select(k); }
+  std::string name() const override { return greedy_.name(); }
+
+  int64_t last_num_evaluations() const {
+    return greedy_.last_num_evaluations();
+  }
+
+ private:
+  ExactObjective objective_;
+  GreedySelector greedy_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_CORE_DP_GREEDY_H_

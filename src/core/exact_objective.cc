@@ -1,0 +1,27 @@
+#include "core/exact_objective.h"
+
+namespace rwdom {
+
+ExactObjective::ExactObjective(const Graph* graph, Problem problem,
+                               int32_t length)
+    : graph_(*graph),
+      problem_(problem),
+      length_(length),
+      hitting_dp_(graph, length),
+      prob_dp_(graph, length) {}
+
+double ExactObjective::Value(const NodeFlagSet& s) const {
+  return problem_ == Problem::kHittingTime ? hitting_dp_.F1(s)
+                                           : prob_dp_.F2(s);
+}
+
+double ExactObjective::ValueWithExtra(const NodeFlagSet& s, NodeId u) const {
+  return problem_ == Problem::kHittingTime ? hitting_dp_.F1Plus(s, u)
+                                           : prob_dp_.F2Plus(s, u);
+}
+
+std::string ExactObjective::name() const {
+  return std::string(ProblemName(problem_)) + "-exact";
+}
+
+}  // namespace rwdom

@@ -1,0 +1,39 @@
+// Exact objectives F1 / F2 via the dynamic programs of Theorems 2.2 / 2.3.
+// One Value() evaluation costs O(mL); this is the oracle behind the paper's
+// DPF1 / DPF2 greedy algorithms.
+#ifndef RWDOM_CORE_EXACT_OBJECTIVE_H_
+#define RWDOM_CORE_EXACT_OBJECTIVE_H_
+
+#include <string>
+
+#include "core/objective.h"
+#include "walk/hit_probability_dp.h"
+#include "walk/hitting_time_dp.h"
+#include "walk/problem.h"
+
+namespace rwdom {
+
+/// Exact F1(S) or F2(S). The underlying graph must outlive this object.
+class ExactObjective final : public Objective {
+ public:
+  ExactObjective(const Graph* graph, Problem problem, int32_t length);
+
+  NodeId universe_size() const override { return graph_.num_nodes(); }
+  double Value(const NodeFlagSet& s) const override;
+  double ValueWithExtra(const NodeFlagSet& s, NodeId u) const override;
+  std::string name() const override;
+
+  Problem problem() const { return problem_; }
+  int32_t length() const { return length_; }
+
+ private:
+  const Graph& graph_;
+  Problem problem_;
+  int32_t length_;
+  HittingTimeDp hitting_dp_;
+  HitProbabilityDp prob_dp_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_CORE_EXACT_OBJECTIVE_H_

@@ -1,0 +1,70 @@
+#include "core/min_seed_cover.h"
+
+#include <queue>
+#include <vector>
+
+#include "index/gain_state.h"
+#include "index/inverted_walk_index.h"
+#include "util/logging.h"
+#include "util/timer.h"
+#include "walk/walk_source.h"
+
+namespace rwdom {
+
+MinSeedCoverResult MinSeedCover(const Graph& graph, double alpha,
+                                const ApproxGreedyOptions& options) {
+  RWDOM_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  WallTimer timer;
+  MinSeedCoverResult result;
+  const NodeId n = graph.num_nodes();
+  const double target = alpha * static_cast<double>(n);
+
+  if (n == 0 || target <= 0.0) {
+    result.reached_target = true;
+    result.seconds = timer.Seconds();
+    return result;
+  }
+
+  RandomWalkSource source(&graph, options.seed);
+  InvertedWalkIndex index = InvertedWalkIndex::Build(
+      options.length, options.num_replicates, &source);
+  GainState state(&index, Problem::kDominatedCount);
+
+  // CELF loop, terminating on coverage instead of cardinality.
+  struct Entry {
+    double gain;
+    NodeId node;
+    int32_t round;
+  };
+  struct Less {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.gain != b.gain) return a.gain < b.gain;
+      return a.node > b.node;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Less> heap;
+  for (NodeId u = 0; u < n; ++u) heap.push({state.ApproxGain(u), u, 0});
+
+  double coverage = state.EstimatedObjective();  // 0 for the empty set.
+  int32_t round = 0;
+  while (coverage < target && !heap.empty()) {
+    Entry top = heap.top();
+    heap.pop();
+    if (state.selected().Contains(top.node)) continue;
+    if (top.round != round) {
+      heap.push({state.ApproxGain(top.node), top.node, round});
+      continue;
+    }
+    state.Commit(top.node);
+    coverage += top.gain;
+    result.selected.push_back(top.node);
+    result.coverage_after_pick.push_back(coverage);
+    ++round;
+  }
+
+  result.reached_target = coverage >= target;
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace rwdom

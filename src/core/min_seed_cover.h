@@ -1,0 +1,38 @@
+// Extension (paper §5, third future direction): minimum-seed α-coverage.
+//
+// Given α in [0, 1], find the smallest S whose expected dominated count
+// reaches α·n: min |S| s.t. F2(S) >= α n. Greedy partial cover: run the
+// Problem-2 approximate greedy (index + gain state) and stop as soon as the
+// estimated F̂2 crosses the threshold. By the classic partial-cover
+// analysis this uses at most O(log(1/ε)) factor more seeds than optimal
+// for reaching (α - ε) coverage.
+#ifndef RWDOM_CORE_MIN_SEED_COVER_H_
+#define RWDOM_CORE_MIN_SEED_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/approx_greedy.h"
+#include "graph/graph.h"
+
+namespace rwdom {
+
+/// Result of a minimum-seed coverage run.
+struct MinSeedCoverResult {
+  /// Seeds in selection order.
+  std::vector<NodeId> selected;
+  /// F̂2 estimate after each pick (same length as `selected`).
+  std::vector<double> coverage_after_pick;
+  /// True if the α·n threshold was reached (false only if every node was
+  /// selected and coverage still fell short, possible with isolated nodes).
+  bool reached_target = false;
+  double seconds = 0.0;
+};
+
+/// Greedy minimum-seed α-coverage. `alpha` in [0, 1].
+MinSeedCoverResult MinSeedCover(const Graph& graph, double alpha,
+                                const ApproxGreedyOptions& options);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_CORE_MIN_SEED_COVER_H_

@@ -1,0 +1,11 @@
+#include "core/objective.h"
+
+namespace rwdom {
+
+double Objective::ValueWithExtra(const NodeFlagSet& s, NodeId u) const {
+  NodeFlagSet with_u(s.universe_size(), s.members());
+  with_u.Insert(u);
+  return Value(with_u);
+}
+
+}  // namespace rwdom

@@ -1,0 +1,22 @@
+#include "core/sampled_objective.h"
+
+namespace rwdom {
+
+SampledObjective::SampledObjective(const Graph* graph, Problem problem,
+                                   int32_t length, int32_t num_samples,
+                                   uint64_t seed)
+    : graph_(*graph),
+      problem_(problem),
+      evaluator_(length, num_samples),
+      source_(graph, seed) {}
+
+double SampledObjective::Value(const NodeFlagSet& s) const {
+  SampledObjectives estimates = evaluator_.Evaluate(s, &source_);
+  return problem_ == Problem::kHittingTime ? estimates.f1 : estimates.f2;
+}
+
+std::string SampledObjective::name() const {
+  return std::string(ProblemName(problem_)) + "-sampled";
+}
+
+}  // namespace rwdom

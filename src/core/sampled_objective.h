@@ -1,0 +1,42 @@
+// Sampled objectives F̂1 / F̂2 via Algorithm 2. Each Value() call draws
+// fresh R walks per node from an internal RandomWalkSource, so evaluations
+// are independent unbiased estimates; this is the oracle behind the paper's
+// "sampling-based greedy" (§3.1, Approximate marginal gain computation).
+#ifndef RWDOM_CORE_SAMPLED_OBJECTIVE_H_
+#define RWDOM_CORE_SAMPLED_OBJECTIVE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/objective.h"
+#include "walk/problem.h"
+#include "walk/sampled_evaluator.h"
+#include "walk/walk_source.h"
+
+namespace rwdom {
+
+/// Monte-Carlo F̂(S). Value() mutates internal RNG state (fresh samples per
+/// call) — logically const as an oracle, hence the mutable source.
+class SampledObjective final : public Objective {
+ public:
+  /// `graph` must outlive this object.
+  SampledObjective(const Graph* graph, Problem problem, int32_t length,
+                   int32_t num_samples, uint64_t seed);
+
+  NodeId universe_size() const override { return graph_.num_nodes(); }
+  double Value(const NodeFlagSet& s) const override;
+  std::string name() const override;
+
+  int32_t length() const { return evaluator_.length(); }
+  int32_t num_samples() const { return evaluator_.num_samples(); }
+
+ private:
+  const Graph& graph_;
+  Problem problem_;
+  SampledEvaluator evaluator_;
+  mutable RandomWalkSource source_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_CORE_SAMPLED_OBJECTIVE_H_

@@ -1,0 +1,13 @@
+#include "core/sampling_greedy.h"
+
+namespace rwdom {
+
+SamplingGreedy::SamplingGreedy(const Graph* graph, Problem problem,
+                               int32_t length, int32_t num_samples,
+                               uint64_t seed, GreedyOptions options)
+    : objective_(graph, problem, length, num_samples, seed),
+      greedy_(&objective_,
+              std::string("Sampling") + std::string(ProblemName(problem)),
+              options) {}
+
+}  // namespace rwdom

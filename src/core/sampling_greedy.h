@@ -1,0 +1,37 @@
+// The paper's sampling-based greedy (§3.1, "Approximate marginal gain
+// computation"): Algorithm 1 with marginal gains estimated by Algorithm 2.
+// O(k n^2 R L) walks overall — cheaper than DP greedy but superseded by the
+// approximate greedy (Algorithm 6); included for completeness and for the
+// accuracy comparison tests.
+#ifndef RWDOM_CORE_SAMPLING_GREEDY_H_
+#define RWDOM_CORE_SAMPLING_GREEDY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/greedy_selector.h"
+#include "core/sampled_objective.h"
+#include "core/selector.h"
+#include "walk/problem.h"
+
+namespace rwdom {
+
+/// SamplingF1 / SamplingF2 selector.
+class SamplingGreedy final : public Selector {
+ public:
+  /// `graph` must outlive this object.
+  SamplingGreedy(const Graph* graph, Problem problem, int32_t length,
+                 int32_t num_samples, uint64_t seed,
+                 GreedyOptions options = {});
+
+  SelectionResult Select(int32_t k) override { return greedy_.Select(k); }
+  std::string name() const override { return greedy_.name(); }
+
+ private:
+  SampledObjective objective_;
+  GreedySelector greedy_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_CORE_SAMPLING_GREEDY_H_

@@ -1,0 +1,45 @@
+// Selector: the common interface of every seed-selection algorithm (the
+// paper's greedy variants and the Degree/Dominate baselines).
+#ifndef RWDOM_CORE_SELECTOR_H_
+#define RWDOM_CORE_SELECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rwdom {
+
+/// Output of one selection run.
+struct SelectionResult {
+  /// Chosen nodes in selection order; prefixes are the greedy solutions for
+  /// smaller k (useful for k-sweeps).
+  std::vector<NodeId> selected;
+  /// The algorithm's own estimate of the marginal gain at each pick (empty
+  /// for algorithms without a gain notion, e.g. Degree).
+  std::vector<double> gains;
+  /// The algorithm's own estimate of the final objective value, if it has
+  /// one; NaN otherwise.
+  double objective_estimate = 0.0;
+  /// Wall-clock seconds spent inside Select(), including any index or
+  /// preprocessing the algorithm performs.
+  double seconds = 0.0;
+};
+
+/// A seed-selection algorithm bound to one graph.
+class Selector {
+ public:
+  virtual ~Selector() = default;
+
+  /// Selects (up to) k seed nodes. k may exceed n, in which case all nodes
+  /// are returned.
+  virtual SelectionResult Select(int32_t k) = 0;
+
+  /// Display name, e.g. "ApproxF1".
+  virtual std::string name() const = 0;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_CORE_SELECTOR_H_

@@ -1,0 +1,60 @@
+#include "core/selector_registry.h"
+
+#include "core/approx_greedy.h"
+#include "core/baselines.h"
+#include "core/dp_greedy.h"
+#include "core/edge_domination.h"
+#include "core/sampling_greedy.h"
+#include "walk/problem.h"
+
+namespace rwdom {
+
+Result<std::unique_ptr<Selector>> MakeSelector(const std::string& name,
+                                               const Graph* graph,
+                                               const SelectorParams& params) {
+  GreedyOptions greedy_options{.lazy = params.lazy};
+  if (name == "Degree") {
+    return std::unique_ptr<Selector>(new DegreeBaseline(graph));
+  }
+  if (name == "Dominate") {
+    return std::unique_ptr<Selector>(new DominateBaseline(graph));
+  }
+  if (name == "Random") {
+    return std::unique_ptr<Selector>(new RandomBaseline(graph, params.seed));
+  }
+  if (name == "DPF1" || name == "DPF2") {
+    Problem problem =
+        name == "DPF1" ? Problem::kHittingTime : Problem::kDominatedCount;
+    return std::unique_ptr<Selector>(
+        new DpGreedy(graph, problem, params.length, greedy_options));
+  }
+  if (name == "SamplingF1" || name == "SamplingF2") {
+    Problem problem = name == "SamplingF1" ? Problem::kHittingTime
+                                           : Problem::kDominatedCount;
+    return std::unique_ptr<Selector>(
+        new SamplingGreedy(graph, problem, params.length, params.num_samples,
+                           params.seed, greedy_options));
+  }
+  if (name == "ApproxF1" || name == "ApproxF2") {
+    Problem problem = name == "ApproxF1" ? Problem::kHittingTime
+                                         : Problem::kDominatedCount;
+    ApproxGreedyOptions options{.length = params.length,
+                                .num_replicates = params.num_samples,
+                                .seed = params.seed,
+                                .lazy = params.lazy};
+    return std::unique_ptr<Selector>(new ApproxGreedy(graph, problem, options));
+  }
+  if (name == "EdgeGreedy") {
+    return std::unique_ptr<Selector>(
+        new EdgeDominationGreedy(graph, params.length, params.num_samples,
+                                 params.seed, greedy_options));
+  }
+  return Status::NotFound("unknown selector: " + name);
+}
+
+std::vector<std::string> KnownSelectorNames() {
+  return {"Degree",     "Dominate",   "Random",   "DPF1",     "DPF2",
+          "SamplingF1", "SamplingF2", "ApproxF1", "ApproxF2", "EdgeGreedy"};
+}
+
+}  // namespace rwdom

@@ -1,0 +1,38 @@
+// Name -> Selector factory used by the benches, examples and harness so the
+// full algorithm roster can be driven from strings ("ApproxF1", "Degree",
+// ...), matching the names used in the paper's figures.
+#ifndef RWDOM_CORE_SELECTOR_REGISTRY_H_
+#define RWDOM_CORE_SELECTOR_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/selector.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+/// Parameters shared by the parameterized selectors.
+struct SelectorParams {
+  int32_t length = 6;          ///< L.
+  int32_t num_samples = 100;   ///< R (sampling / approx / edge selectors).
+  uint64_t seed = 42;
+  bool lazy = true;            ///< CELF lazy evaluation where applicable.
+};
+
+/// Known names: "Degree", "Dominate", "Random", "DPF1", "DPF2",
+/// "SamplingF1", "SamplingF2", "ApproxF1", "ApproxF2", "EdgeGreedy".
+/// `graph` must outlive the returned selector.
+Result<std::unique_ptr<Selector>> MakeSelector(const std::string& name,
+                                               const Graph* graph,
+                                               const SelectorParams& params);
+
+/// All registered selector names, in display order.
+std::vector<std::string> KnownSelectorNames();
+
+}  // namespace rwdom
+
+#endif  // RWDOM_CORE_SELECTOR_REGISTRY_H_

@@ -1,0 +1,40 @@
+// The paper's two evaluation metrics (§4.1):
+//
+//   AHT: M1(S) = sum_{u in V\S} h^L_uS / |V\S|   (lower is better)
+//   EHN: M2(S) = sum_{u in V} E[X^L_uS]          (higher is better)
+//
+// The paper computes both with the sampling estimator (Algorithm 2) at
+// R = 500; Sampled() follows that protocol. Exact() computes the same
+// quantities with the O(mL) dynamic programs for validation on small
+// graphs.
+#ifndef RWDOM_EVAL_METRICS_H_
+#define RWDOM_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rwdom {
+
+/// One metric evaluation of a selected seed set.
+struct MetricsResult {
+  double aht = 0.0;  ///< Average hitting time M1(S).
+  double ehn = 0.0;  ///< Expected number of dominated nodes M2(S).
+};
+
+/// Paper protocol: Algorithm 2 with `num_samples` walks per node
+/// (paper uses 500).
+MetricsResult SampledMetrics(const Graph& graph,
+                             const std::vector<NodeId>& selected,
+                             int32_t length, int32_t num_samples,
+                             uint64_t seed);
+
+/// Exact metrics via the DPs of Theorems 2.2 / 2.3; O(mL).
+MetricsResult ExactMetrics(const Graph& graph,
+                           const std::vector<NodeId>& selected,
+                           int32_t length);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_EVAL_METRICS_H_

@@ -1,0 +1,59 @@
+#include "graph/clustering.h"
+
+namespace rwdom {
+namespace {
+
+// Closed wedges centered at u = number of adjacent neighbor pairs.
+int64_t ClosedWedgesAt(const Graph& graph, NodeId u) {
+  auto adj = graph.neighbors(u);
+  int64_t closed = 0;
+  for (size_t i = 0; i < adj.size(); ++i) {
+    for (size_t j = i + 1; j < adj.size(); ++j) {
+      if (graph.HasEdge(adj[i], adj[j])) ++closed;
+    }
+  }
+  return closed;
+}
+
+}  // namespace
+
+double LocalClusteringCoefficient(const Graph& graph, NodeId u) {
+  const int64_t d = graph.degree(u);
+  if (d < 2) return 0.0;
+  const int64_t possible = d * (d - 1) / 2;
+  return static_cast<double>(ClosedWedgesAt(graph, u)) /
+         static_cast<double>(possible);
+}
+
+double AverageClusteringCoefficient(const Graph& graph) {
+  if (graph.num_nodes() == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    total += LocalClusteringCoefficient(graph, u);
+  }
+  return total / static_cast<double>(graph.num_nodes());
+}
+
+double GlobalClusteringCoefficient(const Graph& graph) {
+  int64_t closed = 0;
+  int64_t wedges = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    const int64_t d = graph.degree(u);
+    wedges += d * (d - 1) / 2;
+    closed += ClosedWedgesAt(graph, u);
+  }
+  if (wedges == 0) return 0.0;
+  // `closed` counts each triangle three times (once per corner), which is
+  // exactly the "3 * triangles" numerator.
+  return static_cast<double>(closed) / static_cast<double>(wedges);
+}
+
+int64_t CountTriangles(const Graph& graph) {
+  int64_t corners = 0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    corners += ClosedWedgesAt(graph, u);
+  }
+  return corners / 3;
+}
+
+}  // namespace rwdom

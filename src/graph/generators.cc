@@ -1,0 +1,483 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace rwdom {
+namespace {
+
+// Packs an undirected edge into a set key (canonical order).
+uint64_t EdgeKey(NodeId u, NodeId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+         static_cast<uint32_t>(v);
+}
+
+int64_t MaxEdges(NodeId n) {
+  return static_cast<int64_t>(n) * (static_cast<int64_t>(n) - 1) / 2;
+}
+
+}  // namespace
+
+Result<Graph> GenerateBarabasiAlbert(NodeId n, int32_t attach_edges,
+                                     uint64_t seed) {
+  if (attach_edges < 1) {
+    return Status::InvalidArgument("attach_edges must be >= 1");
+  }
+  if (n <= attach_edges) {
+    return Status::InvalidArgument(
+        StrFormat("need n > attach_edges, got n=%d attach=%d", n,
+                  attach_edges));
+  }
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  // Seed clique on attach_edges + 1 nodes.
+  const NodeId clique = attach_edges + 1;
+  // endpoint_pool holds each node once per incident edge endpoint, so a
+  // uniform draw from it is degree-proportional sampling.
+  std::vector<NodeId> endpoint_pool;
+  endpoint_pool.reserve(static_cast<size_t>(2) *
+                        (static_cast<size_t>(n) *
+                         static_cast<size_t>(attach_edges)));
+  for (NodeId u = 0; u < clique; ++u) {
+    for (NodeId v = u + 1; v < clique; ++v) {
+      builder.AddEdge(u, v);
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  std::vector<NodeId> targets;
+  targets.reserve(static_cast<size_t>(attach_edges));
+  for (NodeId w = clique; w < n; ++w) {
+    targets.clear();
+    // Rejection-sample `attach_edges` distinct degree-proportional targets.
+    while (targets.size() < static_cast<size_t>(attach_edges)) {
+      NodeId candidate =
+          endpoint_pool[rng.NextBounded(endpoint_pool.size())];
+      if (std::find(targets.begin(), targets.end(), candidate) ==
+          targets.end()) {
+        targets.push_back(candidate);
+      }
+    }
+    for (NodeId t : targets) {
+      builder.AddEdge(w, t);
+      endpoint_pool.push_back(w);
+      endpoint_pool.push_back(t);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GeneratePowerLawWithSize(NodeId n, int64_t m, uint64_t seed) {
+  if (n < 2) return Status::InvalidArgument("need n >= 2");
+  if (m < 0 || m > MaxEdges(n)) {
+    return Status::InvalidArgument(
+        StrFormat("m=%lld infeasible for n=%d", static_cast<long long>(m), n));
+  }
+  Rng rng(seed);
+  std::unordered_set<uint64_t> edge_set;
+  edge_set.reserve(static_cast<size_t>(m) * 2);
+  GraphBuilder builder(n);
+  auto add_edge = [&](NodeId u, NodeId v) {
+    if (u == v) return false;
+    if (!edge_set.insert(EdgeKey(u, v)).second) return false;
+    builder.AddEdge(u, v);
+    return true;
+  };
+
+  const int32_t attach = static_cast<int32_t>(
+      std::max<int64_t>(1, m / std::max<NodeId>(n, 1)));
+  // Preferential-attachment core (produces <= m edges; see header).
+  if (m >= n && n > attach) {
+    const NodeId clique = attach + 1;
+    std::vector<NodeId> endpoint_pool;
+    for (NodeId u = 0; u < clique; ++u) {
+      for (NodeId v = u + 1; v < clique; ++v) {
+        if (static_cast<int64_t>(edge_set.size()) >= m) break;
+        add_edge(u, v);
+        endpoint_pool.push_back(u);
+        endpoint_pool.push_back(v);
+      }
+    }
+    std::vector<NodeId> targets;
+    for (NodeId w = clique;
+         w < n && static_cast<int64_t>(edge_set.size()) + attach <= m; ++w) {
+      targets.clear();
+      while (targets.size() < static_cast<size_t>(attach)) {
+        NodeId candidate =
+            endpoint_pool[rng.NextBounded(endpoint_pool.size())];
+        if (std::find(targets.begin(), targets.end(), candidate) ==
+            targets.end()) {
+          targets.push_back(candidate);
+        }
+      }
+      for (NodeId t : targets) {
+        add_edge(w, t);
+        endpoint_pool.push_back(w);
+        endpoint_pool.push_back(t);
+      }
+    }
+  }
+  // Uniform top-up to exactly m edges.
+  while (static_cast<int64_t>(edge_set.size()) < m) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(static_cast<uint64_t>(n)));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(static_cast<uint64_t>(n)));
+    add_edge(u, v);
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GeneratePowerLawCommunity(NodeId n, int64_t m,
+                                        int32_t num_communities,
+                                        double mixing, uint64_t seed) {
+  if (n < 2) return Status::InvalidArgument("need n >= 2");
+  if (m < 0 || m > MaxEdges(n)) {
+    return Status::InvalidArgument(
+        StrFormat("m=%lld infeasible for n=%d", static_cast<long long>(m), n));
+  }
+  if (num_communities < 1) {
+    return Status::InvalidArgument("need num_communities >= 1");
+  }
+  if (mixing < 0.0 || mixing > 1.0) {
+    return Status::InvalidArgument("mixing must be in [0,1]");
+  }
+  num_communities = static_cast<int32_t>(
+      std::min<int64_t>(num_communities, n / 2 > 0 ? n / 2 : 1));
+
+  Rng rng(seed);
+  // Zipf-ish community sizes (exponent 0.7), then fix rounding drift.
+  std::vector<NodeId> sizes(static_cast<size_t>(num_communities));
+  {
+    std::vector<double> weights(static_cast<size_t>(num_communities));
+    double total = 0.0;
+    for (int32_t c = 0; c < num_communities; ++c) {
+      weights[static_cast<size_t>(c)] =
+          std::pow(static_cast<double>(c + 1), -0.7);
+      total += weights[static_cast<size_t>(c)];
+    }
+    NodeId assigned = 0;
+    for (int32_t c = 0; c < num_communities; ++c) {
+      sizes[static_cast<size_t>(c)] = std::max<NodeId>(
+          2, static_cast<NodeId>(weights[static_cast<size_t>(c)] / total *
+                                 static_cast<double>(n)));
+      assigned += sizes[static_cast<size_t>(c)];
+    }
+    // Drift correction: push the difference onto the largest community.
+    sizes[0] += n - assigned;
+    if (sizes[0] < 2) return Status::InvalidArgument("communities too small");
+  }
+  // Node ranges per community: community c owns [starts[c], starts[c+1]).
+  std::vector<NodeId> starts(static_cast<size_t>(num_communities) + 1, 0);
+  for (int32_t c = 0; c < num_communities; ++c) {
+    starts[static_cast<size_t>(c) + 1] =
+        starts[static_cast<size_t>(c)] + sizes[static_cast<size_t>(c)];
+  }
+
+  std::unordered_set<uint64_t> edge_set;
+  edge_set.reserve(static_cast<size_t>(m) * 2);
+  GraphBuilder builder(n);
+  auto add_edge = [&](NodeId u, NodeId v) {
+    if (u == v) return false;
+    if (!edge_set.insert(EdgeKey(u, v)).second) return false;
+    builder.AddEdge(u, v);
+    return true;
+  };
+
+  // Intra-community preferential attachment, budget proportional to size.
+  const int64_t intra_budget =
+      static_cast<int64_t>((1.0 - mixing) * static_cast<double>(m));
+  std::vector<NodeId> endpoint_pool;
+  std::vector<NodeId> targets;
+  for (int32_t c = 0; c < num_communities; ++c) {
+    const NodeId base = starts[static_cast<size_t>(c)];
+    const NodeId size = sizes[static_cast<size_t>(c)];
+    const int64_t budget =
+        intra_budget * size / std::max<NodeId>(n, 1);
+    const int32_t attach = static_cast<int32_t>(std::min<int64_t>(
+        std::max<int64_t>(1, budget / std::max<NodeId>(size, 1)),
+        size - 1));
+    endpoint_pool.clear();
+    const NodeId clique = std::min<NodeId>(attach + 1, size);
+    for (NodeId u = 0; u < clique; ++u) {
+      for (NodeId v = u + 1; v < clique; ++v) {
+        add_edge(base + u, base + v);
+        endpoint_pool.push_back(base + u);
+        endpoint_pool.push_back(base + v);
+      }
+    }
+    for (NodeId w = clique; w < size; ++w) {
+      targets.clear();
+      while (targets.size() < static_cast<size_t>(attach)) {
+        NodeId candidate =
+            endpoint_pool[rng.NextBounded(endpoint_pool.size())];
+        if (std::find(targets.begin(), targets.end(), candidate) ==
+            targets.end()) {
+          targets.push_back(candidate);
+        }
+      }
+      for (NodeId t : targets) {
+        add_edge(base + w, t);
+        endpoint_pool.push_back(base + w);
+        endpoint_pool.push_back(t);
+      }
+      if (static_cast<int64_t>(edge_set.size()) >= m) break;
+    }
+    if (static_cast<int64_t>(edge_set.size()) >= m) break;
+  }
+
+  // Cross-community (and top-up) edges until exactly m.
+  auto community_of = [&](NodeId u) {
+    // Binary search over starts.
+    int32_t lo = 0, hi = num_communities - 1;
+    while (lo < hi) {
+      int32_t mid = (lo + hi + 1) / 2;
+      if (starts[static_cast<size_t>(mid)] <= u) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return lo;
+  };
+  int64_t stall_guard = 0;
+  while (static_cast<int64_t>(edge_set.size()) < m) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(static_cast<uint64_t>(n)));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(static_cast<uint64_t>(n)));
+    // Prefer cross-community pairs while the mixing budget lasts, but never
+    // stall: after many rejections accept any non-duplicate pair.
+    if (num_communities > 1 && stall_guard < 64 &&
+        community_of(u) == community_of(v)) {
+      ++stall_guard;
+      continue;
+    }
+    if (add_edge(u, v)) stall_guard = 0;
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateErdosRenyiGnm(NodeId n, int64_t m, uint64_t seed) {
+  if (n < 0) return Status::InvalidArgument("need n >= 0");
+  if (m < 0 || m > MaxEdges(n)) {
+    return Status::InvalidArgument(
+        StrFormat("m=%lld infeasible for n=%d", static_cast<long long>(m), n));
+  }
+  Rng rng(seed);
+  std::unordered_set<uint64_t> edge_set;
+  edge_set.reserve(static_cast<size_t>(m) * 2);
+  GraphBuilder builder(n);
+  while (static_cast<int64_t>(edge_set.size()) < m) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(static_cast<uint64_t>(n)));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(static_cast<uint64_t>(n)));
+    if (u == v) continue;
+    if (edge_set.insert(EdgeKey(u, v)).second) builder.AddEdge(u, v);
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateErdosRenyiGnp(NodeId n, double p, uint64_t seed) {
+  if (n < 0) return Status::InvalidArgument("need n >= 0");
+  if (p < 0.0 || p > 1.0) return Status::InvalidArgument("p must be in [0,1]");
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  if (p > 0.0) {
+    // Geometric skipping over the upper-triangular pair enumeration.
+    const double log1mp = (p < 1.0) ? std::log1p(-p) : 0.0;
+    int64_t idx = -1;
+    const int64_t total = MaxEdges(n);
+    while (true) {
+      if (p >= 1.0) {
+        ++idx;
+      } else {
+        double r = rng.NextDouble();
+        // Skip ~Geometric(p) pairs.
+        idx += 1 + static_cast<int64_t>(std::floor(std::log1p(-r) / log1mp));
+      }
+      if (idx >= total) break;
+      // Invert pair index -> (u, v).
+      NodeId u = 0;
+      int64_t rem = idx;
+      int64_t row = n - 1;
+      while (rem >= row) {
+        rem -= row;
+        --row;
+        ++u;
+      }
+      NodeId v = static_cast<NodeId>(u + 1 + rem);
+      builder.AddEdge(u, v);
+      if (p >= 1.0 && idx + 1 >= total) break;
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateWattsStrogatz(NodeId n, int32_t k, double beta,
+                                    uint64_t seed) {
+  if (k < 1) return Status::InvalidArgument("need k >= 1");
+  if (2 * k >= n) return Status::InvalidArgument("need 2k < n");
+  if (beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("beta must be in [0,1]");
+  }
+  Rng rng(seed);
+  std::unordered_set<uint64_t> edge_set;
+  // Ring lattice.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (int32_t j = 1; j <= k; ++j) {
+      NodeId v = static_cast<NodeId>((u + j) % n);
+      edges.emplace_back(u, v);
+      edge_set.insert(EdgeKey(u, v));
+    }
+  }
+  // Rewire each lattice edge's far endpoint with probability beta.
+  for (auto& [u, v] : edges) {
+    if (!rng.NextBernoulli(beta)) continue;
+    // Try a bounded number of times; degenerate dense cases keep the edge.
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      NodeId w =
+          static_cast<NodeId>(rng.NextBounded(static_cast<uint64_t>(n)));
+      if (w == u || w == v) continue;
+      if (edge_set.count(EdgeKey(u, w)) != 0) continue;
+      edge_set.erase(EdgeKey(u, v));
+      edge_set.insert(EdgeKey(u, w));
+      v = w;
+      break;
+    }
+  }
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return std::move(builder).Build();
+}
+
+Result<Graph> GenerateChungLu(NodeId n, double gamma, double avg_degree,
+                              uint64_t seed) {
+  if (n < 1) return Status::InvalidArgument("need n >= 1");
+  if (gamma <= 2.0) {
+    return Status::InvalidArgument("need gamma > 2 for finite mean degree");
+  }
+  if (avg_degree <= 0.0) {
+    return Status::InvalidArgument("avg_degree must be positive");
+  }
+  // Weights w_i ~ (i + i0)^{-1/(gamma-1)}, scaled to hit the target mean.
+  const double alpha = 1.0 / (gamma - 1.0);
+  std::vector<double> weights(static_cast<size_t>(n));
+  double total = 0.0;
+  for (NodeId i = 0; i < n; ++i) {
+    weights[static_cast<size_t>(i)] = std::pow(static_cast<double>(i) + 1.0,
+                                               -alpha);
+    total += weights[static_cast<size_t>(i)];
+  }
+  const double scale = avg_degree * static_cast<double>(n) / total;
+  for (double& w : weights) w *= scale;
+  const double weight_sum = avg_degree * static_cast<double>(n);
+
+  // Weights are already sorted descending (w decreasing in i), as the
+  // Miller–Hagberg skipping sampler requires.
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    NodeId j = i + 1;
+    double p = std::min(
+        1.0, weights[static_cast<size_t>(i)] *
+                 weights[static_cast<size_t>(j)] / weight_sum);
+    while (j < n && p > 0.0) {
+      if (p < 1.0) {
+        double r = rng.NextDouble();
+        j += static_cast<NodeId>(
+            std::floor(std::log1p(-r) / std::log1p(-p)));
+      }
+      if (j < n) {
+        double q = std::min(
+            1.0, weights[static_cast<size_t>(i)] *
+                     weights[static_cast<size_t>(j)] / weight_sum);
+        if (rng.NextDouble() < q / p) builder.AddEdge(i, j);
+        p = q;
+        ++j;
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Graph GeneratePath(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u + 1 < n; ++u) builder.AddEdge(u, u + 1);
+  return std::move(builder).BuildOrDie();
+}
+
+Graph GenerateCycle(NodeId n) {
+  RWDOM_CHECK_GE(n, 3);
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    builder.AddEdge(u, static_cast<NodeId>((u + 1) % n));
+  }
+  return std::move(builder).BuildOrDie();
+}
+
+Graph GenerateStar(NodeId n) {
+  RWDOM_CHECK_GE(n, 1);
+  GraphBuilder builder(n);
+  for (NodeId u = 1; u < n; ++u) builder.AddEdge(0, u);
+  return std::move(builder).BuildOrDie();
+}
+
+Graph GenerateComplete(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  }
+  return std::move(builder).BuildOrDie();
+}
+
+Graph GenerateGrid(NodeId rows, NodeId cols) {
+  RWDOM_CHECK_GE(rows, 1);
+  RWDOM_CHECK_GE(cols, 1);
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return std::move(builder).BuildOrDie();
+}
+
+Graph GenerateTwoCliquesBridge(NodeId clique_size) {
+  RWDOM_CHECK_GE(clique_size, 2);
+  GraphBuilder builder(2 * clique_size);
+  for (NodeId base : {NodeId{0}, clique_size}) {
+    for (NodeId u = 0; u < clique_size; ++u) {
+      for (NodeId v = u + 1; v < clique_size; ++v) {
+        builder.AddEdge(base + u, base + v);
+      }
+    }
+  }
+  builder.AddEdge(0, clique_size);
+  return std::move(builder).BuildOrDie();
+}
+
+Graph GeneratePaperFigure1() {
+  // Fig. 1, nodes v1..v8 -> 0..7. Edge set recovered from the example walks
+  // and the figure: all walks in Example 3.1 are valid paths on this graph.
+  GraphBuilder builder(8);
+  builder.AddEdge(0, 1);  // v1 - v2
+  builder.AddEdge(0, 5);  // v1 - v6
+  builder.AddEdge(1, 2);  // v2 - v3
+  builder.AddEdge(1, 4);  // v2 - v5
+  builder.AddEdge(1, 5);  // v2 - v6
+  builder.AddEdge(2, 4);  // v3 - v5
+  builder.AddEdge(3, 6);  // v4 - v7
+  builder.AddEdge(4, 6);  // v5 - v7
+  builder.AddEdge(5, 6);  // v6 - v7
+  builder.AddEdge(6, 7);  // v7 - v8
+  return std::move(builder).BuildOrDie();
+}
+
+}  // namespace rwdom

@@ -1,0 +1,90 @@
+// Graph generators: the random models used by the paper's evaluation plus
+// deterministic families for tests.
+//
+// The paper's synthetic graphs come from "a commonly-used power-law random
+// graph model [Barabási & Albert 1999]"; GenerateBarabasiAlbert implements
+// preferential attachment, and GeneratePowerLawWithSize matches an exact
+// (n, m) pair the way the paper reports its synthetic sizes (e.g. 1000 nodes
+// / 9956 edges; scalability series G_i with i*0.1M nodes and i*1M edges).
+//
+// All generators are deterministic functions of their seed.
+#ifndef RWDOM_GRAPH_GENERATORS_H_
+#define RWDOM_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+/// Barabási–Albert preferential attachment. Starts from a clique on
+/// `attach_edges + 1` nodes; each subsequent node attaches `attach_edges`
+/// distinct neighbors chosen proportionally to degree.
+/// Requires n > attach_edges >= 1.
+Result<Graph> GenerateBarabasiAlbert(NodeId n, int32_t attach_edges,
+                                     uint64_t seed);
+
+/// Power-law graph with exactly `n` nodes and `m` edges: Barabási–Albert
+/// with attach = floor(m/n) (at least 1), topped up with uniform random
+/// non-duplicate edges to reach m exactly. Requires m >= n - 1 is NOT
+/// required; requires m <= n*(n-1)/2 and n >= 2.
+Result<Graph> GeneratePowerLawWithSize(NodeId n, int64_t m, uint64_t seed);
+
+/// Power-law graph with planted community structure: communities with
+/// Zipf-distributed sizes, preferential attachment inside each community,
+/// and a `mixing` fraction of the m edges rewired across communities.
+/// Produces exactly (n, m). This is the stand-in for the paper's real
+/// social/co-authorship datasets, whose clustering makes pure degree
+/// heuristics suboptimal (the effect behind Figs. 6-7).
+/// Requires n >= 2, num_communities >= 1, 0 <= mixing <= 1.
+Result<Graph> GeneratePowerLawCommunity(NodeId n, int64_t m,
+                                        int32_t num_communities,
+                                        double mixing, uint64_t seed);
+
+/// Erdős–Rényi G(n, m): m distinct uniform random edges.
+Result<Graph> GenerateErdosRenyiGnm(NodeId n, int64_t m, uint64_t seed);
+
+/// Erdős–Rényi G(n, p): each pair independently with probability p.
+/// Intended for small n (O(n^2) work).
+Result<Graph> GenerateErdosRenyiGnp(NodeId n, double p, uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side... (2k total), each edge rewired with probability `beta`.
+/// Requires 1 <= k and 2k < n.
+Result<Graph> GenerateWattsStrogatz(NodeId n, int32_t k, double beta,
+                                    uint64_t seed);
+
+/// Chung–Lu graph with expected power-law degrees ~ x^{-gamma}; expected
+/// average degree `avg_degree`. Intended for moderately sized graphs.
+Result<Graph> GenerateChungLu(NodeId n, double gamma, double avg_degree,
+                              uint64_t seed);
+
+// --- Deterministic families (tests and hand-computable cases) ---
+
+/// Path P_n: 0-1-2-...-(n-1).
+Graph GeneratePath(NodeId n);
+
+/// Cycle C_n. Requires n >= 3.
+Graph GenerateCycle(NodeId n);
+
+/// Star S_n: node 0 is the hub, nodes 1..n-1 are leaves. Requires n >= 1.
+Graph GenerateStar(NodeId n);
+
+/// Complete graph K_n.
+Graph GenerateComplete(NodeId n);
+
+/// rows x cols grid, node (r, c) = r*cols + c.
+Graph GenerateGrid(NodeId rows, NodeId cols);
+
+/// Two cliques of size `clique_size` joined by a single bridge edge between
+/// node 0 and node clique_size. A classic hard case for degree heuristics.
+Graph GenerateTwoCliquesBridge(NodeId clique_size);
+
+/// The 8-node running example graph from Fig. 1 of the paper.
+/// Nodes 0..7 correspond to v1..v8.
+Graph GeneratePaperFigure1();
+
+}  // namespace rwdom
+
+#endif  // RWDOM_GRAPH_GENERATORS_H_

@@ -1,0 +1,30 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace rwdom {
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  if (!IsValidNode(u) || !IsValidNode(v)) return false;
+  auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+int32_t Graph::max_degree() const {
+  int32_t best = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::Edges() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<size_t>(num_edges()));
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,98 @@
+// Immutable undirected graph in Compressed Sparse Row (CSR) form.
+//
+// This is the substrate every algorithm in rwdom runs on: random walks,
+// hitting-time dynamic programs, and the inverted walk index all reduce to
+// linear scans over the adjacency arrays, so the representation is a pair of
+// flat vectors (offsets + neighbor lists), 32-bit node ids, and no per-node
+// allocation.
+//
+// Conventions:
+//  * Nodes are dense ids [0, num_nodes()).
+//  * The graph is simple (no self-loops, no parallel edges) and undirected:
+//    each edge {u, v} appears in both adjacency lists.
+//  * Adjacency lists are sorted ascending, enabling O(log d) HasEdge.
+//  * Isolated vertices (degree 0) are permitted.
+#ifndef RWDOM_GRAPH_GRAPH_H_
+#define RWDOM_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rwdom {
+
+/// Dense node identifier. 32-bit: the paper's largest graph is 1M nodes.
+using NodeId = int32_t;
+
+/// Invalid / "no node" sentinel.
+inline constexpr NodeId kInvalidNode = -1;
+
+class GraphBuilder;
+
+/// Immutable CSR undirected graph. Construct through GraphBuilder or the
+/// generators in graph/generators.h.
+class Graph {
+ public:
+  /// An empty graph (0 nodes).
+  Graph() : offsets_{0} {}
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
+
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size() - 1); }
+
+  /// Number of undirected edges m (each {u,v} counted once).
+  int64_t num_edges() const {
+    return static_cast<int64_t>(neighbors_.size()) / 2;
+  }
+
+  /// Degree of `u`.
+  int32_t degree(NodeId u) const {
+    RWDOM_DCHECK(IsValidNode(u));
+    return static_cast<int32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Sorted neighbor list of `u`.
+  std::span<const NodeId> neighbors(NodeId u) const {
+    RWDOM_DCHECK(IsValidNode(u));
+    return {neighbors_.data() + offsets_[u],
+            static_cast<size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+
+  /// True for ids in [0, num_nodes()).
+  bool IsValidNode(NodeId u) const { return u >= 0 && u < num_nodes(); }
+
+  /// O(log degree(u)) membership test.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Largest degree in the graph (0 for the empty graph).
+  int32_t max_degree() const;
+
+  /// All edges as (u, v) pairs with u < v, in ascending order.
+  std::vector<std::pair<NodeId, NodeId>> Edges() const;
+
+  /// Approximate heap footprint in bytes.
+  int64_t MemoryUsageBytes() const {
+    return static_cast<int64_t>(offsets_.capacity() * sizeof(int64_t) +
+                                neighbors_.capacity() * sizeof(NodeId));
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  Graph(std::vector<int64_t> offsets, std::vector<NodeId> neighbors)
+      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
+
+  // offsets_[u]..offsets_[u+1] indexes neighbors_; offsets_.size() == n + 1.
+  std::vector<int64_t> offsets_;
+  std::vector<NodeId> neighbors_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_GRAPH_GRAPH_H_

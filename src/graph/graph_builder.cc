@@ -1,0 +1,75 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rwdom {
+
+GraphBuilder::GraphBuilder(NodeId num_nodes, SelfLoopPolicy self_loops)
+    : num_nodes_(num_nodes), self_loop_policy_(self_loops) {
+  RWDOM_CHECK_GE(num_nodes, 0);
+}
+
+void GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  RWDOM_CHECK(u >= 0 && u < num_nodes_) << "node " << u << " out of range";
+  RWDOM_CHECK(v >= 0 && v < num_nodes_) << "node " << v << " out of range";
+  if (u == v) {
+    saw_self_loop_ = true;
+    return;
+  }
+  edges_.emplace_back(std::min(u, v), std::max(u, v));
+}
+
+void GraphBuilder::AddEdgeAutoGrow(NodeId u, NodeId v) {
+  GrowToInclude(std::max(u, v));
+  AddEdge(u, v);
+}
+
+void GraphBuilder::GrowToInclude(NodeId u) {
+  RWDOM_CHECK_GE(u, 0);
+  num_nodes_ = std::max(num_nodes_, u + 1);
+}
+
+Result<Graph> GraphBuilder::Build() && {
+  if (saw_self_loop_ && self_loop_policy_ == SelfLoopPolicy::kReject) {
+    return Status::InvalidArgument("self-loop in edge stream");
+  }
+
+  // Dedup parallel edges via sort + unique on the canonical (min,max) pairs.
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  const size_t n = static_cast<size_t>(num_nodes_);
+  std::vector<int64_t> offsets(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++offsets[static_cast<size_t>(u) + 1];
+    ++offsets[static_cast<size_t>(v) + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<NodeId> neighbors(static_cast<size_t>(offsets[n]));
+  std::vector<int64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    neighbors[static_cast<size_t>(cursor[static_cast<size_t>(u)]++)] = v;
+    neighbors[static_cast<size_t>(cursor[static_cast<size_t>(v)]++)] = u;
+  }
+
+  // Canonical edge order (sorted pairs) already yields sorted adjacency for
+  // the min endpoints but not for the max endpoints; sort each list.
+  for (size_t u = 0; u < n; ++u) {
+    std::sort(neighbors.begin() + offsets[u], neighbors.begin() + offsets[u + 1]);
+  }
+
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+Graph GraphBuilder::BuildOrDie() && {
+  Result<Graph> result = std::move(*this).Build();
+  RWDOM_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+}  // namespace rwdom

@@ -1,0 +1,77 @@
+// Mutable edge accumulator that produces an immutable CSR Graph.
+//
+// The builder normalizes arbitrary edge streams into the simple-graph
+// invariants Graph promises: self-loops are dropped (or rejected), parallel
+// edges are deduplicated, adjacency lists come out sorted.
+#ifndef RWDOM_GRAPH_GRAPH_BUILDER_H_
+#define RWDOM_GRAPH_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+/// What to do with a self-loop passed to AddEdge.
+enum class SelfLoopPolicy {
+  kDrop,    ///< Silently ignore (default; SNAP files contain a few).
+  kReject,  ///< Build() returns InvalidArgument.
+};
+
+/// Accumulates undirected edges, then Build()s a CSR Graph.
+///
+/// Usage:
+///   GraphBuilder b(/*num_nodes=*/4);
+///   b.AddEdge(0, 1);
+///   b.AddEdge(1, 2);
+///   Graph g = std::move(b).BuildOrDie();
+class GraphBuilder {
+ public:
+  /// `num_nodes` fixes the node universe [0, num_nodes). Pass 0 and use
+  /// GrowToInclude / AddEdgeAutoGrow for id discovery while streaming a file.
+  explicit GraphBuilder(NodeId num_nodes = 0,
+                        SelfLoopPolicy self_loops = SelfLoopPolicy::kDrop);
+
+  GraphBuilder(const GraphBuilder&) = delete;
+  GraphBuilder& operator=(const GraphBuilder&) = delete;
+  GraphBuilder(GraphBuilder&&) noexcept = default;
+  GraphBuilder& operator=(GraphBuilder&&) noexcept = default;
+
+  /// Adds undirected edge {u, v}. Both endpoints must be < num_nodes().
+  /// Duplicate edges are deduplicated at Build() time.
+  void AddEdge(NodeId u, NodeId v);
+
+  /// Adds {u, v}, growing the node universe to cover both endpoints.
+  void AddEdgeAutoGrow(NodeId u, NodeId v);
+
+  /// Ensures num_nodes() > u.
+  void GrowToInclude(NodeId u);
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Edges accumulated so far (before dedup).
+  int64_t num_raw_edges() const {
+    return static_cast<int64_t>(edges_.size());
+  }
+
+  /// Consumes the builder, producing the CSR graph. Fails only under
+  /// SelfLoopPolicy::kReject when a self-loop was added.
+  Result<Graph> Build() &&;
+
+  /// Build() that aborts on error; for tests and generators whose inputs are
+  /// correct by construction.
+  Graph BuildOrDie() &&;
+
+ private:
+  NodeId num_nodes_;
+  SelfLoopPolicy self_loop_policy_;
+  bool saw_self_loop_ = false;
+  // Stored canonically as (min, max).
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,90 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+#include "util/strings.h"
+
+namespace rwdom {
+namespace {
+
+// Remaps sparse original ids to dense ids in first-seen order.
+class IdRemapper {
+ public:
+  NodeId Map(int64_t original) {
+    auto [it, inserted] =
+        dense_.try_emplace(original, static_cast<NodeId>(originals_.size()));
+    if (inserted) originals_.push_back(original);
+    return it->second;
+  }
+
+  std::vector<int64_t> TakeOriginals() && { return std::move(originals_); }
+  size_t size() const { return originals_.size(); }
+
+ private:
+  std::unordered_map<int64_t, NodeId> dense_;
+  std::vector<int64_t> originals_;
+};
+
+}  // namespace
+
+Result<LoadedGraph> ParseEdgeList(const std::string& text) {
+  IdRemapper remap;
+  GraphBuilder builder(0, SelfLoopPolicy::kDrop);
+  std::istringstream in(text);
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#' || stripped[0] == '%') continue;
+    std::vector<std::string_view> fields = SplitWhitespace(stripped);
+    if (fields.size() < 2) {
+      return Status::Corruption(
+          StrFormat("line %lld: expected 'u v', got '%s'",
+                    static_cast<long long>(line_no),
+                    std::string(stripped).c_str()));
+    }
+    auto u_result = ParseInt64(fields[0]);
+    auto v_result = ParseInt64(fields[1]);
+    if (!u_result.ok() || !v_result.ok()) {
+      return Status::Corruption(
+          StrFormat("line %lld: non-integer endpoint",
+                    static_cast<long long>(line_no)));
+    }
+    NodeId u = remap.Map(*u_result);
+    NodeId v = remap.Map(*v_result);
+    builder.AddEdgeAutoGrow(u, v);
+  }
+  RWDOM_ASSIGN_OR_RETURN(Graph graph, std::move(builder).Build());
+  return LoadedGraph{std::move(graph), std::move(remap).TakeOriginals()};
+}
+
+Result<LoadedGraph> LoadEdgeList(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return Status::IoError("read failed: " + path);
+  return ParseEdgeList(buffer.str());
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path,
+                    const std::string& comment) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file << "# rwdom edge list";
+  if (!comment.empty()) file << ": " << comment;
+  file << "\n# nodes " << graph.num_nodes() << " edges " << graph.num_edges()
+       << "\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.neighbors(u)) {
+      if (u < v) file << u << "\t" << v << "\n";
+    }
+  }
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace rwdom

@@ -1,0 +1,41 @@
+// Edge-list I/O in the SNAP text format the paper's datasets ship in:
+// '#'-prefixed comment lines, then one "u<ws>v" pair per line. Node ids in
+// the file may be sparse; they are remapped to dense [0, n) in first-seen
+// order (a common convention; the mapping can be retrieved).
+#ifndef RWDOM_GRAPH_GRAPH_IO_H_
+#define RWDOM_GRAPH_GRAPH_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+/// A loaded graph plus the original-id -> dense-id mapping.
+struct LoadedGraph {
+  Graph graph;
+  /// original_ids[dense] = id as it appeared in the file.
+  std::vector<int64_t> original_ids;
+};
+
+/// Parses SNAP-style edge-list text (not a file). Lines beginning with '#'
+/// or '%' are comments; blank lines are skipped; fields are
+/// whitespace-separated. Extra columns beyond the first two are ignored
+/// (some SNAP files carry timestamps/weights).
+Result<LoadedGraph> ParseEdgeList(const std::string& text);
+
+/// Loads a SNAP-style edge list from `path`.
+Result<LoadedGraph> LoadEdgeList(const std::string& path);
+
+/// Writes `graph` as a SNAP-style edge list (dense ids, one edge per line,
+/// u < v) preceded by a comment header.
+Status SaveEdgeList(const Graph& graph, const std::string& path,
+                    const std::string& comment = "");
+
+}  // namespace rwdom
+
+#endif  // RWDOM_GRAPH_GRAPH_IO_H_

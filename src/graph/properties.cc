@@ -1,0 +1,101 @@
+#include "graph/properties.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/strings.h"
+
+namespace rwdom {
+
+std::string GraphStats::ToString() const {
+  return StrFormat(
+      "n=%d m=%lld avg_deg=%.2f deg=[%d,%d] isolated=%d components=%d "
+      "largest=%d",
+      num_nodes, static_cast<long long>(num_edges), avg_degree, min_degree,
+      max_degree, num_isolated, num_components, largest_component_size);
+}
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  if (graph.num_nodes() == 0) return stats;
+  stats.avg_degree = 2.0 * static_cast<double>(stats.num_edges) /
+                     static_cast<double>(stats.num_nodes);
+  stats.min_degree = graph.degree(0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    int32_t d = graph.degree(u);
+    stats.min_degree = std::min(stats.min_degree, d);
+    stats.max_degree = std::max(stats.max_degree, d);
+    if (d == 0) ++stats.num_isolated;
+  }
+  std::vector<int32_t> component = ConnectedComponents(graph);
+  std::vector<NodeId> sizes;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    size_t c = static_cast<size_t>(component[u]);
+    if (c >= sizes.size()) sizes.resize(c + 1, 0);
+    ++sizes[c];
+  }
+  stats.num_components = static_cast<int32_t>(sizes.size());
+  stats.largest_component_size =
+      sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+  return stats;
+}
+
+std::vector<int32_t> ConnectedComponents(const Graph& graph) {
+  const NodeId n = graph.num_nodes();
+  std::vector<int32_t> component(static_cast<size_t>(n), -1);
+  int32_t next_id = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (component[start] != -1) continue;
+    component[start] = next_id;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : graph.neighbors(u)) {
+        if (component[v] == -1) {
+          component[v] = next_id;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return component;
+}
+
+std::vector<int32_t> BfsDistances(const Graph& graph, NodeId source) {
+  RWDOM_CHECK(graph.IsValidNode(source));
+  std::vector<int32_t> dist(static_cast<size_t>(graph.num_nodes()), -1);
+  std::queue<NodeId> frontier;
+  dist[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop();
+    for (NodeId v : graph.neighbors(u)) {
+      if (dist[v] == -1) {
+        dist[v] = dist[u] + 1;
+        frontier.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool IsConnected(const Graph& graph) {
+  if (graph.num_nodes() == 0) return true;
+  std::vector<int32_t> dist = BfsDistances(graph, 0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](int32_t d) { return d == -1; });
+}
+
+std::vector<int32_t> Degrees(const Graph& graph) {
+  std::vector<int32_t> degrees(static_cast<size_t>(graph.num_nodes()));
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) degrees[u] = graph.degree(u);
+  return degrees;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,46 @@
+// Structural diagnostics: degree statistics, connected components, BFS
+// distances. Used by the dataset registry (Table 2 reporting) and by tests.
+#ifndef RWDOM_GRAPH_PROPERTIES_H_
+#define RWDOM_GRAPH_PROPERTIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rwdom {
+
+/// Summary of a graph's degree structure and connectivity.
+struct GraphStats {
+  NodeId num_nodes = 0;
+  int64_t num_edges = 0;
+  double avg_degree = 0.0;
+  int32_t min_degree = 0;
+  int32_t max_degree = 0;
+  NodeId num_isolated = 0;
+  int32_t num_components = 0;
+  NodeId largest_component_size = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes all GraphStats fields in O(n + m).
+GraphStats ComputeGraphStats(const Graph& graph);
+
+/// component[u] = id of u's connected component (ids dense from 0, ordered
+/// by smallest contained node).
+std::vector<int32_t> ConnectedComponents(const Graph& graph);
+
+/// BFS hop distance from `source` to every node; -1 where unreachable.
+std::vector<int32_t> BfsDistances(const Graph& graph, NodeId source);
+
+/// True iff every node is reachable from node 0 (empty graph: true).
+bool IsConnected(const Graph& graph);
+
+/// Degree of every node, as a vector (convenience for baselines/tests).
+std::vector<int32_t> Degrees(const Graph& graph);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_GRAPH_PROPERTIES_H_

@@ -1,0 +1,96 @@
+#include "graph/transforms.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/graph_builder.h"
+#include "graph/properties.h"
+#include "util/logging.h"
+
+namespace rwdom {
+
+TransformedGraph InducedSubgraph(const Graph& graph,
+                                 const std::vector<NodeId>& keep) {
+  std::vector<NodeId> sorted = keep;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  for (NodeId u : sorted) RWDOM_CHECK(graph.IsValidNode(u));
+
+  std::vector<NodeId> new_id(static_cast<size_t>(graph.num_nodes()),
+                             kInvalidNode);
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    new_id[static_cast<size_t>(sorted[i])] = static_cast<NodeId>(i);
+  }
+  GraphBuilder builder(static_cast<NodeId>(sorted.size()));
+  for (NodeId u : sorted) {
+    for (NodeId v : graph.neighbors(u)) {
+      if (u < v && new_id[static_cast<size_t>(v)] != kInvalidNode) {
+        builder.AddEdge(new_id[static_cast<size_t>(u)],
+                        new_id[static_cast<size_t>(v)]);
+      }
+    }
+  }
+  return {std::move(builder).BuildOrDie(), std::move(sorted)};
+}
+
+TransformedGraph LargestComponent(const Graph& graph) {
+  std::vector<int32_t> component = ConnectedComponents(graph);
+  std::vector<int64_t> sizes;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    size_t c = static_cast<size_t>(component[u]);
+    if (c >= sizes.size()) sizes.resize(c + 1, 0);
+    ++sizes[c];
+  }
+  int32_t best = 0;
+  for (size_t c = 1; c < sizes.size(); ++c) {
+    if (sizes[c] > sizes[static_cast<size_t>(best)]) {
+      best = static_cast<int32_t>(c);
+    }
+  }
+  std::vector<NodeId> keep;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (component[u] == best) keep.push_back(u);
+  }
+  return InducedSubgraph(graph, keep);
+}
+
+TransformedGraph RelabelByDegree(const Graph& graph) {
+  std::vector<NodeId> order(static_cast<size_t>(graph.num_nodes()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&graph](NodeId a, NodeId b) {
+    int32_t da = graph.degree(a);
+    int32_t db = graph.degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  std::vector<NodeId> new_of(static_cast<size_t>(graph.num_nodes()));
+  for (size_t i = 0; i < order.size(); ++i) {
+    new_of[static_cast<size_t>(order[i])] = static_cast<NodeId>(i);
+  }
+  return {Permute(graph, new_of), std::move(order)};
+}
+
+Graph Permute(const Graph& graph, const std::vector<NodeId>& new_of) {
+  RWDOM_CHECK_EQ(static_cast<NodeId>(new_of.size()), graph.num_nodes());
+  // Verify permutation.
+  std::vector<uint8_t> seen(new_of.size(), 0);
+  for (NodeId target : new_of) {
+    RWDOM_CHECK(target >= 0 &&
+                static_cast<size_t>(target) < new_of.size());
+    RWDOM_CHECK(!seen[static_cast<size_t>(target)])
+        << "new_of is not a permutation";
+    seen[static_cast<size_t>(target)] = 1;
+  }
+  GraphBuilder builder(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.neighbors(u)) {
+      if (u < v) {
+        builder.AddEdge(new_of[static_cast<size_t>(u)],
+                        new_of[static_cast<size_t>(v)]);
+      }
+    }
+  }
+  return std::move(builder).BuildOrDie();
+}
+
+}  // namespace rwdom

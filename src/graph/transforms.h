@@ -1,0 +1,38 @@
+// Graph surgery: induced subgraphs, largest-component extraction, and
+// degree-ordered relabeling. Used to clean raw edge lists (SNAP files often
+// carry small disconnected shards) and to build cache-friendly node orders.
+#ifndef RWDOM_GRAPH_TRANSFORMS_H_
+#define RWDOM_GRAPH_TRANSFORMS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace rwdom {
+
+/// A transformed graph plus the mapping back to the original node ids.
+struct TransformedGraph {
+  Graph graph;
+  /// original_of[new_id] = node id in the input graph.
+  std::vector<NodeId> original_of;
+};
+
+/// Induced subgraph on `keep` (duplicates ignored). New ids are assigned in
+/// ascending order of the original ids.
+TransformedGraph InducedSubgraph(const Graph& graph,
+                                 const std::vector<NodeId>& keep);
+
+/// The largest connected component (smallest-node-id component wins ties).
+TransformedGraph LargestComponent(const Graph& graph);
+
+/// Relabels nodes by non-increasing degree (ties by original id): hubs get
+/// the smallest ids, which improves locality of walk-heavy kernels.
+TransformedGraph RelabelByDegree(const Graph& graph);
+
+/// Applies an explicit permutation: node u of the input becomes
+/// new_of[u] in the output. `new_of` must be a permutation of [0, n).
+Graph Permute(const Graph& graph, const std::vector<NodeId>& new_of);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_GRAPH_TRANSFORMS_H_

@@ -1,0 +1,53 @@
+// Datasets of the paper's Table 2, with the substitution documented in
+// DESIGN.md: if a real SNAP edge list is present under <data_dir>/<name>.txt
+// it is loaded; otherwise a synthetic power-law stand-in with identical
+// (n, m) is generated deterministically from the dataset name.
+#ifndef RWDOM_HARNESS_DATASET_REGISTRY_H_
+#define RWDOM_HARNESS_DATASET_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+/// One row of the paper's Table 2.
+struct DatasetSpec {
+  std::string name;
+  NodeId nodes;
+  int64_t edges;
+};
+
+/// The four real-world datasets of Table 2, in paper order:
+/// CAGrQc, CAHepPh, Brightkite, Epinions.
+const std::vector<DatasetSpec>& PaperDatasets();
+
+/// Spec by name; NotFound for unknown names.
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// A loaded dataset plus its provenance.
+struct Dataset {
+  std::string name;
+  Graph graph;
+  /// True if a real edge-list file was found and loaded; false when the
+  /// synthetic stand-in was generated.
+  bool from_file = false;
+};
+
+/// Loads `<data_dir>/<name>.txt` if present, else synthesizes a power-law
+/// graph with the spec's exact (n, m). Deterministic given the name.
+Result<Dataset> LoadOrSynthesizeDataset(const std::string& name,
+                                        const std::string& data_dir);
+
+/// Scaled-down stand-in for quick benchmark runs: same name and degree
+/// structure, nodes and edges multiplied by `scale` (0 < scale <= 1).
+Result<Dataset> LoadOrSynthesizeScaledDataset(const std::string& name,
+                                              const std::string& data_dir,
+                                              double scale);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_HARNESS_DATASET_REGISTRY_H_

@@ -1,0 +1,63 @@
+#include "harness/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace rwdom {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  RWDOM_CHECK_EQ(row.size(), headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddMixedRow(const std::string& label,
+                               const std::vector<double>& row) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size() + 1);
+  fields.push_back(label);
+  for (double v : row) fields.push_back(StrFormat("%.4g", v));
+  AddRow(std::move(fields));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string* out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) *out += "  ";
+      *out += row[c];
+      out->append(widths[c] - row[c].size(), ' ');
+    }
+    // Trim trailing spaces.
+    while (!out->empty() && out->back() == ' ') out->pop_back();
+    *out += "\n";
+  };
+  std::string out;
+  emit_row(headers_, &out);
+  std::string separator;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) separator += "  ";
+    separator.append(widths[c], '-');
+  }
+  out += separator + "\n";
+  for (const auto& row : rows_) emit_row(row, &out);
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace rwdom

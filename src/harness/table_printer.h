@@ -1,0 +1,34 @@
+// Aligned plain-text tables for benchmark output — the stdout analogue of
+// the paper's figures, one row per sweep point.
+#ifndef RWDOM_HARNESS_TABLE_PRINTER_H_
+#define RWDOM_HARNESS_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace rwdom {
+
+/// Collects rows, then renders them with per-column alignment.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Row width must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience for numeric rows; doubles formatted with %.4g.
+  void AddMixedRow(const std::string& label, const std::vector<double>& row);
+
+  std::string ToString() const;
+
+  /// Writes ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_HARNESS_TABLE_PRINTER_H_

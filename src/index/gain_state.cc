@@ -1,0 +1,94 @@
+#include "index/gain_state.h"
+
+#include "util/logging.h"
+
+namespace rwdom {
+
+GainState::GainState(const InvertedWalkIndex* index, Problem problem)
+    : index_(*index), problem_(problem), selected_(index->num_nodes()) {
+  const size_t total = static_cast<size_t>(index_.num_replicates()) *
+                       static_cast<size_t>(index_.num_nodes());
+  // Problem 1: h-estimate starts at L (S empty => no walk hits S).
+  // Problem 2: hit indicator starts at 0.
+  const int32_t init =
+      problem_ == Problem::kHittingTime ? index_.length() : 0;
+  d_.assign(total, init);
+}
+
+double GainState::ApproxGain(NodeId u) const {
+  RWDOM_DCHECK(u >= 0 && u < index_.num_nodes());
+  const int32_t replicates = index_.num_replicates();
+  double gain = 0.0;
+  if (problem_ == Problem::kHittingTime) {
+    for (int32_t i = 0; i < replicates; ++i) {
+      // u's own contribution: adding u zeroes h_uS, saving D[i][u].
+      double sigma = static_cast<double>(d_[DIndex(i, u)]);
+      // Every walk that reaches u at hop j earlier than its current hit of
+      // S improves by D[i][w] - j.
+      for (const InvertedWalkIndex::Entry& entry : index_.List(i, u)) {
+        const int32_t current = d_[DIndex(i, entry.id)];
+        if (entry.weight < current) {
+          sigma += static_cast<double>(current - entry.weight);
+        }
+      }
+      gain += sigma;
+    }
+  } else {
+    for (int32_t i = 0; i < replicates; ++i) {
+      // u's own contribution: it becomes dominated with probability 1.
+      double rho = static_cast<double>(1 - d_[DIndex(i, u)]);
+      // Every walk that reaches u but does not yet hit S becomes a hit.
+      for (const InvertedWalkIndex::Entry& entry : index_.List(i, u)) {
+        if (d_[DIndex(i, entry.id)] == 0) rho += 1.0;
+      }
+      gain += rho;
+    }
+  }
+  return gain / static_cast<double>(replicates);
+}
+
+void GainState::Commit(NodeId u) {
+  RWDOM_CHECK(u >= 0 && u < index_.num_nodes());
+  RWDOM_CHECK(selected_.Insert(u)) << "node " << u << " committed twice";
+  const int32_t replicates = index_.num_replicates();
+  if (problem_ == Problem::kHittingTime) {
+    for (int32_t i = 0; i < replicates; ++i) {
+      d_[DIndex(i, u)] = 0;  // h_{u,S∪{u}} = 0.
+      for (const InvertedWalkIndex::Entry& entry : index_.List(i, u)) {
+        int32_t& current = d_[DIndex(i, entry.id)];
+        if (entry.weight < current) current = entry.weight;
+      }
+    }
+  } else {
+    for (int32_t i = 0; i < replicates; ++i) {
+      d_[DIndex(i, u)] = 1;
+      for (const InvertedWalkIndex::Entry& entry : index_.List(i, u)) {
+        d_[DIndex(i, entry.id)] = 1;
+      }
+    }
+  }
+}
+
+double GainState::EstimatedObjective() const {
+  const NodeId n = index_.num_nodes();
+  const int32_t replicates = index_.num_replicates();
+  const double r_inv = 1.0 / static_cast<double>(replicates);
+  double total = 0.0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (selected_.Contains(v)) continue;
+    double mean = 0.0;
+    for (int32_t i = 0; i < replicates; ++i) {
+      mean += static_cast<double>(d_[DIndex(i, v)]);
+    }
+    total += mean * r_inv;
+  }
+  if (problem_ == Problem::kHittingTime) {
+    // F̂1 = nL - sum_{v not in S} ĥ_vS.
+    return static_cast<double>(n) * static_cast<double>(index_.length()) -
+           total;
+  }
+  // F̂2 = |S| + sum_{v not in S} indicator-mean.
+  return static_cast<double>(selected_.size()) + total;
+}
+
+}  // namespace rwdom

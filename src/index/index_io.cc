@@ -1,0 +1,117 @@
+#include "index/index_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/strings.h"
+
+namespace rwdom {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'W', 'D', 'X'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status WalkIndexSerializer::Save(const InvertedWalkIndex& index,
+                                 const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, index.num_nodes_);
+  WritePod(out, index.length_);
+  const int32_t replicates = index.num_replicates();
+  WritePod(out, replicates);
+  for (const auto& rep : index.replicates_) {
+    out.write(reinterpret_cast<const char*>(rep.offsets.data()),
+              static_cast<std::streamsize>(rep.offsets.size() *
+                                           sizeof(int64_t)));
+    const int64_t entry_count = static_cast<int64_t>(rep.entries.size());
+    WritePod(out, entry_count);
+    out.write(reinterpret_cast<const char*>(rep.entries.data()),
+              static_cast<std::streamsize>(
+                  rep.entries.size() * sizeof(InvertedWalkIndex::Entry)));
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<InvertedWalkIndex> WalkIndexSerializer::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic: " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::Corruption(
+        StrFormat("unsupported index version %u", version));
+  }
+  NodeId num_nodes = 0;
+  int32_t length = 0;
+  int32_t replicates = 0;
+  if (!ReadPod(in, &num_nodes) || !ReadPod(in, &length) ||
+      !ReadPod(in, &replicates)) {
+    return Status::Corruption("truncated header: " + path);
+  }
+  if (num_nodes < 0 || length < 0 || replicates < 1) {
+    return Status::Corruption("implausible header fields: " + path);
+  }
+
+  std::vector<InvertedWalkIndex::Replicate> reps(
+      static_cast<size_t>(replicates));
+  for (auto& rep : reps) {
+    rep.offsets.resize(static_cast<size_t>(num_nodes) + 1);
+    in.read(reinterpret_cast<char*>(rep.offsets.data()),
+            static_cast<std::streamsize>(rep.offsets.size() *
+                                         sizeof(int64_t)));
+    int64_t entry_count = 0;
+    if (!in.good() || !ReadPod(in, &entry_count) || entry_count < 0) {
+      return Status::Corruption("truncated replicate: " + path);
+    }
+    // Structural checks: offsets monotone from 0 to entry_count.
+    if (rep.offsets.front() != 0 || rep.offsets.back() != entry_count) {
+      return Status::Corruption("offset bounds mismatch: " + path);
+    }
+    for (size_t i = 1; i < rep.offsets.size(); ++i) {
+      if (rep.offsets[i] < rep.offsets[i - 1]) {
+        return Status::Corruption("non-monotone offsets: " + path);
+      }
+    }
+    rep.entries.resize(static_cast<size_t>(entry_count));
+    in.read(reinterpret_cast<char*>(rep.entries.data()),
+            static_cast<std::streamsize>(rep.entries.size() *
+                                         sizeof(InvertedWalkIndex::Entry)));
+    if (!in.good() && entry_count > 0) {
+      return Status::Corruption("truncated entries: " + path);
+    }
+    for (const auto& entry : rep.entries) {
+      if (entry.id < 0 || entry.id >= num_nodes || entry.weight < 1 ||
+          entry.weight > length) {
+        return Status::Corruption("entry out of range: " + path);
+      }
+    }
+  }
+  // Reject trailing garbage.
+  in.peek();
+  if (!in.eof()) return Status::Corruption("trailing bytes: " + path);
+  return InvertedWalkIndex(num_nodes, length, std::move(reps));
+}
+
+}  // namespace rwdom

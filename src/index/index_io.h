@@ -1,0 +1,34 @@
+// Binary serialization of the inverted walk index. Building the index is
+// the dominant cost of Algorithm 6 on large graphs, and it depends only on
+// (graph, L, R, seed) — persisting it lets repeated selections (k sweeps,
+// both problems, the min-seed cover) skip the walk generation entirely.
+//
+// Format (little-endian, fixed-width):
+//   magic "RWDX" | u32 version | i32 num_nodes | i32 length | i32 replicates
+//   per replicate: i64 offsets[num_nodes + 1], i64 entry_count,
+//                  entries as (i32 id, i32 weight) pairs
+#ifndef RWDOM_INDEX_INDEX_IO_H_
+#define RWDOM_INDEX_INDEX_IO_H_
+
+#include <string>
+
+#include "index/inverted_walk_index.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+/// Stateless save/load for InvertedWalkIndex.
+class WalkIndexSerializer {
+ public:
+  /// Writes `index` to `path`, overwriting.
+  static Status Save(const InvertedWalkIndex& index, const std::string& path);
+
+  /// Loads an index previously written by Save. Validates magic, version,
+  /// and structural invariants (monotone offsets, in-range ids/weights);
+  /// returns Corruption on any mismatch.
+  static Result<InvertedWalkIndex> Load(const std::string& path);
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_INDEX_INDEX_IO_H_

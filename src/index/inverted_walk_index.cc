@@ -1,0 +1,86 @@
+#include "index/inverted_walk_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rwdom {
+namespace {
+
+// One raw posting before the counting sort: walk from `source` first visits
+// `target` at hop `hop`.
+struct RawPosting {
+  NodeId target;
+  NodeId source;
+  int32_t hop;
+};
+
+}  // namespace
+
+InvertedWalkIndex InvertedWalkIndex::Build(int32_t length,
+                                           int32_t num_replicates,
+                                           WalkSource* source) {
+  RWDOM_CHECK_GE(length, 0);
+  RWDOM_CHECK_GE(num_replicates, 1);
+  const NodeId n = source->num_nodes();
+
+  std::vector<Replicate> replicates(static_cast<size_t>(num_replicates));
+  // visited_stamp[v] == current walk's stamp  <=>  v already seen by this
+  // walk; avoids clearing an n-sized array per walk (Alg. 3's visited[]).
+  std::vector<int64_t> visited_stamp(static_cast<size_t>(n), -1);
+  int64_t stamp = 0;
+  std::vector<RawPosting> raw;
+  std::vector<NodeId> trajectory;
+
+  for (int32_t i = 0; i < num_replicates; ++i) {
+    raw.clear();
+    for (NodeId w = 0; w < n; ++w) {
+      source->SampleWalk(w, length, &trajectory);
+      RWDOM_DCHECK(!trajectory.empty() && trajectory.front() == w);
+      const int64_t my_stamp = stamp++;
+      visited_stamp[static_cast<size_t>(w)] = my_stamp;
+      for (size_t j = 1; j < trajectory.size(); ++j) {
+        NodeId v = trajectory[j];
+        if (visited_stamp[static_cast<size_t>(v)] == my_stamp) continue;
+        visited_stamp[static_cast<size_t>(v)] = my_stamp;
+        raw.push_back({v, w, static_cast<int32_t>(j)});
+      }
+    }
+    // Counting sort by target node into CSR.
+    Replicate& rep = replicates[static_cast<size_t>(i)];
+    rep.offsets.assign(static_cast<size_t>(n) + 1, 0);
+    for (const RawPosting& p : raw) {
+      ++rep.offsets[static_cast<size_t>(p.target) + 1];
+    }
+    for (size_t v = 1; v <= static_cast<size_t>(n); ++v) {
+      rep.offsets[v] += rep.offsets[v - 1];
+    }
+    rep.entries.resize(raw.size());
+    std::vector<int64_t> cursor(rep.offsets.begin(), rep.offsets.end() - 1);
+    for (const RawPosting& p : raw) {
+      rep.entries[static_cast<size_t>(
+          cursor[static_cast<size_t>(p.target)]++)] = {p.source, p.hop};
+    }
+  }
+
+  return InvertedWalkIndex(n, length, std::move(replicates));
+}
+
+int64_t InvertedWalkIndex::TotalEntries() const {
+  int64_t total = 0;
+  for (const Replicate& rep : replicates_) {
+    total += static_cast<int64_t>(rep.entries.size());
+  }
+  return total;
+}
+
+int64_t InvertedWalkIndex::MemoryUsageBytes() const {
+  int64_t total = 0;
+  for (const Replicate& rep : replicates_) {
+    total += static_cast<int64_t>(rep.offsets.capacity() * sizeof(int64_t) +
+                                  rep.entries.capacity() * sizeof(Entry));
+  }
+  return total;
+}
+
+}  // namespace rwdom

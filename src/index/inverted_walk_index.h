@@ -1,0 +1,85 @@
+// Algorithm 3 of the paper: the inverted walk index.
+//
+// For each of R replicates, one L-length random walk is drawn from every
+// node w. The index is the "inverse" of those walks: for replicate i and
+// node v, List(i, v) holds an entry <w, j> for every walk source w whose
+// i-th walk first visits v at hop j (1 <= j <= L). Repeat visits within a
+// walk are not indexed (only the first visit matters for hitting time), and
+// a walk never indexes its own start node.
+//
+// Storage is CSR per replicate (counting sort by target node), 8 bytes per
+// entry; total entries are bounded by n * R * L and iteration over the
+// whole index is a linear scan.
+#ifndef RWDOM_INDEX_INVERTED_WALK_INDEX_H_
+#define RWDOM_INDEX_INVERTED_WALK_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "walk/walk_source.h"
+
+namespace rwdom {
+
+/// Immutable materialized-walk index; build once, reuse across all k greedy
+/// rounds (and across Problem 1 / Problem 2 — the entry weights carry the
+/// hop number, which Problem 2 semantics simply ignore).
+class InvertedWalkIndex {
+ public:
+  /// One posting: walk started at `id` and first reached the list's target
+  /// node at hop `weight`.
+  struct Entry {
+    NodeId id;
+    int32_t weight;
+  };
+
+  /// Runs Algorithm 3: draws `num_replicates` walks of budget `length` from
+  /// every node of `source`'s universe and inverts them.
+  static InvertedWalkIndex Build(int32_t length, int32_t num_replicates,
+                                 WalkSource* source);
+
+  /// Postings for target node `v` in replicate `i`, ordered by walk source.
+  std::span<const Entry> List(int32_t replicate, NodeId v) const {
+    RWDOM_DCHECK(replicate >= 0 && replicate < num_replicates());
+    const Replicate& rep = replicates_[static_cast<size_t>(replicate)];
+    return {rep.entries.data() + rep.offsets[static_cast<size_t>(v)],
+            static_cast<size_t>(rep.offsets[static_cast<size_t>(v) + 1] -
+                                rep.offsets[static_cast<size_t>(v)])};
+  }
+
+  NodeId num_nodes() const { return num_nodes_; }
+  int32_t length() const { return length_; }
+  int32_t num_replicates() const {
+    return static_cast<int32_t>(replicates_.size());
+  }
+
+  /// Total postings across all replicates.
+  int64_t TotalEntries() const;
+
+  /// Approximate heap footprint in bytes.
+  int64_t MemoryUsageBytes() const;
+
+ private:
+  // Binary save/load lives in index/index_io.h.
+  friend class WalkIndexSerializer;
+
+  struct Replicate {
+    std::vector<int64_t> offsets;  // size n + 1
+    std::vector<Entry> entries;
+  };
+
+  InvertedWalkIndex(NodeId num_nodes, int32_t length,
+                    std::vector<Replicate> replicates)
+      : num_nodes_(num_nodes),
+        length_(length),
+        replicates_(std::move(replicates)) {}
+
+  NodeId num_nodes_;
+  int32_t length_;
+  std::vector<Replicate> replicates_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_INDEX_INVERTED_WALK_INDEX_H_

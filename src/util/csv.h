@@ -1,0 +1,45 @@
+// Tiny CSV writer used by the experiment harness to dump figure series for
+// external plotting. Values are quoted only when necessary (comma, quote, or
+// newline present).
+#ifndef RWDOM_UTIL_CSV_H_
+#define RWDOM_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rwdom {
+
+/// Accumulates rows in memory; WriteToFile emits the whole table at once.
+class CsvWriter {
+ public:
+  /// `header` may be empty for headerless output.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row. Row length must match the header length when a header
+  /// was supplied.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with %.6g.
+  void AddNumericRow(const std::vector<double>& row);
+
+  /// Serializes to CSV text.
+  std::string ToString() const;
+
+  /// Writes the table to `path`, overwriting.
+  Status WriteToFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a single CSV field per RFC 4180.
+std::string CsvEscape(const std::string& field);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_UTIL_CSV_H_

@@ -1,0 +1,82 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace rwdom {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+IntHistogram::IntHistogram(int64_t max_value)
+    : buckets_(static_cast<size_t>(max_value) + 1, 0) {
+  RWDOM_CHECK_GE(max_value, 0);
+}
+
+void IntHistogram::Add(int64_t value) {
+  RWDOM_DCHECK_GE(value, 0);
+  ++total_;
+  if (value < 0 || static_cast<size_t>(value) >= buckets_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++buckets_[static_cast<size_t>(value)];
+}
+
+int64_t IntHistogram::BucketCount(int64_t value) const {
+  if (value < 0 || static_cast<size_t>(value) >= buckets_.size()) return 0;
+  return buckets_[static_cast<size_t>(value)];
+}
+
+int64_t IntHistogram::Quantile(double quantile) const {
+  RWDOM_CHECK(quantile >= 0.0 && quantile <= 1.0);
+  if (total_ == 0) return 0;
+  int64_t target = static_cast<int64_t>(
+      std::ceil(quantile * static_cast<double>(total_)));
+  target = std::max<int64_t>(target, 1);
+  int64_t running = 0;
+  for (size_t v = 0; v < buckets_.size(); ++v) {
+    running += buckets_[v];
+    if (running >= target) return static_cast<int64_t>(v);
+  }
+  return static_cast<int64_t>(buckets_.size());  // Overflow bucket.
+}
+
+std::string IntHistogram::ToString(int max_rows) const {
+  std::string out;
+  int rows = 0;
+  int64_t peak = 1;
+  for (int64_t c : buckets_) peak = std::max(peak, c);
+  for (size_t v = 0; v < buckets_.size() && rows < max_rows; ++v) {
+    if (buckets_[v] == 0) continue;
+    int bar = static_cast<int>(
+        40.0 * static_cast<double>(buckets_[v]) / static_cast<double>(peak));
+    out += StrFormat("%6zu | %10lld | %s\n", v,
+                     static_cast<long long>(buckets_[v]),
+                     std::string(static_cast<size_t>(bar), '#').c_str());
+    ++rows;
+  }
+  if (overflow_ > 0) {
+    out += StrFormat("  over | %10lld |\n", static_cast<long long>(overflow_));
+  }
+  return out;
+}
+
+}  // namespace rwdom

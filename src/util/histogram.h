@@ -1,0 +1,65 @@
+// Streaming summary statistics and a simple fixed-bucket histogram. Used for
+// degree distributions, hitting-time distributions, and bench reporting.
+#ifndef RWDOM_UTIL_HISTOGRAM_H_
+#define RWDOM_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace rwdom {
+
+/// Online mean/variance (Welford) with min/max tracking.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram over non-negative integer values with unit buckets up to
+/// `max_value`; larger values go to an overflow bucket.
+class IntHistogram {
+ public:
+  explicit IntHistogram(int64_t max_value);
+
+  void Add(int64_t value);
+
+  int64_t BucketCount(int64_t value) const;
+  int64_t overflow_count() const { return overflow_; }
+  int64_t total() const { return total_; }
+
+  /// Smallest value v such that at least `quantile` (in [0,1]) of samples
+  /// are <= v. Overflow samples count as max_value + 1.
+  int64_t Quantile(double quantile) const;
+
+  /// Multi-line textual rendering (value, count, bar) for diagnostics.
+  std::string ToString(int max_rows = 20) const;
+
+ private:
+  std::vector<int64_t> buckets_;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_UTIL_HISTOGRAM_H_

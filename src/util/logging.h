@@ -1,0 +1,109 @@
+// Minimal leveled logging plus CHECK macros for internal invariants.
+//
+// RWDOM_CHECK(cond)  — always on; aborts with file:line on failure.
+// RWDOM_DCHECK(cond) — debug builds only; compiles away under NDEBUG.
+// RWDOM_LOG(INFO) << "message";
+#ifndef RWDOM_UTIL_LOGGING_H_
+#define RWDOM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rwdom {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void DieOnCheckFailure(const char* file, int line,
+                                    const char* condition,
+                                    const std::string& extra);
+
+/// Accumulates an optional message for a failed CHECK, aborts on destruction.
+class CheckFailureMessage {
+ public:
+  CheckFailureMessage(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+  [[noreturn]] ~CheckFailureMessage() {
+    DieOnCheckFailure(file_, line_, condition_, stream_.str());
+  }
+
+  CheckFailureMessage(const CheckFailureMessage&) = delete;
+  CheckFailureMessage& operator=(const CheckFailureMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace rwdom
+
+#define RWDOM_LOG_DEBUG ::rwdom::LogLevel::kDebug
+#define RWDOM_LOG_INFO ::rwdom::LogLevel::kInfo
+#define RWDOM_LOG_WARNING ::rwdom::LogLevel::kWarning
+#define RWDOM_LOG_ERROR ::rwdom::LogLevel::kError
+
+#define RWDOM_LOG(severity)                                              \
+  ::rwdom::internal::LogMessage(RWDOM_LOG_##severity, __FILE__, __LINE__) \
+      .stream()
+
+#define RWDOM_CHECK(condition)                                            \
+  if (condition) {                                                        \
+  } else /* NOLINT */                                                     \
+    ::rwdom::internal::CheckFailureMessage(__FILE__, __LINE__, #condition) \
+        .stream()
+
+#define RWDOM_CHECK_EQ(a, b) RWDOM_CHECK((a) == (b))
+#define RWDOM_CHECK_NE(a, b) RWDOM_CHECK((a) != (b))
+#define RWDOM_CHECK_LT(a, b) RWDOM_CHECK((a) < (b))
+#define RWDOM_CHECK_LE(a, b) RWDOM_CHECK((a) <= (b))
+#define RWDOM_CHECK_GT(a, b) RWDOM_CHECK((a) > (b))
+#define RWDOM_CHECK_GE(a, b) RWDOM_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define RWDOM_DCHECK(condition) \
+  if (true) {                   \
+  } else /* NOLINT */           \
+    ::rwdom::internal::NullStream()
+#else
+#define RWDOM_DCHECK(condition) RWDOM_CHECK(condition)
+#endif
+
+#define RWDOM_DCHECK_EQ(a, b) RWDOM_DCHECK((a) == (b))
+#define RWDOM_DCHECK_LT(a, b) RWDOM_DCHECK((a) < (b))
+#define RWDOM_DCHECK_LE(a, b) RWDOM_DCHECK((a) <= (b))
+#define RWDOM_DCHECK_GE(a, b) RWDOM_DCHECK((a) >= (b))
+
+#endif  // RWDOM_UTIL_LOGGING_H_

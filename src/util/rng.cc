@@ -1,0 +1,75 @@
+#include "util/rng.h"
+
+namespace rwdom {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t MixSeeds(uint64_t a, uint64_t b) {
+  // Feed both words through SplitMix64; asymmetric so MixSeeds(a,b) !=
+  // MixSeeds(b,a) in general.
+  uint64_t state = a ^ 0x9E3779B97F4A7C15ULL;
+  uint64_t x = SplitMix64(&state);
+  state = b ^ x;
+  return SplitMix64(&state);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  RWDOM_DCHECK(bound > 0);
+  // Lemire's method: multiply-shift with a rejection step to remove bias.
+  unsigned __int128 product =
+      static_cast<unsigned __int128>(Next()) * bound;
+  uint64_t low = static_cast<uint64_t>(product);
+  if (low < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      product = static_cast<unsigned __int128>(Next()) * bound;
+      low = static_cast<uint64_t>(product);
+    }
+  }
+  return static_cast<uint64_t>(product >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  RWDOM_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+}  // namespace rwdom

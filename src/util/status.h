@@ -1,0 +1,159 @@
+// Status / Result<T>: lightweight error propagation for fallible operations
+// (I/O, parsing, configuration validation). Follows the RocksDB/Arrow idiom:
+// library code never throws; internal invariant violations use RWDOM_CHECK.
+#ifndef RWDOM_UTIL_STATUS_H_
+#define RWDOM_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace rwdom {
+
+// Coarse error taxonomy; sufficient for a library of this scope.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kCorruption,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy in the success case (no
+/// allocation); error case carries a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Result<T> is either a value of T or an error Status. Accessing the value
+/// of an error result aborts (programming error, like RocksDB's
+/// Status-must-be-checked discipline but enforced at access time).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so `return value;` and
+  /// `return Status::...;` both work in functions returning Result<T>.
+  Result(T value) : repr_(std::move(value)) {}           // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {}    // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResultAccess(std::get<Status>(repr_));
+}
+
+}  // namespace rwdom
+
+/// Propagates a non-OK Status from an expression returning Status.
+#define RWDOM_RETURN_IF_ERROR(expr)                   \
+  do {                                                \
+    ::rwdom::Status _rwdom_status = (expr);           \
+    if (!_rwdom_status.ok()) return _rwdom_status;    \
+  } while (false)
+
+/// Evaluates an expression returning Result<T>; on error returns the Status,
+/// otherwise assigns the value to `lhs`.
+#define RWDOM_ASSIGN_OR_RETURN(lhs, expr)            \
+  RWDOM_ASSIGN_OR_RETURN_IMPL_(                      \
+      RWDOM_STATUS_CONCAT_(_rwdom_result, __LINE__), lhs, expr)
+
+#define RWDOM_STATUS_CONCAT_INNER_(a, b) a##b
+#define RWDOM_STATUS_CONCAT_(a, b) RWDOM_STATUS_CONCAT_INNER_(a, b)
+#define RWDOM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // RWDOM_UTIL_STATUS_H_

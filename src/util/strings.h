@@ -1,0 +1,41 @@
+// Small string helpers used by parsers and table printers.
+#ifndef RWDOM_UTIL_STRINGS_H_
+#define RWDOM_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rwdom {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits on `delim`, keeping empty fields.
+std::vector<std::string_view> SplitString(std::string_view s, char delim);
+
+/// Splits on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+/// Parses a base-10 signed 64-bit integer; the whole string must be consumed.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a double; the whole string must be consumed.
+Result<double> ParseDouble(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats `n` with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatWithCommas(int64_t n);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace rwdom
+
+#endif  // RWDOM_UTIL_STRINGS_H_

@@ -1,0 +1,82 @@
+#include "walk/hit_probability_dp.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rwdom {
+
+HitProbabilityDp::HitProbabilityDp(const Graph* graph, int32_t length)
+    : graph_(*graph), length_(length) {
+  RWDOM_CHECK_GE(length, 0);
+  prev_.resize(static_cast<size_t>(graph_.num_nodes()));
+  cur_.resize(static_cast<size_t>(graph_.num_nodes()));
+}
+
+void HitProbabilityDp::Run(const NodeFlagSet* set_target,
+                           NodeId extra_target,
+                           std::vector<double>* out) const {
+  const NodeId n = graph_.num_nodes();
+  auto in_target = [&](NodeId u) {
+    return (set_target != nullptr && set_target->Contains(u)) ||
+           u == extra_target;
+  };
+  // p^0_uS = [u in S].
+  for (NodeId u = 0; u < n; ++u) {
+    prev_[static_cast<size_t>(u)] = in_target(u) ? 1.0 : 0.0;
+  }
+  for (int32_t level = 1; level <= length_; ++level) {
+    for (NodeId u = 0; u < n; ++u) {
+      if (in_target(u)) {
+        cur_[static_cast<size_t>(u)] = 1.0;
+        continue;
+      }
+      auto adj = graph_.neighbors(u);
+      if (adj.empty()) {
+        cur_[static_cast<size_t>(u)] = 0.0;  // Stuck; never hits.
+        continue;
+      }
+      double sum = 0.0;
+      for (NodeId w : adj) sum += prev_[static_cast<size_t>(w)];
+      cur_[static_cast<size_t>(u)] = sum / static_cast<double>(adj.size());
+    }
+    std::swap(prev_, cur_);
+  }
+  *out = prev_;
+}
+
+std::vector<double> HitProbabilityDp::HitProbabilities(
+    const NodeFlagSet& targets) const {
+  return HitProbabilitiesPlus(targets, kInvalidNode);
+}
+
+std::vector<double> HitProbabilityDp::HitProbabilitiesPlus(
+    const NodeFlagSet& targets, NodeId extra) const {
+  RWDOM_CHECK_EQ(targets.universe_size(), graph_.num_nodes());
+  RWDOM_CHECK(extra == kInvalidNode || graph_.IsValidNode(extra));
+  std::vector<double> result;
+  Run(&targets, extra, &result);
+  return result;
+}
+
+std::vector<double> HitProbabilityDp::HitProbabilitiesToNode(
+    NodeId target) const {
+  RWDOM_CHECK(graph_.IsValidNode(target));
+  std::vector<double> result;
+  Run(nullptr, target, &result);
+  return result;
+}
+
+double HitProbabilityDp::F2(const NodeFlagSet& targets) const {
+  return F2Plus(targets, kInvalidNode);
+}
+
+double HitProbabilityDp::F2Plus(const NodeFlagSet& targets,
+                                NodeId extra) const {
+  std::vector<double> p = HitProbabilitiesPlus(targets, extra);
+  double total = 0.0;
+  for (double value : p) total += value;
+  return total;
+}
+
+}  // namespace rwdom

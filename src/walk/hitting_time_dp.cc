@@ -1,0 +1,102 @@
+#include "walk/hitting_time_dp.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rwdom {
+
+HittingTimeDp::HittingTimeDp(const Graph* graph, int32_t length)
+    : graph_(*graph), length_(length) {
+  RWDOM_CHECK_GE(length, 0);
+  prev_.resize(static_cast<size_t>(graph_.num_nodes()));
+  cur_.resize(static_cast<size_t>(graph_.num_nodes()));
+}
+
+void HittingTimeDp::Run(const NodeFlagSet* set_target, NodeId extra_target,
+                        std::vector<double>* out) const {
+  const NodeId n = graph_.num_nodes();
+  auto in_target = [&](NodeId u) {
+    return (set_target != nullptr && set_target->Contains(u)) ||
+           u == extra_target;
+  };
+  std::fill(prev_.begin(), prev_.end(), 0.0);  // h^0 == 0 everywhere.
+  for (int32_t level = 1; level <= length_; ++level) {
+    for (NodeId u = 0; u < n; ++u) {
+      if (in_target(u)) {
+        cur_[static_cast<size_t>(u)] = 0.0;
+        continue;
+      }
+      auto adj = graph_.neighbors(u);
+      if (adj.empty()) {
+        // Isolated non-target: never hits, truncated at this level.
+        cur_[static_cast<size_t>(u)] = static_cast<double>(level);
+        continue;
+      }
+      double sum = 0.0;
+      for (NodeId w : adj) sum += prev_[static_cast<size_t>(w)];
+      cur_[static_cast<size_t>(u)] =
+          1.0 + sum / static_cast<double>(adj.size());
+    }
+    std::swap(prev_, cur_);
+  }
+  *out = prev_;  // After the final swap, prev_ holds level == length_.
+}
+
+std::vector<double> HittingTimeDp::HittingTimesToSet(
+    const NodeFlagSet& targets) const {
+  return HittingTimesToSetPlus(targets, kInvalidNode);
+}
+
+std::vector<double> HittingTimeDp::HittingTimesToSetPlus(
+    const NodeFlagSet& targets, NodeId extra) const {
+  RWDOM_CHECK_EQ(targets.universe_size(), graph_.num_nodes());
+  RWDOM_CHECK(extra == kInvalidNode || graph_.IsValidNode(extra));
+  std::vector<double> result;
+  Run(&targets, extra, &result);
+  return result;
+}
+
+std::vector<double> HittingTimeDp::HittingTimesToNode(NodeId target) const {
+  RWDOM_CHECK(graph_.IsValidNode(target));
+  std::vector<double> result;
+  Run(nullptr, target, &result);
+  return result;
+}
+
+double HittingTimeDp::F1(const NodeFlagSet& targets) const {
+  return F1Plus(targets, kInvalidNode);
+}
+
+double HittingTimeDp::F1Plus(const NodeFlagSet& targets, NodeId extra) const {
+  std::vector<double> h = HittingTimesToSetPlus(targets, extra);
+  double total = 0.0;
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    // Members (including `extra`) have h = 0 and are excluded from the sum
+    // anyway, so summing non-member h values suffices.
+    total += h[static_cast<size_t>(u)];
+  }
+  return static_cast<double>(graph_.num_nodes()) *
+             static_cast<double>(length_) -
+         total;
+}
+
+std::vector<std::vector<double>> HittingTimeDp::HittingTimeMatrix() const {
+  std::vector<std::vector<double>> matrix(
+      static_cast<size_t>(graph_.num_nodes()));
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    std::vector<double> column = HittingTimesToNode(v);
+    // column[u] = h^L_uv; store row-major as matrix[u][v].
+    for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+      if (matrix[static_cast<size_t>(u)].empty()) {
+        matrix[static_cast<size_t>(u)].resize(
+            static_cast<size_t>(graph_.num_nodes()));
+      }
+      matrix[static_cast<size_t>(u)][static_cast<size_t>(v)] =
+          column[static_cast<size_t>(u)];
+    }
+  }
+  return matrix;
+}
+
+}  // namespace rwdom

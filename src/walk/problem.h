@@ -1,0 +1,26 @@
+// The two random-walk domination problems of the paper (§2.1).
+#ifndef RWDOM_WALK_PROBLEM_H_
+#define RWDOM_WALK_PROBLEM_H_
+
+#include <string_view>
+
+namespace rwdom {
+
+/// Which objective a selector optimizes.
+enum class Problem {
+  /// Problem (1), Eq. (6): maximize F1(S) = nL - sum_{u in V\S} h^L_uS —
+  /// equivalently minimize the total generalized hitting time.
+  kHittingTime,
+  /// Problem (2), Eq. (7): maximize F2(S) = E[sum_u X^L_uS] — the expected
+  /// number of nodes whose L-length walk hits S.
+  kDominatedCount,
+};
+
+/// "F1" / "F2", matching the paper's naming.
+constexpr std::string_view ProblemName(Problem problem) {
+  return problem == Problem::kHittingTime ? "F1" : "F2";
+}
+
+}  // namespace rwdom
+
+#endif  // RWDOM_WALK_PROBLEM_H_

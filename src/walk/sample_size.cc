@@ -1,0 +1,32 @@
+#include "walk/sample_size.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rwdom {
+namespace {
+
+int64_t CeilHoeffding(double population, double eps, double delta) {
+  RWDOM_CHECK(eps > 0.0);
+  RWDOM_CHECK(delta > 0.0 && delta < 1.0);
+  RWDOM_CHECK(population >= 1.0);
+  double r = std::log(population / delta) / (2.0 * eps * eps);
+  return static_cast<int64_t>(std::ceil(r));
+}
+
+}  // namespace
+
+int64_t SampleSizeForF1(int64_t num_free_nodes, double eps, double delta) {
+  return CeilHoeffding(static_cast<double>(num_free_nodes), eps, delta);
+}
+
+int64_t SampleSizeForF2(int64_t num_nodes, double eps, double delta) {
+  return CeilHoeffding(static_cast<double>(num_nodes), eps, delta);
+}
+
+double HoeffdingTail(double eps, int64_t num_samples) {
+  return std::exp(-2.0 * eps * eps * static_cast<double>(num_samples));
+}
+
+}  // namespace rwdom

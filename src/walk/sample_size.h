@@ -1,0 +1,27 @@
+// Hoeffding sample-size bounds from Lemmas 3.3 and 3.4 of the paper:
+//
+//   Pr[|F̂1(S) - F1(S)| >= eps * (n - |S|) * L] <= delta
+//     whenever R >= log((n - |S|) / delta) / (2 eps^2),
+//   Pr[|F̂2(S) - F2(S)| >= eps * n] <= delta
+//     whenever R >= log(n / delta) / (2 eps^2).
+#ifndef RWDOM_WALK_SAMPLE_SIZE_H_
+#define RWDOM_WALK_SAMPLE_SIZE_H_
+
+#include <cstdint>
+
+namespace rwdom {
+
+/// Minimum R satisfying Lemma 3.3 (Problem 1 estimator). `num_free_nodes`
+/// is n - |S|. Requires eps > 0, 0 < delta < 1, num_free_nodes >= 1.
+int64_t SampleSizeForF1(int64_t num_free_nodes, double eps, double delta);
+
+/// Minimum R satisfying Lemma 3.4 (Problem 2 estimator).
+int64_t SampleSizeForF2(int64_t num_nodes, double eps, double delta);
+
+/// The Hoeffding tail bound itself: Pr[|mean - E| >= eps_scaled] <=
+/// exp(-2 eps^2 R) for [0,1]-valued samples. Exposed for tests.
+double HoeffdingTail(double eps, int64_t num_samples);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_WALK_SAMPLE_SIZE_H_

@@ -1,0 +1,68 @@
+#include "walk/sampled_evaluator.h"
+
+#include "util/logging.h"
+#include "walk/walk.h"
+
+namespace rwdom {
+
+SampledEvaluator::SampledEvaluator(int32_t length, int32_t num_samples)
+    : length_(length), num_samples_(num_samples) {
+  RWDOM_CHECK_GE(length, 0);
+  RWDOM_CHECK_GE(num_samples, 1);
+}
+
+SampledObjectives SampledEvaluator::Evaluate(const NodeFlagSet& targets,
+                                             WalkSource* source) const {
+  return EvaluateWithPerNode(targets, source, nullptr);
+}
+
+SampledObjectives SampledEvaluator::EvaluateWithPerNode(
+    const NodeFlagSet& targets, WalkSource* source,
+    PerNodeEstimates* per_node) const {
+  const NodeId n = source->num_nodes();
+  RWDOM_CHECK_EQ(targets.universe_size(), n);
+  const double r_inv = 1.0 / static_cast<double>(num_samples_);
+
+  if (per_node != nullptr) {
+    per_node->hitting_time.assign(static_cast<size_t>(n), 0.0);
+    per_node->hit_prob.assign(static_cast<size_t>(n), 1.0);
+  }
+
+  double total_hitting = 0.0;  // sum over u not in S of ĥ_uS
+  double total_hits = 0.0;     // sum over u not in S of r_u / R
+  std::vector<NodeId> trajectory;
+  for (NodeId u = 0; u < n; ++u) {
+    if (targets.Contains(u)) continue;
+    int64_t hits = 0;
+    int64_t hit_time_sum = 0;
+    for (int32_t i = 0; i < num_samples_; ++i) {
+      source->SampleWalk(u, length_, &trajectory);
+      FirstHit first = FindFirstHit(trajectory, targets, length_);
+      if (first.hit) {
+        ++hits;
+        hit_time_sum += first.time;
+      }
+    }
+    const double h_hat =
+        (static_cast<double>(hit_time_sum) +
+         static_cast<double>(num_samples_ - hits) *
+             static_cast<double>(length_)) *
+        r_inv;
+    const double p_hat = static_cast<double>(hits) * r_inv;
+    total_hitting += h_hat;
+    total_hits += p_hat;
+    if (per_node != nullptr) {
+      per_node->hitting_time[static_cast<size_t>(u)] = h_hat;
+      per_node->hit_prob[static_cast<size_t>(u)] = p_hat;
+    }
+  }
+
+  SampledObjectives result;
+  // F1 = nL - sum_{u in V\S} h^L_uS (Eq. 6; members contribute h = 0).
+  result.f1 = static_cast<double>(n) * static_cast<double>(length_) -
+              total_hitting;
+  result.f2 = static_cast<double>(targets.size()) + total_hits;
+  return result;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,49 @@
+#include "walk/walk.h"
+
+namespace rwdom {
+
+FirstHit FindFirstHit(const std::vector<NodeId>& trajectory,
+                      const NodeFlagSet& targets, int32_t length_budget) {
+  const int32_t limit =
+      std::min<int32_t>(static_cast<int32_t>(trajectory.size()) - 1,
+                        length_budget);
+  for (int32_t t = 0; t <= limit; ++t) {
+    if (targets.Contains(trajectory[static_cast<size_t>(t)])) {
+      return {true, t};
+    }
+  }
+  return {false, length_budget};
+}
+
+FirstHit FindFirstHitOfNode(const std::vector<NodeId>& trajectory,
+                            NodeId target, int32_t length_budget) {
+  const int32_t limit =
+      std::min<int32_t>(static_cast<int32_t>(trajectory.size()) - 1,
+                        length_budget);
+  for (int32_t t = 0; t <= limit; ++t) {
+    if (trajectory[static_cast<size_t>(t)] == target) return {true, t};
+  }
+  return {false, length_budget};
+}
+
+bool IsValidTrajectory(const Graph& graph,
+                       const std::vector<NodeId>& trajectory,
+                       int32_t length_budget) {
+  if (trajectory.empty()) return false;
+  if (static_cast<int32_t>(trajectory.size()) > length_budget + 1) {
+    return false;
+  }
+  for (NodeId u : trajectory) {
+    if (!graph.IsValidNode(u)) return false;
+  }
+  for (size_t i = 0; i + 1 < trajectory.size(); ++i) {
+    if (!graph.HasEdge(trajectory[i], trajectory[i + 1])) return false;
+  }
+  // A short trajectory is legal only if the walk got stuck (isolated node).
+  if (static_cast<int32_t>(trajectory.size()) < length_budget + 1) {
+    return graph.degree(trajectory.back()) == 0;
+  }
+  return true;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,44 @@
+// Walk trajectories and first-hit arithmetic for L-length random walks.
+//
+// A trajectory records positions Z^0, Z^1, ..., Z^L' with Z^0 = start.
+// L' < L only when the walk gets stuck on an isolated start node. The
+// truncated first-hit time of Eq. (1)/(3) is computed against a NodeFlagSet.
+#ifndef RWDOM_WALK_WALK_H_
+#define RWDOM_WALK_WALK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/node_set.h"
+
+namespace rwdom {
+
+/// Result of scanning a trajectory for its first hit of a target set.
+struct FirstHit {
+  bool hit = false;
+  /// Hop index of the first position in the set; equals the walk budget L
+  /// when no hit occurred (truncated hitting time T^L, Eq. 1/3).
+  int32_t time = 0;
+};
+
+/// Scans `trajectory` (positions Z^0..Z^{L'}) for the first index t with
+/// Z^t in `targets`; truncates at `length_budget` (the L of the L-length
+/// walk, which may exceed the trajectory size for stuck walks).
+FirstHit FindFirstHit(const std::vector<NodeId>& trajectory,
+                      const NodeFlagSet& targets, int32_t length_budget);
+
+/// Same against a single target node.
+FirstHit FindFirstHitOfNode(const std::vector<NodeId>& trajectory,
+                            NodeId target, int32_t length_budget);
+
+/// Validates that `trajectory` is a legal walk on `graph`: non-empty,
+/// consecutive positions adjacent, and either full length (budget+1
+/// positions) or stopped on an isolated node.
+bool IsValidTrajectory(const Graph& graph,
+                       const std::vector<NodeId>& trajectory,
+                       int32_t length_budget);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_WALK_WALK_H_

@@ -1,0 +1,46 @@
+#include "walk/walk_source.h"
+
+#include "util/logging.h"
+#include "walk/walk.h"
+
+namespace rwdom {
+
+void RandomWalkSource::SampleWalk(NodeId start, int32_t length,
+                                  std::vector<NodeId>* trajectory) {
+  RWDOM_DCHECK(graph_.IsValidNode(start));
+  RWDOM_DCHECK_GE(length, 0);
+  trajectory->clear();
+  trajectory->reserve(static_cast<size_t>(length) + 1);
+  trajectory->push_back(start);
+  NodeId current = start;
+  for (int32_t step = 0; step < length; ++step) {
+    auto adj = graph_.neighbors(current);
+    if (adj.empty()) break;  // Stuck on an isolated node.
+    current = adj[rng_.NextBounded(adj.size())];
+    trajectory->push_back(current);
+  }
+}
+
+void FixedWalkSource::AddWalk(std::vector<NodeId> trajectory,
+                              int32_t length_budget) {
+  RWDOM_CHECK(!trajectory.empty());
+  RWDOM_CHECK(IsValidTrajectory(graph_, trajectory, length_budget))
+      << "registered trajectory is not a valid walk";
+  walks_[trajectory.front()].push_back(std::move(trajectory));
+}
+
+void FixedWalkSource::SampleWalk(NodeId start, int32_t length,
+                                 std::vector<NodeId>* trajectory) {
+  auto it = walks_.find(start);
+  RWDOM_CHECK(it != walks_.end())
+      << "no fixed walk registered for node " << start;
+  size_t& cur = cursor_[start];
+  RWDOM_CHECK_LT(cur, it->second.size())
+      << "fixed walks for node " << start << " exhausted";
+  const std::vector<NodeId>& recorded = it->second[cur++];
+  RWDOM_CHECK_LE(static_cast<int32_t>(recorded.size()) - 1, length)
+      << "recorded walk longer than requested budget";
+  *trajectory = recorded;
+}
+
+}  // namespace rwdom

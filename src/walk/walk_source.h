@@ -1,0 +1,81 @@
+// WalkSource: where L-length random-walk trajectories come from.
+//
+// Algorithms 2 (sampling evaluator) and 3 (inverted index construction)
+// consume trajectories through this interface, which lets unit tests replay
+// fixed walks — e.g. the exact walks of the paper's Example 3.1 — instead of
+// drawing random ones.
+#ifndef RWDOM_WALK_WALK_SOURCE_H_
+#define RWDOM_WALK_WALK_SOURCE_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace rwdom {
+
+/// Produces trajectories Z^0..Z^{L'} (Z^0 = start; L' == length unless the
+/// walk reaches a node with no outgoing moves). Deliberately independent of
+/// any concrete graph type so the same consumers (Algorithm 2 evaluation,
+/// Algorithm 3 index construction) also work over weighted/directed graphs.
+class WalkSource {
+ public:
+  virtual ~WalkSource() = default;
+
+  /// Fills `*trajectory` (cleared first) with one walk from `start` of at
+  /// most `length` hops.
+  virtual void SampleWalk(NodeId start, int32_t length,
+                          std::vector<NodeId>* trajectory) = 0;
+
+  /// Size of the node universe walks live in.
+  virtual NodeId num_nodes() const = 0;
+};
+
+/// Uniform random neighbor at every step; xoshiro-backed and deterministic
+/// in (seed, call sequence).
+class RandomWalkSource final : public WalkSource {
+ public:
+  /// `graph` must outlive the source.
+  RandomWalkSource(const Graph* graph, uint64_t seed)
+      : graph_(*graph), rng_(seed) {}
+
+  void SampleWalk(NodeId start, int32_t length,
+                  std::vector<NodeId>* trajectory) override;
+
+  NodeId num_nodes() const override { return graph_.num_nodes(); }
+  const Graph& graph() const { return graph_; }
+
+ private:
+  const Graph& graph_;
+  Rng rng_;
+};
+
+/// Replays pre-recorded trajectories per start node, in registration order;
+/// for tests (paper Example 3.1) and for walk materialization.
+class FixedWalkSource final : public WalkSource {
+ public:
+  explicit FixedWalkSource(const Graph* graph) : graph_(*graph) {}
+
+  /// Registers the next trajectory to be returned for `trajectory[0]`.
+  /// Trajectories for a given start are consumed FIFO; it is a fatal error
+  /// to sample more walks from a start than were registered, or to register
+  /// a trajectory that is not a valid walk.
+  void AddWalk(std::vector<NodeId> trajectory, int32_t length_budget);
+
+  void SampleWalk(NodeId start, int32_t length,
+                  std::vector<NodeId>* trajectory) override;
+
+  NodeId num_nodes() const override { return graph_.num_nodes(); }
+  const Graph& graph() const { return graph_; }
+
+ private:
+  const Graph& graph_;
+  std::map<NodeId, std::vector<std::vector<NodeId>>> walks_;
+  std::map<NodeId, size_t> cursor_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_WALK_WALK_SOURCE_H_

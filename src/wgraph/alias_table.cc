@@ -1,0 +1,65 @@
+#include "wgraph/alias_table.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace rwdom {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t k = weights.size();
+  RWDOM_CHECK_GT(k, 0u);
+  double total = 0.0;
+  for (double w : weights) {
+    RWDOM_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  RWDOM_CHECK_GT(total, 0.0) << "all weights zero";
+
+  prob_.assign(k, 0.0);
+  alias_.assign(k, 0);
+  // Scaled probabilities; partition into under-/over-full columns (Vose).
+  std::vector<double> scaled(k);
+  std::vector<int32_t> small, large;
+  for (size_t i = 0; i < k; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(k) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<int32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    int32_t s = small.back();
+    small.pop_back();
+    int32_t l = large.back();
+    large.pop_back();
+    prob_[static_cast<size_t>(s)] = scaled[static_cast<size_t>(s)];
+    alias_[static_cast<size_t>(s)] = l;
+    scaled[static_cast<size_t>(l)] =
+        scaled[static_cast<size_t>(l)] + scaled[static_cast<size_t>(s)] - 1.0;
+    (scaled[static_cast<size_t>(l)] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly full (up to rounding).
+  for (int32_t i : large) prob_[static_cast<size_t>(i)] = 1.0;
+  for (int32_t i : small) prob_[static_cast<size_t>(i)] = 1.0;
+}
+
+int32_t AliasTable::Sample(Rng* rng) const {
+  RWDOM_DCHECK(!prob_.empty());
+  const uint64_t column = rng->NextBounded(prob_.size());
+  const double coin = rng->NextDouble();
+  return coin < prob_[column] ? static_cast<int32_t>(column)
+                              : alias_[column];
+}
+
+double AliasTable::Probability(int32_t outcome) const {
+  RWDOM_CHECK(outcome >= 0 && outcome < size());
+  const double k = static_cast<double>(size());
+  double p = prob_[static_cast<size_t>(outcome)] / k;
+  for (int32_t column = 0; column < size(); ++column) {
+    if (alias_[static_cast<size_t>(column)] == outcome &&
+        prob_[static_cast<size_t>(column)] < 1.0) {
+      p += (1.0 - prob_[static_cast<size_t>(column)]) / k;
+    }
+  }
+  return p;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,43 @@
+// Walker/Vose alias method: O(1) sampling from a fixed discrete
+// distribution after O(k) preprocessing. This is what makes weighted
+// random-walk steps as cheap as unweighted ones.
+#ifndef RWDOM_WGRAPH_ALIAS_TABLE_H_
+#define RWDOM_WGRAPH_ALIAS_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rwdom {
+
+/// Immutable alias table over outcomes {0, ..., k-1}.
+class AliasTable {
+ public:
+  /// Empty table (no outcomes); Sample() is illegal.
+  AliasTable() = default;
+
+  /// Builds from non-negative weights (not necessarily normalized).
+  /// At least one weight must be positive.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Number of outcomes.
+  int32_t size() const { return static_cast<int32_t>(prob_.size()); }
+  bool empty() const { return prob_.empty(); }
+
+  /// Draws one outcome in O(1).
+  int32_t Sample(Rng* rng) const;
+
+  /// Probability assigned to `outcome` (for tests); O(k).
+  double Probability(int32_t outcome) const;
+
+ private:
+  // Standard two-array layout: pick a column uniformly, then flip a
+  // biased coin between the column's own outcome and its alias.
+  std::vector<double> prob_;
+  std::vector<int32_t> alias_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_WGRAPH_ALIAS_TABLE_H_

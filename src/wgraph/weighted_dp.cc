@@ -1,0 +1,100 @@
+#include "wgraph/weighted_dp.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace rwdom {
+
+WeightedDp::WeightedDp(const WeightedGraph* graph, int32_t length)
+    : graph_(*graph), length_(length) {
+  RWDOM_CHECK_GE(length, 0);
+  prev_.resize(static_cast<size_t>(graph_.num_nodes()));
+  cur_.resize(static_cast<size_t>(graph_.num_nodes()));
+}
+
+void WeightedDp::Run(bool hitting_time, const NodeFlagSet& targets,
+                     NodeId extra, std::vector<double>* out) const {
+  RWDOM_CHECK_EQ(targets.universe_size(), graph_.num_nodes());
+  RWDOM_CHECK(extra == kInvalidNode || graph_.IsValidNode(extra));
+  const NodeId n = graph_.num_nodes();
+  auto in_target = [&](NodeId u) {
+    return targets.Contains(u) || u == extra;
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    prev_[static_cast<size_t>(u)] =
+        hitting_time ? 0.0 : (in_target(u) ? 1.0 : 0.0);
+  }
+  for (int32_t level = 1; level <= length_; ++level) {
+    for (NodeId u = 0; u < n; ++u) {
+      if (in_target(u)) {
+        cur_[static_cast<size_t>(u)] = hitting_time ? 0.0 : 1.0;
+        continue;
+      }
+      const double total = graph_.total_out_weight(u);
+      if (total <= 0.0) {  // Sink.
+        cur_[static_cast<size_t>(u)] =
+            hitting_time ? static_cast<double>(level) : 0.0;
+        continue;
+      }
+      double sum = 0.0;
+      for (const Arc& arc : graph_.out_arcs(u)) {
+        sum += arc.weight * prev_[static_cast<size_t>(arc.target)];
+      }
+      cur_[static_cast<size_t>(u)] =
+          (hitting_time ? 1.0 : 0.0) + sum / total;
+    }
+    std::swap(prev_, cur_);
+  }
+  *out = prev_;
+}
+
+std::vector<double> WeightedDp::HittingTimesToSet(
+    const NodeFlagSet& targets) const {
+  return HittingTimesToSetPlus(targets, kInvalidNode);
+}
+
+std::vector<double> WeightedDp::HittingTimesToSetPlus(
+    const NodeFlagSet& targets, NodeId extra) const {
+  std::vector<double> result;
+  Run(/*hitting_time=*/true, targets, extra, &result);
+  return result;
+}
+
+std::vector<double> WeightedDp::HitProbabilities(
+    const NodeFlagSet& targets) const {
+  return HitProbabilitiesPlus(targets, kInvalidNode);
+}
+
+std::vector<double> WeightedDp::HitProbabilitiesPlus(
+    const NodeFlagSet& targets, NodeId extra) const {
+  std::vector<double> result;
+  Run(/*hitting_time=*/false, targets, extra, &result);
+  return result;
+}
+
+double WeightedDp::F1(const NodeFlagSet& targets) const {
+  return F1Plus(targets, kInvalidNode);
+}
+
+double WeightedDp::F1Plus(const NodeFlagSet& targets, NodeId extra) const {
+  std::vector<double> h = HittingTimesToSetPlus(targets, extra);
+  double total = 0.0;
+  for (double value : h) total += value;  // Members contribute 0.
+  return static_cast<double>(graph_.num_nodes()) *
+             static_cast<double>(length_) -
+         total;
+}
+
+double WeightedDp::F2(const NodeFlagSet& targets) const {
+  return F2Plus(targets, kInvalidNode);
+}
+
+double WeightedDp::F2Plus(const NodeFlagSet& targets, NodeId extra) const {
+  std::vector<double> p = HitProbabilitiesPlus(targets, extra);
+  double total = 0.0;
+  for (double value : p) total += value;
+  return total;
+}
+
+}  // namespace rwdom

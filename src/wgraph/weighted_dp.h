@@ -1,0 +1,65 @@
+// Exact generalized hitting times and hit probabilities on weighted
+// digraphs — the direct generalization of Theorems 2.2 / 2.3 with
+// transition probabilities p_uw = weight(u,w) / total_out_weight(u):
+//
+//   h^l_uS = 0                              if u in S
+//          = 1 + sum_w p_uw h^{l-1}_wS       otherwise (h^0 == 0)
+//   p^l_uS = 1                              if u in S
+//          = sum_w p_uw p^{l-1}_wS           otherwise (p^0 = [u in S])
+//
+// Sinks behave like the unweighted isolated nodes: they never hit S, so
+// h^l = l and p^l = 0 when outside S.
+#ifndef RWDOM_WGRAPH_WEIGHTED_DP_H_
+#define RWDOM_WGRAPH_WEIGHTED_DP_H_
+
+#include <vector>
+
+#include "graph/node_set.h"
+#include "wgraph/weighted_graph.h"
+
+namespace rwdom {
+
+/// Exact weighted h^L_uS / p^L_uS solver; O((n + arcs) * L) per evaluation.
+class WeightedDp {
+ public:
+  /// `graph` must outlive this object.
+  WeightedDp(const WeightedGraph* graph, int32_t length);
+
+  /// h^L_uS for every node.
+  std::vector<double> HittingTimesToSet(const NodeFlagSet& targets) const;
+
+  /// h^L_u(S ∪ {extra}); `extra` may be kInvalidNode.
+  std::vector<double> HittingTimesToSetPlus(const NodeFlagSet& targets,
+                                            NodeId extra) const;
+
+  /// p^L_uS for every node.
+  std::vector<double> HitProbabilities(const NodeFlagSet& targets) const;
+
+  /// p^L_u(S ∪ {extra}); `extra` may be kInvalidNode.
+  std::vector<double> HitProbabilitiesPlus(const NodeFlagSet& targets,
+                                           NodeId extra) const;
+
+  /// F1(S) = nL - sum_{u not in S} h^L_uS.
+  double F1(const NodeFlagSet& targets) const;
+  double F1Plus(const NodeFlagSet& targets, NodeId extra) const;
+
+  /// F2(S) = sum_u p^L_uS.
+  double F2(const NodeFlagSet& targets) const;
+  double F2Plus(const NodeFlagSet& targets, NodeId extra) const;
+
+  int32_t length() const { return length_; }
+  const WeightedGraph& graph() const { return graph_; }
+
+ private:
+  void Run(bool hitting_time, const NodeFlagSet& targets, NodeId extra,
+           std::vector<double>* out) const;
+
+  const WeightedGraph& graph_;
+  int32_t length_;
+  mutable std::vector<double> prev_;
+  mutable std::vector<double> cur_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_WGRAPH_WEIGHTED_DP_H_

@@ -1,0 +1,96 @@
+#include "wgraph/weighted_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace rwdom {
+
+WeightedGraph::WeightedGraph(std::vector<int64_t> offsets,
+                             std::vector<Arc> arcs)
+    : offsets_(std::move(offsets)), arcs_(std::move(arcs)) {
+  out_weight_.resize(static_cast<size_t>(num_nodes()), 0.0);
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    double total = 0.0;
+    for (const Arc& arc : out_arcs(u)) total += arc.weight;
+    out_weight_[static_cast<size_t>(u)] = total;
+  }
+}
+
+WeightedGraph WeightedGraph::FromUnweighted(const Graph& graph) {
+  WeightedGraphBuilder builder(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.neighbors(u)) builder.AddArc(u, v, 1.0);
+  }
+  return std::move(builder).BuildOrDie();
+}
+
+WeightedGraphBuilder::WeightedGraphBuilder(NodeId num_nodes)
+    : num_nodes_(num_nodes) {
+  RWDOM_CHECK_GE(num_nodes, 0);
+}
+
+void WeightedGraphBuilder::AddArc(NodeId u, NodeId v, double weight) {
+  RWDOM_CHECK(u >= 0 && u < num_nodes_) << "node " << u << " out of range";
+  RWDOM_CHECK(v >= 0 && v < num_nodes_) << "node " << v << " out of range";
+  if (u == v) {
+    saw_self_loop_ = true;
+    return;
+  }
+  if (!(weight > 0.0) || !std::isfinite(weight)) {
+    saw_bad_weight_ = true;
+    return;
+  }
+  arcs_.push_back({{u, v}, weight});
+}
+
+void WeightedGraphBuilder::AddUndirectedEdge(NodeId u, NodeId v,
+                                             double weight) {
+  AddArc(u, v, weight);
+  AddArc(v, u, weight);
+}
+
+Result<WeightedGraph> WeightedGraphBuilder::Build() && {
+  if (saw_self_loop_) {
+    return Status::InvalidArgument("self-loop arc in stream");
+  }
+  if (saw_bad_weight_) {
+    return Status::InvalidArgument("non-positive or non-finite arc weight");
+  }
+  std::sort(arcs_.begin(), arcs_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  // Merge parallel arcs by summing their weights.
+  std::vector<std::pair<std::pair<NodeId, NodeId>, double>> merged;
+  merged.reserve(arcs_.size());
+  for (const auto& arc : arcs_) {
+    if (!merged.empty() && merged.back().first == arc.first) {
+      merged.back().second += arc.second;
+    } else {
+      merged.push_back(arc);
+    }
+  }
+
+  const size_t n = static_cast<size_t>(num_nodes_);
+  std::vector<int64_t> offsets(n + 1, 0);
+  for (const auto& [key, weight] : merged) {
+    ++offsets[static_cast<size_t>(key.first) + 1];
+  }
+  for (size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  std::vector<Arc> arcs(merged.size());
+  std::vector<int64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [key, weight] : merged) {
+    arcs[static_cast<size_t>(cursor[static_cast<size_t>(key.first)]++)] = {
+        key.second, weight};
+  }
+  arcs_.clear();
+  return WeightedGraph(std::move(offsets), std::move(arcs));
+}
+
+WeightedGraph WeightedGraphBuilder::BuildOrDie() && {
+  Result<WeightedGraph> result = std::move(*this).Build();
+  RWDOM_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+}  // namespace rwdom

@@ -1,0 +1,107 @@
+// Directed, weighted graph in CSR form — the substrate for the paper's §2
+// remark that "the proposed techniques can also be easily extended to
+// directed and weighted graphs".
+//
+// Each node owns a list of out-arcs (target, weight > 0); the random-walk
+// transition probability is weight / total out-weight. Undirected weighted
+// graphs are represented by symmetric arc pairs (AddUndirectedEdge).
+#ifndef RWDOM_WGRAPH_WEIGHTED_GRAPH_H_
+#define RWDOM_WGRAPH_WEIGHTED_GRAPH_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+/// One out-arc.
+struct Arc {
+  NodeId target;
+  double weight;
+
+  friend bool operator==(const Arc& a, const Arc& b) {
+    return a.target == b.target && a.weight == b.weight;
+  }
+};
+
+class WeightedGraphBuilder;
+
+/// Immutable weighted digraph. Out-arcs are sorted by target and unique
+/// (parallel arcs are merged by summing weights at build time).
+class WeightedGraph {
+ public:
+  WeightedGraph() : offsets_{0} {}
+
+  NodeId num_nodes() const { return static_cast<NodeId>(offsets_.size() - 1); }
+
+  /// Number of stored arcs (an undirected edge counts twice).
+  int64_t num_arcs() const { return static_cast<int64_t>(arcs_.size()); }
+
+  int32_t out_degree(NodeId u) const {
+    RWDOM_DCHECK(IsValidNode(u));
+    return static_cast<int32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  std::span<const Arc> out_arcs(NodeId u) const {
+    RWDOM_DCHECK(IsValidNode(u));
+    return {arcs_.data() + offsets_[u],
+            static_cast<size_t>(offsets_[u + 1] - offsets_[u])};
+  }
+
+  /// Sum of out-arc weights of `u` (0 for sinks).
+  double total_out_weight(NodeId u) const {
+    RWDOM_DCHECK(IsValidNode(u));
+    return out_weight_[static_cast<size_t>(u)];
+  }
+
+  bool IsValidNode(NodeId u) const { return u >= 0 && u < num_nodes(); }
+
+  /// Converts an unweighted undirected Graph: every edge becomes a
+  /// symmetric arc pair with weight 1, so walk semantics are identical.
+  static WeightedGraph FromUnweighted(const Graph& graph);
+
+ private:
+  friend class WeightedGraphBuilder;
+
+  WeightedGraph(std::vector<int64_t> offsets, std::vector<Arc> arcs);
+
+  std::vector<int64_t> offsets_;  // size n + 1.
+  std::vector<Arc> arcs_;
+  std::vector<double> out_weight_;  // Cached per-node weight sums.
+};
+
+/// Accumulates arcs, then Build()s a WeightedGraph.
+class WeightedGraphBuilder {
+ public:
+  explicit WeightedGraphBuilder(NodeId num_nodes);
+
+  WeightedGraphBuilder(const WeightedGraphBuilder&) = delete;
+  WeightedGraphBuilder& operator=(const WeightedGraphBuilder&) = delete;
+  WeightedGraphBuilder(WeightedGraphBuilder&&) noexcept = default;
+  WeightedGraphBuilder& operator=(WeightedGraphBuilder&&) noexcept = default;
+
+  /// Adds a directed arc u -> v. Weight must be positive and finite;
+  /// self-loops are rejected at Build(). Parallel arcs merge by summing.
+  void AddArc(NodeId u, NodeId v, double weight);
+
+  /// Adds both u -> v and v -> u with the same weight.
+  void AddUndirectedEdge(NodeId u, NodeId v, double weight);
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  Result<WeightedGraph> Build() &&;
+  WeightedGraph BuildOrDie() &&;
+
+ private:
+  NodeId num_nodes_;
+  bool saw_bad_weight_ = false;
+  bool saw_self_loop_ = false;
+  std::vector<std::pair<std::pair<NodeId, NodeId>, double>> arcs_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_WGRAPH_WEIGHTED_GRAPH_H_

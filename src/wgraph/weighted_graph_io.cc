@@ -1,0 +1,122 @@
+#include "wgraph/weighted_graph_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace rwdom {
+namespace {
+
+class IdRemapper {
+ public:
+  NodeId Map(int64_t original) {
+    auto [it, inserted] =
+        dense_.try_emplace(original, static_cast<NodeId>(originals_.size()));
+    if (inserted) originals_.push_back(original);
+    return it->second;
+  }
+  std::vector<int64_t> TakeOriginals() && { return std::move(originals_); }
+
+ private:
+  std::unordered_map<int64_t, NodeId> dense_;
+  std::vector<int64_t> originals_;
+};
+
+}  // namespace
+
+Result<LoadedWeightedGraph> ParseWeightedEdgeList(const std::string& text,
+                                                  bool directed) {
+  IdRemapper remap;
+  struct RawArc {
+    NodeId u, v;
+    double w;
+  };
+  std::vector<RawArc> raw;
+  NodeId max_node = -1;
+  std::istringstream in(text);
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#' || stripped[0] == '%') continue;
+    std::vector<std::string_view> fields = SplitWhitespace(stripped);
+    if (fields.size() < 2) {
+      return Status::Corruption(
+          StrFormat("line %lld: expected 'u v [w]'",
+                    static_cast<long long>(line_no)));
+    }
+    auto u_result = ParseInt64(fields[0]);
+    auto v_result = ParseInt64(fields[1]);
+    if (!u_result.ok() || !v_result.ok()) {
+      return Status::Corruption(
+          StrFormat("line %lld: non-integer endpoint",
+                    static_cast<long long>(line_no)));
+    }
+    double weight = 1.0;
+    if (fields.size() >= 3) {
+      auto w_result = ParseDouble(fields[2]);
+      if (!w_result.ok()) {
+        return Status::Corruption(StrFormat(
+            "line %lld: bad weight", static_cast<long long>(line_no)));
+      }
+      weight = *w_result;
+    }
+    if (!(weight > 0.0) || !std::isfinite(weight)) {
+      return Status::Corruption(
+          StrFormat("line %lld: weight must be positive and finite",
+                    static_cast<long long>(line_no)));
+    }
+    NodeId u = remap.Map(*u_result);
+    NodeId v = remap.Map(*v_result);
+    if (u == v) continue;  // Drop self-loops, as in the unweighted loader.
+    raw.push_back({u, v, weight});
+    max_node = std::max(max_node, std::max(u, v));
+  }
+
+  WeightedGraphBuilder builder(max_node + 1);
+  for (const RawArc& arc : raw) {
+    if (directed) {
+      builder.AddArc(arc.u, arc.v, arc.w);
+    } else {
+      builder.AddUndirectedEdge(arc.u, arc.v, arc.w);
+    }
+  }
+  RWDOM_ASSIGN_OR_RETURN(WeightedGraph graph, std::move(builder).Build());
+  return LoadedWeightedGraph{std::move(graph),
+                             std::move(remap).TakeOriginals()};
+}
+
+Result<LoadedWeightedGraph> LoadWeightedEdgeList(const std::string& path,
+                                                 bool directed) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return Status::IoError("read failed: " + path);
+  return ParseWeightedEdgeList(buffer.str(), directed);
+}
+
+Status SaveWeightedEdgeList(const WeightedGraph& graph,
+                            const std::string& path,
+                            const std::string& comment) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  file << "# rwdom weighted arc list";
+  if (!comment.empty()) file << ": " << comment;
+  file << "\n# nodes " << graph.num_nodes() << " arcs " << graph.num_arcs()
+       << "\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (const Arc& arc : graph.out_arcs(u)) {
+      file << u << "\t" << arc.target << "\t"
+           << StrFormat("%.17g", arc.weight) << "\n";
+    }
+  }
+  if (!file) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace rwdom

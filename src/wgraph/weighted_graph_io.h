@@ -1,0 +1,39 @@
+// Weighted edge-list I/O: "u v w" per line ('#'/'%' comments), with the
+// weight column optional (default 1.0). Sparse ids are remapped to dense
+// first-seen order, matching the unweighted loader.
+#ifndef RWDOM_WGRAPH_WEIGHTED_GRAPH_IO_H_
+#define RWDOM_WGRAPH_WEIGHTED_GRAPH_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "wgraph/weighted_graph.h"
+
+namespace rwdom {
+
+/// A loaded weighted graph plus the original-id -> dense-id mapping.
+struct LoadedWeightedGraph {
+  WeightedGraph graph;
+  std::vector<int64_t> original_ids;
+};
+
+/// Parses weighted edge-list text. `directed` decides whether each line
+/// adds one arc or a symmetric pair. Weights must be positive and finite.
+Result<LoadedWeightedGraph> ParseWeightedEdgeList(const std::string& text,
+                                                  bool directed);
+
+/// Loads from a file.
+Result<LoadedWeightedGraph> LoadWeightedEdgeList(const std::string& path,
+                                                 bool directed);
+
+/// Writes all arcs as "u v w" lines (dense ids). A graph saved as directed
+/// and reloaded as directed round-trips exactly.
+Status SaveWeightedEdgeList(const WeightedGraph& graph,
+                            const std::string& path,
+                            const std::string& comment = "");
+
+}  // namespace rwdom
+
+#endif  // RWDOM_WGRAPH_WEIGHTED_GRAPH_IO_H_

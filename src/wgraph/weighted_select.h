@@ -1,0 +1,83 @@
+// Seed selection on weighted digraphs: the weighted analogues of the
+// paper's DPF* and ApproxF* algorithms. Algorithm 6's index and gain state
+// are walk-representation-agnostic, so the approximate greedy reuses them
+// verbatim — only the walker changes.
+#ifndef RWDOM_WGRAPH_WEIGHTED_SELECT_H_
+#define RWDOM_WGRAPH_WEIGHTED_SELECT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/greedy_selector.h"
+#include "core/objective.h"
+#include "core/selector.h"
+#include "index/inverted_walk_index.h"
+#include "walk/problem.h"
+#include "wgraph/weighted_dp.h"
+#include "wgraph/weighted_graph.h"
+
+namespace rwdom {
+
+/// Exact weighted F1 / F2 oracle (for the weighted DP greedy).
+class WeightedExactObjective final : public Objective {
+ public:
+  WeightedExactObjective(const WeightedGraph* graph, Problem problem,
+                         int32_t length);
+
+  NodeId universe_size() const override { return dp_.graph().num_nodes(); }
+  double Value(const NodeFlagSet& s) const override;
+  double ValueWithExtra(const NodeFlagSet& s, NodeId u) const override;
+  std::string name() const override;
+
+ private:
+  Problem problem_;
+  WeightedDp dp_;
+};
+
+/// Weighted DPF1 / DPF2: Algorithm 1 with exact weighted marginal gains.
+class WeightedDpGreedy final : public Selector {
+ public:
+  /// `graph` must outlive this object.
+  WeightedDpGreedy(const WeightedGraph* graph, Problem problem,
+                   int32_t length, GreedyOptions options = {});
+
+  SelectionResult Select(int32_t k) override { return greedy_.Select(k); }
+  std::string name() const override { return greedy_.name(); }
+
+ private:
+  WeightedExactObjective objective_;
+  GreedySelector greedy_;
+};
+
+/// Weighted ApproxF1 / ApproxF2: Algorithm 6 over weight-proportional
+/// walks. Identical index/gain machinery and complexity as the unweighted
+/// version (alias sampling keeps steps O(1)).
+class WeightedApproxGreedy final : public Selector {
+ public:
+  struct Options {
+    int32_t length = 6;
+    int32_t num_replicates = 100;
+    uint64_t seed = 42;
+    bool lazy = true;
+  };
+
+  /// `graph` must outlive this object.
+  WeightedApproxGreedy(const WeightedGraph* graph, Problem problem,
+                       Options options);
+
+  SelectionResult Select(int32_t k) override;
+  std::string name() const override;
+
+  /// Index built by the last Select(); null before the first call.
+  const InvertedWalkIndex* index() const { return index_.get(); }
+
+ private:
+  const WeightedGraph& graph_;
+  Problem problem_;
+  Options options_;
+  std::unique_ptr<InvertedWalkIndex> index_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_WGRAPH_WEIGHTED_SELECT_H_

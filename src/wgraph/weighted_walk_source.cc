@@ -1,0 +1,39 @@
+#include "wgraph/weighted_walk_source.h"
+
+#include "util/logging.h"
+
+namespace rwdom {
+
+WeightedWalkSource::WeightedWalkSource(const WeightedGraph* graph,
+                                       uint64_t seed)
+    : graph_(*graph), rng_(seed) {
+  alias_.resize(static_cast<size_t>(graph_.num_nodes()));
+  std::vector<double> weights;
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    auto arcs = graph_.out_arcs(u);
+    if (arcs.empty()) continue;  // Sink: leave the table empty.
+    weights.clear();
+    weights.reserve(arcs.size());
+    for (const Arc& arc : arcs) weights.push_back(arc.weight);
+    alias_[static_cast<size_t>(u)] = AliasTable(weights);
+  }
+}
+
+void WeightedWalkSource::SampleWalk(NodeId start, int32_t length,
+                                    std::vector<NodeId>* trajectory) {
+  RWDOM_DCHECK(graph_.IsValidNode(start));
+  RWDOM_DCHECK_GE(length, 0);
+  trajectory->clear();
+  trajectory->reserve(static_cast<size_t>(length) + 1);
+  trajectory->push_back(start);
+  NodeId current = start;
+  for (int32_t step = 0; step < length; ++step) {
+    const AliasTable& table = alias_[static_cast<size_t>(current)];
+    if (table.empty()) break;  // Stuck on a sink.
+    const int32_t pick = table.Sample(&rng_);
+    current = graph_.out_arcs(current)[static_cast<size_t>(pick)].target;
+    trajectory->push_back(current);
+  }
+}
+
+}  // namespace rwdom

@@ -1,0 +1,80 @@
+#include "wgraph/alias_table.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rwdom {
+namespace {
+
+TEST(AliasTableTest, SingleOutcome) {
+  AliasTable table({5.0});
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(table.Sample(&rng), 0);
+  EXPECT_DOUBLE_EQ(table.Probability(0), 1.0);
+}
+
+TEST(AliasTableTest, UniformWeights) {
+  AliasTable table({1.0, 1.0, 1.0, 1.0});
+  for (int32_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(table.Probability(i), 0.25, 1e-12);
+  }
+}
+
+TEST(AliasTableTest, ProbabilitiesMatchWeights) {
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  AliasTable table(weights);
+  const double total = 10.0;
+  for (int32_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(table.Probability(i), weights[static_cast<size_t>(i)] / total,
+                1e-12)
+        << i;
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightOutcomeNeverSampled) {
+  AliasTable table({2.0, 0.0, 1.0});
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(table.Sample(&rng), 1);
+}
+
+TEST(AliasTableTest, EmpiricalFrequenciesConverge) {
+  std::vector<double> weights = {0.5, 2.0, 4.0, 1.5};
+  AliasTable table(weights);
+  Rng rng(11);
+  std::vector<int> counts(4, 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.Sample(&rng)];
+  for (int32_t i = 0; i < 4; ++i) {
+    double expected = weights[static_cast<size_t>(i)] / 8.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kDraws, expected, 0.01)
+        << i;
+  }
+}
+
+TEST(AliasTableTest, HighlySkewedWeights) {
+  AliasTable table({1e-6, 1e6});
+  Rng rng(13);
+  int heavy = 0;
+  for (int i = 0; i < 10000; ++i) heavy += table.Sample(&rng) == 1 ? 1 : 0;
+  EXPECT_GT(heavy, 9990);
+  EXPECT_NEAR(table.Probability(1), 1.0, 1e-9);
+}
+
+TEST(AliasTableTest, ProbabilitiesSumToOne) {
+  AliasTable table({0.3, 1.7, 2.2, 0.01, 5.5, 0.0, 1.0});
+  double total = 0.0;
+  for (int32_t i = 0; i < table.size(); ++i) total += table.Probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(AliasTableTest, AllZeroWeightsDies) {
+  EXPECT_DEATH(AliasTable({0.0, 0.0}), "all weights zero");
+}
+
+TEST(AliasTableTest, NegativeWeightDies) {
+  EXPECT_DEATH(AliasTable({1.0, -0.5}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace rwdom

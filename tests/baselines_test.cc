@@ -1,0 +1,123 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/selector_registry.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace rwdom {
+namespace {
+
+TEST(DegreeBaselineTest, PicksHighestDegrees) {
+  Graph g = GenerateStar(6);
+  DegreeBaseline degree(&g);
+  SelectionResult result = degree.Select(2);
+  ASSERT_EQ(result.selected.size(), 2u);
+  EXPECT_EQ(result.selected[0], 0);  // Hub (degree 5).
+  EXPECT_EQ(result.selected[1], 1);  // Tie among leaves -> lowest id.
+}
+
+TEST(DegreeBaselineTest, DeterministicTieBreakByLowestId) {
+  Graph g = GenerateCycle(6);  // All degrees equal.
+  DegreeBaseline degree(&g);
+  SelectionResult result = degree.Select(3);
+  EXPECT_EQ(result.selected, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(DegreeBaselineTest, KBeyondNReturnsAll) {
+  Graph g = GeneratePath(4);
+  DegreeBaseline degree(&g);
+  EXPECT_EQ(degree.Select(10).selected.size(), 4u);
+}
+
+TEST(DominateBaselineTest, StarIsDominatedByHub) {
+  Graph g = GenerateStar(9);
+  DominateBaseline dominate(&g);
+  SelectionResult result = dominate.Select(1);
+  ASSERT_EQ(result.selected.size(), 1u);
+  EXPECT_EQ(result.selected[0], 0);
+  EXPECT_DOUBLE_EQ(result.objective_estimate, 9.0);  // Covers everything.
+}
+
+TEST(DominateBaselineTest, CoversBothCliques) {
+  // Degree picks both top nodes from the denser side of ties; Dominate
+  // must spread across the two cliques to maximize coverage.
+  Graph g = GenerateTwoCliquesBridge(5);
+  DominateBaseline dominate(&g);
+  SelectionResult result = dominate.Select(2);
+  ASSERT_EQ(result.selected.size(), 2u);
+  std::set<int> sides;
+  for (NodeId u : result.selected) sides.insert(u < 5 ? 0 : 1);
+  EXPECT_EQ(sides.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.objective_estimate, 10.0);
+}
+
+TEST(DominateBaselineTest, CoverageGainsNonIncreasing) {
+  auto graph = GenerateBarabasiAlbert(60, 2, 121);
+  ASSERT_TRUE(graph.ok());
+  DominateBaseline dominate(&*graph);
+  SelectionResult result = dominate.Select(10);
+  for (size_t i = 1; i < result.gains.size(); ++i) {
+    EXPECT_LE(result.gains[i], result.gains[i - 1]);
+  }
+}
+
+TEST(DominateBaselineTest, PathGreedyCoverage) {
+  // Path 0-1-2-3-4: best single pick covers 3 nodes (any internal node;
+  // ties -> node 1).
+  Graph g = GeneratePath(5);
+  DominateBaseline dominate(&g);
+  SelectionResult result = dominate.Select(1);
+  EXPECT_EQ(result.selected[0], 1);
+  EXPECT_DOUBLE_EQ(result.gains[0], 3.0);
+}
+
+TEST(RandomBaselineTest, DistinctAndDeterministicPerSeed) {
+  auto graph = GenerateBarabasiAlbert(50, 2, 123);
+  ASSERT_TRUE(graph.ok());
+  RandomBaseline a(&*graph, 5);
+  RandomBaseline b(&*graph, 5);
+  RandomBaseline c(&*graph, 6);
+  auto sa = a.Select(10).selected;
+  auto sb = b.Select(10).selected;
+  auto sc = c.Select(10).selected;
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(sa, sc);
+  std::set<NodeId> unique(sa.begin(), sa.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(SelectorRegistryTest, AllKnownNamesConstruct) {
+  auto graph = GenerateBarabasiAlbert(30, 2, 125);
+  ASSERT_TRUE(graph.ok());
+  SelectorParams params{.length = 3, .num_samples = 5, .seed = 1};
+  for (const std::string& name : KnownSelectorNames()) {
+    auto selector = MakeSelector(name, &*graph, params);
+    ASSERT_TRUE(selector.ok()) << name;
+    SelectionResult result = (*selector)->Select(2);
+    EXPECT_EQ(result.selected.size(), 2u) << name;
+  }
+}
+
+TEST(SelectorRegistryTest, UnknownNameFails) {
+  Graph g = GenerateCycle(4);
+  auto result = MakeSelector("Oracle", &g, SelectorParams{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SelectorRegistryTest, NamesMatchSelectors) {
+  Graph g = GenerateCycle(8);
+  SelectorParams params{.length = 2, .num_samples = 3, .seed = 1};
+  for (const std::string& name : KnownSelectorNames()) {
+    auto selector = MakeSelector(name, &g, params);
+    ASSERT_TRUE(selector.ok());
+    EXPECT_EQ((*selector)->name(), name);
+  }
+}
+
+}  // namespace
+}  // namespace rwdom

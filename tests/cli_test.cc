@@ -1,0 +1,198 @@
+#include "cli/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rwdom {
+namespace {
+
+Result<CliInvocation> Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "rwdom");
+  return ParseCliArgs(static_cast<int>(args.size()), args.data());
+}
+
+std::pair<Status, std::string> RunCli(std::vector<const char*> args) {
+  auto invocation = Parse(std::move(args));
+  if (!invocation.ok()) return {invocation.status(), ""};
+  std::ostringstream out;
+  Status status = RunCliCommand(*invocation, out);
+  return {status, out.str()};
+}
+
+TEST(CliParseTest, CommandAndFlags) {
+  auto invocation = Parse({"select", "--k=5", "--algorithm=Degree"});
+  ASSERT_TRUE(invocation.ok());
+  EXPECT_EQ(invocation->command, "select");
+  EXPECT_EQ(invocation->flags.at("k"), "5");
+  EXPECT_EQ(invocation->flags.at("algorithm"), "Degree");
+}
+
+TEST(CliParseTest, RejectsMalformedInput) {
+  const char* no_command[] = {"rwdom"};
+  EXPECT_FALSE(ParseCliArgs(1, no_command).ok());
+  EXPECT_FALSE(Parse({"stats", "positional"}).ok());
+  EXPECT_FALSE(Parse({"stats", "--flagwithoutvalue"}).ok());
+}
+
+TEST(CliTest, HelpListsEveryCommand) {
+  auto [status, out] = RunCli({"help"});
+  ASSERT_TRUE(status.ok());
+  for (const char* command :
+       {"datasets", "stats", "generate", "select", "evaluate", "cover"}) {
+    EXPECT_NE(out.find(command), std::string::npos) << command;
+  }
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  auto [status, out] = RunCli({"frobnicate"});
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(CliTest, DatasetsListsTable2) {
+  auto [status, out] = RunCli({"datasets"});
+  ASSERT_TRUE(status.ok());
+  EXPECT_NE(out.find("CAGrQc"), std::string::npos);
+  EXPECT_NE(out.find("75,872"), std::string::npos);  // Epinions nodes.
+}
+
+class CliFileTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    graph_path_ = testing::TempDir() + "/rwdom_cli_graph.txt";
+    // Star with hub 0 plus a tail: easy to predict selections.
+    FILE* file = fopen(graph_path_.c_str(), "w");
+    ASSERT_NE(file, nullptr);
+    fputs("0 1\n0 2\n0 3\n0 4\n4 5\n", file);
+    fclose(file);
+  }
+  void TearDown() override { std::remove(graph_path_.c_str()); }
+
+  std::string GraphFlag() const { return "--graph=" + graph_path_; }
+  std::string graph_path_;
+};
+
+TEST_F(CliFileTest, StatsReportsGraphShape) {
+  std::string flag = GraphFlag();
+  auto [status, out] = RunCli({"stats", flag.c_str()});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("n=6"), std::string::npos);
+  EXPECT_NE(out.find("m=5"), std::string::npos);
+  EXPECT_NE(out.find("triangles=0"), std::string::npos);
+}
+
+TEST_F(CliFileTest, SelectPicksHubWithDegree) {
+  std::string flag = GraphFlag();
+  auto [status, out] = RunCli(
+      {"select", flag.c_str(), "--algorithm=Degree", "--k=1", "--L=3"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("seeds: 0"), std::string::npos);
+  EXPECT_NE(out.find("AHT="), std::string::npos);
+}
+
+TEST_F(CliFileTest, SelectRejectsUnknownAlgorithm) {
+  std::string flag = GraphFlag();
+  auto [status, out] =
+      RunCli({"select", flag.c_str(), "--algorithm=Quantum", "--k=1"});
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST_F(CliFileTest, EvaluateScoresSeedList) {
+  std::string flag = GraphFlag();
+  auto [status, out] =
+      RunCli({"evaluate", flag.c_str(), "--seeds=0", "--L=3", "--R=200"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("AHT="), std::string::npos);
+  EXPECT_NE(out.find("EHN="), std::string::npos);
+}
+
+TEST_F(CliFileTest, EvaluateRejectsOutOfRangeSeeds) {
+  std::string flag = GraphFlag();
+  auto [status, out] = RunCli({"evaluate", flag.c_str(), "--seeds=0,99"});
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(CliFileTest, CoverReachesTarget) {
+  std::string flag = GraphFlag();
+  auto [status, out] =
+      RunCli({"cover", flag.c_str(), "--alpha=0.8", "--L=3", "--R=50"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("reached"), std::string::npos);
+}
+
+TEST_F(CliFileTest, SaveIndexWritesLoadableFile) {
+  std::string flag = GraphFlag();
+  std::string index_path = testing::TempDir() + "/rwdom_cli_index.bin";
+  std::string save_flag = "--save_index=" + index_path;
+  auto [status, out] = RunCli({"select", flag.c_str(), "--algorithm=ApproxF2",
+                            "--k=1", "--L=3", "--R=10",
+                            save_flag.c_str()});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("index saved"), std::string::npos);
+  std::ifstream file(index_path, std::ios::binary);
+  EXPECT_TRUE(file.good());
+  std::remove(index_path.c_str());
+}
+
+TEST_F(CliFileTest, KnnExactRanksByHittingTime) {
+  std::string flag = GraphFlag();
+  auto [status, out] =
+      RunCli({"knn", flag.c_str(), "--query=0", "--k=3", "--L=4"});
+  ASSERT_TRUE(status.ok()) << status;
+  // Direct leaves 1/2/3 reach the hub in one forced hop; they must fill
+  // the top ranks before node 4 (which sometimes wanders to 5 first).
+  EXPECT_NE(out.find("1"), std::string::npos);
+  EXPECT_NE(out.find("h^L"), std::string::npos);
+}
+
+TEST_F(CliFileTest, KnnSampledModeWorks) {
+  std::string flag = GraphFlag();
+  auto [status, out] = RunCli({"knn", flag.c_str(), "--query=0", "--k=2",
+                               "--L=4", "--mode=sampled", "--R=50"});
+  ASSERT_TRUE(status.ok()) << status;
+}
+
+TEST_F(CliFileTest, KnnValidatesFlags) {
+  std::string flag = GraphFlag();
+  EXPECT_EQ(RunCli({"knn", flag.c_str(), "--query=99"}).first.code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(RunCli({"knn", flag.c_str(), "--query=0", "--mode=psychic"})
+                .first.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CliTest, GenerateWritesEdgeList) {
+  std::string out_path = testing::TempDir() + "/rwdom_cli_gen.txt";
+  std::string out_flag = "--out=" + out_path;
+  auto [status, out] = RunCli({"generate", "--model=er", "--n=50", "--m=100",
+                            out_flag.c_str()});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("n=50 m=100"), std::string::npos);
+
+  // The written file must itself be loadable through the CLI.
+  std::string graph_flag = "--graph=" + out_path;
+  auto [stats_status, stats_out] = RunCli({"stats", graph_flag.c_str()});
+  ASSERT_TRUE(stats_status.ok());
+  EXPECT_NE(stats_out.find("m=100"), std::string::npos);
+  std::remove(out_path.c_str());
+}
+
+TEST(CliTest, GenerateValidatesFlags) {
+  EXPECT_FALSE(RunCli({"generate", "--model=er", "--n=50"}).first.ok());
+  std::string out_flag = "--out=" + testing::TempDir() + "/x.txt";
+  EXPECT_FALSE(
+      RunCli({"generate", "--model=warp", "--n=5", out_flag.c_str()})
+          .first.ok());
+}
+
+TEST(CliTest, GraphAndDatasetFlagsAreExclusive) {
+  auto [status, out] = RunCli({"stats"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  auto both = RunCli({"stats", "--graph=x", "--dataset=CAGrQc"});
+  EXPECT_EQ(both.first.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,70 @@
+#include "graph/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace rwdom {
+namespace {
+
+TEST(ClusteringTest, CompleteGraphIsFullyClustered) {
+  Graph g = GenerateComplete(5);
+  EXPECT_EQ(CountTriangles(g), 10);  // C(5,3).
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g), 1.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 1.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 0), 1.0);
+}
+
+TEST(ClusteringTest, TreesHaveNoTriangles) {
+  Graph star = GenerateStar(8);
+  EXPECT_EQ(CountTriangles(star), 0);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(star), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(star), 0.0);
+  Graph path = GeneratePath(10);
+  EXPECT_EQ(CountTriangles(path), 0);
+}
+
+TEST(ClusteringTest, SingleTriangleWithTail) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(2, 3);
+  Graph g = std::move(builder).BuildOrDie();
+  EXPECT_EQ(CountTriangles(g), 1);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 0), 1.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 2), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 3), 0.0);  // Degree 1.
+  // Wedges: d(0)=2 ->1, d(1)=2 ->1, d(2)=3 ->3, d(3)=1 ->0; total 5.
+  // Closed corners = 3. Transitivity = 3/5.
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 0.6);
+}
+
+TEST(ClusteringTest, EmptyAndTinyGraphs) {
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(Graph()), 0.0);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(GeneratePath(2)), 0.0);
+  EXPECT_EQ(CountTriangles(GeneratePath(2)), 0);
+}
+
+TEST(ClusteringTest, CommunityGraphIsMoreClusteredThanUniform) {
+  // The dataset stand-ins exist precisely because real networks cluster;
+  // verify the community generator actually delivers higher clustering
+  // than a degree-matched uniform graph.
+  auto community = GeneratePowerLawCommunity(1500, 9000, 12, 0.08, 7);
+  auto uniform = GenerateErdosRenyiGnm(1500, 9000, 7);
+  ASSERT_TRUE(community.ok());
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_GT(GlobalClusteringCoefficient(*community),
+            2.0 * GlobalClusteringCoefficient(*uniform));
+}
+
+TEST(ClusteringTest, WattsStrogatzLowBetaIsClustered) {
+  auto ws = GenerateWattsStrogatz(300, 3, 0.05, 9);
+  ASSERT_TRUE(ws.ok());
+  // Ring lattice with k=3 has C ~ 0.6; light rewiring keeps most of it.
+  EXPECT_GT(AverageClusteringCoefficient(*ws), 0.4);
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,61 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace rwdom {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(CsvEscape("abc"), "abc");
+  EXPECT_EQ(CsvEscape(""), "");
+  EXPECT_EQ(CsvEscape("1.5"), "1.5");
+}
+
+TEST(CsvEscapeTest, QuotesWhenNeeded) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  CsvWriter writer({"k", "aht"});
+  writer.AddRow({"20", "5.2"});
+  writer.AddNumericRow({40.0, 5.1});
+  EXPECT_EQ(writer.ToString(), "k,aht\n20,5.2\n40,5.1\n");
+  EXPECT_EQ(writer.num_rows(), 2u);
+}
+
+TEST(CsvWriterTest, HeaderlessAllowsAnyWidth) {
+  CsvWriter writer({});
+  writer.AddRow({"a"});
+  writer.AddRow({"b", "c"});
+  EXPECT_EQ(writer.ToString(), "a\nb,c\n");
+}
+
+TEST(CsvWriterTest, RowWidthMismatchDies) {
+  CsvWriter writer({"one", "two"});
+  EXPECT_DEATH(writer.AddRow({"only-one"}), "width mismatch");
+}
+
+TEST(CsvWriterTest, WriteToFileRoundTrips) {
+  CsvWriter writer({"x"});
+  writer.AddRow({"has,comma"});
+  const std::string path = testing::TempDir() + "/rwdom_csv_test.csv";
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+  std::ifstream file(path);
+  std::string content((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "x\n\"has,comma\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteToBadPathFails) {
+  CsvWriter writer({"x"});
+  EXPECT_FALSE(writer.WriteToFile("/nonexistent-dir/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace rwdom

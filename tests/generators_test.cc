@@ -1,0 +1,249 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/properties.h"
+
+namespace rwdom {
+namespace {
+
+TEST(DeterministicFamiliesTest, Path) {
+  Graph g = GeneratePath(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(DeterministicFamiliesTest, SingleNodePath) {
+  Graph g = GeneratePath(1);
+  EXPECT_EQ(g.num_nodes(), 1);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(DeterministicFamiliesTest, Cycle) {
+  Graph g = GenerateCycle(6);
+  EXPECT_EQ(g.num_edges(), 6);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(g.degree(u), 2);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(DeterministicFamiliesTest, Star) {
+  Graph g = GenerateStar(7);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_EQ(g.degree(0), 6);
+  for (NodeId u = 1; u < 7; ++u) EXPECT_EQ(g.degree(u), 1);
+}
+
+TEST(DeterministicFamiliesTest, Complete) {
+  Graph g = GenerateComplete(5);
+  EXPECT_EQ(g.num_edges(), 10);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(g.degree(u), 4);
+}
+
+TEST(DeterministicFamiliesTest, Grid) {
+  Graph g = GenerateGrid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  // 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8 = 17.
+  EXPECT_EQ(g.num_edges(), 17);
+  EXPECT_EQ(g.degree(0), 2);   // Corner.
+  EXPECT_EQ(g.degree(5), 4);   // Interior (row 1, col 1).
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(DeterministicFamiliesTest, TwoCliquesBridge) {
+  Graph g = GenerateTwoCliquesBridge(4);
+  EXPECT_EQ(g.num_nodes(), 8);
+  EXPECT_EQ(g.num_edges(), 2 * 6 + 1);
+  EXPECT_TRUE(g.HasEdge(0, 4));
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(DeterministicFamiliesTest, PaperFigure1) {
+  Graph g = GeneratePaperFigure1();
+  EXPECT_EQ(g.num_nodes(), 8);
+  EXPECT_EQ(g.num_edges(), 10);
+  // Spot-check edges named in the paper's walks: v1-v2, v2-v6, v7-v5, v7-v8.
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 5));
+  EXPECT_TRUE(g.HasEdge(6, 4));
+  EXPECT_TRUE(g.HasEdge(6, 7));
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(BarabasiAlbertTest, SizeFormulaHolds) {
+  auto result = GenerateBarabasiAlbert(200, 3, 1);
+  ASSERT_TRUE(result.ok());
+  const Graph& g = *result;
+  EXPECT_EQ(g.num_nodes(), 200);
+  // Clique on 4 nodes (6 edges) + 196 nodes x 3 edges.
+  EXPECT_EQ(g.num_edges(), 6 + 196 * 3);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(BarabasiAlbertTest, DeterministicInSeed) {
+  auto a = GenerateBarabasiAlbert(100, 2, 9);
+  auto b = GenerateBarabasiAlbert(100, 2, 9);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Edges(), b->Edges());
+  auto c = GenerateBarabasiAlbert(100, 2, 10);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->Edges(), c->Edges());
+}
+
+TEST(BarabasiAlbertTest, HubsEmerge) {
+  auto result = GenerateBarabasiAlbert(2000, 2, 5);
+  ASSERT_TRUE(result.ok());
+  // Preferential attachment should grow hubs far above the minimum degree.
+  EXPECT_GT(result->max_degree(), 20);
+}
+
+TEST(BarabasiAlbertTest, RejectsBadArguments) {
+  EXPECT_FALSE(GenerateBarabasiAlbert(5, 0, 1).ok());
+  EXPECT_FALSE(GenerateBarabasiAlbert(3, 3, 1).ok());
+}
+
+TEST(PowerLawWithSizeTest, ExactSize) {
+  for (auto [n, m] : std::vector<std::pair<NodeId, int64_t>>{
+           {1000, 9956}, {100, 200}, {50, 49}, {10, 45}}) {
+    auto result = GeneratePowerLawWithSize(n, m, 7);
+    ASSERT_TRUE(result.ok()) << n << " " << m;
+    EXPECT_EQ(result->num_nodes(), n);
+    EXPECT_EQ(result->num_edges(), m);
+  }
+}
+
+TEST(PowerLawWithSizeTest, PaperSyntheticGraphShape) {
+  // The paper's small synthetic graph: 1000 nodes, 9956 edges, power law.
+  auto result = GeneratePowerLawWithSize(1000, 9956, 42);
+  ASSERT_TRUE(result.ok());
+  GraphStats stats = ComputeGraphStats(*result);
+  EXPECT_NEAR(stats.avg_degree, 19.9, 0.2);
+  EXPECT_GT(stats.max_degree, 3 * static_cast<int32_t>(stats.avg_degree));
+}
+
+TEST(PowerLawWithSizeTest, RejectsInfeasible) {
+  EXPECT_FALSE(GeneratePowerLawWithSize(1, 0, 1).ok());
+  EXPECT_FALSE(GeneratePowerLawWithSize(4, 7, 1).ok());  // > C(4,2).
+  EXPECT_FALSE(GeneratePowerLawWithSize(10, -1, 1).ok());
+}
+
+TEST(PowerLawCommunityTest, ExactSizeAndDeterminism) {
+  auto a = GeneratePowerLawCommunity(1000, 6000, 10, 0.1, 3);
+  auto b = GeneratePowerLawCommunity(1000, 6000, 10, 0.1, 3);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_nodes(), 1000);
+  EXPECT_EQ(a->num_edges(), 6000);
+  EXPECT_EQ(a->Edges(), b->Edges());
+}
+
+TEST(PowerLawCommunityTest, SingleCommunityDegenerate) {
+  auto result = GeneratePowerLawCommunity(200, 800, 1, 0.0, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_edges(), 800);
+}
+
+TEST(PowerLawCommunityTest, MostEdgesStayIntraCommunity) {
+  // With low mixing, the bulk of edges must join nodes of the same
+  // community; community c owns a contiguous id range, and the Zipf sizes
+  // are deterministic, so verify locality statistically: a random edge's
+  // endpoints should usually be close in id space relative to n.
+  const NodeId n = 2000;
+  auto result = GeneratePowerLawCommunity(n, 10000, 16, 0.08, 7);
+  ASSERT_TRUE(result.ok());
+  int64_t local = 0;
+  auto edges = result->Edges();
+  for (const auto& [u, v] : edges) {
+    if (v - u < n / 4) ++local;  // Largest community < n/2 by Zipf split.
+  }
+  EXPECT_GT(static_cast<double>(local) / static_cast<double>(edges.size()),
+            0.7);
+}
+
+TEST(PowerLawCommunityTest, RejectsBadArguments) {
+  EXPECT_FALSE(GeneratePowerLawCommunity(1, 0, 4, 0.1, 1).ok());
+  EXPECT_FALSE(GeneratePowerLawCommunity(100, 99999, 4, 0.1, 1).ok());
+  EXPECT_FALSE(GeneratePowerLawCommunity(100, 200, 0, 0.1, 1).ok());
+  EXPECT_FALSE(GeneratePowerLawCommunity(100, 200, 4, 1.5, 1).ok());
+}
+
+TEST(PowerLawCommunityTest, HeavyTailWithinCommunities) {
+  auto result = GeneratePowerLawCommunity(3000, 15000, 12, 0.08, 9);
+  ASSERT_TRUE(result.ok());
+  GraphStats stats = ComputeGraphStats(*result);
+  EXPECT_GT(stats.max_degree, 3 * static_cast<int32_t>(stats.avg_degree));
+}
+
+TEST(ErdosRenyiGnmTest, ExactEdgeCount) {
+  auto result = GenerateErdosRenyiGnm(50, 100, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_nodes(), 50);
+  EXPECT_EQ(result->num_edges(), 100);
+}
+
+TEST(ErdosRenyiGnmTest, CompleteGraphPossible) {
+  auto result = GenerateErdosRenyiGnm(6, 15, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_edges(), 15);
+}
+
+TEST(ErdosRenyiGnpTest, EdgeCountNearExpectation) {
+  const NodeId n = 200;
+  const double p = 0.1;
+  auto result = GenerateErdosRenyiGnp(n, p, 11);
+  ASSERT_TRUE(result.ok());
+  const double expected = p * n * (n - 1) / 2.0;  // 1990.
+  EXPECT_NEAR(static_cast<double>(result->num_edges()), expected,
+              5.0 * std::sqrt(expected * (1 - p)));
+}
+
+TEST(ErdosRenyiGnpTest, DegenerateProbabilities) {
+  auto empty = GenerateErdosRenyiGnp(20, 0.0, 1);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_edges(), 0);
+  auto full = GenerateErdosRenyiGnp(20, 1.0, 1);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->num_edges(), 190);
+}
+
+TEST(WattsStrogatzTest, LatticeEdgeCountPreserved) {
+  auto result = GenerateWattsStrogatz(100, 3, 0.1, 13);
+  ASSERT_TRUE(result.ok());
+  // Rewiring replaces edges one-for-one (up to rare dedup collisions).
+  EXPECT_NEAR(static_cast<double>(result->num_edges()), 300.0, 5.0);
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsRingLattice) {
+  auto result = GenerateWattsStrogatz(20, 2, 0.0, 17);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_edges(), 40);
+  for (NodeId u = 0; u < 20; ++u) EXPECT_EQ(result->degree(u), 4);
+}
+
+TEST(WattsStrogatzTest, RejectsBadArguments) {
+  EXPECT_FALSE(GenerateWattsStrogatz(5, 3, 0.1, 1).ok());   // 2k >= n.
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 0, 0.1, 1).ok());  // k < 1.
+  EXPECT_FALSE(GenerateWattsStrogatz(10, 2, 1.5, 1).ok());  // beta > 1.
+}
+
+TEST(ChungLuTest, AverageDegreeInBallpark) {
+  auto result = GenerateChungLu(2000, 2.5, 10.0, 19);
+  ASSERT_TRUE(result.ok());
+  GraphStats stats = ComputeGraphStats(*result);
+  EXPECT_GT(stats.avg_degree, 5.0);
+  EXPECT_LT(stats.avg_degree, 15.0);
+  EXPECT_GT(stats.max_degree, 30);  // Heavy tail.
+}
+
+TEST(ChungLuTest, RejectsBadArguments) {
+  EXPECT_FALSE(GenerateChungLu(10, 2.0, 5.0, 1).ok());
+  EXPECT_FALSE(GenerateChungLu(10, 2.5, -1.0, 1).ok());
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,96 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace rwdom {
+namespace {
+
+TEST(ParseEdgeListTest, BasicParsing) {
+  auto result = ParseEdgeList("0 1\n1 2\n");
+  ASSERT_TRUE(result.ok());
+  const Graph& g = result->graph;
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+}
+
+TEST(ParseEdgeListTest, SkipsCommentsAndBlankLines) {
+  auto result = ParseEdgeList(
+      "# SNAP header\n% matrix-market style\n\n0\t1\n\n# trailing\n1\t2\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->graph.num_edges(), 2);
+}
+
+TEST(ParseEdgeListTest, RemapsSparseIdsFirstSeen) {
+  auto result = ParseEdgeList("100 7\n7 2000\n");
+  ASSERT_TRUE(result.ok());
+  const LoadedGraph& loaded = *result;
+  EXPECT_EQ(loaded.graph.num_nodes(), 3);
+  ASSERT_EQ(loaded.original_ids.size(), 3u);
+  EXPECT_EQ(loaded.original_ids[0], 100);
+  EXPECT_EQ(loaded.original_ids[1], 7);
+  EXPECT_EQ(loaded.original_ids[2], 2000);
+  EXPECT_TRUE(loaded.graph.HasEdge(0, 1));
+  EXPECT_TRUE(loaded.graph.HasEdge(1, 2));
+}
+
+TEST(ParseEdgeListTest, IgnoresExtraColumns) {
+  auto result = ParseEdgeList("0 1 1234567890 0.5\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->graph.num_edges(), 1);
+}
+
+TEST(ParseEdgeListTest, DropsSelfLoopsAndDuplicates) {
+  auto result = ParseEdgeList("0 0\n0 1\n1 0\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->graph.num_edges(), 1);
+}
+
+TEST(ParseEdgeListTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseEdgeList("0\n").ok());
+  EXPECT_FALSE(ParseEdgeList("a b\n").ok());
+  EXPECT_EQ(ParseEdgeList("0 x\n").status().code(), StatusCode::kCorruption);
+}
+
+TEST(ParseEdgeListTest, EmptyInputYieldsEmptyGraph) {
+  auto result = ParseEdgeList("# only comments\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->graph.num_nodes(), 0);
+}
+
+TEST(LoadEdgeListTest, MissingFileFails) {
+  auto result = LoadEdgeList("/nonexistent/never/graph.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(SaveLoadTest, RoundTripPreservesGraph) {
+  auto parsed = ParseEdgeList("0 1\n1 2\n2 3\n3 0\n0 2\n");
+  ASSERT_TRUE(parsed.ok());
+  const std::string path = testing::TempDir() + "/rwdom_io_test.txt";
+  ASSERT_TRUE(SaveEdgeList(parsed->graph, path, "round-trip test").ok());
+
+  auto reloaded = LoadEdgeList(path);
+  ASSERT_TRUE(reloaded.ok());
+  const Graph& a = parsed->graph;
+  const Graph& b = reloaded->graph;
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  // Dense ids written as-is, so edge sets must match exactly.
+  EXPECT_EQ(a.Edges(), b.Edges());
+  std::remove(path.c_str());
+}
+
+TEST(SaveEdgeListTest, BadPathFails) {
+  auto parsed = ParseEdgeList("0 1\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(
+      SaveEdgeList(parsed->graph, "/nonexistent-dir/graph.txt").ok());
+}
+
+}  // namespace
+}  // namespace rwdom

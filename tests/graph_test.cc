@@ -1,0 +1,162 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_builder.h"
+#include "graph/node_set.h"
+
+namespace rwdom {
+namespace {
+
+Graph TriangleWithTail() {
+  // 0-1, 1-2, 2-0, 2-3.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(2, 3);
+  return std::move(builder).BuildOrDie();
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+  EXPECT_FALSE(g.IsValidNode(0));
+}
+
+TEST(GraphTest, BasicAccessors) {
+  Graph g = TriangleWithTail();
+  EXPECT_EQ(g.num_nodes(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(2), 3);
+  EXPECT_EQ(g.degree(3), 1);
+  EXPECT_EQ(g.max_degree(), 3);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  Graph g = TriangleWithTail();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    auto adj = g.neighbors(u);
+    for (size_t i = 1; i < adj.size(); ++i) EXPECT_LT(adj[i - 1], adj[i]);
+  }
+  auto adj2 = g.neighbors(2);
+  ASSERT_EQ(adj2.size(), 3u);
+  EXPECT_EQ(adj2[0], 0);
+  EXPECT_EQ(adj2[1], 1);
+  EXPECT_EQ(adj2[2], 3);
+}
+
+TEST(GraphTest, HasEdgeIsSymmetric) {
+  Graph g = TriangleWithTail();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+  EXPECT_FALSE(g.HasEdge(0, 99));  // Out-of-range is just "no edge".
+}
+
+TEST(GraphTest, EdgesListsEachEdgeOnce) {
+  Graph g = TriangleWithTail();
+  auto edges = g.Edges();
+  ASSERT_EQ(edges.size(), 4u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+  EXPECT_EQ(edges[0], (std::pair<NodeId, NodeId>{0, 1}));
+  EXPECT_EQ(edges[3], (std::pair<NodeId, NodeId>{2, 3}));
+}
+
+TEST(GraphTest, IsolatedNodesAllowed) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  Graph g = std::move(builder).BuildOrDie();
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_TRUE(g.neighbors(2).empty());
+}
+
+TEST(GraphTest, MemoryUsageIsPositive) {
+  EXPECT_GT(TriangleWithTail().MemoryUsageBytes(), 0);
+}
+
+TEST(GraphBuilderTest, DeduplicatesParallelEdges) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(0, 1);
+  EXPECT_EQ(builder.num_raw_edges(), 3);
+  Graph g = std::move(builder).BuildOrDie();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsByDefault) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 0);
+  builder.AddEdge(0, 1);
+  Graph g = std::move(builder).BuildOrDie();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, RejectPolicyFailsOnSelfLoop) {
+  GraphBuilder builder(2, SelfLoopPolicy::kReject);
+  builder.AddEdge(1, 1);
+  Result<Graph> result = std::move(builder).Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, OutOfRangeEndpointDies) {
+  GraphBuilder builder(2);
+  EXPECT_DEATH(builder.AddEdge(0, 2), "out of range");
+}
+
+TEST(GraphBuilderTest, AutoGrowExtendsUniverse) {
+  GraphBuilder builder;
+  builder.AddEdgeAutoGrow(5, 2);
+  EXPECT_EQ(builder.num_nodes(), 6);
+  Graph g = std::move(builder).BuildOrDie();
+  EXPECT_EQ(g.num_nodes(), 6);
+  EXPECT_TRUE(g.HasEdge(2, 5));
+}
+
+TEST(GraphBuilderTest, ZeroNodeBuild) {
+  GraphBuilder builder(0);
+  Graph g = std::move(builder).BuildOrDie();
+  EXPECT_EQ(g.num_nodes(), 0);
+}
+
+TEST(NodeFlagSetTest, InsertAndContains) {
+  NodeFlagSet set(5);
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.Insert(3));
+  EXPECT_FALSE(set.Insert(3));
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_FALSE(set.Contains(2));
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.universe_size(), 5);
+}
+
+TEST(NodeFlagSetTest, MembersPreserveInsertionOrder) {
+  NodeFlagSet set(10);
+  set.Insert(7);
+  set.Insert(1);
+  set.Insert(4);
+  ASSERT_EQ(set.members().size(), 3u);
+  EXPECT_EQ(set.members()[0], 7);
+  EXPECT_EQ(set.members()[1], 1);
+  EXPECT_EQ(set.members()[2], 4);
+}
+
+TEST(NodeFlagSetTest, ConstructFromList) {
+  NodeFlagSet set(4, {0, 2});
+  EXPECT_TRUE(set.Contains(0));
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_TRUE(set.Contains(2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,152 @@
+#include "core/greedy_selector.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/dp_greedy.h"
+#include "core/exact_objective.h"
+#include "graph/generators.h"
+
+namespace rwdom {
+namespace {
+
+// Exhaustive optimum of `objective` over all subsets of size exactly k.
+double BruteForceOptimum(const Objective& objective, int32_t k) {
+  const NodeId n = objective.universe_size();
+  double best = 0.0;
+  std::vector<bool> mask(static_cast<size_t>(n), false);
+  std::fill(mask.begin(), mask.begin() + k, true);
+  do {
+    NodeFlagSet s(n);
+    for (NodeId u = 0; u < n; ++u) {
+      if (mask[static_cast<size_t>(u)]) s.Insert(u);
+    }
+    best = std::max(best, objective.Value(s));
+  } while (std::prev_permutation(mask.begin(), mask.end()));
+  return best;
+}
+
+TEST(GreedySelectorTest, PicksStarHubFirst) {
+  Graph g = GenerateStar(8);
+  ExactObjective objective(&g, Problem::kDominatedCount, 3);
+  GreedySelector greedy(&objective, "test");
+  SelectionResult result = greedy.Select(1);
+  ASSERT_EQ(result.selected.size(), 1u);
+  EXPECT_EQ(result.selected[0], 0);
+  EXPECT_DOUBLE_EQ(result.objective_estimate, 8.0);
+}
+
+TEST(GreedySelectorTest, PlainAndLazyProduceSameSelection) {
+  auto graph = GenerateBarabasiAlbert(40, 2, 91);
+  ASSERT_TRUE(graph.ok());
+  for (Problem problem :
+       {Problem::kHittingTime, Problem::kDominatedCount}) {
+    ExactObjective objective(&*graph, problem, 4);
+    GreedySelector plain(&objective, "plain", {.lazy = false});
+    GreedySelector lazy(&objective, "lazy", {.lazy = true});
+    SelectionResult a = plain.Select(6);
+    SelectionResult b = lazy.Select(6);
+    EXPECT_EQ(a.selected, b.selected) << ProblemName(problem);
+    EXPECT_NEAR(a.objective_estimate, b.objective_estimate, 1e-9);
+  }
+}
+
+TEST(GreedySelectorTest, LazySavesEvaluations) {
+  auto graph = GenerateBarabasiAlbert(60, 2, 93);
+  ASSERT_TRUE(graph.ok());
+  ExactObjective objective(&*graph, Problem::kDominatedCount, 4);
+  GreedySelector plain(&objective, "plain", {.lazy = false});
+  GreedySelector lazy(&objective, "lazy", {.lazy = true});
+  plain.Select(8);
+  lazy.Select(8);
+  EXPECT_LT(lazy.last_num_evaluations(), plain.last_num_evaluations());
+}
+
+TEST(GreedySelectorTest, GainsAreNonIncreasing) {
+  // With an exactly submodular oracle, greedy gains never increase.
+  auto graph = GenerateBarabasiAlbert(30, 3, 95);
+  ASSERT_TRUE(graph.ok());
+  ExactObjective objective(&*graph, Problem::kHittingTime, 5);
+  GreedySelector greedy(&objective, "g");
+  SelectionResult result = greedy.Select(10);
+  for (size_t i = 1; i < result.gains.size(); ++i) {
+    EXPECT_LE(result.gains[i], result.gains[i - 1] + 1e-9);
+  }
+}
+
+TEST(GreedySelectorTest, ObjectiveEstimateEqualsRecomputedValue) {
+  auto graph = GenerateBarabasiAlbert(25, 2, 97);
+  ASSERT_TRUE(graph.ok());
+  ExactObjective objective(&*graph, Problem::kDominatedCount, 4);
+  GreedySelector greedy(&objective, "g");
+  SelectionResult result = greedy.Select(5);
+  NodeFlagSet s(25, result.selected);
+  EXPECT_NEAR(result.objective_estimate, objective.Value(s), 1e-9);
+}
+
+TEST(GreedySelectorTest, KLargerThanNSelectsEverything) {
+  Graph g = GenerateCycle(5);
+  ExactObjective objective(&g, Problem::kDominatedCount, 2);
+  GreedySelector greedy(&objective, "g");
+  SelectionResult result = greedy.Select(100);
+  EXPECT_EQ(result.selected.size(), 5u);
+}
+
+TEST(GreedySelectorTest, KZeroSelectsNothing) {
+  Graph g = GenerateCycle(5);
+  ExactObjective objective(&g, Problem::kHittingTime, 2);
+  GreedySelector greedy(&objective, "g");
+  SelectionResult result = greedy.Select(0);
+  EXPECT_TRUE(result.selected.empty());
+}
+
+class GreedyApproximationTest
+    : public testing::TestWithParam<std::tuple<uint64_t, int32_t>> {};
+
+TEST_P(GreedyApproximationTest, AchievesNemhauserBoundVsBruteForce) {
+  // (1 - 1/e) ≈ 0.632 guarantee against the exhaustive optimum on graphs
+  // small enough to enumerate.
+  const auto [seed, k] = GetParam();
+  auto graph = GenerateErdosRenyiGnm(10, 18, seed);
+  ASSERT_TRUE(graph.ok());
+  const double bound = 1.0 - 1.0 / std::exp(1.0);
+  for (Problem problem :
+       {Problem::kHittingTime, Problem::kDominatedCount}) {
+    ExactObjective objective(&*graph, problem, 4);
+    GreedySelector greedy(&objective, "g");
+    SelectionResult result = greedy.Select(k);
+    double optimum = BruteForceOptimum(objective, k);
+    if (optimum <= 0.0) continue;  // Degenerate (disconnected) case.
+    EXPECT_GE(result.objective_estimate, bound * optimum - 1e-9)
+        << ProblemName(problem) << " seed=" << seed << " k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndK, GreedyApproximationTest,
+                         testing::Combine(testing::Values(11u, 22u, 33u, 44u),
+                                          testing::Values(1, 2, 3)));
+
+TEST(DpGreedyTest, NamesFollowPaper) {
+  Graph g = GenerateCycle(6);
+  DpGreedy f1(&g, Problem::kHittingTime, 3);
+  DpGreedy f2(&g, Problem::kDominatedCount, 3);
+  EXPECT_EQ(f1.name(), "DPF1");
+  EXPECT_EQ(f2.name(), "DPF2");
+}
+
+TEST(DpGreedyTest, SelectionPrefixProperty) {
+  // Greedy selections are nested: the k=3 result is a prefix of k=6.
+  auto graph = GenerateBarabasiAlbert(30, 2, 99);
+  ASSERT_TRUE(graph.ok());
+  DpGreedy greedy(&*graph, Problem::kDominatedCount, 4);
+  auto small = greedy.Select(3).selected;
+  auto large = greedy.Select(6).selected;
+  ASSERT_GE(large.size(), small.size());
+  for (size_t i = 0; i < small.size(); ++i) EXPECT_EQ(small[i], large[i]);
+}
+
+}  // namespace
+}  // namespace rwdom

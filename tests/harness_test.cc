@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/graph_io.h"
+#include "harness/dataset_registry.h"
+#include "harness/experiment.h"
+#include "harness/table_printer.h"
+
+namespace rwdom {
+namespace {
+
+TEST(DatasetRegistryTest, Table2SpecsMatchPaper) {
+  const auto& datasets = PaperDatasets();
+  ASSERT_EQ(datasets.size(), 4u);
+  EXPECT_EQ(datasets[0].name, "CAGrQc");
+  EXPECT_EQ(datasets[0].nodes, 5242);
+  EXPECT_EQ(datasets[0].edges, 28968);
+  EXPECT_EQ(datasets[1].name, "CAHepPh");
+  EXPECT_EQ(datasets[1].nodes, 12008);
+  EXPECT_EQ(datasets[1].edges, 236978);
+  EXPECT_EQ(datasets[2].name, "Brightkite");
+  EXPECT_EQ(datasets[2].nodes, 58228);
+  EXPECT_EQ(datasets[2].edges, 428156);
+  EXPECT_EQ(datasets[3].name, "Epinions");
+  EXPECT_EQ(datasets[3].nodes, 75872);
+  EXPECT_EQ(datasets[3].edges, 396026);
+}
+
+TEST(DatasetRegistryTest, FindDataset) {
+  EXPECT_TRUE(FindDataset("Epinions").ok());
+  EXPECT_FALSE(FindDataset("Twitter").ok());
+}
+
+TEST(DatasetRegistryTest, SynthesizesExactSizes) {
+  auto dataset = LoadOrSynthesizeDataset("CAGrQc", "/nonexistent-dir");
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_FALSE(dataset->from_file);
+  EXPECT_EQ(dataset->graph.num_nodes(), 5242);
+  EXPECT_EQ(dataset->graph.num_edges(), 28968);
+}
+
+TEST(DatasetRegistryTest, SynthesisIsDeterministic) {
+  auto a = LoadOrSynthesizeDataset("CAGrQc", "/nonexistent-dir");
+  auto b = LoadOrSynthesizeDataset("CAGrQc", "/nonexistent-dir");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->graph.Edges(), b->graph.Edges());
+}
+
+TEST(DatasetRegistryTest, LoadsRealFileWhenPresent) {
+  const std::string dir = testing::TempDir();
+  const std::string path = dir + "/CAGrQc.txt";
+  {
+    std::ofstream file(path);
+    file << "# tiny stand-in\n0 1\n1 2\n";
+  }
+  auto dataset = LoadOrSynthesizeDataset("CAGrQc", dir);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_TRUE(dataset->from_file);
+  EXPECT_EQ(dataset->graph.num_nodes(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetRegistryTest, ScaledStandInShrinks) {
+  auto dataset =
+      LoadOrSynthesizeScaledDataset("Brightkite", "/nonexistent-dir", 0.1);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->graph.num_nodes(), 5822);
+  EXPECT_EQ(dataset->graph.num_edges(), 42815);
+}
+
+TEST(DatasetRegistryTest, BadScaleRejected) {
+  EXPECT_FALSE(LoadOrSynthesizeScaledDataset("CAGrQc", ".", 0.0).ok());
+  EXPECT_FALSE(LoadOrSynthesizeScaledDataset("CAGrQc", ".", 1.5).ok());
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  std::string text = table.ToString();
+  EXPECT_EQ(text,
+            "name    value\n"
+            "------  -----\n"
+            "a       1\n"
+            "longer  22\n");
+}
+
+TEST(TablePrinterTest, MixedRowFormatsDoubles) {
+  TablePrinter table({"k", "aht", "ehn"});
+  table.AddMixedRow("20", {5.25, 1234.0});
+  std::string text = table.ToString();
+  EXPECT_NE(text.find("5.25"), std::string::npos);
+  EXPECT_NE(text.find("1234"), std::string::npos);
+}
+
+TEST(TablePrinterTest, WidthMismatchDies) {
+  TablePrinter table({"one"});
+  EXPECT_DEATH(table.AddRow({"a", "b"}), "CHECK failed");
+}
+
+TEST(ParseBenchArgsTest, Defaults) {
+  char prog[] = "bench";
+  char* argv[] = {prog};
+  BenchArgs args = ParseBenchArgs(1, argv);
+  EXPECT_FALSE(args.full);
+  EXPECT_EQ(args.seed, 42u);
+  EXPECT_EQ(args.data_dir, "data");
+  EXPECT_TRUE(args.csv_dir.empty());
+}
+
+TEST(ParseBenchArgsTest, ParsesAllFlags) {
+  char prog[] = "bench";
+  char full[] = "--full";
+  char seed[] = "--seed=7";
+  char data[] = "--data_dir=/tmp/d";
+  char csv[] = "--csv_dir=/tmp/c";
+  char* argv[] = {prog, full, seed, data, csv};
+  BenchArgs args = ParseBenchArgs(5, argv);
+  EXPECT_TRUE(args.full);
+  EXPECT_EQ(args.seed, 7u);
+  EXPECT_EQ(args.data_dir, "/tmp/d");
+  EXPECT_EQ(args.csv_dir, "/tmp/c");
+}
+
+TEST(ParseBenchArgsTest, UnknownFlagExits) {
+  char prog[] = "bench";
+  char bogus[] = "--bogus";
+  char* argv[] = {prog, bogus};
+  EXPECT_EXIT(ParseBenchArgs(2, argv), testing::ExitedWithCode(2),
+              "unknown flag");
+}
+
+TEST(EvaluatePrefixesTest, PrefixMetricsImproveWithK) {
+  auto dataset =
+      LoadOrSynthesizeScaledDataset("CAGrQc", "/nonexistent-dir", 0.05);
+  ASSERT_TRUE(dataset.ok());
+  const Graph& g = dataset->graph;
+  // Degree-ordered selection: more seeds can only help both metrics.
+  std::vector<NodeId> selection;
+  for (NodeId u = 0; u < 30; ++u) selection.push_back(u);
+  auto metrics =
+      EvaluatePrefixes(g, selection, {5, 15, 30}, 4, 200, 11);
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_GE(metrics[0].aht, metrics[2].aht - 0.2);
+  EXPECT_LE(metrics[0].ehn, metrics[2].ehn + 0.2);
+}
+
+TEST(MaybeDumpCsvTest, WritesWhenDirSet) {
+  BenchArgs args;
+  args.csv_dir = testing::TempDir();
+  MaybeDumpCsv(args, "unit", "a,b\n1,2\n");
+  std::ifstream file(args.csv_dir + "/unit.csv");
+  ASSERT_TRUE(file.good());
+  std::string content((std::istreambuf_iterator<char>(file)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a,b\n1,2\n");
+  std::remove((args.csv_dir + "/unit.csv").c_str());
+}
+
+TEST(MaybeDumpCsvTest, NoopWithoutDir) {
+  BenchArgs args;
+  MaybeDumpCsv(args, "unit", "x\n");  // Must not crash.
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,72 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace rwdom {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(5.0);
+  EXPECT_EQ(stats.count(), 1);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32, / 7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(IntHistogramTest, CountsAndOverflow) {
+  IntHistogram hist(5);
+  for (int64_t v : {0, 1, 1, 3, 5, 6, 100}) hist.Add(v);
+  EXPECT_EQ(hist.total(), 7);
+  EXPECT_EQ(hist.BucketCount(0), 1);
+  EXPECT_EQ(hist.BucketCount(1), 2);
+  EXPECT_EQ(hist.BucketCount(2), 0);
+  EXPECT_EQ(hist.BucketCount(3), 1);
+  EXPECT_EQ(hist.BucketCount(5), 1);
+  EXPECT_EQ(hist.overflow_count(), 2);
+}
+
+TEST(IntHistogramTest, Quantiles) {
+  IntHistogram hist(10);
+  for (int64_t v = 1; v <= 10; ++v) hist.Add(v);
+  EXPECT_EQ(hist.Quantile(0.1), 1);
+  EXPECT_EQ(hist.Quantile(0.5), 5);
+  EXPECT_EQ(hist.Quantile(1.0), 10);
+}
+
+TEST(IntHistogramTest, QuantileOfEmptyIsZero) {
+  IntHistogram hist(4);
+  EXPECT_EQ(hist.Quantile(0.5), 0);
+}
+
+TEST(IntHistogramTest, ToStringMentionsBuckets) {
+  IntHistogram hist(3);
+  hist.Add(2);
+  hist.Add(2);
+  std::string text = hist.ToString();
+  EXPECT_NE(text.find("2"), std::string::npos);
+  EXPECT_NE(text.find("#"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,138 @@
+#include "index/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/generators.h"
+#include "index/gain_state.h"
+#include "walk/walk_source.h"
+
+namespace rwdom {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+InvertedWalkIndex BuildSampleIndex(uint64_t seed) {
+  static const Graph* const kGraph =
+      new Graph(GenerateBarabasiAlbert(50, 3, 401).value());
+  RandomWalkSource source(kGraph, seed);
+  return InvertedWalkIndex::Build(5, 3, &source);
+}
+
+TEST(IndexIoTest, RoundTripPreservesEveryPosting) {
+  InvertedWalkIndex index = BuildSampleIndex(1);
+  const std::string path = TempPath("rwdom_index_roundtrip.bin");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, path).ok());
+
+  auto loaded = WalkIndexSerializer::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_nodes(), index.num_nodes());
+  EXPECT_EQ(loaded->length(), index.length());
+  EXPECT_EQ(loaded->num_replicates(), index.num_replicates());
+  EXPECT_EQ(loaded->TotalEntries(), index.TotalEntries());
+  for (int32_t i = 0; i < index.num_replicates(); ++i) {
+    for (NodeId v = 0; v < index.num_nodes(); ++v) {
+      auto a = index.List(i, v);
+      auto b = loaded->List(i, v);
+      ASSERT_EQ(a.size(), b.size()) << i << " " << v;
+      for (size_t j = 0; j < a.size(); ++j) {
+        EXPECT_EQ(a[j].id, b[j].id);
+        EXPECT_EQ(a[j].weight, b[j].weight);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, LoadedIndexDrivesIdenticalGreedy) {
+  InvertedWalkIndex index = BuildSampleIndex(2);
+  const std::string path = TempPath("rwdom_index_greedy.bin");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, path).ok());
+  auto loaded = WalkIndexSerializer::Load(path);
+  ASSERT_TRUE(loaded.ok());
+
+  GainState original(&index, Problem::kHittingTime);
+  GainState reloaded(&*loaded, Problem::kHittingTime);
+  for (NodeId u = 0; u < index.num_nodes(); ++u) {
+    EXPECT_DOUBLE_EQ(original.ApproxGain(u), reloaded.ApproxGain(u));
+  }
+  original.Commit(7);
+  reloaded.Commit(7);
+  EXPECT_DOUBLE_EQ(original.EstimatedObjective(),
+                   reloaded.EstimatedObjective());
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, MissingFileFails) {
+  auto result = WalkIndexSerializer::Load("/nonexistent/never/index.bin");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(IndexIoTest, BadMagicRejected) {
+  const std::string path = TempPath("rwdom_index_badmagic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE garbage";
+  }
+  auto result = WalkIndexSerializer::Load(path);
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, TruncationRejected) {
+  InvertedWalkIndex index = BuildSampleIndex(3);
+  const std::string path = TempPath("rwdom_index_truncated.bin");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, path).ok());
+  // Truncate the file to 60% of its size.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() * 6 / 10));
+  }
+  auto result = WalkIndexSerializer::Load(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, CorruptedEntryRejected) {
+  InvertedWalkIndex index = BuildSampleIndex(4);
+  const std::string path = TempPath("rwdom_index_corrupt.bin");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, path).ok());
+  // Flip bytes near the end (inside the last replicate's entries) to an
+  // out-of-range node id.
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(-8, std::ios::end);
+  const int32_t bogus_id = 1 << 24;  // Way beyond 50 nodes.
+  file.write(reinterpret_cast<const char*>(&bogus_id), sizeof(bogus_id));
+  file.close();
+  auto result = WalkIndexSerializer::Load(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, TrailingGarbageRejected) {
+  InvertedWalkIndex index = BuildSampleIndex(5);
+  const std::string path = TempPath("rwdom_index_trailing.bin");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, path).ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra";
+  }
+  auto result = WalkIndexSerializer::Load(path);
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,131 @@
+// End-to-end pipeline tests: generate graph -> select seeds with every
+// algorithm -> evaluate metrics, checking the orderings the paper's
+// evaluation (Figs. 6-7) relies on, plus whole-pipeline determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/selector_registry.h"
+#include "eval/metrics.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "harness/dataset_registry.h"
+
+namespace rwdom {
+namespace {
+
+class PipelineTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto graph = GeneratePowerLawWithSize(500, 2500, 4242);
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::move(graph).value();
+  }
+
+  Graph graph_;
+};
+
+TEST_F(PipelineTest, GreedyBeatsBaselinesOnItsOwnMetric) {
+  const int32_t length = 5;
+  const int32_t k = 15;
+  SelectorParams params{.length = length, .num_samples = 100, .seed = 1};
+
+  std::map<std::string, MetricsResult> metrics;
+  for (const char* name :
+       {"Degree", "Dominate", "Random", "ApproxF1", "ApproxF2"}) {
+    auto selector = MakeSelector(name, &graph_, params);
+    ASSERT_TRUE(selector.ok()) << name;
+    SelectionResult result = (*selector)->Select(k);
+    ASSERT_EQ(result.selected.size(), static_cast<size_t>(k)) << name;
+    metrics[name] = ExactMetrics(graph_, result.selected, length);
+  }
+
+  // Fig. 6 ordering: greedy AHT below both baselines.
+  EXPECT_LT(metrics["ApproxF1"].aht, metrics["Degree"].aht);
+  EXPECT_LT(metrics["ApproxF1"].aht, metrics["Dominate"].aht);
+  EXPECT_LT(metrics["ApproxF1"].aht, metrics["Random"].aht);
+  // Fig. 7 ordering: greedy EHN above both baselines.
+  EXPECT_GT(metrics["ApproxF2"].ehn, metrics["Degree"].ehn);
+  EXPECT_GT(metrics["ApproxF2"].ehn, metrics["Dominate"].ehn);
+  EXPECT_GT(metrics["ApproxF2"].ehn, metrics["Random"].ehn);
+}
+
+TEST_F(PipelineTest, MoreSeedsMonotonicallyImproveMetrics) {
+  SelectorParams params{.length = 5, .num_samples = 80, .seed = 3};
+  auto selector = MakeSelector("ApproxF2", &graph_, params);
+  ASSERT_TRUE(selector.ok());
+  SelectionResult result = (*selector)->Select(40);
+
+  double previous_ehn = -1.0;
+  double previous_aht = 1e9;
+  for (int32_t k : {10, 20, 30, 40}) {
+    std::vector<NodeId> prefix(result.selected.begin(),
+                               result.selected.begin() + k);
+    MetricsResult m = ExactMetrics(graph_, prefix, 5);
+    EXPECT_GT(m.ehn, previous_ehn);
+    EXPECT_LT(m.aht, previous_aht);
+    previous_ehn = m.ehn;
+    previous_aht = m.aht;
+  }
+}
+
+TEST_F(PipelineTest, WholePipelineIsDeterministic) {
+  SelectorParams params{.length = 4, .num_samples = 50, .seed = 99};
+  for (const char* name : {"ApproxF1", "ApproxF2", "SamplingF1"}) {
+    auto a = MakeSelector(name, &graph_, params);
+    auto b = MakeSelector(name, &graph_, params);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ((*a)->Select(8).selected, (*b)->Select(8).selected) << name;
+  }
+}
+
+TEST_F(PipelineTest, SamplingGreedyAgreesWithApproxGreedyQuality) {
+  // Both estimate the same objective; their selections should score within
+  // a few percent of each other under the exact metric.
+  const int32_t length = 4;
+  SelectorParams params{.length = length, .num_samples = 60, .seed = 17};
+  auto sampling = MakeSelector("SamplingF2", &graph_, params);
+  auto approx = MakeSelector("ApproxF2", &graph_, params);
+  ASSERT_TRUE(sampling.ok() && approx.ok());
+  MetricsResult m_sampling =
+      ExactMetrics(graph_, (*sampling)->Select(5).selected, length);
+  MetricsResult m_approx =
+      ExactMetrics(graph_, (*approx)->Select(5).selected, length);
+  EXPECT_NEAR(m_sampling.ehn / m_approx.ehn, 1.0, 0.10);
+}
+
+TEST(IntegrationTest, DatasetPipelineSmoke) {
+  // Scaled Table-2 stand-in through the full pipeline.
+  auto dataset =
+      LoadOrSynthesizeScaledDataset("Epinions", "/nonexistent-dir", 0.02);
+  ASSERT_TRUE(dataset.ok());
+  GraphStats stats = ComputeGraphStats(dataset->graph);
+  EXPECT_GT(stats.largest_component_size, stats.num_nodes / 2);
+
+  SelectorParams params{.length = 6, .num_samples = 40, .seed = 5};
+  auto selector = MakeSelector("ApproxF1", &dataset->graph, params);
+  ASSERT_TRUE(selector.ok());
+  SelectionResult result = (*selector)->Select(10);
+  MetricsResult metrics =
+      SampledMetrics(dataset->graph, result.selected, 6, 200, 7);
+  EXPECT_GT(metrics.ehn, 10.0);  // Dominates more than just the seeds.
+  EXPECT_LT(metrics.aht, 6.0);   // Strictly better than "never hits".
+}
+
+TEST(IntegrationTest, ExtremeLValues) {
+  auto graph = GeneratePowerLawWithSize(200, 1000, 7);
+  ASSERT_TRUE(graph.ok());
+  for (int32_t length : {1, 15}) {
+    SelectorParams params{.length = length, .num_samples = 30, .seed = 2};
+    auto selector = MakeSelector("ApproxF2", &*graph, params);
+    ASSERT_TRUE(selector.ok());
+    SelectionResult result = (*selector)->Select(5);
+    EXPECT_EQ(result.selected.size(), 5u);
+    MetricsResult metrics = ExactMetrics(*graph, result.selected, length);
+    EXPECT_LE(metrics.aht, static_cast<double>(length) + 1e-9);
+    EXPECT_GE(metrics.ehn, 5.0 - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rwdom

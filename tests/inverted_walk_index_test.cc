@@ -1,0 +1,174 @@
+#include "index/inverted_walk_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "graph/generators.h"
+#include "walk/walk_source.h"
+
+namespace rwdom {
+namespace {
+
+// Registers the paper's Example 3.1 walks (R = 1, L = 2) on the Fig. 1
+// graph, 0-based: v_i -> i-1.
+void AddPaperWalks(FixedWalkSource* source) {
+  source->AddWalk({0, 1, 2}, 2);  // (v1, v2, v3)
+  source->AddWalk({1, 2, 4}, 2);  // (v2, v3, v5)
+  source->AddWalk({2, 1, 4}, 2);  // (v3, v2, v5)
+  source->AddWalk({3, 6, 4}, 2);  // (v4, v7, v5)
+  source->AddWalk({4, 1, 5}, 2);  // (v5, v2, v6)
+  source->AddWalk({5, 6, 4}, 2);  // (v6, v7, v5)
+  source->AddWalk({6, 4, 6}, 2);  // (v7, v5, v7) — repeat of v7.
+  source->AddWalk({7, 6, 3}, 2);  // (v8, v7, v4)
+}
+
+using Entry = InvertedWalkIndex::Entry;
+
+std::vector<std::pair<NodeId, int32_t>> ListOf(const InvertedWalkIndex& index,
+                                               int32_t replicate, NodeId v) {
+  std::vector<std::pair<NodeId, int32_t>> out;
+  for (const Entry& e : index.List(replicate, v)) {
+    out.emplace_back(e.id, e.weight);
+  }
+  return out;
+}
+
+TEST(InvertedWalkIndexTest, ReproducesPaperTable1) {
+  Graph g = GeneratePaperFigure1();
+  FixedWalkSource source(&g);
+  AddPaperWalks(&source);
+  InvertedWalkIndex index = InvertedWalkIndex::Build(2, 1, &source);
+
+  EXPECT_EQ(index.num_nodes(), 8);
+  EXPECT_EQ(index.length(), 2);
+  EXPECT_EQ(index.num_replicates(), 1);
+
+  using Pairs = std::vector<std::pair<NodeId, int32_t>>;
+  // Table 1 of the paper (v1..v8 -> 0..7).
+  EXPECT_EQ(ListOf(index, 0, 0), Pairs{});                          // v1.
+  EXPECT_EQ(ListOf(index, 0, 1), (Pairs{{0, 1}, {2, 1}, {4, 1}}));  // v2.
+  EXPECT_EQ(ListOf(index, 0, 2), (Pairs{{0, 2}, {1, 1}}));          // v3.
+  EXPECT_EQ(ListOf(index, 0, 3), (Pairs{{7, 2}}));                  // v4.
+  EXPECT_EQ(ListOf(index, 0, 4),
+            (Pairs{{1, 2}, {2, 2}, {3, 2}, {5, 2}, {6, 1}}));       // v5.
+  EXPECT_EQ(ListOf(index, 0, 5), (Pairs{{4, 2}}));                  // v6.
+  EXPECT_EQ(ListOf(index, 0, 6), (Pairs{{3, 1}, {5, 1}, {7, 1}}));  // v7.
+  EXPECT_EQ(ListOf(index, 0, 7), Pairs{});                          // v8.
+
+  // 15 postings total; the repeated v7 in (v7, v5, v7) is not indexed.
+  EXPECT_EQ(index.TotalEntries(), 15);
+}
+
+TEST(InvertedWalkIndexTest, RepeatVisitsIndexedOnce) {
+  // Walk 0 -> 1 -> 0 -> 1: node 1 first visited at hop 1; the second visit
+  // must not create another posting, and the start 0 is never indexed.
+  Graph g = GeneratePath(3);
+  FixedWalkSource source(&g);
+  source.AddWalk({0, 1, 0, 1}, 3);
+  source.AddWalk({1, 0, 1, 2}, 3);
+  source.AddWalk({2, 1, 2, 1}, 3);
+  InvertedWalkIndex index = InvertedWalkIndex::Build(3, 1, &source);
+
+  using Pairs = std::vector<std::pair<NodeId, int32_t>>;
+  EXPECT_EQ(ListOf(index, 0, 1), (Pairs{{0, 1}, {2, 1}}));
+  EXPECT_EQ(ListOf(index, 0, 0), (Pairs{{1, 1}}));
+  EXPECT_EQ(ListOf(index, 0, 2), (Pairs{{1, 3}}));
+}
+
+// Wraps a WalkSource and keeps every trajectory for later verification.
+class RecordingWalkSource final : public WalkSource {
+ public:
+  explicit RecordingWalkSource(WalkSource* inner) : inner_(*inner) {}
+
+  void SampleWalk(NodeId start, int32_t length,
+                  std::vector<NodeId>* trajectory) override {
+    inner_.SampleWalk(start, length, trajectory);
+    recorded_.push_back(*trajectory);
+  }
+
+  NodeId num_nodes() const override { return inner_.num_nodes(); }
+  const std::vector<std::vector<NodeId>>& recorded() const {
+    return recorded_;
+  }
+
+ private:
+  WalkSource& inner_;
+  std::vector<std::vector<NodeId>> recorded_;
+};
+
+TEST(InvertedWalkIndexTest, MatchesBruteForceInversionOfRecordedWalks) {
+  auto graph = GenerateBarabasiAlbert(40, 3, 61);
+  ASSERT_TRUE(graph.ok());
+  const int32_t length = 4;
+  const int32_t replicates = 3;
+  RandomWalkSource rng_source(&*graph, 123);
+  RecordingWalkSource recorder(&rng_source);
+  InvertedWalkIndex index =
+      InvertedWalkIndex::Build(length, replicates, &recorder);
+
+  // Walk order: replicate-major, then node-major.
+  ASSERT_EQ(recorder.recorded().size(),
+            static_cast<size_t>(replicates) * 40);
+  for (int32_t i = 0; i < replicates; ++i) {
+    // expected[v] = list of (source, first-visit hop).
+    std::map<NodeId, std::vector<std::pair<NodeId, int32_t>>> expected;
+    for (NodeId w = 0; w < 40; ++w) {
+      const auto& walk =
+          recorder.recorded()[static_cast<size_t>(i) * 40 + w];
+      std::vector<bool> visited(40, false);
+      visited[static_cast<size_t>(walk[0])] = true;
+      for (size_t j = 1; j < walk.size(); ++j) {
+        if (visited[static_cast<size_t>(walk[j])]) continue;
+        visited[static_cast<size_t>(walk[j])] = true;
+        expected[walk[j]].emplace_back(w, static_cast<int32_t>(j));
+      }
+    }
+    for (NodeId v = 0; v < 40; ++v) {
+      EXPECT_EQ(ListOf(index, i, v), expected[v])
+          << "replicate " << i << " node " << v;
+    }
+  }
+}
+
+TEST(InvertedWalkIndexTest, EntryBoundAndMemoryAccounting) {
+  auto graph = GenerateBarabasiAlbert(50, 2, 63);
+  ASSERT_TRUE(graph.ok());
+  InvertedWalkIndex index = [&] {
+    RandomWalkSource source(&*graph, 9);
+    return InvertedWalkIndex::Build(5, 4, &source);
+  }();
+  // At most n * R * L postings, at least one per walk on a connected graph.
+  EXPECT_LE(index.TotalEntries(), 50 * 4 * 5);
+  EXPECT_GE(index.TotalEntries(), 50 * 4);
+  EXPECT_GE(index.MemoryUsageBytes(),
+            index.TotalEntries() * static_cast<int64_t>(sizeof(Entry)));
+}
+
+TEST(InvertedWalkIndexTest, WeightsAreWithinBudget) {
+  auto graph = GenerateBarabasiAlbert(30, 2, 65);
+  ASSERT_TRUE(graph.ok());
+  RandomWalkSource source(&*graph, 11);
+  const int32_t length = 6;
+  InvertedWalkIndex index = InvertedWalkIndex::Build(length, 2, &source);
+  for (int32_t i = 0; i < index.num_replicates(); ++i) {
+    for (NodeId v = 0; v < index.num_nodes(); ++v) {
+      for (const Entry& e : index.List(i, v)) {
+        EXPECT_GE(e.weight, 1);
+        EXPECT_LE(e.weight, length);
+        EXPECT_NE(e.id, v);  // A walk never indexes its own start.
+      }
+    }
+  }
+}
+
+TEST(InvertedWalkIndexTest, ZeroLengthWalksYieldEmptyIndex) {
+  Graph g = GenerateCycle(5);
+  RandomWalkSource source(&g, 13);
+  InvertedWalkIndex index = InvertedWalkIndex::Build(0, 2, &source);
+  EXPECT_EQ(index.TotalEntries(), 0);
+}
+
+}  // namespace
+}  // namespace rwdom

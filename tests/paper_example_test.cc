@@ -1,0 +1,118 @@
+// End-to-end replication of Example 3.1 from the paper: the scripted
+// 2-length walks on the Fig. 1 graph, the inverted index of Table 1, every
+// first-round marginal gain, the D-array update after the first pick, and
+// the final selection {v2, v7}.
+#include <gtest/gtest.h>
+
+#include "core/approx_greedy.h"
+#include "graph/generators.h"
+#include "index/gain_state.h"
+#include "index/inverted_walk_index.h"
+#include "walk/walk_source.h"
+
+namespace rwdom {
+namespace {
+
+// 0-based walks of Example 3.1 (v_i -> i-1), R = 1, L = 2.
+void AddPaperWalks(FixedWalkSource* source) {
+  source->AddWalk({0, 1, 2}, 2);
+  source->AddWalk({1, 2, 4}, 2);
+  source->AddWalk({2, 1, 4}, 2);
+  source->AddWalk({3, 6, 4}, 2);
+  source->AddWalk({4, 1, 5}, 2);
+  source->AddWalk({5, 6, 4}, 2);
+  source->AddWalk({6, 4, 6}, 2);
+  source->AddWalk({7, 6, 3}, 2);
+}
+
+TEST(PaperExampleTest, FirstRoundGainsMatchPaper) {
+  Graph g = GeneratePaperFigure1();
+  FixedWalkSource source(&g);
+  AddPaperWalks(&source);
+  InvertedWalkIndex index = InvertedWalkIndex::Build(2, 1, &source);
+  GainState state(&index, Problem::kHittingTime);
+
+  // Paper: σ_v1 = 2, σ_v2 = 5, σ_v3 = 3, σ_v4 = 2, σ_v5 = 3, σ_v6 = 2,
+  //        σ_v7 = 5, σ_v8 = 2.
+  const double expected[8] = {2, 5, 3, 2, 3, 2, 5, 2};
+  for (NodeId u = 0; u < 8; ++u) {
+    EXPECT_DOUBLE_EQ(state.ApproxGain(u), expected[u]) << "v" << (u + 1);
+  }
+}
+
+TEST(PaperExampleTest, UpdateAfterSelectingV2MatchesPaper) {
+  Graph g = GeneratePaperFigure1();
+  FixedWalkSource source(&g);
+  AddPaperWalks(&source);
+  InvertedWalkIndex index = InvertedWalkIndex::Build(2, 1, &source);
+  GainState state(&index, Problem::kHittingTime);
+
+  state.Commit(1);  // v2.
+  // Paper: D[v2] = 0; D[v1] = D[v3] = D[v5] = 1; the rest stay 2.
+  EXPECT_EQ(state.DValue(0, 1), 0);
+  EXPECT_EQ(state.DValue(0, 0), 1);
+  EXPECT_EQ(state.DValue(0, 2), 1);
+  EXPECT_EQ(state.DValue(0, 4), 1);
+  for (NodeId v : {3, 5, 6, 7}) EXPECT_EQ(state.DValue(0, v), 2);
+
+  // Second round: v7's gain is still 5 (itself 2 + three walks saving 1).
+  EXPECT_DOUBLE_EQ(state.ApproxGain(6), 5.0);
+}
+
+TEST(PaperExampleTest, ApproxGreedySelectsV2ThenV7) {
+  Graph g = GeneratePaperFigure1();
+  FixedWalkSource source(&g);
+  AddPaperWalks(&source);
+  ApproxGreedyOptions options{
+      .length = 2, .num_replicates = 1, .seed = 0, .lazy = true};
+  ApproxGreedy greedy(&g, Problem::kHittingTime, options, &source);
+  SelectionResult result = greedy.Select(2);
+
+  // The paper breaks the v2/v7 tie randomly and picks v2; our deterministic
+  // rule (lowest id) also picks v2, then v7.
+  ASSERT_EQ(result.selected.size(), 2u);
+  EXPECT_EQ(result.selected[0], 1);  // v2.
+  EXPECT_EQ(result.selected[1], 6);  // v7.
+  ASSERT_EQ(result.gains.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.gains[0], 5.0);
+  EXPECT_DOUBLE_EQ(result.gains[1], 5.0);
+  // Final F̂1 = nL - sum D = 16 - 6 = 10 (D = 1 for the six non-members).
+  EXPECT_DOUBLE_EQ(result.objective_estimate, 10.0);
+}
+
+TEST(PaperExampleTest, PlainAndLazyAgreeOnExample) {
+  Graph g = GeneratePaperFigure1();
+  for (bool lazy : {false, true}) {
+    FixedWalkSource source(&g);
+    AddPaperWalks(&source);
+    ApproxGreedyOptions options{
+        .length = 2, .num_replicates = 1, .seed = 0, .lazy = lazy};
+    ApproxGreedy greedy(&g, Problem::kHittingTime, options, &source);
+    SelectionResult result = greedy.Select(2);
+    EXPECT_EQ(result.selected, (std::vector<NodeId>{1, 6}));
+  }
+}
+
+TEST(PaperExampleTest, Problem2FirstPickIsV5) {
+  // Under Problem 2 semantics the same walks make v5 the best first pick:
+  // ρ_v5 = 1 + |I[v5]| = 6 walks newly dominated.
+  Graph g = GeneratePaperFigure1();
+  FixedWalkSource source(&g);
+  AddPaperWalks(&source);
+  InvertedWalkIndex index = InvertedWalkIndex::Build(2, 1, &source);
+  GainState state(&index, Problem::kDominatedCount);
+
+  const double expected[8] = {1, 4, 3, 2, 6, 2, 4, 1};
+  for (NodeId u = 0; u < 8; ++u) {
+    EXPECT_DOUBLE_EQ(state.ApproxGain(u), expected[u]) << "v" << (u + 1);
+  }
+  state.Commit(4);  // v5.
+  // Walk sources hitting v5: v2, v3, v4, v6, v7 — all now dominated.
+  for (NodeId v : {1, 2, 3, 4, 5, 6}) EXPECT_EQ(state.DValue(0, v), 1);
+  EXPECT_EQ(state.DValue(0, 0), 0);
+  EXPECT_EQ(state.DValue(0, 7), 0);
+  EXPECT_DOUBLE_EQ(state.EstimatedObjective(), 6.0);
+}
+
+}  // namespace
+}  // namespace rwdom

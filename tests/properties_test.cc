@@ -1,0 +1,99 @@
+#include "graph/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace rwdom {
+namespace {
+
+TEST(GraphStatsTest, PathStatistics) {
+  GraphStats stats = ComputeGraphStats(GeneratePath(5));
+  EXPECT_EQ(stats.num_nodes, 5);
+  EXPECT_EQ(stats.num_edges, 4);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 1.6);
+  EXPECT_EQ(stats.min_degree, 1);
+  EXPECT_EQ(stats.max_degree, 2);
+  EXPECT_EQ(stats.num_isolated, 0);
+  EXPECT_EQ(stats.num_components, 1);
+  EXPECT_EQ(stats.largest_component_size, 5);
+}
+
+TEST(GraphStatsTest, DisconnectedWithIsolated) {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 4);
+  Graph g = std::move(builder).BuildOrDie();  // Node 5 isolated.
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_components, 3);
+  EXPECT_EQ(stats.largest_component_size, 3);
+  EXPECT_EQ(stats.num_isolated, 1);
+  EXPECT_EQ(stats.min_degree, 0);
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  GraphStats stats = ComputeGraphStats(Graph());
+  EXPECT_EQ(stats.num_nodes, 0);
+  EXPECT_EQ(stats.num_components, 0);
+}
+
+TEST(GraphStatsTest, ToStringMentionsFields) {
+  std::string text = ComputeGraphStats(GeneratePath(3)).ToString();
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+  EXPECT_NE(text.find("m=2"), std::string::npos);
+}
+
+TEST(ConnectedComponentsTest, LabelsAreDenseAndOrdered) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 3);
+  Graph g = std::move(builder).BuildOrDie();  // {0,2}, {1,3}, {4}.
+  auto comp = ConnectedComponents(g);
+  EXPECT_EQ(comp[0], 0);
+  EXPECT_EQ(comp[2], 0);
+  EXPECT_EQ(comp[1], 1);
+  EXPECT_EQ(comp[3], 1);
+  EXPECT_EQ(comp[4], 2);
+}
+
+TEST(BfsDistancesTest, PathDistances) {
+  auto dist = BfsDistances(GeneratePath(5), 0);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(dist[u], u);
+}
+
+TEST(BfsDistancesTest, UnreachableIsMinusOne) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  Graph g = std::move(builder).BuildOrDie();
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+}
+
+TEST(BfsDistancesTest, GridDistanceIsManhattan) {
+  Graph g = GenerateGrid(4, 4);
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[15], 6);  // (3,3) from (0,0).
+  EXPECT_EQ(dist[5], 2);   // (1,1).
+}
+
+TEST(IsConnectedTest, Basics) {
+  EXPECT_TRUE(IsConnected(GenerateCycle(4)));
+  EXPECT_TRUE(IsConnected(Graph()));
+  GraphBuilder builder(2);
+  EXPECT_FALSE(IsConnected(std::move(builder).BuildOrDie()));
+}
+
+TEST(DegreesTest, MatchesGraph) {
+  Graph g = GenerateStar(4);
+  auto degrees = Degrees(g);
+  ASSERT_EQ(degrees.size(), 4u);
+  EXPECT_EQ(degrees[0], 3);
+  EXPECT_EQ(degrees[1], 1);
+}
+
+}  // namespace
+}  // namespace rwdom

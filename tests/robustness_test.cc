@@ -1,0 +1,176 @@
+// Robustness sweep: degenerate and adversarial graphs through the whole
+// pipeline (selection + metrics), plus invariants that must survive them:
+// isolated nodes, disconnected shards, single nodes, edgeless graphs,
+// L = 0, k = n, stars with k > useful seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/approx_greedy.h"
+#include "core/dp_greedy.h"
+#include "core/min_seed_cover.h"
+#include "core/selector_registry.h"
+#include "eval/metrics.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace rwdom {
+namespace {
+
+Graph EdgelessGraph(NodeId n) {
+  GraphBuilder builder(n);
+  return std::move(builder).BuildOrDie();
+}
+
+Graph ShardedGraph() {
+  // Triangle + edge + 3 isolated nodes.
+  GraphBuilder builder(8);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(3, 4);
+  return std::move(builder).BuildOrDie();
+}
+
+TEST(RobustnessTest, SingleNodeGraphAllSelectors) {
+  Graph g = EdgelessGraph(1);
+  SelectorParams params{.length = 3, .num_samples = 5, .seed = 1};
+  for (const std::string& name : KnownSelectorNames()) {
+    auto selector = MakeSelector(name, &g, params);
+    ASSERT_TRUE(selector.ok()) << name;
+    SelectionResult result = (*selector)->Select(1);
+    ASSERT_EQ(result.selected.size(), 1u) << name;
+    EXPECT_EQ(result.selected[0], 0) << name;
+  }
+}
+
+TEST(RobustnessTest, EdgelessGraphMetricsAreDegenerate) {
+  Graph g = EdgelessGraph(5);
+  // No walk can move: nothing outside S is ever dominated.
+  MetricsResult metrics = ExactMetrics(g, {0, 1}, 4);
+  EXPECT_DOUBLE_EQ(metrics.aht, 4.0);  // Truncated at L for every outsider.
+  EXPECT_DOUBLE_EQ(metrics.ehn, 2.0);  // Only the seeds themselves.
+  MetricsResult sampled = SampledMetrics(g, {0, 1}, 4, 50, 3);
+  EXPECT_DOUBLE_EQ(sampled.aht, 4.0);
+  EXPECT_DOUBLE_EQ(sampled.ehn, 2.0);
+}
+
+TEST(RobustnessTest, ShardedGraphPipeline) {
+  Graph g = ShardedGraph();
+  SelectorParams params{.length = 4, .num_samples = 50, .seed = 5};
+  for (const char* name : {"ApproxF1", "ApproxF2", "DPF1", "DPF2"}) {
+    auto selector = MakeSelector(name, &g, params);
+    ASSERT_TRUE(selector.ok());
+    SelectionResult result = (*selector)->Select(8);
+    EXPECT_EQ(result.selected.size(), 8u) << name;
+    // With everything selected, EHN = n and AHT = 0.
+    MetricsResult metrics = ExactMetrics(g, result.selected, 4);
+    EXPECT_DOUBLE_EQ(metrics.ehn, 8.0) << name;
+    EXPECT_DOUBLE_EQ(metrics.aht, 0.0) << name;
+  }
+}
+
+TEST(RobustnessTest, IsolatedNodesContributeExactlyOne) {
+  // Greedy prefers the triangle (covers walkers) first; each isolated node
+  // contributes exactly 1 to F2 when picked (it dominates only itself);
+  // redundant nodes (the third triangle corner, the second edge endpoint —
+  // whose walkers are already dominated) land last with gain ~0.
+  Graph g = ShardedGraph();
+  DpGreedy greedy(&g, Problem::kDominatedCount, 3);
+  SelectionResult result = greedy.Select(8);
+  // First pick comes from the triangle or the edge, not {5,6,7}.
+  EXPECT_LT(result.selected[0], 5);
+  // Exactly the three isolated picks have gain 1.
+  int unit_gains = 0;
+  for (size_t i = 0; i < result.gains.size(); ++i) {
+    if (std::abs(result.gains[i] - 1.0) < 1e-9) {
+      ++unit_gains;
+      EXPECT_GE(result.selected[i], 5) << "unit gain must be isolated";
+    }
+  }
+  EXPECT_EQ(unit_gains, 3);
+  // Redundant picks close out the run with (near-)zero gain.
+  EXPECT_NEAR(result.gains.back(), 0.0, 1e-9);
+}
+
+TEST(RobustnessTest, ZeroLengthWalks) {
+  // L = 0: T^0 = 0 and p^0 = [u in S]; F1(S) = 0 for every S, F2(S) = |S|.
+  Graph g = GenerateCycle(6);
+  MetricsResult metrics = ExactMetrics(g, {0, 3}, 0);
+  EXPECT_DOUBLE_EQ(metrics.aht, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.ehn, 2.0);
+
+  ApproxGreedyOptions options{.length = 0, .num_replicates = 5, .seed = 2};
+  ApproxGreedy greedy(&g, Problem::kDominatedCount, options);
+  SelectionResult result = greedy.Select(3);
+  EXPECT_EQ(result.selected.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.objective_estimate, 3.0);
+}
+
+TEST(RobustnessTest, MinSeedCoverOnEdgelessGraphTakesEveryone) {
+  Graph g = EdgelessGraph(6);
+  ApproxGreedyOptions options{.length = 3, .num_replicates = 5, .seed = 1};
+  MinSeedCoverResult cover = MinSeedCover(g, 1.0, options);
+  EXPECT_TRUE(cover.reached_target);
+  EXPECT_EQ(cover.selected.size(), 6u);  // Each node covers only itself.
+}
+
+TEST(RobustnessTest, StarSaturatesAfterHub) {
+  // Once the hub and all leaves are picked there is nothing left to gain;
+  // greedy must still terminate cleanly at k = n.
+  Graph g = GenerateStar(5);
+  DpGreedy greedy(&g, Problem::kHittingTime, 4);
+  SelectionResult result = greedy.Select(5);
+  EXPECT_EQ(result.selected.size(), 5u);
+  EXPECT_EQ(result.selected[0], 0);  // Hub first.
+  // Gains are non-increasing all the way down to zero-ish.
+  for (size_t i = 1; i < result.gains.size(); ++i) {
+    EXPECT_LE(result.gains[i], result.gains[i - 1] + 1e-9);
+  }
+  EXPECT_NEAR(result.gains.back(), result.gains[1], 4.0);  // Sanity.
+}
+
+TEST(RobustnessTest, HugeLDoesNotOverflow) {
+  Graph g = GeneratePath(10);
+  const int32_t huge_length = 10000;
+  MetricsResult metrics = ExactMetrics(g, {9}, huge_length);
+  EXPECT_GT(metrics.aht, 0.0);
+  EXPECT_LE(metrics.aht, static_cast<double>(huge_length));
+  EXPECT_GT(metrics.ehn, 9.0);  // Path is connected: everyone eventually hits.
+}
+
+TEST(RobustnessTest, MetricsWithDuplicateFreeSeedsMatchSet) {
+  // Passing the same seed twice must behave as the set {seed}.
+  Graph g = GenerateCycle(5);
+  MetricsResult once = ExactMetrics(g, {2}, 4);
+  MetricsResult twice = ExactMetrics(g, {2, 2}, 4);
+  EXPECT_DOUBLE_EQ(once.aht, twice.aht);
+  EXPECT_DOUBLE_EQ(once.ehn, twice.ehn);
+}
+
+TEST(RobustnessTest, ApproxGreedyOnTinyReplicateCount) {
+  // R = 1 is statistically terrible but must be structurally sound.
+  auto graph = GenerateBarabasiAlbert(30, 2, 601);
+  ASSERT_TRUE(graph.ok());
+  ApproxGreedyOptions options{.length = 4, .num_replicates = 1, .seed = 9};
+  ApproxGreedy greedy(&*graph, Problem::kHittingTime, options);
+  SelectionResult result = greedy.Select(5);
+  EXPECT_EQ(result.selected.size(), 5u);
+  for (size_t i = 1; i < result.gains.size(); ++i) {
+    EXPECT_LE(result.gains[i], result.gains[i - 1] + 1e-9);
+  }
+}
+
+TEST(RobustnessTest, SelectorsRejectNothingButHandleKZero) {
+  auto graph = GenerateBarabasiAlbert(20, 2, 603);
+  ASSERT_TRUE(graph.ok());
+  SelectorParams params{.length = 3, .num_samples = 5, .seed = 1};
+  for (const std::string& name : KnownSelectorNames()) {
+    auto selector = MakeSelector(name, &*graph, params);
+    ASSERT_TRUE(selector.ok()) << name;
+    EXPECT_TRUE((*selector)->Select(0).selected.empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rwdom

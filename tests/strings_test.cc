@@ -1,0 +1,93 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace rwdom {
+namespace {
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(SplitStringTest, KeepsEmptyFields) {
+  auto parts = SplitString("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(SplitStringTest, NoDelimiterYieldsWhole) {
+  auto parts = SplitString("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitWhitespaceTest, DropsEmptyFields) {
+  auto parts = SplitWhitespace("  1 \t 2\n3  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "1");
+  EXPECT_EQ(parts[1], "2");
+  EXPECT_EQ(parts[2], "3");
+}
+
+TEST(SplitWhitespaceTest, EmptyAndAllSpace) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace(" \t ").empty());
+}
+
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("  123  ").value(), 123);
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+}
+
+TEST(ParseInt64Test, RejectsGarbage) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("x12").ok());
+  EXPECT_FALSE(ParseInt64("1 2").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(ParseDoubleTest, ParsesValidDoubles) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-2e3").value(), -2000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble(" 0.25 ").value(), 0.25);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("--seed=42", "--seed="));
+  EXPECT_FALSE(StartsWith("--s", "--seed="));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(FormatWithCommasTest, GroupsThousands) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", "x"), "x");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace rwdom

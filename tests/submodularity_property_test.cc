@@ -1,0 +1,148 @@
+// Property tests for Theorems 3.1 and 3.2: F1 and F2 are nondecreasing
+// submodular set functions with F(empty) = 0 — checked numerically on random
+// graphs, random nested set pairs S ⊆ T, and random candidate nodes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/combined_objective.h"
+#include "core/exact_objective.h"
+#include "core/objective.h"
+#include "graph/generators.h"
+#include "graph/node_set.h"
+#include "util/rng.h"
+#include "walk/problem.h"
+
+namespace rwdom {
+namespace {
+
+struct PropertyCase {
+  int graph_kind;   // 0 = BA, 1 = ER, 2 = WS, 3 = two-cliques.
+  uint64_t seed;
+  int32_t length;
+};
+
+Graph MakeGraph(const PropertyCase& c) {
+  switch (c.graph_kind) {
+    case 0:
+      return GenerateBarabasiAlbert(24, 2, c.seed).value();
+    case 1:
+      return GenerateErdosRenyiGnm(24, 60, c.seed).value();
+    case 2:
+      return GenerateWattsStrogatz(24, 2, 0.3, c.seed).value();
+    default:
+      return GenerateTwoCliquesBridge(8);
+  }
+}
+
+// Draws a random nested pair S ⊂ T and a node j outside T.
+struct NestedSets {
+  NodeFlagSet s;
+  NodeFlagSet t;
+  NodeId j;
+};
+
+NestedSets DrawNestedSets(const Graph& g, Rng* rng) {
+  const NodeId n = g.num_nodes();
+  NodeFlagSet s(n), t(n);
+  for (NodeId u = 0; u < n; ++u) {
+    double roll = rng->NextDouble();
+    if (roll < 0.15) {
+      s.Insert(u);
+      t.Insert(u);
+    } else if (roll < 0.35) {
+      t.Insert(u);
+    }
+  }
+  NodeId j = kInvalidNode;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    NodeId candidate =
+        static_cast<NodeId>(rng->NextBounded(static_cast<uint64_t>(n)));
+    if (!t.Contains(candidate)) {
+      j = candidate;
+      break;
+    }
+  }
+  return {std::move(s), std::move(t), j};
+}
+
+class SubmodularityTest
+    : public testing::TestWithParam<std::tuple<int, uint64_t, int32_t>> {};
+
+TEST_P(SubmodularityTest, ExactObjectivesAreMonotoneSubmodular) {
+  const auto [graph_kind, seed, length] = GetParam();
+  PropertyCase c{graph_kind, seed, length};
+  Graph g = MakeGraph(c);
+  Rng rng(seed * 977 + 13);
+
+  for (Problem problem :
+       {Problem::kHittingTime, Problem::kDominatedCount}) {
+    ExactObjective objective(&g, problem, length);
+
+    // F(empty) = 0.
+    NodeFlagSet empty(g.num_nodes());
+    EXPECT_NEAR(objective.Value(empty), 0.0, 1e-9);
+
+    for (int trial = 0; trial < 8; ++trial) {
+      NestedSets sets = DrawNestedSets(g, &rng);
+      if (sets.j == kInvalidNode) continue;
+      const double f_s = objective.Value(sets.s);
+      const double f_t = objective.Value(sets.t);
+      // Nondecreasing: S ⊆ T => F(S) <= F(T).
+      EXPECT_LE(f_s, f_t + 1e-9)
+          << ProblemName(problem) << " kind=" << graph_kind;
+      // Submodular: gain at S >= gain at T for j outside T.
+      const double gain_s = objective.ValueWithExtra(sets.s, sets.j) - f_s;
+      const double gain_t = objective.ValueWithExtra(sets.t, sets.j) - f_t;
+      EXPECT_GE(gain_s + 1e-9, gain_t)
+          << ProblemName(problem) << " kind=" << graph_kind
+          << " j=" << sets.j;
+      // Gains are non-negative (monotonicity again).
+      EXPECT_GE(gain_s, -1e-9);
+      EXPECT_GE(gain_t, -1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphSweep, SubmodularityTest,
+    testing::Combine(testing::Range(0, 4), testing::Values(1u, 2u, 3u),
+                     testing::Values(1, 4, 7)));
+
+TEST(SubmodularityTest, CombinedObjectiveInheritsBothProperties) {
+  Graph g = GenerateBarabasiAlbert(20, 2, 5).value();
+  auto blend = MakeLambdaBlendObjective(&g, 4, 0.5);
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    NestedSets sets = DrawNestedSets(g, &rng);
+    if (sets.j == kInvalidNode) continue;
+    const double f_s = blend->Value(sets.s);
+    const double f_t = blend->Value(sets.t);
+    EXPECT_LE(f_s, f_t + 1e-9);
+    EXPECT_GE(blend->ValueWithExtra(sets.s, sets.j) - f_s + 1e-9,
+              blend->ValueWithExtra(sets.t, sets.j) - f_t);
+  }
+}
+
+TEST(SubmodularityTest, F1BoundedByNL) {
+  // 0 <= F1(S) <= nL and 0 <= F2(S) <= n for any S.
+  Graph g = GenerateBarabasiAlbert(25, 3, 7).value();
+  const int32_t length = 5;
+  ExactObjective f1(&g, Problem::kHittingTime, length);
+  ExactObjective f2(&g, Problem::kDominatedCount, length);
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    NodeFlagSet s(g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (rng.NextBernoulli(0.3)) s.Insert(u);
+    }
+    EXPECT_GE(f1.Value(s), -1e-9);
+    EXPECT_LE(f1.Value(s), 25.0 * length + 1e-9);
+    EXPECT_GE(f2.Value(s), -1e-9);
+    EXPECT_LE(f2.Value(s), 25.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,103 @@
+#include "graph/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/clustering.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "graph/properties.h"
+
+namespace rwdom {
+namespace {
+
+TEST(InducedSubgraphTest, KeepsInternalEdgesOnly) {
+  Graph g = GenerateCycle(6);  // 0-1-2-3-4-5-0.
+  TransformedGraph sub = InducedSubgraph(g, {0, 1, 2, 4});
+  EXPECT_EQ(sub.graph.num_nodes(), 4);
+  // Kept edges: 0-1, 1-2 (4 has no kept neighbor).
+  EXPECT_EQ(sub.graph.num_edges(), 2);
+  EXPECT_EQ(sub.original_of, (std::vector<NodeId>{0, 1, 2, 4}));
+  EXPECT_TRUE(sub.graph.HasEdge(0, 1));
+  EXPECT_TRUE(sub.graph.HasEdge(1, 2));
+  EXPECT_EQ(sub.graph.degree(3), 0);  // Node 4 became isolated.
+}
+
+TEST(InducedSubgraphTest, DuplicatesIgnoredAndEmptyKeep) {
+  Graph g = GeneratePath(4);
+  TransformedGraph sub = InducedSubgraph(g, {2, 2, 1, 1});
+  EXPECT_EQ(sub.graph.num_nodes(), 2);
+  EXPECT_EQ(sub.graph.num_edges(), 1);
+  TransformedGraph empty = InducedSubgraph(g, {});
+  EXPECT_EQ(empty.graph.num_nodes(), 0);
+}
+
+TEST(InducedSubgraphTest, InvalidNodeDies) {
+  Graph g = GeneratePath(3);
+  EXPECT_DEATH(InducedSubgraph(g, {0, 7}), "CHECK failed");
+}
+
+TEST(LargestComponentTest, ExtractsBiggestPiece) {
+  GraphBuilder builder(7);
+  builder.AddEdge(0, 1);          // Component of size 2.
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(4, 2);          // Component of size 3.
+  Graph g = std::move(builder).BuildOrDie();  // 5, 6 isolated.
+  TransformedGraph largest = LargestComponent(g);
+  EXPECT_EQ(largest.graph.num_nodes(), 3);
+  EXPECT_EQ(largest.graph.num_edges(), 3);
+  EXPECT_EQ(largest.original_of, (std::vector<NodeId>{2, 3, 4}));
+  EXPECT_TRUE(IsConnected(largest.graph));
+}
+
+TEST(LargestComponentTest, ConnectedGraphIsIdentity) {
+  Graph g = GenerateCycle(5);
+  TransformedGraph largest = LargestComponent(g);
+  EXPECT_EQ(largest.graph.num_nodes(), 5);
+  EXPECT_EQ(largest.graph.Edges(), g.Edges());
+}
+
+TEST(RelabelByDegreeTest, HubGetsIdZero) {
+  Graph g = GenerateStar(6);
+  TransformedGraph relabeled = RelabelByDegree(g);
+  EXPECT_EQ(relabeled.original_of[0], 0);  // Hub stays first (max degree).
+  EXPECT_EQ(relabeled.graph.degree(0), 5);
+  for (NodeId u = 1; u < 6; ++u) EXPECT_EQ(relabeled.graph.degree(u), 1);
+}
+
+TEST(RelabelByDegreeTest, DegreeSequencePreservedAndSorted) {
+  auto graph = GenerateBarabasiAlbert(60, 2, 301);
+  ASSERT_TRUE(graph.ok());
+  TransformedGraph relabeled = RelabelByDegree(*graph);
+  EXPECT_EQ(relabeled.graph.num_edges(), graph->num_edges());
+  for (NodeId u = 0; u + 1 < 60; ++u) {
+    EXPECT_GE(relabeled.graph.degree(u), relabeled.graph.degree(u + 1));
+  }
+  // original_of must be a permutation.
+  std::vector<bool> seen(60, false);
+  for (NodeId original : relabeled.original_of) {
+    EXPECT_FALSE(seen[static_cast<size_t>(original)]);
+    seen[static_cast<size_t>(original)] = true;
+  }
+}
+
+TEST(PermuteTest, RoundTripThroughInversePermutation) {
+  auto graph = GenerateErdosRenyiGnm(20, 40, 303);
+  ASSERT_TRUE(graph.ok());
+  std::vector<NodeId> forward(20), inverse(20);
+  for (NodeId u = 0; u < 20; ++u) forward[u] = (u * 7 + 3) % 20;
+  for (NodeId u = 0; u < 20; ++u) inverse[forward[u]] = u;
+  Graph permuted = Permute(*graph, forward);
+  Graph restored = Permute(permuted, inverse);
+  EXPECT_EQ(restored.Edges(), graph->Edges());
+  // Permutation preserves invariants like triangle count.
+  EXPECT_EQ(CountTriangles(permuted), CountTriangles(*graph));
+}
+
+TEST(PermuteTest, NonPermutationDies) {
+  Graph g = GeneratePath(3);
+  EXPECT_DEATH(Permute(g, {0, 0, 1}), "not a permutation");
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,85 @@
+#include "wgraph/weighted_graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace rwdom {
+namespace {
+
+TEST(WeightedParseTest, DirectedBasics) {
+  auto result = ParseWeightedEdgeList("0 1 2.5\n1 2 0.5\n", /*directed=*/true);
+  ASSERT_TRUE(result.ok());
+  const WeightedGraph& g = result->graph;
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_arcs(), 2);
+  EXPECT_DOUBLE_EQ(g.out_arcs(0)[0].weight, 2.5);
+  EXPECT_EQ(g.out_degree(2), 0);
+}
+
+TEST(WeightedParseTest, UndirectedDoublesArcs) {
+  auto result = ParseWeightedEdgeList("0 1 3\n", /*directed=*/false);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->graph.num_arcs(), 2);
+  EXPECT_DOUBLE_EQ(result->graph.total_out_weight(1), 3.0);
+}
+
+TEST(WeightedParseTest, MissingWeightDefaultsToOne) {
+  auto result = ParseWeightedEdgeList("0 1\n1 2 4\n", /*directed=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->graph.out_arcs(0)[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ(result->graph.out_arcs(1)[0].weight, 4.0);
+}
+
+TEST(WeightedParseTest, CommentsAndRemapping) {
+  auto result = ParseWeightedEdgeList("# header\n100 7 2\n7 100 3\n",
+                                      /*directed=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->graph.num_nodes(), 2);
+  EXPECT_EQ(result->original_ids, (std::vector<int64_t>{100, 7}));
+}
+
+TEST(WeightedParseTest, RejectsBadInput) {
+  EXPECT_FALSE(ParseWeightedEdgeList("0\n", true).ok());
+  EXPECT_FALSE(ParseWeightedEdgeList("0 1 -2\n", true).ok());
+  EXPECT_FALSE(ParseWeightedEdgeList("0 1 0\n", true).ok());
+  EXPECT_FALSE(ParseWeightedEdgeList("0 1 inf\n", true).ok());
+  EXPECT_FALSE(ParseWeightedEdgeList("0 x 1\n", true).ok());
+}
+
+TEST(WeightedParseTest, SelfLoopsDropped) {
+  auto result = ParseWeightedEdgeList("0 0 5\n0 1 1\n", /*directed=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->graph.num_arcs(), 1);
+}
+
+TEST(WeightedIoTest, DirectedRoundTrip) {
+  auto parsed = ParseWeightedEdgeList("0 1 2.25\n1 2 0.125\n2 0 7\n",
+                                      /*directed=*/true);
+  ASSERT_TRUE(parsed.ok());
+  const std::string path = testing::TempDir() + "/rwdom_wio_test.txt";
+  ASSERT_TRUE(SaveWeightedEdgeList(parsed->graph, path, "test").ok());
+  auto reloaded = LoadWeightedEdgeList(path, /*directed=*/true);
+  ASSERT_TRUE(reloaded.ok());
+  const WeightedGraph& a = parsed->graph;
+  const WeightedGraph& b = reloaded->graph;
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_arcs(), b.num_arcs());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    auto arcs_a = a.out_arcs(u);
+    auto arcs_b = b.out_arcs(u);
+    ASSERT_EQ(arcs_a.size(), arcs_b.size());
+    for (size_t i = 0; i < arcs_a.size(); ++i) {
+      EXPECT_EQ(arcs_a[i].target, arcs_b[i].target);
+      EXPECT_DOUBLE_EQ(arcs_a[i].weight, arcs_b[i].weight);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WeightedIoTest, MissingFileFails) {
+  EXPECT_FALSE(LoadWeightedEdgeList("/nonexistent/w.txt", true).ok());
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,5 @@
+// Entry point of the `rwdom` command-line tool; all logic lives in
+// cli/cli.h so it can be unit-tested.
+#include "cli/cli.h"
+
+int main(int argc, char** argv) { return rwdom::CliMain(argc, argv); }
