@@ -321,6 +321,9 @@ Result<CliInvocation> ParseCliArgs(int argc, const char* const* argv) {
   }
   CliInvocation invocation;
   invocation.command = argv[1];
+  if (invocation.command == "--help" || invocation.command == "-h") {
+    invocation.command = "help";
+  }
   for (int i = 2; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (!StartsWith(arg, "--")) {
