@@ -1,0 +1,167 @@
+// Minimal streaming JSON writer for machine-readable bench output.
+//
+// The bench drivers historically emitted human tables plus CSV; CI tracks
+// the perf trajectory through BENCH_*.json artifacts instead, which need
+// nesting (run metadata + per-series measurements) that CSV cannot carry.
+// This is deliberately tiny: objects, arrays, strings, numbers, bools —
+// enough for bench output, nothing more.
+//
+// Usage:
+//   JsonWriter json;
+//   json.BeginObject();
+//   json.Key("bench").String("parallel_scaling");
+//   json.Key("series").BeginArray();
+//   json.BeginObject().Key("threads").Int(4).EndObject();
+//   json.EndArray().EndObject();
+//   json.ToString();  // {"bench":"parallel_scaling","series":[{"threads":4}]}
+#ifndef RWDOM_BENCH_BENCH_JSON_H_
+#define RWDOM_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace rwdom {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() {
+    BeginValue();
+    out_ += '{';
+    stack_.push_back(State::kFirstInObject);
+    return *this;
+  }
+
+  JsonWriter& EndObject() {
+    RWDOM_CHECK(!stack_.empty() && (stack_.back() == State::kFirstInObject ||
+                                    stack_.back() == State::kInObject))
+        << "EndObject outside an object";
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+
+  JsonWriter& BeginArray() {
+    BeginValue();
+    out_ += '[';
+    stack_.push_back(State::kFirstInArray);
+    return *this;
+  }
+
+  JsonWriter& EndArray() {
+    RWDOM_CHECK(!stack_.empty() && (stack_.back() == State::kFirstInArray ||
+                                    stack_.back() == State::kInArray))
+        << "EndArray outside an array";
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  /// Starts an object member; must be followed by exactly one value.
+  JsonWriter& Key(const std::string& name) {
+    RWDOM_CHECK(!stack_.empty() && (stack_.back() == State::kFirstInObject ||
+                                    stack_.back() == State::kInObject))
+        << "Key outside an object";
+    if (stack_.back() == State::kInObject) out_ += ',';
+    stack_.back() = State::kInObject;
+    AppendEscaped(name);
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(const std::string& value) {
+    BeginValue();
+    AppendEscaped(value);
+    return *this;
+  }
+
+  JsonWriter& Int(int64_t value) {
+    BeginValue();
+    out_ += std::to_string(value);
+    return *this;
+  }
+
+  /// %.9g keeps timings readable while preserving sub-microsecond detail.
+  JsonWriter& Number(double value) {
+    BeginValue();
+    out_ += StrFormat("%.9g", value);
+    return *this;
+  }
+
+  JsonWriter& Bool(bool value) {
+    BeginValue();
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+
+  /// Serialized document; every Begin* must have been matched.
+  std::string ToString() const {
+    RWDOM_CHECK(stack_.empty() && !pending_key_)
+        << "unbalanced JSON document";
+    return out_;
+  }
+
+ private:
+  enum class State { kFirstInObject, kInObject, kFirstInArray, kInArray };
+
+  // Emits the comma/placement bookkeeping owed before any new value.
+  void BeginValue() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (stack_.empty()) {
+      RWDOM_CHECK(out_.empty()) << "only one top-level JSON value allowed";
+      return;
+    }
+    RWDOM_CHECK(stack_.back() == State::kFirstInArray ||
+                stack_.back() == State::kInArray)
+        << "object members need Key() first";
+    if (stack_.back() == State::kInArray) out_ += ',';
+    stack_.back() = State::kInArray;
+  }
+
+  void AppendEscaped(const std::string& text) {
+    out_ += '"';
+    for (char c : text) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            out_ += StrFormat("\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<State> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_BENCH_BENCH_JSON_H_

@@ -9,6 +9,7 @@
 #include "graph/node_set.h"
 #include "index/gain_state.h"
 #include "index/inverted_walk_index.h"
+#include "util/parallel.h"
 #include "walk/hit_probability_dp.h"
 #include "walk/hitting_time_dp.h"
 #include "walk/sampled_evaluator.h"
@@ -94,6 +95,42 @@ void BM_ApproxGainFullScan(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kIndex->TotalEntries());
 }
 BENCHMARK(BM_ApproxGainFullScan);
+
+// Thread-scaling variants of the parallel hot paths; run with
+// --benchmark_format=json for machine-readable output. Outputs are
+// bit-identical across thread counts (counter-derived RNG streams), so
+// these measure pure scheduling/throughput effects.
+void BM_InvertedIndexBuildThreads(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  SetNumThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    RandomWalkSource source(&graph, 5);
+    InvertedWalkIndex index = InvertedWalkIndex::Build(6, 20, &source);
+    benchmark::DoNotOptimize(index.TotalEntries());
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_nodes() * 20);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_InvertedIndexBuildThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_ApproxGainBatchScanThreads(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  static const InvertedWalkIndex* const kIndex = [] {
+    RandomWalkSource source(&BenchGraph(), 3);
+    return new InvertedWalkIndex(InvertedWalkIndex::Build(6, 50, &source));
+  }();
+  SetNumThreads(static_cast<int>(state.range(0)));
+  GainState gain_state(kIndex, Problem::kHittingTime);
+  std::vector<double> gains;
+  for (auto _ : state) {
+    gain_state.ApproxGainAll(&gains);
+    benchmark::DoNotOptimize(gains.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kIndex->TotalEntries());
+  SetNumThreads(0);
+  (void)graph;
+}
+BENCHMARK(BM_ApproxGainBatchScanThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_SampledEvaluator(benchmark::State& state) {
   const Graph& graph = BenchGraph();

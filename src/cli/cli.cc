@@ -1,8 +1,10 @@
 #include "cli/cli.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <set>
 
 #include "core/approx_greedy.h"
 #include "core/min_seed_cover.h"
@@ -15,11 +17,82 @@
 #include "harness/dataset_registry.h"
 #include "harness/table_printer.h"
 #include "index/index_io.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 #include "walk/hitting_time_knn.h"
 
 namespace rwdom {
 namespace {
+
+// --- Per-command flag validation -----------------------------------------
+
+struct CommandSpec {
+  const char* name;
+  // Flags the command understands, beyond the global ones.
+  std::set<std::string> flags;
+};
+
+// Flags accepted by every command.
+const std::set<std::string>& GlobalFlags() {
+  static const std::set<std::string>* const kFlags =
+      new std::set<std::string>{"threads"};
+  return *kFlags;
+}
+
+const std::vector<CommandSpec>& CommandSpecs() {
+  static const std::vector<CommandSpec>* const kSpecs =
+      new std::vector<CommandSpec>{
+          {"datasets", {}},
+          {"stats", {"graph", "dataset", "data_dir"}},
+          {"generate",
+           {"model", "out", "n", "m", "seed", "attach", "communities",
+            "mixing", "k", "beta", "gamma", "avg_degree"}},
+          {"select",
+           {"graph", "dataset", "data_dir", "algorithm", "k", "L", "R",
+            "seed", "save_index"}},
+          {"evaluate",
+           {"graph", "dataset", "data_dir", "seeds", "L", "R", "seed"}},
+          {"cover",
+           {"graph", "dataset", "data_dir", "alpha", "L", "R", "seed"}},
+          {"knn",
+           {"graph", "dataset", "data_dir", "query", "k", "L", "R", "seed",
+            "mode"}},
+          {"help", {}},
+      };
+  return *kSpecs;
+}
+
+// Rejects flags the command does not understand, with a hint: a silently
+// ignored flag (e.g. `generate --model=er --p=0.1`, where ER is G(n,m) and
+// wants --m) is worse than an error.
+Status ValidateFlags(const CliInvocation& invocation) {
+  const CommandSpec* spec = nullptr;
+  for (const CommandSpec& candidate : CommandSpecs()) {
+    if (invocation.command == candidate.name) {
+      spec = &candidate;
+      break;
+    }
+  }
+  if (spec == nullptr) return Status::OK();  // Unknown command errors later.
+  for (const auto& [flag, value] : invocation.flags) {
+    if (spec->flags.count(flag) > 0 || GlobalFlags().count(flag) > 0) {
+      continue;
+    }
+    std::string hint;
+    const auto model = invocation.flags.find("model");
+    if (invocation.command == "generate" && flag == "p" &&
+        model != invocation.flags.end() && model->second == "er") {
+      hint = "; the er model is G(n,m) — pass --m=EDGES, not --p";
+    }
+    std::string known = "--threads";
+    for (const std::string& name : spec->flags) known += " --" + name;
+    return Status::InvalidArgument(
+        StrFormat("unknown flag --%s for `%s`%s (known flags: %s)",
+                  flag.c_str(), invocation.command.c_str(), hint.c_str(),
+                  known.c_str()));
+  }
+  return Status::OK();
+}
 
 // --- Flag access helpers -------------------------------------------------
 
@@ -312,7 +385,10 @@ std::string CliUsage() {
       "\n"
       "graph input: --graph=EDGELIST or --dataset=NAME [--data_dir=DIR]\n"
       "algorithms: Degree Dominate Random DPF1 DPF2 SamplingF1 SamplingF2\n"
-      "            ApproxF1 ApproxF2 EdgeGreedy\n";
+      "            ApproxF1 ApproxF2 EdgeGreedy\n"
+      "threading:  --threads=N (or RWDOM_THREADS=N; default: all cores).\n"
+      "            Results are identical for every thread count.\n"
+      "Unknown flags are rejected; each command lists its own in `help`.\n";
 }
 
 Result<CliInvocation> ParseCliArgs(int argc, const char* const* argv) {
@@ -343,6 +419,16 @@ Result<CliInvocation> ParseCliArgs(int argc, const char* const* argv) {
 }
 
 Status RunCliCommand(const CliInvocation& invocation, std::ostream& out) {
+  RWDOM_RETURN_IF_ERROR(ValidateFlags(invocation));
+  if (invocation.flags.count("threads") > 0) {
+    // Global --threads flag (equivalent to the RWDOM_THREADS env var).
+    RWDOM_ASSIGN_OR_RETURN(int64_t threads,
+                           IntFlagOr(invocation, "threads", 0));
+    if (threads < 1 || threads > 1024) {
+      return Status::InvalidArgument("--threads must be in [1, 1024]");
+    }
+    SetNumThreads(static_cast<int>(threads));
+  }
   if (invocation.command == "datasets") return RunDatasets(invocation, out);
   if (invocation.command == "stats") return RunStats(invocation, out);
   if (invocation.command == "generate") return RunGenerate(invocation, out);

@@ -32,12 +32,17 @@ SelectionResult RunGainStateGreedy(GainState* state, int32_t k, bool lazy,
   SelectionResult result;
   const NodeId n = state->selected().universe_size();
   const int32_t budget = std::min<int64_t>(k, n);
+  // Batch scans run the gain oracle in parallel; the serial node-order
+  // reductions below keep lowest-id tie-breaking (and so the selection)
+  // identical for any thread count.
+  std::vector<double> gains;
 
   if (lazy) {
+    state->ApproxGainAll(&gains);
+    evaluations += n;
     std::priority_queue<HeapEntry, std::vector<HeapEntry>, HeapLess> heap;
     for (NodeId u = 0; u < n; ++u) {
-      heap.push({state->ApproxGain(u), u, 0});
-      ++evaluations;
+      heap.push({gains[static_cast<size_t>(u)], u, 0});
     }
     int32_t round = 0;
     while (round < budget && !heap.empty()) {
@@ -56,12 +61,13 @@ SelectionResult RunGainStateGreedy(GainState* state, int32_t k, bool lazy,
     }
   } else {
     for (int32_t round = 0; round < budget; ++round) {
+      state->ApproxGainAll(&gains);
+      evaluations += n - static_cast<int64_t>(state->selected().size());
       NodeId best_node = kInvalidNode;
       double best_gain = 0.0;
       for (NodeId u = 0; u < n; ++u) {
         if (state->selected().Contains(u)) continue;
-        double gain = state->ApproxGain(u);
-        ++evaluations;
+        double gain = gains[static_cast<size_t>(u)];
         if (best_node == kInvalidNode || gain > best_gain) {
           best_node = u;
           best_gain = gain;

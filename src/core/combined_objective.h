@@ -27,6 +27,9 @@ class CombinedObjective final : public Objective {
   NodeId universe_size() const override { return a_.universe_size(); }
   double Value(const NodeFlagSet& s) const override;
   double ValueWithExtra(const NodeFlagSet& s, NodeId u) const override;
+  bool parallel_safe() const override {
+    return a_.parallel_safe() && b_.parallel_safe();
+  }
   std::string name() const override;
 
  private:

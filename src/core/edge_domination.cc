@@ -34,7 +34,10 @@ double EdgeDominationObjective::Value(const NodeFlagSet& s) const {
     if (s.Contains(u)) continue;
     int64_t edge_count_sum = 0;
     for (int32_t i = 0; i < num_samples_; ++i) {
-      source_.SampleWalk(u, length_, &trajectory);
+      // Counter-derived streams: the estimate is a pure function of
+      // (seed, S), i.e. common random numbers across greedy rounds.
+      source_.SampleWalkStream(u, static_cast<uint64_t>(i), length_,
+                               &trajectory);
       seen_edges.clear();
       if (s.Contains(trajectory[0])) continue;  // Unreachable: u not in S.
       for (size_t j = 1; j < trajectory.size(); ++j) {

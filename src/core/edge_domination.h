@@ -35,6 +35,9 @@ class EdgeDominationObjective final : public Objective {
 
   NodeId universe_size() const override { return graph_.num_nodes(); }
   double Value(const NodeFlagSet& s) const override;
+  bool parallel_safe() const override {
+    return source_.has_deterministic_streams();
+  }
   std::string name() const override { return "EdgeDomination-sampled"; }
 
   int32_t length() const { return length_; }

@@ -27,6 +27,13 @@ class Objective {
   /// copy; DP-backed objectives override with a zero-copy variant.
   virtual double ValueWithExtra(const NodeFlagSet& s, NodeId u) const;
 
+  /// True when Value / ValueWithExtra may be called concurrently from
+  /// multiple threads AND return values that do not depend on call order.
+  /// The greedy selectors parallelize their candidate scans only for such
+  /// oracles; anything with shared mutable state (DP scratch buffers,
+  /// sequential RNG draws) must keep the default `false`.
+  virtual bool parallel_safe() const { return false; }
+
   /// Marginal gain F(S ∪ {u}) - F(S), given the precomputed F(S).
   double MarginalGain(const NodeFlagSet& s, double value_of_s,
                       NodeId u) const {

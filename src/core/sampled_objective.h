@@ -1,7 +1,12 @@
-// Sampled objectives F̂1 / F̂2 via Algorithm 2. Each Value() call draws
-// fresh R walks per node from an internal RandomWalkSource, so evaluations
-// are independent unbiased estimates; this is the oracle behind the paper's
-// "sampling-based greedy" (§3.1, Approximate marginal gain computation).
+// Sampled objectives F̂1 / F̂2 via Algorithm 2; the oracle behind the
+// paper's "sampling-based greedy" (§3.1, Approximate marginal gain
+// computation). Walks come from counter-derived per-(node, sample) RNG
+// streams — common random numbers across evaluations — so each Value()
+// call is an unbiased estimate that is a pure function of (seed, S):
+// thread-safe, call-order independent, and bit-identical for any thread
+// count. Fixing the sample also makes F̂ genuinely submodular across a
+// greedy run (it is an average over fixed walks), which keeps CELF's
+// lazy-evaluation invariant exact rather than approximate.
 #ifndef RWDOM_CORE_SAMPLED_OBJECTIVE_H_
 #define RWDOM_CORE_SAMPLED_OBJECTIVE_H_
 
@@ -15,8 +20,9 @@
 
 namespace rwdom {
 
-/// Monte-Carlo F̂(S). Value() mutates internal RNG state (fresh samples per
-/// call) — logically const as an oracle, hence the mutable source.
+/// Monte-Carlo F̂(S). Value() samples through the source's deterministic
+/// streams, never its shared RNG state — the mutable source only reflects
+/// the WalkSource interface being non-const.
 class SampledObjective final : public Objective {
  public:
   /// `graph` must outlive this object.
@@ -25,6 +31,9 @@ class SampledObjective final : public Objective {
 
   NodeId universe_size() const override { return graph_.num_nodes(); }
   double Value(const NodeFlagSet& s) const override;
+  bool parallel_safe() const override {
+    return source_.has_deterministic_streams();
+  }
   std::string name() const override;
 
   int32_t length() const { return evaluator_.length(); }

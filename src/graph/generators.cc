@@ -40,6 +40,8 @@ Result<Graph> GenerateBarabasiAlbert(NodeId n, int32_t attach_edges,
   GraphBuilder builder(n);
   // Seed clique on attach_edges + 1 nodes.
   const NodeId clique = attach_edges + 1;
+  builder.ReserveEdges(static_cast<int64_t>(clique) * (clique - 1) / 2 +
+                       static_cast<int64_t>(n - clique) * attach_edges);
   // endpoint_pool holds each node once per incident edge endpoint, so a
   // uniform draw from it is degree-proportional sampling.
   std::vector<NodeId> endpoint_pool;
@@ -85,6 +87,7 @@ Result<Graph> GeneratePowerLawWithSize(NodeId n, int64_t m, uint64_t seed) {
   std::unordered_set<uint64_t> edge_set;
   edge_set.reserve(static_cast<size_t>(m) * 2);
   GraphBuilder builder(n);
+  builder.ReserveEdges(m);
   auto add_edge = [&](NodeId u, NodeId v) {
     if (u == v) return false;
     if (!edge_set.insert(EdgeKey(u, v)).second) return false;
@@ -183,6 +186,7 @@ Result<Graph> GeneratePowerLawCommunity(NodeId n, int64_t m,
   std::unordered_set<uint64_t> edge_set;
   edge_set.reserve(static_cast<size_t>(m) * 2);
   GraphBuilder builder(n);
+  builder.ReserveEdges(m);
   auto add_edge = [&](NodeId u, NodeId v) {
     if (u == v) return false;
     if (!edge_set.insert(EdgeKey(u, v)).second) return false;
@@ -272,6 +276,7 @@ Result<Graph> GenerateErdosRenyiGnm(NodeId n, int64_t m, uint64_t seed) {
   std::unordered_set<uint64_t> edge_set;
   edge_set.reserve(static_cast<size_t>(m) * 2);
   GraphBuilder builder(n);
+  builder.ReserveEdges(m);
   while (static_cast<int64_t>(edge_set.size()) < m) {
     NodeId u = static_cast<NodeId>(rng.NextBounded(static_cast<uint64_t>(n)));
     NodeId v = static_cast<NodeId>(rng.NextBounded(static_cast<uint64_t>(n)));
@@ -286,6 +291,8 @@ Result<Graph> GenerateErdosRenyiGnp(NodeId n, double p, uint64_t seed) {
   if (p < 0.0 || p > 1.0) return Status::InvalidArgument("p must be in [0,1]");
   Rng rng(seed);
   GraphBuilder builder(n);
+  builder.ReserveEdges(
+      static_cast<int64_t>(p * static_cast<double>(MaxEdges(n))));
   if (p > 0.0) {
     // Geometric skipping over the upper-triangular pair enumeration.
     const double log1mp = (p < 1.0) ? std::log1p(-p) : 0.0;
@@ -351,6 +358,7 @@ Result<Graph> GenerateWattsStrogatz(NodeId n, int32_t k, double beta,
     }
   }
   GraphBuilder builder(n);
+  builder.ReserveEdges(static_cast<int64_t>(edges.size()));
   for (const auto& [u, v] : edges) builder.AddEdge(u, v);
   return std::move(builder).Build();
 }
@@ -381,6 +389,8 @@ Result<Graph> GenerateChungLu(NodeId n, double gamma, double avg_degree,
   // Miller–Hagberg skipping sampler requires.
   Rng rng(seed);
   GraphBuilder builder(n);
+  builder.ReserveEdges(
+      static_cast<int64_t>(avg_degree * static_cast<double>(n) / 2.0));
   for (NodeId i = 0; i + 1 < n; ++i) {
     NodeId j = i + 1;
     double p = std::min(

@@ -49,6 +49,14 @@ class GraphBuilder {
   /// Ensures num_nodes() > u.
   void GrowToInclude(NodeId u);
 
+  /// Pre-sizes the internal edge store for `num_edges` AddEdge calls;
+  /// generators and loaders that know (or can bound) m call this to avoid
+  /// reallocation churn on large graphs.
+  void ReserveEdges(int64_t num_edges) {
+    RWDOM_CHECK_GE(num_edges, 0);
+    edges_.reserve(static_cast<size_t>(num_edges));
+  }
+
   NodeId num_nodes() const { return num_nodes_; }
 
   /// Edges accumulated so far (before dedup).

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace rwdom {
@@ -23,10 +24,18 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.data_dir = std::string(arg.substr(11));
     } else if (StartsWith(arg, "--csv_dir=")) {
       args.csv_dir = std::string(arg.substr(10));
+    } else if (StartsWith(arg, "--json_dir=")) {
+      args.json_dir = std::string(arg.substr(11));
+    } else if (StartsWith(arg, "--threads=")) {
+      auto parsed = ParseInt64(arg.substr(10));
+      RWDOM_CHECK(parsed.ok() && *parsed >= 1 && *parsed <= 1024)
+          << "bad --threads value";
+      args.threads = static_cast<int>(*parsed);
+      SetNumThreads(args.threads);
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
-                   "usage: %s [--full] [--seed=N] [--data_dir=DIR] "
-                   "[--csv_dir=DIR]\n",
+                   "usage: %s [--full] [--seed=N] [--threads=N] "
+                   "[--data_dir=DIR] [--csv_dir=DIR] [--json_dir=DIR]\n",
                    argv[0]);
       std::exit(0);
     } else {
@@ -39,9 +48,10 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
 
 void PrintBanner(const std::string& experiment_id,
                  const std::string& description, const BenchArgs& args) {
-  std::printf("=== %s ===\n%s\nmode=%s seed=%llu\n\n", experiment_id.c_str(),
-              description.c_str(), args.full ? "full (paper-scale)" : "quick",
-              static_cast<unsigned long long>(args.seed));
+  std::printf("=== %s ===\n%s\nmode=%s seed=%llu threads=%d\n\n",
+              experiment_id.c_str(), description.c_str(),
+              args.full ? "full (paper-scale)" : "quick",
+              static_cast<unsigned long long>(args.seed), NumThreads());
   std::fflush(stdout);
 }
 
@@ -72,6 +82,18 @@ void MaybeDumpCsv(const BenchArgs& args, const std::string& name,
     return;
   }
   file << csv_text;
+}
+
+void MaybeDumpJson(const BenchArgs& args, const std::string& name,
+                   const std::string& json_text) {
+  if (args.json_dir.empty()) return;
+  const std::string path = args.json_dir + "/BENCH_" + name + ".json";
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    RWDOM_LOG(WARNING) << "cannot write " << path << "; skipping JSON dump";
+    return;
+  }
+  file << json_text << "\n";
 }
 
 }  // namespace rwdom

@@ -1,6 +1,7 @@
 #include "index/gain_state.h"
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace rwdom {
 
@@ -45,6 +46,14 @@ double GainState::ApproxGain(NodeId u) const {
     }
   }
   return gain / static_cast<double>(replicates);
+}
+
+void GainState::ApproxGainAll(std::vector<double>* gains) const {
+  const NodeId n = index_.num_nodes();
+  gains->resize(static_cast<size_t>(n));
+  ParallelFor(0, n, [this, gains](int64_t u) {
+    (*gains)[static_cast<size_t>(u)] = ApproxGain(static_cast<NodeId>(u));
+  });
 }
 
 void GainState::Commit(NodeId u) {

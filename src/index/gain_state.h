@@ -35,6 +35,12 @@ class GainState {
   /// σ̂_u + L relative to the true marginal gain of F1 (constant shift).
   double ApproxGain(NodeId u) const;
 
+  /// Algorithm 4 for every node at once: fills gains[u] = ApproxGain(u)
+  /// for all u (including already-selected nodes — callers mask those).
+  /// Evaluated in parallel; ApproxGain only reads D, so the result is
+  /// identical for any thread count.
+  void ApproxGainAll(std::vector<double>* gains) const;
+
   /// Algorithm 5: commits `u` into the set and updates every D[i][v] that
   /// improves through u. Must not be called twice for the same node.
   void Commit(NodeId u);

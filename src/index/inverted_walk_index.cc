@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace rwdom {
 namespace {
@@ -15,6 +16,43 @@ struct RawPosting {
   int32_t hop;
 };
 
+// A walk can index at most min(length, n - 1) distinct non-start nodes, so
+// this bounds the postings produced by the walks of one node range.
+size_t MaxPostings(int64_t num_walks, int32_t length, NodeId n) {
+  return static_cast<size_t>(num_walks) *
+         static_cast<size_t>(std::min<int64_t>(length, std::max(n - 1, 0)));
+}
+
+// Inverts the walks of nodes [node_begin, node_end) for one replicate into
+// `raw` (appended in node order), counting postings per target into
+// `counts` (size n, zero-initialized by the caller). `visited_stamp` is
+// n-sized scratch holding values < *stamp on entry.
+void InvertWalkRange(WalkSource* source, int32_t replicate, int32_t length,
+                     NodeId node_begin, NodeId node_end, bool use_streams,
+                     std::vector<int64_t>* visited_stamp, int64_t* stamp,
+                     std::vector<RawPosting>* raw,
+                     std::vector<int64_t>* counts) {
+  std::vector<NodeId> trajectory;
+  for (NodeId w = node_begin; w < node_end; ++w) {
+    if (use_streams) {
+      source->SampleWalkStream(w, static_cast<uint64_t>(replicate), length,
+                               &trajectory);
+    } else {
+      source->SampleWalk(w, length, &trajectory);
+    }
+    RWDOM_DCHECK(!trajectory.empty() && trajectory.front() == w);
+    const int64_t my_stamp = (*stamp)++;
+    (*visited_stamp)[static_cast<size_t>(w)] = my_stamp;
+    for (size_t j = 1; j < trajectory.size(); ++j) {
+      NodeId v = trajectory[j];
+      if ((*visited_stamp)[static_cast<size_t>(v)] == my_stamp) continue;
+      (*visited_stamp)[static_cast<size_t>(v)] = my_stamp;
+      raw->push_back({v, w, static_cast<int32_t>(j)});
+      ++(*counts)[static_cast<size_t>(v)];
+    }
+  }
+}
+
 }  // namespace
 
 InvertedWalkIndex InvertedWalkIndex::Build(int32_t length,
@@ -23,46 +61,126 @@ InvertedWalkIndex InvertedWalkIndex::Build(int32_t length,
   RWDOM_CHECK_GE(length, 0);
   RWDOM_CHECK_GE(num_replicates, 1);
   const NodeId n = source->num_nodes();
+  const bool streams = source->has_deterministic_streams();
 
   std::vector<Replicate> replicates(static_cast<size_t>(num_replicates));
-  // visited_stamp[v] == current walk's stamp  <=>  v already seen by this
-  // walk; avoids clearing an n-sized array per walk (Alg. 3's visited[]).
-  std::vector<int64_t> visited_stamp(static_cast<size_t>(n), -1);
-  int64_t stamp = 0;
-  std::vector<RawPosting> raw;
-  std::vector<NodeId> trajectory;
 
-  for (int32_t i = 0; i < num_replicates; ++i) {
-    raw.clear();
-    for (NodeId w = 0; w < n; ++w) {
-      source->SampleWalk(w, length, &trajectory);
-      RWDOM_DCHECK(!trajectory.empty() && trajectory.front() == w);
-      const int64_t my_stamp = stamp++;
-      visited_stamp[static_cast<size_t>(w)] = my_stamp;
-      for (size_t j = 1; j < trajectory.size(); ++j) {
-        NodeId v = trajectory[j];
-        if (visited_stamp[static_cast<size_t>(v)] == my_stamp) continue;
-        visited_stamp[static_cast<size_t>(v)] = my_stamp;
-        raw.push_back({v, w, static_cast<int32_t>(j)});
-      }
+  // Counting sort of one replicate's raw postings (in ascending-source
+  // order) into its CSR arrays; `counts` holds per-target totals.
+  const auto build_csr = [n](const std::vector<RawPosting>& raw,
+                             const std::vector<int64_t>& counts,
+                             Replicate* rep) {
+    rep->offsets.assign(static_cast<size_t>(n) + 1, 0);
+    for (size_t v = 0; v < static_cast<size_t>(n); ++v) {
+      rep->offsets[v + 1] = rep->offsets[v] + counts[v];
     }
-    // Counting sort by target node into CSR.
+    rep->entries.resize(raw.size());
+    std::vector<int64_t> cursor(rep->offsets.begin(),
+                                rep->offsets.end() - 1);
+    for (const RawPosting& p : raw) {
+      rep->entries[static_cast<size_t>(
+          cursor[static_cast<size_t>(p.target)]++)] = {p.source, p.hop};
+    }
+  };
+
+  if (!streams) {
+    // Sequential fallback for shared-state sources (FixedWalkSource, test
+    // wrappers): walks are drawn replicate-major then node-major, matching
+    // the historical call order exactly.
+    // visited_stamp[v] == current walk's stamp  <=>  v already seen by this
+    // walk; avoids clearing an n-sized array per walk (Alg. 3's visited[]).
+    std::vector<int64_t> visited_stamp(static_cast<size_t>(n), -1);
+    int64_t stamp = 0;
+    std::vector<RawPosting> raw;
+    raw.reserve(MaxPostings(n, length, n));
+    std::vector<int64_t> counts;
+    for (int32_t i = 0; i < num_replicates; ++i) {
+      raw.clear();
+      counts.assign(static_cast<size_t>(n), 0);
+      InvertWalkRange(source, i, length, 0, n, /*use_streams=*/false,
+                      &visited_stamp, &stamp, &raw, &counts);
+      build_csr(raw, counts, &replicates[static_cast<size_t>(i)]);
+    }
+    return InvertedWalkIndex(n, length, std::move(replicates));
+  }
+
+  if (num_replicates >= NumThreads()) {
+    // Whole replicates in parallel: zero serial fraction, and walks come
+    // from per-(node, replicate) streams so the result is identical for
+    // any thread count or schedule.
+    ParallelFor(0, num_replicates, [&](int64_t i) {
+      std::vector<int64_t> visited_stamp(static_cast<size_t>(n), -1);
+      int64_t stamp = 0;
+      std::vector<RawPosting> raw;
+      raw.reserve(MaxPostings(n, length, n));
+      std::vector<int64_t> counts(static_cast<size_t>(n), 0);
+      InvertWalkRange(source, static_cast<int32_t>(i), length, 0, n,
+                      /*use_streams=*/true, &visited_stamp, &stamp, &raw,
+                      &counts);
+      build_csr(raw, counts, &replicates[static_cast<size_t>(i)]);
+    });
+    return InvertedWalkIndex(n, length, std::move(replicates));
+  }
+
+  // Fewer replicates than threads: split each replicate's node range into
+  // chunks. Per-chunk raw vectors concatenate in chunk order, preserving
+  // the ascending-source order the counting sort relies on; the CSR fill
+  // is parallel too, each chunk writing through its own pre-computed
+  // per-target cursors.
+  const int max_chunks = std::max(MaxChunks(n), 1);
+  std::vector<std::vector<RawPosting>> raw(static_cast<size_t>(max_chunks));
+  std::vector<std::vector<int64_t>> counts(static_cast<size_t>(max_chunks));
+  for (int32_t i = 0; i < num_replicates; ++i) {
+    ParallelForChunks(0, n, [&](int chunk, int64_t b, int64_t e) {
+      auto& my_raw = raw[static_cast<size_t>(chunk)];
+      auto& my_counts = counts[static_cast<size_t>(chunk)];
+      my_raw.clear();
+      my_raw.reserve(MaxPostings(e - b, length, n));
+      my_counts.assign(static_cast<size_t>(n), 0);
+      std::vector<int64_t> visited_stamp(static_cast<size_t>(n), -1);
+      int64_t stamp = 0;
+      InvertWalkRange(source, i, length, static_cast<NodeId>(b),
+                      static_cast<NodeId>(e), /*use_streams=*/true,
+                      &visited_stamp, &stamp, &my_raw, &my_counts);
+    });
+
     Replicate& rep = replicates[static_cast<size_t>(i)];
     rep.offsets.assign(static_cast<size_t>(n) + 1, 0);
-    for (const RawPosting& p : raw) {
-      ++rep.offsets[static_cast<size_t>(p.target) + 1];
+    size_t total = 0;
+    for (int c = 0; c < max_chunks; ++c) {
+      if (counts[static_cast<size_t>(c)].empty()) continue;
+      total += raw[static_cast<size_t>(c)].size();
+      for (size_t v = 0; v < static_cast<size_t>(n); ++v) {
+        rep.offsets[v + 1] += counts[static_cast<size_t>(c)][v];
+      }
     }
     for (size_t v = 1; v <= static_cast<size_t>(n); ++v) {
       rep.offsets[v] += rep.offsets[v - 1];
     }
-    rep.entries.resize(raw.size());
-    std::vector<int64_t> cursor(rep.offsets.begin(), rep.offsets.end() - 1);
-    for (const RawPosting& p : raw) {
-      rep.entries[static_cast<size_t>(
-          cursor[static_cast<size_t>(p.target)]++)] = {p.source, p.hop};
-    }
-  }
+    rep.entries.resize(total);
 
+    // chunk_cursor[c][v]: where chunk c's postings for target v start —
+    // offsets[v] plus everything earlier chunks contribute to v.
+    std::vector<std::vector<int64_t>> chunk_cursor(
+        static_cast<size_t>(max_chunks));
+    std::vector<int64_t> running(rep.offsets.begin(),
+                                 rep.offsets.end() - 1);
+    for (int c = 0; c < max_chunks; ++c) {
+      if (counts[static_cast<size_t>(c)].empty()) continue;
+      chunk_cursor[static_cast<size_t>(c)] = running;
+      for (size_t v = 0; v < static_cast<size_t>(n); ++v) {
+        running[v] += counts[static_cast<size_t>(c)][v];
+      }
+    }
+    ParallelFor(0, max_chunks, [&](int64_t c) {
+      auto& cursor = chunk_cursor[static_cast<size_t>(c)];
+      if (cursor.empty()) return;
+      for (const RawPosting& p : raw[static_cast<size_t>(c)]) {
+        rep.entries[static_cast<size_t>(
+            cursor[static_cast<size_t>(p.target)]++)] = {p.source, p.hop};
+      }
+    });
+  }
   return InvertedWalkIndex(n, length, std::move(replicates));
 }
 

@@ -1,0 +1,63 @@
+// Shared-memory parallelism for the hot loops: a lazily created global
+// thread pool plus ParallelFor / ParallelForChunks helpers with chunked
+// static scheduling.
+//
+// Design rules, chosen so that every parallel consumer in rwdom stays
+// bit-deterministic regardless of thread count:
+//  * Work is split into contiguous chunks assigned statically; callers that
+//    need per-task scratch key it on the chunk index.
+//  * Chunk boundaries may depend on the thread count, so callers must make
+//    per-item results independent of chunking (e.g. counter-derived RNG
+//    streams) and reduce in item order.
+//  * Exceptions thrown by the body are captured and rethrown (the first
+//    one, by chunk order) on the calling thread.
+//  * Nested parallel regions execute inline on the calling thread, so the
+//    helpers are safe to use inside library code without deadlock risk.
+//  * The pool runs one batch at a time: concurrent top-level regions from
+//    different threads are serialized (the second blocks until the first
+//    drains), never interleaved.
+//
+// The thread count defaults to the RWDOM_THREADS environment variable when
+// set (>= 1), else the hardware concurrency; SetNumThreads overrides it at
+// runtime (the CLI's --threads flag and the bench harness call it).
+#ifndef RWDOM_UTIL_PARALLEL_H_
+#define RWDOM_UTIL_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace rwdom {
+
+/// Number of hardware threads (>= 1).
+int HardwareThreads();
+
+/// Current global thread count (>= 1).
+int NumThreads();
+
+/// Sets the global thread count: n >= 1 exact, n == 0 resets to the
+/// default (RWDOM_THREADS env or hardware). Not thread-safe against
+/// concurrent parallel regions; call between them.
+void SetNumThreads(int n);
+
+/// Runs body(chunk, begin, end) over disjoint contiguous chunks covering
+/// [begin, end), at most NumThreads() chunks, in parallel. Chunk indices
+/// are dense from 0 so callers can pre-allocate per-chunk scratch or
+/// outputs. Blocks until every chunk finished; rethrows the first
+/// exception (by chunk order) thrown by the body.
+void ParallelForChunks(
+    int64_t begin, int64_t end,
+    const std::function<void(int chunk, int64_t chunk_begin,
+                             int64_t chunk_end)>& body);
+
+/// Maximum number of chunks ParallelForChunks will create for a range of
+/// this size (== the per-chunk scratch/output slots a caller needs).
+int MaxChunks(int64_t range_size);
+
+/// Element-wise convenience: runs body(i) for every i in [begin, end) with
+/// the same chunked static scheduling and exception semantics.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t i)>& body);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_UTIL_PARALLEL_H_

@@ -1,9 +1,41 @@
 #include "walk/sampled_evaluator.h"
 
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "walk/walk.h"
 
 namespace rwdom {
+namespace {
+
+// Draws the R walks of one node and reduces them to the (hits, time-sum)
+// pair Equations 9/10 need.
+struct NodeTally {
+  int64_t hits = 0;
+  int64_t hit_time_sum = 0;
+};
+
+NodeTally TallyNode(WalkSource* source, bool use_streams, NodeId u,
+                    int32_t length, int32_t num_samples,
+                    const NodeFlagSet& targets,
+                    std::vector<NodeId>* trajectory) {
+  NodeTally tally;
+  for (int32_t i = 0; i < num_samples; ++i) {
+    if (use_streams) {
+      source->SampleWalkStream(u, static_cast<uint64_t>(i), length,
+                               trajectory);
+    } else {
+      source->SampleWalk(u, length, trajectory);
+    }
+    FirstHit first = FindFirstHit(*trajectory, targets, length);
+    if (first.hit) {
+      ++tally.hits;
+      tally.hit_time_sum += first.time;
+    }
+  }
+  return tally;
+}
+
+}  // namespace
 
 SampledEvaluator::SampledEvaluator(int32_t length, int32_t num_samples)
     : length_(length), num_samples_(num_samples) {
@@ -22,33 +54,48 @@ SampledObjectives SampledEvaluator::EvaluateWithPerNode(
   const NodeId n = source->num_nodes();
   RWDOM_CHECK_EQ(targets.universe_size(), n);
   const double r_inv = 1.0 / static_cast<double>(num_samples_);
+  const bool use_streams = source->has_deterministic_streams();
 
   if (per_node != nullptr) {
     per_node->hitting_time.assign(static_cast<size_t>(n), 0.0);
     per_node->hit_prob.assign(static_cast<size_t>(n), 1.0);
   }
 
+  // Per-node tallies first (parallel when the source supports streams),
+  // then a serial node-order reduction so the floating-point sums are
+  // identical for every thread count.
+  std::vector<NodeTally> tallies(static_cast<size_t>(n));
+  if (use_streams) {
+    ParallelForChunks(0, n, [&](int, int64_t begin, int64_t end) {
+      std::vector<NodeId> trajectory;
+      for (int64_t u = begin; u < end; ++u) {
+        if (targets.Contains(static_cast<NodeId>(u))) continue;
+        tallies[static_cast<size_t>(u)] =
+            TallyNode(source, /*use_streams=*/true, static_cast<NodeId>(u),
+                      length_, num_samples_, targets, &trajectory);
+      }
+    });
+  } else {
+    std::vector<NodeId> trajectory;
+    for (NodeId u = 0; u < n; ++u) {
+      if (targets.Contains(u)) continue;
+      tallies[static_cast<size_t>(u)] =
+          TallyNode(source, /*use_streams=*/false, u, length_, num_samples_,
+                    targets, &trajectory);
+    }
+  }
+
   double total_hitting = 0.0;  // sum over u not in S of ĥ_uS
   double total_hits = 0.0;     // sum over u not in S of r_u / R
-  std::vector<NodeId> trajectory;
   for (NodeId u = 0; u < n; ++u) {
     if (targets.Contains(u)) continue;
-    int64_t hits = 0;
-    int64_t hit_time_sum = 0;
-    for (int32_t i = 0; i < num_samples_; ++i) {
-      source->SampleWalk(u, length_, &trajectory);
-      FirstHit first = FindFirstHit(trajectory, targets, length_);
-      if (first.hit) {
-        ++hits;
-        hit_time_sum += first.time;
-      }
-    }
+    const NodeTally& tally = tallies[static_cast<size_t>(u)];
     const double h_hat =
-        (static_cast<double>(hit_time_sum) +
-         static_cast<double>(num_samples_ - hits) *
+        (static_cast<double>(tally.hit_time_sum) +
+         static_cast<double>(num_samples_ - tally.hits) *
              static_cast<double>(length_)) *
         r_inv;
-    const double p_hat = static_cast<double>(hits) * r_inv;
+    const double p_hat = static_cast<double>(tally.hits) * r_inv;
     total_hitting += h_hat;
     total_hits += p_hat;
     if (per_node != nullptr) {

@@ -5,8 +5,16 @@
 
 namespace rwdom {
 
-void RandomWalkSource::SampleWalk(NodeId start, int32_t length,
-                                  std::vector<NodeId>* trajectory) {
+void WalkSource::SampleWalkStream(NodeId /*start*/, uint64_t /*stream*/,
+                                  int32_t /*length*/,
+                                  std::vector<NodeId>* /*trajectory*/) {
+  RWDOM_CHECK(false) << "SampleWalkStream called on a WalkSource without "
+                        "deterministic streams; check "
+                        "has_deterministic_streams() first";
+}
+
+void RandomWalkSource::WalkFrom(Rng* rng, NodeId start, int32_t length,
+                                std::vector<NodeId>* trajectory) const {
   RWDOM_DCHECK(graph_.IsValidNode(start));
   RWDOM_DCHECK_GE(length, 0);
   trajectory->clear();
@@ -16,9 +24,23 @@ void RandomWalkSource::SampleWalk(NodeId start, int32_t length,
   for (int32_t step = 0; step < length; ++step) {
     auto adj = graph_.neighbors(current);
     if (adj.empty()) break;  // Stuck on an isolated node.
-    current = adj[rng_.NextBounded(adj.size())];
+    current = adj[rng->NextBounded(adj.size())];
     trajectory->push_back(current);
   }
+}
+
+void RandomWalkSource::SampleWalk(NodeId start, int32_t length,
+                                  std::vector<NodeId>* trajectory) {
+  WalkFrom(&rng_, start, length, trajectory);
+}
+
+void RandomWalkSource::SampleWalkStream(NodeId start, uint64_t stream,
+                                        int32_t length,
+                                        std::vector<NodeId>* trajectory) {
+  // Counter-derived stream: seeded purely by (seed, start, stream), so the
+  // walk is identical no matter which thread draws it, or when.
+  Rng rng(MixSeeds(seed_, MixSeeds(static_cast<uint64_t>(start), stream)));
+  WalkFrom(&rng, start, length, trajectory);
 }
 
 void FixedWalkSource::AddWalk(std::vector<NodeId> trajectory,

@@ -29,26 +29,52 @@ class WalkSource {
   virtual void SampleWalk(NodeId start, int32_t length,
                           std::vector<NodeId>* trajectory) = 0;
 
+  /// True when SampleWalkStream is implemented: the walk for a given
+  /// (start, stream) pair is then a pure function of the source's seed —
+  /// independent of call order, interleaving, and thread count. Parallel
+  /// consumers (index construction, the sampled evaluator) require this;
+  /// they fall back to sequential SampleWalk calls when it is false.
+  virtual bool has_deterministic_streams() const { return false; }
+
+  /// Like SampleWalk, but draws the walk from the independent RNG stream
+  /// identified by (start, stream) instead of advancing shared state.
+  /// Callers use the replicate index as `stream`, so replicate i of node w
+  /// is the same walk no matter which thread samples it, or in which
+  /// order. Fatal unless has_deterministic_streams().
+  virtual void SampleWalkStream(NodeId start, uint64_t stream,
+                                int32_t length,
+                                std::vector<NodeId>* trajectory);
+
   /// Size of the node universe walks live in.
   virtual NodeId num_nodes() const = 0;
 };
 
-/// Uniform random neighbor at every step; xoshiro-backed and deterministic
-/// in (seed, call sequence).
+/// Uniform random neighbor at every step; xoshiro-backed. SampleWalk is
+/// deterministic in (seed, call sequence); SampleWalkStream in
+/// (seed, start, stream) only, enabling thread-count-invariant parallel
+/// sampling.
 class RandomWalkSource final : public WalkSource {
  public:
   /// `graph` must outlive the source.
   RandomWalkSource(const Graph* graph, uint64_t seed)
-      : graph_(*graph), rng_(seed) {}
+      : graph_(*graph), seed_(seed), rng_(seed) {}
 
   void SampleWalk(NodeId start, int32_t length,
                   std::vector<NodeId>* trajectory) override;
+
+  bool has_deterministic_streams() const override { return true; }
+  void SampleWalkStream(NodeId start, uint64_t stream, int32_t length,
+                        std::vector<NodeId>* trajectory) override;
 
   NodeId num_nodes() const override { return graph_.num_nodes(); }
   const Graph& graph() const { return graph_; }
 
  private:
+  void WalkFrom(Rng* rng, NodeId start, int32_t length,
+                std::vector<NodeId>* trajectory) const;
+
   const Graph& graph_;
+  uint64_t seed_;
   Rng rng_;
 };
 

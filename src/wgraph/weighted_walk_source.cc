@@ -6,7 +6,7 @@ namespace rwdom {
 
 WeightedWalkSource::WeightedWalkSource(const WeightedGraph* graph,
                                        uint64_t seed)
-    : graph_(*graph), rng_(seed) {
+    : graph_(*graph), seed_(seed), rng_(seed) {
   alias_.resize(static_cast<size_t>(graph_.num_nodes()));
   std::vector<double> weights;
   for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
@@ -19,8 +19,8 @@ WeightedWalkSource::WeightedWalkSource(const WeightedGraph* graph,
   }
 }
 
-void WeightedWalkSource::SampleWalk(NodeId start, int32_t length,
-                                    std::vector<NodeId>* trajectory) {
+void WeightedWalkSource::WalkFrom(Rng* rng, NodeId start, int32_t length,
+                                  std::vector<NodeId>* trajectory) const {
   RWDOM_DCHECK(graph_.IsValidNode(start));
   RWDOM_DCHECK_GE(length, 0);
   trajectory->clear();
@@ -30,10 +30,22 @@ void WeightedWalkSource::SampleWalk(NodeId start, int32_t length,
   for (int32_t step = 0; step < length; ++step) {
     const AliasTable& table = alias_[static_cast<size_t>(current)];
     if (table.empty()) break;  // Stuck on a sink.
-    const int32_t pick = table.Sample(&rng_);
+    const int32_t pick = table.Sample(rng);
     current = graph_.out_arcs(current)[static_cast<size_t>(pick)].target;
     trajectory->push_back(current);
   }
+}
+
+void WeightedWalkSource::SampleWalk(NodeId start, int32_t length,
+                                    std::vector<NodeId>* trajectory) {
+  WalkFrom(&rng_, start, length, trajectory);
+}
+
+void WeightedWalkSource::SampleWalkStream(NodeId start, uint64_t stream,
+                                          int32_t length,
+                                          std::vector<NodeId>* trajectory) {
+  Rng rng(MixSeeds(seed_, MixSeeds(static_cast<uint64_t>(start), stream)));
+  WalkFrom(&rng, start, length, trajectory);
 }
 
 }  // namespace rwdom

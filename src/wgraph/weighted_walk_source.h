@@ -16,6 +16,8 @@ namespace rwdom {
 
 /// Weight-proportional walker. Sinks (no out-arcs) end the walk early,
 /// mirroring the isolated-node semantics of the unweighted walker.
+/// SampleWalkStream draws from counter-derived per-(node, stream) RNG
+/// streams, so parallel consumers stay thread-count invariant.
 class WeightedWalkSource final : public WalkSource {
  public:
   /// `graph` must outlive this object. Builds one alias table per node.
@@ -24,11 +26,19 @@ class WeightedWalkSource final : public WalkSource {
   void SampleWalk(NodeId start, int32_t length,
                   std::vector<NodeId>* trajectory) override;
 
+  bool has_deterministic_streams() const override { return true; }
+  void SampleWalkStream(NodeId start, uint64_t stream, int32_t length,
+                        std::vector<NodeId>* trajectory) override;
+
   NodeId num_nodes() const override { return graph_.num_nodes(); }
   const WeightedGraph& graph() const { return graph_; }
 
  private:
+  void WalkFrom(Rng* rng, NodeId start, int32_t length,
+                std::vector<NodeId>* trajectory) const;
+
   const WeightedGraph& graph_;
+  uint64_t seed_;
   Rng rng_;
   std::vector<AliasTable> alias_;  // Indexed by node; empty for sinks.
 };

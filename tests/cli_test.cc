@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/parallel.h"
+
 namespace rwdom {
 namespace {
 
@@ -61,7 +63,13 @@ TEST(CliTest, DatasetsListsTable2) {
 class CliFileTest : public testing::Test {
  protected:
   void SetUp() override {
-    graph_path_ = testing::TempDir() + "/rwdom_cli_graph.txt";
+    // Unique per test case: ctest runs each case as its own process, so a
+    // shared fixed path races SetUp's write against another case's
+    // TearDown delete under `ctest -j`.
+    graph_path_ =
+        testing::TempDir() + "/rwdom_cli_graph_" +
+        testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".txt";
     // Star with hub 0 plus a tail: easy to predict selections.
     FILE* file = fopen(graph_path_.c_str(), "w");
     ASSERT_NE(file, nullptr);
@@ -185,6 +193,60 @@ TEST(CliTest, GenerateValidatesFlags) {
   EXPECT_FALSE(
       RunCli({"generate", "--model=warp", "--n=5", out_flag.c_str()})
           .first.ok());
+}
+
+TEST(CliTest, RejectsUnknownFlagsPerCommand) {
+  // The PR-1 follow-up: `generate --model=er --p=...` used to be silently
+  // ignored (ER is G(n,m) and wants --m); now every command validates.
+  std::string out_flag = "--out=" + testing::TempDir() + "/x.txt";
+  auto [status, out] = RunCli(
+      {"generate", "--model=er", "--n=50", "--p=0.5", out_flag.c_str()});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.ToString().find("--p"), std::string::npos);
+  EXPECT_NE(status.ToString().find("--m"), std::string::npos);  // The hint.
+
+  EXPECT_EQ(RunCli({"datasets", "--bogus=1"}).first.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCli({"select", "--graph=x", "--alpha=0.5"}).first.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCli({"evaluate", "--graph=x", "--query=3"}).first.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CliFileTest, ThreadsFlagAcceptedEverywhereAndValidated) {
+  std::string flag = GraphFlag();
+  auto [status, out] =
+      RunCli({"stats", flag.c_str(), "--threads=2"});
+  EXPECT_TRUE(status.ok()) << status;
+  auto select = RunCli({"select", flag.c_str(), "--algorithm=ApproxF2",
+                        "--k=1", "--L=3", "--R=10", "--threads=3"});
+  EXPECT_TRUE(select.first.ok()) << select.first;
+  EXPECT_EQ(RunCli({"stats", flag.c_str(), "--threads=-1"}).first.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCli({"stats", flag.c_str(), "--threads=0"}).first.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCli({"stats", flag.c_str(), "--threads=9999"}).first.code(),
+            StatusCode::kInvalidArgument);
+  SetNumThreads(0);  // Restore the ambient default for other tests.
+}
+
+TEST_F(CliFileTest, SelectIsThreadCountInvariant) {
+  std::string flag = GraphFlag();
+  auto run = [&](const char* threads) {
+    return RunCli({"select", flag.c_str(), "--algorithm=ApproxF2", "--k=2",
+                   "--L=3", "--R=20", threads});
+  };
+  auto one = run("--threads=1");
+  auto four = run("--threads=4");
+  ASSERT_TRUE(one.first.ok()) << one.first;
+  ASSERT_TRUE(four.first.ok()) << four.first;
+  // Identical seed sets and metrics; only the timing line may differ.
+  auto seeds_of = [](const std::string& text) {
+    size_t at = text.find("seeds:");
+    return text.substr(at, text.find('\n', at) - at);
+  };
+  EXPECT_EQ(seeds_of(one.second), seeds_of(four.second));
+  SetNumThreads(0);
 }
 
 TEST(CliTest, GraphAndDatasetFlagsAreExclusive) {

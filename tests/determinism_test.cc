@@ -1,0 +1,195 @@
+// Thread-count invariance: every randomized pipeline must produce
+// bit-identical output for --threads=1 and --threads=4 (and any other
+// count), because walks come from counter-derived per-(node, stream) RNG
+// streams and all floating-point reductions run in fixed node order.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/approx_greedy.h"
+#include "core/edge_domination.h"
+#include "core/sampling_greedy.h"
+#include "graph/generators.h"
+#include "graph/node_set.h"
+#include "index/gain_state.h"
+#include "index/inverted_walk_index.h"
+#include "util/parallel.h"
+#include "walk/sampled_evaluator.h"
+#include "wgraph/weighted_select.h"
+#include "wgraph/weighted_walk_source.h"
+
+namespace rwdom {
+namespace {
+
+// Runs `body()` at the given thread count, restoring the default after.
+template <typename Fn>
+auto WithThreads(int threads, Fn body) {
+  SetNumThreads(threads);
+  auto result = body();
+  SetNumThreads(0);
+  return result;
+}
+
+const int kThreadCounts[] = {2, 3, 4};
+
+std::vector<std::vector<std::pair<NodeId, int32_t>>> Flatten(
+    const InvertedWalkIndex& index) {
+  std::vector<std::vector<std::pair<NodeId, int32_t>>> lists;
+  for (int32_t i = 0; i < index.num_replicates(); ++i) {
+    for (NodeId v = 0; v < index.num_nodes(); ++v) {
+      auto& list = lists.emplace_back();
+      for (const InvertedWalkIndex::Entry& e : index.List(i, v)) {
+        list.emplace_back(e.id, e.weight);
+      }
+    }
+  }
+  return lists;
+}
+
+TEST(DeterminismTest, IndexBuildIsThreadCountInvariant) {
+  auto graph = GenerateBarabasiAlbert(150, 3, 11);
+  ASSERT_TRUE(graph.ok());
+  // R = 5 exercises the replicate-parallel path at <= 5 threads and the
+  // node-chunked path beyond; both must match the 1-thread build.
+  auto build = [&] {
+    RandomWalkSource source(&*graph, 99);
+    return Flatten(InvertedWalkIndex::Build(5, 5, &source));
+  };
+  const auto baseline = WithThreads(1, build);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(WithThreads(threads, build), baseline)
+        << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, SampledEvaluatorIsThreadCountInvariantAndStable) {
+  auto graph = GenerateErdosRenyiGnm(120, 480, 21).value();
+  NodeFlagSet s(120, {3, 40, 77});
+  SampledEvaluator evaluator(6, 25);
+  auto eval = [&] {
+    RandomWalkSource source(&graph, 5);
+    SampledObjectives result = evaluator.Evaluate(s, &source);
+    return std::make_pair(result.f1, result.f2);
+  };
+  const auto baseline = WithThreads(1, eval);
+  for (int threads : kThreadCounts) {
+    EXPECT_EQ(WithThreads(threads, eval), baseline)
+        << "threads=" << threads;
+  }
+  // Common random numbers: repeated evaluation of the same set through the
+  // same seed is a pure function, not a fresh draw.
+  RandomWalkSource source(&graph, 5);
+  SampledObjectives once = evaluator.Evaluate(s, &source);
+  SampledObjectives twice = evaluator.Evaluate(s, &source);
+  EXPECT_EQ(once.f1, twice.f1);
+  EXPECT_EQ(once.f2, twice.f2);
+}
+
+TEST(DeterminismTest, ApproxGreedyIsThreadCountInvariant) {
+  auto graph = GenerateBarabasiAlbert(200, 3, 31);
+  ASSERT_TRUE(graph.ok());
+  for (Problem problem :
+       {Problem::kHittingTime, Problem::kDominatedCount}) {
+    for (bool lazy : {false, true}) {
+      auto select = [&] {
+        ApproxGreedyOptions options{.length = 4,
+                                    .num_replicates = 30,
+                                    .seed = 7,
+                                    .lazy = lazy};
+        ApproxGreedy greedy(&*graph, problem, options);
+        SelectionResult result = greedy.Select(8);
+        return std::make_pair(result.selected, result.objective_estimate);
+      };
+      const auto baseline = WithThreads(1, select);
+      for (int threads : kThreadCounts) {
+        EXPECT_EQ(WithThreads(threads, select), baseline)
+            << ProblemName(problem) << " lazy=" << lazy
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, SamplingGreedyIsThreadCountInvariant) {
+  // The sampled-objective greedy: the oracle itself is parallel
+  // (per-node walk blocks) and the candidate scan is parallel on top.
+  auto graph = GenerateErdosRenyiGnm(60, 240, 41).value();
+  for (bool lazy : {false, true}) {
+    auto select = [&] {
+      SamplingGreedy greedy(&graph, Problem::kDominatedCount, /*length=*/4,
+                            /*num_samples=*/20, /*seed=*/13,
+                            GreedyOptions{.lazy = lazy});
+      SelectionResult result = greedy.Select(5);
+      return std::make_pair(result.selected, result.objective_estimate);
+    };
+    const auto baseline = WithThreads(1, select);
+    for (int threads : kThreadCounts) {
+      EXPECT_EQ(WithThreads(threads, select), baseline)
+          << "lazy=" << lazy << " threads=" << threads;
+    }
+  }
+}
+
+TEST(DeterminismTest, WeightedApproxGreedyIsThreadCountInvariant) {
+  auto graph = GenerateBarabasiAlbert(120, 3, 51);
+  ASSERT_TRUE(graph.ok());
+  WeightedGraph wg = WeightedGraph::FromUnweighted(*graph);
+  for (Problem problem :
+       {Problem::kHittingTime, Problem::kDominatedCount}) {
+    auto select = [&] {
+      WeightedApproxGreedy greedy(
+          &wg, problem,
+          WeightedApproxGreedy::Options{
+              .length = 4, .num_replicates = 25, .seed = 9, .lazy = true});
+      SelectionResult result = greedy.Select(6);
+      return std::make_pair(result.selected, result.objective_estimate);
+    };
+    const auto baseline = WithThreads(1, select);
+    for (int threads : kThreadCounts) {
+      EXPECT_EQ(WithThreads(threads, select), baseline)
+          << ProblemName(problem) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(DeterminismTest, WeightedWalkStreamsAreCallOrderIndependent) {
+  auto graph = GenerateBarabasiAlbert(40, 2, 61);
+  ASSERT_TRUE(graph.ok());
+  WeightedGraph wg = WeightedGraph::FromUnweighted(*graph);
+  WeightedWalkSource a(&wg, 17);
+  WeightedWalkSource b(&wg, 17);
+  ASSERT_TRUE(a.has_deterministic_streams());
+  // Drain unrelated walks from `b` first: stream walks must not depend on
+  // shared-RNG state or call history.
+  std::vector<NodeId> scratch;
+  for (int i = 0; i < 10; ++i) b.SampleWalk(0, 5, &scratch);
+  std::vector<NodeId> walk_a;
+  std::vector<NodeId> walk_b;
+  for (NodeId start : {NodeId{0}, NodeId{7}, NodeId{39}}) {
+    for (uint64_t stream : {0u, 1u, 9u}) {
+      a.SampleWalkStream(start, stream, 6, &walk_a);
+      b.SampleWalkStream(start, stream, 6, &walk_b);
+      EXPECT_EQ(walk_a, walk_b) << "start=" << start
+                                << " stream=" << stream;
+    }
+  }
+}
+
+TEST(DeterminismTest, EdgeGreedyIsThreadCountInvariant) {
+  auto graph = GenerateBarabasiAlbert(50, 2, 71);
+  ASSERT_TRUE(graph.ok());
+  auto select = [&] {
+    EdgeDominationGreedy greedy(&*graph, /*length=*/4, /*num_samples=*/15,
+                                /*seed=*/23);
+    SelectionResult result = greedy.Select(4);
+    return std::make_pair(result.selected, result.objective_estimate);
+  };
+  const auto baseline = WithThreads(1, select);
+  for (int threads : kThreadCounts) {
+    EXPECT_EQ(WithThreads(threads, select), baseline)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,134 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rwdom {
+namespace {
+
+// Restores the ambient thread count so suites can run in any order.
+class ParallelTest : public testing::Test {
+ protected:
+  void TearDown() override { SetNumThreads(0); }
+};
+
+TEST_F(ParallelTest, HardwareAndDefaultsArePositive) {
+  EXPECT_GE(HardwareThreads(), 1);
+  EXPECT_GE(NumThreads(), 1);
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3);
+  SetNumThreads(0);  // Back to the default.
+  EXPECT_GE(NumThreads(), 1);
+}
+
+TEST_F(ParallelTest, EmptyRangeRunsNothing) {
+  SetNumThreads(4);
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, [&](int64_t) { ++calls; });
+  ParallelFor(5, 5, [&](int64_t) { ++calls; });
+  ParallelForChunks(7, 7, [&](int, int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(MaxChunks(0), 0);
+}
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 7}) {
+    SetNumThreads(threads);
+    const int64_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    ParallelFor(0, n, [&](int64_t i) { ++hits[static_cast<size_t>(i)]; });
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST_F(ParallelTest, RangeSmallerThanThreadCount) {
+  SetNumThreads(8);
+  EXPECT_EQ(MaxChunks(3), 3);
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(0, 3, [&](int64_t i) { ++hits[static_cast<size_t>(i)]; });
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST_F(ParallelTest, ChunksAreContiguousDisjointAndOrdered) {
+  SetNumThreads(4);
+  const int64_t begin = 10;
+  const int64_t end = 110;
+  std::vector<std::pair<int64_t, int64_t>> bounds(
+      static_cast<size_t>(MaxChunks(end - begin)), {-1, -1});
+  ParallelForChunks(begin, end, [&](int chunk, int64_t b, int64_t e) {
+    bounds[static_cast<size_t>(chunk)] = {b, e};
+  });
+  int64_t expected_begin = begin;
+  for (const auto& [b, e] : bounds) {
+    EXPECT_EQ(b, expected_begin);
+    EXPECT_LT(b, e);
+    expected_begin = e;
+  }
+  EXPECT_EQ(expected_begin, end);
+}
+
+TEST_F(ParallelTest, NonZeroRangeStart) {
+  SetNumThreads(3);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(100, 200, [&](int64_t i) { sum += i; });
+  int64_t expected = 0;
+  for (int64_t i = 100; i < 200; ++i) expected += i;
+  EXPECT_EQ(sum.load(), expected);
+}
+
+TEST_F(ParallelTest, ExceptionsPropagateToCaller) {
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    EXPECT_THROW(
+        ParallelFor(0, 100,
+                    [](int64_t i) {
+                      if (i == 57) throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+  }
+}
+
+TEST_F(ParallelTest, FirstChunkExceptionWinsAndPoolSurvives) {
+  SetNumThreads(4);
+  try {
+    ParallelForChunks(0, 4, [](int chunk, int64_t, int64_t) {
+      throw std::runtime_error("chunk " + std::to_string(chunk));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "chunk 0");
+  }
+  // The pool must remain usable after a throwing batch.
+  std::atomic<int> calls{0};
+  ParallelFor(0, 16, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 16);
+}
+
+TEST_F(ParallelTest, NestedRegionsRunInline) {
+  SetNumThreads(4);
+  std::atomic<int> inner_total{0};
+  ParallelFor(0, 8, [&](int64_t) {
+    // Nested region: must complete inline without deadlocking the pool.
+    ParallelFor(0, 10, [&](int64_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST_F(ParallelTest, ResizingPoolBetweenRegionsWorks) {
+  std::atomic<int64_t> sum{0};
+  for (int threads : {2, 5, 1, 3}) {
+    SetNumThreads(threads);
+    ParallelFor(0, 100, [&](int64_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 4 * 4950);
+}
+
+}  // namespace
+}  // namespace rwdom
