@@ -1,52 +1,84 @@
 // Ablation (beyond the paper's figures): what does weighted-walk support
 // cost? Runs the approximate greedy on the same topology through (a) the
-// unweighted uniform-neighbor walker and (b) the weighted alias-method
-// walker with all weights 1 — identical distributions, different samplers.
+// uniform-neighbor transition model and (b) the weighted alias-table model
+// with all weights 1 — identical distributions, different samplers, one
+// shared engine (ApproxGreedy over TransitionModel).
 //
 // Expected shape: the alias walker costs a small constant factor (it draws
 // two random numbers per step instead of one), preserving the O(kRLn)
 // complexity — the claim behind the paper's "easily extended to weighted
-// graphs" remark.
+// graphs" remark. Results land in BENCH_ablation_weighted_overhead.json
+// via --json_dir for the CI artifact trail.
 #include <cstdio>
+#include <vector>
 
+#include "bench_json.h"
 #include "core/approx_greedy.h"
 #include "graph/generators.h"
 #include "harness/experiment.h"
 #include "harness/table_printer.h"
 #include "util/strings.h"
-#include "wgraph/weighted_select.h"
+#include "wgraph/weighted_graph.h"
+#include "wgraph/weighted_transition_model.h"
 
 int main(int argc, char** argv) {
   using namespace rwdom;
   BenchArgs args = ParseBenchArgs(argc, argv);
   PrintBanner("Ablation: weighted-walk overhead",
-              "ApproxF2 via uniform walker vs alias walker (weights = 1)",
+              "ApproxF2 via uniform model vs alias model (weights = 1)",
               args);
+
+  const std::vector<NodeId> sizes =
+      args.full ? std::vector<NodeId>{20000, 40000, 80000}
+                : std::vector<NodeId>{5000, 10000, 20000};
+  const int32_t replicates = args.full ? 50 : 25;
+  const int32_t k = args.full ? 50 : 25;
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("ablation_weighted_overhead");
+  json.Key("mode").String(args.full ? "full" : "quick");
+  json.Key("seed").Int(static_cast<int64_t>(args.seed));
+  json.Key("L").Int(6);
+  json.Key("R").Int(replicates);
+  json.Key("k").Int(k);
+  json.Key("series").BeginArray();
 
   TablePrinter table({"nodes", "edges", "unweighted s", "weighted s",
                       "overhead"});
-  for (NodeId n : {20000, 40000, 80000}) {
+  for (NodeId n : sizes) {
     const int64_t m = static_cast<int64_t>(n) * 10;
     Graph graph = GeneratePowerLawWithSize(n, m, args.seed).value();
     WeightedGraph weighted = WeightedGraph::FromUnweighted(graph);
+    UniformTransitionModel uniform_model(&graph);
+    WeightedTransitionModel weighted_model(&weighted, /*directed=*/false);
 
-    ApproxGreedyOptions unweighted_options{
-        .length = 6, .num_replicates = 50, .seed = args.seed, .lazy = true};
-    ApproxGreedy unweighted(&graph, Problem::kDominatedCount,
-                            unweighted_options);
-    const double unweighted_s = unweighted.Select(50).seconds;
+    ApproxGreedyOptions options{
+        .length = 6, .num_replicates = replicates, .seed = args.seed,
+        .lazy = true};
+    ApproxGreedy unweighted(&uniform_model, Problem::kDominatedCount,
+                            options);
+    const double unweighted_s = unweighted.Select(k).seconds;
 
-    WeightedApproxGreedy::Options weighted_options{
-        .length = 6, .num_replicates = 50, .seed = args.seed, .lazy = true};
-    WeightedApproxGreedy weighted_greedy(
-        &weighted, Problem::kDominatedCount, weighted_options);
-    const double weighted_s = weighted_greedy.Select(50).seconds;
+    ApproxGreedy weighted_greedy(&weighted_model, Problem::kDominatedCount,
+                                 options);
+    const double weighted_s = weighted_greedy.Select(k).seconds;
 
+    const double overhead = weighted_s / unweighted_s;
     table.AddRow({FormatWithCommas(n), FormatWithCommas(m),
                   StrFormat("%.3f", unweighted_s),
                   StrFormat("%.3f", weighted_s),
-                  StrFormat("%.2fx", weighted_s / unweighted_s)});
+                  StrFormat("%.2fx", overhead)});
+    json.BeginObject()
+        .Key("nodes").Int(n)
+        .Key("edges").Int(m)
+        .Key("unweighted_seconds").Number(unweighted_s)
+        .Key("weighted_seconds").Number(weighted_s)
+        .Key("overhead").Number(overhead)
+        .EndObject();
   }
+  json.EndArray().EndObject();
   table.Print();
+  MaybeDumpJson(args, "ablation_weighted_overhead", json.ToString());
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <set>
 
 #include "core/approx_greedy.h"
@@ -20,6 +21,8 @@
 #include "util/parallel.h"
 #include "util/strings.h"
 #include "walk/hitting_time_knn.h"
+#include "wgraph/substrate.h"
+#include "wgraph/weighted_graph_io.h"
 
 namespace rwdom {
 namespace {
@@ -39,24 +42,36 @@ const std::set<std::string>& GlobalFlags() {
   return *kFlags;
 }
 
+// Flags that pick and shape the input substrate, shared by every
+// graph-consuming command.
+const std::set<std::string>& SubstrateFlags() {
+  static const std::set<std::string>* const kFlags =
+      new std::set<std::string>{"graph", "dataset", "data_dir", "directed",
+                                "weighted"};
+  return *kFlags;
+}
+
+std::set<std::string> WithSubstrateFlags(std::set<std::string> extra) {
+  extra.insert(SubstrateFlags().begin(), SubstrateFlags().end());
+  return extra;
+}
+
 const std::vector<CommandSpec>& CommandSpecs() {
   static const std::vector<CommandSpec>* const kSpecs =
       new std::vector<CommandSpec>{
           {"datasets", {}},
-          {"stats", {"graph", "dataset", "data_dir"}},
+          {"stats", WithSubstrateFlags({"with_index", "L", "R", "seed"})},
           {"generate",
            {"model", "out", "n", "m", "seed", "attach", "communities",
-            "mixing", "k", "beta", "gamma", "avg_degree"}},
+            "mixing", "k", "beta", "gamma", "avg_degree", "weighted",
+            "directed"}},
           {"select",
-           {"graph", "dataset", "data_dir", "algorithm", "k", "L", "R",
-            "seed", "save_index"}},
-          {"evaluate",
-           {"graph", "dataset", "data_dir", "seeds", "L", "R", "seed"}},
-          {"cover",
-           {"graph", "dataset", "data_dir", "alpha", "L", "R", "seed"}},
+           WithSubstrateFlags({"algorithm", "problem", "method", "k", "L",
+                               "R", "seed", "save_index"})},
+          {"evaluate", WithSubstrateFlags({"seeds", "L", "R", "seed"})},
+          {"cover", WithSubstrateFlags({"alpha", "L", "R", "seed"})},
           {"knn",
-           {"graph", "dataset", "data_dir", "query", "k", "L", "R", "seed",
-            "mode"}},
+           WithSubstrateFlags({"query", "k", "L", "R", "seed", "mode"})},
           {"help", {}},
       };
   return *kSpecs;
@@ -118,8 +133,36 @@ Result<double> DoubleFlagOr(const CliInvocation& invocation,
   return value;
 }
 
-// Resolves --graph=FILE or --dataset=NAME into a Graph.
-Result<Graph> ResolveGraph(const CliInvocation& invocation) {
+Result<bool> BoolFlagOr(const CliInvocation& invocation,
+                        const std::string& key, bool fallback) {
+  auto it = invocation.flags.find(key);
+  if (it == invocation.flags.end()) return fallback;
+  const std::string& value = it->second;
+  if (value == "1" || value == "true" || value == "yes") return true;
+  if (value == "0" || value == "false" || value == "no") return false;
+  return Status::InvalidArgument("--" + key +
+                                 " wants true/false, got: " + value);
+}
+
+// Parses --weighted=auto|yes|no (several spellings accepted).
+Result<SubstrateWeights> ParseWeightedFlag(const CliInvocation& invocation) {
+  const std::string weighted = FlagOr(invocation, "weighted", "auto");
+  if (weighted == "auto") return SubstrateWeights::kAuto;
+  if (weighted == "yes" || weighted == "true" || weighted == "1") {
+    return SubstrateWeights::kForce;
+  }
+  if (weighted == "no" || weighted == "false" || weighted == "0") {
+    return SubstrateWeights::kIgnore;
+  }
+  return Status::InvalidArgument("--weighted wants auto/yes/no, got: " +
+                                 weighted);
+}
+
+// Resolves --graph=FILE or --dataset=NAME (plus --directed / --weighted)
+// into a substrate. Weighted/directed edge lists are autodetected for
+// --graph; dataset variants carry their directedness in the name
+// (-w / -wd), with --weighted usable to override detection on real files.
+Result<LoadedSubstrate> ResolveSubstrate(const CliInvocation& invocation) {
   const bool has_graph = invocation.flags.count("graph") > 0;
   const bool has_dataset = invocation.flags.count("dataset") > 0;
   if (has_graph == has_dataset) {
@@ -127,15 +170,39 @@ Result<Graph> ResolveGraph(const CliInvocation& invocation) {
         "exactly one of --graph=FILE or --dataset=NAME is required");
   }
   if (has_graph) {
-    RWDOM_ASSIGN_OR_RETURN(LoadedGraph loaded,
-                           LoadEdgeList(invocation.flags.at("graph")));
-    return std::move(loaded.graph);
+    SubstrateOptions options;
+    RWDOM_ASSIGN_OR_RETURN(options.directed,
+                           BoolFlagOr(invocation, "directed", false));
+    RWDOM_ASSIGN_OR_RETURN(options.weights, ParseWeightedFlag(invocation));
+    if (options.directed && options.weights == SubstrateWeights::kIgnore) {
+      return Status::InvalidArgument(
+          "--directed needs the weighted substrate; drop --weighted=no");
+    }
+    return LoadSubstrate(invocation.flags.at("graph"), options);
+  }
+  // Datasets carry directedness in the variant name, so --directed=1 is
+  // rejected; --weighted passes through (it overrides autodetection when a
+  // real file backs the dataset, e.g. --weighted=no for a timestamped
+  // SNAP column under a plain name).
+  RWDOM_ASSIGN_OR_RETURN(bool dataset_directed,
+                         BoolFlagOr(invocation, "directed", false));
+  if (dataset_directed) {
+    return Status::InvalidArgument(
+        "--directed applies to --graph only; pick a directed dataset "
+        "variant instead (e.g. CAGrQc-wd)");
+  }
+  std::optional<SubstrateWeights> weights;
+  if (invocation.flags.count("weighted") > 0) {
+    RWDOM_ASSIGN_OR_RETURN(SubstrateWeights parsed,
+                           ParseWeightedFlag(invocation));
+    weights = parsed;
   }
   RWDOM_ASSIGN_OR_RETURN(
-      Dataset dataset,
-      LoadOrSynthesizeDataset(invocation.flags.at("dataset"),
-                              FlagOr(invocation, "data_dir", "data")));
-  return std::move(dataset.graph);
+      SubstrateDataset dataset,
+      LoadOrSynthesizeSubstrateDataset(
+          invocation.flags.at("dataset"),
+          FlagOr(invocation, "data_dir", "data"), weights));
+  return LoadedSubstrate{std::move(dataset.substrate), {}};
 }
 
 Result<SelectorParams> ResolveSelectorParams(
@@ -150,6 +217,37 @@ Result<SelectorParams> ResolveSelectorParams(
   params.num_samples = static_cast<int32_t>(samples);
   params.seed = static_cast<uint64_t>(seed);
   return params;
+}
+
+// Resolves the selector name from either --algorithm=NAME or the
+// --problem=F1|F2 / --method=... pair (the two spellings are exclusive).
+// Methods: dp, sampling, index (plain scan), index-celf (lazy CELF).
+Result<std::string> ResolveAlgorithmName(const CliInvocation& invocation,
+                                         SelectorParams* params) {
+  const bool has_algorithm = invocation.flags.count("algorithm") > 0;
+  const bool has_problem = invocation.flags.count("problem") > 0;
+  const bool has_method = invocation.flags.count("method") > 0;
+  if (has_algorithm && (has_problem || has_method)) {
+    return Status::InvalidArgument(
+        "--algorithm and --problem/--method are exclusive spellings");
+  }
+  if (!has_problem && !has_method) {
+    return FlagOr(invocation, "algorithm", "ApproxF2");
+  }
+  const std::string problem = FlagOr(invocation, "problem", "F2");
+  if (problem != "F1" && problem != "F2") {
+    return Status::InvalidArgument("--problem wants F1 or F2, got: " +
+                                   problem);
+  }
+  const std::string method = FlagOr(invocation, "method", "index-celf");
+  if (method == "dp") return "DP" + problem;
+  if (method == "sampling") return "Sampling" + problem;
+  if (method == "index" || method == "index-celf") {
+    params->lazy = method == "index-celf";
+    return "Approx" + problem;
+  }
+  return Status::InvalidArgument(
+      "--method wants dp, sampling, index or index-celf, got: " + method);
 }
 
 Result<std::vector<NodeId>> ParseSeedList(const std::string& text,
@@ -176,18 +274,80 @@ Status RunDatasets(const CliInvocation&, std::ostream& out) {
                   FormatWithCommas(spec.edges)});
   }
   out << table.ToString();
+  out << "variants: append -w (weighted) or -wd (weighted directed) to any\n"
+         "name for a deterministic weighted stand-in on the same topology.\n";
+  return Status::OK();
+}
+
+// Appends the capacity-planning lines of `rwdom stats`: graph memory, and
+// the inverted-index memory when the caller asked for one.
+Status PrintMemoryFootprint(const CliInvocation& invocation,
+                            const GraphSubstrate& substrate,
+                            std::ostream& out) {
+  const int64_t graph_bytes = substrate.MemoryUsageBytes();
+  const double n = std::max<double>(1.0, substrate.num_nodes());
+  const double links = std::max<double>(1.0, substrate.num_links());
+  out << StrFormat(
+      "memory: graph=%lld bytes (%.1f bytes/node, %.1f bytes/%s)\n",
+      static_cast<long long>(graph_bytes),
+      static_cast<double>(graph_bytes) / n,
+      static_cast<double>(graph_bytes) / links,
+      substrate.weighted() ? "arc" : "edge");
+
+  RWDOM_ASSIGN_OR_RETURN(bool with_index,
+                         BoolFlagOr(invocation, "with_index", false));
+  if (!with_index) return Status::OK();
+  RWDOM_ASSIGN_OR_RETURN(SelectorParams params,
+                         ResolveSelectorParams(invocation));
+  auto source = substrate.MakeWalkSource(params.seed);
+  InvertedWalkIndex index = InvertedWalkIndex::Build(
+      params.length, params.num_samples, source.get());
+  const int64_t index_bytes = index.MemoryUsageBytes();
+  out << StrFormat(
+      "memory: index=%lld bytes (L=%d R=%d, %lld entries, "
+      "%.1f bytes/node, %.2f bytes/entry)\n",
+      static_cast<long long>(index_bytes), params.length,
+      params.num_samples, static_cast<long long>(index.TotalEntries()),
+      static_cast<double>(index_bytes) / n,
+      static_cast<double>(index_bytes) /
+          std::max<double>(1.0, static_cast<double>(index.TotalEntries())));
   return Status::OK();
 }
 
 Status RunStats(const CliInvocation& invocation, std::ostream& out) {
-  RWDOM_ASSIGN_OR_RETURN(Graph graph, ResolveGraph(invocation));
-  GraphStats stats = ComputeGraphStats(graph);
-  out << stats.ToString() << "\n";
-  out << StrFormat("triangles=%lld avg_clustering=%.4f transitivity=%.4f\n",
-                   static_cast<long long>(CountTriangles(graph)),
-                   AverageClusteringCoefficient(graph),
-                   GlobalClusteringCoefficient(graph));
-  return Status::OK();
+  RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
+                         ResolveSubstrate(invocation));
+  const GraphSubstrate& substrate = loaded.substrate;
+  if (!substrate.weighted()) {
+    const Graph& graph = *substrate.graph();
+    GraphStats stats = ComputeGraphStats(graph);
+    out << stats.ToString() << "\n";
+    out << StrFormat(
+        "triangles=%lld avg_clustering=%.4f transitivity=%.4f\n",
+        static_cast<long long>(CountTriangles(graph)),
+        AverageClusteringCoefficient(graph),
+        GlobalClusteringCoefficient(graph));
+    return PrintMemoryFootprint(invocation, substrate, out);
+  }
+  const WeightedGraph& graph = *substrate.weighted_graph();
+  NodeId sinks = 0;
+  double total_weight = 0.0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (graph.out_degree(u) == 0) ++sinks;
+    total_weight += graph.total_out_weight(u);
+  }
+  out << StrFormat("n=%d arcs=%lld (%s)\n", graph.num_nodes(),
+                   static_cast<long long>(graph.num_arcs()),
+                   substrate.kind().c_str());
+  out << StrFormat(
+      "avg_out_degree=%.2f max_out_degree=%d sinks=%d "
+      "total_arc_weight=%.4g\n",
+      graph.num_nodes() > 0
+          ? static_cast<double>(graph.num_arcs()) /
+                static_cast<double>(graph.num_nodes())
+          : 0.0,
+      graph.max_out_degree(), sinks, total_weight);
+  return PrintMemoryFootprint(invocation, substrate, out);
 }
 
 Status RunGenerate(const CliInvocation& invocation, std::ostream& out) {
@@ -199,6 +359,14 @@ Status RunGenerate(const CliInvocation& invocation, std::ostream& out) {
   RWDOM_ASSIGN_OR_RETURN(int64_t n64, IntFlagOr(invocation, "n", 0));
   RWDOM_ASSIGN_OR_RETURN(int64_t m, IntFlagOr(invocation, "m", 0));
   RWDOM_ASSIGN_OR_RETURN(int64_t seed, IntFlagOr(invocation, "seed", 42));
+  RWDOM_ASSIGN_OR_RETURN(bool weighted,
+                         BoolFlagOr(invocation, "weighted", false));
+  RWDOM_ASSIGN_OR_RETURN(bool directed,
+                         BoolFlagOr(invocation, "directed", false));
+  if (directed && !weighted) {
+    return Status::InvalidArgument(
+        "--directed output requires --weighted=true (arc-list format)");
+  }
   const NodeId n = static_cast<NodeId>(n64);
 
   Result<Graph> graph = Status::InvalidArgument(
@@ -233,6 +401,20 @@ Status RunGenerate(const CliInvocation& invocation, std::ostream& out) {
                             static_cast<uint64_t>(seed));
   }
   if (!graph.ok()) return graph.status();
+  if (weighted) {
+    // Deterministic pseudo-random weights over the generated topology;
+    // --directed draws independent weights per arc direction.
+    WeightedGraph wg = AttachRandomWeights(
+        *graph, static_cast<uint64_t>(seed) + 1, directed);
+    RWDOM_RETURN_IF_ERROR(SaveWeightedEdgeList(
+        wg, out_path,
+        "generated by rwdom (" + model +
+            (directed ? ", weighted directed)" : ", weighted)")));
+    out << StrFormat("wrote %s: n=%d arcs=%lld (%s)\n", out_path.c_str(),
+                     wg.num_nodes(), static_cast<long long>(wg.num_arcs()),
+                     directed ? "weighted directed" : "weighted");
+    return Status::OK();
+  }
   RWDOM_RETURN_IF_ERROR(
       SaveEdgeList(*graph, out_path, "generated by rwdom (" + model + ")"));
   out << StrFormat("wrote %s: n=%d m=%lld\n", out_path.c_str(),
@@ -242,24 +424,29 @@ Status RunGenerate(const CliInvocation& invocation, std::ostream& out) {
 }
 
 Status RunSelect(const CliInvocation& invocation, std::ostream& out) {
-  RWDOM_ASSIGN_OR_RETURN(Graph graph, ResolveGraph(invocation));
+  RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
+                         ResolveSubstrate(invocation));
+  const GraphSubstrate& substrate = loaded.substrate;
   RWDOM_ASSIGN_OR_RETURN(SelectorParams params,
                          ResolveSelectorParams(invocation));
   RWDOM_ASSIGN_OR_RETURN(int64_t k, IntFlagOr(invocation, "k", 10));
   if (k < 0) return Status::InvalidArgument("--k must be >= 0");
-  const std::string algorithm = FlagOr(invocation, "algorithm", "ApproxF2");
-  RWDOM_ASSIGN_OR_RETURN(std::unique_ptr<Selector> selector,
-                         MakeSelector(algorithm, &graph, params));
+  RWDOM_ASSIGN_OR_RETURN(std::string algorithm,
+                         ResolveAlgorithmName(invocation, &params));
+  RWDOM_ASSIGN_OR_RETURN(
+      std::unique_ptr<Selector> selector,
+      MakeSelector(algorithm, &substrate.model(), params));
 
   SelectionResult result = selector->Select(static_cast<int32_t>(k));
-  out << StrFormat("%s selected %zu seeds in %.3f s\nseeds:",
+  out << StrFormat("%s selected %zu seeds on the %s substrate in %.3f s\n"
+                   "seeds:",
                    algorithm.c_str(), result.selected.size(),
-                   result.seconds);
+                   substrate.kind().c_str(), result.seconds);
   for (NodeId u : result.selected) out << " " << u;
   out << "\n";
 
   MetricsResult metrics =
-      SampledMetrics(graph, result.selected, params.length,
+      SampledMetrics(substrate.model(), result.selected, params.length,
                      /*num_samples=*/500, params.seed + 1);
   out << StrFormat("AHT=%.4f EHN=%.1f (L=%d, metric R=500)\n", metrics.aht,
                    metrics.ehn, params.length);
@@ -267,39 +454,35 @@ Status RunSelect(const CliInvocation& invocation, std::ostream& out) {
   // Optional: persist the inverted index for reuse across runs.
   const std::string save_index = FlagOr(invocation, "save_index", "");
   if (!save_index.empty()) {
-    if (algorithm != "ApproxF1" && algorithm != "ApproxF2") {
+    const auto* approx = dynamic_cast<const ApproxGreedy*>(selector.get());
+    if (approx == nullptr || approx->index() == nullptr) {
       return Status::InvalidArgument(
-          "--save_index only applies to ApproxF1/ApproxF2");
+          "--save_index only applies to ApproxF1/ApproxF2 "
+          "(--method=index|index-celf)");
     }
-    ApproxGreedyOptions options{.length = params.length,
-                                .num_replicates = params.num_samples,
-                                .seed = params.seed,
-                                .lazy = params.lazy};
-    ApproxGreedy approx(&graph,
-                        algorithm == "ApproxF1" ? Problem::kHittingTime
-                                                : Problem::kDominatedCount,
-                        options);
-    approx.Select(static_cast<int32_t>(k));
     RWDOM_RETURN_IF_ERROR(
-        WalkIndexSerializer::Save(*approx.index(), save_index));
+        WalkIndexSerializer::Save(*approx->index(), save_index));
     out << "index saved to " << save_index << "\n";
   }
   return Status::OK();
 }
 
 Status RunEvaluate(const CliInvocation& invocation, std::ostream& out) {
-  RWDOM_ASSIGN_OR_RETURN(Graph graph, ResolveGraph(invocation));
+  RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
+                         ResolveSubstrate(invocation));
+  const GraphSubstrate& substrate = loaded.substrate;
   RWDOM_ASSIGN_OR_RETURN(SelectorParams params,
                          ResolveSelectorParams(invocation));
   const std::string seeds_text = FlagOr(invocation, "seeds", "");
   if (seeds_text.empty()) {
     return Status::InvalidArgument("--seeds=a,b,c is required");
   }
-  RWDOM_ASSIGN_OR_RETURN(std::vector<NodeId> seeds,
-                         ParseSeedList(seeds_text, graph.num_nodes()));
+  RWDOM_ASSIGN_OR_RETURN(
+      std::vector<NodeId> seeds,
+      ParseSeedList(seeds_text, substrate.num_nodes()));
   RWDOM_ASSIGN_OR_RETURN(int64_t metric_r, IntFlagOr(invocation, "R", 500));
   MetricsResult metrics =
-      SampledMetrics(graph, seeds, params.length,
+      SampledMetrics(substrate.model(), seeds, params.length,
                      static_cast<int32_t>(metric_r), params.seed);
   out << StrFormat("k=%zu L=%d R=%lld\nAHT=%.4f\nEHN=%.1f\n", seeds.size(),
                    params.length, static_cast<long long>(metric_r),
@@ -308,23 +491,26 @@ Status RunEvaluate(const CliInvocation& invocation, std::ostream& out) {
 }
 
 Status RunKnn(const CliInvocation& invocation, std::ostream& out) {
-  RWDOM_ASSIGN_OR_RETURN(Graph graph, ResolveGraph(invocation));
+  RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
+                         ResolveSubstrate(invocation));
+  const GraphSubstrate& substrate = loaded.substrate;
   RWDOM_ASSIGN_OR_RETURN(SelectorParams params,
                          ResolveSelectorParams(invocation));
   RWDOM_ASSIGN_OR_RETURN(int64_t query, IntFlagOr(invocation, "query", -1));
   RWDOM_ASSIGN_OR_RETURN(int64_t k, IntFlagOr(invocation, "k", 10));
-  if (query < 0 || query >= graph.num_nodes()) {
+  if (query < 0 || query >= substrate.num_nodes()) {
     return Status::OutOfRange("--query must name a node of the graph");
   }
   if (k < 0) return Status::InvalidArgument("--k must be >= 0");
   const std::string mode = FlagOr(invocation, "mode", "exact");
   std::vector<HittingTimeNeighbor> rows;
   if (mode == "exact") {
-    rows = ExactHittingTimeKnn(graph, static_cast<NodeId>(query),
+    rows = ExactHittingTimeKnn(substrate.model(),
+                               static_cast<NodeId>(query),
                                static_cast<int32_t>(k), params.length);
   } else if (mode == "sampled") {
-    RandomWalkSource source(&graph, params.seed);
-    rows = SampledHittingTimeKnn(&source, static_cast<NodeId>(query),
+    auto source = substrate.MakeWalkSource(params.seed);
+    rows = SampledHittingTimeKnn(source.get(), static_cast<NodeId>(query),
                                  static_cast<int32_t>(k), params.length,
                                  params.num_samples);
   } else {
@@ -340,7 +526,9 @@ Status RunKnn(const CliInvocation& invocation, std::ostream& out) {
 }
 
 Status RunCover(const CliInvocation& invocation, std::ostream& out) {
-  RWDOM_ASSIGN_OR_RETURN(Graph graph, ResolveGraph(invocation));
+  RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
+                         ResolveSubstrate(invocation));
+  const GraphSubstrate& substrate = loaded.substrate;
   RWDOM_ASSIGN_OR_RETURN(SelectorParams params,
                          ResolveSelectorParams(invocation));
   RWDOM_ASSIGN_OR_RETURN(double alpha,
@@ -352,7 +540,8 @@ Status RunCover(const CliInvocation& invocation, std::ostream& out) {
                               .num_replicates = params.num_samples,
                               .seed = params.seed,
                               .lazy = true};
-  MinSeedCoverResult cover = MinSeedCover(graph, alpha, options);
+  MinSeedCoverResult cover =
+      MinSeedCover(substrate.model(), alpha, options);
   out << StrFormat("alpha=%.2f -> %zu seeds (target %s) in %.3f s\nseeds:",
                    alpha, cover.selected.size(),
                    cover.reached_target ? "reached" : "NOT reached",
@@ -371,19 +560,25 @@ std::string CliUsage() {
       "usage: rwdom COMMAND [--flag=value ...]\n"
       "\n"
       "commands:\n"
-      "  datasets   list the paper's Table-2 datasets\n"
-      "  stats      graph statistics (--graph=FILE | --dataset=NAME)\n"
+      "  datasets   list the paper's Table-2 datasets (+ -w/-wd variants)\n"
+      "  stats      graph statistics and memory footprint\n"
+      "             (--graph=FILE | --dataset=NAME [--with_index=1])\n"
       "  generate   synthesize a graph (--model=ba|plc|er|ws|cl --n=N\n"
-      "             [--m=M ...] --out=FILE)\n"
-      "  select     pick k seeds (--algorithm=ApproxF2 --k=K [--L --R\n"
-      "             --seed --save_index=FILE])\n"
+      "             [--m=M --weighted=1 --directed=1 ...] --out=FILE)\n"
+      "  select     pick k seeds (--algorithm=ApproxF2 | --problem=F1|F2\n"
+      "             --method=dp|sampling|index|index-celf; --k=K\n"
+      "             [--L --R --seed --save_index=FILE])\n"
       "  evaluate   score a seed set (--seeds=1,2,3 [--L --R])\n"
       "  cover      minimum seeds for alpha coverage (--alpha=0.9)\n"
       "  knn        truncated-hitting-time neighbors (--query=NODE --k=10\n"
       "             [--mode=exact|sampled])\n"
       "  help       this text\n"
       "\n"
-      "graph input: --graph=EDGELIST or --dataset=NAME [--data_dir=DIR]\n"
+      "graph input: --graph=EDGELIST or --dataset=NAME [--data_dir=DIR].\n"
+      "  Edge lists may carry a third weight column (autodetected; override\n"
+      "  with --weighted=auto|yes|no) and load as digraphs via\n"
+      "  --directed=1. Dataset variants: NAME-w (weighted), NAME-wd\n"
+      "  (weighted directed). Every command runs on every substrate.\n"
       "algorithms: Degree Dominate Random DPF1 DPF2 SamplingF1 SamplingF2\n"
       "            ApproxF1 ApproxF2 EdgeGreedy\n"
       "threading:  --threads=N (or RWDOM_THREADS=N; default: all cores).\n"

@@ -85,9 +85,19 @@ SelectionResult RunGainStateGreedy(GainState* state, int32_t k, bool lazy,
   return result;
 }
 
+ApproxGreedy::ApproxGreedy(const TransitionModel* model, Problem problem,
+                           ApproxGreedyOptions options)
+    : model_(model),
+      problem_(problem),
+      options_(options),
+      external_source_(nullptr) {
+  RWDOM_CHECK_GE(options.length, 0);
+  RWDOM_CHECK_GE(options.num_replicates, 1);
+}
+
 ApproxGreedy::ApproxGreedy(const Graph* graph, Problem problem,
                            ApproxGreedyOptions options)
-    : graph_(*graph),
+    : model_(graph),
       problem_(problem),
       options_(options),
       external_source_(nullptr) {
@@ -113,7 +123,7 @@ SelectionResult ApproxGreedy::Select(int32_t k) {
     index_ = std::make_unique<InvertedWalkIndex>(InvertedWalkIndex::Build(
         options_.length, options_.num_replicates, external_source_));
   } else {
-    RandomWalkSource source(&graph_, options_.seed);
+    TransitionWalkSource source(model_.get(), options_.seed);
     index_ = std::make_unique<InvertedWalkIndex>(InvertedWalkIndex::Build(
         options_.length, options_.num_replicates, &source));
   }

@@ -4,7 +4,9 @@
 // O(nRL) time and space), then runs k greedy rounds whose marginal gains
 // come from the index (Algorithm 4) with incremental D-array maintenance
 // (Algorithm 5). Total time O(kRLn) — linear in graph size — with a
-// (1 - 1/e - eps) guarantee. This is the paper's ApproxF1 / ApproxF2.
+// (1 - 1/e - eps) guarantee. This is the paper's ApproxF1 / ApproxF2,
+// over any TransitionModel: the index and gain state never look at the
+// graph, only at walks, so weighted/directed substrates reuse every line.
 #ifndef RWDOM_CORE_APPROX_GREEDY_H_
 #define RWDOM_CORE_APPROX_GREEDY_H_
 
@@ -16,15 +18,15 @@
 #include "index/gain_state.h"
 #include "index/inverted_walk_index.h"
 #include "walk/problem.h"
+#include "walk/transition_model.h"
 #include "walk/walk_source.h"
 
 namespace rwdom {
 
 /// Runs the k greedy rounds of Algorithm 6 over a prepared GainState
-/// (plain or CELF-lazy). Shared by the unweighted and weighted approximate
-/// greedy selectors. Fills selected/gains/objective_estimate; the caller
-/// owns timing. `num_evaluations` (optional) receives the gain-oracle call
-/// count.
+/// (plain or CELF-lazy). Shared by every approximate greedy selector.
+/// Fills selected/gains/objective_estimate; the caller owns timing.
+/// `num_evaluations` (optional) receives the gain-oracle call count.
 SelectionResult RunGainStateGreedy(GainState* state, int32_t k, bool lazy,
                                    int64_t* num_evaluations);
 
@@ -41,7 +43,11 @@ struct ApproxGreedyOptions {
 /// construction, matching the paper's timing protocol.
 class ApproxGreedy final : public Selector {
  public:
-  /// `graph` must outlive this object.
+  /// `model` must outlive this object.
+  ApproxGreedy(const TransitionModel* model, Problem problem,
+               ApproxGreedyOptions options);
+
+  /// `graph` must outlive this object (unweighted convenience).
   ApproxGreedy(const Graph* graph, Problem problem,
                ApproxGreedyOptions options);
 
@@ -61,7 +67,7 @@ class ApproxGreedy final : public Selector {
   int64_t last_num_evaluations() const { return num_evaluations_; }
 
  private:
-  const Graph& graph_;
+  TransitionModelRef model_;
   Problem problem_;
   ApproxGreedyOptions options_;
   WalkSource* external_source_;  // Not owned; may be null.

@@ -16,14 +16,14 @@ namespace rwdom {
 SelectionResult DegreeBaseline::Select(int32_t k) {
   RWDOM_CHECK_GE(k, 0);
   WallTimer timer;
-  const NodeId n = graph_.num_nodes();
+  const NodeId n = model_->num_nodes();
   std::vector<NodeId> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   const int32_t budget = std::min<int64_t>(k, n);
   std::partial_sort(order.begin(), order.begin() + budget, order.end(),
                     [this](NodeId a, NodeId b) {
-                      int32_t da = graph_.degree(a);
-                      int32_t db = graph_.degree(b);
+                      int32_t da = model_->out_degree(a);
+                      int32_t db = model_->out_degree(b);
                       if (da != db) return da > db;
                       return a < b;
                     });
@@ -38,14 +38,17 @@ SelectionResult DegreeBaseline::Select(int32_t k) {
 SelectionResult DominateBaseline::Select(int32_t k) {
   RWDOM_CHECK_GE(k, 0);
   WallTimer timer;
-  const NodeId n = graph_.num_nodes();
+  const NodeId n = model_->num_nodes();
   NodeFlagSet covered(n);
   NodeFlagSet selected(n);
+  std::vector<NodeId> successors;
 
-  // Coverage gain of u = |N[u] \ covered|; submodular, so CELF applies.
+  // Coverage gain of u = |N_out[u] \ covered|; submodular, so CELF applies.
   auto coverage_gain = [&](NodeId u) {
     int32_t gain = covered.Contains(u) ? 0 : 1;
-    for (NodeId v : graph_.neighbors(u)) {
+    successors.clear();
+    model_->AppendSuccessors(u, &successors);
+    for (NodeId v : successors) {
       if (!covered.Contains(v)) ++gain;
     }
     return gain;
@@ -64,8 +67,8 @@ SelectionResult DominateBaseline::Select(int32_t k) {
   };
   std::priority_queue<Entry, std::vector<Entry>, Less> heap;
   for (NodeId u = 0; u < n; ++u) {
-    // Initial gain is deg(u) + 1; no scan needed.
-    heap.push({graph_.degree(u) + 1, u, 0});
+    // Initial gain is out_degree(u) + 1; no scan needed.
+    heap.push({model_->out_degree(u) + 1, u, 0});
   }
 
   SelectionResult result;
@@ -78,7 +81,9 @@ SelectionResult DominateBaseline::Select(int32_t k) {
     if (top.round == round) {
       selected.Insert(top.node);
       covered.Insert(top.node);
-      for (NodeId v : graph_.neighbors(top.node)) covered.Insert(v);
+      successors.clear();
+      model_->AppendSuccessors(top.node, &successors);
+      for (NodeId v : successors) covered.Insert(v);
       result.selected.push_back(top.node);
       result.gains.push_back(static_cast<double>(top.gain));
       ++round;
@@ -95,7 +100,7 @@ SelectionResult DominateBaseline::Select(int32_t k) {
 SelectionResult RandomBaseline::Select(int32_t k) {
   RWDOM_CHECK_GE(k, 0);
   WallTimer timer;
-  const NodeId n = graph_.num_nodes();
+  const NodeId n = model_->num_nodes();
   Rng rng(seed_);
   NodeFlagSet selected(n);
   SelectionResult result;

@@ -1,10 +1,14 @@
 // The paper's two baseline algorithms (§4.1) plus a random-pick control:
 //
-//  * Degree   — pick the k highest-degree nodes.
+//  * Degree   — pick the k highest-(out-)degree nodes.
 //  * Dominate — classic greedy partial dominating set: each round pick the
-//               node whose closed neighborhood covers the most not-yet-
+//               node whose closed out-neighborhood covers the most not-yet-
 //               covered nodes (deterministic 1-hop domination).
 //  * Random   — k uniform nodes (sanity control, not in the paper).
+//
+// All three run over any TransitionModel (out-degree and successor sets
+// are substrate concepts); the Graph constructors are unweighted
+// conveniences.
 #ifndef RWDOM_CORE_BASELINES_H_
 #define RWDOM_CORE_BASELINES_H_
 
@@ -12,49 +16,54 @@
 #include <string>
 
 #include "core/selector.h"
+#include "walk/transition_model.h"
 
 namespace rwdom {
 
-/// Top-k by degree; ties break toward the lower node id.
+/// Top-k by out-degree; ties break toward the lower node id.
 class DegreeBaseline final : public Selector {
  public:
-  /// `graph` must outlive this object.
-  explicit DegreeBaseline(const Graph* graph) : graph_(*graph) {}
+  /// `model` / `graph` must outlive this object.
+  explicit DegreeBaseline(const TransitionModel* model) : model_(model) {}
+  explicit DegreeBaseline(const Graph* graph) : model_(graph) {}
 
   SelectionResult Select(int32_t k) override;
   std::string name() const override { return "Degree"; }
 
  private:
-  const Graph& graph_;
+  TransitionModelRef model_;
 };
 
-/// Greedy max-coverage over closed neighborhoods (the paper's Dominate
+/// Greedy max-coverage over closed out-neighborhoods (the paper's Dominate
 /// baseline). Implemented with lazy evaluation — coverage gain is
 /// submodular — so it is near-linear in practice.
 class DominateBaseline final : public Selector {
  public:
-  /// `graph` must outlive this object.
-  explicit DominateBaseline(const Graph* graph) : graph_(*graph) {}
+  /// `model` / `graph` must outlive this object.
+  explicit DominateBaseline(const TransitionModel* model) : model_(model) {}
+  explicit DominateBaseline(const Graph* graph) : model_(graph) {}
 
   SelectionResult Select(int32_t k) override;
   std::string name() const override { return "Dominate"; }
 
  private:
-  const Graph& graph_;
+  TransitionModelRef model_;
 };
 
 /// k distinct uniform-random nodes.
 class RandomBaseline final : public Selector {
  public:
-  /// `graph` must outlive this object.
+  /// `model` / `graph` must outlive this object.
+  RandomBaseline(const TransitionModel* model, uint64_t seed)
+      : model_(model), seed_(seed) {}
   RandomBaseline(const Graph* graph, uint64_t seed)
-      : graph_(*graph), seed_(seed) {}
+      : model_(graph), seed_(seed) {}
 
   SelectionResult Select(int32_t k) override;
   std::string name() const override { return "Random"; }
 
  private:
-  const Graph& graph_;
+  TransitionModelRef model_;
   uint64_t seed_;
 };
 

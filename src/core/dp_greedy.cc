@@ -2,6 +2,13 @@
 
 namespace rwdom {
 
+DpGreedy::DpGreedy(const TransitionModel* model, Problem problem,
+                   int32_t length, GreedyOptions options)
+    : objective_(model, problem, length),
+      greedy_(&objective_,
+              std::string("DP") + std::string(ProblemName(problem)),
+              options) {}
+
 DpGreedy::DpGreedy(const Graph* graph, Problem problem, int32_t length,
                    GreedyOptions options)
     : objective_(graph, problem, length),

@@ -1,7 +1,8 @@
 // DPF1 / DPF2: the paper's DP-based greedy algorithm — Algorithm 1 with
-// exact marginal gains computed by the O(mL) dynamic program. Near-optimal
-// ((1 - 1/e)) but over-cubic in graph size overall; practical only for
-// small graphs, exactly as in the paper's evaluation (§4.2).
+// exact marginal gains computed by the unified O((n + arcs)L) transition
+// DP. Near-optimal ((1 - 1/e)) but over-cubic in graph size overall;
+// practical only for small graphs, exactly as in the paper's evaluation
+// (§4.2).
 #ifndef RWDOM_CORE_DP_GREEDY_H_
 #define RWDOM_CORE_DP_GREEDY_H_
 
@@ -14,9 +15,13 @@
 
 namespace rwdom {
 
-/// The paper's DPF1 (Problem 1) / DPF2 (Problem 2) selector.
+/// The paper's DPF1 (Problem 1) / DPF2 (Problem 2) selector, over any
+/// TransitionModel.
 class DpGreedy final : public Selector {
  public:
+  /// `model` must outlive this object.
+  DpGreedy(const TransitionModel* model, Problem problem, int32_t length,
+           GreedyOptions options = {});
   /// `graph` must outlive this object.
   DpGreedy(const Graph* graph, Problem problem, int32_t length,
            GreedyOptions options = {});

@@ -8,21 +8,35 @@
 
 namespace rwdom {
 
+EdgeDominationObjective::EdgeDominationObjective(
+    const TransitionModel* model, int32_t length, int32_t num_samples,
+    uint64_t seed)
+    : model_(model),
+      length_(length),
+      num_samples_(num_samples),
+      source_(model_.get(), seed) {
+  RWDOM_CHECK_GE(length, 0);
+  RWDOM_CHECK_GE(num_samples, 1);
+}
+
 EdgeDominationObjective::EdgeDominationObjective(const Graph* graph,
                                                  int32_t length,
                                                  int32_t num_samples,
                                                  uint64_t seed)
-    : graph_(*graph),
+    : model_(graph),
       length_(length),
       num_samples_(num_samples),
-      source_(graph, seed) {
+      source_(model_.get(), seed) {
   RWDOM_CHECK_GE(length, 0);
   RWDOM_CHECK_GE(num_samples, 1);
 }
 
 double EdgeDominationObjective::Value(const NodeFlagSet& s) const {
-  RWDOM_CHECK_EQ(s.universe_size(), graph_.num_nodes());
-  const NodeId n = graph_.num_nodes();
+  RWDOM_CHECK_EQ(s.universe_size(), model_->num_nodes());
+  const NodeId n = model_->num_nodes();
+  // Undirected links are canonicalized (min, max) so both traversal
+  // directions count as one; directed substrates keep arcs distinct.
+  const bool canonicalize = !model_->directed();
   const double r_inv = 1.0 / static_cast<double>(num_samples_);
 
   double total_edges = 0.0;
@@ -43,7 +57,7 @@ double EdgeDominationObjective::Value(const NodeFlagSet& s) const {
       for (size_t j = 1; j < trajectory.size(); ++j) {
         NodeId a = trajectory[j - 1];
         NodeId b = trajectory[j];
-        if (a > b) std::swap(a, b);
+        if (canonicalize && a > b) std::swap(a, b);
         if (std::find(seen_edges.begin(), seen_edges.end(),
                       std::make_pair(a, b)) == seen_edges.end()) {
           seen_edges.push_back({a, b});
@@ -56,6 +70,13 @@ double EdgeDominationObjective::Value(const NodeFlagSet& s) const {
   }
   return static_cast<double>(n) * static_cast<double>(length_) - total_edges;
 }
+
+EdgeDominationGreedy::EdgeDominationGreedy(const TransitionModel* model,
+                                           int32_t length,
+                                           int32_t num_samples, uint64_t seed,
+                                           GreedyOptions options)
+    : objective_(model, length, num_samples, seed),
+      greedy_(&objective_, "EdgeGreedy", options) {}
 
 EdgeDominationGreedy::EdgeDominationGreedy(const Graph* graph, int32_t length,
                                            int32_t num_samples, uint64_t seed,

@@ -10,7 +10,8 @@
 //   F_edge(S) = n·L - sum_{u in V\S} E[#distinct edges before hitting S]
 //
 // is nondecreasing and submodular in expectation, and Algorithm 1 applies
-// with the usual guarantee.
+// with the usual guarantee. Runs over any TransitionModel; on directed
+// substrates each arc direction counts as its own link.
 #ifndef RWDOM_CORE_EDGE_DOMINATION_H_
 #define RWDOM_CORE_EDGE_DOMINATION_H_
 
@@ -21,6 +22,7 @@
 #include "core/greedy_selector.h"
 #include "core/objective.h"
 #include "core/selector.h"
+#include "walk/transition_model.h"
 #include "walk/walk_source.h"
 
 namespace rwdom {
@@ -29,11 +31,14 @@ namespace rwdom {
 /// greedy over it suits small and medium graphs (like the DP greedy).
 class EdgeDominationObjective final : public Objective {
  public:
-  /// `graph` must outlive this object.
+  /// `model` must outlive this object.
+  EdgeDominationObjective(const TransitionModel* model, int32_t length,
+                          int32_t num_samples, uint64_t seed);
+  /// Unweighted convenience: owns a uniform model over `graph`.
   EdgeDominationObjective(const Graph* graph, int32_t length,
                           int32_t num_samples, uint64_t seed);
 
-  NodeId universe_size() const override { return graph_.num_nodes(); }
+  NodeId universe_size() const override { return model_->num_nodes(); }
   double Value(const NodeFlagSet& s) const override;
   bool parallel_safe() const override {
     return source_.has_deterministic_streams();
@@ -43,15 +48,19 @@ class EdgeDominationObjective final : public Objective {
   int32_t length() const { return length_; }
 
  private:
-  const Graph& graph_;
+  TransitionModelRef model_;
   int32_t length_;
   int32_t num_samples_;
-  mutable RandomWalkSource source_;
+  mutable TransitionWalkSource source_;
 };
 
 /// Greedy seed selection under F_edge.
 class EdgeDominationGreedy final : public Selector {
  public:
+  /// `model` must outlive this object.
+  EdgeDominationGreedy(const TransitionModel* model, int32_t length,
+                       int32_t num_samples, uint64_t seed,
+                       GreedyOptions options = {});
   /// `graph` must outlive this object.
   EdgeDominationGreedy(const Graph* graph, int32_t length,
                        int32_t num_samples, uint64_t seed,

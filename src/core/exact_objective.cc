@@ -2,22 +2,21 @@
 
 namespace rwdom {
 
+ExactObjective::ExactObjective(const TransitionModel* model, Problem problem,
+                               int32_t length)
+    : problem_(problem), dp_(model, length) {}
+
 ExactObjective::ExactObjective(const Graph* graph, Problem problem,
                                int32_t length)
-    : graph_(*graph),
-      problem_(problem),
-      length_(length),
-      hitting_dp_(graph, length),
-      prob_dp_(graph, length) {}
+    : problem_(problem), dp_(graph, length) {}
 
 double ExactObjective::Value(const NodeFlagSet& s) const {
-  return problem_ == Problem::kHittingTime ? hitting_dp_.F1(s)
-                                           : prob_dp_.F2(s);
+  return problem_ == Problem::kHittingTime ? dp_.F1(s) : dp_.F2(s);
 }
 
 double ExactObjective::ValueWithExtra(const NodeFlagSet& s, NodeId u) const {
-  return problem_ == Problem::kHittingTime ? hitting_dp_.F1Plus(s, u)
-                                           : prob_dp_.F2Plus(s, u);
+  return problem_ == Problem::kHittingTime ? dp_.F1Plus(s, u)
+                                           : dp_.F2Plus(s, u);
 }
 
 std::string ExactObjective::name() const {

@@ -1,37 +1,39 @@
-// Exact objectives F1 / F2 via the dynamic programs of Theorems 2.2 / 2.3.
-// One Value() evaluation costs O(mL); this is the oracle behind the paper's
-// DPF1 / DPF2 greedy algorithms.
+// Exact objectives F1 / F2 via the unified transition-model DP (Theorems
+// 2.2 / 2.3). One Value() evaluation costs O((n + arcs)L); this is the
+// oracle behind the paper's DPF1 / DPF2 greedy algorithms, on every
+// substrate.
 #ifndef RWDOM_CORE_EXACT_OBJECTIVE_H_
 #define RWDOM_CORE_EXACT_OBJECTIVE_H_
 
 #include <string>
 
 #include "core/objective.h"
-#include "walk/hit_probability_dp.h"
-#include "walk/hitting_time_dp.h"
 #include "walk/problem.h"
+#include "walk/transition_dp.h"
+#include "walk/transition_model.h"
 
 namespace rwdom {
 
-/// Exact F1(S) or F2(S). The underlying graph must outlive this object.
+/// Exact F1(S) or F2(S). The underlying model/graph must outlive this
+/// object.
 class ExactObjective final : public Objective {
  public:
+  ExactObjective(const TransitionModel* model, Problem problem,
+                 int32_t length);
+  /// Unweighted convenience: owns a uniform model over `graph`.
   ExactObjective(const Graph* graph, Problem problem, int32_t length);
 
-  NodeId universe_size() const override { return graph_.num_nodes(); }
+  NodeId universe_size() const override { return dp_.model().num_nodes(); }
   double Value(const NodeFlagSet& s) const override;
   double ValueWithExtra(const NodeFlagSet& s, NodeId u) const override;
   std::string name() const override;
 
   Problem problem() const { return problem_; }
-  int32_t length() const { return length_; }
+  int32_t length() const { return dp_.length(); }
 
  private:
-  const Graph& graph_;
   Problem problem_;
-  int32_t length_;
-  HittingTimeDp hitting_dp_;
-  HitProbabilityDp prob_dp_;
+  TransitionDp dp_;
 };
 
 }  // namespace rwdom

@@ -11,12 +11,12 @@
 
 namespace rwdom {
 
-MinSeedCoverResult MinSeedCover(const Graph& graph, double alpha,
+MinSeedCoverResult MinSeedCover(const TransitionModel& model, double alpha,
                                 const ApproxGreedyOptions& options) {
   RWDOM_CHECK(alpha >= 0.0 && alpha <= 1.0);
   WallTimer timer;
   MinSeedCoverResult result;
-  const NodeId n = graph.num_nodes();
+  const NodeId n = model.num_nodes();
   const double target = alpha * static_cast<double>(n);
 
   if (n == 0 || target <= 0.0) {
@@ -25,7 +25,7 @@ MinSeedCoverResult MinSeedCover(const Graph& graph, double alpha,
     return result;
   }
 
-  RandomWalkSource source(&graph, options.seed);
+  TransitionWalkSource source(&model, options.seed);
   InvertedWalkIndex index = InvertedWalkIndex::Build(
       options.length, options.num_replicates, &source);
   GainState state(&index, Problem::kDominatedCount);
@@ -65,6 +65,12 @@ MinSeedCoverResult MinSeedCover(const Graph& graph, double alpha,
   result.reached_target = coverage >= target;
   result.seconds = timer.Seconds();
   return result;
+}
+
+MinSeedCoverResult MinSeedCover(const Graph& graph, double alpha,
+                                const ApproxGreedyOptions& options) {
+  UniformTransitionModel model(&graph);
+  return MinSeedCover(model, alpha, options);
 }
 
 }  // namespace rwdom

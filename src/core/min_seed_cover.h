@@ -14,6 +14,7 @@
 
 #include "core/approx_greedy.h"
 #include "graph/graph.h"
+#include "walk/transition_model.h"
 
 namespace rwdom {
 
@@ -29,7 +30,12 @@ struct MinSeedCoverResult {
   double seconds = 0.0;
 };
 
-/// Greedy minimum-seed α-coverage. `alpha` in [0, 1].
+/// Greedy minimum-seed α-coverage over any TransitionModel. `alpha` in
+/// [0, 1].
+MinSeedCoverResult MinSeedCover(const TransitionModel& model, double alpha,
+                                const ApproxGreedyOptions& options);
+
+/// Unweighted convenience.
 MinSeedCoverResult MinSeedCover(const Graph& graph, double alpha,
                                 const ApproxGreedyOptions& options);
 

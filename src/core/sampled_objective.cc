@@ -2,13 +2,21 @@
 
 namespace rwdom {
 
+SampledObjective::SampledObjective(const TransitionModel* model,
+                                   Problem problem, int32_t length,
+                                   int32_t num_samples, uint64_t seed)
+    : model_(model),
+      problem_(problem),
+      evaluator_(length, num_samples),
+      source_(model_.get(), seed) {}
+
 SampledObjective::SampledObjective(const Graph* graph, Problem problem,
                                    int32_t length, int32_t num_samples,
                                    uint64_t seed)
-    : graph_(*graph),
+    : model_(graph),
       problem_(problem),
       evaluator_(length, num_samples),
-      source_(graph, seed) {}
+      source_(model_.get(), seed) {}
 
 double SampledObjective::Value(const NodeFlagSet& s) const {
   SampledObjectives estimates = evaluator_.Evaluate(s, &source_);

@@ -16,20 +16,25 @@
 #include "core/objective.h"
 #include "walk/problem.h"
 #include "walk/sampled_evaluator.h"
+#include "walk/transition_model.h"
 #include "walk/walk_source.h"
 
 namespace rwdom {
 
-/// Monte-Carlo F̂(S). Value() samples through the source's deterministic
-/// streams, never its shared RNG state — the mutable source only reflects
-/// the WalkSource interface being non-const.
+/// Monte-Carlo F̂(S) over any TransitionModel. Value() samples through the
+/// unified walk engine's deterministic streams, never its shared RNG state
+/// — the mutable source only reflects the WalkSource interface being
+/// non-const.
 class SampledObjective final : public Objective {
  public:
-  /// `graph` must outlive this object.
+  /// `model` must outlive this object.
+  SampledObjective(const TransitionModel* model, Problem problem,
+                   int32_t length, int32_t num_samples, uint64_t seed);
+  /// Unweighted convenience: owns a uniform model over `graph`.
   SampledObjective(const Graph* graph, Problem problem, int32_t length,
                    int32_t num_samples, uint64_t seed);
 
-  NodeId universe_size() const override { return graph_.num_nodes(); }
+  NodeId universe_size() const override { return model_->num_nodes(); }
   double Value(const NodeFlagSet& s) const override;
   bool parallel_safe() const override {
     return source_.has_deterministic_streams();
@@ -40,10 +45,10 @@ class SampledObjective final : public Objective {
   int32_t num_samples() const { return evaluator_.num_samples(); }
 
  private:
-  const Graph& graph_;
+  TransitionModelRef model_;
   Problem problem_;
   SampledEvaluator evaluator_;
-  mutable RandomWalkSource source_;
+  mutable TransitionWalkSource source_;
 };
 
 }  // namespace rwdom

@@ -2,6 +2,14 @@
 
 namespace rwdom {
 
+SamplingGreedy::SamplingGreedy(const TransitionModel* model, Problem problem,
+                               int32_t length, int32_t num_samples,
+                               uint64_t seed, GreedyOptions options)
+    : objective_(model, problem, length, num_samples, seed),
+      greedy_(&objective_,
+              std::string("Sampling") + std::string(ProblemName(problem)),
+              options) {}
+
 SamplingGreedy::SamplingGreedy(const Graph* graph, Problem problem,
                                int32_t length, int32_t num_samples,
                                uint64_t seed, GreedyOptions options)

@@ -16,9 +16,13 @@
 
 namespace rwdom {
 
-/// SamplingF1 / SamplingF2 selector.
+/// SamplingF1 / SamplingF2 selector, over any TransitionModel.
 class SamplingGreedy final : public Selector {
  public:
+  /// `model` must outlive this object.
+  SamplingGreedy(const TransitionModel* model, Problem problem,
+                 int32_t length, int32_t num_samples, uint64_t seed,
+                 GreedyOptions options = {});
   /// `graph` must outlive this object.
   SamplingGreedy(const Graph* graph, Problem problem, int32_t length,
                  int32_t num_samples, uint64_t seed,

@@ -8,31 +8,50 @@
 #include "walk/problem.h"
 
 namespace rwdom {
+namespace {
+
+// Keeps a selector and the uniform model it runs over alive together; the
+// Graph overload of MakeSelector returns these.
+class OwningModelSelector final : public Selector {
+ public:
+  OwningModelSelector(std::unique_ptr<TransitionModel> model,
+                      std::unique_ptr<Selector> inner)
+      : model_(std::move(model)), inner_(std::move(inner)) {}
+
+  SelectionResult Select(int32_t k) override { return inner_->Select(k); }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  std::unique_ptr<TransitionModel> model_;
+  std::unique_ptr<Selector> inner_;
+};
+
+}  // namespace
 
 Result<std::unique_ptr<Selector>> MakeSelector(const std::string& name,
-                                               const Graph* graph,
+                                               const TransitionModel* model,
                                                const SelectorParams& params) {
   GreedyOptions greedy_options{.lazy = params.lazy};
   if (name == "Degree") {
-    return std::unique_ptr<Selector>(new DegreeBaseline(graph));
+    return std::unique_ptr<Selector>(new DegreeBaseline(model));
   }
   if (name == "Dominate") {
-    return std::unique_ptr<Selector>(new DominateBaseline(graph));
+    return std::unique_ptr<Selector>(new DominateBaseline(model));
   }
   if (name == "Random") {
-    return std::unique_ptr<Selector>(new RandomBaseline(graph, params.seed));
+    return std::unique_ptr<Selector>(new RandomBaseline(model, params.seed));
   }
   if (name == "DPF1" || name == "DPF2") {
     Problem problem =
         name == "DPF1" ? Problem::kHittingTime : Problem::kDominatedCount;
     return std::unique_ptr<Selector>(
-        new DpGreedy(graph, problem, params.length, greedy_options));
+        new DpGreedy(model, problem, params.length, greedy_options));
   }
   if (name == "SamplingF1" || name == "SamplingF2") {
     Problem problem = name == "SamplingF1" ? Problem::kHittingTime
                                            : Problem::kDominatedCount;
     return std::unique_ptr<Selector>(
-        new SamplingGreedy(graph, problem, params.length, params.num_samples,
+        new SamplingGreedy(model, problem, params.length, params.num_samples,
                            params.seed, greedy_options));
   }
   if (name == "ApproxF1" || name == "ApproxF2") {
@@ -42,14 +61,24 @@ Result<std::unique_ptr<Selector>> MakeSelector(const std::string& name,
                                 .num_replicates = params.num_samples,
                                 .seed = params.seed,
                                 .lazy = params.lazy};
-    return std::unique_ptr<Selector>(new ApproxGreedy(graph, problem, options));
+    return std::unique_ptr<Selector>(new ApproxGreedy(model, problem, options));
   }
   if (name == "EdgeGreedy") {
     return std::unique_ptr<Selector>(
-        new EdgeDominationGreedy(graph, params.length, params.num_samples,
+        new EdgeDominationGreedy(model, params.length, params.num_samples,
                                  params.seed, greedy_options));
   }
   return Status::NotFound("unknown selector: " + name);
+}
+
+Result<std::unique_ptr<Selector>> MakeSelector(const std::string& name,
+                                               const Graph* graph,
+                                               const SelectorParams& params) {
+  auto model = std::make_unique<UniformTransitionModel>(graph);
+  RWDOM_ASSIGN_OR_RETURN(std::unique_ptr<Selector> inner,
+                         MakeSelector(name, model.get(), params));
+  return std::unique_ptr<Selector>(
+      new OwningModelSelector(std::move(model), std::move(inner)));
 }
 
 std::vector<std::string> KnownSelectorNames() {

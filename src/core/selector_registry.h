@@ -1,6 +1,8 @@
-// Name -> Selector factory used by the benches, examples and harness so the
-// full algorithm roster can be driven from strings ("ApproxF1", "Degree",
-// ...), matching the names used in the paper's figures.
+// Name -> Selector factory used by the CLI, benches, examples and harness
+// so the full algorithm roster can be driven from strings ("ApproxF1",
+// "Degree", ...), matching the names used in the paper's figures. Every
+// registered selector runs over any TransitionModel, so one registry
+// serves unweighted, weighted and directed substrates.
 #ifndef RWDOM_CORE_SELECTOR_REGISTRY_H_
 #define RWDOM_CORE_SELECTOR_REGISTRY_H_
 
@@ -12,6 +14,7 @@
 #include "core/selector.h"
 #include "graph/graph.h"
 #include "util/status.h"
+#include "walk/transition_model.h"
 
 namespace rwdom {
 
@@ -25,7 +28,13 @@ struct SelectorParams {
 
 /// Known names: "Degree", "Dominate", "Random", "DPF1", "DPF2",
 /// "SamplingF1", "SamplingF2", "ApproxF1", "ApproxF2", "EdgeGreedy".
-/// `graph` must outlive the returned selector.
+/// `model` must outlive the returned selector.
+Result<std::unique_ptr<Selector>> MakeSelector(const std::string& name,
+                                               const TransitionModel* model,
+                                               const SelectorParams& params);
+
+/// Unweighted convenience: the returned selector owns the uniform model it
+/// runs over; `graph` must outlive it.
 Result<std::unique_ptr<Selector>> MakeSelector(const std::string& name,
                                                const Graph* graph,
                                                const SelectorParams& params);

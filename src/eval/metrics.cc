@@ -1,19 +1,18 @@
 #include "eval/metrics.h"
 
 #include "graph/node_set.h"
-#include "walk/hit_probability_dp.h"
-#include "walk/hitting_time_dp.h"
 #include "walk/sampled_evaluator.h"
+#include "walk/transition_dp.h"
 #include "walk/walk_source.h"
 
 namespace rwdom {
 namespace {
 
-MetricsResult FromObjectives(const Graph& graph, size_t set_size,
+MetricsResult FromObjectives(NodeId num_nodes, size_t set_size,
                              int32_t length, double f1, double f2) {
   // F1 = nL - sum h  =>  sum h = nL - F1; AHT divides by |V \ S|.
   MetricsResult result;
-  const double n = static_cast<double>(graph.num_nodes());
+  const double n = static_cast<double>(num_nodes);
   const double free_nodes = n - static_cast<double>(set_size);
   const double total_hitting = n * static_cast<double>(length) - f1;
   result.aht = free_nodes > 0.0 ? total_hitting / free_nodes : 0.0;
@@ -23,26 +22,40 @@ MetricsResult FromObjectives(const Graph& graph, size_t set_size,
 
 }  // namespace
 
+MetricsResult SampledMetrics(const TransitionModel& model,
+                             const std::vector<NodeId>& selected,
+                             int32_t length, int32_t num_samples,
+                             uint64_t seed) {
+  NodeFlagSet targets(model.num_nodes(), selected);
+  TransitionWalkSource source(&model, seed);
+  SampledEvaluator evaluator(length, num_samples);
+  SampledObjectives objectives = evaluator.Evaluate(targets, &source);
+  return FromObjectives(model.num_nodes(), targets.size(), length,
+                        objectives.f1, objectives.f2);
+}
+
 MetricsResult SampledMetrics(const Graph& graph,
                              const std::vector<NodeId>& selected,
                              int32_t length, int32_t num_samples,
                              uint64_t seed) {
-  NodeFlagSet targets(graph.num_nodes(), selected);
-  RandomWalkSource source(&graph, seed);
-  SampledEvaluator evaluator(length, num_samples);
-  SampledObjectives objectives = evaluator.Evaluate(targets, &source);
-  return FromObjectives(graph, targets.size(), length, objectives.f1,
-                        objectives.f2);
+  UniformTransitionModel model(&graph);
+  return SampledMetrics(model, selected, length, num_samples, seed);
+}
+
+MetricsResult ExactMetrics(const TransitionModel& model,
+                           const std::vector<NodeId>& selected,
+                           int32_t length) {
+  NodeFlagSet targets(model.num_nodes(), selected);
+  TransitionDp dp(&model, length);
+  return FromObjectives(model.num_nodes(), targets.size(), length,
+                        dp.F1(targets), dp.F2(targets));
 }
 
 MetricsResult ExactMetrics(const Graph& graph,
                            const std::vector<NodeId>& selected,
                            int32_t length) {
-  NodeFlagSet targets(graph.num_nodes(), selected);
-  HittingTimeDp hitting(&graph, length);
-  HitProbabilityDp probability(&graph, length);
-  return FromObjectives(graph, targets.size(), length, hitting.F1(targets),
-                        probability.F2(targets));
+  UniformTransitionModel model(&graph);
+  return ExactMetrics(model, selected, length);
 }
 
 }  // namespace rwdom

@@ -6,7 +6,8 @@
 // The paper computes both with the sampling estimator (Algorithm 2) at
 // R = 500; Sampled() follows that protocol. Exact() computes the same
 // quantities with the O(mL) dynamic programs for validation on small
-// graphs.
+// graphs. Both run over any TransitionModel; the Graph overloads are
+// unweighted conveniences.
 #ifndef RWDOM_EVAL_METRICS_H_
 #define RWDOM_EVAL_METRICS_H_
 
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "walk/transition_model.h"
 
 namespace rwdom {
 
@@ -25,12 +27,19 @@ struct MetricsResult {
 
 /// Paper protocol: Algorithm 2 with `num_samples` walks per node
 /// (paper uses 500).
+MetricsResult SampledMetrics(const TransitionModel& model,
+                             const std::vector<NodeId>& selected,
+                             int32_t length, int32_t num_samples,
+                             uint64_t seed);
 MetricsResult SampledMetrics(const Graph& graph,
                              const std::vector<NodeId>& selected,
                              int32_t length, int32_t num_samples,
                              uint64_t seed);
 
-/// Exact metrics via the DPs of Theorems 2.2 / 2.3; O(mL).
+/// Exact metrics via the DPs of Theorems 2.2 / 2.3; O((n + arcs)L).
+MetricsResult ExactMetrics(const TransitionModel& model,
+                           const std::vector<NodeId>& selected,
+                           int32_t length);
 MetricsResult ExactMetrics(const Graph& graph,
                            const std::vector<NodeId>& selected,
                            int32_t length);

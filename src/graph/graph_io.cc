@@ -1,5 +1,6 @@
 #include "graph/graph_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -7,31 +8,13 @@
 #include "util/strings.h"
 
 namespace rwdom {
-namespace {
 
-// Remaps sparse original ids to dense ids in first-seen order.
-class IdRemapper {
- public:
-  NodeId Map(int64_t original) {
-    auto [it, inserted] =
-        dense_.try_emplace(original, static_cast<NodeId>(originals_.size()));
-    if (inserted) originals_.push_back(original);
-    return it->second;
-  }
-
-  std::vector<int64_t> TakeOriginals() && { return std::move(originals_); }
-  size_t size() const { return originals_.size(); }
-
- private:
-  std::unordered_map<int64_t, NodeId> dense_;
-  std::vector<int64_t> originals_;
-};
-
-}  // namespace
-
-Result<LoadedGraph> ParseEdgeList(const std::string& text) {
+Result<EdgeRecordSummary> ForEachEdgeRecord(
+    const std::string& text, WeightColumnMode mode,
+    const std::function<void(const EdgeRecord&)>& visit) {
+  EdgeRecordSummary summary;
   IdRemapper remap;
-  GraphBuilder builder(0, SelfLoopPolicy::kDrop);
+  bool saw_annotation = false;
   std::istringstream in(text);
   std::string line;
   int64_t line_no = 0;
@@ -42,7 +25,7 @@ Result<LoadedGraph> ParseEdgeList(const std::string& text) {
     std::vector<std::string_view> fields = SplitWhitespace(stripped);
     if (fields.size() < 2) {
       return Status::Corruption(
-          StrFormat("line %lld: expected 'u v', got '%s'",
+          StrFormat("line %lld: expected 'u v [w]', got '%s'",
                     static_cast<long long>(line_no),
                     std::string(stripped).c_str()));
     }
@@ -53,12 +36,71 @@ Result<LoadedGraph> ParseEdgeList(const std::string& text) {
           StrFormat("line %lld: non-integer endpoint",
                     static_cast<long long>(line_no)));
     }
+    double weight = 1.0;
+    if (mode != WeightColumnMode::kIgnore && fields.size() >= 3) {
+      auto w_result = ParseDouble(fields[2]);
+      if (w_result.ok() && *w_result > 0.0 && std::isfinite(*w_result)) {
+        weight = *w_result;
+        summary.saw_weights = true;
+      } else if (mode == WeightColumnMode::kRequire || w_result.ok()) {
+        // A numeric third column that is non-positive or non-finite was
+        // clearly meant as a weight — never swallow it as 1.0.
+        return Status::Corruption(
+            StrFormat("line %lld: weight must be positive and finite",
+                      static_cast<long long>(line_no)));
+      } else {
+        // kAuto: a non-numeric third column is an annotation.
+        saw_annotation = true;
+      }
+    }
     NodeId u = remap.Map(*u_result);
     NodeId v = remap.Map(*v_result);
-    builder.AddEdgeAutoGrow(u, v);
+    if (u == v) continue;  // Self-loops are dropped everywhere in rwdom.
+    visit({u, v, weight});
+  }
+  if (summary.saw_weights && saw_annotation) {
+    // Half the lines parsed as weights and half did not: interpreting the
+    // mix silently would corrupt the distribution. Make the caller decide.
+    return Status::Corruption(
+        "third column is weights on some lines and non-numeric on others; "
+        "load with an explicit weight mode (--weighted=yes or "
+        "--weighted=no)");
+  }
+  summary.original_ids = std::move(remap).TakeOriginals();
+  return summary;
+}
+
+Result<EdgeRecordList> ParseEdgeRecords(const std::string& text,
+                                        WeightColumnMode mode) {
+  EdgeRecordList result;
+  RWDOM_ASSIGN_OR_RETURN(
+      EdgeRecordSummary summary,
+      ForEachEdgeRecord(text, mode, [&](const EdgeRecord& record) {
+        result.records.push_back(record);
+      }));
+  result.original_ids = std::move(summary.original_ids);
+  result.saw_weights = summary.saw_weights;
+  return result;
+}
+
+Result<LoadedGraph> ParseEdgeList(const std::string& text) {
+  // Streaming: records feed the builder directly, so peak memory is the
+  // builder's edge store, not a materialized record list.
+  GraphBuilder builder(0, SelfLoopPolicy::kDrop);
+  RWDOM_ASSIGN_OR_RETURN(
+      EdgeRecordSummary summary,
+      ForEachEdgeRecord(text, WeightColumnMode::kIgnore,
+                        [&](const EdgeRecord& record) {
+                          builder.AddEdgeAutoGrow(record.u, record.v);
+                        }));
+  // Nodes that only ever appeared in self-loop lines still count: grow to
+  // the full remapped universe.
+  if (!summary.original_ids.empty()) {
+    builder.GrowToInclude(
+        static_cast<NodeId>(summary.original_ids.size()) - 1);
   }
   RWDOM_ASSIGN_OR_RETURN(Graph graph, std::move(builder).Build());
-  return LoadedGraph{std::move(graph), std::move(remap).TakeOriginals()};
+  return LoadedGraph{std::move(graph), std::move(summary.original_ids)};
 }
 
 Result<LoadedGraph> LoadEdgeList(const std::string& path) {
@@ -70,21 +112,49 @@ Result<LoadedGraph> LoadEdgeList(const std::string& path) {
   return ParseEdgeList(buffer.str());
 }
 
-Status SaveEdgeList(const Graph& graph, const std::string& path,
-                    const std::string& comment) {
+namespace {
+
+Status SaveEdgeListImpl(const Graph& graph,
+                        const std::vector<int64_t>* original_ids,
+                        const std::string& path,
+                        const std::string& comment) {
   std::ofstream file(path, std::ios::trunc);
   if (!file) return Status::IoError("cannot open for writing: " + path);
   file << "# rwdom edge list";
   if (!comment.empty()) file << ": " << comment;
   file << "\n# nodes " << graph.num_nodes() << " edges " << graph.num_edges()
        << "\n";
+  auto emit = [&](NodeId u) -> int64_t {
+    return original_ids == nullptr
+               ? static_cast<int64_t>(u)
+               : (*original_ids)[static_cast<size_t>(u)];
+  };
   for (NodeId u = 0; u < graph.num_nodes(); ++u) {
     for (NodeId v : graph.neighbors(u)) {
-      if (u < v) file << u << "\t" << v << "\n";
+      if (u < v) file << emit(u) << "\t" << emit(v) << "\n";
     }
   }
   if (!file) return Status::IoError("write failed: " + path);
   return Status::OK();
+}
+
+}  // namespace
+
+Status SaveEdgeList(const Graph& graph, const std::string& path,
+                    const std::string& comment) {
+  return SaveEdgeListImpl(graph, nullptr, path, comment);
+}
+
+Status SaveEdgeListWithOriginalIds(const Graph& graph,
+                                   const std::vector<int64_t>& original_ids,
+                                   const std::string& path,
+                                   const std::string& comment) {
+  if (static_cast<NodeId>(original_ids.size()) != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("original_ids has %zu entries for a graph of %d nodes",
+                  original_ids.size(), graph.num_nodes()));
+  }
+  return SaveEdgeListImpl(graph, &original_ids, path, comment);
 }
 
 }  // namespace rwdom

@@ -1,11 +1,17 @@
 // Edge-list I/O in the SNAP text format the paper's datasets ship in:
-// '#'-prefixed comment lines, then one "u<ws>v" pair per line. Node ids in
-// the file may be sparse; they are remapped to dense [0, n) in first-seen
-// order (a common convention; the mapping can be retrieved).
+// '#'-prefixed comment lines, then one "u<ws>v[<ws>w]" record per line.
+// Node ids in the file may be sparse; they are remapped to dense [0, n) in
+// first-seen order (a common convention; the mapping can be retrieved).
+//
+// This is the ONE edge-list parser in the tree: the unweighted Graph
+// loader below, the weighted loader (wgraph/weighted_graph_io.h), and the
+// substrate autodetecting loader (wgraph/substrate.h) all consume
+// ParseEdgeRecords / IdRemapper rather than re-implementing the lexing.
 #ifndef RWDOM_GRAPH_GRAPH_IO_H_
 #define RWDOM_GRAPH_GRAPH_IO_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,6 +21,83 @@
 
 namespace rwdom {
 
+/// Remaps sparse original ids to dense ids in first-seen order.
+class IdRemapper {
+ public:
+  NodeId Map(int64_t original) {
+    auto [it, inserted] =
+        dense_.try_emplace(original, static_cast<NodeId>(originals_.size()));
+    if (inserted) originals_.push_back(original);
+    return it->second;
+  }
+
+  std::vector<int64_t> TakeOriginals() && { return std::move(originals_); }
+  size_t size() const { return originals_.size(); }
+
+ private:
+  std::unordered_map<int64_t, NodeId> dense_;
+  std::vector<int64_t> originals_;
+};
+
+/// How a third numeric column is interpreted by ParseEdgeRecords.
+enum class WeightColumnMode {
+  /// Never interpreted: extra columns (timestamps, annotations) are
+  /// ignored and every record gets weight 1. The legacy SNAP behavior.
+  kIgnore,
+  /// A third column, when present, must parse as a positive finite weight;
+  /// anything else is a Corruption error. The strict weighted-file mode.
+  kRequire,
+  /// A third column that parses as a positive finite double becomes the
+  /// weight; a numeric but non-positive/non-finite one is a Corruption
+  /// error (it was clearly meant as a weight), and a non-numeric one is an
+  /// annotation and ignored — but mixing weights and annotations within
+  /// one file is an error. A line with no third column means weight 1.0,
+  /// matching kRequire's long-standing optional-column rule. Used by the
+  /// substrate loader's autodetection.
+  kAuto,
+};
+
+/// One parsed edge-list line, already remapped to dense ids.
+struct EdgeRecord {
+  NodeId u;
+  NodeId v;
+  double weight;  ///< 1.0 when the line carried no weight.
+};
+
+/// The full parse of one edge-list text.
+struct EdgeRecordList {
+  std::vector<EdgeRecord> records;
+  /// original_ids[dense] = id as it appeared in the file.
+  std::vector<int64_t> original_ids;
+  /// True when at least one record's weight came from the file (kRequire /
+  /// kAuto modes only).
+  bool saw_weights = false;
+};
+
+/// What ForEachEdgeRecord learned about the stream as a whole.
+struct EdgeRecordSummary {
+  /// original_ids[dense] = id as it appeared in the file.
+  std::vector<int64_t> original_ids;
+  /// True when at least one record's weight came from the file (kRequire /
+  /// kAuto modes only).
+  bool saw_weights = false;
+};
+
+/// Lexes SNAP-style edge-list text, calling `visit` once per record in
+/// file order without materializing the list — the streaming core every
+/// loader builds on. Lines beginning with '#' or '%' are comments; blank
+/// lines are skipped; fields are whitespace-separated. Self-loops (u == v)
+/// are dropped, matching every rwdom graph builder.
+Result<EdgeRecordSummary> ForEachEdgeRecord(
+    const std::string& text, WeightColumnMode mode,
+    const std::function<void(const EdgeRecord&)>& visit);
+
+/// Materializing convenience over ForEachEdgeRecord, for loaders that need
+/// the whole record list before deciding what to build (the weighted and
+/// substrate loaders).
+Result<EdgeRecordList> ParseEdgeRecords(const std::string& text,
+                                        WeightColumnMode mode);
+
 /// A loaded graph plus the original-id -> dense-id mapping.
 struct LoadedGraph {
   Graph graph;
@@ -22,10 +105,9 @@ struct LoadedGraph {
   std::vector<int64_t> original_ids;
 };
 
-/// Parses SNAP-style edge-list text (not a file). Lines beginning with '#'
-/// or '%' are comments; blank lines are skipped; fields are
-/// whitespace-separated. Extra columns beyond the first two are ignored
-/// (some SNAP files carry timestamps/weights).
+/// Parses SNAP-style edge-list text (not a file) into an unweighted Graph.
+/// Extra columns beyond the first two are ignored (some SNAP files carry
+/// timestamps/weights); use the substrate loader for weight autodetection.
 Result<LoadedGraph> ParseEdgeList(const std::string& text);
 
 /// Loads a SNAP-style edge list from `path`.
@@ -35,6 +117,16 @@ Result<LoadedGraph> LoadEdgeList(const std::string& path);
 /// u < v) preceded by a comment header.
 Status SaveEdgeList(const Graph& graph, const std::string& path,
                     const std::string& comment = "");
+
+/// Like SaveEdgeList, but emits the pre-remap node ids recorded in
+/// `original_ids` (size must be num_nodes()), so a file loaded with
+/// LoadEdgeList round-trips with its original identifiers. Note that
+/// isolated nodes do not survive edge-list round-trips (the format has no
+/// way to name them).
+Status SaveEdgeListWithOriginalIds(const Graph& graph,
+                                   const std::vector<int64_t>& original_ids,
+                                   const std::string& path,
+                                   const std::string& comment = "");
 
 }  // namespace rwdom
 

@@ -90,4 +90,67 @@ Result<Dataset> LoadOrSynthesizeScaledDataset(const std::string& name,
   return Dataset{name, std::move(graph), /*from_file=*/false};
 }
 
+Result<SubstrateDataset> LoadOrSynthesizeSubstrateDataset(
+    const std::string& name, const std::string& data_dir,
+    std::optional<SubstrateWeights> weights) {
+  // Weighted variants ride on name suffixes: "<base>-w" (undirected) and
+  // "<base>-wd" (directed).
+  bool weighted = false;
+  bool directed = false;
+  std::string base = name;
+  if (EndsWith(name, "-wd")) {
+    weighted = directed = true;
+    base = name.substr(0, name.size() - 3);
+  } else if (EndsWith(name, "-w")) {
+    weighted = true;
+    base = name.substr(0, name.size() - 2);
+  }
+  RWDOM_RETURN_IF_ERROR(FindDataset(base).status());
+
+  // The variant name promises a substrate: a -w/-wd file loads with
+  // weights forced, never silently uniform. Callers may override for
+  // plain names (e.g. kIgnore to defend a timestamp column).
+  const SubstrateWeights effective_weights = weights.value_or(
+      weighted ? SubstrateWeights::kForce : SubstrateWeights::kAuto);
+  if (weighted && effective_weights == SubstrateWeights::kIgnore) {
+    return Status::InvalidArgument(
+        "dataset variant " + name +
+        " is weighted; drop --weighted=no or use the plain name");
+  }
+
+  const std::string path = data_dir + "/" + name + ".txt";
+  if (FileExists(path)) {
+    SubstrateOptions options;
+    options.directed = directed;
+    options.weights = effective_weights;
+    RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
+                           LoadSubstrate(path, options));
+    RWDOM_LOG(INFO) << "dataset " << name << ": loaded real "
+                    << loaded.substrate.kind() << " edge list from " << path;
+    return SubstrateDataset{name, std::move(loaded.substrate),
+                            /*from_file=*/true};
+  }
+  if (!weighted && effective_weights == SubstrateWeights::kForce) {
+    return Status::InvalidArgument(
+        "dataset " + name +
+        " has no real file to force weights on; use the -w variant for a "
+        "weighted stand-in");
+  }
+
+  RWDOM_ASSIGN_OR_RETURN(Dataset dataset,
+                         LoadOrSynthesizeDataset(base, data_dir));
+  if (!weighted) {
+    return SubstrateDataset{name, GraphSubstrate(std::move(dataset.graph)),
+                            dataset.from_file};
+  }
+  // Weighted stand-in: deterministic pseudo-random weights over the base
+  // topology, keyed by the full variant name so -w and -wd differ.
+  WeightedGraph wg =
+      AttachRandomWeights(dataset.graph, DatasetSeed(name), directed);
+  RWDOM_LOG(INFO) << "dataset " << name << ": attached "
+                  << (directed ? "directed " : "") << "stand-in weights";
+  return SubstrateDataset{name, GraphSubstrate(std::move(wg), directed),
+                          dataset.from_file};
+}
+
 }  // namespace rwdom

@@ -2,15 +2,23 @@
 // DESIGN.md: if a real SNAP edge list is present under <data_dir>/<name>.txt
 // it is loaded; otherwise a synthetic power-law stand-in with identical
 // (n, m) is generated deterministically from the dataset name.
+//
+// Weighted and directed stand-ins ride on the same registry through name
+// suffixes: "<name>-w" is the weighted undirected variant (deterministic
+// pseudo-random edge weights over the same topology) and "<name>-wd" the
+// weighted directed one (independent per-direction weights). Both resolve
+// through LoadOrSynthesizeSubstrateDataset.
 #ifndef RWDOM_HARNESS_DATASET_REGISTRY_H_
 #define RWDOM_HARNESS_DATASET_REGISTRY_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "graph/graph.h"
 #include "util/status.h"
+#include "wgraph/substrate.h"
 
 namespace rwdom {
 
@@ -47,6 +55,27 @@ Result<Dataset> LoadOrSynthesizeDataset(const std::string& name,
 Result<Dataset> LoadOrSynthesizeScaledDataset(const std::string& name,
                                               const std::string& data_dir,
                                               double scale);
+
+/// A dataset resolved onto the unified substrate.
+struct SubstrateDataset {
+  std::string name;
+  GraphSubstrate substrate;
+  bool from_file = false;
+};
+
+/// Substrate-aware resolution: plain Table-2 names load/synthesize as
+/// before (a real file goes through the autodetecting substrate loader, so
+/// a weighted edge list under a plain name is honored); "<name>-w" /
+/// "<name>-wd" produce the weighted stand-in variants, preferring a real
+/// `<data_dir>/<name>-w[d].txt` file when present — loaded with weights
+/// forced, so the variant name always delivers the weighted substrate.
+/// `weights` overrides the suffix-derived default for real-file loads
+/// (e.g. kIgnore to defend a timestamped SNAP column under a plain name);
+/// contradictions (kIgnore on a -w variant, kForce on a plain name with no
+/// file to force) are InvalidArgument.
+Result<SubstrateDataset> LoadOrSynthesizeSubstrateDataset(
+    const std::string& name, const std::string& data_dir,
+    std::optional<SubstrateWeights> weights = std::nullopt);
 
 }  // namespace rwdom
 

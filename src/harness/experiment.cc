@@ -56,7 +56,7 @@ void PrintBanner(const std::string& experiment_id,
 }
 
 std::vector<MetricsResult> EvaluatePrefixes(
-    const Graph& graph, const std::vector<NodeId>& selection,
+    const TransitionModel& model, const std::vector<NodeId>& selection,
     const std::vector<int32_t>& ks, int32_t length, int32_t num_samples,
     uint64_t seed) {
   std::vector<MetricsResult> results;
@@ -67,9 +67,17 @@ std::vector<MetricsResult> EvaluatePrefixes(
     std::vector<NodeId> prefix(selection.begin(),
                                selection.begin() + take);
     results.push_back(
-        SampledMetrics(graph, prefix, length, num_samples, seed));
+        SampledMetrics(model, prefix, length, num_samples, seed));
   }
   return results;
+}
+
+std::vector<MetricsResult> EvaluatePrefixes(
+    const Graph& graph, const std::vector<NodeId>& selection,
+    const std::vector<int32_t>& ks, int32_t length, int32_t num_samples,
+    uint64_t seed) {
+  UniformTransitionModel model(&graph);
+  return EvaluatePrefixes(model, selection, ks, length, num_samples, seed);
 }
 
 void MaybeDumpCsv(const BenchArgs& args, const std::string& name,

@@ -10,6 +10,7 @@
 
 #include "eval/metrics.h"
 #include "graph/graph.h"
+#include "walk/transition_model.h"
 
 namespace rwdom {
 
@@ -38,7 +39,12 @@ void PrintBanner(const std::string& experiment_id,
                  const std::string& description, const BenchArgs& args);
 
 /// Evaluates the metrics of each prefix selection[0..k) for the given ks
-/// using the paper's sampled-metrics protocol.
+/// using the paper's sampled-metrics protocol. Runs over any
+/// TransitionModel; the Graph overload is the unweighted convenience.
+std::vector<MetricsResult> EvaluatePrefixes(
+    const TransitionModel& model, const std::vector<NodeId>& selection,
+    const std::vector<int32_t>& ks, int32_t length, int32_t num_samples,
+    uint64_t seed);
 std::vector<MetricsResult> EvaluatePrefixes(
     const Graph& graph, const std::vector<NodeId>& selection,
     const std::vector<int32_t>& ks, int32_t length, int32_t num_samples,

@@ -88,6 +88,11 @@ bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
 std::string FormatWithCommas(int64_t n) {
   std::string digits = std::to_string(n < 0 ? -n : n);
   std::string out;

@@ -29,6 +29,9 @@ Result<double> ParseDouble(std::string_view s);
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+/// True if `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
 /// Formats `n` with thousands separators, e.g. 1234567 -> "1,234,567".
 std::string FormatWithCommas(int64_t n);
 

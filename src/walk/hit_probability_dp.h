@@ -1,9 +1,7 @@
-// Exact hit probabilities p^L_uS via dynamic programming (Theorem 2.3):
-//
-//   p^l_uS = 1                                        if u in S
-//          = (1/d_u) * sum_{w in N(u)} p^{l-1}_wS      otherwise,
-//
-// with p^0_uS = [u in S]. F2(S) = sum_u p^L_uS (Problem 2 objective, Eq. 7).
+// Exact hit probabilities p^L_uS on the unweighted undirected substrate
+// (Theorem 2.3): a thin adapter binding the unified TransitionDp engine
+// (walk/transition_dp.h) to a uniform-neighbor transition model, kept for
+// API stability. F2(S) = sum_u p^L_uS (Problem 2 objective, Eq. 7).
 // Isolated non-target nodes have p == 0 at every level.
 #ifndef RWDOM_WALK_HIT_PROBABILITY_DP_H_
 #define RWDOM_WALK_HIT_PROBABILITY_DP_H_
@@ -12,44 +10,49 @@
 
 #include "graph/graph.h"
 #include "graph/node_set.h"
+#include "walk/transition_dp.h"
 
 namespace rwdom {
 
-/// Exact p^L_uS solver with reusable scratch buffers; O(mL) per evaluation.
+/// Exact p^L_uS solver over an unweighted Graph with reusable scratch
+/// buffers; O(mL) per evaluation.
 class HitProbabilityDp {
  public:
   /// `graph` must outlive this object. `length` is the walk budget L >= 0.
-  HitProbabilityDp(const Graph* graph, int32_t length);
+  HitProbabilityDp(const Graph* graph, int32_t length)
+      : graph_(*graph), dp_(graph, length) {}
 
   /// p^L_uS for every node u (1 for members of S).
-  std::vector<double> HitProbabilities(const NodeFlagSet& targets) const;
+  std::vector<double> HitProbabilities(const NodeFlagSet& targets) const {
+    return dp_.HitProbabilities(targets);
+  }
 
   /// p^L_u(S ∪ {extra}) without materializing the union; `extra` may be
   /// kInvalidNode.
   std::vector<double> HitProbabilitiesPlus(const NodeFlagSet& targets,
-                                           NodeId extra) const;
+                                           NodeId extra) const {
+    return dp_.HitProbabilitiesPlus(targets, extra);
+  }
 
   /// p^L_uv for every source u against a single target node.
-  std::vector<double> HitProbabilitiesToNode(NodeId target) const;
+  std::vector<double> HitProbabilitiesToNode(NodeId target) const {
+    return dp_.HitProbabilitiesToNode(target);
+  }
 
   /// F2(S) = sum_u p^L_uS.
-  double F2(const NodeFlagSet& targets) const;
+  double F2(const NodeFlagSet& targets) const { return dp_.F2(targets); }
 
   /// F2(S ∪ {extra}); `extra` may be kInvalidNode (plain F2).
-  double F2Plus(const NodeFlagSet& targets, NodeId extra) const;
+  double F2Plus(const NodeFlagSet& targets, NodeId extra) const {
+    return dp_.F2Plus(targets, extra);
+  }
 
-  int32_t length() const { return length_; }
+  int32_t length() const { return dp_.length(); }
   const Graph& graph() const { return graph_; }
 
  private:
-  // Target membership = (set_target contains u) OR (u == extra_target).
-  void Run(const NodeFlagSet* set_target, NodeId extra_target,
-           std::vector<double>* out) const;
-
   const Graph& graph_;
-  int32_t length_;
-  mutable std::vector<double> prev_;
-  mutable std::vector<double> cur_;
+  TransitionDp dp_;
 };
 
 }  // namespace rwdom

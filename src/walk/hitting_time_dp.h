@@ -1,17 +1,12 @@
-// Exact generalized hitting times via dynamic programming.
+// Exact generalized hitting times on the unweighted undirected substrate
+// (Theorems 2.1 / 2.2): a thin adapter binding the unified TransitionDp
+// engine (walk/transition_dp.h) to a uniform-neighbor transition model,
+// kept for API stability — the engine itself also serves weighted and
+// directed graphs.
 //
-// Implements Theorem 2.1 / 2.2 of the paper:
-//
-//   h^l_uS = 0                                        if u in S
-//          = 1 + (1/d_u) * sum_{w in N(u)} h^{l-1}_wS  otherwise,
-//
-// with h^0 == 0; summing over all neighbors is equivalent to the paper's
-// sum over V\S because h^{l-1}_wS = 0 for w in S. One evaluation costs
-// O(mL) time and O(n) space.
-//
-// Isolated-node semantics (not covered by the paper, which assumes walks can
-// always move): an isolated node u not in S never hits S, so by Eq. (1)
-// its truncated hitting time at level l is exactly l.
+// Isolated-node semantics (not covered by the paper, which assumes walks
+// can always move): an isolated node u not in S never hits S, so by
+// Eq. (1) its truncated hitting time at level l is exactly l.
 #ifndef RWDOM_WALK_HITTING_TIME_DP_H_
 #define RWDOM_WALK_HITTING_TIME_DP_H_
 
@@ -19,50 +14,55 @@
 
 #include "graph/graph.h"
 #include "graph/node_set.h"
+#include "walk/transition_dp.h"
 
 namespace rwdom {
 
-/// Exact h^L_uS / h^L_uv solver. Holds scratch buffers so repeated
-/// evaluations (the inner loop of the DP-based greedy) do not reallocate.
+/// Exact h^L_uS / h^L_uv solver over an unweighted Graph. Holds scratch
+/// buffers so repeated evaluations (the inner loop of the DP-based greedy)
+/// do not reallocate.
 class HittingTimeDp {
  public:
   /// `graph` must outlive this object. `length` is the walk budget L >= 0.
-  HittingTimeDp(const Graph* graph, int32_t length);
+  HittingTimeDp(const Graph* graph, int32_t length)
+      : graph_(*graph), dp_(graph, length) {}
 
   /// h^L_uS for every node u (0 for members of S). O(mL).
-  std::vector<double> HittingTimesToSet(const NodeFlagSet& targets) const;
+  std::vector<double> HittingTimesToSet(const NodeFlagSet& targets) const {
+    return dp_.HittingTimesToSet(targets);
+  }
 
   /// h^L_u(S ∪ {extra}) without materializing the union; the greedy
   /// marginal-gain inner loop. `extra` may be kInvalidNode.
   std::vector<double> HittingTimesToSetPlus(const NodeFlagSet& targets,
-                                            NodeId extra) const;
+                                            NodeId extra) const {
+    return dp_.HittingTimesToSetPlus(targets, extra);
+  }
 
   /// h^L_uv for every source u against the single target v (Eq. 2).
-  std::vector<double> HittingTimesToNode(NodeId target) const;
+  std::vector<double> HittingTimesToNode(NodeId target) const {
+    return dp_.HittingTimesToNode(target);
+  }
 
   /// F1(S) = nL - sum_{u in V\S} h^L_uS (Problem 1 objective, Eq. 6).
-  double F1(const NodeFlagSet& targets) const;
+  double F1(const NodeFlagSet& targets) const { return dp_.F1(targets); }
 
   /// F1(S ∪ {extra}); `extra` may be kInvalidNode (plain F1).
-  double F1Plus(const NodeFlagSet& targets, NodeId extra) const;
+  double F1Plus(const NodeFlagSet& targets, NodeId extra) const {
+    return dp_.F1Plus(targets, extra);
+  }
 
   /// Full n x n matrix of h^L_uv (row u, column v); O(n m L) — tests only.
-  std::vector<std::vector<double>> HittingTimeMatrix() const;
+  std::vector<std::vector<double>> HittingTimeMatrix() const {
+    return dp_.HittingTimeMatrix();
+  }
 
-  int32_t length() const { return length_; }
+  int32_t length() const { return dp_.length(); }
   const Graph& graph() const { return graph_; }
 
  private:
-  // Runs the DP with target membership = (set_target contains u) OR
-  // (u == extra_target); writes the final level into *out.
-  void Run(const NodeFlagSet* set_target, NodeId extra_target,
-           std::vector<double>* out) const;
-
   const Graph& graph_;
-  int32_t length_;
-  // Scratch, reused across calls (mutable: evaluation is logically const).
-  mutable std::vector<double> prev_;
-  mutable std::vector<double> cur_;
+  TransitionDp dp_;
 };
 
 }  // namespace rwdom

@@ -4,7 +4,7 @@
 
 #include "graph/node_set.h"
 #include "util/logging.h"
-#include "walk/hitting_time_dp.h"
+#include "walk/transition_dp.h"
 #include "walk/walk.h"
 
 namespace rwdom {
@@ -34,13 +34,19 @@ std::vector<HittingTimeNeighbor> SelectSmallest(
 
 }  // namespace
 
+std::vector<HittingTimeNeighbor> ExactHittingTimeKnn(
+    const TransitionModel& model, NodeId query, int32_t k, int32_t length) {
+  RWDOM_CHECK(query >= 0 && query < model.num_nodes());
+  RWDOM_CHECK_GE(k, 0);
+  TransitionDp dp(&model, length);
+  return SelectSmallest(dp.HittingTimesToNode(query), query, k);
+}
+
 std::vector<HittingTimeNeighbor> ExactHittingTimeKnn(const Graph& graph,
                                                      NodeId query, int32_t k,
                                                      int32_t length) {
-  RWDOM_CHECK(graph.IsValidNode(query));
-  RWDOM_CHECK_GE(k, 0);
-  HittingTimeDp dp(&graph, length);
-  return SelectSmallest(dp.HittingTimesToNode(query), query, k);
+  UniformTransitionModel model(&graph);
+  return ExactHittingTimeKnn(model, query, k, length);
 }
 
 std::vector<HittingTimeNeighbor> SampledHittingTimeKnn(WalkSource* source,

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "walk/transition_model.h"
 #include "walk/walk_source.h"
 
 namespace rwdom {
@@ -27,7 +28,10 @@ struct HittingTimeNeighbor {
 /// Exact k nearest neighbors of `query` by truncated hitting time
 /// h^L_{u, query}, ascending; ties break toward the lower node id. The
 /// query node itself (h = 0) is excluded. Returns fewer than k rows only
-/// when the graph has fewer than k + 1 nodes.
+/// when the graph has fewer than k + 1 nodes. Runs over any
+/// TransitionModel; the Graph overload is the unweighted convenience.
+std::vector<HittingTimeNeighbor> ExactHittingTimeKnn(
+    const TransitionModel& model, NodeId query, int32_t k, int32_t length);
 std::vector<HittingTimeNeighbor> ExactHittingTimeKnn(const Graph& graph,
                                                      NodeId query, int32_t k,
                                                      int32_t length);

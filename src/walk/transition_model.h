@@ -1,0 +1,139 @@
+// TransitionModel: the random-walk transition structure of a graph,
+// abstracted away from its storage.
+//
+// Every algorithm in rwdom ultimately consumes a graph through exactly two
+// operations: "draw the next node of a walk from u" (the samplers,
+// Algorithms 2/3) and "accumulate sum_w p_uw * f(w)" (the dynamic programs
+// of Theorems 2.2/2.3). A TransitionModel provides both, which lets one
+// walk engine (TransitionWalkSource), one DP engine (TransitionDp), and one
+// selector roster run unchanged over the unweighted undirected CSR Graph
+// (uniform-neighbor steps) and the weighted digraph WeightedGraph
+// (alias-table steps) — the paper's §2 remark that all techniques "can be
+// easily extended to directed and weighted graphs", made literal.
+//
+// Implementations: UniformTransitionModel (below) and
+// WeightedTransitionModel (wgraph/weighted_transition_model.h).
+#ifndef RWDOM_WALK_TRANSITION_MODEL_H_
+#define RWDOM_WALK_TRANSITION_MODEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace rwdom {
+
+/// Non-owning view of one graph's transition structure. Implementations
+/// are immutable after construction and safe to share across threads.
+class TransitionModel {
+ public:
+  virtual ~TransitionModel() = default;
+
+  /// Size of the node universe.
+  virtual NodeId num_nodes() const = 0;
+
+  /// Number of possible moves out of `u`; 0 means `u` is a sink (an
+  /// isolated node in the undirected case) and walks stop there.
+  virtual int32_t out_degree(NodeId u) const = 0;
+
+  /// True when arcs are one-directional (weighted digraphs); false for the
+  /// undirected substrate, where every edge can be traversed both ways.
+  virtual bool directed() const = 0;
+
+  /// Draws the next node of a walk at `u` from p_u·, consuming `rng`.
+  /// Returns kInvalidNode when `u` is a sink.
+  virtual NodeId Step(NodeId u, Rng* rng) const = 0;
+
+  /// sum_w p_uw * values[w] — the inner product the DPs of Theorems
+  /// 2.2/2.3 evaluate once per (node, level). Must not be called on sinks.
+  /// Implementations keep the accumulation order fixed (ascending target)
+  /// so results are bit-reproducible.
+  virtual double ExpectedValue(NodeId u,
+                               std::span<const double> values) const = 0;
+
+  /// Appends the nodes reachable in one step from `u` to `*out` (not
+  /// cleared), ascending. Used by 1-hop coverage baselines.
+  virtual void AppendSuccessors(NodeId u, std::vector<NodeId>* out) const = 0;
+
+  /// Approximate heap footprint of the backing storage in bytes (CSR
+  /// arrays plus any sampling tables). For capacity planning via
+  /// `rwdom stats`.
+  virtual int64_t MemoryUsageBytes() const = 0;
+
+  /// Display name, e.g. "uniform" or "weighted".
+  virtual std::string name() const = 0;
+};
+
+/// Uniform-neighbor transitions over the unweighted undirected CSR Graph:
+/// p_uw = 1/d_u for each neighbor w.
+class UniformTransitionModel final : public TransitionModel {
+ public:
+  /// `graph` must outlive this object.
+  explicit UniformTransitionModel(const Graph* graph) : graph_(*graph) {}
+
+  NodeId num_nodes() const override { return graph_.num_nodes(); }
+  int32_t out_degree(NodeId u) const override { return graph_.degree(u); }
+  bool directed() const override { return false; }
+
+  NodeId Step(NodeId u, Rng* rng) const override {
+    auto adj = graph_.neighbors(u);
+    if (adj.empty()) return kInvalidNode;
+    return adj[rng->NextBounded(adj.size())];
+  }
+
+  double ExpectedValue(NodeId u,
+                       std::span<const double> values) const override {
+    auto adj = graph_.neighbors(u);
+    RWDOM_DCHECK(!adj.empty());
+    double sum = 0.0;
+    for (NodeId w : adj) sum += values[static_cast<size_t>(w)];
+    return sum / static_cast<double>(adj.size());
+  }
+
+  void AppendSuccessors(NodeId u, std::vector<NodeId>* out) const override {
+    auto adj = graph_.neighbors(u);
+    out->insert(out->end(), adj.begin(), adj.end());
+  }
+
+  int64_t MemoryUsageBytes() const override {
+    return graph_.MemoryUsageBytes();
+  }
+
+  std::string name() const override { return "uniform"; }
+
+  const Graph& graph() const { return graph_; }
+
+ private:
+  const Graph& graph_;
+};
+
+/// Holder for algorithms that run over a TransitionModel but also keep a
+/// Graph-based convenience constructor: constructed from a model it is a
+/// plain reference; constructed from a Graph it owns the uniform model it
+/// wraps. Movable; the referenced model must outlive the holder.
+class TransitionModelRef {
+ public:
+  explicit TransitionModelRef(const TransitionModel* model) : model_(model) {}
+  explicit TransitionModelRef(const Graph* graph)
+      : owned_(std::make_unique<UniformTransitionModel>(graph)),
+        model_(owned_.get()) {}
+
+  TransitionModelRef(TransitionModelRef&&) noexcept = default;
+  TransitionModelRef& operator=(TransitionModelRef&&) noexcept = default;
+
+  const TransitionModel& operator*() const { return *model_; }
+  const TransitionModel* operator->() const { return model_; }
+  const TransitionModel* get() const { return model_; }
+
+ private:
+  std::unique_ptr<TransitionModel> owned_;  // Set by the Graph constructor.
+  const TransitionModel* model_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_WALK_TRANSITION_MODEL_H_

@@ -13,30 +13,30 @@ void WalkSource::SampleWalkStream(NodeId /*start*/, uint64_t /*stream*/,
                         "has_deterministic_streams() first";
 }
 
-void RandomWalkSource::WalkFrom(Rng* rng, NodeId start, int32_t length,
-                                std::vector<NodeId>* trajectory) const {
-  RWDOM_DCHECK(graph_.IsValidNode(start));
+void TransitionWalkSource::WalkFrom(Rng* rng, NodeId start, int32_t length,
+                                    std::vector<NodeId>* trajectory) const {
+  RWDOM_DCHECK(start >= 0 && start < model_.num_nodes());
   RWDOM_DCHECK_GE(length, 0);
   trajectory->clear();
   trajectory->reserve(static_cast<size_t>(length) + 1);
   trajectory->push_back(start);
   NodeId current = start;
   for (int32_t step = 0; step < length; ++step) {
-    auto adj = graph_.neighbors(current);
-    if (adj.empty()) break;  // Stuck on an isolated node.
-    current = adj[rng->NextBounded(adj.size())];
+    const NodeId next = model_.Step(current, rng);
+    if (next == kInvalidNode) break;  // Stuck on a sink.
+    current = next;
     trajectory->push_back(current);
   }
 }
 
-void RandomWalkSource::SampleWalk(NodeId start, int32_t length,
-                                  std::vector<NodeId>* trajectory) {
+void TransitionWalkSource::SampleWalk(NodeId start, int32_t length,
+                                      std::vector<NodeId>* trajectory) {
   WalkFrom(&rng_, start, length, trajectory);
 }
 
-void RandomWalkSource::SampleWalkStream(NodeId start, uint64_t stream,
-                                        int32_t length,
-                                        std::vector<NodeId>* trajectory) {
+void TransitionWalkSource::SampleWalkStream(NodeId start, uint64_t stream,
+                                            int32_t length,
+                                            std::vector<NodeId>* trajectory) {
   // Counter-derived stream: seeded purely by (seed, start, stream), so the
   // walk is identical no matter which thread draws it, or when.
   Rng rng(MixSeeds(seed_, MixSeeds(static_cast<uint64_t>(start), stream)));

@@ -3,7 +3,9 @@
 // Algorithms 2 (sampling evaluator) and 3 (inverted index construction)
 // consume trajectories through this interface, which lets unit tests replay
 // fixed walks — e.g. the exact walks of the paper's Example 3.1 — instead of
-// drawing random ones.
+// drawing random ones. The one real sampler is TransitionWalkSource, which
+// walks any TransitionModel (uniform-neighbor or weighted alias-table);
+// RandomWalkSource and WeightedWalkSource are thin adapters over it.
 #ifndef RWDOM_WALK_WALK_SOURCE_H_
 #define RWDOM_WALK_WALK_SOURCE_H_
 
@@ -13,6 +15,7 @@
 
 #include "graph/graph.h"
 #include "util/rng.h"
+#include "walk/transition_model.h"
 
 namespace rwdom {
 
@@ -49,15 +52,15 @@ class WalkSource {
   virtual NodeId num_nodes() const = 0;
 };
 
-/// Uniform random neighbor at every step; xoshiro-backed. SampleWalk is
-/// deterministic in (seed, call sequence); SampleWalkStream in
-/// (seed, start, stream) only, enabling thread-count-invariant parallel
-/// sampling.
-class RandomWalkSource final : public WalkSource {
+/// The unified walk engine: samples steps from any TransitionModel;
+/// xoshiro-backed. SampleWalk is deterministic in (seed, call sequence);
+/// SampleWalkStream in (seed, start, stream) only, enabling
+/// thread-count-invariant parallel sampling on every substrate.
+class TransitionWalkSource final : public WalkSource {
  public:
-  /// `graph` must outlive the source.
-  RandomWalkSource(const Graph* graph, uint64_t seed)
-      : graph_(*graph), seed_(seed), rng_(seed) {}
+  /// `model` must outlive this object.
+  TransitionWalkSource(const TransitionModel* model, uint64_t seed)
+      : model_(*model), seed_(seed), rng_(seed) {}
 
   void SampleWalk(NodeId start, int32_t length,
                   std::vector<NodeId>* trajectory) override;
@@ -66,16 +69,47 @@ class RandomWalkSource final : public WalkSource {
   void SampleWalkStream(NodeId start, uint64_t stream, int32_t length,
                         std::vector<NodeId>* trajectory) override;
 
-  NodeId num_nodes() const override { return graph_.num_nodes(); }
-  const Graph& graph() const { return graph_; }
+  NodeId num_nodes() const override { return model_.num_nodes(); }
+  const TransitionModel& model() const { return model_; }
 
  private:
   void WalkFrom(Rng* rng, NodeId start, int32_t length,
                 std::vector<NodeId>* trajectory) const;
 
-  const Graph& graph_;
+  const TransitionModel& model_;
   uint64_t seed_;
   Rng rng_;
+};
+
+/// Uniform random neighbor at every step: TransitionWalkSource bound to an
+/// owned UniformTransitionModel, kept as the unweighted convenience API.
+class RandomWalkSource final : public WalkSource {
+ public:
+  /// `graph` must outlive the source.
+  RandomWalkSource(const Graph* graph, uint64_t seed)
+      : model_(graph), engine_(&model_, seed) {}
+
+  // engine_ captures &model_, so relocation would dangle.
+  RandomWalkSource(const RandomWalkSource&) = delete;
+  RandomWalkSource& operator=(const RandomWalkSource&) = delete;
+
+  void SampleWalk(NodeId start, int32_t length,
+                  std::vector<NodeId>* trajectory) override {
+    engine_.SampleWalk(start, length, trajectory);
+  }
+
+  bool has_deterministic_streams() const override { return true; }
+  void SampleWalkStream(NodeId start, uint64_t stream, int32_t length,
+                        std::vector<NodeId>* trajectory) override {
+    engine_.SampleWalkStream(start, stream, length, trajectory);
+  }
+
+  NodeId num_nodes() const override { return model_.num_nodes(); }
+  const Graph& graph() const { return model_.graph(); }
+
+ private:
+  UniformTransitionModel model_;
+  TransitionWalkSource engine_;
 };
 
 /// Replays pre-recorded trajectories per start node, in registration order;

@@ -1,0 +1,139 @@
+#include "wgraph/substrate.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace rwdom {
+
+GraphSubstrate::GraphSubstrate(Graph graph)
+    : graph_(std::make_unique<Graph>(std::move(graph))),
+      model_(std::make_unique<UniformTransitionModel>(graph_.get())),
+      directed_(false) {}
+
+GraphSubstrate::GraphSubstrate(WeightedGraph graph, bool directed)
+    : weighted_graph_(std::make_unique<WeightedGraph>(std::move(graph))),
+      model_(std::make_unique<WeightedTransitionModel>(weighted_graph_.get(),
+                                                       directed)),
+      directed_(directed) {}
+
+int64_t GraphSubstrate::num_links() const {
+  return weighted() ? weighted_graph_->num_arcs() : graph_->num_edges();
+}
+
+Result<LoadedSubstrate> ParseSubstrate(const std::string& text,
+                                       const SubstrateOptions& options) {
+  if (options.weights == SubstrateWeights::kIgnore && !options.directed) {
+    // Nothing to decide: delegate to the streaming unweighted parser so
+    // peak memory is the builder's edge store, not a record list.
+    RWDOM_ASSIGN_OR_RETURN(LoadedGraph loaded, ParseEdgeList(text));
+    return LoadedSubstrate{GraphSubstrate(std::move(loaded.graph)),
+                           std::move(loaded.original_ids)};
+  }
+
+  const WeightColumnMode mode =
+      options.weights == SubstrateWeights::kIgnore
+          ? WeightColumnMode::kIgnore
+          : (options.weights == SubstrateWeights::kForce
+                 ? WeightColumnMode::kRequire
+                 : WeightColumnMode::kAuto);
+  RWDOM_ASSIGN_OR_RETURN(EdgeRecordList records,
+                         ParseEdgeRecords(text, mode));
+
+  // All-1.0 weights carry no information: the uniform model walks the
+  // same distribution at half the memory, so only real weights (or
+  // directedness) pay for the weighted digraph storage.
+  const bool real_weights =
+      records.saw_weights &&
+      std::any_of(records.records.begin(), records.records.end(),
+                  [](const EdgeRecord& r) { return r.weight != 1.0; });
+  // kForce always builds weighted storage (a file with no weight column
+  // gets all-1.0 arcs), as the option documents.
+  const bool build_weighted = options.directed || real_weights ||
+                              options.weights == SubstrateWeights::kForce;
+
+  if (options.weights == SubstrateWeights::kAuto && real_weights &&
+      !options.directed) {
+    // The substrate flip is a semantic decision; make it visible so a
+    // timestamped SNAP file that autodetects as weighted is noticed.
+    RWDOM_LOG(INFO) << "autodetected a weight column ("
+                    << records.records.size()
+                    << " records); pass --weighted=no to walk uniformly";
+  }
+
+  if (!build_weighted) {
+    GraphBuilder builder(static_cast<NodeId>(records.original_ids.size()),
+                         SelfLoopPolicy::kDrop);
+    builder.ReserveEdges(static_cast<int64_t>(records.records.size()));
+    for (const EdgeRecord& record : records.records) {
+      builder.AddEdge(record.u, record.v);
+    }
+    // The record list is dead weight during the CSR build; free it first.
+    records.records = {};
+    RWDOM_ASSIGN_OR_RETURN(Graph graph, std::move(builder).Build());
+    return LoadedSubstrate{GraphSubstrate(std::move(graph)),
+                           std::move(records.original_ids)};
+  }
+
+  WeightedGraphBuilder builder(
+      static_cast<NodeId>(records.original_ids.size()));
+  for (const EdgeRecord& record : records.records) {
+    if (options.directed) {
+      builder.AddArc(record.u, record.v, record.weight);
+    } else {
+      builder.AddUndirectedEdge(record.u, record.v, record.weight);
+    }
+  }
+  records.records = {};
+  RWDOM_ASSIGN_OR_RETURN(WeightedGraph graph, std::move(builder).Build());
+  return LoadedSubstrate{
+      GraphSubstrate(std::move(graph), options.directed),
+      std::move(records.original_ids)};
+}
+
+Result<LoadedSubstrate> LoadSubstrate(const std::string& path,
+                                      const SubstrateOptions& options) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return Status::IoError("read failed: " + path);
+  return ParseSubstrate(buffer.str(), options);
+}
+
+WeightedGraph AttachRandomWeights(const Graph& graph, uint64_t seed,
+                                  bool directed, double min_weight,
+                                  double max_weight) {
+  RWDOM_CHECK_GT(min_weight, 0.0);
+  RWDOM_CHECK_GE(max_weight, min_weight);
+  const double span = max_weight - min_weight;
+  // weight(u, v) = pure hash of (seed, u, v): order-independent and
+  // reproducible regardless of how edges are enumerated.
+  auto weight_of = [&](NodeId a, NodeId b) {
+    uint64_t state = MixSeeds(
+        seed, MixSeeds(static_cast<uint64_t>(a), static_cast<uint64_t>(b)));
+    const uint64_t bits = SplitMix64(&state);
+    const double unit =
+        static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1).
+    return min_weight + span * unit;
+  };
+  WeightedGraphBuilder builder(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.neighbors(u)) {
+      if (directed) {
+        builder.AddArc(u, v, weight_of(u, v));  // (v,u) hashes separately.
+      } else if (u < v) {
+        const double w = weight_of(u, v);
+        builder.AddUndirectedEdge(u, v, w);
+      }
+    }
+  }
+  return std::move(builder).BuildOrDie();
+}
+
+}  // namespace rwdom

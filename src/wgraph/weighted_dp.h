@@ -1,11 +1,8 @@
 // Exact generalized hitting times and hit probabilities on weighted
-// digraphs — the direct generalization of Theorems 2.2 / 2.3 with
-// transition probabilities p_uw = weight(u,w) / total_out_weight(u):
-//
-//   h^l_uS = 0                              if u in S
-//          = 1 + sum_w p_uw h^{l-1}_wS       otherwise (h^0 == 0)
-//   p^l_uS = 1                              if u in S
-//          = sum_w p_uw p^{l-1}_wS           otherwise (p^0 = [u in S])
+// digraphs — Theorems 2.2 / 2.3 with transition probabilities
+// p_uw = weight(u,w) / total_out_weight(u). A thin adapter binding the
+// unified TransitionDp engine (walk/transition_dp.h) to an owned
+// WeightedTransitionModel; there is no separate weighted DP implementation.
 //
 // Sinks behave like the unweighted isolated nodes: they never hit S, so
 // h^l = l and p^l = 0 when outside S.
@@ -15,7 +12,9 @@
 #include <vector>
 
 #include "graph/node_set.h"
+#include "walk/transition_dp.h"
 #include "wgraph/weighted_graph.h"
+#include "wgraph/weighted_transition_model.h"
 
 namespace rwdom {
 
@@ -23,41 +22,53 @@ namespace rwdom {
 class WeightedDp {
  public:
   /// `graph` must outlive this object.
-  WeightedDp(const WeightedGraph* graph, int32_t length);
+  WeightedDp(const WeightedGraph* graph, int32_t length)
+      : model_(graph), dp_(&model_, length) {}
+
+  // dp_ captures &model_, so relocation would dangle.
+  WeightedDp(const WeightedDp&) = delete;
+  WeightedDp& operator=(const WeightedDp&) = delete;
 
   /// h^L_uS for every node.
-  std::vector<double> HittingTimesToSet(const NodeFlagSet& targets) const;
+  std::vector<double> HittingTimesToSet(const NodeFlagSet& targets) const {
+    return dp_.HittingTimesToSet(targets);
+  }
 
   /// h^L_u(S ∪ {extra}); `extra` may be kInvalidNode.
   std::vector<double> HittingTimesToSetPlus(const NodeFlagSet& targets,
-                                            NodeId extra) const;
+                                            NodeId extra) const {
+    return dp_.HittingTimesToSetPlus(targets, extra);
+  }
 
   /// p^L_uS for every node.
-  std::vector<double> HitProbabilities(const NodeFlagSet& targets) const;
+  std::vector<double> HitProbabilities(const NodeFlagSet& targets) const {
+    return dp_.HitProbabilities(targets);
+  }
 
   /// p^L_u(S ∪ {extra}); `extra` may be kInvalidNode.
   std::vector<double> HitProbabilitiesPlus(const NodeFlagSet& targets,
-                                           NodeId extra) const;
+                                           NodeId extra) const {
+    return dp_.HitProbabilitiesPlus(targets, extra);
+  }
 
   /// F1(S) = nL - sum_{u not in S} h^L_uS.
-  double F1(const NodeFlagSet& targets) const;
-  double F1Plus(const NodeFlagSet& targets, NodeId extra) const;
+  double F1(const NodeFlagSet& targets) const { return dp_.F1(targets); }
+  double F1Plus(const NodeFlagSet& targets, NodeId extra) const {
+    return dp_.F1Plus(targets, extra);
+  }
 
   /// F2(S) = sum_u p^L_uS.
-  double F2(const NodeFlagSet& targets) const;
-  double F2Plus(const NodeFlagSet& targets, NodeId extra) const;
+  double F2(const NodeFlagSet& targets) const { return dp_.F2(targets); }
+  double F2Plus(const NodeFlagSet& targets, NodeId extra) const {
+    return dp_.F2Plus(targets, extra);
+  }
 
-  int32_t length() const { return length_; }
-  const WeightedGraph& graph() const { return graph_; }
+  int32_t length() const { return dp_.length(); }
+  const WeightedGraph& graph() const { return model_.graph(); }
 
  private:
-  void Run(bool hitting_time, const NodeFlagSet& targets, NodeId extra,
-           std::vector<double>* out) const;
-
-  const WeightedGraph& graph_;
-  int32_t length_;
-  mutable std::vector<double> prev_;
-  mutable std::vector<double> cur_;
+  WeightedTransitionModel model_;
+  TransitionDp dp_;
 };
 
 }  // namespace rwdom

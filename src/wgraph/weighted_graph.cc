@@ -18,6 +18,14 @@ WeightedGraph::WeightedGraph(std::vector<int64_t> offsets,
   }
 }
 
+int32_t WeightedGraph::max_out_degree() const {
+  int32_t best = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    best = std::max(best, out_degree(u));
+  }
+  return best;
+}
+
 WeightedGraph WeightedGraph::FromUnweighted(const Graph& graph) {
   WeightedGraphBuilder builder(graph.num_nodes());
   for (NodeId u = 0; u < graph.num_nodes(); ++u) {

@@ -59,6 +59,16 @@ class WeightedGraph {
 
   bool IsValidNode(NodeId u) const { return u >= 0 && u < num_nodes(); }
 
+  /// Largest out-degree in the graph (0 for the empty graph).
+  int32_t max_out_degree() const;
+
+  /// Approximate heap footprint in bytes (CSR arrays + weight cache).
+  int64_t MemoryUsageBytes() const {
+    return static_cast<int64_t>(offsets_.capacity() * sizeof(int64_t) +
+                                arcs_.capacity() * sizeof(Arc) +
+                                out_weight_.capacity() * sizeof(double));
+  }
+
   /// Converts an unweighted undirected Graph: every edge becomes a
   /// symmetric arc pair with weight 1, so walk semantics are identical.
   static WeightedGraph FromUnweighted(const Graph& graph);

@@ -1,93 +1,30 @@
 #include "wgraph/weighted_graph_io.h"
 
-#include <cmath>
 #include <fstream>
 #include <sstream>
-#include <unordered_map>
 
+#include "graph/graph_io.h"
 #include "util/strings.h"
 
 namespace rwdom {
-namespace {
-
-class IdRemapper {
- public:
-  NodeId Map(int64_t original) {
-    auto [it, inserted] =
-        dense_.try_emplace(original, static_cast<NodeId>(originals_.size()));
-    if (inserted) originals_.push_back(original);
-    return it->second;
-  }
-  std::vector<int64_t> TakeOriginals() && { return std::move(originals_); }
-
- private:
-  std::unordered_map<int64_t, NodeId> dense_;
-  std::vector<int64_t> originals_;
-};
-
-}  // namespace
 
 Result<LoadedWeightedGraph> ParseWeightedEdgeList(const std::string& text,
                                                   bool directed) {
-  IdRemapper remap;
-  struct RawArc {
-    NodeId u, v;
-    double w;
-  };
-  std::vector<RawArc> raw;
-  NodeId max_node = -1;
-  std::istringstream in(text);
-  std::string line;
-  int64_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    std::string_view stripped = StripWhitespace(line);
-    if (stripped.empty() || stripped[0] == '#' || stripped[0] == '%') continue;
-    std::vector<std::string_view> fields = SplitWhitespace(stripped);
-    if (fields.size() < 2) {
-      return Status::Corruption(
-          StrFormat("line %lld: expected 'u v [w]'",
-                    static_cast<long long>(line_no)));
-    }
-    auto u_result = ParseInt64(fields[0]);
-    auto v_result = ParseInt64(fields[1]);
-    if (!u_result.ok() || !v_result.ok()) {
-      return Status::Corruption(
-          StrFormat("line %lld: non-integer endpoint",
-                    static_cast<long long>(line_no)));
-    }
-    double weight = 1.0;
-    if (fields.size() >= 3) {
-      auto w_result = ParseDouble(fields[2]);
-      if (!w_result.ok()) {
-        return Status::Corruption(StrFormat(
-            "line %lld: bad weight", static_cast<long long>(line_no)));
-      }
-      weight = *w_result;
-    }
-    if (!(weight > 0.0) || !std::isfinite(weight)) {
-      return Status::Corruption(
-          StrFormat("line %lld: weight must be positive and finite",
-                    static_cast<long long>(line_no)));
-    }
-    NodeId u = remap.Map(*u_result);
-    NodeId v = remap.Map(*v_result);
-    if (u == v) continue;  // Drop self-loops, as in the unweighted loader.
-    raw.push_back({u, v, weight});
-    max_node = std::max(max_node, std::max(u, v));
-  }
-
-  WeightedGraphBuilder builder(max_node + 1);
-  for (const RawArc& arc : raw) {
+  RWDOM_ASSIGN_OR_RETURN(
+      EdgeRecordList records,
+      ParseEdgeRecords(text, WeightColumnMode::kRequire));
+  WeightedGraphBuilder builder(
+      static_cast<NodeId>(records.original_ids.size()));
+  for (const EdgeRecord& record : records.records) {
     if (directed) {
-      builder.AddArc(arc.u, arc.v, arc.w);
+      builder.AddArc(record.u, record.v, record.weight);
     } else {
-      builder.AddUndirectedEdge(arc.u, arc.v, arc.w);
+      builder.AddUndirectedEdge(record.u, record.v, record.weight);
     }
   }
   RWDOM_ASSIGN_OR_RETURN(WeightedGraph graph, std::move(builder).Build());
   return LoadedWeightedGraph{std::move(graph),
-                             std::move(remap).TakeOriginals()};
+                             std::move(records.original_ids)};
 }
 
 Result<LoadedWeightedGraph> LoadWeightedEdgeList(const std::string& path,
@@ -100,23 +37,50 @@ Result<LoadedWeightedGraph> LoadWeightedEdgeList(const std::string& path,
   return ParseWeightedEdgeList(buffer.str(), directed);
 }
 
-Status SaveWeightedEdgeList(const WeightedGraph& graph,
-                            const std::string& path,
-                            const std::string& comment) {
+namespace {
+
+Status SaveWeightedImpl(const WeightedGraph& graph,
+                        const std::vector<int64_t>* original_ids,
+                        const std::string& path,
+                        const std::string& comment) {
   std::ofstream file(path, std::ios::trunc);
   if (!file) return Status::IoError("cannot open for writing: " + path);
   file << "# rwdom weighted arc list";
   if (!comment.empty()) file << ": " << comment;
   file << "\n# nodes " << graph.num_nodes() << " arcs " << graph.num_arcs()
        << "\n";
+  auto emit = [&](NodeId u) -> int64_t {
+    return original_ids == nullptr
+               ? static_cast<int64_t>(u)
+               : (*original_ids)[static_cast<size_t>(u)];
+  };
   for (NodeId u = 0; u < graph.num_nodes(); ++u) {
     for (const Arc& arc : graph.out_arcs(u)) {
-      file << u << "\t" << arc.target << "\t"
+      file << emit(u) << "\t" << emit(arc.target) << "\t"
            << StrFormat("%.17g", arc.weight) << "\n";
     }
   }
   if (!file) return Status::IoError("write failed: " + path);
   return Status::OK();
+}
+
+}  // namespace
+
+Status SaveWeightedEdgeList(const WeightedGraph& graph,
+                            const std::string& path,
+                            const std::string& comment) {
+  return SaveWeightedImpl(graph, nullptr, path, comment);
+}
+
+Status SaveWeightedEdgeListWithOriginalIds(
+    const WeightedGraph& graph, const std::vector<int64_t>& original_ids,
+    const std::string& path, const std::string& comment) {
+  if (static_cast<NodeId>(original_ids.size()) != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("original_ids has %zu entries for a graph of %d nodes",
+                  original_ids.size(), graph.num_nodes()));
+  }
+  return SaveWeightedImpl(graph, &original_ids, path, comment);
 }
 
 }  // namespace rwdom

@@ -1,6 +1,8 @@
 // Weighted edge-list I/O: "u v w" per line ('#'/'%' comments), with the
 // weight column optional (default 1.0). Sparse ids are remapped to dense
-// first-seen order, matching the unweighted loader.
+// first-seen order through the same IdRemapper/ParseEdgeRecords engine as
+// the unweighted loader (graph/graph_io.h) — there is exactly one edge-list
+// parser in the tree.
 #ifndef RWDOM_WGRAPH_WEIGHTED_GRAPH_IO_H_
 #define RWDOM_WGRAPH_WEIGHTED_GRAPH_IO_H_
 
@@ -33,6 +35,13 @@ Result<LoadedWeightedGraph> LoadWeightedEdgeList(const std::string& path,
 Status SaveWeightedEdgeList(const WeightedGraph& graph,
                             const std::string& path,
                             const std::string& comment = "");
+
+/// Like SaveWeightedEdgeList, but emits the pre-remap node ids recorded in
+/// `original_ids` (size must be num_nodes()), so a file loaded with
+/// LoadWeightedEdgeList round-trips with its original identifiers.
+Status SaveWeightedEdgeListWithOriginalIds(
+    const WeightedGraph& graph, const std::vector<int64_t>& original_ids,
+    const std::string& path, const std::string& comment = "");
 
 }  // namespace rwdom
 

@@ -1,29 +1,16 @@
 #include "wgraph/weighted_select.h"
 
-#include "core/approx_greedy.h"
-#include "index/gain_state.h"
-#include "util/timer.h"
-#include "wgraph/weighted_walk_source.h"
+#include "util/logging.h"
 
 namespace rwdom {
 
 WeightedExactObjective::WeightedExactObjective(const WeightedGraph* graph,
                                                Problem problem,
                                                int32_t length)
-    : problem_(problem), dp_(graph, length) {}
-
-double WeightedExactObjective::Value(const NodeFlagSet& s) const {
-  return problem_ == Problem::kHittingTime ? dp_.F1(s) : dp_.F2(s);
-}
-
-double WeightedExactObjective::ValueWithExtra(const NodeFlagSet& s,
-                                              NodeId u) const {
-  return problem_ == Problem::kHittingTime ? dp_.F1Plus(s, u)
-                                           : dp_.F2Plus(s, u);
-}
+    : model_(graph), exact_(&model_, problem, length) {}
 
 std::string WeightedExactObjective::name() const {
-  return std::string(ProblemName(problem_)) + "-weighted-exact";
+  return std::string(ProblemName(exact_.problem())) + "-weighted-exact";
 }
 
 WeightedDpGreedy::WeightedDpGreedy(const WeightedGraph* graph,
@@ -36,25 +23,16 @@ WeightedDpGreedy::WeightedDpGreedy(const WeightedGraph* graph,
 
 WeightedApproxGreedy::WeightedApproxGreedy(const WeightedGraph* graph,
                                            Problem problem, Options options)
-    : graph_(*graph), problem_(problem), options_(options) {
-  RWDOM_CHECK_GE(options.length, 0);
-  RWDOM_CHECK_GE(options.num_replicates, 1);
-}
+    : model_(graph),
+      problem_(problem),
+      inner_(&model_, problem,
+             ApproxGreedyOptions{.length = options.length,
+                                 .num_replicates = options.num_replicates,
+                                 .seed = options.seed,
+                                 .lazy = options.lazy}) {}
 
 std::string WeightedApproxGreedy::name() const {
   return std::string("WeightedApprox") + std::string(ProblemName(problem_));
-}
-
-SelectionResult WeightedApproxGreedy::Select(int32_t k) {
-  WallTimer timer;
-  WeightedWalkSource source(&graph_, options_.seed);
-  index_ = std::make_unique<InvertedWalkIndex>(InvertedWalkIndex::Build(
-      options_.length, options_.num_replicates, &source));
-  GainState state(index_.get(), problem_);
-  SelectionResult result =
-      RunGainStateGreedy(&state, k, options_.lazy, nullptr);
-  result.seconds = timer.Seconds();
-  return result;
 }
 
 }  // namespace rwdom

@@ -1,20 +1,23 @@
-// Seed selection on weighted digraphs: the weighted analogues of the
-// paper's DPF* and ApproxF* algorithms. Algorithm 6's index and gain state
-// are walk-representation-agnostic, so the approximate greedy reuses them
-// verbatim — only the walker changes.
+// Seed selection on weighted digraphs: thin bindings of the unified
+// transition-model selectors (core/) to an owned WeightedTransitionModel,
+// kept for API and display-name stability ("WeightedDPF1",
+// "WeightedApproxF2", ...). All the machinery — DP engine, walk engine,
+// index, gain state — is the same code the unweighted pipeline runs.
 #ifndef RWDOM_WGRAPH_WEIGHTED_SELECT_H_
 #define RWDOM_WGRAPH_WEIGHTED_SELECT_H_
 
 #include <memory>
 #include <string>
 
+#include "core/approx_greedy.h"
+#include "core/exact_objective.h"
 #include "core/greedy_selector.h"
 #include "core/objective.h"
 #include "core/selector.h"
 #include "index/inverted_walk_index.h"
 #include "walk/problem.h"
-#include "wgraph/weighted_dp.h"
 #include "wgraph/weighted_graph.h"
+#include "wgraph/weighted_transition_model.h"
 
 namespace rwdom {
 
@@ -24,14 +27,22 @@ class WeightedExactObjective final : public Objective {
   WeightedExactObjective(const WeightedGraph* graph, Problem problem,
                          int32_t length);
 
-  NodeId universe_size() const override { return dp_.graph().num_nodes(); }
-  double Value(const NodeFlagSet& s) const override;
-  double ValueWithExtra(const NodeFlagSet& s, NodeId u) const override;
+  // exact_ captures &model_, so relocation would dangle.
+  WeightedExactObjective(const WeightedExactObjective&) = delete;
+  WeightedExactObjective& operator=(const WeightedExactObjective&) = delete;
+
+  NodeId universe_size() const override { return model_.num_nodes(); }
+  double Value(const NodeFlagSet& s) const override {
+    return exact_.Value(s);
+  }
+  double ValueWithExtra(const NodeFlagSet& s, NodeId u) const override {
+    return exact_.ValueWithExtra(s, u);
+  }
   std::string name() const override;
 
  private:
-  Problem problem_;
-  WeightedDp dp_;
+  WeightedTransitionModel model_;
+  ExactObjective exact_;
 };
 
 /// Weighted DPF1 / DPF2: Algorithm 1 with exact weighted marginal gains.
@@ -65,17 +76,20 @@ class WeightedApproxGreedy final : public Selector {
   WeightedApproxGreedy(const WeightedGraph* graph, Problem problem,
                        Options options);
 
-  SelectionResult Select(int32_t k) override;
+  // inner_ captures &model_, so relocation would dangle.
+  WeightedApproxGreedy(const WeightedApproxGreedy&) = delete;
+  WeightedApproxGreedy& operator=(const WeightedApproxGreedy&) = delete;
+
+  SelectionResult Select(int32_t k) override { return inner_.Select(k); }
   std::string name() const override;
 
   /// Index built by the last Select(); null before the first call.
-  const InvertedWalkIndex* index() const { return index_.get(); }
+  const InvertedWalkIndex* index() const { return inner_.index(); }
 
  private:
-  const WeightedGraph& graph_;
+  WeightedTransitionModel model_;
   Problem problem_;
-  Options options_;
-  std::unique_ptr<InvertedWalkIndex> index_;
+  ApproxGreedy inner_;
 };
 
 }  // namespace rwdom

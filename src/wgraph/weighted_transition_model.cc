@@ -1,0 +1,43 @@
+#include "wgraph/weighted_transition_model.h"
+
+#include "util/logging.h"
+
+namespace rwdom {
+
+WeightedTransitionModel::WeightedTransitionModel(const WeightedGraph* graph,
+                                                 bool directed)
+    : graph_(*graph), directed_(directed) {
+  alias_.resize(static_cast<size_t>(graph_.num_nodes()));
+  std::vector<double> weights;
+  for (NodeId u = 0; u < graph_.num_nodes(); ++u) {
+    auto arcs = graph_.out_arcs(u);
+    if (arcs.empty()) continue;  // Sink: leave the table empty.
+    weights.clear();
+    weights.reserve(arcs.size());
+    for (const Arc& arc : arcs) weights.push_back(arc.weight);
+    alias_[static_cast<size_t>(u)] = AliasTable(weights);
+  }
+}
+
+double WeightedTransitionModel::ExpectedValue(
+    NodeId u, std::span<const double> values) const {
+  const double total = graph_.total_out_weight(u);
+  RWDOM_DCHECK(total > 0.0);
+  double sum = 0.0;
+  for (const Arc& arc : graph_.out_arcs(u)) {
+    sum += arc.weight * values[static_cast<size_t>(arc.target)];
+  }
+  return sum / total;
+}
+
+int64_t WeightedTransitionModel::MemoryUsageBytes() const {
+  int64_t total = graph_.MemoryUsageBytes();
+  for (const AliasTable& table : alias_) {
+    // prob_ (double) + alias_ (int32) per outcome.
+    total += static_cast<int64_t>(table.size()) *
+             static_cast<int64_t>(sizeof(double) + sizeof(int32_t));
+  }
+  return total;
+}
+
+}  // namespace rwdom

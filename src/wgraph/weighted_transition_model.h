@@ -1,0 +1,63 @@
+// Weight-proportional transitions over a WeightedGraph: p_uw =
+// weight(u,w) / total_out_weight(u). Per-node alias tables give O(1)
+// walk steps after O(arcs) preprocessing, so the weighted substrate keeps
+// the O(nRL) index-construction cost of Algorithm 3.
+#ifndef RWDOM_WGRAPH_WEIGHTED_TRANSITION_MODEL_H_
+#define RWDOM_WGRAPH_WEIGHTED_TRANSITION_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "walk/transition_model.h"
+#include "wgraph/alias_table.h"
+#include "wgraph/weighted_graph.h"
+
+namespace rwdom {
+
+/// TransitionModel over a weighted digraph. Sinks (no out-arcs) end walks
+/// early, mirroring the isolated-node semantics of the uniform model.
+class WeightedTransitionModel final : public TransitionModel {
+ public:
+  /// `graph` must outlive this object. Builds one alias table per node.
+  /// `directed` records whether the arcs represent one-way links (true)
+  /// or symmetric pairs standing in for an undirected weighted graph.
+  explicit WeightedTransitionModel(const WeightedGraph* graph,
+                                   bool directed = true);
+
+  NodeId num_nodes() const override { return graph_.num_nodes(); }
+  int32_t out_degree(NodeId u) const override {
+    return graph_.out_degree(u);
+  }
+  bool directed() const override { return directed_; }
+
+  NodeId Step(NodeId u, Rng* rng) const override {
+    const AliasTable& table = alias_[static_cast<size_t>(u)];
+    if (table.empty()) return kInvalidNode;  // Sink.
+    const int32_t pick = table.Sample(rng);
+    return graph_.out_arcs(u)[static_cast<size_t>(pick)].target;
+  }
+
+  double ExpectedValue(NodeId u,
+                       std::span<const double> values) const override;
+
+  void AppendSuccessors(NodeId u, std::vector<NodeId>* out) const override {
+    for (const Arc& arc : graph_.out_arcs(u)) out->push_back(arc.target);
+  }
+
+  int64_t MemoryUsageBytes() const override;
+
+  std::string name() const override {
+    return directed_ ? "weighted-directed" : "weighted";
+  }
+
+  const WeightedGraph& graph() const { return graph_; }
+
+ private:
+  const WeightedGraph& graph_;
+  bool directed_;
+  std::vector<AliasTable> alias_;  // Indexed by node; empty for sinks.
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_WGRAPH_WEIGHTED_TRANSITION_MODEL_H_

@@ -1,46 +1,48 @@
-// L-length random walks on weighted digraphs: step u -> v with probability
-// weight(u,v) / total_out_weight(u). Per-node alias tables give O(1) steps
-// after O(m) preprocessing, so weighted index construction keeps the
-// O(nRL) cost of Algorithm 3.
+// L-length random walks on weighted digraphs: TransitionWalkSource bound
+// to an owned WeightedTransitionModel (alias-table steps), kept as the
+// weighted convenience API. SampleWalkStream draws from counter-derived
+// per-(node, stream) RNG streams, so parallel consumers stay
+// thread-count invariant.
 #ifndef RWDOM_WGRAPH_WEIGHTED_WALK_SOURCE_H_
 #define RWDOM_WGRAPH_WEIGHTED_WALK_SOURCE_H_
 
 #include <vector>
 
-#include "util/rng.h"
 #include "walk/walk_source.h"
-#include "wgraph/alias_table.h"
 #include "wgraph/weighted_graph.h"
+#include "wgraph/weighted_transition_model.h"
 
 namespace rwdom {
 
 /// Weight-proportional walker. Sinks (no out-arcs) end the walk early,
 /// mirroring the isolated-node semantics of the unweighted walker.
-/// SampleWalkStream draws from counter-derived per-(node, stream) RNG
-/// streams, so parallel consumers stay thread-count invariant.
 class WeightedWalkSource final : public WalkSource {
  public:
   /// `graph` must outlive this object. Builds one alias table per node.
-  WeightedWalkSource(const WeightedGraph* graph, uint64_t seed);
+  WeightedWalkSource(const WeightedGraph* graph, uint64_t seed)
+      : model_(graph), engine_(&model_, seed) {}
+
+  // engine_ captures &model_, so relocation would dangle.
+  WeightedWalkSource(const WeightedWalkSource&) = delete;
+  WeightedWalkSource& operator=(const WeightedWalkSource&) = delete;
 
   void SampleWalk(NodeId start, int32_t length,
-                  std::vector<NodeId>* trajectory) override;
+                  std::vector<NodeId>* trajectory) override {
+    engine_.SampleWalk(start, length, trajectory);
+  }
 
   bool has_deterministic_streams() const override { return true; }
   void SampleWalkStream(NodeId start, uint64_t stream, int32_t length,
-                        std::vector<NodeId>* trajectory) override;
+                        std::vector<NodeId>* trajectory) override {
+    engine_.SampleWalkStream(start, stream, length, trajectory);
+  }
 
-  NodeId num_nodes() const override { return graph_.num_nodes(); }
-  const WeightedGraph& graph() const { return graph_; }
+  NodeId num_nodes() const override { return model_.num_nodes(); }
+  const WeightedGraph& graph() const { return model_.graph(); }
 
  private:
-  void WalkFrom(Rng* rng, NodeId start, int32_t length,
-                std::vector<NodeId>* trajectory) const;
-
-  const WeightedGraph& graph_;
-  uint64_t seed_;
-  Rng rng_;
-  std::vector<AliasTable> alias_;  // Indexed by node; empty for sinks.
+  WeightedTransitionModel model_;
+  TransitionWalkSource engine_;
 };
 
 }  // namespace rwdom

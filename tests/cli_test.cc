@@ -249,6 +249,211 @@ TEST_F(CliFileTest, SelectIsThreadCountInvariant) {
   SetNumThreads(0);
 }
 
+// Weighted directed end-to-end: a hub (node 0) that every other node's
+// heavy arcs point at, so F1/F2 selections are predictable, pinned as
+// goldens from the dense first-seen remapping (node 0 appears first).
+class CliWeightedFileTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    graph_path_ =
+        testing::TempDir() + "/rwdom_cli_wgraph_" +
+        testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".txt";
+    FILE* file = fopen(graph_path_.c_str(), "w");
+    ASSERT_NE(file, nullptr);
+    fputs("0 1 1.0\n1 0 8.0\n2 0 8.0\n3 0 8.0\n4 0 8.0\n0 2 1.0\n", file);
+    fclose(file);
+  }
+  void TearDown() override { std::remove(graph_path_.c_str()); }
+
+  std::string GraphFlag() const { return "--graph=" + graph_path_; }
+  std::string graph_path_;
+};
+
+TEST_F(CliWeightedFileTest, StatsReportsWeightedShapeAndMemory) {
+  std::string flag = GraphFlag();
+  auto [status, out] = RunCli({"stats", flag.c_str(), "--directed=1"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("n=5 arcs=6 (weighted-directed)"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("memory: graph="), std::string::npos);
+  EXPECT_NE(out.find("bytes/arc"), std::string::npos);
+}
+
+TEST_F(CliWeightedFileTest, StatsWithIndexReportsIndexFootprint) {
+  std::string flag = GraphFlag();
+  auto [status, out] = RunCli({"stats", flag.c_str(), "--directed=1",
+                               "--with_index=1", "--L=3", "--R=10"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("memory: index="), std::string::npos) << out;
+  EXPECT_NE(out.find("bytes/entry"), std::string::npos);
+}
+
+TEST_F(CliWeightedFileTest, SelectProblemMethodGolden) {
+  // The acceptance-criteria spelling: --problem=F1 --method=index-celf on
+  // a weighted directed edge list. The heavy-in-degree hub (dense node 0)
+  // must be the first pick, deterministically.
+  std::string flag = GraphFlag();
+  auto [status, out] =
+      RunCli({"select", flag.c_str(), "--directed=1", "--problem=F1",
+              "--method=index-celf", "--k=1", "--L=4", "--R=50"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("ApproxF1 selected 1 seeds"), std::string::npos) << out;
+  EXPECT_NE(out.find("weighted-directed substrate"), std::string::npos);
+  EXPECT_NE(out.find("seeds: 0"), std::string::npos) << out;
+  EXPECT_NE(out.find("AHT="), std::string::npos);
+
+  // Same spelling with the exact DP: identical pick on this graph.
+  auto [dp_status, dp_out] =
+      RunCli({"select", flag.c_str(), "--directed=1", "--problem=F1",
+              "--method=dp", "--k=1", "--L=4"});
+  ASSERT_TRUE(dp_status.ok()) << dp_status;
+  EXPECT_NE(dp_out.find("seeds: 0"), std::string::npos) << dp_out;
+}
+
+TEST_F(CliWeightedFileTest, SelectIsDeterministicAcrossRuns) {
+  std::string flag = GraphFlag();
+  auto run = [&] {
+    return RunCli({"select", flag.c_str(), "--directed=1", "--problem=F2",
+                   "--method=index-celf", "--k=2", "--L=3", "--R=40"});
+  };
+  auto first = run();
+  auto second = run();
+  ASSERT_TRUE(first.first.ok()) << first.first;
+  // Everything after the timing header (seeds + metrics) must be
+  // bit-identical; only the wall-clock line may differ.
+  auto from_seeds = [](const std::string& text) {
+    size_t at = text.find("seeds:");
+    return at == std::string::npos ? text : text.substr(at);
+  };
+  EXPECT_EQ(from_seeds(first.second), from_seeds(second.second));
+}
+
+TEST_F(CliWeightedFileTest, SelectIsThreadCountInvariant) {
+  std::string flag = GraphFlag();
+  auto run = [&](const char* threads) {
+    return RunCli({"select", flag.c_str(), "--directed=1", "--problem=F2",
+                   "--method=index-celf", "--k=2", "--L=3", "--R=30",
+                   threads});
+  };
+  auto one = run("--threads=1");
+  auto four = run("--threads=4");
+  ASSERT_TRUE(one.first.ok()) << one.first;
+  ASSERT_TRUE(four.first.ok()) << four.first;
+  auto seeds_of = [](const std::string& text) {
+    size_t at = text.find("seeds:");
+    return text.substr(at, text.find('\n', at) - at);
+  };
+  EXPECT_EQ(seeds_of(one.second), seeds_of(four.second));
+  SetNumThreads(0);
+}
+
+TEST_F(CliWeightedFileTest, EvaluateGolden) {
+  // evaluate on the weighted directed list: with S = {0} every non-seed
+  // node's heavy arc hits immediately, so AHT is near 1 and EHN counts all
+  // five nodes; both are deterministic in the seed.
+  std::string flag = GraphFlag();
+  auto [status, out] = RunCli({"evaluate", flag.c_str(), "--directed=1",
+                               "--seeds=0", "--L=4", "--R=400"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("k=1 L=4 R=400"), std::string::npos) << out;
+  EXPECT_NE(out.find("AHT=1."), std::string::npos) << out;
+  EXPECT_NE(out.find("EHN="), std::string::npos);
+  auto again = RunCli({"evaluate", flag.c_str(), "--directed=1",
+                       "--seeds=0", "--L=4", "--R=400"});
+  EXPECT_EQ(out, again.second);
+}
+
+TEST_F(CliWeightedFileTest, CoverAndKnnRunOnWeightedInputs) {
+  std::string flag = GraphFlag();
+  auto cover = RunCli({"cover", flag.c_str(), "--directed=1", "--alpha=0.6",
+                       "--L=3", "--R=30"});
+  ASSERT_TRUE(cover.first.ok()) << cover.first;
+  EXPECT_NE(cover.second.find("reached"), std::string::npos);
+  auto knn = RunCli({"knn", flag.c_str(), "--directed=1", "--query=0",
+                     "--k=3", "--L=4"});
+  ASSERT_TRUE(knn.first.ok()) << knn.first;
+  EXPECT_NE(knn.second.find("h^L"), std::string::npos);
+}
+
+TEST_F(CliWeightedFileTest, AutodetectsWeightsWithoutDirectedFlag) {
+  std::string flag = GraphFlag();
+  auto [status, out] = RunCli({"stats", flag.c_str()});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("(weighted)"), std::string::npos) << out;
+  // And the override back to uniform.
+  auto [ustatus, uout] =
+      RunCli({"stats", flag.c_str(), "--weighted=no"});
+  ASSERT_TRUE(ustatus.ok()) << ustatus;
+  EXPECT_NE(uout.find("triangles="), std::string::npos) << uout;
+}
+
+TEST_F(CliWeightedFileTest, ValidatesSubstrateFlags) {
+  std::string flag = GraphFlag();
+  EXPECT_EQ(RunCli({"stats", flag.c_str(), "--weighted=maybe"})
+                .first.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCli({"stats", flag.c_str(), "--directed=1",
+                    "--weighted=no"})
+                .first.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCli({"select", flag.c_str(), "--algorithm=ApproxF2",
+                    "--problem=F2"})
+                .first.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCli({"select", flag.c_str(), "--problem=F3"}).first.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCli({"select", flag.c_str(), "--method=psychic"})
+                .first.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      RunCli({"stats", "--dataset=CAGrQc", "--directed=1"}).first.code(),
+      StatusCode::kInvalidArgument);
+  // --weighted=yes on a plain dataset name has no file to force.
+  EXPECT_EQ(
+      RunCli({"stats", "--dataset=CAGrQc", "--weighted=yes"}).first.code(),
+      StatusCode::kInvalidArgument);
+  // --weighted=no contradicts a weighted variant name.
+  EXPECT_EQ(
+      RunCli({"stats", "--dataset=CAGrQc-w", "--weighted=no"}).first.code(),
+      StatusCode::kInvalidArgument);
+  // Spelling out the defaults stays legal with --dataset, and
+  // --weighted=no on a plain name is the documented timestamp defense.
+  EXPECT_TRUE(RunCli({"stats", "--dataset=CAGrQc", "--weighted=auto",
+                      "--directed=0"})
+                  .first.ok());
+  EXPECT_TRUE(
+      RunCli({"stats", "--dataset=CAGrQc", "--weighted=no"}).first.ok());
+}
+
+TEST(CliTest, GenerateWeightedWritesLoadableArcList) {
+  std::string out_path = testing::TempDir() + "/rwdom_cli_gen_w.txt";
+  std::string out_flag = "--out=" + out_path;
+  auto [status, out] =
+      RunCli({"generate", "--model=er", "--n=30", "--m=60", "--weighted=1",
+              "--directed=1", out_flag.c_str()});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("weighted directed"), std::string::npos) << out;
+
+  std::string graph_flag = "--graph=" + out_path;
+  auto [stats_status, stats_out] =
+      RunCli({"stats", graph_flag.c_str(), "--directed=1"});
+  ASSERT_TRUE(stats_status.ok()) << stats_status;
+  EXPECT_NE(stats_out.find("weighted-directed"), std::string::npos);
+  // Directed generate needs the arc-list format.
+  EXPECT_EQ(RunCli({"generate", "--model=er", "--n=10", "--m=20",
+                    "--directed=1", out_flag.c_str()})
+                .first.code(),
+            StatusCode::kInvalidArgument);
+  std::remove(out_path.c_str());
+}
+
+TEST(CliTest, DatasetsMentionsWeightedVariants) {
+  auto [status, out] = RunCli({"datasets"});
+  ASSERT_TRUE(status.ok());
+  EXPECT_NE(out.find("-wd"), std::string::npos);
+}
+
 TEST(CliTest, GraphAndDatasetFlagsAreExclusive) {
   auto [status, out] = RunCli({"stats"});
   EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);

@@ -9,13 +9,16 @@
 #include "core/approx_greedy.h"
 #include "core/edge_domination.h"
 #include "core/sampling_greedy.h"
+#include "eval/metrics.h"
 #include "graph/generators.h"
 #include "graph/node_set.h"
 #include "index/gain_state.h"
 #include "index/inverted_walk_index.h"
 #include "util/parallel.h"
 #include "walk/sampled_evaluator.h"
+#include "wgraph/substrate.h"
 #include "wgraph/weighted_select.h"
+#include "wgraph/weighted_transition_model.h"
 #include "wgraph/weighted_walk_source.h"
 
 namespace rwdom {
@@ -171,6 +174,79 @@ TEST(DeterminismTest, WeightedWalkStreamsAreCallOrderIndependent) {
       b.SampleWalkStream(start, stream, 6, &walk_b);
       EXPECT_EQ(walk_a, walk_b) << "start=" << start
                                 << " stream=" << stream;
+    }
+  }
+}
+
+TEST(DeterminismTest, WeightedSampledEvaluatorIsThreadCountInvariant) {
+  // The weighted leg of the RWDOM_THREADS pin: Algorithm 2 over
+  // alias-table walks must be bit-identical for every thread count.
+  auto graph = GenerateBarabasiAlbert(100, 3, 91);
+  ASSERT_TRUE(graph.ok());
+  WeightedGraph wg = AttachRandomWeights(*graph, 5, /*directed=*/false);
+  WeightedTransitionModel model(&wg, /*directed=*/false);
+  NodeFlagSet s(100, {2, 31, 64});
+  SampledEvaluator evaluator(5, 20);
+  auto eval = [&] {
+    TransitionWalkSource source(&model, 3);
+    SampledObjectives result = evaluator.Evaluate(s, &source);
+    return std::make_pair(result.f1, result.f2);
+  };
+  const auto baseline = WithThreads(1, eval);
+  for (int threads : kThreadCounts) {
+    EXPECT_EQ(WithThreads(threads, eval), baseline)
+        << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, WeightedDirectedIndexBuildIsThreadCountInvariant) {
+  auto graph = GenerateBarabasiAlbert(120, 3, 101);
+  ASSERT_TRUE(graph.ok());
+  WeightedGraph wg = AttachRandomWeights(*graph, 7, /*directed=*/true);
+  WeightedTransitionModel model(&wg, /*directed=*/true);
+  auto build = [&] {
+    TransitionWalkSource source(&model, 55);
+    return Flatten(InvertedWalkIndex::Build(4, 5, &source));
+  };
+  const auto baseline = WithThreads(1, build);
+  for (int threads : {2, 4, 8}) {
+    EXPECT_EQ(WithThreads(threads, build), baseline)
+        << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, WeightedMetricsAreThreadCountInvariant) {
+  Graph graph = GenerateErdosRenyiGnm(90, 360, 111).value();
+  WeightedGraph wg = AttachRandomWeights(graph, 9, /*directed=*/false);
+  WeightedTransitionModel model(&wg, /*directed=*/false);
+  std::vector<NodeId> seeds{0, 17, 44};
+  auto eval = [&] {
+    MetricsResult m = SampledMetrics(model, seeds, 5, 40, 21);
+    return std::make_pair(m.aht, m.ehn);
+  };
+  const auto baseline = WithThreads(1, eval);
+  for (int threads : kThreadCounts) {
+    EXPECT_EQ(WithThreads(threads, eval), baseline)
+        << "threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, WeightedSamplingGreedyIsThreadCountInvariant) {
+  Graph graph = GenerateErdosRenyiGnm(50, 200, 121).value();
+  WeightedGraph wg = AttachRandomWeights(graph, 13, /*directed=*/false);
+  WeightedTransitionModel model(&wg, /*directed=*/false);
+  for (bool lazy : {false, true}) {
+    auto select = [&] {
+      SamplingGreedy greedy(&model, Problem::kHittingTime, /*length=*/4,
+                            /*num_samples=*/15, /*seed=*/29,
+                            GreedyOptions{.lazy = lazy});
+      SelectionResult result = greedy.Select(4);
+      return std::make_pair(result.selected, result.objective_estimate);
+    };
+    const auto baseline = WithThreads(1, select);
+    for (int threads : kThreadCounts) {
+      EXPECT_EQ(WithThreads(threads, select), baseline)
+          << "lazy=" << lazy << " threads=" << threads;
     }
   }
 }

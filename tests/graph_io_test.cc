@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <utility>
+#include <vector>
 
 namespace rwdom {
 namespace {
@@ -90,6 +93,48 @@ TEST(SaveEdgeListTest, BadPathFails) {
   ASSERT_TRUE(parsed.ok());
   EXPECT_FALSE(
       SaveEdgeList(parsed->graph, "/nonexistent-dir/graph.txt").ok());
+}
+
+TEST(SaveEdgeListTest, OriginalIdsRoundTrip) {
+  // load -> save (original ids) -> load: the second load must see the same
+  // original identifiers and the same edges over them.
+  auto first = ParseEdgeList("100 7\n7 2000\n2000 100\n");
+  ASSERT_TRUE(first.ok());
+  const std::string path = testing::TempDir() + "/rwdom_io_origids.txt";
+  ASSERT_TRUE(SaveEdgeListWithOriginalIds(first->graph, first->original_ids,
+                                          path, "round-trip")
+                  .ok());
+  auto second = LoadEdgeList(path);
+  ASSERT_TRUE(second.ok());
+  std::remove(path.c_str());
+
+  auto original_edges = [](const LoadedGraph& loaded) {
+    std::vector<std::pair<int64_t, int64_t>> edges;
+    for (auto [u, v] : loaded.graph.Edges()) {
+      int64_t a = loaded.original_ids[static_cast<size_t>(u)];
+      int64_t b = loaded.original_ids[static_cast<size_t>(v)];
+      edges.emplace_back(std::min(a, b), std::max(a, b));
+    }
+    std::sort(edges.begin(), edges.end());
+    return edges;
+  };
+  EXPECT_EQ(original_edges(*first), original_edges(*second));
+
+  std::vector<int64_t> sorted_first = first->original_ids;
+  std::vector<int64_t> sorted_second = second->original_ids;
+  std::sort(sorted_first.begin(), sorted_first.end());
+  std::sort(sorted_second.begin(), sorted_second.end());
+  EXPECT_EQ(sorted_first, sorted_second);
+}
+
+TEST(SaveEdgeListTest, OriginalIdsSizeMismatchFails) {
+  auto parsed = ParseEdgeList("0 1\n");
+  ASSERT_TRUE(parsed.ok());
+  std::vector<int64_t> wrong{42};
+  const std::string path = testing::TempDir() + "/rwdom_io_mismatch.txt";
+  EXPECT_EQ(
+      SaveEdgeListWithOriginalIds(parsed->graph, wrong, path).code(),
+      StatusCode::kInvalidArgument);
 }
 
 }  // namespace

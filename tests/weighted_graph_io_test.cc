@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <tuple>
+#include <vector>
 
 namespace rwdom {
 namespace {
@@ -79,6 +82,45 @@ TEST(WeightedIoTest, DirectedRoundTrip) {
 
 TEST(WeightedIoTest, MissingFileFails) {
   EXPECT_FALSE(LoadWeightedEdgeList("/nonexistent/w.txt", true).ok());
+}
+
+TEST(WeightedIoTest, OriginalIdsRoundTrip) {
+  auto first = ParseWeightedEdgeList("500 9 2.5\n9 3000 0.75\n3000 500 4\n",
+                                     /*directed=*/true);
+  ASSERT_TRUE(first.ok());
+  const std::string path = testing::TempDir() + "/rwdom_wio_origids.txt";
+  ASSERT_TRUE(SaveWeightedEdgeListWithOriginalIds(
+                  first->graph, first->original_ids, path, "round-trip")
+                  .ok());
+  auto second = LoadWeightedEdgeList(path, /*directed=*/true);
+  ASSERT_TRUE(second.ok());
+  std::remove(path.c_str());
+
+  // Arcs expressed in original ids (with weights) must match as sets.
+  auto original_arcs = [](const LoadedWeightedGraph& loaded) {
+    std::vector<std::tuple<int64_t, int64_t, double>> arcs;
+    for (NodeId u = 0; u < loaded.graph.num_nodes(); ++u) {
+      for (const Arc& arc : loaded.graph.out_arcs(u)) {
+        arcs.emplace_back(
+            loaded.original_ids[static_cast<size_t>(u)],
+            loaded.original_ids[static_cast<size_t>(arc.target)],
+            arc.weight);
+      }
+    }
+    std::sort(arcs.begin(), arcs.end());
+    return arcs;
+  };
+  EXPECT_EQ(original_arcs(*first), original_arcs(*second));
+}
+
+TEST(WeightedIoTest, OriginalIdsSizeMismatchFails) {
+  auto parsed = ParseWeightedEdgeList("0 1 2\n", /*directed=*/true);
+  ASSERT_TRUE(parsed.ok());
+  std::vector<int64_t> wrong{1, 2, 3};
+  EXPECT_FALSE(SaveWeightedEdgeListWithOriginalIds(
+                   parsed->graph, wrong,
+                   testing::TempDir() + "/rwdom_wio_mismatch.txt")
+                   .ok());
 }
 
 }  // namespace
