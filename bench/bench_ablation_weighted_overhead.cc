@@ -12,11 +12,11 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_json.h"
+#include "util/json.h"
 #include "core/approx_greedy.h"
 #include "graph/generators.h"
 #include "harness/experiment.h"
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 #include "util/strings.h"
 #include "wgraph/weighted_graph.h"
 #include "wgraph/weighted_transition_model.h"

@@ -1,0 +1,201 @@
+// Cold vs. warm per-query latency through the service layer: the
+// amortization the QueryContext cache buys.
+//
+// Cold protocol: every query pays the full pipeline — substrate
+// construction + (for index-backed queries) walk-index build + the query
+// itself — exactly what one-shot `rwdom` invocations pay.
+// Warm protocol: one QueryContext answers the same queries in sequence,
+// so the graph is materialized once and the walk index is built once per
+// (L, R, seed).
+//
+// The driver verifies that warm results are identical to cold ones and
+// exits non-zero on any mismatch, so CI tracks the speedup and guards
+// the determinism contract at the same time. JSON output:
+// BENCH_batch_amortization.json via --json_dir.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/dataset_registry.h"
+#include "harness/experiment.h"
+#include "service/engine.h"
+#include "service/query_context.h"
+#include "util/json.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace rwdom {
+namespace {
+
+struct QueryResult {
+  std::string label;
+  double seconds = 0.0;
+  // Comparable digest of the response (seeds / metric values / ranks).
+  std::string digest;
+};
+
+std::string Digest(const ServiceResponse& response) {
+  return std::visit(
+      [](const auto& typed) -> std::string {
+        using T = std::decay_t<decltype(typed)>;
+        std::string digest;
+        if constexpr (std::is_same_v<T, SelectResponse>) {
+          for (NodeId u : typed.seeds) digest += StrFormat("%d,", u);
+          digest += StrFormat("aht=%.10f,ehn=%.10f", typed.aht, typed.ehn);
+        } else if constexpr (std::is_same_v<T, EvaluateResponse>) {
+          digest = StrFormat("aht=%.10f,ehn=%.10f", typed.aht, typed.ehn);
+        } else if constexpr (std::is_same_v<T, KnnResponse>) {
+          for (const HittingTimeNeighbor& n : typed.neighbors) {
+            digest += StrFormat("%d:%.10f,", n.node, n.hitting_time);
+          }
+        } else if constexpr (std::is_same_v<T, CoverResponse>) {
+          for (NodeId u : typed.seeds) digest += StrFormat("%d,", u);
+          digest += typed.reached_target ? "reached" : "not-reached";
+        } else {
+          digest = StrFormat("bytes=%lld,entries=%lld",
+                             static_cast<long long>(typed.index_bytes),
+                             static_cast<long long>(typed.index_entries));
+        }
+        return digest;
+      },
+      response);
+}
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBanner("batch_amortization",
+              "cold vs. warm per-query latency through the service layer",
+              args);
+
+  const double scale = args.full ? 1.0 : 0.05;
+  auto dataset =
+      LoadOrSynthesizeScaledDataset("CAGrQc", args.data_dir, scale);
+  RWDOM_CHECK(dataset.ok()) << dataset.status();
+  const Graph& graph = dataset->graph;
+  std::printf("dataset=%s n=%d m=%lld (scale=%.2f)\n\n",
+              dataset->name.c_str(), graph.num_nodes(),
+              static_cast<long long>(graph.num_edges()), scale);
+
+  SelectorParams params;
+  params.length = 6;
+  params.num_samples = args.full ? 100 : 50;
+  params.seed = args.seed;
+
+  std::vector<NodeId> eval_seeds;
+  for (NodeId u = 0; u < std::min<NodeId>(10, graph.num_nodes()); ++u) {
+    eval_seeds.push_back(u);
+  }
+
+  // A mixed workload on one set of index params, so the warm engine
+  // builds the walk index exactly once for all index-backed queries.
+  std::vector<std::pair<std::string, ServiceRequest>> workload;
+  workload.emplace_back(
+      "select-F2", SelectRequest{"ApproxF2", 10, params, ""});
+  workload.emplace_back(
+      "select-F1", SelectRequest{"ApproxF1", 10, params, ""});
+  workload.emplace_back(
+      "evaluate",
+      EvaluateRequest{eval_seeds, params.length, 200, params.seed});
+  workload.emplace_back(
+      "knn", KnnRequest{0, 10, KnnRequest::Mode::kExact, params});
+  workload.emplace_back("cover", CoverRequest{0.5, params});
+  workload.emplace_back("stats+index", StatsRequest{true, params});
+
+  auto run_query = [](QueryContext& context, const ServiceRequest& request,
+                      const std::string& label) {
+    WallTimer timer;
+    auto response = Dispatch(context, request);
+    RWDOM_CHECK(response.ok()) << label << ": " << response.status();
+    QueryResult result;
+    result.label = label;
+    result.seconds = timer.Seconds();
+    result.digest = Digest(*response);
+    return result;
+  };
+
+  // Cold: a fresh context per query — every query re-materializes the
+  // substrate and (where needed) the walk index.
+  std::vector<QueryResult> cold;
+  int64_t cold_index_builds = 0;
+  for (const auto& [label, request] : workload) {
+    WallTimer timer;
+    QueryContext context((GraphSubstrate(Graph(graph))));
+    QueryResult result = run_query(context, request, label);
+    result.seconds = timer.Seconds();  // Include substrate construction.
+    cold.push_back(std::move(result));
+    cold_index_builds += context.index_builds();
+  }
+
+  // Warm: one context, all queries.
+  WallTimer warm_total_timer;
+  QueryContext warm_context((GraphSubstrate(Graph(graph))));
+  std::vector<QueryResult> warm;
+  for (const auto& [label, request] : workload) {
+    warm.push_back(run_query(warm_context, request, label));
+  }
+  const double warm_total = warm_total_timer.Seconds();
+
+  bool identical = true;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    if (cold[i].digest != warm[i].digest) {
+      identical = false;
+      std::fprintf(stderr, "MISMATCH %s:\n  cold: %s\n  warm: %s\n",
+                   cold[i].label.c_str(), cold[i].digest.c_str(),
+                   warm[i].digest.c_str());
+    }
+  }
+
+  TablePrinter table({"query", "cold_ms", "warm_ms", "speedup"});
+  double cold_total = 0.0;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    cold_total += cold[i].seconds;
+    table.AddRow({cold[i].label, StrFormat("%.3f", cold[i].seconds * 1e3),
+                  StrFormat("%.3f", warm[i].seconds * 1e3),
+                  StrFormat("%.2fx", warm[i].seconds > 0.0
+                                         ? cold[i].seconds / warm[i].seconds
+                                         : 0.0)});
+  }
+  table.Print();
+  std::printf(
+      "\ntotals: cold=%.3f ms warm=%.3f ms (%.2fx); index builds: "
+      "cold=%lld warm=%lld; results %s\n",
+      cold_total * 1e3, warm_total * 1e3,
+      warm_total > 0.0 ? cold_total / warm_total : 0.0,
+      static_cast<long long>(cold_index_builds),
+      static_cast<long long>(warm_context.index_builds()),
+      identical ? "identical" : "MISMATCH");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("batch_amortization");
+  json.Key("dataset").String(dataset->name);
+  json.Key("n").Int(graph.num_nodes());
+  json.Key("L").Int(params.length);
+  json.Key("R").Int(params.num_samples);
+  json.Key("seed").Int(static_cast<int64_t>(params.seed));
+  json.Key("cold_index_builds").Int(cold_index_builds);
+  json.Key("warm_index_builds").Int(warm_context.index_builds());
+  json.Key("identical").Bool(identical);
+  json.Key("cold_total_seconds").Number(cold_total);
+  json.Key("warm_total_seconds").Number(warm_total);
+  json.Key("queries").BeginArray();
+  for (size_t i = 0; i < workload.size(); ++i) {
+    json.BeginObject();
+    json.Key("query").String(cold[i].label);
+    json.Key("cold_seconds").Number(cold[i].seconds);
+    json.Key("warm_seconds").Number(warm[i].seconds);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  MaybeDumpJson(args, "batch_amortization", json.ToString());
+
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rwdom
+
+int main(int argc, char** argv) { return rwdom::Run(argc, argv); }

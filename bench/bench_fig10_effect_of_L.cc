@@ -15,7 +15,7 @@
 #include "eval/metrics.h"
 #include "harness/dataset_registry.h"
 #include "harness/experiment.h"
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 #include "util/csv.h"
 #include "util/strings.h"
 

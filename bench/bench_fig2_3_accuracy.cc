@@ -16,7 +16,7 @@
 #include "eval/metrics.h"
 #include "graph/generators.h"
 #include "harness/experiment.h"
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 #include "util/csv.h"
 #include "util/strings.h"
 

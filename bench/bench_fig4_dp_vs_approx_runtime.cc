@@ -15,7 +15,7 @@
 #include "core/dp_greedy.h"
 #include "graph/generators.h"
 #include "harness/experiment.h"
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 #include "util/csv.h"
 #include "util/strings.h"
 

@@ -12,7 +12,7 @@
 #include "core/approx_greedy.h"
 #include "graph/generators.h"
 #include "harness/experiment.h"
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 #include "util/csv.h"
 #include "util/strings.h"
 

@@ -14,7 +14,7 @@
 #include "core/selector_registry.h"
 #include "harness/dataset_registry.h"
 #include "harness/experiment.h"
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 #include "util/csv.h"
 #include "util/strings.h"
 

@@ -11,11 +11,11 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_json.h"
+#include "util/json.h"
 #include "core/approx_greedy.h"
 #include "graph/generators.h"
 #include "harness/experiment.h"
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 #include "util/csv.h"
 #include "util/parallel.h"
 #include "util/strings.h"

@@ -14,12 +14,12 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_json.h"
+#include "util/json.h"
 #include "core/approx_greedy.h"
 #include "graph/generators.h"
 #include "graph/node_set.h"
 #include "harness/experiment.h"
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 #include "index/gain_state.h"
 #include "index/inverted_walk_index.h"
 #include "util/parallel.h"

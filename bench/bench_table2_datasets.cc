@@ -7,7 +7,7 @@
 #include "graph/properties.h"
 #include "harness/dataset_registry.h"
 #include "harness/experiment.h"
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 #include "util/csv.h"
 #include "util/strings.h"
 

@@ -21,7 +21,7 @@
 #include "eval/metrics.h"
 #include "graph/generators.h"
 #include "graph/properties.h"
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 #include "util/strings.h"
 
 int main() {

@@ -20,7 +20,7 @@
 #include "eval/metrics.h"
 #include "graph/properties.h"
 #include "harness/dataset_registry.h"
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 #include "util/strings.h"
 
 int main() {

@@ -20,7 +20,7 @@
 #include "graph/generators.h"
 #include "graph/node_set.h"
 #include "graph/properties.h"
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 #include "util/strings.h"
 #include "walk/walk_source.h"
 

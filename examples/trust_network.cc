@@ -19,7 +19,7 @@
 
 #include "graph/generators.h"
 #include "graph/graph_builder.h"
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "wgraph/weighted_dp.h"

@@ -1,578 +1,28 @@
 #include "cli/cli.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <iostream>
-#include <memory>
-#include <optional>
-#include <set>
 
-#include "core/approx_greedy.h"
-#include "core/min_seed_cover.h"
-#include "core/selector_registry.h"
-#include "eval/metrics.h"
-#include "graph/clustering.h"
-#include "graph/generators.h"
-#include "graph/graph_io.h"
-#include "graph/properties.h"
-#include "harness/dataset_registry.h"
-#include "harness/table_printer.h"
-#include "index/index_io.h"
+#include "cli/command_registry.h"
+#include "cli/flag_parsing.h"
 #include "util/parallel.h"
 #include "util/strings.h"
-#include "walk/hitting_time_knn.h"
-#include "wgraph/substrate.h"
-#include "wgraph/weighted_graph_io.h"
 
 namespace rwdom {
-namespace {
-
-// --- Per-command flag validation -----------------------------------------
-
-struct CommandSpec {
-  const char* name;
-  // Flags the command understands, beyond the global ones.
-  std::set<std::string> flags;
-};
-
-// Flags accepted by every command.
-const std::set<std::string>& GlobalFlags() {
-  static const std::set<std::string>* const kFlags =
-      new std::set<std::string>{"threads"};
-  return *kFlags;
-}
-
-// Flags that pick and shape the input substrate, shared by every
-// graph-consuming command.
-const std::set<std::string>& SubstrateFlags() {
-  static const std::set<std::string>* const kFlags =
-      new std::set<std::string>{"graph", "dataset", "data_dir", "directed",
-                                "weighted"};
-  return *kFlags;
-}
-
-std::set<std::string> WithSubstrateFlags(std::set<std::string> extra) {
-  extra.insert(SubstrateFlags().begin(), SubstrateFlags().end());
-  return extra;
-}
-
-const std::vector<CommandSpec>& CommandSpecs() {
-  static const std::vector<CommandSpec>* const kSpecs =
-      new std::vector<CommandSpec>{
-          {"datasets", {}},
-          {"stats", WithSubstrateFlags({"with_index", "L", "R", "seed"})},
-          {"generate",
-           {"model", "out", "n", "m", "seed", "attach", "communities",
-            "mixing", "k", "beta", "gamma", "avg_degree", "weighted",
-            "directed"}},
-          {"select",
-           WithSubstrateFlags({"algorithm", "problem", "method", "k", "L",
-                               "R", "seed", "save_index"})},
-          {"evaluate", WithSubstrateFlags({"seeds", "L", "R", "seed"})},
-          {"cover", WithSubstrateFlags({"alpha", "L", "R", "seed"})},
-          {"knn",
-           WithSubstrateFlags({"query", "k", "L", "R", "seed", "mode"})},
-          {"help", {}},
-      };
-  return *kSpecs;
-}
-
-// Rejects flags the command does not understand, with a hint: a silently
-// ignored flag (e.g. `generate --model=er --p=0.1`, where ER is G(n,m) and
-// wants --m) is worse than an error.
-Status ValidateFlags(const CliInvocation& invocation) {
-  const CommandSpec* spec = nullptr;
-  for (const CommandSpec& candidate : CommandSpecs()) {
-    if (invocation.command == candidate.name) {
-      spec = &candidate;
-      break;
-    }
-  }
-  if (spec == nullptr) return Status::OK();  // Unknown command errors later.
-  for (const auto& [flag, value] : invocation.flags) {
-    if (spec->flags.count(flag) > 0 || GlobalFlags().count(flag) > 0) {
-      continue;
-    }
-    std::string hint;
-    const auto model = invocation.flags.find("model");
-    if (invocation.command == "generate" && flag == "p" &&
-        model != invocation.flags.end() && model->second == "er") {
-      hint = "; the er model is G(n,m) — pass --m=EDGES, not --p";
-    }
-    std::string known = "--threads";
-    for (const std::string& name : spec->flags) known += " --" + name;
-    return Status::InvalidArgument(
-        StrFormat("unknown flag --%s for `%s`%s (known flags: %s)",
-                  flag.c_str(), invocation.command.c_str(), hint.c_str(),
-                  known.c_str()));
-  }
-  return Status::OK();
-}
-
-// --- Flag access helpers -------------------------------------------------
-
-std::string FlagOr(const CliInvocation& invocation, const std::string& key,
-                   const std::string& fallback) {
-  auto it = invocation.flags.find(key);
-  return it == invocation.flags.end() ? fallback : it->second;
-}
-
-Result<int64_t> IntFlagOr(const CliInvocation& invocation,
-                          const std::string& key, int64_t fallback) {
-  auto it = invocation.flags.find(key);
-  if (it == invocation.flags.end()) return fallback;
-  RWDOM_ASSIGN_OR_RETURN(int64_t value, ParseInt64(it->second));
-  return value;
-}
-
-Result<double> DoubleFlagOr(const CliInvocation& invocation,
-                            const std::string& key, double fallback) {
-  auto it = invocation.flags.find(key);
-  if (it == invocation.flags.end()) return fallback;
-  RWDOM_ASSIGN_OR_RETURN(double value, ParseDouble(it->second));
-  return value;
-}
-
-Result<bool> BoolFlagOr(const CliInvocation& invocation,
-                        const std::string& key, bool fallback) {
-  auto it = invocation.flags.find(key);
-  if (it == invocation.flags.end()) return fallback;
-  const std::string& value = it->second;
-  if (value == "1" || value == "true" || value == "yes") return true;
-  if (value == "0" || value == "false" || value == "no") return false;
-  return Status::InvalidArgument("--" + key +
-                                 " wants true/false, got: " + value);
-}
-
-// Parses --weighted=auto|yes|no (several spellings accepted).
-Result<SubstrateWeights> ParseWeightedFlag(const CliInvocation& invocation) {
-  const std::string weighted = FlagOr(invocation, "weighted", "auto");
-  if (weighted == "auto") return SubstrateWeights::kAuto;
-  if (weighted == "yes" || weighted == "true" || weighted == "1") {
-    return SubstrateWeights::kForce;
-  }
-  if (weighted == "no" || weighted == "false" || weighted == "0") {
-    return SubstrateWeights::kIgnore;
-  }
-  return Status::InvalidArgument("--weighted wants auto/yes/no, got: " +
-                                 weighted);
-}
-
-// Resolves --graph=FILE or --dataset=NAME (plus --directed / --weighted)
-// into a substrate. Weighted/directed edge lists are autodetected for
-// --graph; dataset variants carry their directedness in the name
-// (-w / -wd), with --weighted usable to override detection on real files.
-Result<LoadedSubstrate> ResolveSubstrate(const CliInvocation& invocation) {
-  const bool has_graph = invocation.flags.count("graph") > 0;
-  const bool has_dataset = invocation.flags.count("dataset") > 0;
-  if (has_graph == has_dataset) {
-    return Status::InvalidArgument(
-        "exactly one of --graph=FILE or --dataset=NAME is required");
-  }
-  if (has_graph) {
-    SubstrateOptions options;
-    RWDOM_ASSIGN_OR_RETURN(options.directed,
-                           BoolFlagOr(invocation, "directed", false));
-    RWDOM_ASSIGN_OR_RETURN(options.weights, ParseWeightedFlag(invocation));
-    if (options.directed && options.weights == SubstrateWeights::kIgnore) {
-      return Status::InvalidArgument(
-          "--directed needs the weighted substrate; drop --weighted=no");
-    }
-    return LoadSubstrate(invocation.flags.at("graph"), options);
-  }
-  // Datasets carry directedness in the variant name, so --directed=1 is
-  // rejected; --weighted passes through (it overrides autodetection when a
-  // real file backs the dataset, e.g. --weighted=no for a timestamped
-  // SNAP column under a plain name).
-  RWDOM_ASSIGN_OR_RETURN(bool dataset_directed,
-                         BoolFlagOr(invocation, "directed", false));
-  if (dataset_directed) {
-    return Status::InvalidArgument(
-        "--directed applies to --graph only; pick a directed dataset "
-        "variant instead (e.g. CAGrQc-wd)");
-  }
-  std::optional<SubstrateWeights> weights;
-  if (invocation.flags.count("weighted") > 0) {
-    RWDOM_ASSIGN_OR_RETURN(SubstrateWeights parsed,
-                           ParseWeightedFlag(invocation));
-    weights = parsed;
-  }
-  RWDOM_ASSIGN_OR_RETURN(
-      SubstrateDataset dataset,
-      LoadOrSynthesizeSubstrateDataset(
-          invocation.flags.at("dataset"),
-          FlagOr(invocation, "data_dir", "data"), weights));
-  return LoadedSubstrate{std::move(dataset.substrate), {}};
-}
-
-Result<SelectorParams> ResolveSelectorParams(
-    const CliInvocation& invocation) {
-  SelectorParams params;
-  RWDOM_ASSIGN_OR_RETURN(int64_t length, IntFlagOr(invocation, "L", 6));
-  RWDOM_ASSIGN_OR_RETURN(int64_t samples, IntFlagOr(invocation, "R", 100));
-  RWDOM_ASSIGN_OR_RETURN(int64_t seed, IntFlagOr(invocation, "seed", 42));
-  if (length < 0) return Status::InvalidArgument("--L must be >= 0");
-  if (samples < 1) return Status::InvalidArgument("--R must be >= 1");
-  params.length = static_cast<int32_t>(length);
-  params.num_samples = static_cast<int32_t>(samples);
-  params.seed = static_cast<uint64_t>(seed);
-  return params;
-}
-
-// Resolves the selector name from either --algorithm=NAME or the
-// --problem=F1|F2 / --method=... pair (the two spellings are exclusive).
-// Methods: dp, sampling, index (plain scan), index-celf (lazy CELF).
-Result<std::string> ResolveAlgorithmName(const CliInvocation& invocation,
-                                         SelectorParams* params) {
-  const bool has_algorithm = invocation.flags.count("algorithm") > 0;
-  const bool has_problem = invocation.flags.count("problem") > 0;
-  const bool has_method = invocation.flags.count("method") > 0;
-  if (has_algorithm && (has_problem || has_method)) {
-    return Status::InvalidArgument(
-        "--algorithm and --problem/--method are exclusive spellings");
-  }
-  if (!has_problem && !has_method) {
-    return FlagOr(invocation, "algorithm", "ApproxF2");
-  }
-  const std::string problem = FlagOr(invocation, "problem", "F2");
-  if (problem != "F1" && problem != "F2") {
-    return Status::InvalidArgument("--problem wants F1 or F2, got: " +
-                                   problem);
-  }
-  const std::string method = FlagOr(invocation, "method", "index-celf");
-  if (method == "dp") return "DP" + problem;
-  if (method == "sampling") return "Sampling" + problem;
-  if (method == "index" || method == "index-celf") {
-    params->lazy = method == "index-celf";
-    return "Approx" + problem;
-  }
-  return Status::InvalidArgument(
-      "--method wants dp, sampling, index or index-celf, got: " + method);
-}
-
-Result<std::vector<NodeId>> ParseSeedList(const std::string& text,
-                                          NodeId num_nodes) {
-  std::vector<NodeId> seeds;
-  for (std::string_view field : SplitString(text, ',')) {
-    RWDOM_ASSIGN_OR_RETURN(int64_t value, ParseInt64(field));
-    if (value < 0 || value >= num_nodes) {
-      return Status::OutOfRange(
-          StrFormat("seed %lld outside [0, %d)",
-                    static_cast<long long>(value), num_nodes));
-    }
-    seeds.push_back(static_cast<NodeId>(value));
-  }
-  return seeds;
-}
-
-// --- Commands ------------------------------------------------------------
-
-Status RunDatasets(const CliInvocation&, std::ostream& out) {
-  TablePrinter table({"name", "nodes", "edges"});
-  for (const DatasetSpec& spec : PaperDatasets()) {
-    table.AddRow({spec.name, FormatWithCommas(spec.nodes),
-                  FormatWithCommas(spec.edges)});
-  }
-  out << table.ToString();
-  out << "variants: append -w (weighted) or -wd (weighted directed) to any\n"
-         "name for a deterministic weighted stand-in on the same topology.\n";
-  return Status::OK();
-}
-
-// Appends the capacity-planning lines of `rwdom stats`: graph memory, and
-// the inverted-index memory when the caller asked for one.
-Status PrintMemoryFootprint(const CliInvocation& invocation,
-                            const GraphSubstrate& substrate,
-                            std::ostream& out) {
-  const int64_t graph_bytes = substrate.MemoryUsageBytes();
-  const double n = std::max<double>(1.0, substrate.num_nodes());
-  const double links = std::max<double>(1.0, substrate.num_links());
-  out << StrFormat(
-      "memory: graph=%lld bytes (%.1f bytes/node, %.1f bytes/%s)\n",
-      static_cast<long long>(graph_bytes),
-      static_cast<double>(graph_bytes) / n,
-      static_cast<double>(graph_bytes) / links,
-      substrate.weighted() ? "arc" : "edge");
-
-  RWDOM_ASSIGN_OR_RETURN(bool with_index,
-                         BoolFlagOr(invocation, "with_index", false));
-  if (!with_index) return Status::OK();
-  RWDOM_ASSIGN_OR_RETURN(SelectorParams params,
-                         ResolveSelectorParams(invocation));
-  auto source = substrate.MakeWalkSource(params.seed);
-  InvertedWalkIndex index = InvertedWalkIndex::Build(
-      params.length, params.num_samples, source.get());
-  const int64_t index_bytes = index.MemoryUsageBytes();
-  out << StrFormat(
-      "memory: index=%lld bytes (L=%d R=%d, %lld entries, "
-      "%.1f bytes/node, %.2f bytes/entry)\n",
-      static_cast<long long>(index_bytes), params.length,
-      params.num_samples, static_cast<long long>(index.TotalEntries()),
-      static_cast<double>(index_bytes) / n,
-      static_cast<double>(index_bytes) /
-          std::max<double>(1.0, static_cast<double>(index.TotalEntries())));
-  return Status::OK();
-}
-
-Status RunStats(const CliInvocation& invocation, std::ostream& out) {
-  RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
-                         ResolveSubstrate(invocation));
-  const GraphSubstrate& substrate = loaded.substrate;
-  if (!substrate.weighted()) {
-    const Graph& graph = *substrate.graph();
-    GraphStats stats = ComputeGraphStats(graph);
-    out << stats.ToString() << "\n";
-    out << StrFormat(
-        "triangles=%lld avg_clustering=%.4f transitivity=%.4f\n",
-        static_cast<long long>(CountTriangles(graph)),
-        AverageClusteringCoefficient(graph),
-        GlobalClusteringCoefficient(graph));
-    return PrintMemoryFootprint(invocation, substrate, out);
-  }
-  const WeightedGraph& graph = *substrate.weighted_graph();
-  NodeId sinks = 0;
-  double total_weight = 0.0;
-  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
-    if (graph.out_degree(u) == 0) ++sinks;
-    total_weight += graph.total_out_weight(u);
-  }
-  out << StrFormat("n=%d arcs=%lld (%s)\n", graph.num_nodes(),
-                   static_cast<long long>(graph.num_arcs()),
-                   substrate.kind().c_str());
-  out << StrFormat(
-      "avg_out_degree=%.2f max_out_degree=%d sinks=%d "
-      "total_arc_weight=%.4g\n",
-      graph.num_nodes() > 0
-          ? static_cast<double>(graph.num_arcs()) /
-                static_cast<double>(graph.num_nodes())
-          : 0.0,
-      graph.max_out_degree(), sinks, total_weight);
-  return PrintMemoryFootprint(invocation, substrate, out);
-}
-
-Status RunGenerate(const CliInvocation& invocation, std::ostream& out) {
-  const std::string model = FlagOr(invocation, "model", "");
-  const std::string out_path = FlagOr(invocation, "out", "");
-  if (out_path.empty()) {
-    return Status::InvalidArgument("--out=FILE is required");
-  }
-  RWDOM_ASSIGN_OR_RETURN(int64_t n64, IntFlagOr(invocation, "n", 0));
-  RWDOM_ASSIGN_OR_RETURN(int64_t m, IntFlagOr(invocation, "m", 0));
-  RWDOM_ASSIGN_OR_RETURN(int64_t seed, IntFlagOr(invocation, "seed", 42));
-  RWDOM_ASSIGN_OR_RETURN(bool weighted,
-                         BoolFlagOr(invocation, "weighted", false));
-  RWDOM_ASSIGN_OR_RETURN(bool directed,
-                         BoolFlagOr(invocation, "directed", false));
-  if (directed && !weighted) {
-    return Status::InvalidArgument(
-        "--directed output requires --weighted=true (arc-list format)");
-  }
-  const NodeId n = static_cast<NodeId>(n64);
-
-  Result<Graph> graph = Status::InvalidArgument(
-      "unknown --model (want ba, plc, er, ws, or cl): " + model);
-  if (model == "ba") {
-    RWDOM_ASSIGN_OR_RETURN(int64_t attach,
-                           IntFlagOr(invocation, "attach", 5));
-    graph = GenerateBarabasiAlbert(n, static_cast<int32_t>(attach),
-                                   static_cast<uint64_t>(seed));
-  } else if (model == "plc") {
-    RWDOM_ASSIGN_OR_RETURN(int64_t communities,
-                           IntFlagOr(invocation, "communities", 16));
-    RWDOM_ASSIGN_OR_RETURN(double mixing,
-                           DoubleFlagOr(invocation, "mixing", 0.08));
-    graph = GeneratePowerLawCommunity(n, m,
-                                      static_cast<int32_t>(communities),
-                                      mixing, static_cast<uint64_t>(seed));
-  } else if (model == "er") {
-    graph = GenerateErdosRenyiGnm(n, m, static_cast<uint64_t>(seed));
-  } else if (model == "ws") {
-    RWDOM_ASSIGN_OR_RETURN(int64_t k, IntFlagOr(invocation, "k", 4));
-    RWDOM_ASSIGN_OR_RETURN(double beta,
-                           DoubleFlagOr(invocation, "beta", 0.1));
-    graph = GenerateWattsStrogatz(n, static_cast<int32_t>(k), beta,
-                                  static_cast<uint64_t>(seed));
-  } else if (model == "cl") {
-    RWDOM_ASSIGN_OR_RETURN(double gamma,
-                           DoubleFlagOr(invocation, "gamma", 2.5));
-    RWDOM_ASSIGN_OR_RETURN(double avg_degree,
-                           DoubleFlagOr(invocation, "avg_degree", 10.0));
-    graph = GenerateChungLu(n, gamma, avg_degree,
-                            static_cast<uint64_t>(seed));
-  }
-  if (!graph.ok()) return graph.status();
-  if (weighted) {
-    // Deterministic pseudo-random weights over the generated topology;
-    // --directed draws independent weights per arc direction.
-    WeightedGraph wg = AttachRandomWeights(
-        *graph, static_cast<uint64_t>(seed) + 1, directed);
-    RWDOM_RETURN_IF_ERROR(SaveWeightedEdgeList(
-        wg, out_path,
-        "generated by rwdom (" + model +
-            (directed ? ", weighted directed)" : ", weighted)")));
-    out << StrFormat("wrote %s: n=%d arcs=%lld (%s)\n", out_path.c_str(),
-                     wg.num_nodes(), static_cast<long long>(wg.num_arcs()),
-                     directed ? "weighted directed" : "weighted");
-    return Status::OK();
-  }
-  RWDOM_RETURN_IF_ERROR(
-      SaveEdgeList(*graph, out_path, "generated by rwdom (" + model + ")"));
-  out << StrFormat("wrote %s: n=%d m=%lld\n", out_path.c_str(),
-                   graph->num_nodes(),
-                   static_cast<long long>(graph->num_edges()));
-  return Status::OK();
-}
-
-Status RunSelect(const CliInvocation& invocation, std::ostream& out) {
-  RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
-                         ResolveSubstrate(invocation));
-  const GraphSubstrate& substrate = loaded.substrate;
-  RWDOM_ASSIGN_OR_RETURN(SelectorParams params,
-                         ResolveSelectorParams(invocation));
-  RWDOM_ASSIGN_OR_RETURN(int64_t k, IntFlagOr(invocation, "k", 10));
-  if (k < 0) return Status::InvalidArgument("--k must be >= 0");
-  RWDOM_ASSIGN_OR_RETURN(std::string algorithm,
-                         ResolveAlgorithmName(invocation, &params));
-  RWDOM_ASSIGN_OR_RETURN(
-      std::unique_ptr<Selector> selector,
-      MakeSelector(algorithm, &substrate.model(), params));
-
-  SelectionResult result = selector->Select(static_cast<int32_t>(k));
-  out << StrFormat("%s selected %zu seeds on the %s substrate in %.3f s\n"
-                   "seeds:",
-                   algorithm.c_str(), result.selected.size(),
-                   substrate.kind().c_str(), result.seconds);
-  for (NodeId u : result.selected) out << " " << u;
-  out << "\n";
-
-  MetricsResult metrics =
-      SampledMetrics(substrate.model(), result.selected, params.length,
-                     /*num_samples=*/500, params.seed + 1);
-  out << StrFormat("AHT=%.4f EHN=%.1f (L=%d, metric R=500)\n", metrics.aht,
-                   metrics.ehn, params.length);
-
-  // Optional: persist the inverted index for reuse across runs.
-  const std::string save_index = FlagOr(invocation, "save_index", "");
-  if (!save_index.empty()) {
-    const auto* approx = dynamic_cast<const ApproxGreedy*>(selector.get());
-    if (approx == nullptr || approx->index() == nullptr) {
-      return Status::InvalidArgument(
-          "--save_index only applies to ApproxF1/ApproxF2 "
-          "(--method=index|index-celf)");
-    }
-    RWDOM_RETURN_IF_ERROR(
-        WalkIndexSerializer::Save(*approx->index(), save_index));
-    out << "index saved to " << save_index << "\n";
-  }
-  return Status::OK();
-}
-
-Status RunEvaluate(const CliInvocation& invocation, std::ostream& out) {
-  RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
-                         ResolveSubstrate(invocation));
-  const GraphSubstrate& substrate = loaded.substrate;
-  RWDOM_ASSIGN_OR_RETURN(SelectorParams params,
-                         ResolveSelectorParams(invocation));
-  const std::string seeds_text = FlagOr(invocation, "seeds", "");
-  if (seeds_text.empty()) {
-    return Status::InvalidArgument("--seeds=a,b,c is required");
-  }
-  RWDOM_ASSIGN_OR_RETURN(
-      std::vector<NodeId> seeds,
-      ParseSeedList(seeds_text, substrate.num_nodes()));
-  RWDOM_ASSIGN_OR_RETURN(int64_t metric_r, IntFlagOr(invocation, "R", 500));
-  MetricsResult metrics =
-      SampledMetrics(substrate.model(), seeds, params.length,
-                     static_cast<int32_t>(metric_r), params.seed);
-  out << StrFormat("k=%zu L=%d R=%lld\nAHT=%.4f\nEHN=%.1f\n", seeds.size(),
-                   params.length, static_cast<long long>(metric_r),
-                   metrics.aht, metrics.ehn);
-  return Status::OK();
-}
-
-Status RunKnn(const CliInvocation& invocation, std::ostream& out) {
-  RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
-                         ResolveSubstrate(invocation));
-  const GraphSubstrate& substrate = loaded.substrate;
-  RWDOM_ASSIGN_OR_RETURN(SelectorParams params,
-                         ResolveSelectorParams(invocation));
-  RWDOM_ASSIGN_OR_RETURN(int64_t query, IntFlagOr(invocation, "query", -1));
-  RWDOM_ASSIGN_OR_RETURN(int64_t k, IntFlagOr(invocation, "k", 10));
-  if (query < 0 || query >= substrate.num_nodes()) {
-    return Status::OutOfRange("--query must name a node of the graph");
-  }
-  if (k < 0) return Status::InvalidArgument("--k must be >= 0");
-  const std::string mode = FlagOr(invocation, "mode", "exact");
-  std::vector<HittingTimeNeighbor> rows;
-  if (mode == "exact") {
-    rows = ExactHittingTimeKnn(substrate.model(),
-                               static_cast<NodeId>(query),
-                               static_cast<int32_t>(k), params.length);
-  } else if (mode == "sampled") {
-    auto source = substrate.MakeWalkSource(params.seed);
-    rows = SampledHittingTimeKnn(source.get(), static_cast<NodeId>(query),
-                                 static_cast<int32_t>(k), params.length,
-                                 params.num_samples);
-  } else {
-    return Status::InvalidArgument("--mode must be exact or sampled");
-  }
-  TablePrinter table({"rank", "node", "h^L(node -> query)"});
-  for (size_t i = 0; i < rows.size(); ++i) {
-    table.AddRow({std::to_string(i + 1), std::to_string(rows[i].node),
-                  StrFormat("%.4f", rows[i].hitting_time)});
-  }
-  out << table.ToString();
-  return Status::OK();
-}
-
-Status RunCover(const CliInvocation& invocation, std::ostream& out) {
-  RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
-                         ResolveSubstrate(invocation));
-  const GraphSubstrate& substrate = loaded.substrate;
-  RWDOM_ASSIGN_OR_RETURN(SelectorParams params,
-                         ResolveSelectorParams(invocation));
-  RWDOM_ASSIGN_OR_RETURN(double alpha,
-                         DoubleFlagOr(invocation, "alpha", 0.9));
-  if (alpha < 0.0 || alpha > 1.0) {
-    return Status::InvalidArgument("--alpha must be in [0, 1]");
-  }
-  ApproxGreedyOptions options{.length = params.length,
-                              .num_replicates = params.num_samples,
-                              .seed = params.seed,
-                              .lazy = true};
-  MinSeedCoverResult cover =
-      MinSeedCover(substrate.model(), alpha, options);
-  out << StrFormat("alpha=%.2f -> %zu seeds (target %s) in %.3f s\nseeds:",
-                   alpha, cover.selected.size(),
-                   cover.reached_target ? "reached" : "NOT reached",
-                   cover.seconds);
-  for (NodeId u : cover.selected) out << " " << u;
-  out << "\n";
-  return Status::OK();
-}
-
-}  // namespace
 
 std::string CliUsage() {
-  return
+  std::string text =
       "rwdom — random-walk domination toolkit (Li et al., ICDE'14)\n"
       "\n"
       "usage: rwdom COMMAND [--flag=value ...]\n"
+      "       rwdom help COMMAND   detailed flag spec for one command\n"
       "\n"
-      "commands:\n"
-      "  datasets   list the paper's Table-2 datasets (+ -w/-wd variants)\n"
-      "  stats      graph statistics and memory footprint\n"
-      "             (--graph=FILE | --dataset=NAME [--with_index=1])\n"
-      "  generate   synthesize a graph (--model=ba|plc|er|ws|cl --n=N\n"
-      "             [--m=M --weighted=1 --directed=1 ...] --out=FILE)\n"
-      "  select     pick k seeds (--algorithm=ApproxF2 | --problem=F1|F2\n"
-      "             --method=dp|sampling|index|index-celf; --k=K\n"
-      "             [--L --R --seed --save_index=FILE])\n"
-      "  evaluate   score a seed set (--seeds=1,2,3 [--L --R])\n"
-      "  cover      minimum seeds for alpha coverage (--alpha=0.9)\n"
-      "  knn        truncated-hitting-time neighbors (--query=NODE --k=10\n"
-      "             [--mode=exact|sampled])\n"
-      "  help       this text\n"
+      "commands:\n";
+  for (const CommandDef& command : Commands()) {
+    text += StrFormat("  %-9s  %s\n", command.name.c_str(),
+                      command.summary.c_str());
+  }
+  text +=
       "\n"
       "graph input: --graph=EDGELIST or --dataset=NAME [--data_dir=DIR].\n"
       "  Edge lists may carry a third weight column (autodetected; override\n"
@@ -581,9 +31,15 @@ std::string CliUsage() {
       "  (weighted directed). Every command runs on every substrate.\n"
       "algorithms: Degree Dominate Random DPF1 DPF2 SamplingF1 SamplingF2\n"
       "            ApproxF1 ApproxF2 EdgeGreedy\n"
-      "threading:  --threads=N (or RWDOM_THREADS=N; default: all cores).\n"
+      "global:     --threads=N (or RWDOM_THREADS=N; default: all cores).\n"
       "            Results are identical for every thread count.\n"
-      "Unknown flags are rejected; each command lists its own in `help`.\n";
+      "            --format=text|json — structured output, one JSON\n"
+      "            object per query, identical numbers to the text form.\n"
+      "batching:   rwdom batch SCRIPT.jsonl runs many queries on one warm\n"
+      "            engine (graph loaded once, walk index built once per\n"
+      "            (L, R, seed)).\n"
+      "Unknown commands and flags are rejected with a closest-match hint.\n";
+  return text;
 }
 
 Result<CliInvocation> ParseCliArgs(int argc, const char* const* argv) {
@@ -598,8 +54,8 @@ Result<CliInvocation> ParseCliArgs(int argc, const char* const* argv) {
   for (int i = 2; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (!StartsWith(arg, "--")) {
-      return Status::InvalidArgument("expected --flag=value, got: " +
-                                     std::string(arg));
+      invocation.positionals.emplace_back(arg);
+      continue;
     }
     arg.remove_prefix(2);
     size_t eq = arg.find('=');
@@ -614,7 +70,12 @@ Result<CliInvocation> ParseCliArgs(int argc, const char* const* argv) {
 }
 
 Status RunCliCommand(const CliInvocation& invocation, std::ostream& out) {
-  RWDOM_RETURN_IF_ERROR(ValidateFlags(invocation));
+  const CommandDef* command = FindCommand(invocation.command);
+  if (command == nullptr) {
+    return Status::NotFound("unknown command: " + invocation.command +
+                            SuggestCommand(invocation.command));
+  }
+  RWDOM_RETURN_IF_ERROR(ValidateInvocation(*command, invocation));
   if (invocation.flags.count("threads") > 0) {
     // Global --threads flag (equivalent to the RWDOM_THREADS env var).
     RWDOM_ASSIGN_OR_RETURN(int64_t threads,
@@ -624,18 +85,16 @@ Status RunCliCommand(const CliInvocation& invocation, std::ostream& out) {
     }
     SetNumThreads(static_cast<int>(threads));
   }
-  if (invocation.command == "datasets") return RunDatasets(invocation, out);
-  if (invocation.command == "stats") return RunStats(invocation, out);
-  if (invocation.command == "generate") return RunGenerate(invocation, out);
-  if (invocation.command == "select") return RunSelect(invocation, out);
-  if (invocation.command == "evaluate") return RunEvaluate(invocation, out);
-  if (invocation.command == "cover") return RunCover(invocation, out);
-  if (invocation.command == "knn") return RunKnn(invocation, out);
-  if (invocation.command == "help") {
-    out << CliUsage();
-    return Status::OK();
+  OutputFormat format = OutputFormat::kText;
+  const std::string format_text = FlagOr(invocation, "format", "text");
+  if (format_text == "json") {
+    format = OutputFormat::kJson;
+  } else if (format_text != "text") {
+    return Status::InvalidArgument("--format wants text or json, got: " +
+                                   format_text);
   }
-  return Status::NotFound("unknown command: " + invocation.command);
+  CommandEnv env{invocation, out, format, /*warm_context=*/nullptr};
+  return command->handler(env);
 }
 
 int CliMain(int argc, const char* const* argv) {

@@ -1,15 +1,18 @@
-// The `rwdom` command-line tool, as a library so commands are unit-testable.
+// The `rwdom` command-line tool, as a library so commands are
+// unit-testable.
 //
-// Commands:
-//   rwdom datasets
-//   rwdom stats    (--graph=FILE | --dataset=NAME) [--data_dir=DIR]
-//   rwdom generate --model=ba|plc|er|ws|cl --n=N [--m=M] [...] --out=FILE
-//   rwdom select   (--graph=FILE | --dataset=NAME) --algorithm=NAME --k=K
-//                  [--L=6] [--R=100] [--seed=42] [--save_index=FILE]
-//   rwdom evaluate (--graph=FILE | --dataset=NAME) --seeds=1,2,3
-//                  [--L=6] [--R=500] [--seed=42]
-//   rwdom cover    (--graph=FILE | --dataset=NAME) --alpha=0.9
-//                  [--L=6] [--R=100] [--seed=42]
+// The CLI is a thin adapter over the service layer: each command is a
+// handler file (cli/cmd_*.cc) registered in the data-driven command
+// registry (cli/command_registry.h) that parses flags into a typed
+// service request (service/requests.h) and executes it against a
+// QueryContext. One-shot invocations build a fresh context per run;
+// `rwdom batch <script.jsonl>` executes many requests against a single
+// warm context, amortizing graph load and index construction.
+//
+// Commands (see `rwdom help` and `rwdom help COMMAND` for flags):
+//   datasets, stats, generate, select, evaluate, cover, knn, batch, help
+//
+// Global flags: --threads=N, --format=text|json.
 #ifndef RWDOM_CLI_CLI_H_
 #define RWDOM_CLI_CLI_H_
 
@@ -22,24 +25,29 @@
 
 namespace rwdom {
 
-/// Parsed command line: one command word plus --key=value flags.
+/// Parsed command line: one command word, positional arguments (used by
+/// `help COMMAND` and `batch SCRIPT`), plus --key=value flags.
 struct CliInvocation {
   std::string command;
+  std::vector<std::string> positionals;
   std::map<std::string, std::string> flags;
 };
 
-/// Parses argv[1..); rejects positional arguments after the command and
-/// malformed flags.
+/// Parses argv[1..); rejects malformed flags (--flag without =value).
+/// Positional arguments are collected; commands that take none reject
+/// them at validation time.
 Result<CliInvocation> ParseCliArgs(int argc, const char* const* argv);
 
-/// Dispatches one invocation, writing human-readable output to `out`.
+/// Dispatches one invocation through the command registry, writing
+/// command output to `out`.
 Status RunCliCommand(const CliInvocation& invocation, std::ostream& out);
 
 /// Convenience entry point for main(): parse + run + report errors to
 /// stderr; returns the process exit code.
 int CliMain(int argc, const char* const* argv);
 
-/// The help text (also printed for `rwdom help`).
+/// The global help text (also printed for `rwdom help`), generated from
+/// the command registry.
 std::string CliUsage();
 
 }  // namespace rwdom

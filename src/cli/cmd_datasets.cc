@@ -1,0 +1,54 @@
+// `rwdom datasets`: lists the paper's Table-2 datasets.
+#include "cli/command_registry.h"
+#include "harness/dataset_registry.h"
+#include "util/json.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace rwdom {
+namespace {
+
+Status RunDatasets(const CommandEnv& env) {
+  if (env.format == OutputFormat::kJson) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("command").String("datasets");
+    json.Key("datasets").BeginArray();
+    for (const DatasetSpec& spec : PaperDatasets()) {
+      json.BeginObject();
+      json.Key("name").String(spec.name);
+      json.Key("nodes").Int(spec.nodes);
+      json.Key("edges").Int(spec.edges);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("variants").String(
+        "append -w (weighted) or -wd (weighted directed) to any name");
+    json.EndObject();
+    env.out << json.ToString() << "\n";
+    return Status::OK();
+  }
+  TablePrinter table({"name", "nodes", "edges"});
+  for (const DatasetSpec& spec : PaperDatasets()) {
+    table.AddRow({spec.name, FormatWithCommas(spec.nodes),
+                  FormatWithCommas(spec.edges)});
+  }
+  env.out << table.ToString();
+  env.out << "variants: append -w (weighted) or -wd (weighted directed) to "
+             "any\nname for a deterministic weighted stand-in on the same "
+             "topology.\n";
+  return Status::OK();
+}
+
+}  // namespace
+
+CommandDef MakeDatasetsCommand() {
+  CommandDef def;
+  def.name = "datasets";
+  def.summary = "list the paper's Table-2 datasets (+ -w/-wd variants)";
+  def.usage = "rwdom datasets";
+  def.handler = RunDatasets;
+  return def;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,62 @@
+// `rwdom evaluate`: score a given seed set with the sampled metrics.
+#include <optional>
+
+#include "cli/command_registry.h"
+#include "cli/flag_parsing.h"
+#include "service/engine.h"
+
+namespace rwdom {
+namespace {
+
+Status RunEvaluate(const CommandEnv& env) {
+  std::optional<QueryContext> local;
+  RWDOM_ASSIGN_OR_RETURN(QueryContext * context,
+                         AcquireContext(env, &local));
+  const std::string seeds_text = FlagOr(env.invocation, "seeds", "");
+  if (seeds_text.empty()) {
+    return Status::InvalidArgument("--seeds=a,b,c is required");
+  }
+  EvaluateRequest request;
+  RWDOM_ASSIGN_OR_RETURN(
+      request.seeds,
+      ParseSeedList(seeds_text, context->substrate().num_nodes()));
+  // Parsed directly rather than via ResolveSelectorParams: here --R is
+  // the metric sample count with the paper's default of 500, not the
+  // selector-side replicate count (default 100).
+  RWDOM_ASSIGN_OR_RETURN(int64_t length, IntFlagOr(env.invocation, "L", 6));
+  RWDOM_ASSIGN_OR_RETURN(request.length, CheckedInt32Flag("L", length, 0));
+  RWDOM_ASSIGN_OR_RETURN(int64_t metric_r,
+                         IntFlagOr(env.invocation, "R", 500));
+  RWDOM_ASSIGN_OR_RETURN(request.num_samples,
+                         CheckedInt32Flag("R", metric_r, 1));
+  RWDOM_ASSIGN_OR_RETURN(int64_t seed,
+                         IntFlagOr(env.invocation, "seed", 42));
+  request.seed = static_cast<uint64_t>(seed);
+
+  RWDOM_ASSIGN_OR_RETURN(EvaluateResponse response,
+                         Evaluate(*context, request));
+  Render(ServiceResponse(std::move(response)), env.format, env.out);
+  return Status::OK();
+}
+
+}  // namespace
+
+CommandDef MakeEvaluateCommand() {
+  CommandDef def;
+  def.name = "evaluate";
+  def.summary = "score a seed set with the paper's sampled metrics";
+  def.usage =
+      "rwdom evaluate (--graph=FILE | --dataset=NAME) --seeds=1,2,3 "
+      "[--L=6 --R=500 --seed=42]";
+  def.flags = WithSubstrateFlags({
+      {"seeds", "a,b,c", "comma-separated node ids to score"},
+      {"L", "N", "walk budget (default 6)"},
+      {"R", "N", "metric samples per node (default 500)"},
+      {"seed", "N", "metric walk seed (default 42)"},
+  });
+  def.batchable = true;
+  def.handler = RunEvaluate;
+  return def;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,75 @@
+// `rwdom help [COMMAND]`: the global blurb, or one command's flag spec
+// straight from the registry.
+#include "cli/command_registry.h"
+#include "util/json.h"
+
+namespace rwdom {
+namespace {
+
+void AppendCommandJson(const CommandDef& command, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("name").String(command.name);
+  json.Key("summary").String(command.summary);
+  json.Key("usage").String(command.usage);
+  json.Key("batchable").Bool(command.batchable);
+  json.Key("flags").BeginArray();
+  for (const FlagDef& flag : command.flags) {
+    json.BeginObject();
+    json.Key("name").String(flag.name);
+    json.Key("value").String(flag.value_hint);
+    json.Key("help").String(flag.help);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+Status RunHelp(const CommandEnv& env) {
+  const CommandDef* requested = nullptr;
+  if (!env.invocation.positionals.empty()) {
+    const std::string& name = env.invocation.positionals.front();
+    requested = FindCommand(name);
+    if (requested == nullptr) {
+      return Status::NotFound("unknown command: " + name +
+                              SuggestCommand(name));
+    }
+  }
+  if (env.format == OutputFormat::kJson) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("command").String("help");
+    json.Key("commands").BeginArray();
+    if (requested != nullptr) {
+      AppendCommandJson(*requested, json);
+    } else {
+      for (const CommandDef& command : Commands()) {
+        AppendCommandJson(command, json);
+      }
+    }
+    json.EndArray();
+    json.EndObject();
+    env.out << json.ToString() << "\n";
+    return Status::OK();
+  }
+  if (requested != nullptr) {
+    env.out << CommandHelp(*requested);
+  } else {
+    env.out << CliUsage();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+CommandDef MakeHelpCommand() {
+  CommandDef def;
+  def.name = "help";
+  def.summary = "this text (or: rwdom help COMMAND for one flag spec)";
+  def.usage = "rwdom help [COMMAND]";
+  def.max_positionals = 1;
+  def.positional_hint = "[COMMAND]";
+  def.handler = RunHelp;
+  return def;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,63 @@
+// `rwdom knn`: truncated-hitting-time nearest neighbors of a query node.
+#include <optional>
+
+#include "cli/command_registry.h"
+#include "cli/flag_parsing.h"
+#include "service/engine.h"
+
+namespace rwdom {
+namespace {
+
+Status RunKnn(const CommandEnv& env) {
+  std::optional<QueryContext> local;
+  RWDOM_ASSIGN_OR_RETURN(QueryContext * context,
+                         AcquireContext(env, &local));
+  KnnRequest request;
+  RWDOM_ASSIGN_OR_RETURN(request.params,
+                         ResolveSelectorParams(env.invocation));
+  RWDOM_ASSIGN_OR_RETURN(int64_t query,
+                         IntFlagOr(env.invocation, "query", -1));
+  RWDOM_ASSIGN_OR_RETURN(int64_t k, IntFlagOr(env.invocation, "k", 10));
+  if (query < 0 || query >= context->substrate().num_nodes()) {
+    return Status::OutOfRange("--query must name a node of the graph");
+  }
+  request.query = static_cast<NodeId>(query);
+  RWDOM_ASSIGN_OR_RETURN(request.k, CheckedInt32Flag("k", k, 0));
+  const std::string mode = FlagOr(env.invocation, "mode", "exact");
+  if (mode == "exact") {
+    request.mode = KnnRequest::Mode::kExact;
+  } else if (mode == "sampled") {
+    request.mode = KnnRequest::Mode::kSampled;
+  } else {
+    return Status::InvalidArgument("--mode must be exact or sampled");
+  }
+
+  RWDOM_ASSIGN_OR_RETURN(KnnResponse response, Knn(*context, request));
+  Render(ServiceResponse(std::move(response)), env.format, env.out);
+  return Status::OK();
+}
+
+}  // namespace
+
+CommandDef MakeKnnCommand() {
+  CommandDef def;
+  def.name = "knn";
+  def.summary = "truncated-hitting-time nearest neighbors";
+  def.usage =
+      "rwdom knn (--graph=FILE | --dataset=NAME) --query=NODE [--k=10 "
+      "--L=6 --mode=exact|sampled [--R=100 --seed=42]]";
+  def.flags = WithSubstrateFlags({
+      {"query", "NODE", "the node whose neighbors to rank"},
+      {"k", "K", "neighbors to return (default 10)"},
+      {"L", "N", "walk budget (default 6)"},
+      {"R", "N", "samples per node, sampled mode (default 100)"},
+      {"seed", "N", "walk seed, sampled mode (default 42)"},
+      {"mode", "exact|sampled", "O(mL) DP or Monte-Carlo estimate "
+                                "(default exact)"},
+  });
+  def.batchable = true;
+  def.handler = RunKnn;
+  return def;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,58 @@
+// `rwdom select`: pick k seeds with any registered selector.
+#include <optional>
+
+#include "cli/command_registry.h"
+#include "cli/flag_parsing.h"
+#include "service/engine.h"
+
+namespace rwdom {
+namespace {
+
+Status RunSelect(const CommandEnv& env) {
+  std::optional<QueryContext> local;
+  RWDOM_ASSIGN_OR_RETURN(QueryContext * context,
+                         AcquireContext(env, &local));
+  SelectRequest request;
+  RWDOM_ASSIGN_OR_RETURN(request.params,
+                         ResolveSelectorParams(env.invocation));
+  RWDOM_ASSIGN_OR_RETURN(int64_t k, IntFlagOr(env.invocation, "k", 10));
+  RWDOM_ASSIGN_OR_RETURN(request.k, CheckedInt32Flag("k", k, 0));
+  RWDOM_ASSIGN_OR_RETURN(
+      request.algorithm,
+      ResolveAlgorithmName(env.invocation, &request.params));
+  request.save_index = FlagOr(env.invocation, "save_index", "");
+
+  RWDOM_ASSIGN_OR_RETURN(SelectResponse response,
+                         Select(*context, request));
+  Render(ServiceResponse(std::move(response)), env.format, env.out);
+  return Status::OK();
+}
+
+}  // namespace
+
+CommandDef MakeSelectCommand() {
+  CommandDef def;
+  def.name = "select";
+  def.summary = "pick k seeds for F1/F2 random-walk domination";
+  def.usage =
+      "rwdom select (--graph=FILE | --dataset=NAME) [--algorithm=NAME | "
+      "--problem=F1|F2 --method=dp|sampling|index|index-celf] --k=K "
+      "[--L=6 --R=100 --seed=42] [--save_index=FILE]";
+  def.flags = WithSubstrateFlags({
+      {"algorithm", "NAME", "registry name (Degree, Dominate, Random, "
+                            "DPF1/2, SamplingF1/2, ApproxF1/2, EdgeGreedy)"},
+      {"problem", "F1|F2", "paper problem (with --method; default F2)"},
+      {"method", "dp|sampling|index|index-celf",
+       "solver for --problem (default index-celf)"},
+      {"k", "K", "seeds to select (default 10)"},
+      {"L", "N", "walk budget (default 6)"},
+      {"R", "N", "replicates / samples (default 100)"},
+      {"seed", "N", "master walk seed (default 42)"},
+      {"save_index", "FILE", "persist the inverted index (Approx* only)"},
+  });
+  def.batchable = true;
+  def.handler = RunSelect;
+  return def;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,47 @@
+// `rwdom stats`: structural statistics and memory footprint.
+#include <optional>
+
+#include "cli/command_registry.h"
+#include "cli/flag_parsing.h"
+#include "service/engine.h"
+
+namespace rwdom {
+namespace {
+
+Status RunStats(const CommandEnv& env) {
+  std::optional<QueryContext> local;
+  RWDOM_ASSIGN_OR_RETURN(QueryContext * context,
+                         AcquireContext(env, &local));
+  StatsRequest request;
+  RWDOM_ASSIGN_OR_RETURN(request.with_index,
+                         BoolFlagOr(env.invocation, "with_index", false));
+  if (request.with_index) {
+    RWDOM_ASSIGN_OR_RETURN(request.params,
+                           ResolveSelectorParams(env.invocation));
+  }
+  RWDOM_ASSIGN_OR_RETURN(StatsResponse response, Stats(*context, request));
+  Render(ServiceResponse(std::move(response)), env.format, env.out);
+  return Status::OK();
+}
+
+}  // namespace
+
+CommandDef MakeStatsCommand() {
+  CommandDef def;
+  def.name = "stats";
+  def.summary = "graph statistics and memory footprint";
+  def.usage =
+      "rwdom stats (--graph=FILE | --dataset=NAME) [--with_index=1 "
+      "[--L=6 --R=100 --seed=42]]";
+  def.flags = WithSubstrateFlags({
+      {"with_index", "0|1", "also build + account the inverted walk index"},
+      {"L", "N", "walk budget of the accounted index (default 6)"},
+      {"R", "N", "replicates of the accounted index (default 100)"},
+      {"seed", "N", "walk seed of the accounted index (default 42)"},
+  });
+  def.batchable = true;
+  def.handler = RunStats;
+  return def;
+}
+
+}  // namespace rwdom

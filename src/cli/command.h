@@ -1,0 +1,61 @@
+// The command abstraction behind the data-driven registry: a CommandDef
+// bundles everything `rwdom` knows about one command — name, summary,
+// flag spec (which also drives validation and `rwdom help COMMAND`), and
+// the handler. Handlers are thin adapters: parse flags into a service
+// request, execute it against a QueryContext, render the response.
+#ifndef RWDOM_CLI_COMMAND_H_
+#define RWDOM_CLI_COMMAND_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+#include "service/query_context.h"
+#include "service/render.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+/// One flag a command understands: drives validation, "did you mean"
+/// suggestions and generated help.
+struct FlagDef {
+  std::string name;        ///< Without the leading "--".
+  std::string value_hint;  ///< e.g. "FILE", "N", "auto|yes|no".
+  std::string help;        ///< One line for `rwdom help COMMAND`.
+};
+
+/// Everything a handler needs to run one command.
+struct CommandEnv {
+  const CliInvocation& invocation;
+  std::ostream& out;
+  OutputFormat format = OutputFormat::kText;
+  /// Non-null when running inside `rwdom batch`: the shared warm engine.
+  /// Handlers must use it instead of resolving their own substrate.
+  QueryContext* warm_context = nullptr;
+};
+
+/// One registered command (see cli/command_registry.h for the table).
+struct CommandDef {
+  std::string name;
+  std::string summary;  ///< One-liner for the global help.
+  std::string usage;    ///< e.g. "rwdom select (--graph=FILE | ...) ...".
+  std::vector<FlagDef> flags;
+  /// Positional arguments accepted ("help COMMAND", "batch SCRIPT").
+  int max_positionals = 0;
+  std::string positional_hint;  ///< e.g. "[COMMAND]"; shown in usage.
+  /// True for query commands that may appear in a batch script (they run
+  /// against the script's shared substrate).
+  bool batchable = false;
+  Status (*handler)(const CommandEnv& env) = nullptr;
+  /// Optional command-specific diagnostic for an unknown flag, appended
+  /// to the validation error before the generic "did you mean" hint is
+  /// considered (e.g. generate's --p/ER explanation). Returns "" for no
+  /// hint.
+  std::string (*unknown_flag_hint)(const CliInvocation& invocation,
+                                   const std::string& flag) = nullptr;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_CLI_COMMAND_H_

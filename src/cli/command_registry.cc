@@ -1,0 +1,129 @@
+#include "cli/command_registry.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace rwdom {
+
+const std::vector<CommandDef>& Commands() {
+  static const std::vector<CommandDef>* const kCommands =
+      new std::vector<CommandDef>{
+          MakeDatasetsCommand(), MakeStatsCommand(),
+          MakeGenerateCommand(), MakeSelectCommand(),
+          MakeEvaluateCommand(), MakeCoverCommand(),
+          MakeKnnCommand(),      MakeBatchCommand(),
+          MakeHelpCommand(),
+      };
+  return *kCommands;
+}
+
+const CommandDef* FindCommand(const std::string& name) {
+  for (const CommandDef& command : Commands()) {
+    if (command.name == name) return &command;
+  }
+  return nullptr;
+}
+
+const std::vector<FlagDef>& GlobalFlagDefs() {
+  static const std::vector<FlagDef>* const kFlags = new std::vector<FlagDef>{
+      {"threads", "N", "worker threads (default: RWDOM_THREADS env or all "
+                       "cores); results are identical for every count"},
+      {"format", "text|json", "output rendering (default: text)"},
+  };
+  return *kFlags;
+}
+
+std::string SuggestCommand(const std::string& name) {
+  std::vector<std::string> names;
+  names.reserve(Commands().size());
+  for (const CommandDef& command : Commands()) names.push_back(command.name);
+  std::string closest = ClosestMatch(name, names);
+  if (closest.empty()) return "";
+  return " (did you mean `" + closest + "`?)";
+}
+
+Status ValidateInvocation(const CommandDef& command,
+                          const CliInvocation& invocation) {
+  if (static_cast<int>(invocation.positionals.size()) >
+      command.max_positionals) {
+    const std::string& surplus =
+        invocation.positionals[static_cast<size_t>(command.max_positionals)];
+    return Status::InvalidArgument(StrFormat(
+        "unexpected argument `%s` for `%s` (expected --flag=value)",
+        surplus.c_str(), command.name.c_str()));
+  }
+  for (const auto& [flag, value] : invocation.flags) {
+    const auto known = [&flag](const FlagDef& def) {
+      return def.name == flag;
+    };
+    if (std::any_of(command.flags.begin(), command.flags.end(), known) ||
+        std::any_of(GlobalFlagDefs().begin(), GlobalFlagDefs().end(),
+                    known)) {
+      continue;
+    }
+    // A silently ignored flag is worse than an error, so unknown flags
+    // are rejected — with the command's own diagnostic when it has one
+    // (e.g. generate's --p/ER explanation), else the closest known flag.
+    std::string hint;
+    if (command.unknown_flag_hint != nullptr) {
+      hint = command.unknown_flag_hint(invocation, flag);
+    }
+    if (hint.empty()) {
+      std::vector<std::string> candidates;
+      for (const FlagDef& def : command.flags) candidates.push_back(def.name);
+      for (const FlagDef& def : GlobalFlagDefs()) {
+        candidates.push_back(def.name);
+      }
+      std::string closest = ClosestMatch(flag, candidates);
+      if (!closest.empty()) hint = "; did you mean --" + closest + "?";
+    }
+    std::string known_flags;
+    for (const FlagDef& def : command.flags) {
+      known_flags += " --" + def.name;
+    }
+    for (const FlagDef& def : GlobalFlagDefs()) {
+      known_flags += " --" + def.name;
+    }
+    return Status::InvalidArgument(
+        StrFormat("unknown flag --%s for `%s`%s (known flags:%s)",
+                  flag.c_str(), command.name.c_str(), hint.c_str(),
+                  known_flags.c_str()));
+  }
+  return Status::OK();
+}
+
+std::string CommandHelp(const CommandDef& command) {
+  std::string text = "rwdom " + command.name;
+  if (!command.positional_hint.empty()) {
+    text += " " + command.positional_hint;
+  }
+  text += " — " + command.summary + "\n";
+  if (!command.usage.empty()) {
+    text += "\nusage: " + command.usage + "\n";
+  }
+  if (!command.flags.empty()) {
+    text += "\nflags:\n";
+    size_t width = 0;
+    std::vector<std::string> labels;
+    labels.reserve(command.flags.size());
+    for (const FlagDef& def : command.flags) {
+      std::string label = "--" + def.name;
+      if (!def.value_hint.empty()) label += "=" + def.value_hint;
+      width = std::max(width, label.size());
+      labels.push_back(std::move(label));
+    }
+    for (size_t i = 0; i < command.flags.size(); ++i) {
+      text += StrFormat("  %-*s  %s\n", static_cast<int>(width),
+                        labels[i].c_str(), command.flags[i].help.c_str());
+    }
+  }
+  text += "\nglobal flags:\n";
+  for (const FlagDef& def : GlobalFlagDefs()) {
+    text += StrFormat("  --%s=%s  %s\n", def.name.c_str(),
+                      def.value_hint.c_str(), def.help.c_str());
+  }
+  return text;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,53 @@
+// The data-driven command registry: the single source of truth for which
+// commands exist, which flags each understands, and how they are
+// documented. Replaces the old if-chain dispatch and the parallel
+// flag-spec table in cli.cc — adding a command is one cmd_*.cc file plus
+// one line in the registration table.
+#ifndef RWDOM_CLI_COMMAND_REGISTRY_H_
+#define RWDOM_CLI_COMMAND_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "cli/command.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+/// All registered commands, in display order.
+const std::vector<CommandDef>& Commands();
+
+/// Lookup by name; nullptr for unknown commands.
+const CommandDef* FindCommand(const std::string& name);
+
+/// Flags accepted by every command (--threads, --format).
+const std::vector<FlagDef>& GlobalFlagDefs();
+
+/// Rejects unknown flags (with an edit-distance "did you mean"
+/// suggestion) and surplus positional arguments.
+Status ValidateInvocation(const CommandDef& command,
+                          const CliInvocation& invocation);
+
+/// `rwdom help COMMAND`: the command's usage, summary and flag spec,
+/// generated from the registry.
+std::string CommandHelp(const CommandDef& command);
+
+/// "did you mean `select`?" suffix for an unknown command name, or ""
+/// when nothing is close.
+std::string SuggestCommand(const std::string& name);
+
+// Handler factories, one per cli/cmd_*.cc file; the registry table in
+// command_registry.cc assembles them.
+CommandDef MakeDatasetsCommand();
+CommandDef MakeStatsCommand();
+CommandDef MakeGenerateCommand();
+CommandDef MakeSelectCommand();
+CommandDef MakeEvaluateCommand();
+CommandDef MakeCoverCommand();
+CommandDef MakeKnnCommand();
+CommandDef MakeBatchCommand();
+CommandDef MakeHelpCommand();
+
+}  // namespace rwdom
+
+#endif  // RWDOM_CLI_COMMAND_REGISTRY_H_

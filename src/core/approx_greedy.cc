@@ -118,14 +118,20 @@ std::string ApproxGreedy::name() const {
 SelectionResult ApproxGreedy::Select(int32_t k) {
   WallTimer timer;
 
-  // Phase 1 (Algorithm 3): materialize R walks per node into the index.
-  if (external_source_ != nullptr) {
-    index_ = std::make_unique<InvertedWalkIndex>(InvertedWalkIndex::Build(
-        options_.length, options_.num_replicates, external_source_));
+  // Phase 1 (Algorithm 3): materialize R walks per node into the index —
+  // or reuse a prebuilt one (service-layer cache), which is bit-identical
+  // because the build is a pure function of (model, seed, L, R).
+  if (prebuilt_index_ != nullptr) {
+    index_ = prebuilt_index_;
+  } else if (external_source_ != nullptr) {
+    index_ = std::make_shared<const InvertedWalkIndex>(
+        InvertedWalkIndex::Build(options_.length, options_.num_replicates,
+                                 external_source_));
   } else {
     TransitionWalkSource source(model_.get(), options_.seed);
-    index_ = std::make_unique<InvertedWalkIndex>(InvertedWalkIndex::Build(
-        options_.length, options_.num_replicates, &source));
+    index_ = std::make_shared<const InvertedWalkIndex>(
+        InvertedWalkIndex::Build(options_.length, options_.num_replicates,
+                                 &source));
   }
 
   // Phase 2 (Algorithms 4-6): greedy rounds over the gain state.

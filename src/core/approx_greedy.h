@@ -60,7 +60,18 @@ class ApproxGreedy final : public Selector {
   SelectionResult Select(int32_t k) override;
   std::string name() const override;
 
-  /// The index built by the last Select(); null before the first call.
+  /// Supplies a prebuilt index for the next Select() calls, skipping
+  /// phase 1. The caller must have built it with the same walk protocol
+  /// this selector would use — TransitionWalkSource(model, options.seed)
+  /// at (options.length, options.num_replicates) — so results stay
+  /// bit-identical to the self-built path. The service layer's
+  /// QueryContext cache uses this to amortize index construction across
+  /// queries. Pass nullptr to return to self-building.
+  void UsePrebuiltIndex(std::shared_ptr<const InvertedWalkIndex> index) {
+    prebuilt_index_ = std::move(index);
+  }
+
+  /// The index used by the last Select(); null before the first call.
   const InvertedWalkIndex* index() const { return index_.get(); }
 
   /// Gain evaluations performed in the last Select() (CELF ablation).
@@ -71,7 +82,8 @@ class ApproxGreedy final : public Selector {
   Problem problem_;
   ApproxGreedyOptions options_;
   WalkSource* external_source_;  // Not owned; may be null.
-  std::unique_ptr<InvertedWalkIndex> index_;
+  std::shared_ptr<const InvertedWalkIndex> prebuilt_index_;
+  std::shared_ptr<const InvertedWalkIndex> index_;
   int64_t num_evaluations_ = 0;
 };
 

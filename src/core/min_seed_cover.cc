@@ -1,5 +1,6 @@
 #include "core/min_seed_cover.h"
 
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -12,7 +13,8 @@
 namespace rwdom {
 
 MinSeedCoverResult MinSeedCover(const TransitionModel& model, double alpha,
-                                const ApproxGreedyOptions& options) {
+                                const ApproxGreedyOptions& options,
+                                const InvertedWalkIndex* prebuilt_index) {
   RWDOM_CHECK(alpha >= 0.0 && alpha <= 1.0);
   WallTimer timer;
   MinSeedCoverResult result;
@@ -25,10 +27,14 @@ MinSeedCoverResult MinSeedCover(const TransitionModel& model, double alpha,
     return result;
   }
 
-  TransitionWalkSource source(&model, options.seed);
-  InvertedWalkIndex index = InvertedWalkIndex::Build(
-      options.length, options.num_replicates, &source);
-  GainState state(&index, Problem::kDominatedCount);
+  std::optional<InvertedWalkIndex> built;
+  if (prebuilt_index == nullptr) {
+    TransitionWalkSource source(&model, options.seed);
+    built.emplace(InvertedWalkIndex::Build(options.length,
+                                           options.num_replicates, &source));
+    prebuilt_index = &*built;
+  }
+  GainState state(prebuilt_index, Problem::kDominatedCount);
 
   // CELF loop, terminating on coverage instead of cardinality.
   struct Entry {

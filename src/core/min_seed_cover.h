@@ -31,9 +31,15 @@ struct MinSeedCoverResult {
 };
 
 /// Greedy minimum-seed α-coverage over any TransitionModel. `alpha` in
-/// [0, 1].
+/// [0, 1]. When `prebuilt_index` is non-null it is used instead of
+/// building one; it must have been built with the same walk protocol the
+/// options describe (TransitionWalkSource at options.seed, L, R) for the
+/// result to be bit-identical to the self-built path — the service
+/// layer's QueryContext cache guarantees this via its cache key.
 MinSeedCoverResult MinSeedCover(const TransitionModel& model, double alpha,
-                                const ApproxGreedyOptions& options);
+                                const ApproxGreedyOptions& options,
+                                const InvertedWalkIndex* prebuilt_index =
+                                    nullptr);
 
 /// Unweighted convenience.
 MinSeedCoverResult MinSeedCover(const Graph& graph, double alpha,

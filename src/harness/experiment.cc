@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "service/engine.h"
+#include "service/requests.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -59,15 +61,23 @@ std::vector<MetricsResult> EvaluatePrefixes(
     const TransitionModel& model, const std::vector<NodeId>& selection,
     const std::vector<int32_t>& ks, int32_t length, int32_t num_samples,
     uint64_t seed) {
+  // One EvaluateRequest per prefix through the service engine — the same
+  // code path the CLI's `evaluate` and batch mode use, so bench tables
+  // and CLI output can never drift apart. Estimates are pure functions
+  // of (model, request), so this is bit-identical to calling
+  // SampledMetrics directly.
   std::vector<MetricsResult> results;
   results.reserve(ks.size());
   for (int32_t k : ks) {
     const size_t take =
         std::min(static_cast<size_t>(k), selection.size());
-    std::vector<NodeId> prefix(selection.begin(),
-                               selection.begin() + take);
-    results.push_back(
-        SampledMetrics(model, prefix, length, num_samples, seed));
+    EvaluateRequest request;
+    request.seeds.assign(selection.begin(), selection.begin() + take);
+    request.length = length;
+    request.num_samples = num_samples;
+    request.seed = seed;
+    EvaluateResponse response = EvaluateOnModel(model, request);
+    results.push_back(MetricsResult{response.aht, response.ehn});
   }
   return results;
 }

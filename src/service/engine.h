@@ -1,0 +1,56 @@
+// The service engine: executes typed requests against a warm
+// QueryContext. Every caller — CLI one-shot commands, `rwdom batch`,
+// the experiment harness, benches, tests, a future server — goes through
+// these entry points, so the load-once/query-many amortization and the
+// determinism contract live in exactly one place.
+#ifndef RWDOM_SERVICE_ENGINE_H_
+#define RWDOM_SERVICE_ENGINE_H_
+
+#include "service/query_context.h"
+#include "service/requests.h"
+#include "util/status.h"
+#include "walk/transition_model.h"
+
+namespace rwdom {
+
+/// Picks seeds with the requested selector. Approx* selectors draw their
+/// inverted index from the context cache (key: L/R/seed), so repeated
+/// selects — and a select after `stats --with_index` or cover with the
+/// same params — skip the build. reported seconds cover selector setup +
+/// (possible) index build + greedy rounds, matching the paper's cold
+/// timing protocol on a cold cache.
+Result<SelectResponse> Select(QueryContext& context,
+                              const SelectRequest& request);
+
+/// Scores a seed set with the paper's sampled-metrics protocol
+/// (Algorithm 2). Estimates are pure functions of (substrate, request),
+/// so warm and cold runs report bit-identical numbers.
+Result<EvaluateResponse> Evaluate(QueryContext& context,
+                                  const EvaluateRequest& request);
+
+/// Truncated-hitting-time kNN, exact (O(mL) DP) or sampled.
+Result<KnnResponse> Knn(QueryContext& context, const KnnRequest& request);
+
+/// Greedy minimum-seed alpha-coverage over the cached index.
+Result<CoverResponse> Cover(QueryContext& context,
+                            const CoverRequest& request);
+
+/// Structural stats + memory footprint; with_index reports (and caches)
+/// the inverted index for the requested params.
+Result<StatsResponse> Stats(QueryContext& context,
+                            const StatsRequest& request);
+
+/// Variant entry point: runs whichever request is held and returns the
+/// matching response alternative.
+Result<ServiceResponse> Dispatch(QueryContext& context,
+                                 const ServiceRequest& request);
+
+/// Model-level evaluate, for callers that hold a TransitionModel rather
+/// than a full substrate (the experiment harness's prefix evaluation).
+/// Identical estimator to Evaluate().
+EvaluateResponse EvaluateOnModel(const TransitionModel& model,
+                                 const EvaluateRequest& request);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_SERVICE_ENGINE_H_

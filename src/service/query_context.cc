@@ -1,0 +1,87 @@
+#include "service/query_context.h"
+
+#include <utility>
+
+#include "graph/clustering.h"
+#include "util/strings.h"
+#include "walk/walk_source.h"
+
+namespace rwdom {
+
+QueryContext::QueryContext(LoadedSubstrate loaded)
+    : loaded_(std::move(loaded)) {}
+
+QueryContext::QueryContext(GraphSubstrate substrate)
+    : loaded_{std::move(substrate), {}} {}
+
+std::shared_ptr<const InvertedWalkIndex> QueryContext::GetIndex(
+    const WalkIndexKey& key) {
+  auto it = index_cache_.find(key);
+  if (it != index_cache_.end()) return it->second;
+
+  // Cache miss: the build is a pure function of (substrate, key), which
+  // is what makes warm results bit-identical to cold ones.
+  TransitionWalkSource source(&substrate().model(), key.seed);
+  auto index = std::make_shared<const InvertedWalkIndex>(
+      InvertedWalkIndex::Build(key.length, key.num_samples, &source));
+  ++index_builds_;
+  if (index_build_hook_) index_build_hook_(key);
+  index_cache_.emplace(key, index);
+  return index;
+}
+
+const SubstrateStats& QueryContext::Stats() {
+  if (stats_.has_value()) return *stats_;
+
+  SubstrateStats stats;
+  stats.weighted = substrate().weighted();
+  stats.kind = substrate().kind();
+  stats.graph_bytes = substrate().MemoryUsageBytes();
+  stats.num_links = substrate().num_links();
+  if (!stats.weighted) {
+    const Graph& graph = *substrate().graph();
+    stats.graph_stats = ComputeGraphStats(graph);
+    stats.triangles = CountTriangles(graph);
+    stats.avg_clustering = AverageClusteringCoefficient(graph);
+    stats.transitivity = GlobalClusteringCoefficient(graph);
+    stats.num_nodes = graph.num_nodes();
+  } else {
+    const WeightedGraph& graph = *substrate().weighted_graph();
+    stats.num_nodes = graph.num_nodes();
+    stats.num_arcs = graph.num_arcs();
+    stats.max_out_degree = graph.max_out_degree();
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      if (graph.out_degree(u) == 0) ++stats.sinks;
+      stats.total_arc_weight += graph.total_out_weight(u);
+    }
+    stats.avg_out_degree =
+        graph.num_nodes() > 0
+            ? static_cast<double>(graph.num_arcs()) /
+                  static_cast<double>(graph.num_nodes())
+            : 0.0;
+  }
+  stats_ = std::move(stats);
+  return *stats_;
+}
+
+std::vector<ArtifactUsage> QueryContext::MemoryUsage() const {
+  std::vector<ArtifactUsage> usage;
+  usage.push_back({"graph", substrate().MemoryUsageBytes()});
+  for (const auto& [key, index] : index_cache_) {
+    usage.push_back(
+        {StrFormat("index(L=%d,R=%d,seed=%llu)", key.length, key.num_samples,
+                   static_cast<unsigned long long>(key.seed)),
+         index->MemoryUsageBytes()});
+  }
+  return usage;
+}
+
+int64_t QueryContext::TotalMemoryBytes() const {
+  int64_t total = 0;
+  for (const ArtifactUsage& artifact : MemoryUsage()) {
+    total += artifact.bytes;
+  }
+  return total;
+}
+
+}  // namespace rwdom

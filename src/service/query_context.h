@@ -1,0 +1,153 @@
+// QueryContext: the warm, reusable query engine at the heart of the
+// service layer.
+//
+// The paper's value proposition is that one expensive artifact — the
+// sampled-walk index — is built once and then answers many queries
+// cheaply. QueryContext is where that amortization lives: it owns one
+// loaded GraphSubstrate (graph storage + transition model + alias tables)
+// plus every derived artifact, each memoized under an explicit cache key,
+// so repeated queries reuse instead of rebuild:
+//
+//   artifact             cache key             built on first...
+//   ------------------   -------------------   ----------------------------
+//   transition model /   (substrate identity)  construction (owned by the
+//   alias tables                               substrate itself)
+//   inverted walk index  (L, R, seed)          select / cover / stats
+//                                              --with_index / knn sampled*
+//   stats summary        (substrate identity)  stats
+//
+//   *sampled knn draws fresh walks rather than reading the index; only
+//    the index-backed commands hit the index cache.
+//
+// Determinism contract: a cached index is a pure function of its key and
+// the substrate (InvertedWalkIndex::Build over
+// TransitionWalkSource(model, seed)), so serving a query from the cache
+// is bit-identical to a cold rebuild — the batch determinism tests pin
+// this. The `problem` (F1/F2) is deliberately NOT part of the key: the
+// index stores first-hit hop numbers, which Problem 1 consumes and
+// Problem 2 ignores, so both problems share one build (paper §3.3).
+//
+// CLI → service → core call chain: cli/cmd_*.cc parses flags into a
+// typed request (service/requests.h), acquires a QueryContext (fresh for
+// one-shot commands, shared for `rwdom batch`), and hands both to
+// service/engine.h, which runs the core algorithms.
+#ifndef RWDOM_SERVICE_QUERY_CONTEXT_H_
+#define RWDOM_SERVICE_QUERY_CONTEXT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/properties.h"
+#include "index/inverted_walk_index.h"
+#include "wgraph/substrate.h"
+
+namespace rwdom {
+
+/// Cache key of one inverted walk index: the three parameters the build
+/// is a pure function of (besides the substrate itself).
+struct WalkIndexKey {
+  int32_t length = 6;        ///< L, the walk budget.
+  int32_t num_samples = 100; ///< R, replicates per node.
+  uint64_t seed = 42;        ///< Master walk seed.
+
+  friend auto operator<=>(const WalkIndexKey&, const WalkIndexKey&) = default;
+};
+
+/// Byte-accounting row for one cached artifact (see
+/// QueryContext::MemoryUsage).
+struct ArtifactUsage {
+  std::string name;  ///< e.g. "graph", "index(L=6,R=100,seed=42)".
+  int64_t bytes = 0;
+};
+
+/// Memoized structural summary of the substrate (the `stats` command's
+/// numbers). Unweighted substrates fill the graph_* block; weighted ones
+/// the arc block.
+struct SubstrateStats {
+  bool weighted = false;
+  std::string kind;  ///< "uniform", "weighted" or "weighted-directed".
+  // Unweighted block.
+  GraphStats graph_stats;
+  int64_t triangles = 0;
+  double avg_clustering = 0.0;
+  double transitivity = 0.0;
+  // Weighted block.
+  NodeId num_nodes = 0;
+  int64_t num_arcs = 0;
+  double avg_out_degree = 0.0;
+  int32_t max_out_degree = 0;
+  NodeId sinks = 0;
+  double total_arc_weight = 0.0;
+  // Both.
+  int64_t graph_bytes = 0;
+  int64_t num_links = 0;
+};
+
+/// One warm engine over one loaded substrate. Construct once, dispatch
+/// many requests (service/engine.h); every expensive artifact is built at
+/// most once per cache key. Movable, not copyable; not thread-safe —
+/// one context per serving thread (contexts share nothing mutable, so
+/// sharding across threads is one-context-per-shard).
+class QueryContext {
+ public:
+  explicit QueryContext(LoadedSubstrate loaded);
+  explicit QueryContext(GraphSubstrate substrate);
+
+  QueryContext(QueryContext&&) noexcept = default;
+  QueryContext& operator=(QueryContext&&) noexcept = default;
+
+  const GraphSubstrate& substrate() const { return loaded_.substrate; }
+
+  /// original_ids[dense] = id as it appeared in the input file (empty for
+  /// generated/synthesized substrates).
+  const std::vector<int64_t>& original_ids() const {
+    return loaded_.original_ids;
+  }
+
+  /// The inverted walk index for `key`, building and caching it on the
+  /// first request. The returned pointer stays valid for the context's
+  /// lifetime (shared ownership: selectors may hold it across evictions).
+  std::shared_ptr<const InvertedWalkIndex> GetIndex(const WalkIndexKey& key);
+
+  /// Number of index builds performed so far — the counting hook the
+  /// cache tests use ("a 3-query batch builds the index exactly once").
+  int64_t index_builds() const { return index_builds_; }
+
+  /// Optional observer invoked (with the key) on every actual index
+  /// build, i.e. on cache misses only.
+  void set_index_build_hook(std::function<void(const WalkIndexKey&)> hook) {
+    index_build_hook_ = std::move(hook);
+  }
+
+  /// Drops all cached indexes (admission-control hook; existing
+  /// shared_ptr holders keep their index alive until they release it).
+  void EvictIndexes() { index_cache_.clear(); }
+
+  /// The memoized structural summary, computing it on first use.
+  const SubstrateStats& Stats();
+
+  /// Byte accounting, one row per resident artifact: always "graph",
+  /// plus one row per cached index. Rows appear in deterministic (key)
+  /// order.
+  std::vector<ArtifactUsage> MemoryUsage() const;
+
+  /// Sum of MemoryUsage() rows.
+  int64_t TotalMemoryBytes() const;
+
+ private:
+  LoadedSubstrate loaded_;
+  std::map<WalkIndexKey, std::shared_ptr<const InvertedWalkIndex>>
+      index_cache_;
+  int64_t index_builds_ = 0;
+  std::function<void(const WalkIndexKey&)> index_build_hook_;
+  std::optional<SubstrateStats> stats_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_SERVICE_QUERY_CONTEXT_H_

@@ -1,0 +1,229 @@
+#include "service/render.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace rwdom {
+namespace {
+
+void AppendSeedList(const std::vector<NodeId>& seeds, std::ostream& out) {
+  out << "seeds:";
+  for (NodeId u : seeds) out << " " << u;
+  out << "\n";
+}
+
+void AppendNodeArray(const std::vector<NodeId>& nodes, JsonWriter& json) {
+  json.BeginArray();
+  for (NodeId u : nodes) json.Int(u);
+  json.EndArray();
+}
+
+void AppendNumberArray(const std::vector<double>& values, JsonWriter& json) {
+  json.BeginArray();
+  for (double v : values) json.Number(v);
+  json.EndArray();
+}
+
+}  // namespace
+
+void RenderText(const SelectResponse& response, std::ostream& out) {
+  out << StrFormat("%s selected %zu seeds on the %s substrate in %.3f s\n",
+                   response.algorithm.c_str(), response.seeds.size(),
+                   response.substrate_kind.c_str(), response.seconds);
+  AppendSeedList(response.seeds, out);
+  out << StrFormat("AHT=%.4f EHN=%.1f (L=%d, metric R=%d)\n", response.aht,
+                   response.ehn, response.length, response.metric_samples);
+  if (!response.index_saved.empty()) {
+    out << "index saved to " << response.index_saved << "\n";
+  }
+}
+
+void RenderText(const EvaluateResponse& response, std::ostream& out) {
+  out << StrFormat("k=%lld L=%d R=%d\nAHT=%.4f\nEHN=%.1f\n",
+                   static_cast<long long>(response.k), response.length,
+                   response.num_samples, response.aht, response.ehn);
+}
+
+void RenderText(const KnnResponse& response, std::ostream& out) {
+  TablePrinter table({"rank", "node", "h^L(node -> query)"});
+  for (size_t i = 0; i < response.neighbors.size(); ++i) {
+    table.AddRow({std::to_string(i + 1),
+                  std::to_string(response.neighbors[i].node),
+                  StrFormat("%.4f", response.neighbors[i].hitting_time)});
+  }
+  out << table.ToString();
+}
+
+void RenderText(const CoverResponse& response, std::ostream& out) {
+  out << StrFormat("alpha=%.2f -> %zu seeds (target %s) in %.3f s\n",
+                   response.alpha, response.seeds.size(),
+                   response.reached_target ? "reached" : "NOT reached",
+                   response.seconds);
+  AppendSeedList(response.seeds, out);
+}
+
+void RenderText(const StatsResponse& response, std::ostream& out) {
+  const SubstrateStats& stats = response.stats;
+  if (!stats.weighted) {
+    out << stats.graph_stats.ToString() << "\n";
+    out << StrFormat(
+        "triangles=%lld avg_clustering=%.4f transitivity=%.4f\n",
+        static_cast<long long>(stats.triangles), stats.avg_clustering,
+        stats.transitivity);
+  } else {
+    out << StrFormat("n=%d arcs=%lld (%s)\n", stats.num_nodes,
+                     static_cast<long long>(stats.num_arcs),
+                     stats.kind.c_str());
+    out << StrFormat(
+        "avg_out_degree=%.2f max_out_degree=%d sinks=%d "
+        "total_arc_weight=%.4g\n",
+        stats.avg_out_degree, stats.max_out_degree, stats.sinks,
+        stats.total_arc_weight);
+  }
+  const double n = std::max<double>(1.0, stats.num_nodes);
+  const double links = std::max<double>(1.0, stats.num_links);
+  out << StrFormat(
+      "memory: graph=%lld bytes (%.1f bytes/node, %.1f bytes/%s)\n",
+      static_cast<long long>(stats.graph_bytes),
+      static_cast<double>(stats.graph_bytes) / n,
+      static_cast<double>(stats.graph_bytes) / links,
+      stats.weighted ? "arc" : "edge");
+  if (response.with_index) {
+    out << StrFormat(
+        "memory: index=%lld bytes (L=%d R=%d, %lld entries, "
+        "%.1f bytes/node, %.2f bytes/entry)\n",
+        static_cast<long long>(response.index_bytes), response.index_length,
+        response.index_samples,
+        static_cast<long long>(response.index_entries),
+        static_cast<double>(response.index_bytes) / n,
+        static_cast<double>(response.index_bytes) /
+            std::max<double>(1.0,
+                             static_cast<double>(response.index_entries)));
+  }
+}
+
+void AppendJson(const SelectResponse& response, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("command").String("select");
+  json.Key("algorithm").String(response.algorithm);
+  json.Key("substrate").String(response.substrate_kind);
+  json.Key("k").Int(static_cast<int64_t>(response.seeds.size()));
+  json.Key("seeds");
+  AppendNodeArray(response.seeds, json);
+  json.Key("gains");
+  AppendNumberArray(response.gains, json);
+  json.Key("seconds").Number(response.seconds);
+  json.Key("metrics").BeginObject();
+  json.Key("aht").Number(response.aht);
+  json.Key("ehn").Number(response.ehn);
+  json.Key("L").Int(response.length);
+  json.Key("metric_R").Int(response.metric_samples);
+  json.EndObject();
+  if (!response.index_saved.empty()) {
+    json.Key("index_saved").String(response.index_saved);
+  }
+  json.EndObject();
+}
+
+void AppendJson(const EvaluateResponse& response, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("command").String("evaluate");
+  json.Key("k").Int(response.k);
+  json.Key("L").Int(response.length);
+  json.Key("R").Int(response.num_samples);
+  json.Key("aht").Number(response.aht);
+  json.Key("ehn").Number(response.ehn);
+  json.EndObject();
+}
+
+void AppendJson(const KnnResponse& response, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("command").String("knn");
+  json.Key("query").Int(response.query);
+  json.Key("mode").String(response.mode);
+  json.Key("k").Int(static_cast<int64_t>(response.neighbors.size()));
+  json.Key("neighbors").BeginArray();
+  for (size_t i = 0; i < response.neighbors.size(); ++i) {
+    json.BeginObject();
+    json.Key("rank").Int(static_cast<int64_t>(i + 1));
+    json.Key("node").Int(response.neighbors[i].node);
+    json.Key("hitting_time").Number(response.neighbors[i].hitting_time);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+}
+
+void AppendJson(const CoverResponse& response, JsonWriter& json) {
+  json.BeginObject();
+  json.Key("command").String("cover");
+  json.Key("alpha").Number(response.alpha);
+  json.Key("k").Int(static_cast<int64_t>(response.seeds.size()));
+  json.Key("reached_target").Bool(response.reached_target);
+  json.Key("seconds").Number(response.seconds);
+  json.Key("seeds");
+  AppendNodeArray(response.seeds, json);
+  json.Key("coverage_after_pick");
+  AppendNumberArray(response.coverage_after_pick, json);
+  json.EndObject();
+}
+
+void AppendJson(const StatsResponse& response, JsonWriter& json) {
+  const SubstrateStats& stats = response.stats;
+  json.BeginObject();
+  json.Key("command").String("stats");
+  json.Key("substrate").String(stats.kind);
+  json.Key("weighted").Bool(stats.weighted);
+  if (!stats.weighted) {
+    json.Key("n").Int(stats.graph_stats.num_nodes);
+    json.Key("m").Int(stats.graph_stats.num_edges);
+    json.Key("avg_degree").Number(stats.graph_stats.avg_degree);
+    json.Key("min_degree").Int(stats.graph_stats.min_degree);
+    json.Key("max_degree").Int(stats.graph_stats.max_degree);
+    json.Key("isolated").Int(stats.graph_stats.num_isolated);
+    json.Key("components").Int(stats.graph_stats.num_components);
+    json.Key("largest_component").Int(stats.graph_stats.largest_component_size);
+    json.Key("triangles").Int(stats.triangles);
+    json.Key("avg_clustering").Number(stats.avg_clustering);
+    json.Key("transitivity").Number(stats.transitivity);
+  } else {
+    json.Key("n").Int(stats.num_nodes);
+    json.Key("arcs").Int(stats.num_arcs);
+    json.Key("avg_out_degree").Number(stats.avg_out_degree);
+    json.Key("max_out_degree").Int(stats.max_out_degree);
+    json.Key("sinks").Int(stats.sinks);
+    json.Key("total_arc_weight").Number(stats.total_arc_weight);
+  }
+  json.Key("memory").BeginObject();
+  json.Key("graph_bytes").Int(stats.graph_bytes);
+  if (response.with_index) {
+    json.Key("index").BeginObject();
+    json.Key("L").Int(response.index_length);
+    json.Key("R").Int(response.index_samples);
+    json.Key("bytes").Int(response.index_bytes);
+    json.Key("entries").Int(response.index_entries);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+}
+
+void Render(const ServiceResponse& response, OutputFormat format,
+            std::ostream& out) {
+  std::visit(
+      [format, &out](const auto& typed) {
+        if (format == OutputFormat::kText) {
+          RenderText(typed, out);
+        } else {
+          JsonWriter json;
+          AppendJson(typed, json);
+          out << json.ToString() << "\n";
+        }
+      },
+      response);
+}
+
+}  // namespace rwdom

@@ -1,0 +1,43 @@
+// Response rendering: the legacy human-readable text (byte-compatible
+// with the pre-service CLI output, pinned by golden tests) and the
+// structured `--format=json` encoding, unified across all commands. Both
+// render from the same response structs, so the two formats cannot
+// disagree on the numbers they report.
+#ifndef RWDOM_SERVICE_RENDER_H_
+#define RWDOM_SERVICE_RENDER_H_
+
+#include <ostream>
+
+#include "service/requests.h"
+#include "util/json.h"
+
+namespace rwdom {
+
+/// How command output is rendered.
+enum class OutputFormat {
+  kText,  ///< Legacy aligned/printf text.
+  kJson,  ///< One JSON object (one line — JSONL-friendly in batch mode).
+};
+
+void RenderText(const SelectResponse& response, std::ostream& out);
+void RenderText(const EvaluateResponse& response, std::ostream& out);
+void RenderText(const KnnResponse& response, std::ostream& out);
+void RenderText(const CoverResponse& response, std::ostream& out);
+void RenderText(const StatsResponse& response, std::ostream& out);
+
+/// Appends the response as JSON into an open writer (callers compose it
+/// into larger documents, e.g. the bench drivers).
+void AppendJson(const SelectResponse& response, JsonWriter& json);
+void AppendJson(const EvaluateResponse& response, JsonWriter& json);
+void AppendJson(const KnnResponse& response, JsonWriter& json);
+void AppendJson(const CoverResponse& response, JsonWriter& json);
+void AppendJson(const StatsResponse& response, JsonWriter& json);
+
+/// Renders whichever alternative is held, in the requested format. JSON
+/// output is exactly one line, newline-terminated.
+void Render(const ServiceResponse& response, OutputFormat format,
+            std::ostream& out);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_SERVICE_RENDER_H_

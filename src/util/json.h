@@ -1,12 +1,13 @@
-// Minimal streaming JSON writer for machine-readable bench output.
+// Minimal JSON support: a streaming writer and a strict parser.
 //
-// The bench drivers historically emitted human tables plus CSV; CI tracks
-// the perf trajectory through BENCH_*.json artifacts instead, which need
-// nesting (run metadata + per-series measurements) that CSV cannot carry.
-// This is deliberately tiny: objects, arrays, strings, numbers, bools —
-// enough for bench output, nothing more.
+// The writer started life as the bench drivers' machine-readable output
+// (BENCH_*.json artifacts need nesting that CSV cannot carry); the service
+// layer now also uses it for `--format=json` CLI output. The parser exists
+// for `rwdom batch` JSONL scripts. Both are deliberately tiny: objects,
+// arrays, strings, numbers, bools, null — RFC 8259 essentials, nothing
+// more (no comments, no trailing commas, no NaN/Inf).
 //
-// Usage:
+// Writer usage:
 //   JsonWriter json;
 //   json.BeginObject();
 //   json.Key("bench").String("parallel_scaling");
@@ -14,14 +15,18 @@
 //   json.BeginObject().Key("threads").Int(4).EndObject();
 //   json.EndArray().EndObject();
 //   json.ToString();  // {"bench":"parallel_scaling","series":[{"threads":4}]}
-#ifndef RWDOM_BENCH_BENCH_JSON_H_
-#define RWDOM_BENCH_BENCH_JSON_H_
+#ifndef RWDOM_UTIL_JSON_H_
+#define RWDOM_UTIL_JSON_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/status.h"
 #include "util/strings.h"
 
 namespace rwdom {
@@ -62,6 +67,7 @@ class JsonWriter {
 
   /// Starts an object member; must be followed by exactly one value.
   JsonWriter& Key(const std::string& name) {
+    RWDOM_CHECK(!pending_key_) << "Key after Key without a value";
     RWDOM_CHECK(!stack_.empty() && (stack_.back() == State::kFirstInObject ||
                                     stack_.back() == State::kInObject))
         << "Key outside an object";
@@ -162,6 +168,54 @@ class JsonWriter {
   bool pending_key_ = false;
 };
 
+/// An immutable parsed JSON value. Object members keep their source order
+/// (so batch scripts execute flags deterministically in the order written).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue MakeBool(bool value);
+  static JsonValue MakeNumber(double value);
+  static JsonValue MakeString(std::string value);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(std::vector<Member> members);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors die (RWDOM_CHECK) on type mismatch; check first.
+  bool bool_value() const;
+  double number_value() const;
+  const std::string& string_value() const;
+  const std::vector<JsonValue>& array() const;
+  const std::vector<Member>& object() const;
+
+  /// First member named `key`, or nullptr (object values only).
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Shared so JsonValue stays cheaply copyable; parsed values are
+  // immutable, so the sharing is invisible.
+  std::shared_ptr<const std::vector<JsonValue>> array_;
+  std::shared_ptr<const std::vector<Member>> object_;
+};
+
+/// Parses `text` as exactly one JSON value (leading/trailing whitespace
+/// allowed, trailing garbage is an error). Errors carry a byte offset.
+Result<JsonValue> ParseJson(std::string_view text);
+
 }  // namespace rwdom
 
-#endif  // RWDOM_BENCH_BENCH_JSON_H_
+#endif  // RWDOM_UTIL_JSON_H_

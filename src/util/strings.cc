@@ -1,5 +1,6 @@
 #include "util/strings.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
 #include <cstdarg>
@@ -104,6 +105,38 @@ std::string FormatWithCommas(int64_t n) {
   }
   if (n < 0) out.push_back('-');
   return std::string(out.rbegin(), out.rend());
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  // Single-row DP; row[j] = distance(a[0..i), b[0..j)).
+  std::vector<size_t> row(a.size() + 1);
+  for (size_t j = 0; j <= a.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= b.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= a.size(); ++j) {
+      size_t substitute = diagonal + (a[j - 1] == b[i - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitute});
+    }
+  }
+  return row[a.size()];
+}
+
+std::string ClosestMatch(std::string_view name,
+                         const std::vector<std::string>& candidates,
+                         size_t max_distance) {
+  std::string best;
+  size_t best_distance = max_distance + 1;
+  for (const std::string& candidate : candidates) {
+    size_t distance = EditDistance(name, candidate);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = candidate;
+    }
+  }
+  return best;
 }
 
 std::string StrFormat(const char* fmt, ...) {

@@ -39,6 +39,17 @@ std::string FormatWithCommas(int64_t n);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Levenshtein edit distance (insert/delete/substitute, each cost 1).
+/// O(|a|·|b|) time, O(min) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// The candidate closest to `name` by edit distance, or "" when the best
+/// distance exceeds `max_distance` (ties break toward the earlier
+/// candidate). Drives the CLI's "did you mean" suggestions.
+std::string ClosestMatch(std::string_view name,
+                         const std::vector<std::string>& candidates,
+                         size_t max_distance = 3);
+
 }  // namespace rwdom
 
 #endif  // RWDOM_UTIL_STRINGS_H_

@@ -1,4 +1,4 @@
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 
 #include <algorithm>
 #include <cstdio>

@@ -1,7 +1,7 @@
 // Aligned plain-text tables for benchmark output — the stdout analogue of
 // the paper's figures, one row per sweep point.
-#ifndef RWDOM_HARNESS_TABLE_PRINTER_H_
-#define RWDOM_HARNESS_TABLE_PRINTER_H_
+#ifndef RWDOM_UTIL_TABLE_PRINTER_H_
+#define RWDOM_UTIL_TABLE_PRINTER_H_
 
 #include <string>
 #include <vector>
@@ -31,4 +31,4 @@ class TablePrinter {
 
 }  // namespace rwdom
 
-#endif  // RWDOM_HARNESS_TABLE_PRINTER_H_
+#endif  // RWDOM_UTIL_TABLE_PRINTER_H_

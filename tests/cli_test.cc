@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "util/json.h"
 #include "util/parallel.h"
+#include "util/strings.h"
 
 namespace rwdom {
 namespace {
@@ -35,15 +38,21 @@ TEST(CliParseTest, CommandAndFlags) {
 TEST(CliParseTest, RejectsMalformedInput) {
   const char* no_command[] = {"rwdom"};
   EXPECT_FALSE(ParseCliArgs(1, no_command).ok());
-  EXPECT_FALSE(Parse({"stats", "positional"}).ok());
   EXPECT_FALSE(Parse({"stats", "--flagwithoutvalue"}).ok());
+  // Positionals parse (help/batch take them); commands that take none
+  // reject them at validation time.
+  auto positional = Parse({"stats", "positional"});
+  ASSERT_TRUE(positional.ok());
+  EXPECT_EQ(positional->positionals, std::vector<std::string>{"positional"});
+  EXPECT_EQ(RunCli({"stats", "positional"}).first.code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(CliTest, HelpListsEveryCommand) {
   auto [status, out] = RunCli({"help"});
   ASSERT_TRUE(status.ok());
-  for (const char* command :
-       {"datasets", "stats", "generate", "select", "evaluate", "cover"}) {
+  for (const char* command : {"datasets", "stats", "generate", "select",
+                              "evaluate", "cover", "knn", "batch"}) {
     EXPECT_NE(out.find(command), std::string::npos) << command;
   }
 }
@@ -460,6 +469,152 @@ TEST(CliTest, GraphAndDatasetFlagsAreExclusive) {
   auto both = RunCli({"stats", "--graph=x", "--dataset=CAGrQc"});
   EXPECT_EQ(both.first.code(), StatusCode::kInvalidArgument);
 }
+
+TEST_F(CliFileTest, RejectsOutOfInt32RangeNumericFlags) {
+  // Values past 2^31 used to wrap through the int32 narrowing (e.g.
+  // --k=2^32 silently selected zero seeds); now they error up front.
+  std::string flag = GraphFlag();
+  for (const char* bad :
+       {"--L=2147483648", "--R=4294967296", "--k=4294967296"}) {
+    auto [status, out] =
+        RunCli({"select", flag.c_str(), "--algorithm=Degree", bad});
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << bad;
+  }
+  EXPECT_EQ(RunCli({"evaluate", flag.c_str(), "--seeds=0",
+                    "--R=4294967296"})
+                .first.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunCli({"knn", flag.c_str(), "--query=0", "--k=4294967296"})
+                .first.code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CliTest, FormatFlagValidated) {
+  EXPECT_EQ(RunCli({"datasets", "--format=xml"}).first.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(RunCli({"datasets", "--format=json"}).first.ok());
+  EXPECT_TRUE(RunCli({"datasets", "--format=text"}).first.ok());
+}
+
+// --- Text/JSON golden parity ---------------------------------------------
+//
+// `--format=json` and the legacy text output must report identical
+// numbers for select / evaluate / knn, on an unweighted and a
+// weighted-directed input. Text rounds with printf (%.4f / %.1f), so the
+// pin is: the JSON value rounded to the text precision equals the text
+// value, and discrete outputs (seeds, ranks) match exactly.
+
+double TextNumber(const std::string& text, const std::string& prefix) {
+  size_t at = text.find(prefix);
+  EXPECT_NE(at, std::string::npos) << prefix << " missing in:\n" << text;
+  return std::strtod(text.c_str() + at + prefix.size(), nullptr);
+}
+
+class FormatGoldenTest : public testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    // Parameterized test names contain '/', which cannot appear in the
+    // temp file name.
+    std::string name =
+        testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (char& c : name) {
+      if (c == '/') c = '_';
+    }
+    graph_path_ = testing::TempDir() + "/rwdom_fmt_" + name +
+                  (GetParam() ? "_wd" : "_uw") + ".txt";
+    FILE* file = fopen(graph_path_.c_str(), "w");
+    ASSERT_NE(file, nullptr);
+    if (GetParam()) {
+      fputs("0 1 1.0\n1 0 8.0\n2 0 8.0\n3 0 8.0\n4 0 8.0\n0 2 1.0\n",
+            file);
+    } else {
+      fputs("0 1\n0 2\n0 3\n0 4\n4 5\n", file);
+    }
+    fclose(file);
+  }
+  void TearDown() override { std::remove(graph_path_.c_str()); }
+
+  std::vector<const char*> WithSubstrate(std::vector<const char*> args) {
+    graph_flag_ = "--graph=" + graph_path_;
+    args.push_back(graph_flag_.c_str());
+    if (GetParam()) args.push_back("--directed=1");
+    return args;
+  }
+
+  // Runs the same invocation in both formats; returns (text, parsed json).
+  std::pair<std::string, JsonValue> BothFormats(
+      std::vector<const char*> args) {
+    auto [text_status, text] = RunCli(WithSubstrate(args));
+    EXPECT_TRUE(text_status.ok()) << text_status;
+    args.push_back("--format=json");
+    auto [json_status, json_text] = RunCli(WithSubstrate(args));
+    EXPECT_TRUE(json_status.ok()) << json_status;
+    auto json = ParseJson(json_text);
+    EXPECT_TRUE(json.ok()) << json.status();
+    return {text, *json};
+  }
+
+  std::string graph_path_;
+  std::string graph_flag_;
+};
+
+TEST_P(FormatGoldenTest, SelectReportsIdenticalNumbers) {
+  auto [text, json] = BothFormats({"select", "--problem=F2",
+                                   "--method=index-celf", "--k=2", "--L=3",
+                                   "--R=40"});
+  // Seeds: exact match between the text "seeds:" line and the JSON array.
+  std::string expected_seeds = "seeds:";
+  for (const JsonValue& seed : json.Find("seeds")->array()) {
+    expected_seeds += ' ';
+    expected_seeds += std::to_string(static_cast<int64_t>(seed.number_value()));
+  }
+  EXPECT_NE(text.find(expected_seeds + "\n"), std::string::npos)
+      << expected_seeds << " missing in:\n" << text;
+  // Metrics: JSON carries full precision; text rounds to 4 / 1 decimals.
+  const JsonValue* metrics = json.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_NEAR(TextNumber(text, "AHT="), metrics->Find("aht")->number_value(),
+              5e-5);
+  EXPECT_NEAR(TextNumber(text, "EHN="), metrics->Find("ehn")->number_value(),
+              5e-2);
+  EXPECT_EQ(json.Find("k")->number_value(), 2.0);
+}
+
+TEST_P(FormatGoldenTest, EvaluateReportsIdenticalNumbers) {
+  auto [text, json] =
+      BothFormats({"evaluate", "--seeds=0,4", "--L=3", "--R=200"});
+  EXPECT_NEAR(TextNumber(text, "AHT="), json.Find("aht")->number_value(),
+              5e-5);
+  EXPECT_NEAR(TextNumber(text, "EHN="), json.Find("ehn")->number_value(),
+              5e-2);
+  EXPECT_EQ(json.Find("k")->number_value(), 2.0);
+  EXPECT_EQ(json.Find("L")->number_value(), 3.0);
+  EXPECT_EQ(json.Find("R")->number_value(), 200.0);
+}
+
+TEST_P(FormatGoldenTest, KnnReportsIdenticalNumbers) {
+  auto [text, json] = BothFormats({"knn", "--query=0", "--k=3", "--L=4"});
+  const auto& neighbors = json.Find("neighbors")->array();
+  ASSERT_EQ(neighbors.size(), 3u);
+  for (const JsonValue& neighbor : neighbors) {
+    // Each JSON row appears in the text table: same node, same rounded
+    // hitting time, same rank order.
+    std::string row = StrFormat(
+        "%lld     %lld     %.4f",
+        static_cast<long long>(neighbor.Find("rank")->number_value()),
+        static_cast<long long>(neighbor.Find("node")->number_value()),
+        neighbor.Find("hitting_time")->number_value());
+    EXPECT_NE(text.find(row), std::string::npos)
+        << row << " missing in:\n" << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UnweightedAndWeightedDirected, FormatGoldenTest,
+                         testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "WeightedDirected"
+                                             : "Unweighted";
+                         });
 
 }  // namespace
 }  // namespace rwdom

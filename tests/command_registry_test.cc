@@ -1,0 +1,141 @@
+#include "cli/command_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/cli.h"
+
+namespace rwdom {
+namespace {
+
+std::pair<Status, std::string> RunCli(std::vector<const char*> args) {
+  args.insert(args.begin(), "rwdom");
+  auto invocation =
+      ParseCliArgs(static_cast<int>(args.size()), args.data());
+  if (!invocation.ok()) return {invocation.status(), ""};
+  std::ostringstream out;
+  Status status = RunCliCommand(*invocation, out);
+  return {status, out.str()};
+}
+
+TEST(CommandRegistryTest, EveryCommandIsFullyDescribed) {
+  ASSERT_FALSE(Commands().empty());
+  for (const CommandDef& command : Commands()) {
+    EXPECT_FALSE(command.name.empty());
+    EXPECT_FALSE(command.summary.empty()) << command.name;
+    EXPECT_FALSE(command.usage.empty()) << command.name;
+    EXPECT_NE(command.handler, nullptr) << command.name;
+    EXPECT_EQ(FindCommand(command.name), &command);
+  }
+  EXPECT_EQ(FindCommand("frobnicate"), nullptr);
+}
+
+TEST(CommandRegistryTest, BatchableSetMatchesQueryCommands) {
+  for (const char* name : {"select", "evaluate", "knn", "cover", "stats"}) {
+    EXPECT_TRUE(FindCommand(name)->batchable) << name;
+  }
+  for (const char* name : {"datasets", "generate", "help", "batch"}) {
+    EXPECT_FALSE(FindCommand(name)->batchable) << name;
+  }
+}
+
+TEST(CommandRegistryTest, UnknownCommandSuggestsClosestName) {
+  // The satellite requirement: edit-distance "did you mean" for commands.
+  auto [status, out] = RunCli({"selct"});
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("did you mean `select`?"),
+            std::string::npos)
+      << status;
+
+  auto [eval_status, eval_out] = RunCli({"evalute"});
+  EXPECT_NE(eval_status.message().find("`evaluate`"), std::string::npos)
+      << eval_status;
+
+  // Nothing close: no suggestion appended.
+  auto [far_status, far_out] = RunCli({"zzzzzzzzzz"});
+  EXPECT_EQ(far_status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(far_status.message().find("did you mean"), std::string::npos)
+      << far_status;
+}
+
+TEST(CommandRegistryTest, UnknownFlagSuggestsClosestFlag) {
+  // The satellite requirement: edit-distance "did you mean" for flags.
+  auto [status, out] = RunCli({"select", "--graph=x", "--seeed=1"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("did you mean --seed?"),
+            std::string::npos)
+      << status;
+
+  auto [knn_status, knn_out] = RunCli({"knn", "--graph=x", "--qury=0"});
+  EXPECT_NE(knn_status.message().find("did you mean --query?"),
+            std::string::npos)
+      << knn_status;
+
+  // Global flags are suggestion candidates too.
+  auto [fmt_status, fmt_out] = RunCli({"datasets", "--formt=json"});
+  EXPECT_NE(fmt_status.message().find("did you mean --format?"),
+            std::string::npos)
+      << fmt_status;
+}
+
+TEST(CommandRegistryTest, HelpCommandPrintsFlagSpecFromRegistry) {
+  // `rwdom help select` must list every registered select flag with its
+  // value hint — generated from the registry, not a hand-written blob.
+  auto [status, out] = RunCli({"help", "select"});
+  ASSERT_TRUE(status.ok()) << status;
+  for (const FlagDef& flag : FindCommand("select")->flags) {
+    EXPECT_NE(out.find("--" + flag.name), std::string::npos) << flag.name;
+    EXPECT_NE(out.find(flag.help), std::string::npos) << flag.name;
+  }
+  EXPECT_NE(out.find(FindCommand("select")->usage), std::string::npos);
+  // Global flags are documented on every per-command page.
+  EXPECT_NE(out.find("--threads"), std::string::npos);
+  EXPECT_NE(out.find("--format"), std::string::npos);
+}
+
+TEST(CommandRegistryTest, HelpForEveryCommandSucceeds) {
+  for (const CommandDef& command : Commands()) {
+    auto [status, out] = RunCli({"help", command.name.c_str()});
+    EXPECT_TRUE(status.ok()) << command.name << ": " << status;
+    EXPECT_NE(out.find("rwdom " + command.name), std::string::npos)
+        << command.name;
+  }
+}
+
+TEST(CommandRegistryTest, HelpForUnknownCommandSuggests) {
+  auto [status, out] = RunCli({"help", "slect"});
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("`select`"), std::string::npos) << status;
+}
+
+TEST(CommandRegistryTest, HelpJsonListsEveryCommand) {
+  auto [status, out] = RunCli({"help", "--format=json"});
+  ASSERT_TRUE(status.ok()) << status;
+  for (const CommandDef& command : Commands()) {
+    EXPECT_NE(out.find("\"name\":\"" + command.name + "\""),
+              std::string::npos)
+        << command.name;
+  }
+}
+
+TEST(CommandRegistryTest, SurplusPositionalsRejected) {
+  auto [status, out] = RunCli({"stats", "positional"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unexpected argument"), std::string::npos)
+      << status;
+  auto [help_status, help_out] = RunCli({"help", "select", "extra"});
+  EXPECT_EQ(help_status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CommandRegistryTest, ValidateInvocationKeepsGenerateHint) {
+  CliInvocation invocation;
+  invocation.command = "generate";
+  invocation.flags = {{"model", "er"}, {"p", "0.5"}};
+  Status status = ValidateInvocation(*FindCommand("generate"), invocation);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("--m"), std::string::npos) << status;
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -6,7 +6,7 @@
 #include "graph/graph_io.h"
 #include "harness/dataset_registry.h"
 #include "harness/experiment.h"
-#include "harness/table_printer.h"
+#include "util/table_printer.h"
 
 namespace rwdom {
 namespace {

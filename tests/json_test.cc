@@ -1,0 +1,113 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace rwdom {
+namespace {
+
+TEST(JsonWriterTest, NestedDocument) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String("x");
+  json.Key("series").BeginArray();
+  json.BeginObject().Key("threads").Int(4).EndObject();
+  json.Number(0.5);
+  json.Bool(true);
+  json.EndArray();
+  json.EndObject();
+  EXPECT_EQ(json.ToString(),
+            "{\"name\":\"x\",\"series\":[{\"threads\":4},0.5,true]}");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter json;
+  json.String("a\"b\\c\nd\x01");
+  EXPECT_EQ(json.ToString(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+}
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->bool_value());
+  EXPECT_FALSE(ParseJson("false")->bool_value());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->number_value(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-3.25e2")->number_value(), -325.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->string_value(), "hi");
+  EXPECT_EQ(ParseJson("  \"padded\"  ")->string_value(), "padded");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(ParseJson(R"("a\"b\\c\/d\n\t")")->string_value(),
+            "a\"b\\c/d\n\t");
+  EXPECT_EQ(ParseJson(R"("\u0041\u00e9")")->string_value(), "A\xC3\xA9");
+  // Surrogate pair: U+1F600 as UTF-8.
+  EXPECT_EQ(ParseJson(R"("\ud83d\ude00")")->string_value(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParseTest, ArraysAndObjects) {
+  auto value = ParseJson(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(value.ok()) << value.status();
+  ASSERT_TRUE(value->is_object());
+  const JsonValue* a = value->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array()[0].number_value(), 1.0);
+  EXPECT_TRUE(a->array()[2].Find("b")->bool_value());
+  EXPECT_EQ(value->Find("c")->string_value(), "x");
+  EXPECT_EQ(value->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, ObjectPreservesMemberOrder) {
+  auto value = ParseJson(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(value.ok());
+  ASSERT_EQ(value->object().size(), 3u);
+  EXPECT_EQ(value->object()[0].first, "z");
+  EXPECT_EQ(value->object()[1].first, "a");
+  EXPECT_EQ(value->object()[2].first, "m");
+}
+
+TEST(JsonParseTest, EmptyContainers) {
+  EXPECT_TRUE(ParseJson("{}")->object().empty());
+  EXPECT_TRUE(ParseJson("[]")->array().empty());
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "   ", "{", "[1, 2", "{\"a\" 1}", "{\"a\": 1,}", "[1 2]",
+        "nul", "tru", "01", "1.", ".5", "1e", "+1", "\"unterminated",
+        "\"bad\\escape\"", "\"\\u12\"", "\"\\ud800\"", "{\"a\": 1} extra",
+        "{'single': 1}", "{1: 2}"}) {
+    EXPECT_FALSE(ParseJson(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonParseTest, ErrorsCarryByteOffset) {
+  auto value = ParseJson("{\"a\": nope}");
+  ASSERT_FALSE(value.ok());
+  EXPECT_NE(value.status().message().find("byte 6"), std::string::npos)
+      << value.status();
+}
+
+TEST(JsonParseTest, RejectsTooDeepNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonParseTest, RoundTripsThroughWriter) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("text").String("line1\nline2 \"quoted\"");
+  json.Key("value").Number(0.125);
+  json.Key("list").BeginArray().Int(-7).Bool(false).EndArray();
+  json.EndObject();
+  auto value = ParseJson(json.ToString());
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value->Find("text")->string_value(), "line1\nline2 \"quoted\"");
+  EXPECT_DOUBLE_EQ(value->Find("value")->number_value(), 0.125);
+  EXPECT_DOUBLE_EQ(value->Find("list")->array()[0].number_value(), -7.0);
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,231 @@
+#include "service/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/selector_registry.h"
+#include "eval/metrics.h"
+#include "graph/generators.h"
+#include "service/query_context.h"
+#include "service/render.h"
+#include "wgraph/substrate.h"
+
+namespace rwdom {
+namespace {
+
+GraphSubstrate StarSubstrate() {
+  auto loaded = ParseSubstrate("0 1\n0 2\n0 3\n0 4\n4 5\n");
+  RWDOM_CHECK(loaded.ok());
+  return std::move(loaded->substrate);
+}
+
+GraphSubstrate WeightedDirectedSubstrate() {
+  SubstrateOptions options;
+  options.directed = true;
+  auto loaded = ParseSubstrate(
+      "0 1 1.0\n1 0 8.0\n2 0 8.0\n3 0 8.0\n4 0 8.0\n0 2 1.0\n", options);
+  RWDOM_CHECK(loaded.ok());
+  return std::move(loaded->substrate);
+}
+
+SelectorParams Params(int32_t length, int32_t samples, uint64_t seed) {
+  SelectorParams params;
+  params.length = length;
+  params.num_samples = samples;
+  params.seed = seed;
+  return params;
+}
+
+TEST(QueryContextTest, ThreeQueryBatchBuildsIndexExactlyOnce) {
+  QueryContext context(StarSubstrate());
+  int hook_calls = 0;
+  context.set_index_build_hook(
+      [&hook_calls](const WalkIndexKey&) { ++hook_calls; });
+
+  // select + stats(with_index) + cover on the same (L, R, seed): the
+  // index-backed trio of a warm batch.
+  SelectRequest select{"ApproxF2", 2, Params(3, 20, 42), ""};
+  ASSERT_TRUE(Select(context, select).ok());
+  StatsRequest stats{true, Params(3, 20, 42)};
+  ASSERT_TRUE(Stats(context, stats).ok());
+  CoverRequest cover{0.5, Params(3, 20, 42)};
+  ASSERT_TRUE(Cover(context, cover).ok());
+
+  EXPECT_EQ(context.index_builds(), 1);
+  EXPECT_EQ(hook_calls, 1);
+}
+
+TEST(QueryContextTest, ChangingAnyKeyComponentInvalidatesTheMemo) {
+  QueryContext context(StarSubstrate());
+  context.GetIndex({3, 20, 42});
+  EXPECT_EQ(context.index_builds(), 1);
+  context.GetIndex({3, 20, 42});  // Hit.
+  EXPECT_EQ(context.index_builds(), 1);
+  context.GetIndex({4, 20, 42});  // L changed.
+  EXPECT_EQ(context.index_builds(), 2);
+  context.GetIndex({3, 30, 42});  // R changed.
+  EXPECT_EQ(context.index_builds(), 3);
+  context.GetIndex({3, 20, 43});  // seed changed.
+  EXPECT_EQ(context.index_builds(), 4);
+  // All four keys stay resident; re-requesting any of them is a hit.
+  context.GetIndex({4, 20, 42});
+  context.GetIndex({3, 20, 43});
+  EXPECT_EQ(context.index_builds(), 4);
+}
+
+TEST(QueryContextTest, EvictIndexesDropsTheCache) {
+  QueryContext context(StarSubstrate());
+  auto held = context.GetIndex({3, 20, 42});
+  EXPECT_EQ(context.MemoryUsage().size(), 2u);  // graph + 1 index.
+  context.EvictIndexes();
+  EXPECT_EQ(context.MemoryUsage().size(), 1u);
+  // Shared ownership keeps a held index alive across eviction.
+  EXPECT_GT(held->TotalEntries(), 0);
+  context.GetIndex({3, 20, 42});
+  EXPECT_EQ(context.index_builds(), 2);
+}
+
+TEST(QueryContextTest, MemoryUsageAccountsEveryArtifact) {
+  QueryContext context(StarSubstrate());
+  context.GetIndex({3, 20, 42});
+  context.GetIndex({4, 20, 42});
+  auto usage = context.MemoryUsage();
+  ASSERT_EQ(usage.size(), 3u);
+  EXPECT_EQ(usage[0].name, "graph");
+  EXPECT_GT(usage[0].bytes, 0);
+  EXPECT_EQ(usage[1].name, "index(L=3,R=20,seed=42)");
+  EXPECT_EQ(usage[2].name, "index(L=4,R=20,seed=42)");
+  int64_t total = 0;
+  for (const auto& artifact : usage) {
+    EXPECT_GT(artifact.bytes, 0) << artifact.name;
+    total += artifact.bytes;
+  }
+  EXPECT_EQ(total, context.TotalMemoryBytes());
+}
+
+TEST(QueryContextTest, StatsAreMemoized) {
+  QueryContext context(StarSubstrate());
+  const SubstrateStats& first = context.Stats();
+  EXPECT_EQ(first.graph_stats.num_nodes, 6);
+  EXPECT_EQ(first.graph_stats.num_edges, 5);
+  EXPECT_EQ(&context.Stats(), &first);  // Same object, not recomputed.
+}
+
+TEST(ServiceEngineTest, WarmSelectIsBitIdenticalToColdSelect) {
+  for (bool weighted : {false, true}) {
+    GraphSubstrate cold_substrate =
+        weighted ? WeightedDirectedSubstrate() : StarSubstrate();
+    SelectorParams params = Params(3, 40, 7);
+    // Cold: plain selector, self-built index.
+    auto selector =
+        MakeSelector("ApproxF2", &cold_substrate.model(), params);
+    ASSERT_TRUE(selector.ok());
+    SelectionResult cold = (*selector)->Select(2);
+
+    // Warm: engine select twice on one context; second call is a pure
+    // cache hit.
+    QueryContext context(weighted ? WeightedDirectedSubstrate()
+                                  : StarSubstrate());
+    SelectRequest request{"ApproxF2", 2, params, ""};
+    auto first = Select(context, request);
+    auto second = Select(context, request);
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(context.index_builds(), 1);
+    EXPECT_EQ(first->seeds, cold.selected);
+    EXPECT_EQ(second->seeds, cold.selected);
+    EXPECT_EQ(first->gains, cold.gains);
+    EXPECT_EQ(first->aht, second->aht);
+    EXPECT_EQ(first->ehn, second->ehn);
+  }
+}
+
+TEST(ServiceEngineTest, EvaluateMatchesSampledMetricsExactly) {
+  QueryContext context(StarSubstrate());
+  EvaluateRequest request;
+  request.seeds = {0, 4};
+  request.length = 3;
+  request.num_samples = 200;
+  request.seed = 11;
+  auto response = Evaluate(context, request);
+  ASSERT_TRUE(response.ok());
+  MetricsResult direct =
+      SampledMetrics(context.substrate().model(), {0, 4}, 3, 200, 11);
+  EXPECT_EQ(response->aht, direct.aht);
+  EXPECT_EQ(response->ehn, direct.ehn);
+  EXPECT_EQ(response->k, 2);
+
+  EvaluateResponse on_model =
+      EvaluateOnModel(context.substrate().model(), request);
+  EXPECT_EQ(on_model.aht, direct.aht);
+  EXPECT_EQ(on_model.ehn, direct.ehn);
+}
+
+TEST(ServiceEngineTest, ValidatesRequests) {
+  QueryContext context(StarSubstrate());
+  EvaluateRequest bad_seed;
+  bad_seed.seeds = {99};
+  EXPECT_EQ(Evaluate(context, bad_seed).status().code(),
+            StatusCode::kOutOfRange);
+
+  KnnRequest bad_query;
+  bad_query.query = -1;
+  EXPECT_EQ(Knn(context, bad_query).status().code(),
+            StatusCode::kOutOfRange);
+
+  CoverRequest bad_alpha;
+  bad_alpha.alpha = 1.5;
+  EXPECT_EQ(Cover(context, bad_alpha).status().code(),
+            StatusCode::kInvalidArgument);
+
+  SelectRequest bad_algorithm;
+  bad_algorithm.algorithm = "Quantum";
+  EXPECT_EQ(Select(context, bad_algorithm).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ServiceEngineTest, DispatchRunsEveryAlternative) {
+  QueryContext context(StarSubstrate());
+  SelectorParams params = Params(3, 20, 42);
+  std::vector<ServiceRequest> requests = {
+      SelectRequest{"Degree", 1, params, ""},
+      EvaluateRequest{{0}, 3, 100, 42},
+      KnnRequest{0, 2, KnnRequest::Mode::kExact, params},
+      CoverRequest{0.5, params},
+      StatsRequest{false, params},
+  };
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto response = Dispatch(context, requests[i]);
+    ASSERT_TRUE(response.ok()) << i << ": " << response.status();
+    EXPECT_EQ(response->index(), i);  // Alternative i maps to response i.
+    // Every response renders in both formats without dying.
+    std::ostringstream text;
+    Render(*response, OutputFormat::kText, text);
+    EXPECT_FALSE(text.str().empty());
+    std::ostringstream json;
+    Render(*response, OutputFormat::kJson, json);
+    EXPECT_EQ(json.str().front(), '{');
+  }
+}
+
+TEST(ServiceEngineTest, KnnExactAndSampledModes) {
+  QueryContext context(StarSubstrate());
+  SelectorParams params = Params(4, 50, 42);
+  KnnRequest exact{0, 3, KnnRequest::Mode::kExact, params};
+  auto exact_response = Knn(context, exact);
+  ASSERT_TRUE(exact_response.ok());
+  EXPECT_EQ(exact_response->mode, "exact");
+  ASSERT_EQ(exact_response->neighbors.size(), 3u);
+  // Direct leaves reach the hub in one forced hop.
+  EXPECT_DOUBLE_EQ(exact_response->neighbors[0].hitting_time, 1.0);
+
+  KnnRequest sampled{0, 3, KnnRequest::Mode::kSampled, params};
+  auto sampled_response = Knn(context, sampled);
+  ASSERT_TRUE(sampled_response.ok());
+  EXPECT_EQ(sampled_response->mode, "sampled");
+  EXPECT_EQ(sampled_response->neighbors.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rwdom

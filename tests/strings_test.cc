@@ -89,5 +89,31 @@ TEST(StrFormatTest, FormatsLikePrintf) {
   EXPECT_EQ(StrFormat("empty"), "empty");
 }
 
+TEST(EditDistanceTest, ClassicCases) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("select", "selct"), 1u);
+  EXPECT_EQ(EditDistance("seed", "seeed"), 1u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  // Symmetric (the implementation swaps to the shorter string).
+  EXPECT_EQ(EditDistance("sitting", "kitten"), 3u);
+}
+
+TEST(ClosestMatchTest, PicksNearestWithinThreshold) {
+  const std::vector<std::string> commands = {"select", "evaluate", "stats",
+                                             "cover"};
+  EXPECT_EQ(ClosestMatch("selct", commands), "select");
+  EXPECT_EQ(ClosestMatch("evalute", commands), "evaluate");
+  EXPECT_EQ(ClosestMatch("STATS", commands, 5), "stats");
+  // Beyond the max distance: no suggestion.
+  EXPECT_EQ(ClosestMatch("zzzzzzzz", commands), "");
+  EXPECT_EQ(ClosestMatch("x", {}), "");
+  // Ties break toward the earlier candidate.
+  EXPECT_EQ(ClosestMatch("cove", {"code", "cove2", "covet"}), "code");
+}
+
 }  // namespace
 }  // namespace rwdom
