@@ -1,0 +1,234 @@
+// Serving throughput: queries/sec through a live `rwdom serve`-style
+// QueryServer as the worker-thread count grows, with concurrent TCP
+// clients hammering one warm QueryContext.
+//
+// Protocol matches production exactly: the JSONL query-line path over
+// real sockets, one server per thread count, a fresh context per sweep
+// (so each sweep pays exactly one index build and then serves cache
+// hits). The compute pool is pinned to 1 thread — the serving
+// configuration: inter-query parallelism via workers, no intra-query
+// parallelism — so the sweep isolates the server layer's scaling.
+//
+// Every client sends the same query sequence; the driver verifies all
+// responses (modulo wall-clock fields) are identical across clients AND
+// across thread counts, and exits non-zero on any divergence — the
+// concurrent-serving determinism gate. JSON output:
+// BENCH_serve_throughput.json via --json_dir.
+#include <cstdio>
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/query_line.h"
+#include "graph/generators.h"
+#include "harness/experiment.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "service/query_context.h"
+#include "util/json.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "wgraph/substrate.h"
+
+namespace rwdom {
+namespace {
+
+std::string NormalizeSeconds(std::string text) {
+  return std::regex_replace(
+      std::move(text), std::regex(R"("seconds":[-+0-9.eE]+)"),
+      "\"seconds\":<T>");
+}
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBanner("serve_throughput",
+              "queries/sec through the TCP query server vs worker threads",
+              args);
+
+  const NodeId n = args.full ? 20000 : 2000;
+  const int64_t m = args.full ? 100000 : 10000;
+  const int32_t length = 6;
+  const int32_t replicates = args.full ? 50 : 20;
+  const int kClients = 4;
+  const int kQueriesPerClient = args.full ? 60 : 24;
+
+  Graph graph = GenerateErdosRenyiGnm(n, m, args.seed).value();
+  std::printf("graph: ER n=%d m=%lld; %d clients x %d queries/client\n\n",
+              n, static_cast<long long>(m), kClients, kQueriesPerClient);
+
+  // Serving configuration: one compute thread per query, concurrency
+  // across queries comes from the worker pool under test.
+  SetNumThreads(1);
+
+  // A mixed request stream on one (L, R, seed) key: index-backed
+  // selects (cache hits after the first build), sampled metrics and
+  // sampled knn (fresh walks each time).
+  std::vector<std::string> lines;
+  for (int i = 0; i < kQueriesPerClient; ++i) {
+    switch (i % 3) {
+      case 0:
+        lines.push_back(StrFormat(
+            "{\"command\": \"select\", \"flags\": {\"problem\": \"F2\", "
+            "\"method\": \"index-celf\", \"k\": 5, \"L\": %d, \"R\": %d, "
+            "\"seed\": %llu}}",
+            length, replicates,
+            static_cast<unsigned long long>(args.seed)));
+        break;
+      case 1:
+        lines.push_back(StrFormat(
+            "{\"command\": \"evaluate\", \"flags\": {\"seeds\": "
+            "\"0,1,2\", \"L\": %d, \"R\": 100, \"seed\": %llu}}",
+            length, static_cast<unsigned long long>(args.seed)));
+        break;
+      default:
+        lines.push_back(StrFormat(
+            "{\"command\": \"knn\", \"flags\": {\"query\": %d, \"k\": 5, "
+            "\"L\": %d, \"R\": %d, \"seed\": %llu, \"mode\": "
+            "\"sampled\"}}",
+            i % n, length, replicates,
+            static_cast<unsigned long long>(args.seed)));
+    }
+  }
+
+  struct Row {
+    int server_threads = 0;
+    double seconds = 0.0;
+    double qps = 0.0;
+    int64_t index_builds = 0;
+    int64_t index_hits = 0;
+  };
+  std::vector<Row> rows;
+  std::vector<std::string> reference;  // Normalized responses, sweep 1.
+  bool deterministic = true;
+
+  std::vector<int> thread_counts = {1, 2, 4};
+  for (int server_threads : thread_counts) {
+    QueryContext context{GraphSubstrate(Graph(graph))};
+    ServerOptions options;
+    options.port = 0;
+    options.threads = server_threads;
+    options.max_connections = kClients + 1;
+    QueryServer server(
+        &context,
+        [&context](const std::string& line, std::string* response) {
+          std::ostringstream out;
+          RWDOM_RETURN_IF_ERROR(
+              ExecuteQueryLine(line, context, OutputFormat::kJson, out));
+          *response = out.str();
+          while (!response->empty() && response->back() == '\n') {
+            response->pop_back();
+          }
+          return Status::OK();
+        },
+        options);
+    Status started = server.Start();
+    RWDOM_CHECK(started.ok()) << started;
+
+    std::vector<std::vector<std::string>> responses(kClients);
+    WallTimer timer;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        auto result = RunQueryLines("127.0.0.1", server.port(), lines);
+        RWDOM_CHECK(result.ok()) << "client " << c << ": "
+                                 << result.status();
+        responses[c] = std::move(*result);
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    const double seconds = timer.Seconds();
+    server.Shutdown();
+
+    // Determinism gate: every client, every thread count, same bytes.
+    for (int c = 0; c < kClients; ++c) {
+      for (size_t i = 0; i < responses[c].size(); ++i) {
+        const std::string normalized = NormalizeSeconds(responses[c][i]);
+        if (reference.size() < lines.size()) {
+          reference.push_back(normalized);
+        } else if (normalized != reference[i]) {
+          deterministic = false;
+          std::fprintf(stderr,
+                       "MISMATCH threads=%d client=%d query=%zu:\n  "
+                       "want: %s\n  got:  %s\n",
+                       server_threads, c, i, reference[i].c_str(),
+                       normalized.c_str());
+        }
+      }
+    }
+
+    Row row;
+    row.server_threads = server_threads;
+    row.seconds = seconds;
+    row.qps = seconds > 0.0
+                  ? static_cast<double>(kClients) * kQueriesPerClient /
+                        seconds
+                  : 0.0;
+    row.index_builds = context.index_builds();
+    row.index_hits = context.index_hits();
+    // One (L, R, seed) key across every client: the single-flight cache
+    // must build exactly once however many workers collide.
+    if (row.index_builds != 1) {
+      deterministic = false;
+      std::fprintf(stderr, "threads=%d: expected 1 index build, got %lld\n",
+                   server_threads,
+                   static_cast<long long>(row.index_builds));
+    }
+    rows.push_back(row);
+  }
+  SetNumThreads(0);
+
+  TablePrinter table(
+      {"server threads", "seconds", "queries/sec", "speedup", "idx builds",
+       "idx hits"});
+  for (const Row& row : rows) {
+    table.AddRow({std::to_string(row.server_threads),
+                  StrFormat("%.3f", row.seconds),
+                  StrFormat("%.0f", row.qps),
+                  StrFormat("%.2fx", rows.front().qps > 0.0
+                                         ? row.qps / rows.front().qps
+                                         : 0.0),
+                  std::to_string(row.index_builds),
+                  std::to_string(row.index_hits)});
+  }
+  table.Print();
+  std::printf("\nresponses identical across clients and thread counts: %s\n",
+              deterministic ? "yes" : "NO — BUG");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("serve_throughput");
+  json.Key("graph").BeginObject();
+  json.Key("model").String("er");
+  json.Key("nodes").Int(n);
+  json.Key("edges").Int(m);
+  json.EndObject();
+  json.Key("L").Int(length);
+  json.Key("R").Int(replicates);
+  json.Key("seed").Int(static_cast<int64_t>(args.seed));
+  json.Key("clients").Int(kClients);
+  json.Key("queries_per_client").Int(kQueriesPerClient);
+  json.Key("deterministic").Bool(deterministic);
+  json.Key("series").BeginArray();
+  for (const Row& row : rows) {
+    json.BeginObject();
+    json.Key("server_threads").Int(row.server_threads);
+    json.Key("seconds").Number(row.seconds);
+    json.Key("queries_per_second").Number(row.qps);
+    json.Key("index_builds").Int(row.index_builds);
+    json.Key("index_hits").Int(row.index_hits);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  MaybeDumpJson(args, "serve_throughput", json.ToString());
+
+  return deterministic ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rwdom
+
+int main(int argc, char** argv) { return rwdom::Run(argc, argv); }

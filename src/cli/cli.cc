@@ -38,6 +38,9 @@ std::string CliUsage() {
       "batching:   rwdom batch SCRIPT.jsonl runs many queries on one warm\n"
       "            engine (graph loaded once, walk index built once per\n"
       "            (L, R, seed)).\n"
+      "serving:    rwdom serve --port=P exposes the same warm engine over\n"
+      "            TCP (JSONL in, JSONL out, many concurrent clients);\n"
+      "            rwdom client --port=P sends queries to it.\n"
       "Unknown commands and flags are rejected with a closest-match hint.\n";
   return text;
 }

@@ -8,78 +8,23 @@
 //   {"command": "select", "flags": {"problem": "F2", "k": 5, "L": 4}}
 //   {"command": "evaluate", "flags": {"seeds": "0,3", "L": 4}}
 //
-// Lines reuse the exact flag-parsing path of one-shot invocations (flag
-// values may be JSON strings, numbers or bools), so per-query output is
-// bit-identical to running each command cold with the same flags — the
-// batch determinism tests pin this. The substrate is fixed once by the
-// batch command's own --graph/--dataset flags; script lines must not
-// carry substrate or global flags.
-#include <cmath>
+// Lines reuse the exact flag-parsing path of one-shot invocations (see
+// cli/query_line.h — the same protocol `rwdom serve` speaks over TCP),
+// so per-query output is bit-identical to running each command cold with
+// the same flags — the batch determinism tests pin this. The substrate
+// is fixed once by the batch command's own --graph/--dataset flags;
+// script lines must not carry substrate or global flags.
 #include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "cli/command_registry.h"
 #include "cli/flag_parsing.h"
+#include "cli/query_line.h"
 #include "util/json.h"
 #include "util/strings.h"
 
 namespace rwdom {
 namespace {
-
-// Renders a JSON flag value with the spelling the flag parsers expect:
-// integral numbers without a decimal point (ParseInt64 must accept
-// them), bools as true/false (BoolFlagOr accepts both).
-Result<std::string> FlagValueToString(const JsonValue& value) {
-  switch (value.type()) {
-    case JsonValue::Type::kString:
-      return value.string_value();
-    case JsonValue::Type::kBool:
-      return std::string(value.bool_value() ? "true" : "false");
-    case JsonValue::Type::kNumber: {
-      const double number = value.number_value();
-      if (std::rint(number) == number &&
-          std::abs(number) <= 9007199254740992.0) {
-        return StrFormat("%lld", static_cast<long long>(number));
-      }
-      return StrFormat("%.17g", number);
-    }
-    default:
-      return Status::InvalidArgument(
-          "flag values must be strings, numbers or booleans");
-  }
-}
-
-Result<CliInvocation> ParseScriptLine(const std::string& line) {
-  RWDOM_ASSIGN_OR_RETURN(JsonValue root, ParseJson(line));
-  if (!root.is_object()) {
-    return Status::InvalidArgument("script line must be a JSON object");
-  }
-  const JsonValue* command = root.Find("command");
-  if (command == nullptr || !command->is_string()) {
-    return Status::InvalidArgument(
-        "script line needs a string \"command\" member");
-  }
-  CliInvocation invocation;
-  invocation.command = command->string_value();
-  for (const auto& [key, member] : root.object()) {
-    if (key == "command") continue;
-    if (key == "flags") {
-      if (!member.is_object()) {
-        return Status::InvalidArgument("\"flags\" must be a JSON object");
-      }
-      for (const auto& [flag, value] : member.object()) {
-        RWDOM_ASSIGN_OR_RETURN(std::string text, FlagValueToString(value));
-        invocation.flags[flag] = std::move(text);
-      }
-      continue;
-    }
-    return Status::InvalidArgument(
-        "unknown script member \"" + key +
-        "\" (lines carry \"command\" and \"flags\" only)");
-  }
-  return invocation;
-}
 
 Status AtLine(const std::string& script, int line_number, Status status) {
   if (status.ok()) return status;
@@ -117,46 +62,15 @@ Status RunBatch(const CommandEnv& env) {
     std::string_view trimmed = StripWhitespace(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
 
-    auto parsed = ParseScriptLine(std::string(trimmed));
+    auto parsed = ParseQueryLine(std::string(trimmed));
     if (!parsed.ok()) {
       return AtLine(script_path, line_number, parsed.status());
     }
     const CliInvocation& invocation = *parsed;
-    const CommandDef* command = FindCommand(invocation.command);
-    if (command == nullptr) {
-      return AtLine(script_path, line_number,
-                    Status::NotFound("unknown command: " +
-                                     invocation.command +
-                                     SuggestCommand(invocation.command)));
+    auto command = ResolveQueryLine(invocation);
+    if (!command.ok()) {
+      return AtLine(script_path, line_number, command.status());
     }
-    if (!command->batchable) {
-      return AtLine(
-          script_path, line_number,
-          Status::InvalidArgument(
-              "`" + invocation.command +
-              "` is not a query command and cannot run in a batch"));
-    }
-    for (const auto& [flag, value] : invocation.flags) {
-      if (IsSubstrateFlag(flag)) {
-        return AtLine(script_path, line_number,
-                      Status::InvalidArgument(
-                          "--" + flag +
-                          " is fixed by the batch invocation and cannot "
-                          "appear in script lines"));
-      }
-      for (const FlagDef& global : GlobalFlagDefs()) {
-        if (flag == global.name) {
-          return AtLine(
-              script_path, line_number,
-              Status::InvalidArgument(
-                  "global flag --" + flag +
-                  " must be set on the batch invocation itself"));
-        }
-      }
-    }
-    RWDOM_RETURN_IF_ERROR(
-        AtLine(script_path, line_number,
-               ValidateInvocation(*command, invocation)));
 
     ++queries;
     if (env.format == OutputFormat::kText) {
@@ -166,7 +80,7 @@ Status RunBatch(const CommandEnv& env) {
     }
     CommandEnv line_env{invocation, env.out, env.format, &context};
     RWDOM_RETURN_IF_ERROR(
-        AtLine(script_path, line_number, command->handler(line_env)));
+        AtLine(script_path, line_number, (*command)->handler(line_env)));
   }
 
   // Amortization receipt: how much work the warm engine actually shared.

@@ -1,0 +1,67 @@
+// `rwdom client`: connect to a running `rwdom serve`, send JSONL query
+// lines (from a script file or stdin), print each response line. The
+// thin end of the serving smoke tests: responses are whatever the
+// server answered, one line per request.
+#include <fstream>
+#include <iostream>
+
+#include "cli/command_registry.h"
+#include "cli/flag_parsing.h"
+#include "server/client.h"
+#include "util/strings.h"
+
+namespace rwdom {
+namespace {
+
+Status RunClient(const CommandEnv& env) {
+  RWDOM_ASSIGN_OR_RETURN(int64_t port, IntFlagOr(env.invocation, "port", 0));
+  if (port < 1 || port > 65535) {
+    return Status::InvalidArgument(
+        "--port=N (1..65535) of a running `rwdom serve` is required");
+  }
+  const std::string host = FlagOr(env.invocation, "host", "127.0.0.1");
+  RWDOM_ASSIGN_OR_RETURN(
+      QueryClient client,
+      QueryClient::Connect(host, static_cast<int>(port)));
+
+  int64_t queries = 0;
+  if (env.invocation.positionals.empty()) {
+    RWDOM_RETURN_IF_ERROR(
+        StreamQueryScript(client, std::cin, env.out, &queries));
+  } else {
+    const std::string& script_path = env.invocation.positionals.front();
+    std::ifstream file(script_path);
+    if (!file) {
+      return Status::IoError("cannot read query script: " + script_path);
+    }
+    RWDOM_RETURN_IF_ERROR(
+        StreamQueryScript(client, file, env.out, &queries));
+  }
+  if (queries == 0) {
+    return Status::InvalidArgument(
+        "no query lines sent (script was empty/comments only)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+CommandDef MakeClientCommand() {
+  CommandDef def;
+  def.name = "client";
+  def.summary = "send JSONL queries to a running `rwdom serve`";
+  def.usage =
+      "rwdom client [SCRIPT.jsonl] --port=P [--host=127.0.0.1]\n       "
+      "reads stdin when no script is given; prints one response line "
+      "per request";
+  def.flags = {
+      {"port", "P", "port of the running server (required)"},
+      {"host", "ADDR", "server address (default 127.0.0.1)"},
+  };
+  def.max_positionals = 1;
+  def.positional_hint = "[SCRIPT.jsonl]";
+  def.handler = RunClient;
+  return def;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,184 @@
+// `rwdom serve`: a long-lived TCP query server over one warm
+// QueryContext — the build-once/query-many economics of `rwdom batch`,
+// made available to many concurrent clients. The substrate is loaded
+// once at startup; every connection speaks the JSONL batch-script
+// protocol and gets responses bit-identical to cold
+// `rwdom <command> --format=json` runs. SIGINT/SIGTERM or a
+// {"command": "shutdown"} request shut down gracefully (in-flight
+// requests finish and are answered).
+#include <csignal>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "cli/command_registry.h"
+#include "cli/flag_parsing.h"
+#include "cli/query_line.h"
+#include "server/server.h"
+#include "util/json.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+
+namespace rwdom {
+namespace {
+
+// SIGINT/SIGTERM route through NotifyShutdown, the only QueryServer
+// entry point that is async-signal-safe (it just writes one byte to the
+// server's wake pipe).
+std::atomic<QueryServer*> g_signal_server{nullptr};
+
+void HandleShutdownSignal(int /*signo*/) {
+  QueryServer* server = g_signal_server.load();
+  if (server != nullptr) server->NotifyShutdown();
+}
+
+class ScopedShutdownSignals {
+ public:
+  explicit ScopedShutdownSignals(QueryServer* server) {
+    g_signal_server.store(server);
+    struct sigaction action = {};
+    action.sa_handler = HandleShutdownSignal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, &previous_int_);
+    sigaction(SIGTERM, &action, &previous_term_);
+  }
+  ~ScopedShutdownSignals() {
+    sigaction(SIGINT, &previous_int_, nullptr);
+    sigaction(SIGTERM, &previous_term_, nullptr);
+    g_signal_server.store(nullptr);
+  }
+
+ private:
+  struct sigaction previous_int_ = {};
+  struct sigaction previous_term_ = {};
+};
+
+Status RunServe(const CommandEnv& env) {
+  ServerOptions options;
+  RWDOM_ASSIGN_OR_RETURN(int64_t port,
+                         IntFlagOr(env.invocation, "port", 7117));
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("--port must be in [0, 65535]");
+  }
+  options.port = static_cast<int>(port);
+  options.host = FlagOr(env.invocation, "bind", "127.0.0.1");
+  RWDOM_ASSIGN_OR_RETURN(int64_t max_connections,
+                         IntFlagOr(env.invocation, "max_connections", 64));
+  if (max_connections < 1 || max_connections > 65536) {
+    return Status::InvalidArgument(
+        "--max_connections must be in [1, 65536]");
+  }
+  options.max_connections = static_cast<int>(max_connections);
+  // The global --threads (or RWDOM_THREADS) doubles as the worker-pool
+  // size: one knob for "how parallel is this process". Within a worker,
+  // nested compute parallelism shares the one process-wide pool.
+  options.threads = NumThreads();
+  const std::string port_file = FlagOr(env.invocation, "port_file", "");
+
+  RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
+                         ResolveSubstrate(env.invocation));
+  QueryContext context(std::move(loaded));
+
+  QueryServer server(
+      &context,
+      [&context](const std::string& line, std::string* response) -> Status {
+        std::ostringstream out;
+        RWDOM_RETURN_IF_ERROR(
+            ExecuteQueryLine(line, context, OutputFormat::kJson, out));
+        *response = out.str();
+        while (!response->empty() && response->back() == '\n') {
+          response->pop_back();
+        }
+        return Status::OK();
+      },
+      options);
+  // Handlers go in before the listener is up (and before --port_file
+  // announces readiness), so there is no window where a Ctrl-C is
+  // dropped; NotifyShutdown is valid from construction.
+  ScopedShutdownSignals signals(&server);
+  RWDOM_RETURN_IF_ERROR(server.Start());
+
+  if (!port_file.empty()) {
+    // Written only after the listener is live, so "the file exists"
+    // means "you can connect" — the handshake scripts and tests use.
+    std::ofstream file(port_file, std::ios::trunc);
+    if (!file) {
+      server.Shutdown();
+      return Status::IoError("cannot write --port_file: " + port_file);
+    }
+    file << server.port() << "\n";
+  }
+
+  env.out << StrFormat(
+      "serving %s substrate on %s:%d (threads=%d, max_connections=%d)\n",
+      context.substrate().kind().c_str(), options.host.c_str(),
+      server.port(), options.threads, options.max_connections);
+  env.out << "protocol: one JSONL request per line (see `rwdom help "
+             "serve`); Ctrl-C or {\"command\": \"shutdown\"} to stop\n";
+  env.out.flush();
+
+  server.Wait();
+
+  const ServerStats stats = server.stats();
+  if (env.format == OutputFormat::kJson) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("serve_summary").BeginObject();
+    json.Key("substrate").String(context.substrate().kind());
+    json.Key("queries_ok").Int(stats.queries_ok);
+    json.Key("queries_error").Int(stats.queries_error);
+    json.Key("connections_accepted").Int(stats.connections_accepted);
+    json.Key("connections_rejected").Int(stats.connections_rejected);
+    json.Key("graph_loads").Int(1);
+    json.Key("index_builds").Int(stats.index_builds);
+    json.Key("index_hits").Int(stats.index_hits);
+    json.Key("cached_bytes").Int(stats.cached_bytes);
+    json.EndObject();
+    json.EndObject();
+    env.out << json.ToString() << "\n";
+  } else {
+    env.out << StrFormat(
+        "serve: %lld queries (ok=%lld, errors=%lld) over %lld connections "
+        "on one %s substrate (graph loads=1, index builds=%lld, "
+        "index hits=%lld, cached bytes=%lld)\n",
+        static_cast<long long>(stats.queries_ok + stats.queries_error),
+        static_cast<long long>(stats.queries_ok),
+        static_cast<long long>(stats.queries_error),
+        static_cast<long long>(stats.connections_accepted),
+        context.substrate().kind().c_str(),
+        static_cast<long long>(stats.index_builds),
+        static_cast<long long>(stats.index_hits),
+        static_cast<long long>(stats.cached_bytes));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+CommandDef MakeServeCommand() {
+  CommandDef def;
+  def.name = "serve";
+  def.summary = "serve JSONL queries over TCP from one warm engine";
+  def.usage =
+      "rwdom serve (--graph=FILE | --dataset=NAME) [--port=7117] "
+      "[--max_connections=64] [--threads=N]\n       request lines (same "
+      "as batch scripts): {\"command\": \"select|evaluate|knn|cover|"
+      "stats\", \"flags\": {...}}\n       admin requests: {\"command\": "
+      "\"server_stats\"} and {\"command\": \"shutdown\"}";
+  def.flags = WithSubstrateFlags({
+      {"port", "N", "TCP port to listen on; 0 picks an ephemeral port "
+                    "(default 7117)"},
+      {"bind", "ADDR", "bind address (default 127.0.0.1; use 0.0.0.0 to "
+                       "expose beyond localhost)"},
+      {"max_connections", "N",
+       "open-connection cap; excess connections are refused (default 64)"},
+      {"port_file", "FILE", "write the bound port here once listening "
+                            "(handshake for scripts/tests)"},
+  });
+  def.handler = RunServe;
+  return def;
+}
+
+}  // namespace rwdom

@@ -13,6 +13,7 @@ const std::vector<CommandDef>& Commands() {
           MakeGenerateCommand(), MakeSelectCommand(),
           MakeEvaluateCommand(), MakeCoverCommand(),
           MakeKnnCommand(),      MakeBatchCommand(),
+          MakeServeCommand(),    MakeClientCommand(),
           MakeHelpCommand(),
       };
   return *kCommands;

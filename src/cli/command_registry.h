@@ -46,6 +46,8 @@ CommandDef MakeEvaluateCommand();
 CommandDef MakeCoverCommand();
 CommandDef MakeKnnCommand();
 CommandDef MakeBatchCommand();
+CommandDef MakeServeCommand();
+CommandDef MakeClientCommand();
 CommandDef MakeHelpCommand();
 
 }  // namespace rwdom

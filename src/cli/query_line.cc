@@ -1,0 +1,109 @@
+#include "cli/query_line.h"
+
+#include <cmath>
+#include <utility>
+
+#include "cli/command_registry.h"
+#include "cli/flag_parsing.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace rwdom {
+namespace {
+
+// Renders a JSON flag value with the spelling the flag parsers expect:
+// integral numbers without a decimal point (ParseInt64 must accept
+// them), bools as true/false (BoolFlagOr accepts both).
+Result<std::string> FlagValueToString(const JsonValue& value) {
+  switch (value.type()) {
+    case JsonValue::Type::kString:
+      return value.string_value();
+    case JsonValue::Type::kBool:
+      return std::string(value.bool_value() ? "true" : "false");
+    case JsonValue::Type::kNumber: {
+      const double number = value.number_value();
+      if (std::rint(number) == number &&
+          std::abs(number) <= 9007199254740992.0) {
+        return StrFormat("%lld", static_cast<long long>(number));
+      }
+      return StrFormat("%.17g", number);
+    }
+    default:
+      return Status::InvalidArgument(
+          "flag values must be strings, numbers or booleans");
+  }
+}
+
+}  // namespace
+
+Result<CliInvocation> ParseQueryLine(const std::string& line) {
+  RWDOM_ASSIGN_OR_RETURN(JsonValue root, ParseJson(line));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("script line must be a JSON object");
+  }
+  const JsonValue* command = root.Find("command");
+  if (command == nullptr || !command->is_string()) {
+    return Status::InvalidArgument(
+        "script line needs a string \"command\" member");
+  }
+  CliInvocation invocation;
+  invocation.command = command->string_value();
+  for (const auto& [key, member] : root.object()) {
+    if (key == "command") continue;
+    if (key == "flags") {
+      if (!member.is_object()) {
+        return Status::InvalidArgument("\"flags\" must be a JSON object");
+      }
+      for (const auto& [flag, value] : member.object()) {
+        RWDOM_ASSIGN_OR_RETURN(std::string text, FlagValueToString(value));
+        invocation.flags[flag] = std::move(text);
+      }
+      continue;
+    }
+    return Status::InvalidArgument(
+        "unknown script member \"" + key +
+        "\" (lines carry \"command\" and \"flags\" only)");
+  }
+  return invocation;
+}
+
+Result<const CommandDef*> ResolveQueryLine(const CliInvocation& invocation) {
+  const CommandDef* command = FindCommand(invocation.command);
+  if (command == nullptr) {
+    return Status::NotFound("unknown command: " + invocation.command +
+                            SuggestCommand(invocation.command));
+  }
+  if (!command->batchable) {
+    return Status::InvalidArgument(
+        "`" + invocation.command +
+        "` is not a query command and cannot run in a batch");
+  }
+  for (const auto& [flag, value] : invocation.flags) {
+    if (IsSubstrateFlag(flag)) {
+      return Status::InvalidArgument(
+          "--" + flag +
+          " is fixed by the batch invocation and cannot appear in script "
+          "lines");
+    }
+    for (const FlagDef& global : GlobalFlagDefs()) {
+      if (flag == global.name) {
+        return Status::InvalidArgument(
+            "global flag --" + flag +
+            " must be set on the batch invocation itself");
+      }
+    }
+  }
+  RWDOM_RETURN_IF_ERROR(ValidateInvocation(*command, invocation));
+  return command;
+}
+
+Status ExecuteQueryLine(const std::string& line, QueryContext& context,
+                        OutputFormat format, std::ostream& out) {
+  RWDOM_ASSIGN_OR_RETURN(CliInvocation invocation, ParseQueryLine(line));
+  RWDOM_ASSIGN_OR_RETURN(const CommandDef* command,
+                         ResolveQueryLine(invocation));
+  CommandEnv env{invocation, out, format, &context};
+  return command->handler(env);
+}
+
+}  // namespace rwdom

@@ -1,0 +1,42 @@
+// The JSONL query-line protocol, shared by `rwdom batch` scripts and the
+// TCP server (`rwdom serve`): one JSON object per line,
+//
+//   {"command": "select", "flags": {"problem": "F2", "k": 5, "L": 4}}
+//
+// parsed into the exact CliInvocation a one-shot command would see and
+// executed through the same registry handler, so per-line output is
+// bit-identical to running the command cold with the same flags. Lines
+// may only carry query commands (CommandDef::batchable) and may not
+// carry substrate or global flags — the substrate is fixed by whoever
+// owns the warm QueryContext (the batch invocation or the server).
+#ifndef RWDOM_CLI_QUERY_LINE_H_
+#define RWDOM_CLI_QUERY_LINE_H_
+
+#include <ostream>
+#include <string>
+
+#include "cli/command.h"
+#include "service/query_context.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+/// Parses one JSONL line into an invocation (flag values may be JSON
+/// strings, numbers or bools; members other than "command"/"flags" are
+/// rejected).
+Result<CliInvocation> ParseQueryLine(const std::string& line);
+
+/// Looks up the invocation's command and applies every per-line rule:
+/// known command, batchable, no substrate flags, no global flags, and
+/// the command's own flag validation (with "did you mean" hints).
+Result<const CommandDef*> ResolveQueryLine(const CliInvocation& invocation);
+
+/// Parse + resolve + execute one line against the warm context,
+/// rendering the response to `out` in `format`. With OutputFormat::kJson
+/// every successful line produces exactly one JSON line.
+Status ExecuteQueryLine(const std::string& line, QueryContext& context,
+                        OutputFormat format, std::ostream& out);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_CLI_QUERY_LINE_H_

@@ -1,0 +1,58 @@
+#include "server/client.h"
+
+#include <utility>
+
+#include "util/strings.h"
+
+namespace rwdom {
+
+QueryClient::QueryClient(UniqueFd connection)
+    : connection_(std::make_shared<UniqueFd>(std::move(connection))),
+      reader_(std::make_shared<LineReader>(connection_->get())) {}
+
+Result<QueryClient> QueryClient::Connect(const std::string& host, int port) {
+  RWDOM_ASSIGN_OR_RETURN(UniqueFd connection, TcpConnect(host, port));
+  return QueryClient(std::move(connection));
+}
+
+Result<std::string> QueryClient::Roundtrip(const std::string& line) {
+  RWDOM_RETURN_IF_ERROR(SendAll(connection_->get(), line + "\n"));
+  std::string response;
+  RWDOM_ASSIGN_OR_RETURN(LineReader::Outcome outcome,
+                         reader_->ReadLine(&response));
+  if (outcome != LineReader::Outcome::kLine) {
+    return Status::IoError("server closed the connection before responding");
+  }
+  return response;
+}
+
+Status StreamQueryScript(QueryClient& client, std::istream& script,
+                         std::ostream& out, int64_t* queries) {
+  if (queries != nullptr) *queries = 0;
+  std::string line;
+  while (std::getline(script, line)) {
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    RWDOM_ASSIGN_OR_RETURN(std::string response,
+                           client.Roundtrip(std::string(trimmed)));
+    out << response << "\n";
+    if (queries != nullptr) ++*queries;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> RunQueryLines(
+    const std::string& host, int port,
+    const std::vector<std::string>& lines) {
+  RWDOM_ASSIGN_OR_RETURN(QueryClient client,
+                         QueryClient::Connect(host, port));
+  std::vector<std::string> responses;
+  responses.reserve(lines.size());
+  for (const std::string& line : lines) {
+    RWDOM_ASSIGN_OR_RETURN(std::string response, client.Roundtrip(line));
+    responses.push_back(std::move(response));
+  }
+  return responses;
+}
+
+}  // namespace rwdom

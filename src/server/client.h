@@ -1,0 +1,54 @@
+// Client side of the JSONL query protocol: connect to a running
+// `rwdom serve`, send request lines, read the one response line each
+// produces. Used by `rwdom client`, the multi-client smoke tests and
+// bench_serve_throughput.
+#ifndef RWDOM_SERVER_CLIENT_H_
+#define RWDOM_SERVER_CLIENT_H_
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+/// One connection to a query server. Requests are strictly
+/// request/response over the connection, matching the server's
+/// per-connection ordering guarantee.
+class QueryClient {
+ public:
+  static Result<QueryClient> Connect(const std::string& host, int port);
+
+  /// Sends one request line and blocks for its response line. An EOF
+  /// before the response (server shut down mid-request) is an IoError.
+  Result<std::string> Roundtrip(const std::string& line);
+
+ private:
+  explicit QueryClient(UniqueFd connection);
+
+  // shared_ptr keeps QueryClient movable while LineReader holds the fd.
+  std::shared_ptr<UniqueFd> connection_;
+  std::shared_ptr<LineReader> reader_;
+};
+
+/// Sends every request line of `script` (blank lines and #-comments
+/// skipped — the batch-script conventions) over one connection and
+/// writes each response line to `out`. Returns the responses' count via
+/// `queries` when non-null. Transport failures abort with the error;
+/// per-request {"error": ...} responses are printed like any response
+/// (the server keeps the connection open for them).
+Status StreamQueryScript(QueryClient& client, std::istream& script,
+                         std::ostream& out, int64_t* queries = nullptr);
+
+/// Convenience for tests and benches: connect, send `lines`, return the
+/// response lines (1:1 with the request lines).
+Result<std::vector<std::string>> RunQueryLines(
+    const std::string& host, int port, const std::vector<std::string>& lines);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_SERVER_CLIENT_H_

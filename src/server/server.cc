@@ -1,0 +1,272 @@
+#include "server/server.h"
+
+#include <utility>
+
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace rwdom {
+namespace {
+
+std::string ErrorLine(std::string_view code, const std::string& message) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("error").BeginObject();
+  json.Key("code").String(std::string(code));
+  json.Key("message").String(message);
+  json.EndObject();
+  json.EndObject();
+  return json.ToString();
+}
+
+}  // namespace
+
+QueryServer::QueryServer(QueryContext* context, LineExecutor executor,
+                         ServerOptions options)
+    : context_(context),
+      executor_(std::move(executor)),
+      options_(std::move(options)) {
+  RWDOM_CHECK(context_ != nullptr);
+  RWDOM_CHECK(executor_ != nullptr);
+  RWDOM_CHECK(options_.threads >= 1);
+  RWDOM_CHECK(options_.max_connections >= 1);
+  // Created here, not in Start(), so NotifyShutdown — and a SIGINT
+  // handler routed through it — works from construction on; a poke that
+  // lands before Start() shuts the server down on its first accept.
+  auto wake = MakeWakePipe();
+  RWDOM_CHECK(wake.ok()) << wake.status();
+  wake_ = std::move(*wake);
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+Status QueryServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    RWDOM_CHECK(!started_) << "QueryServer::Start called twice";
+    started_ = true;
+  }
+  RWDOM_ASSIGN_OR_RETURN(
+      listener_,
+      TcpListen(options_.host, options_.port,
+                /*backlog=*/options_.max_connections));
+  RWDOM_ASSIGN_OR_RETURN(port_, LocalPort(listener_.get()));
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  workers_.reserve(static_cast<size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void QueryServer::NotifyShutdown() {
+  // Only an async-signal-safe write: the accept thread turns the poke
+  // into the actual state change.
+  if (wake_.write_end.valid()) PokeWakePipe(wake_.write_end.get());
+}
+
+void QueryServer::BeginShutdown() {
+  if (stopping_.exchange(true)) return;
+  // Wake the accept loop (idempotent) and every idle worker.
+  if (wake_.write_end.valid()) PokeWakePipe(wake_.write_end.get());
+  {
+    // Empty critical section: a worker that read stopping_=false in its
+    // wait predicate still holds queue_mutex_ until it blocks, so
+    // acquiring it here orders this notify after that worker is
+    // actually waiting — without it the notify can fire in the window
+    // between predicate evaluation and blocking and be lost for good.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+  }
+  queue_cv_.notify_all();
+}
+
+void QueryServer::AcceptLoop() {
+  for (;;) {
+    if (stopping_.load()) break;
+    auto accepted = AcceptWithWake(listener_.get(), wake_.read_end.get());
+    if (!accepted.ok()) {
+      RWDOM_LOG(WARNING) << "rwdom serve: accept failed, shutting down: "
+                         << accepted.status();
+      break;
+    }
+    if (!accepted->has_value()) break;  // Woken: shutdown requested.
+    UniqueFd connection = std::move(**accepted);
+    connections_accepted_.fetch_add(1);
+    if (active_connections_.load() >= options_.max_connections) {
+      connections_rejected_.fetch_add(1);
+      // Best-effort refusal line; the close is the real signal.
+      (void)SendAll(connection.get(),
+                    ErrorLine("Unavailable",
+                              StrFormat("server at --max_connections=%d",
+                                        options_.max_connections)) +
+                        "\n");
+      continue;
+    }
+    active_connections_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      pending_.push_back(std::move(connection));
+    }
+    queue_cv_.notify_one();
+  }
+  BeginShutdown();
+  // Close the listening socket now (only this thread uses it), so the
+  // port refuses new connections as soon as shutdown begins rather than
+  // when the server object is destroyed.
+  listener_.reset();
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void QueryServer::WorkerLoop() {
+  for (;;) {
+    UniqueFd connection;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load() || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // Stopping and drained.
+      connection = std::move(pending_.front());
+      pending_.pop_front();
+      if (stopping_.load()) {
+        // Queued but never served: close without a response.
+        active_connections_.fetch_sub(1);
+        continue;
+      }
+    }
+    ServeConnection(std::move(connection));
+    active_connections_.fetch_sub(1);
+  }
+}
+
+void QueryServer::ServeConnection(UniqueFd connection) {
+  LineReader reader(connection.get());
+  std::string line;
+  const auto cancelled = [this] { return stopping_.load(); };
+  for (;;) {
+    auto outcome = reader.ReadLine(&line, cancelled, /*poll_interval_ms=*/50);
+    if (!outcome.ok() || *outcome != LineReader::Outcome::kLine) break;
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::string response = HandleLine(std::string(trimmed));
+    // The in-flight request's response is sent even mid-shutdown; only
+    // *further* requests on this connection are cut off.
+    if (!SendAll(connection.get(), response + "\n").ok()) break;
+    if (stopping_.load()) break;
+  }
+}
+
+std::string QueryServer::HandleLine(const std::string& line) {
+  // Peek at the command for the two admin requests the server answers
+  // itself; anything else (including unparseable lines) goes through the
+  // injected executor so errors read exactly like batch-script errors.
+  auto parsed = ParseJson(line);
+  if (parsed.ok() && parsed->is_object()) {
+    const JsonValue* command = parsed->Find("command");
+    if (command != nullptr && command->is_string()) {
+      if (command->string_value() == "shutdown") {
+        queries_ok_.fetch_add(1);
+        BeginShutdown();
+        JsonWriter json;
+        json.BeginObject();
+        json.Key("ok").Bool(true);
+        json.Key("shutting_down").Bool(true);
+        json.EndObject();
+        return json.ToString();
+      }
+      if (command->string_value() == "server_stats") {
+        queries_ok_.fetch_add(1);
+        return StatsResponseLine();
+      }
+    }
+  }
+  std::string response;
+  Status status = executor_(line, &response);
+  if (!status.ok()) {
+    queries_error_.fetch_add(1);
+    return ErrorLine(StatusCodeToString(status.code()), status.message());
+  }
+  queries_ok_.fetch_add(1);
+  return response;
+}
+
+ServerStats QueryServer::stats() const {
+  ServerStats stats;
+  stats.connections_accepted = connections_accepted_.load();
+  stats.connections_rejected = connections_rejected_.load();
+  stats.active_connections = active_connections_.load();
+  stats.queries_ok = queries_ok_.load();
+  stats.queries_error = queries_error_.load();
+  stats.index_builds = context_->index_builds();
+  stats.index_hits = context_->index_hits();
+  stats.cached_bytes = context_->TotalMemoryBytes();
+  return stats;
+}
+
+std::string QueryServer::StatsResponseLine() const {
+  const ServerStats stats = this->stats();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("server_stats").BeginObject();
+  json.Key("substrate").String(context_->substrate().kind());
+  json.Key("threads").Int(options_.threads);
+  json.Key("max_connections").Int(options_.max_connections);
+  json.Key("graph_loads").Int(stats.graph_loads);
+  json.Key("index_builds").Int(stats.index_builds);
+  json.Key("index_hits").Int(stats.index_hits);
+  json.Key("cached_bytes").Int(stats.cached_bytes);
+  json.Key("queries_ok").Int(stats.queries_ok);
+  json.Key("queries_error").Int(stats.queries_error);
+  json.Key("connections_accepted").Int(stats.connections_accepted);
+  json.Key("connections_rejected").Int(stats.connections_rejected);
+  json.Key("active_connections").Int(stats.active_connections);
+  json.EndObject();
+  json.EndObject();
+  return json.ToString();
+}
+
+void QueryServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (!started_) return;
+  }
+  BeginShutdown();
+  Join();
+}
+
+void QueryServer::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+    if (!started_) return;
+    stopped_cv_.wait(lock, [this] { return stopped_; });
+  }
+  Join();
+}
+
+void QueryServer::Join() {
+  // join_mutex_ is never taken by server threads, so holding it across
+  // the joins cannot deadlock (lifecycle_mutex_ is taken by the accept
+  // thread right before it exits); concurrent Join callers serialize
+  // and all return only after every thread finished.
+  std::lock_guard<std::mutex> lock(join_mutex_);
+  if (joined_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Same lost-wakeup bracket as BeginShutdown (see there).
+    std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  // Connections still queued were closed by their UniqueFd destructors
+  // as workers drained; the listener closes with the server.
+  joined_ = true;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,151 @@
+// The long-lived TCP query server behind `rwdom serve`: many clients,
+// one warm QueryContext.
+//
+// Protocol: each connection is a bidirectional stream of '\n'-framed
+// JSONL lines. Requests use the exact batch-script format,
+//
+//   {"command": "select", "flags": {"problem": "F2", "k": 5, "L": 4}}
+//
+// and every request line yields exactly one JSON response line — the
+// same line a cold `rwdom <command> --format=json` run prints (the
+// line executor is injected from the CLI layer, so the flag-parsing
+// path is shared byte for byte). Failed requests answer
+// {"error": {"code": ..., "message": ...}} and keep the connection
+// open. Two admin requests are handled by the server itself:
+//
+//   {"command": "server_stats"}  -> cache/traffic counters
+//   {"command": "shutdown"}      -> acknowledge, then graceful shutdown
+//
+// Concurrency: one accept thread feeds a fixed pool of worker threads;
+// each worker serves one connection at a time to completion. All workers
+// share the one QueryContext, whose shared_mutex + single-flight cache
+// makes concurrent index builds safe and deduplicated — concurrent
+// responses are bit-identical to cold CLI runs.
+//
+// Shutdown: NotifyShutdown() is async-signal-safe (a SIGINT handler may
+// call it); in-flight requests finish and get their response, idle and
+// queued connections are closed, then every thread is joined.
+#ifndef RWDOM_SERVER_SERVER_H_
+#define RWDOM_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/query_context.h"
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+struct ServerOptions {
+  /// Bind address; the loopback default keeps a dev box private —
+  /// deployments behind a proxy bind "0.0.0.0" explicitly.
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 picks an ephemeral port (see QueryServer::port()).
+  int threads = 4;           ///< Worker pool size (concurrent connections).
+  int max_connections = 64;  ///< Open-connection cap; excess are refused
+                             ///< with an {"error": ...} line.
+};
+
+/// Traffic + cache counters, the `server_stats` endpoint's numbers.
+struct ServerStats {
+  int64_t connections_accepted = 0;
+  int64_t connections_rejected = 0;
+  int64_t active_connections = 0;  ///< Open right now (queued + serving).
+  int64_t queries_ok = 0;
+  int64_t queries_error = 0;
+  // Warm-context amortization receipt (graph loads is 1 by construction:
+  // the substrate is loaded once, before the server starts).
+  int64_t graph_loads = 1;
+  int64_t index_builds = 0;
+  int64_t index_hits = 0;
+  int64_t cached_bytes = 0;
+};
+
+class QueryServer {
+ public:
+  /// Executes one already-trimmed request line against the warm context
+  /// and fills `response` with exactly one JSON line (no trailing
+  /// newline). Injected from the CLI layer (cli/query_line.h) so the
+  /// server speaks the identical flag-parsing path as batch scripts and
+  /// one-shot commands. Must be thread-safe: workers call it
+  /// concurrently against the shared context.
+  using LineExecutor =
+      std::function<Status(const std::string& line, std::string* response)>;
+
+  QueryServer(QueryContext* context, LineExecutor executor,
+              ServerOptions options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Binds, listens and spawns the accept + worker threads. Call once.
+  Status Start();
+
+  /// The actually bound port (== options.port unless that was 0).
+  int port() const { return port_; }
+
+  /// Begins a graceful shutdown. Async-signal-safe: only writes one
+  /// byte to an internal pipe, so SIGINT handlers may call it.
+  void NotifyShutdown();
+
+  /// NotifyShutdown + wait for every thread to finish. Idempotent.
+  void Shutdown();
+
+  /// Blocks until the server shut down (admin request, NotifyShutdown,
+  /// or a fatal accept error) and every thread is joined.
+  void Wait();
+
+  ServerStats stats() const;
+
+ private:
+  void BeginShutdown();
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(UniqueFd connection);
+  /// One request line -> one response line (admin or via executor_).
+  std::string HandleLine(const std::string& line);
+  std::string StatsResponseLine() const;
+  void Join();
+
+  QueryContext* const context_;
+  const LineExecutor executor_;
+  const ServerOptions options_;
+
+  UniqueFd listener_;
+  WakePipe wake_;
+  int port_ = 0;
+
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<UniqueFd> pending_;
+
+  std::mutex lifecycle_mutex_;
+  std::condition_variable stopped_cv_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::mutex join_mutex_;  ///< Guards joined_; see Join().
+  bool joined_ = false;
+
+  std::atomic<int64_t> connections_accepted_{0};
+  std::atomic<int64_t> connections_rejected_{0};
+  std::atomic<int64_t> active_connections_{0};
+  std::atomic<int64_t> queries_ok_{0};
+  std::atomic<int64_t> queries_error_{0};
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_SERVER_SERVER_H_

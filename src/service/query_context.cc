@@ -1,5 +1,6 @@
 #include "service/query_context.h"
 
+#include <mutex>
 #include <utility>
 
 #include "graph/clustering.h"
@@ -16,22 +17,51 @@ QueryContext::QueryContext(GraphSubstrate substrate)
 
 std::shared_ptr<const InvertedWalkIndex> QueryContext::GetIndex(
     const WalkIndexKey& key) {
-  auto it = index_cache_.find(key);
-  if (it != index_cache_.end()) return it->second;
-
-  // Cache miss: the build is a pure function of (substrate, key), which
-  // is what makes warm results bit-identical to cold ones.
-  TransitionWalkSource source(&substrate().model(), key.seed);
-  auto index = std::make_shared<const InvertedWalkIndex>(
-      InvertedWalkIndex::Build(key.length, key.num_samples, &source));
-  ++index_builds_;
-  if (index_build_hook_) index_build_hook_(key);
-  index_cache_.emplace(key, index);
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    auto it = index_cache_.find(key);
+    if (it != index_cache_.end()) {
+      ++index_hits_;
+      return it->second;
+    }
+  }
+  // Cache miss: coalesce concurrent misses on the same key into one
+  // build (waiters block on the leader), with the build itself running
+  // unlocked so distinct keys build in parallel. The build is a pure
+  // function of (substrate, key), which is what makes warm — and
+  // concurrent — results bit-identical to cold ones.
+  bool built = false;
+  auto index = index_flights_.Do(key, [&]() {
+    {
+      // A flight for this key may have completed and retired between the
+      // lookup above and becoming leader here; re-check before building.
+      std::shared_lock<std::shared_mutex> lock(mutex_);
+      auto it = index_cache_.find(key);
+      if (it != index_cache_.end()) return it->second;
+    }
+    built = true;
+    TransitionWalkSource source(&substrate().model(), key.seed);
+    auto fresh = std::make_shared<const InvertedWalkIndex>(
+        InvertedWalkIndex::Build(key.length, key.num_samples, &source));
+    ++index_builds_;
+    if (index_build_hook_) index_build_hook_(key);
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    index_cache_.emplace(key, fresh);
+    return std::shared_ptr<const InvertedWalkIndex>(fresh);
+  });
+  // Every call that did not itself build — fast-path lookups above,
+  // flight waiters, and leaders whose re-check found the index — was
+  // served from the cache, so hits + builds == total GetIndex calls
+  // (deterministic, however the timing fell out).
+  if (!built) ++index_hits_;
   return index;
 }
 
 const SubstrateStats& QueryContext::Stats() {
-  if (stats_.has_value()) return *stats_;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    if (stats_.has_value()) return *stats_;
+  }
 
   SubstrateStats stats;
   stats.weighted = substrate().weighted();
@@ -60,11 +90,16 @@ const SubstrateStats& QueryContext::Stats() {
                   static_cast<double>(graph.num_nodes())
             : 0.0;
   }
-  stats_ = std::move(stats);
+  // The summary is a pure function of the immutable substrate, so a
+  // racing second computation produced identical values; keep the first
+  // (the optional is never reset, so returned references stay valid).
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (!stats_.has_value()) stats_ = std::move(stats);
   return *stats_;
 }
 
 std::vector<ArtifactUsage> QueryContext::MemoryUsage() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<ArtifactUsage> usage;
   usage.push_back({"graph", substrate().MemoryUsageBytes()});
   for (const auto& [key, index] : index_cache_) {

@@ -34,16 +34,19 @@
 #ifndef RWDOM_SERVICE_QUERY_CONTEXT_H_
 #define RWDOM_SERVICE_QUERY_CONTEXT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "graph/properties.h"
 #include "index/inverted_walk_index.h"
+#include "util/single_flight.h"
 #include "wgraph/substrate.h"
 
 namespace rwdom {
@@ -90,16 +93,26 @@ struct SubstrateStats {
 
 /// One warm engine over one loaded substrate. Construct once, dispatch
 /// many requests (service/engine.h); every expensive artifact is built at
-/// most once per cache key. Movable, not copyable; not thread-safe —
-/// one context per serving thread (contexts share nothing mutable, so
-/// sharding across threads is one-context-per-shard).
+/// most once per cache key.
+///
+/// Thread safety: all query-path methods (GetIndex, Stats, MemoryUsage,
+/// TotalMemoryBytes, counters) are safe to call from many threads at
+/// once — the server's workers share one context. The artifact map is
+/// guarded by a shared_mutex and cache misses coalesce through a
+/// single-flight group: N concurrent misses on one (L, R, seed) key
+/// trigger exactly one build, with the other N-1 callers blocking on it,
+/// so concurrent responses stay bit-identical to cold serial runs.
+/// Distinct keys build concurrently. set_index_build_hook and
+/// EvictIndexes are control-plane calls; the hook itself may fire
+/// concurrently (once per distinct in-flight key) and must be
+/// thread-safe. Not movable, not copyable.
 class QueryContext {
  public:
   explicit QueryContext(LoadedSubstrate loaded);
   explicit QueryContext(GraphSubstrate substrate);
 
-  QueryContext(QueryContext&&) noexcept = default;
-  QueryContext& operator=(QueryContext&&) noexcept = default;
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
 
   const GraphSubstrate& substrate() const { return loaded_.substrate; }
 
@@ -110,23 +123,33 @@ class QueryContext {
   }
 
   /// The inverted walk index for `key`, building and caching it on the
-  /// first request. The returned pointer stays valid for the context's
+  /// first request. Concurrent callers with the same key share one build
+  /// (single flight). The returned pointer stays valid for the context's
   /// lifetime (shared ownership: selectors may hold it across evictions).
   std::shared_ptr<const InvertedWalkIndex> GetIndex(const WalkIndexKey& key);
 
   /// Number of index builds performed so far — the counting hook the
   /// cache tests use ("a 3-query batch builds the index exactly once").
-  int64_t index_builds() const { return index_builds_; }
+  int64_t index_builds() const { return index_builds_.load(); }
+
+  /// Number of GetIndex calls served from the cache (no build) — the
+  /// hit counter the server's stats endpoint reports.
+  int64_t index_hits() const { return index_hits_.load(); }
 
   /// Optional observer invoked (with the key) on every actual index
-  /// build, i.e. on cache misses only.
+  /// build, i.e. on cache misses only. Install before serving begins;
+  /// the hook may be invoked from several threads at once (one per
+  /// distinct in-flight key) and must be thread-safe.
   void set_index_build_hook(std::function<void(const WalkIndexKey&)> hook) {
     index_build_hook_ = std::move(hook);
   }
 
   /// Drops all cached indexes (admission-control hook; existing
   /// shared_ptr holders keep their index alive until they release it).
-  void EvictIndexes() { index_cache_.clear(); }
+  void EvictIndexes() {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    index_cache_.clear();
+  }
 
   /// The memoized structural summary, computing it on first use.
   const SubstrateStats& Stats();
@@ -141,9 +164,15 @@ class QueryContext {
 
  private:
   LoadedSubstrate loaded_;
+  /// Guards index_cache_ and stats_ (readers shared, writers exclusive).
+  /// Never held across an index build — single-flight coalescing means
+  /// the build runs unlocked without duplicating work.
+  mutable std::shared_mutex mutex_;
   std::map<WalkIndexKey, std::shared_ptr<const InvertedWalkIndex>>
       index_cache_;
-  int64_t index_builds_ = 0;
+  SingleFlightGroup<WalkIndexKey, const InvertedWalkIndex> index_flights_;
+  std::atomic<int64_t> index_builds_{0};
+  std::atomic<int64_t> index_hits_{0};
   std::function<void(const WalkIndexKey&)> index_build_hook_;
   std::optional<SubstrateStats> stats_;
 };

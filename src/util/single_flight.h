@@ -1,0 +1,105 @@
+// Single-flight execution: N concurrent callers asking for the same key
+// trigger exactly one execution of the expensive producer; the other N-1
+// block until the leader finishes and share its result.
+//
+// This is the concurrency half of a build-once cache (the QueryContext's
+// walk-index map): a plain mutex-guarded map either serializes every
+// build (lock held across the build) or duplicates work (lock released
+// during the build). SingleFlightGroup keys the in-flight calls, so
+// distinct keys build in parallel while duplicate keys coalesce — the
+// Go `singleflight` package's contract, shaped for shared_ptr caches.
+//
+// Usage:
+//   SingleFlightGroup<Key, const Artifact> flights;
+//   std::shared_ptr<const Artifact> artifact =
+//       flights.Do(key, [&] { return BuildArtifact(key); });
+//
+// The producer runs on the leader's thread with no SingleFlightGroup
+// lock held. If it throws, every waiter of that flight rethrows the same
+// exception and the flight is forgotten (the next caller retries).
+// Producers are responsible for their own idempotence across *sequential*
+// calls — the group only dedupes calls that overlap in time; pair it
+// with a cache re-check inside the producer for a complete memo.
+#ifndef RWDOM_UTIL_SINGLE_FLIGHT_H_
+#define RWDOM_UTIL_SINGLE_FLIGHT_H_
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace rwdom {
+
+template <typename Key, typename Value>
+class SingleFlightGroup {
+ public:
+  SingleFlightGroup() = default;
+  SingleFlightGroup(const SingleFlightGroup&) = delete;
+  SingleFlightGroup& operator=(const SingleFlightGroup&) = delete;
+
+  /// Returns producer()'s result for `key`, executing the producer on
+  /// this thread unless another thread is already producing the same key,
+  /// in which case blocks and shares that thread's result (or rethrows
+  /// its exception).
+  std::shared_ptr<Value> Do(
+      const Key& key,
+      const std::function<std::shared_ptr<Value>()>& producer) {
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      auto [it, inserted] =
+          flights_.try_emplace(key, std::make_shared<Flight>());
+      flight = it->second;
+      leader = inserted;
+    }
+    if (!leader) {
+      std::unique_lock<std::mutex> lock(flight->mutex);
+      flight->cv.wait(lock, [&] { return flight->done; });
+      if (flight->error) std::rethrow_exception(flight->error);
+      return flight->value;
+    }
+    // Leader: run the producer unlocked, publish, wake waiters, retire
+    // the flight so later callers start fresh.
+    std::shared_ptr<Value> value;
+    std::exception_ptr error;
+    try {
+      value = producer();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(flight->mutex);
+      flight->value = value;
+      flight->error = error;
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      auto it = flights_.find(key);
+      if (it != flights_.end() && it->second == flight) flights_.erase(it);
+    }
+    if (error) std::rethrow_exception(error);
+    return value;
+  }
+
+ private:
+  struct Flight {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<Value> value;
+    std::exception_ptr error;
+  };
+
+  std::mutex mutex_;
+  std::map<Key, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_UTIL_SINGLE_FLIGHT_H_

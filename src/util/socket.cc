@@ -1,0 +1,181 @@
+#include "util/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+#include "util/strings.h"
+
+namespace rwdom {
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + ::strerror(errno));
+}
+
+// IPv4 only, by design: "localhost" and dotted-quad addresses. The
+// serving story is loopback smoke tests and LAN deployments behind a
+// proxy; name resolution belongs to that proxy.
+Result<in_addr> ResolveHost(const std::string& host) {
+  in_addr addr{};
+  const std::string spelled =
+      (host.empty() || host == "localhost") ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, spelled.c_str(), &addr) != 1) {
+    return Status::InvalidArgument(
+        "cannot parse host (IPv4 dotted quad or localhost): " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<WakePipe> MakeWakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) return Errno("pipe");
+  WakePipe pipe;
+  pipe.read_end.reset(fds[0]);
+  pipe.write_end.reset(fds[1]);
+  return pipe;
+}
+
+void PokeWakePipe(int write_fd) {
+  // Async-signal-safe by POSIX; a full pipe is fine (the wake already
+  // pends) and EINTR needs no retry for the same reason.
+  const char byte = 'w';
+  [[maybe_unused]] ssize_t ignored = ::write(write_fd, &byte, 1);
+}
+
+Result<UniqueFd> TcpListen(const std::string& host, int port, int backlog) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("port must be in [0, 65535], got %d", port));
+  }
+  RWDOM_ASSIGN_OR_RETURN(in_addr addr, ResolveHost(host));
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  sa.sin_addr = addr;
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    return Errno(StrFormat("bind %s:%d", host.c_str(), port));
+  }
+  if (::listen(fd.get(), backlog) != 0) return Errno("listen");
+  return fd;
+}
+
+Result<int> LocalPort(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<int>(ntohs(sa.sin_port));
+}
+
+Result<UniqueFd> TcpConnect(const std::string& host, int port) {
+  RWDOM_ASSIGN_OR_RETURN(in_addr addr, ResolveHost(host));
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  sa.sin_addr = addr;
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return Errno(StrFormat("connect %s:%d", host.c_str(), port));
+  return fd;
+}
+
+Result<std::optional<UniqueFd>> AcceptWithWake(int listen_fd, int wake_fd) {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd, POLLIN, 0}, {wake_fd, POLLIN, 0}};
+    int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (fds[1].revents != 0) return std::optional<UniqueFd>();
+    if (fds[0].revents == 0) continue;
+    int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Errno("accept");
+    }
+    return std::optional<UniqueFd>(UniqueFd(client));
+  }
+}
+
+Status SendAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t sent = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    data.remove_prefix(static_cast<size_t>(sent));
+  }
+  return Status::OK();
+}
+
+Result<LineReader::Outcome> LineReader::ReadLine(
+    std::string* line, const std::function<bool()>& cancelled,
+    int poll_interval_ms) {
+  for (;;) {
+    size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      *line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line->empty() && line->back() == '\r') line->pop_back();
+      return Outcome::kLine;
+    }
+    if (eof_) {
+      if (buffer_.empty()) return Outcome::kEof;
+      // Unterminated trailing line: deliver it, then EOF next call.
+      *line = std::move(buffer_);
+      buffer_.clear();
+      return Outcome::kLine;
+    }
+    if (cancelled) {
+      pollfd pfd{fd_, POLLIN, 0};
+      int rc = ::poll(&pfd, 1, poll_interval_ms);
+      if (rc < 0 && errno != EINTR) return Errno("poll");
+      if (cancelled()) return Outcome::kCancelled;
+      if (rc <= 0) continue;  // Timeout or EINTR: poll again.
+    }
+    char chunk[4096];
+    ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (got == 0) {
+      eof_ = true;
+      continue;
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+}
+
+}  // namespace rwdom

@@ -1,0 +1,109 @@
+// Thin POSIX TCP helpers for the server layer: RAII file descriptors,
+// IPv4 listen/connect, interruptible accept, send-all, and newline
+// framing. Deliberately minimal — the JSONL query protocol needs exactly
+// "a stream of lines over one connection", nothing more (no TLS, no
+// IPv6, no nonblocking state machine).
+//
+// Cancellation model: blocking reads and accepts take an optional
+// `cancelled` predicate polled every poll_interval_ms, so server workers
+// can notice a shutdown flag without OS-level tricks (signals into
+// threads, socket shutdown() races). A clean EOF is a normal outcome,
+// not an error.
+#ifndef RWDOM_UTIL_SOCKET_H_
+#define RWDOM_UTIL_SOCKET_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/status.h"
+
+namespace rwdom {
+
+/// Owns one file descriptor; closes it on destruction. Move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  /// Closes the current fd (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A pipe whose write end is async-signal-safe to poke — the wakeup
+/// mechanism behind graceful shutdown (SIGINT handlers may only write()).
+struct WakePipe {
+  UniqueFd read_end;
+  UniqueFd write_end;
+};
+Result<WakePipe> MakeWakePipe();
+
+/// Writes one byte to the pipe; safe from signal handlers.
+void PokeWakePipe(int write_fd);
+
+/// Binds + listens on host:port (IPv4; "localhost" accepted). port 0
+/// picks an ephemeral port — read it back with LocalPort. SO_REUSEADDR
+/// is set so restarts do not trip over TIME_WAIT.
+Result<UniqueFd> TcpListen(const std::string& host, int port, int backlog);
+
+/// The locally bound port of a socket (after TcpListen with port 0).
+Result<int> LocalPort(int fd);
+
+/// Connects to host:port (IPv4; "localhost" accepted), blocking.
+Result<UniqueFd> TcpConnect(const std::string& host, int port);
+
+/// Accepts one connection, polling `wake_fd` alongside the listener:
+/// returns an empty optional when wake_fd becomes readable (shutdown)
+/// instead of a connection.
+Result<std::optional<UniqueFd>> AcceptWithWake(int listen_fd, int wake_fd);
+
+/// Sends all of `data`, retrying partial writes; SIGPIPE suppressed
+/// (a dead peer surfaces as an IoError).
+Status SendAll(int fd, std::string_view data);
+
+/// Buffered newline framing over one socket: each ReadLine returns the
+/// next '\n'-terminated line with the newline (and any trailing '\r')
+/// stripped. A final unterminated line before EOF is still delivered.
+class LineReader {
+ public:
+  enum class Outcome { kLine, kEof, kCancelled };
+
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Blocks for the next line. `cancelled` (optional) is polled every
+  /// poll_interval_ms; when it returns true the read gives up with
+  /// kCancelled (bytes already buffered are kept for a later call).
+  Result<Outcome> ReadLine(std::string* line,
+                           const std::function<bool()>& cancelled = nullptr,
+                           int poll_interval_ms = 100);
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_UTIL_SOCKET_H_

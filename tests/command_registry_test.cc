@@ -79,6 +79,47 @@ TEST(CommandRegistryTest, UnknownFlagSuggestsClosestFlag) {
       << fmt_status;
 }
 
+TEST(CommandRegistryTest, HelpListsServeAndClientFromTheRegistry) {
+  // The serving commands are ordinary registry rows: listed by the
+  // global help, documented by `rwdom help serve|client`, not batchable.
+  auto [status, out] = RunCli({"help"});
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(out.find("serve JSONL queries over TCP"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("send JSONL queries to a running"), std::string::npos)
+      << out;
+  for (const char* name : {"serve", "client"}) {
+    const CommandDef* command = FindCommand(name);
+    ASSERT_NE(command, nullptr) << name;
+    EXPECT_FALSE(command->batchable) << name;
+    auto [help_status, help_out] = RunCli({"help", name});
+    ASSERT_TRUE(help_status.ok()) << name << ": " << help_status;
+    EXPECT_NE(help_out.find("--port"), std::string::npos) << help_out;
+  }
+}
+
+TEST(CommandRegistryTest, ServingFlagsGetDidYouMeanHints) {
+  // The satellite requirement: unknown-flag suggestions cover the new
+  // serving flags (validation runs before any substrate is opened).
+  auto [port_status, port_out] =
+      RunCli({"serve", "--graph=x", "--prot=7117"});
+  EXPECT_EQ(port_status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(port_status.message().find("did you mean --port?"),
+            std::string::npos)
+      << port_status;
+
+  auto [cap_status, cap_out] =
+      RunCli({"serve", "--graph=x", "--max_conections=9"});
+  EXPECT_NE(cap_status.message().find("did you mean --max_connections?"),
+            std::string::npos)
+      << cap_status;
+
+  auto [client_status, client_out] = RunCli({"client", "--prot=7117"});
+  EXPECT_NE(client_status.message().find("did you mean --port?"),
+            std::string::npos)
+      << client_status;
+}
+
 TEST(CommandRegistryTest, HelpCommandPrintsFlagSpecFromRegistry) {
   // `rwdom help select` must list every registered select flag with its
   // value hint — generated from the registry, not a hand-written blob.

@@ -1,0 +1,302 @@
+// End-to-end tests of `rwdom serve` / `rwdom client`: the acceptance
+// pin that 4 concurrent clients x 3 queries each against one server
+// produce responses bit-identical to cold CLI runs, with one graph load
+// and exactly one index build per distinct (L, R, seed) key — plus
+// protocol semantics (errors keep connections open, admin shutdown,
+// connection cap, CLI wiring).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/cli.h"
+#include "cli/query_line.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+#include "wgraph/substrate.h"
+
+namespace rwdom {
+namespace {
+
+std::pair<Status, std::string> RunCli(std::vector<std::string> args) {
+  std::vector<const char*> argv = {"rwdom"};
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  auto invocation =
+      ParseCliArgs(static_cast<int>(argv.size()), argv.data());
+  if (!invocation.ok()) return {invocation.status(), ""};
+  std::ostringstream out;
+  Status status = RunCliCommand(*invocation, out);
+  return {status, out.str()};
+}
+
+// Wall-clock timings legitimately differ between cold and served runs;
+// everything else must be bit-identical.
+std::string NormalizeSeconds(std::string text) {
+  return std::regex_replace(
+      std::move(text), std::regex(R"("seconds":[-+0-9.eE]+)"),
+      "\"seconds\":<T>");
+}
+
+// The acceptance workload: select + evaluate + knn, one (L, R, seed).
+const char* const kAcceptanceLines[] = {
+    "{\"command\": \"select\", \"flags\": {\"problem\": \"F2\", "
+    "\"method\": \"index-celf\", \"k\": 2, \"L\": 3, \"R\": 40, "
+    "\"seed\": 42}}",
+    "{\"command\": \"evaluate\", \"flags\": {\"seeds\": \"0,4\", "
+    "\"L\": 3, \"R\": 200, \"seed\": 42}}",
+    "{\"command\": \"knn\", \"flags\": {\"query\": 0, \"k\": 3, "
+    "\"L\": 3, \"R\": 40, \"seed\": 42, \"mode\": \"sampled\"}}",
+};
+
+class ServerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string stem =
+        testing::TempDir() + "/rwdom_server_" +
+        testing::UnitTest::GetInstance()->current_test_info()->name();
+    graph_path_ = stem + "_graph.txt";
+    script_path_ = stem + "_script.jsonl";
+    port_path_ = stem + "_port.txt";
+    std::ofstream file(graph_path_, std::ios::trunc);
+    file << "0 1\n0 2\n0 3\n0 4\n4 5\n";
+    ASSERT_TRUE(file.good());
+  }
+
+  void TearDown() override {
+    std::remove(graph_path_.c_str());
+    std::remove(script_path_.c_str());
+    std::remove(port_path_.c_str());
+    SetNumThreads(0);  // Restore the ambient default for other tests.
+  }
+
+  // An in-process server over the test graph, wired exactly like
+  // `rwdom serve`: the line executor is the shared query-line path.
+  struct TestServer {
+    std::unique_ptr<QueryContext> context;
+    std::unique_ptr<QueryServer> server;
+  };
+
+  TestServer StartServer(int threads, int max_connections = 64) {
+    TestServer result;
+    auto loaded = LoadSubstrate(graph_path_, {});
+    RWDOM_CHECK(loaded.ok()) << loaded.status();
+    result.context = std::make_unique<QueryContext>(std::move(*loaded));
+    ServerOptions options;
+    options.port = 0;
+    options.threads = threads;
+    options.max_connections = max_connections;
+    QueryContext* context = result.context.get();
+    result.server = std::make_unique<QueryServer>(
+        context,
+        [context](const std::string& line, std::string* response) {
+          std::ostringstream out;
+          RWDOM_RETURN_IF_ERROR(
+              ExecuteQueryLine(line, *context, OutputFormat::kJson, out));
+          *response = out.str();
+          while (!response->empty() && response->back() == '\n') {
+            response->pop_back();
+          }
+          return Status::OK();
+        },
+        options);
+    Status started = result.server->Start();
+    RWDOM_CHECK(started.ok()) << started;
+    return result;
+  }
+
+  std::string graph_path_;
+  std::string script_path_;
+  std::string port_path_;
+};
+
+TEST_F(ServerTest, MultiClientSmokeMatchesColdRunsBitIdentically) {
+  // Cold reference: each query as its own one-shot CLI invocation.
+  std::vector<std::string> cold;
+  const std::vector<std::vector<std::string>> cold_runs = {
+      {"select", "--problem=F2", "--method=index-celf", "--k=2", "--L=3",
+       "--R=40", "--seed=42", "--graph=" + graph_path_, "--format=json"},
+      {"evaluate", "--seeds=0,4", "--L=3", "--R=200", "--seed=42",
+       "--graph=" + graph_path_, "--format=json"},
+      {"knn", "--query=0", "--k=3", "--L=3", "--R=40", "--seed=42",
+       "--mode=sampled", "--graph=" + graph_path_, "--format=json"},
+  };
+  for (const auto& run : cold_runs) {
+    auto [status, out] = RunCli(run);
+    ASSERT_TRUE(status.ok()) << status;
+    cold.push_back(NormalizeSeconds(out));
+  }
+
+  TestServer ts = StartServer(/*threads=*/4);
+  const std::vector<std::string> lines(std::begin(kAcceptanceLines),
+                                       std::end(kAcceptanceLines));
+
+  // The acceptance pin: 4 concurrent clients x 3 queries each.
+  const int kClients = 4;
+  std::vector<std::vector<std::string>> responses(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto result = RunQueryLines("127.0.0.1", ts.server->port(), lines);
+      ASSERT_TRUE(result.ok()) << result.status();
+      responses[c] = std::move(*result);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(responses[c].size(), cold.size()) << "client " << c;
+    for (size_t i = 0; i < cold.size(); ++i) {
+      EXPECT_EQ(NormalizeSeconds(responses[c][i] + "\n"), cold[i])
+          << "client " << c << " query " << i;
+    }
+  }
+
+  // One graph load, exactly one index build per distinct key (the
+  // workload uses a single (L=3, R=40, seed=42) key across all clients).
+  auto stats = RunQueryLines("127.0.0.1", ts.server->port(),
+                             {"{\"command\": \"server_stats\"}"});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  const std::string& line = stats->front();
+  EXPECT_NE(line.find("\"graph_loads\":1"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"index_builds\":1"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"queries_ok\":13"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"queries_error\":0"), std::string::npos) << line;
+  EXPECT_EQ(ts.context->index_builds(), 1);
+
+  ts.server->Shutdown();
+}
+
+TEST_F(ServerTest, ErrorResponsesKeepTheConnectionOpen) {
+  TestServer ts = StartServer(/*threads=*/1);
+  auto client = QueryClient::Connect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // Unknown command: an {"error": ...} line with the registry's
+  // suggestion, identical wording to a batch-script failure.
+  auto bad = client->Roundtrip("{\"command\": \"selct\"}");
+  ASSERT_TRUE(bad.ok()) << bad.status();
+  EXPECT_NE(bad->find("\"error\""), std::string::npos) << *bad;
+  EXPECT_NE(bad->find("NotFound"), std::string::npos) << *bad;
+  EXPECT_NE(bad->find("did you mean `select`?"), std::string::npos) << *bad;
+
+  // Substrate/global flags are fixed by the server, like batch lines.
+  auto graph_flag = client->Roundtrip(
+      "{\"command\": \"stats\", \"flags\": {\"graph\": \"x\"}}");
+  ASSERT_TRUE(graph_flag.ok()) << graph_flag.status();
+  EXPECT_NE(graph_flag->find("fixed by the batch invocation"),
+            std::string::npos)
+      << *graph_flag;
+  auto threads_flag = client->Roundtrip(
+      "{\"command\": \"stats\", \"flags\": {\"threads\": 2}}");
+  ASSERT_TRUE(threads_flag.ok()) << threads_flag.status();
+  EXPECT_NE(threads_flag->find("\"error\""), std::string::npos)
+      << *threads_flag;
+
+  // Unparseable JSON is an error response, not a dropped connection.
+  auto garbage = client->Roundtrip("not json at all");
+  ASSERT_TRUE(garbage.ok()) << garbage.status();
+  EXPECT_NE(garbage->find("\"error\""), std::string::npos) << *garbage;
+
+  // The same connection still answers a valid query afterwards.
+  auto good = client->Roundtrip(
+      "{\"command\": \"stats\", \"flags\": {}}");
+  ASSERT_TRUE(good.ok()) << good.status();
+  EXPECT_NE(good->find("\"stats\""), std::string::npos) << *good;
+
+  ts.server->Shutdown();
+}
+
+TEST_F(ServerTest, ShutdownRequestStopsTheServerGracefully) {
+  TestServer ts = StartServer(/*threads=*/2);
+  const int port = ts.server->port();
+  auto response = RunQueryLines("127.0.0.1", port,
+                                {"{\"command\": \"shutdown\"}"});
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->front(),
+            "{\"ok\":true,\"shutting_down\":true}");
+  // Wait returns once every thread drained; new connections then fail.
+  ts.server->Wait();
+  auto refused = QueryClient::Connect("127.0.0.1", port);
+  EXPECT_FALSE(refused.ok());
+}
+
+TEST_F(ServerTest, RefusesConnectionsBeyondMaxConnections) {
+  TestServer ts = StartServer(/*threads=*/1, /*max_connections=*/1);
+  auto first = QueryClient::Connect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(first.ok()) << first.status();
+  // Prove the first connection is active before opening the second.
+  auto stats = first->Roundtrip("{\"command\": \"server_stats\"}");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_NE(stats->find("\"active_connections\":1"), std::string::npos)
+      << *stats;
+
+  auto second = QueryClient::Connect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(second.ok()) << second.status();
+  auto refused = second->Roundtrip("{\"command\": \"server_stats\"}");
+  ASSERT_TRUE(refused.ok()) << refused.status();
+  EXPECT_NE(refused->find("\"error\""), std::string::npos) << *refused;
+  EXPECT_NE(refused->find("Unavailable"), std::string::npos) << *refused;
+  EXPECT_NE(refused->find("max_connections"), std::string::npos) << *refused;
+
+  ts.server->Shutdown();
+}
+
+TEST_F(ServerTest, CliServeAndClientRunEndToEnd) {
+  {
+    std::ofstream script(script_path_, std::ios::trunc);
+    script << "# serve smoke\n";
+    for (const char* line : kAcceptanceLines) script << line << "\n";
+    script << "{\"command\": \"shutdown\"}\n";
+    ASSERT_TRUE(script.good());
+  }
+
+  // `rwdom serve` blocks until shutdown, so it runs on its own thread;
+  // --port_file is the readiness handshake.
+  std::pair<Status, std::string> serve_result;
+  std::thread serve_thread([&] {
+    serve_result = RunCli({"serve", "--graph=" + graph_path_, "--port=0",
+                           "--port_file=" + port_path_, "--threads=2"});
+  });
+
+  int port = 0;
+  for (int i = 0; i < 100 && port == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::ifstream port_file(port_path_);
+    port_file >> port;
+  }
+  ASSERT_GT(port, 0) << "server never wrote --port_file";
+
+  auto [client_status, client_out] =
+      RunCli({"client", script_path_, "--port=" + std::to_string(port)});
+  serve_thread.join();
+
+  ASSERT_TRUE(client_status.ok()) << client_status;
+  std::istringstream lines(client_out);
+  std::string line;
+  std::vector<std::string> responses;
+  while (std::getline(lines, line)) responses.push_back(line);
+  ASSERT_EQ(responses.size(), 4u);  // 3 queries + shutdown ack.
+  EXPECT_NE(responses[0].find("\"command\":\"select\""), std::string::npos);
+  EXPECT_EQ(responses[3], "{\"ok\":true,\"shutting_down\":true}");
+
+  ASSERT_TRUE(serve_result.first.ok()) << serve_result.first;
+  EXPECT_NE(serve_result.second.find("serving uniform substrate"),
+            std::string::npos)
+      << serve_result.second;
+  EXPECT_NE(serve_result.second.find("index builds=1"), std::string::npos)
+      << serve_result.second;
+  EXPECT_NE(serve_result.second.find("graph loads=1"), std::string::npos)
+      << serve_result.second;
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,147 @@
+#include "util/single_flight.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rwdom {
+namespace {
+
+TEST(SingleFlightTest, ConcurrentCallersOfOneKeyShareOneExecution) {
+  SingleFlightGroup<int, const int> group;
+  std::atomic<int> executions{0};
+
+  // Gate the producer so every thread is provably in Do() before the
+  // leader finishes — the dedupe must happen under real contention.
+  std::mutex mutex;
+  std::condition_variable cv;
+  int arrived = 0;
+  const int kThreads = 8;
+
+  std::vector<std::shared_ptr<const int>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        ++arrived;
+        cv.notify_all();
+      }
+      results[t] = group.Do(7, [&]() -> std::shared_ptr<const int> {
+        // Leader: wait until every thread arrived, then linger so the
+        // stragglers (arrived but not yet inside Do()) join this
+        // flight rather than starting a fresh one after it retires.
+        {
+          std::unique_lock<std::mutex> lock(mutex);
+          cv.wait(lock, [&] { return arrived == kThreads; });
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        executions.fetch_add(1);
+        return std::make_shared<const int>(42);
+      });
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(executions.load(), 1);
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_NE(results[t], nullptr);
+    EXPECT_EQ(*results[t], 42);
+    EXPECT_EQ(results[t], results[0]);  // Shared, not re-produced.
+  }
+}
+
+TEST(SingleFlightTest, DistinctKeysExecuteIndependently) {
+  SingleFlightGroup<std::string, const std::string> group;
+  std::atomic<int> executions{0};
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const std::string>> results(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string key = "key" + std::to_string(t);
+      results[t] = group.Do(key, [&] {
+        executions.fetch_add(1);
+        return std::make_shared<const std::string>(key + "-value");
+      });
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(executions.load(), 4);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(*results[t], "key" + std::to_string(t) + "-value");
+  }
+}
+
+TEST(SingleFlightTest, SequentialCallsReExecute) {
+  // The group dedupes overlapping calls only; memoization is the
+  // caller's cache (QueryContext re-checks its map inside the producer).
+  SingleFlightGroup<int, const int> group;
+  int executions = 0;
+  auto produce = [&] {
+    ++executions;
+    return std::make_shared<const int>(executions);
+  };
+  EXPECT_EQ(*group.Do(1, produce), 1);
+  EXPECT_EQ(*group.Do(1, produce), 2);
+  EXPECT_EQ(executions, 2);
+}
+
+TEST(SingleFlightTest, ProducerExceptionReachesEveryCallerAndRetries) {
+  SingleFlightGroup<int, const int> group;
+  std::atomic<int> attempts{0};
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  int arrived = 0;
+  const int kThreads = 4;
+  std::atomic<int> caught{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        ++arrived;
+        cv.notify_all();
+      }
+      try {
+        group.Do(3, [&]() -> std::shared_ptr<const int> {
+          // Same straggler-linger as above: everyone must share THIS
+          // failing flight, not retry on a fresh one.
+          {
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] { return arrived == kThreads; });
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(200));
+          attempts.fetch_add(1);
+          throw std::runtime_error("build failed");
+        });
+      } catch (const std::runtime_error& error) {
+        EXPECT_STREQ(error.what(), "build failed");
+        caught.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(attempts.load(), 1);      // One failed execution...
+  EXPECT_EQ(caught.load(), kThreads);  // ...observed by every caller.
+
+  // The failed flight retired; the next call retries and succeeds.
+  auto value = group.Do(3, [&] {
+    attempts.fetch_add(1);
+    return std::make_shared<const int>(9);
+  });
+  EXPECT_EQ(*value, 9);
+  EXPECT_EQ(attempts.load(), 2);
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,229 @@
+// bench_compare: the CI bench-regression gate. Diffs the BENCH_*.json
+// artifacts a CI run just produced against the committed snapshot in
+// bench/baseline/ and fails (exit 1) when a correctness field drifts
+// beyond tolerance or a series goes missing.
+//
+//   bench_compare --baseline=bench/baseline --candidate=bench-json
+//                 [--tolerance=0.25]
+//
+// Comparison rules, designed so the gate is strict about *results* and
+// silent about *speed* (timings differ per machine; correctness fields
+// are pure functions of the benchmark's seeds):
+//   * keys whose name contains "second"/"speedup"/"qps"/"overhead" or
+//     equals "hardware_threads"/"queries_per_second" are informational
+//     and skipped;
+//   * numbers must agree within --tolerance relative error (default
+//     25%); strings and bools must match exactly;
+//   * arrays must have equal length ("missing series") and compare
+//     element-wise; every baseline object member must exist in the
+//     candidate (new candidate members are allowed — adding fields is
+//     not a regression);
+//   * every BENCH_*.json in the baseline directory must exist in the
+//     candidate directory.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace rwdom {
+namespace {
+
+bool IsInformationalKey(const std::string& key) {
+  for (const char* fragment : {"second", "speedup", "qps", "overhead"}) {
+    if (key.find(fragment) != std::string::npos) return true;
+  }
+  return key == "hardware_threads";
+}
+
+struct Comparison {
+  double tolerance = 0.25;
+  std::vector<std::string> mismatches;
+
+  void Mismatch(const std::string& path, const std::string& detail) {
+    mismatches.push_back(path + ": " + detail);
+  }
+
+  void Compare(const std::string& path, const JsonValue& baseline,
+               const JsonValue& candidate) {
+    if (baseline.type() != candidate.type()) {
+      Mismatch(path, "type changed");
+      return;
+    }
+    switch (baseline.type()) {
+      case JsonValue::Type::kNull:
+        return;
+      case JsonValue::Type::kBool:
+        if (baseline.bool_value() != candidate.bool_value()) {
+          Mismatch(path, StrFormat("%s -> %s",
+                                   baseline.bool_value() ? "true" : "false",
+                                   candidate.bool_value() ? "true"
+                                                          : "false"));
+        }
+        return;
+      case JsonValue::Type::kString:
+        if (baseline.string_value() != candidate.string_value()) {
+          Mismatch(path, "\"" + baseline.string_value() + "\" -> \"" +
+                             candidate.string_value() + "\"");
+        }
+        return;
+      case JsonValue::Type::kNumber: {
+        const double a = baseline.number_value();
+        const double b = candidate.number_value();
+        if (a == b) return;
+        const double scale = std::max(std::abs(a), std::abs(b));
+        const double relative = std::abs(a - b) / scale;
+        if (relative > tolerance) {
+          Mismatch(path, StrFormat("%.9g -> %.9g (%.0f%% > %.0f%%)", a, b,
+                                   relative * 100.0, tolerance * 100.0));
+        }
+        return;
+      }
+      case JsonValue::Type::kArray: {
+        const auto& a = baseline.array();
+        const auto& b = candidate.array();
+        if (a.size() != b.size()) {
+          Mismatch(path, StrFormat("missing series: %zu entries -> %zu",
+                                   a.size(), b.size()));
+          return;
+        }
+        for (size_t i = 0; i < a.size(); ++i) {
+          Compare(StrFormat("%s[%zu]", path.c_str(), i), a[i], b[i]);
+        }
+        return;
+      }
+      case JsonValue::Type::kObject: {
+        for (const auto& [key, value] : baseline.object()) {
+          if (IsInformationalKey(key)) continue;
+          const JsonValue* other = candidate.Find(key);
+          if (other == nullptr) {
+            Mismatch(path + "." + key, "missing in candidate");
+            continue;
+          }
+          Compare(path + "." + key, value, *other);
+        }
+        return;
+      }
+    }
+  }
+};
+
+Result<JsonValue> LoadJsonFile(const std::filesystem::path& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot read " + path.string());
+  std::ostringstream content;
+  content << file.rdbuf();
+  return ParseJson(content.str());
+}
+
+int Run(int argc, char** argv) {
+  std::string baseline_dir;
+  std::string candidate_dir;
+  double tolerance = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_dir = arg.substr(11);
+    } else if (arg.rfind("--candidate=", 0) == 0) {
+      candidate_dir = arg.substr(12);
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      auto parsed = ParseDouble(arg.substr(12));
+      if (!parsed.ok() || *parsed <= 0.0) {
+        std::fprintf(stderr, "bad --tolerance: %s\n", arg.c_str());
+        return 2;
+      }
+      tolerance = *parsed;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_compare --baseline=DIR --candidate=DIR "
+                   "[--tolerance=0.25]\n");
+      return 2;
+    }
+  }
+  if (baseline_dir.empty() || candidate_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_compare --baseline=DIR --candidate=DIR "
+                 "[--tolerance=0.25]\n");
+    return 2;
+  }
+
+  std::vector<std::filesystem::path> baselines;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(baseline_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.ends_with(".json")) {
+      baselines.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot list %s: %s\n", baseline_dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  if (baselines.empty()) {
+    std::fprintf(stderr, "no BENCH_*.json baselines in %s\n",
+                 baseline_dir.c_str());
+    return 2;
+  }
+  std::sort(baselines.begin(), baselines.end());
+
+  int failures = 0;
+  for (const auto& baseline_path : baselines) {
+    const std::string name = baseline_path.filename().string();
+    const std::filesystem::path candidate_path =
+        std::filesystem::path(candidate_dir) / name;
+    if (!std::filesystem::exists(candidate_path)) {
+      std::fprintf(stderr, "FAIL %s: candidate artifact missing (%s)\n",
+                   name.c_str(), candidate_path.string().c_str());
+      ++failures;
+      continue;
+    }
+    auto baseline = LoadJsonFile(baseline_path);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "FAIL %s: baseline unreadable: %s\n",
+                   name.c_str(), baseline.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    auto candidate = LoadJsonFile(candidate_path);
+    if (!candidate.ok()) {
+      std::fprintf(stderr, "FAIL %s: candidate unreadable: %s\n",
+                   name.c_str(), candidate.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    Comparison comparison;
+    comparison.tolerance = tolerance;
+    comparison.Compare("$", *baseline, *candidate);
+    if (comparison.mismatches.empty()) {
+      std::printf("OK   %s\n", name.c_str());
+    } else {
+      ++failures;
+      std::fprintf(stderr, "FAIL %s:\n", name.c_str());
+      for (const std::string& mismatch : comparison.mismatches) {
+        std::fprintf(stderr, "  %s\n", mismatch.c_str());
+      }
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "\nbench_compare: %d of %zu artifacts regressed vs %s\n",
+                 failures, baselines.size(), baseline_dir.c_str());
+    return 1;
+  }
+  std::printf("bench_compare: %zu artifacts match %s (tolerance %.0f%%)\n",
+              baselines.size(), baseline_dir.c_str(), tolerance * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rwdom
+
+int main(int argc, char** argv) { return rwdom::Run(argc, argv); }
