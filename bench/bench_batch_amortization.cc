@@ -91,10 +91,8 @@ int Run(int argc, char** argv) {
   // A mixed workload on one set of index params, so the warm engine
   // builds the walk index exactly once for all index-backed queries.
   std::vector<std::pair<std::string, ServiceRequest>> workload;
-  workload.emplace_back(
-      "select-F2", SelectRequest{"ApproxF2", 10, params, ""});
-  workload.emplace_back(
-      "select-F1", SelectRequest{"ApproxF1", 10, params, ""});
+  workload.emplace_back("select-F2", SelectRequest{"ApproxF2", 10, params});
+  workload.emplace_back("select-F1", SelectRequest{"ApproxF1", 10, params});
   workload.emplace_back(
       "evaluate",
       EvaluateRequest{eval_seeds, params.length, 200, params.seed});

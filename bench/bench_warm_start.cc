@@ -1,0 +1,200 @@
+// Warm-start recovery: boot-to-first-query latency with and without a
+// populated --cache_dir, plus the staleness path.
+//
+// Cold protocol: fresh context + empty cache dir — the first ApproxF2
+// select pays the full walk-index build, then checkpoints it.
+// Warm protocol: a second boot over the same cache dir recovers the
+// snapshot before serving, so the same first query builds nothing.
+// Stale protocol: a third boot over a *different* substrate must reject
+// the snapshot (fingerprint mismatch) and rebuild — a perf event, never
+// a wrong answer.
+//
+// The driver renders every response to JSON and exits non-zero if the
+// warm or stale bytes diverge from cold (timings normalized), so CI
+// tracks the warm-start speedup and guards the determinism contract of
+// the persistence layer at the same time. JSON output:
+// BENCH_warm_start.json via --json_dir.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <regex>
+#include <sstream>
+#include <string>
+
+#include "graph/generators.h"
+#include "harness/dataset_registry.h"
+#include "harness/experiment.h"
+#include "persist/artifact_cache.h"
+#include "service/engine.h"
+#include "service/query_context.h"
+#include "service/render.h"
+#include "util/json.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace rwdom {
+namespace {
+
+// Wall-clock fields legitimately differ; everything else must be
+// bit-identical between cold, warm and stale-rebuild responses.
+std::string NormalizeSeconds(std::string text) {
+  return std::regex_replace(std::move(text),
+                            std::regex(R"("seconds":[-+0-9.eE]+)"),
+                            "\"seconds\":<T>");
+}
+
+struct BootResult {
+  double boot_to_first_query_seconds = 0.0;
+  std::string response;  ///< Normalized JSON of the first select.
+  int64_t index_builds = 0;
+  int64_t index_recovered = 0;
+  int64_t snapshots_recovered = 0;
+  int64_t snapshots_rejected = 0;
+  int64_t checkpoints_written = 0;
+};
+
+// One server-boot lifecycle: construct the context over `graph`, wire
+// the cache dir, answer one select. `flush` publishes queued
+// checkpoints before returning (the cold run must leave a snapshot).
+BootResult BootAndQuery(const Graph& graph, const std::string& cache_dir,
+                        const SelectRequest& request) {
+  WallTimer timer;
+  QueryContext context((GraphSubstrate(Graph(graph))));
+  ArtifactCache cache(cache_dir);
+  auto recovered = cache.RecoverInto(context);
+  RWDOM_CHECK(recovered.ok()) << recovered.status();
+  cache.AttachCheckpointHook(context);
+
+  auto response = Select(context, request);
+  RWDOM_CHECK(response.ok()) << response.status();
+  BootResult result;
+  result.boot_to_first_query_seconds = timer.Seconds();
+
+  std::ostringstream out;
+  Render(ServiceResponse(*response), OutputFormat::kJson, out);
+  result.response = NormalizeSeconds(out.str());
+  result.index_builds = context.index_builds();
+  result.index_recovered = context.index_recovered();
+  cache.Flush();
+  const PersistenceInfo info = context.persistence();
+  result.snapshots_recovered = info.snapshots_recovered;
+  result.snapshots_rejected = info.snapshots_rejected;
+  result.checkpoints_written = info.checkpoints_written;
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBanner("warm_start",
+              "boot-to-first-query latency: cold build vs. snapshot "
+              "recovery vs. stale-cache rebuild",
+              args);
+
+  const double scale = args.full ? 1.0 : 0.05;
+  auto dataset =
+      LoadOrSynthesizeScaledDataset("CAGrQc", args.data_dir, scale);
+  RWDOM_CHECK(dataset.ok()) << dataset.status();
+  const Graph& graph = dataset->graph;
+  std::printf("dataset=%s n=%d m=%lld (scale=%.2f)\n\n",
+              dataset->name.c_str(), graph.num_nodes(),
+              static_cast<long long>(graph.num_edges()), scale);
+
+  SelectRequest request;
+  request.algorithm = "ApproxF2";
+  request.k = 10;
+  request.params.length = 6;
+  request.params.num_samples = args.full ? 100 : 50;
+  request.params.seed = args.seed;
+
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() / "rwdom_bench_warm_start")
+          .string();
+  std::filesystem::remove_all(cache_dir);
+
+  // Cold: empty cache — build, serve, checkpoint.
+  BootResult cold = BootAndQuery(graph, cache_dir, request);
+  // Warm: same substrate, populated cache — recover, serve, no build.
+  BootResult warm = BootAndQuery(graph, cache_dir, request);
+  // Stale: a different substrate over the same cache dir — reject the
+  // foreign snapshot, rebuild, still answer.
+  auto mutated =
+      GenerateBarabasiAlbert(graph.num_nodes(), 3, args.seed + 999);
+  RWDOM_CHECK(mutated.ok()) << mutated.status();
+  BootResult stale =
+      BootAndQuery(Graph(std::move(*mutated)), cache_dir, request);
+  std::filesystem::remove_all(cache_dir);
+
+  bool ok = true;
+  if (warm.response != cold.response) {
+    ok = false;
+    std::fprintf(stderr,
+                 "MISMATCH: warm first response diverges from cold:\n"
+                 "  cold: %s\n  warm: %s\n",
+                 cold.response.c_str(), warm.response.c_str());
+  }
+  auto require = [&ok](bool condition, const char* what) {
+    if (!condition) {
+      ok = false;
+      std::fprintf(stderr, "FAIL: %s\n", what);
+    }
+  };
+  require(cold.index_builds == 1, "cold boot must build exactly once");
+  require(cold.checkpoints_written == 1, "cold boot must checkpoint");
+  require(warm.index_builds == 0, "warm boot must not build");
+  require(warm.snapshots_recovered == 1, "warm boot must recover");
+  require(stale.snapshots_rejected == 1,
+          "stale boot must reject the foreign snapshot");
+  require(stale.index_builds == 1, "stale boot must rebuild");
+
+  TablePrinter table(
+      {"boot", "ttfq_ms", "builds", "recovered", "rejected"});
+  const BootResult* boots[] = {&cold, &warm, &stale};
+  const char* names[] = {"cold", "warm", "stale"};
+  for (int i = 0; i < 3; ++i) {
+    table.AddRow(
+        {names[i],
+         StrFormat("%.3f", boots[i]->boot_to_first_query_seconds * 1e3),
+         StrFormat("%lld", static_cast<long long>(boots[i]->index_builds)),
+         StrFormat("%lld",
+                   static_cast<long long>(boots[i]->snapshots_recovered)),
+         StrFormat("%lld",
+                   static_cast<long long>(boots[i]->snapshots_rejected))});
+  }
+  table.Print();
+  std::printf("\nwarm speedup: %.2fx; responses %s\n",
+              warm.boot_to_first_query_seconds > 0.0
+                  ? cold.boot_to_first_query_seconds /
+                        warm.boot_to_first_query_seconds
+                  : 0.0,
+              ok ? "identical" : "MISMATCH");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("warm_start");
+  json.Key("dataset").String(dataset->name);
+  json.Key("n").Int(graph.num_nodes());
+  json.Key("L").Int(request.params.length);
+  json.Key("R").Int(request.params.num_samples);
+  json.Key("seed").Int(static_cast<int64_t>(request.params.seed));
+  json.Key("cold_ttfq_seconds").Number(cold.boot_to_first_query_seconds);
+  json.Key("warm_ttfq_seconds").Number(warm.boot_to_first_query_seconds);
+  json.Key("stale_ttfq_seconds").Number(stale.boot_to_first_query_seconds);
+  json.Key("cold_index_builds").Int(cold.index_builds);
+  json.Key("cold_checkpoints_written").Int(cold.checkpoints_written);
+  json.Key("warm_index_builds").Int(warm.index_builds);
+  json.Key("warm_snapshots_recovered").Int(warm.snapshots_recovered);
+  json.Key("warm_index_recovered").Int(warm.index_recovered);
+  json.Key("stale_snapshots_rejected").Int(stale.snapshots_rejected);
+  json.Key("stale_index_builds").Int(stale.index_builds);
+  json.Key("identical").Bool(ok);
+  json.EndObject();
+  MaybeDumpJson(args, "warm_start", json.ToString());
+
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rwdom
+
+int main(int argc, char** argv) { return rwdom::Run(argc, argv); }

@@ -1,8 +1,10 @@
 // `rwdom select`: pick k seeds with any registered selector.
 #include <optional>
+#include <utility>
 
 #include "cli/command_registry.h"
 #include "cli/flag_parsing.h"
+#include "persist/snapshot.h"
 #include "service/engine.h"
 
 namespace rwdom {
@@ -20,10 +22,29 @@ Status RunSelect(const CommandEnv& env) {
   RWDOM_ASSIGN_OR_RETURN(
       request.algorithm,
       ResolveAlgorithmName(env.invocation, &request.params));
-  request.save_index = FlagOr(env.invocation, "save_index", "");
+  const std::string save_index = FlagOr(env.invocation, "save_index", "");
 
   RWDOM_ASSIGN_OR_RETURN(SelectResponse response,
                          Select(*context, request));
+
+  if (!save_index.empty()) {
+    // Sugar over the snapshot writer: the Approx* selection above built
+    // (or warmed) the index under its ArtifactKey, so this GetIndex is a
+    // pure cache hit and the file we write is the exact snapshot a
+    // --cache_dir checkpoint would publish for the same key.
+    if (request.algorithm.rfind("Approx", 0) != 0) {
+      return Status::InvalidArgument(
+          "--save_index only applies to ApproxF1/ApproxF2 "
+          "(--method=index|index-celf)");
+    }
+    const ArtifactKey key =
+        context->MakeKey(request.params.length, request.params.num_samples,
+                         request.params.seed);
+    RWDOM_RETURN_IF_ERROR(
+        WalkIndexSerializer::Save(*context->GetIndex(key), key, save_index));
+    response.index_saved = save_index;
+  }
+
   Render(ServiceResponse(std::move(response)), env.format, env.out);
   return Status::OK();
 }
@@ -48,7 +69,10 @@ CommandDef MakeSelectCommand() {
       {"L", "N", "walk budget (default 6)"},
       {"R", "N", "replicates / samples (default 100)"},
       {"seed", "N", "master walk seed (default 42)"},
-      {"save_index", "FILE", "persist the inverted index (Approx* only)"},
+      {"save_index", "FILE",
+       "snapshot the inverted index to one file (Approx* only) — same "
+       "format `serve --cache_dir` checkpoints and recovers; point it "
+       "into a cache dir at <key>.rwidx to pre-warm a server"},
   });
   def.batchable = true;
   def.handler = RunSelect;

@@ -10,12 +10,14 @@
 
 #include <atomic>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <utility>
 
 #include "cli/command_registry.h"
 #include "cli/flag_parsing.h"
 #include "cli/query_line.h"
+#include "persist/artifact_cache.h"
 #include "server/server.h"
 #include "util/json.h"
 #include "util/parallel.h"
@@ -76,10 +78,25 @@ Status RunServe(const CommandEnv& env) {
   // nested compute parallelism shares the one process-wide pool.
   options.threads = NumThreads();
   const std::string port_file = FlagOr(env.invocation, "port_file", "");
+  const std::string cache_dir = FlagOr(env.invocation, "cache_dir", "");
+  if (!cache_dir.empty()) options.capabilities.push_back("cache");
 
   RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
                          ResolveSubstrate(env.invocation));
   QueryContext context(std::move(loaded));
+
+  // Declared after the context and before the server, so destruction
+  // runs server (workers join, no more builds) -> cache (writer drains)
+  // -> context — every order-sensitive handoff is scoped.
+  std::optional<ArtifactCache> cache;
+  int64_t recovered = 0;
+  if (!cache_dir.empty()) {
+    cache.emplace(cache_dir);
+    // Warm start: adopt every compatible snapshot before the listener
+    // is up, so even the first query finds the index without building.
+    RWDOM_ASSIGN_OR_RETURN(recovered, cache->RecoverInto(context));
+    cache->AttachCheckpointHook(context);
+  }
 
   QueryServer server(
       &context,
@@ -112,15 +129,27 @@ Status RunServe(const CommandEnv& env) {
   }
 
   env.out << StrFormat(
-      "serving %s substrate on %s:%d (threads=%d, max_connections=%d)\n",
+      "serving %s substrate on %s:%d (threads=%d, max_connections=%d, "
+      "protocol_version=%d)\n",
       context.substrate().kind().c_str(), options.host.c_str(),
-      server.port(), options.threads, options.max_connections);
+      server.port(), options.threads, options.max_connections,
+      kProtocolVersion);
+  if (cache.has_value()) {
+    const PersistenceInfo persistence = context.persistence();
+    env.out << StrFormat(
+        "cache: %s (snapshots recovered=%lld, rejected=%lld)\n",
+        cache_dir.c_str(), static_cast<long long>(recovered),
+        static_cast<long long>(persistence.snapshots_rejected));
+  }
   env.out << "protocol: one JSONL request per line (see `rwdom help "
              "serve`); Ctrl-C or {\"command\": \"shutdown\"} to stop\n";
   env.out.flush();
 
   server.Wait();
 
+  // Publish queued checkpoints before the summary so its counters are
+  // the final ones for this run.
+  if (cache.has_value()) cache->Flush();
   const ServerStats stats = server.stats();
   if (env.format == OutputFormat::kJson) {
     JsonWriter json;
@@ -134,7 +163,12 @@ Status RunServe(const CommandEnv& env) {
     json.Key("graph_loads").Int(1);
     json.Key("index_builds").Int(stats.index_builds);
     json.Key("index_hits").Int(stats.index_hits);
+    json.Key("index_recovered").Int(stats.index_recovered);
     json.Key("cached_bytes").Int(stats.cached_bytes);
+    json.Key("cache_dir").String(stats.persistence.cache_dir);
+    json.Key("snapshots_recovered").Int(stats.persistence.snapshots_recovered);
+    json.Key("snapshots_rejected").Int(stats.persistence.snapshots_rejected);
+    json.Key("checkpoints_written").Int(stats.persistence.checkpoints_written);
     json.EndObject();
     json.EndObject();
     env.out << json.ToString() << "\n";
@@ -142,7 +176,7 @@ Status RunServe(const CommandEnv& env) {
     env.out << StrFormat(
         "serve: %lld queries (ok=%lld, errors=%lld) over %lld connections "
         "on one %s substrate (graph loads=1, index builds=%lld, "
-        "index hits=%lld, cached bytes=%lld)\n",
+        "index hits=%lld, index recovered=%lld, cached bytes=%lld)\n",
         static_cast<long long>(stats.queries_ok + stats.queries_error),
         static_cast<long long>(stats.queries_ok),
         static_cast<long long>(stats.queries_error),
@@ -150,7 +184,16 @@ Status RunServe(const CommandEnv& env) {
         context.substrate().kind().c_str(),
         static_cast<long long>(stats.index_builds),
         static_cast<long long>(stats.index_hits),
+        static_cast<long long>(stats.index_recovered),
         static_cast<long long>(stats.cached_bytes));
+    if (!stats.persistence.cache_dir.empty()) {
+      env.out << StrFormat(
+          "cache: %s (recovered=%lld, rejected=%lld, checkpoints=%lld)\n",
+          stats.persistence.cache_dir.c_str(),
+          static_cast<long long>(stats.persistence.snapshots_recovered),
+          static_cast<long long>(stats.persistence.snapshots_rejected),
+          static_cast<long long>(stats.persistence.checkpoints_written));
+    }
   }
   return Status::OK();
 }
@@ -163,7 +206,8 @@ CommandDef MakeServeCommand() {
   def.summary = "serve JSONL queries over TCP from one warm engine";
   def.usage =
       "rwdom serve (--graph=FILE | --dataset=NAME) [--port=7117] "
-      "[--max_connections=64] [--threads=N]\n       request lines (same "
+      "[--max_connections=64] [--threads=N] [--cache_dir=DIR]\n       "
+      "request lines (same "
       "as batch scripts): {\"command\": \"select|evaluate|knn|cover|"
       "stats\", \"flags\": {...}}\n       admin requests: {\"command\": "
       "\"server_stats\"} and {\"command\": \"shutdown\"}";
@@ -176,6 +220,9 @@ CommandDef MakeServeCommand() {
        "open-connection cap; excess connections are refused (default 64)"},
       {"port_file", "FILE", "write the bound port here once listening "
                             "(handshake for scripts/tests)"},
+      {"cache_dir", "DIR",
+       "persistent index cache: recover matching snapshots at boot "
+       "(warm start) and checkpoint new builds in the background"},
   });
   def.handler = RunServe;
   return def;

@@ -14,7 +14,7 @@ const std::vector<CommandDef>& Commands() {
           MakeEvaluateCommand(), MakeCoverCommand(),
           MakeKnnCommand(),      MakeBatchCommand(),
           MakeServeCommand(),    MakeClientCommand(),
-          MakeHelpCommand(),
+          MakeCacheCommand(),    MakeHelpCommand(),
       };
   return *kCommands;
 }

@@ -48,6 +48,7 @@ CommandDef MakeKnnCommand();
 CommandDef MakeBatchCommand();
 CommandDef MakeServeCommand();
 CommandDef MakeClientCommand();
+CommandDef MakeCacheCommand();
 CommandDef MakeHelpCommand();
 
 }  // namespace rwdom

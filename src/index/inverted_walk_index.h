@@ -61,7 +61,8 @@ class InvertedWalkIndex {
   int64_t MemoryUsageBytes() const;
 
  private:
-  // Binary save/load lives in index/index_io.h.
+  // Binary save/load lives in persist/snapshot.h (the persist layer owns
+  // the on-disk format; the friend grant is how it reaches the storage).
   friend class WalkIndexSerializer;
 
   struct Replicate {

@@ -1,0 +1,391 @@
+#include "persist/snapshot.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "util/fingerprint.h"
+#include "util/strings.h"
+
+namespace rwdom {
+namespace {
+
+constexpr char kMagic[4] = {'R', 'W', 'D', 'X'};
+constexpr uint32_t kVersionLegacy = 1;
+constexpr uint32_t kVersion = 2;
+// v2 header bytes [16, 48): the span the header checksum covers.
+constexpr size_t kHeaderBodyBytes = 32;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+/// Shared structural validation: CSR offsets monotone from 0 to
+/// entry_count, every posting in range. Both format versions must pass —
+/// a snapshot that decodes but violates the index invariants would crash
+/// the selectors later, which is worse than a rejection now.
+Status ValidateReplicate(const std::vector<int64_t>& offsets,
+                         const std::vector<InvertedWalkIndex::Entry>& entries,
+                         int64_t entry_count, NodeId num_nodes,
+                         int32_t length, const std::string& path) {
+  if (offsets.front() != 0 || offsets.back() != entry_count) {
+    return Status::Corruption("offset bounds mismatch: " + path);
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Status::Corruption("non-monotone offsets: " + path);
+    }
+  }
+  for (const auto& entry : entries) {
+    if (entry.id < 0 || entry.id >= num_nodes || entry.weight < 1 ||
+        entry.weight > length) {
+      return Status::Corruption("entry out of range: " + path);
+    }
+  }
+  return Status::OK();
+}
+
+struct HeaderV2 {
+  ArtifactKey key;
+  NodeId num_nodes = 0;
+  int32_t num_replicates = 0;
+};
+
+/// Reads + checksums the v2 header body (the magic and version are
+/// already consumed). Shared by Load and Inspect.
+Result<HeaderV2> ReadHeaderV2(std::ifstream& in, const std::string& path) {
+  uint64_t header_checksum = 0;
+  if (!ReadPod(in, &header_checksum)) {
+    return Status::Corruption("truncated header: " + path);
+  }
+  char body[kHeaderBodyBytes];
+  in.read(body, sizeof(body));
+  if (!in.good()) return Status::Corruption("truncated header: " + path);
+  if (FingerprintBytes(body, sizeof(body)) != header_checksum) {
+    return Status::Corruption("header checksum mismatch: " + path);
+  }
+  HeaderV2 header;
+  size_t at = 0;
+  auto take = [&](void* out, size_t size) {
+    std::memcpy(out, body + at, size);
+    at += size;
+  };
+  take(&header.key.length, sizeof(int32_t));
+  take(&header.key.num_samples, sizeof(int32_t));
+  take(&header.key.seed, sizeof(uint64_t));
+  take(&header.key.substrate_fingerprint, sizeof(uint64_t));
+  take(&header.num_nodes, sizeof(int32_t));
+  take(&header.num_replicates, sizeof(int32_t));
+  if (header.num_nodes < 0 || header.key.length < 0 ||
+      header.key.num_samples < 0 || header.num_replicates < 1) {
+    return Status::Corruption("implausible header fields: " + path);
+  }
+  return header;
+}
+
+}  // namespace
+
+/// The pre-ArtifactKey format: bare (num_nodes, length, replicates)
+/// header, no key, no checksums. Kept loadable so old --save_index files
+/// survive the redesign.
+Result<LoadedSnapshot> WalkIndexSerializer::LoadV1(std::ifstream& in,
+                                                   const std::string& path) {
+  NodeId num_nodes = 0;
+  int32_t length = 0;
+  int32_t replicates = 0;
+  if (!ReadPod(in, &num_nodes) || !ReadPod(in, &length) ||
+      !ReadPod(in, &replicates)) {
+    return Status::Corruption("truncated header: " + path);
+  }
+  if (num_nodes < 0 || length < 0 || replicates < 1) {
+    return Status::Corruption("implausible header fields: " + path);
+  }
+
+  std::vector<InvertedWalkIndex::Replicate> reps(
+      static_cast<size_t>(replicates));
+  for (auto& rep : reps) {
+    rep.offsets.resize(static_cast<size_t>(num_nodes) + 1);
+    in.read(reinterpret_cast<char*>(rep.offsets.data()),
+            static_cast<std::streamsize>(rep.offsets.size() *
+                                         sizeof(int64_t)));
+    int64_t entry_count = 0;
+    if (!in.good() || !ReadPod(in, &entry_count) || entry_count < 0) {
+      return Status::Corruption("truncated replicate: " + path);
+    }
+    rep.entries.resize(static_cast<size_t>(entry_count));
+    in.read(reinterpret_cast<char*>(rep.entries.data()),
+            static_cast<std::streamsize>(rep.entries.size() *
+                                         sizeof(InvertedWalkIndex::Entry)));
+    if (!in.good() && entry_count > 0) {
+      return Status::Corruption("truncated entries: " + path);
+    }
+    RWDOM_RETURN_IF_ERROR(ValidateReplicate(rep.offsets, rep.entries,
+                                            entry_count, num_nodes, length,
+                                            path));
+  }
+  in.peek();
+  if (!in.eof()) return Status::Corruption("trailing bytes: " + path);
+  return LoadedSnapshot{InvertedWalkIndex(num_nodes, length, std::move(reps)),
+                        std::nullopt, kVersionLegacy};
+}
+
+Result<LoadedSnapshot> WalkIndexSerializer::LoadV2(std::ifstream& in,
+                                                   const std::string& path) {
+  RWDOM_ASSIGN_OR_RETURN(HeaderV2 header, ReadHeaderV2(in, path));
+  const NodeId num_nodes = header.num_nodes;
+  // Per replicate, every one of n walks indexes at most L nodes — any
+  // larger count is corruption, caught before the allocation it sizes.
+  const uint64_t max_entries = static_cast<uint64_t>(num_nodes) *
+                               static_cast<uint64_t>(header.key.length);
+
+  std::vector<InvertedWalkIndex::Replicate> reps(
+      static_cast<size_t>(header.num_replicates));
+  for (auto& rep : reps) {
+    uint64_t entry_count = 0;
+    uint64_t section_checksum = 0;
+    if (!ReadPod(in, &entry_count) || !ReadPod(in, &section_checksum)) {
+      return Status::Corruption("truncated replicate: " + path);
+    }
+    if (entry_count > max_entries) {
+      return Status::Corruption("implausible entry count: " + path);
+    }
+    rep.offsets.resize(static_cast<size_t>(num_nodes) + 1);
+    in.read(reinterpret_cast<char*>(rep.offsets.data()),
+            static_cast<std::streamsize>(rep.offsets.size() *
+                                         sizeof(int64_t)));
+    if (!in.good()) return Status::Corruption("truncated offsets: " + path);
+    rep.entries.resize(static_cast<size_t>(entry_count));
+    in.read(reinterpret_cast<char*>(rep.entries.data()),
+            static_cast<std::streamsize>(rep.entries.size() *
+                                         sizeof(InvertedWalkIndex::Entry)));
+    if (!in.good() && entry_count > 0) {
+      return Status::Corruption("truncated entries: " + path);
+    }
+    Fingerprint section;
+    section.Update(rep.offsets.data(),
+                   rep.offsets.size() * sizeof(int64_t));
+    section.Update(rep.entries.data(),
+                   rep.entries.size() * sizeof(InvertedWalkIndex::Entry));
+    if (section.Digest() != section_checksum) {
+      return Status::Corruption("section checksum mismatch: " + path);
+    }
+    RWDOM_RETURN_IF_ERROR(ValidateReplicate(
+        rep.offsets, rep.entries, static_cast<int64_t>(entry_count),
+        num_nodes, header.key.length, path));
+  }
+  in.peek();
+  if (!in.eof()) return Status::Corruption("trailing bytes: " + path);
+  return LoadedSnapshot{
+      InvertedWalkIndex(num_nodes, header.key.length, std::move(reps)),
+      header.key, kVersion};
+}
+
+Status WalkIndexSerializer::Save(const InvertedWalkIndex& index,
+                                 const ArtifactKey& key,
+                                 const std::string& path) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for writing: " + tmp_path);
+
+    char body[kHeaderBodyBytes];
+    size_t at = 0;
+    auto put = [&](const void* data, size_t size) {
+      std::memcpy(body + at, data, size);
+      at += size;
+    };
+    const int32_t num_nodes = index.num_nodes_;
+    const int32_t num_replicates = index.num_replicates();
+    put(&key.length, sizeof(int32_t));
+    put(&key.num_samples, sizeof(int32_t));
+    put(&key.seed, sizeof(uint64_t));
+    put(&key.substrate_fingerprint, sizeof(uint64_t));
+    put(&num_nodes, sizeof(int32_t));
+    put(&num_replicates, sizeof(int32_t));
+
+    out.write(kMagic, sizeof(kMagic));
+    WritePod(out, kVersion);
+    WritePod(out, FingerprintBytes(body, sizeof(body)));
+    out.write(body, sizeof(body));
+
+    for (const auto& rep : index.replicates_) {
+      const uint64_t entry_count = rep.entries.size();
+      Fingerprint section;
+      section.Update(rep.offsets.data(),
+                     rep.offsets.size() * sizeof(int64_t));
+      section.Update(rep.entries.data(),
+                     rep.entries.size() * sizeof(InvertedWalkIndex::Entry));
+      WritePod(out, entry_count);
+      WritePod(out, section.Digest());
+      out.write(reinterpret_cast<const char*>(rep.offsets.data()),
+                static_cast<std::streamsize>(rep.offsets.size() *
+                                             sizeof(int64_t)));
+      out.write(reinterpret_cast<const char*>(rep.entries.data()),
+                static_cast<std::streamsize>(
+                    rep.entries.size() * sizeof(InvertedWalkIndex::Entry)));
+    }
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return Status::IoError("write failed: " + tmp_path);
+    }
+  }
+  // The snapshot only appears under its published name fully written:
+  // rename is atomic within a filesystem, so readers see the old file,
+  // no file, or the complete new one — never a torn prefix.
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot publish snapshot: " + path);
+  }
+  return Status::OK();
+}
+
+Result<LoadedSnapshot> WalkIndexSerializer::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic: " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version)) {
+    return Status::Corruption("truncated header: " + path);
+  }
+  if (version == kVersionLegacy) return LoadV1(in, path);
+  if (version == kVersion) return LoadV2(in, path);
+  return Status::Corruption(
+      StrFormat("unsupported snapshot version %u: %s", version,
+                path.c_str()));
+}
+
+Result<SnapshotMeta> WalkIndexSerializer::Inspect(const std::string& path,
+                                                  bool verify) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  in.seekg(0, std::ios::end);
+  const int64_t file_bytes = static_cast<int64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic: " + path);
+  }
+  uint32_t version = 0;
+  if (!ReadPod(in, &version)) {
+    return Status::Corruption("truncated header: " + path);
+  }
+
+  SnapshotMeta meta;
+  meta.version = version;
+  meta.file_bytes = file_bytes;
+
+  if (version == kVersionLegacy) {
+    if (verify) {
+      return Status::InvalidArgument(
+          "version 1 snapshot has no checksums to verify "
+          "(re-save to upgrade): " +
+          path);
+    }
+    int32_t replicates = 0;
+    if (!ReadPod(in, &meta.num_nodes) || !ReadPod(in, &meta.length) ||
+        !ReadPod(in, &replicates)) {
+      return Status::Corruption("truncated header: " + path);
+    }
+    if (meta.num_nodes < 0 || meta.length < 0 || replicates < 1) {
+      return Status::Corruption("implausible header fields: " + path);
+    }
+    meta.num_replicates = replicates;
+    const std::streamsize offsets_bytes = static_cast<std::streamsize>(
+        (static_cast<int64_t>(meta.num_nodes) + 1) *
+        static_cast<int64_t>(sizeof(int64_t)));
+    for (int32_t i = 0; i < replicates; ++i) {
+      in.seekg(offsets_bytes, std::ios::cur);
+      int64_t entry_count = 0;
+      if (!ReadPod(in, &entry_count) || entry_count < 0) {
+        return Status::Corruption("truncated replicate: " + path);
+      }
+      meta.total_entries += entry_count;
+      in.seekg(static_cast<std::streamsize>(
+                   entry_count *
+                   static_cast<int64_t>(sizeof(InvertedWalkIndex::Entry))),
+               std::ios::cur);
+      // seekg past EOF only fails on the next read; probe now so a
+      // truncated final section is reported as such.
+      in.peek();
+      if (in.fail() && !(in.eof() && i + 1 == replicates)) {
+        return Status::Corruption("truncated entries: " + path);
+      }
+    }
+    return meta;
+  }
+
+  if (version != kVersion) {
+    return Status::Corruption(
+        StrFormat("unsupported snapshot version %u: %s", version,
+                  path.c_str()));
+  }
+
+  RWDOM_ASSIGN_OR_RETURN(HeaderV2 header, ReadHeaderV2(in, path));
+  meta.key = header.key;
+  meta.num_nodes = header.num_nodes;
+  meta.length = header.key.length;
+  meta.num_replicates = header.num_replicates;
+
+  const int64_t offsets_count = static_cast<int64_t>(meta.num_nodes) + 1;
+  const uint64_t max_entries = static_cast<uint64_t>(meta.num_nodes) *
+                               static_cast<uint64_t>(meta.length);
+  std::vector<char> buffer;
+  for (int32_t i = 0; i < header.num_replicates; ++i) {
+    uint64_t entry_count = 0;
+    uint64_t section_checksum = 0;
+    if (!ReadPod(in, &entry_count) || !ReadPod(in, &section_checksum)) {
+      return Status::Corruption("truncated replicate: " + path);
+    }
+    if (entry_count > max_entries) {
+      return Status::Corruption("implausible entry count: " + path);
+    }
+    const int64_t section_bytes =
+        offsets_count * static_cast<int64_t>(sizeof(int64_t)) +
+        static_cast<int64_t>(entry_count) *
+            static_cast<int64_t>(sizeof(InvertedWalkIndex::Entry));
+    meta.total_entries += static_cast<int64_t>(entry_count);
+    if (verify) {
+      buffer.resize(static_cast<size_t>(section_bytes));
+      in.read(buffer.data(), static_cast<std::streamsize>(section_bytes));
+      if (!in.good() && section_bytes > 0) {
+        return Status::Corruption("truncated entries: " + path);
+      }
+      if (FingerprintBytes(buffer.data(), buffer.size()) !=
+          section_checksum) {
+        return Status::Corruption("section checksum mismatch: " + path);
+      }
+    } else {
+      in.seekg(static_cast<std::streamsize>(section_bytes), std::ios::cur);
+      in.peek();
+      if (in.fail() && !(in.eof() && i + 1 == header.num_replicates)) {
+        return Status::Corruption("truncated entries: " + path);
+      }
+    }
+  }
+  if (verify) {
+    in.peek();
+    if (!in.eof()) return Status::Corruption("trailing bytes: " + path);
+  }
+  return meta;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,109 @@
+// On-disk snapshots of the inverted walk index — the persist layer's
+// serializer, and the only one: `select --save_index`, the `--cache_dir`
+// warm-start cache and `rwdom cache` all read and write this format.
+//
+// Building the index is the dominant cost of Algorithm 6 on large
+// graphs, and the index is a pure function of its ArtifactKey
+// (substrate fingerprint, L, R, seed) — persisting it lets a restarted
+// server answer its first query without re-materializing a single walk.
+//
+// Format v2 (little-endian, fixed-width, 8-byte-aligned sections):
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//        0     4  magic "RWDX"
+//        4     4  u32 format version (2)
+//        8     8  u64 header checksum: FNV-1a over bytes [16, 48)
+//       16     4  i32 key.length (L)
+//       20     4  i32 key.num_samples (R)
+//       24     8  u64 key.seed
+//       32     8  u64 key.substrate_fingerprint
+//       40     4  i32 num_nodes
+//       44     4  i32 num_replicates
+//   then per replicate (num_replicates times):
+//       +0     8  u64 entry_count
+//       +8     8  u64 section checksum: FNV-1a over the offsets +
+//                 entries bytes that follow
+//      +16        i64 offsets[num_nodes + 1]   (CSR row starts)
+//       ...       Entry entries[entry_count]   (i32 id, i32 weight)
+//
+// Every section is contiguous, aligned and checksummed, so a loader may
+// mmap the file and point CSR spans straight at it; the current loader
+// copies into vectors (InvertedWalkIndex owns its storage) but the
+// layout commits to zero-copy.
+//
+// Version 1 files (the pre-ArtifactKey `--save_index` format: bare
+// num_nodes/length/replicates header, no key, no checksums) still load;
+// Load reports them with no key, and the artifact cache rejects them as
+// unverifiable rather than trusting them.
+//
+// Atomic publish rule: Save writes to `path + ".tmp"` and renames into
+// place, so a crash mid-checkpoint leaves at worst a stale temp file —
+// never a torn snapshot under the published name.
+#ifndef RWDOM_PERSIST_SNAPSHOT_H_
+#define RWDOM_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "index/inverted_walk_index.h"
+#include "service/artifact_key.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+/// A snapshot read back from disk: the index plus the identity it was
+/// saved under. `key` is empty for version-1 files, which predate
+/// ArtifactKey.
+struct LoadedSnapshot {
+  InvertedWalkIndex index;
+  std::optional<ArtifactKey> key;
+  uint32_t version = 0;
+};
+
+/// Header-level description of a snapshot file, for `rwdom cache ls` and
+/// `verify` — everything except the postings themselves.
+struct SnapshotMeta {
+  uint32_t version = 0;
+  std::optional<ArtifactKey> key;  ///< Empty for version-1 files.
+  NodeId num_nodes = 0;
+  int32_t length = 0;
+  int32_t num_replicates = 0;
+  int64_t total_entries = 0;
+  int64_t file_bytes = 0;
+};
+
+/// Stateless save/load for InvertedWalkIndex snapshots.
+class WalkIndexSerializer {
+ public:
+  /// Writes `index` under identity `key` to `path` in format v2, via
+  /// write-temp-then-atomic-rename (see the publish rule above).
+  static Status Save(const InvertedWalkIndex& index, const ArtifactKey& key,
+                     const std::string& path);
+
+  /// Loads a snapshot written by Save (v2) or by the legacy v1 writer.
+  /// Validates magic, version, checksums (v2) and structural invariants
+  /// (monotone offsets, in-range ids/weights); returns Corruption on any
+  /// mismatch — a rejected file is never partially adopted.
+  static Result<LoadedSnapshot> Load(const std::string& path);
+
+  /// Reads the header only (both versions). With `verify` set, also
+  /// streams the body to recompute v2 checksums — the `rwdom cache
+  /// verify` deep check (v1 files fail verify: nothing to check against).
+  static Result<SnapshotMeta> Inspect(const std::string& path, bool verify);
+
+ private:
+  // Per-version body readers (the magic + version are already consumed).
+  // Members rather than file-local helpers because they exercise the
+  // friend grant: InvertedWalkIndex's storage and private constructor.
+  static Result<LoadedSnapshot> LoadV1(std::ifstream& in,
+                                       const std::string& path);
+  static Result<LoadedSnapshot> LoadV2(std::ifstream& in,
+                                       const std::string& path);
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_PERSIST_SNAPSHOT_H_

@@ -12,7 +12,16 @@ QueryClient::QueryClient(UniqueFd connection)
 
 Result<QueryClient> QueryClient::Connect(const std::string& host, int port) {
   RWDOM_ASSIGN_OR_RETURN(UniqueFd connection, TcpConnect(host, port));
-  return QueryClient(std::move(connection));
+  QueryClient client(std::move(connection));
+  // The server sends its greeting on every accepted connection, before
+  // any response (even a refusal) — eat exactly one line here so
+  // Roundtrip sees request/response pairs only.
+  RWDOM_ASSIGN_OR_RETURN(LineReader::Outcome outcome,
+                         client.reader_->ReadLine(&client.greeting_));
+  if (outcome != LineReader::Outcome::kLine) {
+    return Status::IoError("server closed the connection before greeting");
+  }
+  return client;
 }
 
 Result<std::string> QueryClient::Roundtrip(const std::string& line) {

@@ -21,7 +21,15 @@ namespace rwdom {
 /// per-connection ordering guarantee.
 class QueryClient {
  public:
+  /// Connects and consumes the server's one-line greeting (protocol v2:
+  /// {"rwdom": {"protocol_version": ..., "capabilities": [...]}}), so
+  /// the first Roundtrip response is the first *request's* response. An
+  /// EOF before the greeting is an IoError.
   static Result<QueryClient> Connect(const std::string& host, int port);
+
+  /// The raw greeting line consumed at Connect — capability detection
+  /// without an extra request.
+  const std::string& greeting() const { return greeting_; }
 
   /// Sends one request line and blocks for its response line. An EOF
   /// before the response (server shut down mid-request) is an IoError.
@@ -33,6 +41,7 @@ class QueryClient {
   // shared_ptr keeps QueryClient movable while LineReader holds the fd.
   std::shared_ptr<UniqueFd> connection_;
   std::shared_ptr<LineReader> reader_;
+  std::string greeting_;
 };
 
 /// Sends every request line of `script` (blank lines and #-comments

@@ -1,0 +1,35 @@
+// Wire-protocol versioning for the JSONL query protocol.
+//
+// Protocol history:
+//   1  the original unversioned protocol: '\n'-framed JSONL requests,
+//      one response line each, no greeting — a client only learned what
+//      the server could do by trying.
+//   2  adds (a) a one-line JSON greeting sent by the server immediately
+//      on accept — {"rwdom": {"protocol_version": N, "capabilities":
+//      [...]}} — so clients can detect cache-aware servers before the
+//      first request, and (b) "protocol_version" + "capabilities" +
+//      persistence counters in the `server_stats` response.
+//
+// The request/response framing itself is unchanged across 1 -> 2; the
+// greeting is purely additive, which is why the version lives in its own
+// header: bumping it is an API event, not a server implementation detail.
+#ifndef RWDOM_SERVER_PROTOCOL_H_
+#define RWDOM_SERVER_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+namespace rwdom {
+
+inline constexpr int kProtocolVersion = 2;
+
+/// Capability tags every rwdom server speaks. `rwdom serve` appends
+/// feature-gated tags (e.g. "cache" when --cache_dir is attached);
+/// clients must treat unknown tags as ignorable.
+inline std::vector<std::string> BaseCapabilities() {
+  return {"jsonl", "batch_commands", "server_stats", "shutdown"};
+}
+
+}  // namespace rwdom
+
+#endif  // RWDOM_SERVER_PROTOCOL_H_

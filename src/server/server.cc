@@ -31,6 +31,20 @@ QueryServer::QueryServer(QueryContext* context, LineExecutor executor,
   RWDOM_CHECK(executor_ != nullptr);
   RWDOM_CHECK(options_.threads >= 1);
   RWDOM_CHECK(options_.max_connections >= 1);
+  {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("rwdom").BeginObject();
+    json.Key("protocol_version").Int(kProtocolVersion);
+    json.Key("capabilities").BeginArray();
+    for (const std::string& capability : options_.capabilities) {
+      json.String(capability);
+    }
+    json.EndArray();
+    json.EndObject();
+    json.EndObject();
+    greeting_line_ = json.ToString();
+  }
   // Created here, not in Start(), so NotifyShutdown — and a SIGINT
   // handler routed through it — works from construction on; a poke that
   // lands before Start() shuts the server down on its first accept.
@@ -93,6 +107,11 @@ void QueryServer::AcceptLoop() {
     if (!accepted->has_value()) break;  // Woken: shutdown requested.
     UniqueFd connection = std::move(**accepted);
     connections_accepted_.fetch_add(1);
+    // Every accepted connection gets the greeting first — including one
+    // about to be refused — so a client can unconditionally consume
+    // exactly one greeting line before its first response (a refusal
+    // then arrives as the first "response").
+    (void)SendAll(connection.get(), greeting_line_ + "\n");
     if (active_connections_.load() >= options_.max_connections) {
       connections_rejected_.fetch_add(1);
       // Best-effort refusal line; the close is the real signal.
@@ -204,7 +223,9 @@ ServerStats QueryServer::stats() const {
   stats.queries_error = queries_error_.load();
   stats.index_builds = context_->index_builds();
   stats.index_hits = context_->index_hits();
+  stats.index_recovered = context_->index_recovered();
   stats.cached_bytes = context_->TotalMemoryBytes();
+  stats.persistence = context_->persistence();
   return stats;
 }
 
@@ -213,13 +234,32 @@ std::string QueryServer::StatsResponseLine() const {
   JsonWriter json;
   json.BeginObject();
   json.Key("server_stats").BeginObject();
+  json.Key("protocol_version").Int(kProtocolVersion);
+  json.Key("capabilities").BeginArray();
+  for (const std::string& capability : options_.capabilities) {
+    json.String(capability);
+  }
+  json.EndArray();
   json.Key("substrate").String(context_->substrate().kind());
+  json.Key("substrate_fingerprint")
+      .String(StrFormat("%016llx", static_cast<unsigned long long>(
+                                       context_->substrate_fingerprint())));
   json.Key("threads").Int(options_.threads);
   json.Key("max_connections").Int(options_.max_connections);
   json.Key("graph_loads").Int(stats.graph_loads);
   json.Key("index_builds").Int(stats.index_builds);
   json.Key("index_hits").Int(stats.index_hits);
+  json.Key("index_recovered").Int(stats.index_recovered);
   json.Key("cached_bytes").Int(stats.cached_bytes);
+  json.Key("cache_dir").String(stats.persistence.cache_dir);
+  json.Key("snapshots_recovered").Int(stats.persistence.snapshots_recovered);
+  json.Key("snapshots_rejected").Int(stats.persistence.snapshots_rejected);
+  json.Key("checkpoints_written").Int(stats.persistence.checkpoints_written);
+  json.Key("snapshot_rejections").BeginArray();
+  for (const std::string& reason : stats.persistence.rejections) {
+    json.String(reason);
+  }
+  json.EndArray();
   json.Key("queries_ok").Int(stats.queries_ok);
   json.Key("queries_error").Int(stats.queries_error);
   json.Key("connections_accepted").Int(stats.connections_accepted);

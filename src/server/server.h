@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "server/protocol.h"
 #include "service/query_context.h"
 #include "util/socket.h"
 #include "util/status.h"
@@ -52,6 +53,10 @@ struct ServerOptions {
   int threads = 4;           ///< Worker pool size (concurrent connections).
   int max_connections = 64;  ///< Open-connection cap; excess are refused
                              ///< with an {"error": ...} line.
+  /// Capability tags announced in the greeting and in `server_stats`.
+  /// Callers with extra features (e.g. `serve --cache_dir`) append to
+  /// the base list before constructing the server.
+  std::vector<std::string> capabilities = BaseCapabilities();
 };
 
 /// Traffic + cache counters, the `server_stats` endpoint's numbers.
@@ -66,7 +71,11 @@ struct ServerStats {
   int64_t graph_loads = 1;
   int64_t index_builds = 0;
   int64_t index_hits = 0;
+  int64_t index_recovered = 0;  ///< Indexes adopted from disk snapshots.
   int64_t cached_bytes = 0;
+  /// Persistence block, mirrored from QueryContext::persistence() (all
+  /// zeros / empty when the server runs without --cache_dir).
+  PersistenceInfo persistence;
 };
 
 class QueryServer {
@@ -119,6 +128,9 @@ class QueryServer {
   QueryContext* const context_;
   const LineExecutor executor_;
   const ServerOptions options_;
+  /// The protocol-v2 hello, built once at construction and sent on every
+  /// accepted connection before anything else.
+  std::string greeting_line_;
 
   UniqueFd listener_;
   WakePipe wake_;

@@ -1,0 +1,108 @@
+#include "service/artifact_key.h"
+
+#include <vector>
+
+#include "util/strings.h"
+
+namespace rwdom {
+namespace {
+
+Result<uint64_t> ParseHex64(std::string_view text) {
+  if (text.empty() || text.size() > 16) {
+    return Status::InvalidArgument("bad fingerprint: " + std::string(text));
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return Status::InvalidArgument("bad fingerprint: " +
+                                     std::string(text));
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  return value;
+}
+
+/// Strict decimal uint64: the seed spans the full 64-bit range, which
+/// ParseInt64 cannot represent.
+Result<uint64_t> ParseDec64(std::string_view text) {
+  if (text.empty() || text.size() > 20) {
+    return Status::InvalidArgument("bad seed: " + std::string(text));
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad seed: " + std::string(text));
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::OutOfRange("seed out of range: " + std::string(text));
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+/// "name=value" with the expected name, else InvalidArgument.
+Result<std::string_view> FieldValue(std::string_view field,
+                                    std::string_view name) {
+  const size_t eq = field.find('=');
+  if (eq == std::string_view::npos || field.substr(0, eq) != name) {
+    return Status::InvalidArgument(
+        StrFormat("artifact key: expected `%.*s=...`, got `%.*s`",
+                  static_cast<int>(name.size()), name.data(),
+                  static_cast<int>(field.size()), field.data()));
+  }
+  return field.substr(eq + 1);
+}
+
+}  // namespace
+
+std::string ArtifactKey::CanonicalString() const {
+  return StrFormat("L=%d,R=%d,seed=%llu,substrate=%016llx", length,
+                   num_samples, static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(substrate_fingerprint));
+}
+
+std::string ArtifactKey::FileStem() const {
+  return StrFormat("idx-L%d-R%d-s%llu-%016llx", length, num_samples,
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(substrate_fingerprint));
+}
+
+Result<ArtifactKey> ArtifactKey::Parse(std::string_view text) {
+  const std::vector<std::string_view> fields = SplitString(text, ',');
+  if (fields.size() != 4) {
+    return Status::InvalidArgument(
+        "artifact key: want `L=..,R=..,seed=..,substrate=..`, got `" +
+        std::string(text) + "`");
+  }
+  ArtifactKey key;
+  RWDOM_ASSIGN_OR_RETURN(std::string_view length_text,
+                         FieldValue(fields[0], "L"));
+  RWDOM_ASSIGN_OR_RETURN(int64_t length, ParseInt64(length_text));
+  RWDOM_ASSIGN_OR_RETURN(std::string_view samples_text,
+                         FieldValue(fields[1], "R"));
+  RWDOM_ASSIGN_OR_RETURN(int64_t samples, ParseInt64(samples_text));
+  if (length < 0 || length > INT32_MAX || samples < 0 ||
+      samples > INT32_MAX) {
+    return Status::InvalidArgument("artifact key: L/R out of range in `" +
+                                   std::string(text) + "`");
+  }
+  key.length = static_cast<int32_t>(length);
+  key.num_samples = static_cast<int32_t>(samples);
+  RWDOM_ASSIGN_OR_RETURN(std::string_view seed_text,
+                         FieldValue(fields[2], "seed"));
+  RWDOM_ASSIGN_OR_RETURN(key.seed, ParseDec64(seed_text));
+  RWDOM_ASSIGN_OR_RETURN(std::string_view fingerprint_text,
+                         FieldValue(fields[3], "substrate"));
+  RWDOM_ASSIGN_OR_RETURN(key.substrate_fingerprint,
+                         ParseHex64(fingerprint_text));
+  return key;
+}
+
+}  // namespace rwdom

@@ -7,7 +7,6 @@
 #include "core/min_seed_cover.h"
 #include "core/selector_registry.h"
 #include "eval/metrics.h"
-#include "index/index_io.h"
 #include "util/strings.h"
 #include "util/timer.h"
 #include "walk/hitting_time_knn.h"
@@ -19,8 +18,8 @@ namespace {
 // node, on an independent stream (seed + 1) from the selection walks.
 constexpr int32_t kSelectMetricSamples = 500;
 
-WalkIndexKey KeyOf(const SelectorParams& params) {
-  return WalkIndexKey{params.length, params.num_samples, params.seed};
+ArtifactKey KeyOf(const QueryContext& context, const SelectorParams& params) {
+  return context.MakeKey(params.length, params.num_samples, params.seed);
 }
 
 Status ValidateNode(const QueryContext& context, NodeId node,
@@ -49,7 +48,7 @@ Result<SelectResponse> Select(QueryContext& context,
   // context answers repeated selects without re-materializing walks.
   auto* approx = dynamic_cast<ApproxGreedy*>(selector.get());
   if (approx != nullptr) {
-    approx->UsePrebuiltIndex(context.GetIndex(KeyOf(request.params)));
+    approx->UsePrebuiltIndex(context.GetIndex(KeyOf(context, request.params)));
   }
 
   SelectionResult result = selector->Select(request.k);
@@ -69,16 +68,6 @@ Result<SelectResponse> Select(QueryContext& context,
   response.aht = metrics.aht;
   response.ehn = metrics.ehn;
 
-  if (!request.save_index.empty()) {
-    if (approx == nullptr || approx->index() == nullptr) {
-      return Status::InvalidArgument(
-          "--save_index only applies to ApproxF1/ApproxF2 "
-          "(--method=index|index-celf)");
-    }
-    RWDOM_RETURN_IF_ERROR(
-        WalkIndexSerializer::Save(*approx->index(), request.save_index));
-    response.index_saved = request.save_index;
-  }
   return response;
 }
 
@@ -125,7 +114,7 @@ Result<CoverResponse> Cover(QueryContext& context,
                               .seed = request.params.seed,
                               .lazy = true};
   std::shared_ptr<const InvertedWalkIndex> index =
-      context.GetIndex(KeyOf(request.params));
+      context.GetIndex(KeyOf(context, request.params));
   MinSeedCoverResult cover = MinSeedCover(context.substrate().model(),
                                           request.alpha, options,
                                           index.get());
@@ -146,7 +135,7 @@ Result<StatsResponse> Stats(QueryContext& context,
   response.with_index = request.with_index;
   if (request.with_index) {
     std::shared_ptr<const InvertedWalkIndex> index =
-        context.GetIndex(KeyOf(request.params));
+        context.GetIndex(KeyOf(context, request.params));
     response.index_length = request.params.length;
     response.index_samples = request.params.num_samples;
     response.index_bytes = index->MemoryUsageBytes();

@@ -10,13 +10,15 @@
 namespace rwdom {
 
 QueryContext::QueryContext(LoadedSubstrate loaded)
-    : loaded_(std::move(loaded)) {}
+    : loaded_(std::move(loaded)),
+      substrate_fingerprint_(SubstrateFingerprint(loaded_.substrate)) {}
 
 QueryContext::QueryContext(GraphSubstrate substrate)
-    : loaded_{std::move(substrate), {}} {}
+    : loaded_{std::move(substrate), {}},
+      substrate_fingerprint_(SubstrateFingerprint(loaded_.substrate)) {}
 
 std::shared_ptr<const InvertedWalkIndex> QueryContext::GetIndex(
-    const WalkIndexKey& key) {
+    const ArtifactKey& key) {
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     auto it = index_cache_.find(key);
@@ -28,8 +30,9 @@ std::shared_ptr<const InvertedWalkIndex> QueryContext::GetIndex(
   // Cache miss: coalesce concurrent misses on the same key into one
   // build (waiters block on the leader), with the build itself running
   // unlocked so distinct keys build in parallel. The build is a pure
-  // function of (substrate, key), which is what makes warm — and
-  // concurrent — results bit-identical to cold ones.
+  // function of the key (which names the substrate by fingerprint),
+  // which is what makes warm — and concurrent — results bit-identical
+  // to cold ones.
   bool built = false;
   auto index = index_flights_.Do(key, [&]() {
     {
@@ -44,7 +47,7 @@ std::shared_ptr<const InvertedWalkIndex> QueryContext::GetIndex(
     auto fresh = std::make_shared<const InvertedWalkIndex>(
         InvertedWalkIndex::Build(key.length, key.num_samples, &source));
     ++index_builds_;
-    if (index_build_hook_) index_build_hook_(key);
+    if (index_build_hook_) index_build_hook_(key, fresh);
     std::unique_lock<std::shared_mutex> lock(mutex_);
     index_cache_.emplace(key, fresh);
     return std::shared_ptr<const InvertedWalkIndex>(fresh);
@@ -55,6 +58,26 @@ std::shared_ptr<const InvertedWalkIndex> QueryContext::GetIndex(
   // (deterministic, however the timing fell out).
   if (!built) ++index_hits_;
   return index;
+}
+
+bool QueryContext::AdoptIndex(const ArtifactKey& key,
+                              std::shared_ptr<const InvertedWalkIndex> index) {
+  if (index == nullptr) return false;
+  // A snapshot built over a different substrate would serve wrong
+  // answers bit-for-bit confidently; the fingerprint is the guard.
+  if (key.substrate_fingerprint != substrate_fingerprint_) return false;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  const bool adopted = index_cache_.emplace(key, std::move(index)).second;
+  if (adopted) ++index_recovered_;
+  return adopted;
+}
+
+std::vector<std::pair<ArtifactKey, std::shared_ptr<const InvertedWalkIndex>>>
+QueryContext::CachedIndexes() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::vector<std::pair<ArtifactKey, std::shared_ptr<const InvertedWalkIndex>>>
+      entries(index_cache_.begin(), index_cache_.end());
+  return entries;
 }
 
 const SubstrateStats& QueryContext::Stats() {
@@ -117,6 +140,32 @@ int64_t QueryContext::TotalMemoryBytes() const {
     total += artifact.bytes;
   }
   return total;
+}
+
+PersistenceInfo QueryContext::persistence() const {
+  std::lock_guard<std::mutex> lock(persist_mutex_);
+  return persistence_;
+}
+
+void QueryContext::set_cache_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(persist_mutex_);
+  persistence_.cache_dir = std::move(dir);
+}
+
+void QueryContext::RecordSnapshotRecovered() {
+  std::lock_guard<std::mutex> lock(persist_mutex_);
+  ++persistence_.snapshots_recovered;
+}
+
+void QueryContext::RecordSnapshotRejected(std::string reason) {
+  std::lock_guard<std::mutex> lock(persist_mutex_);
+  ++persistence_.snapshots_rejected;
+  persistence_.rejections.push_back(std::move(reason));
+}
+
+void QueryContext::RecordCheckpointWritten() {
+  std::lock_guard<std::mutex> lock(persist_mutex_);
+  ++persistence_.checkpoints_written;
 }
 
 }  // namespace rwdom

@@ -12,25 +12,28 @@
 //   ------------------   -------------------   ----------------------------
 //   transition model /   (substrate identity)  construction (owned by the
 //   alias tables                               substrate itself)
-//   inverted walk index  (L, R, seed)          select / cover / stats
-//                                              --with_index / knn sampled*
+//   inverted walk index  ArtifactKey           select / cover / stats
+//                        (L, R, seed,          --with_index / knn sampled*
+//                         substrate fp)
 //   stats summary        (substrate identity)  stats
 //
 //   *sampled knn draws fresh walks rather than reading the index; only
 //    the index-backed commands hit the index cache.
 //
-// Determinism contract: a cached index is a pure function of its key and
-// the substrate (InvertedWalkIndex::Build over
-// TransitionWalkSource(model, seed)), so serving a query from the cache
-// is bit-identical to a cold rebuild — the batch determinism tests pin
-// this. The `problem` (F1/F2) is deliberately NOT part of the key: the
-// index stores first-hit hop numbers, which Problem 1 consumes and
-// Problem 2 ignores, so both problems share one build (paper §3.3).
+// Determinism contract: a cached index is a pure function of its key
+// (InvertedWalkIndex::Build over TransitionWalkSource(model, seed), and
+// the key names the substrate by content fingerprint), so serving a query
+// from the cache — including an index recovered from a disk snapshot
+// (persist/artifact_cache.h) — is bit-identical to a cold rebuild; the
+// batch determinism tests and bench_warm_start pin this. The `problem`
+// (F1/F2) is deliberately NOT part of the key: the index stores first-hit
+// hop numbers, which Problem 1 consumes and Problem 2 ignores, so both
+// problems share one build (paper §3.3).
 //
 // CLI → service → core call chain: cli/cmd_*.cc parses flags into a
 // typed request (service/requests.h), acquires a QueryContext (fresh for
-// one-shot commands, shared for `rwdom batch`), and hands both to
-// service/engine.h, which runs the core algorithms.
+// one-shot commands, shared for `rwdom batch` and `rwdom serve`), and
+// hands both to service/engine.h, which runs the core algorithms.
 #ifndef RWDOM_SERVICE_QUERY_CONTEXT_H_
 #define RWDOM_SERVICE_QUERY_CONTEXT_H_
 
@@ -39,6 +42,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <string>
@@ -46,20 +50,11 @@
 
 #include "graph/properties.h"
 #include "index/inverted_walk_index.h"
+#include "service/artifact_key.h"
 #include "util/single_flight.h"
 #include "wgraph/substrate.h"
 
 namespace rwdom {
-
-/// Cache key of one inverted walk index: the three parameters the build
-/// is a pure function of (besides the substrate itself).
-struct WalkIndexKey {
-  int32_t length = 6;        ///< L, the walk budget.
-  int32_t num_samples = 100; ///< R, replicates per node.
-  uint64_t seed = 42;        ///< Master walk seed.
-
-  friend auto operator<=>(const WalkIndexKey&, const WalkIndexKey&) = default;
-};
 
 /// Byte-accounting row for one cached artifact (see
 /// QueryContext::MemoryUsage).
@@ -91,21 +86,33 @@ struct SubstrateStats {
   int64_t num_links = 0;
 };
 
+/// Persistence-side bookkeeping the server_stats endpoint and the serve
+/// summary report. Populated by persist/artifact_cache.h; all zeros when
+/// no --cache_dir is attached.
+struct PersistenceInfo {
+  std::string cache_dir;            ///< Empty when persistence is off.
+  int64_t snapshots_recovered = 0;  ///< Adopted at boot.
+  int64_t snapshots_rejected = 0;   ///< Stale/corrupt/truncated at boot.
+  int64_t checkpoints_written = 0;  ///< Background checkpoints published.
+  /// Human-readable reason per rejected snapshot, in discovery order
+  /// (e.g. "idx-...rwidx: substrate fingerprint mismatch").
+  std::vector<std::string> rejections;
+};
+
 /// One warm engine over one loaded substrate. Construct once, dispatch
 /// many requests (service/engine.h); every expensive artifact is built at
 /// most once per cache key.
 ///
 /// Thread safety: all query-path methods (GetIndex, Stats, MemoryUsage,
-/// TotalMemoryBytes, counters) are safe to call from many threads at
-/// once — the server's workers share one context. The artifact map is
-/// guarded by a shared_mutex and cache misses coalesce through a
-/// single-flight group: N concurrent misses on one (L, R, seed) key
-/// trigger exactly one build, with the other N-1 callers blocking on it,
-/// so concurrent responses stay bit-identical to cold serial runs.
-/// Distinct keys build concurrently. set_index_build_hook and
-/// EvictIndexes are control-plane calls; the hook itself may fire
-/// concurrently (once per distinct in-flight key) and must be
-/// thread-safe. Not movable, not copyable.
+/// TotalMemoryBytes, counters, persistence()) are safe to call from many
+/// threads at once — the server's workers share one context. The artifact
+/// map is guarded by a shared_mutex and cache misses coalesce through a
+/// single-flight group: N concurrent misses on one key trigger exactly
+/// one build, with the other N-1 callers blocking on it, so concurrent
+/// responses stay bit-identical to cold serial runs. Distinct keys build
+/// concurrently. set_index_build_hook and EvictIndexes are control-plane
+/// calls; the hook itself may fire concurrently (once per distinct
+/// in-flight key) and must be thread-safe. Not movable, not copyable.
 class QueryContext {
  public:
   explicit QueryContext(LoadedSubstrate loaded);
@@ -115,6 +122,19 @@ class QueryContext {
   QueryContext& operator=(const QueryContext&) = delete;
 
   const GraphSubstrate& substrate() const { return loaded_.substrate; }
+
+  /// Content fingerprint of the loaded substrate (computed once at
+  /// construction) — the `substrate` component of every key this context
+  /// mints, and the staleness guard snapshot recovery checks against.
+  uint64_t substrate_fingerprint() const { return substrate_fingerprint_; }
+
+  /// The canonical key for an index with these build parameters over
+  /// *this* substrate. All internal key construction goes through here so
+  /// the fingerprint can never be forgotten or mismatched.
+  ArtifactKey MakeKey(int32_t length, int32_t num_samples,
+                      uint64_t seed) const {
+    return ArtifactKey{length, num_samples, seed, substrate_fingerprint_};
+  }
 
   /// original_ids[dense] = id as it appeared in the input file (empty for
   /// generated/synthesized substrates).
@@ -126,7 +146,16 @@ class QueryContext {
   /// first request. Concurrent callers with the same key share one build
   /// (single flight). The returned pointer stays valid for the context's
   /// lifetime (shared ownership: selectors may hold it across evictions).
-  std::shared_ptr<const InvertedWalkIndex> GetIndex(const WalkIndexKey& key);
+  /// `key` should come from MakeKey (a foreign fingerprint would name an
+  /// index this substrate cannot build).
+  std::shared_ptr<const InvertedWalkIndex> GetIndex(const ArtifactKey& key);
+
+  /// Seeds the cache with an already-built index (snapshot recovery).
+  /// Refuses keys whose substrate fingerprint is not this substrate's,
+  /// and never displaces an existing entry. Returns true iff adopted;
+  /// adopted indexes count as index_recovered, not index_builds.
+  bool AdoptIndex(const ArtifactKey& key,
+                  std::shared_ptr<const InvertedWalkIndex> index);
 
   /// Number of index builds performed so far — the counting hook the
   /// cache tests use ("a 3-query batch builds the index exactly once").
@@ -136,13 +165,25 @@ class QueryContext {
   /// hit counter the server's stats endpoint reports.
   int64_t index_hits() const { return index_hits_.load(); }
 
-  /// Optional observer invoked (with the key) on every actual index
-  /// build, i.e. on cache misses only. Install before serving begins;
-  /// the hook may be invoked from several threads at once (one per
-  /// distinct in-flight key) and must be thread-safe.
-  void set_index_build_hook(std::function<void(const WalkIndexKey&)> hook) {
+  /// Number of indexes adopted via AdoptIndex (warm-start recovery).
+  int64_t index_recovered() const { return index_recovered_.load(); }
+
+  /// Optional observer invoked (with the key and the freshly built
+  /// index) on every actual index build, i.e. on cache misses only —
+  /// this is where the persist layer hangs its background checkpointer.
+  /// Install before serving begins; the hook may be invoked from several
+  /// threads at once (one per distinct in-flight key) and must be
+  /// thread-safe. Adopted (recovered) indexes do not fire it.
+  using IndexBuildHook = std::function<void(
+      const ArtifactKey&, const std::shared_ptr<const InvertedWalkIndex>&)>;
+  void set_index_build_hook(IndexBuildHook hook) {
     index_build_hook_ = std::move(hook);
   }
+
+  /// Every cached index, in deterministic key order (the `rwdom cache`
+  /// admin surface and checkpoint-on-shutdown walk this).
+  std::vector<std::pair<ArtifactKey, std::shared_ptr<const InvertedWalkIndex>>>
+  CachedIndexes() const;
 
   /// Drops all cached indexes (admission-control hook; existing
   /// shared_ptr holders keep their index alive until they release it).
@@ -162,19 +203,35 @@ class QueryContext {
   /// Sum of MemoryUsage() rows.
   int64_t TotalMemoryBytes() const;
 
+  // --- Persistence bookkeeping (written by persist/artifact_cache.h). ---
+
+  /// Snapshot of the persistence counters (copied under lock).
+  PersistenceInfo persistence() const;
+
+  void set_cache_dir(std::string dir);
+  void RecordSnapshotRecovered();
+  void RecordSnapshotRejected(std::string reason);
+  void RecordCheckpointWritten();
+
  private:
   LoadedSubstrate loaded_;
+  uint64_t substrate_fingerprint_ = 0;
   /// Guards index_cache_ and stats_ (readers shared, writers exclusive).
   /// Never held across an index build — single-flight coalescing means
   /// the build runs unlocked without duplicating work.
   mutable std::shared_mutex mutex_;
-  std::map<WalkIndexKey, std::shared_ptr<const InvertedWalkIndex>>
+  std::map<ArtifactKey, std::shared_ptr<const InvertedWalkIndex>>
       index_cache_;
-  SingleFlightGroup<WalkIndexKey, const InvertedWalkIndex> index_flights_;
+  SingleFlightGroup<ArtifactKey, const InvertedWalkIndex> index_flights_;
   std::atomic<int64_t> index_builds_{0};
   std::atomic<int64_t> index_hits_{0};
-  std::function<void(const WalkIndexKey&)> index_build_hook_;
+  std::atomic<int64_t> index_recovered_{0};
+  IndexBuildHook index_build_hook_;
   std::optional<SubstrateStats> stats_;
+  /// Guards persistence_ (low-traffic control-plane data; separate from
+  /// mutex_ so stats reads never contend with the query path).
+  mutable std::mutex persist_mutex_;
+  PersistenceInfo persistence_;
 };
 
 }  // namespace rwdom

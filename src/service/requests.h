@@ -28,12 +28,9 @@ struct SelectRequest {
   /// KnownSelectorNames()).
   std::string algorithm = "ApproxF2";
   int32_t k = 10;
-  /// L / R / seed / lazy. For Approx* selectors (L, R, seed) double as
-  /// the walk-index cache key.
+  /// L / R / seed / lazy. For Approx* selectors, (L, R, seed) plus the
+  /// context's substrate fingerprint form the walk-index ArtifactKey.
   SelectorParams params;
-  /// When non-empty, persist the selector's inverted index here
-  /// (Approx* selectors only).
-  std::string save_index;
 };
 
 /// Score a given seed set with the paper's sampled metrics (evaluate

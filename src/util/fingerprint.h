@@ -1,0 +1,65 @@
+// Content fingerprinting for persistence: a streaming 64-bit FNV-1a
+// hasher. Used for the substrate fingerprint inside ArtifactKey (the
+// stale-snapshot guard of the persist layer) and for the per-section
+// checksums of the on-disk index snapshot format.
+//
+// This is a stability contract, not just a convenience: the digest of a
+// byte sequence must never change across releases, or every committed
+// snapshot and every baseline fingerprint silently invalidates. Do not
+// swap the algorithm or constants; add a new format version instead.
+#ifndef RWDOM_UTIL_FINGERPRINT_H_
+#define RWDOM_UTIL_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+
+namespace rwdom {
+
+/// Streaming FNV-1a (64-bit). Feed bytes in any chunking; the digest is a
+/// pure function of the concatenated byte sequence.
+class Fingerprint {
+ public:
+  static constexpr uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+
+  void Update(const void* data, size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      state_ ^= bytes[i];
+      state_ *= kPrime;
+    }
+  }
+
+  /// Hashes the object representation of a trivially copyable value.
+  /// Callers fix width and signedness explicitly (the digest depends on
+  /// them), so feed int32_t/int64_t/uint64_t/double — never int/size_t.
+  template <typename T>
+  void UpdatePod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Update(&value, sizeof(T));
+  }
+
+  void UpdateString(std::string_view text) {
+    const uint64_t size = text.size();
+    UpdatePod(size);  // Length-prefixed so "ab","c" != "a","bc".
+    Update(text.data(), text.size());
+  }
+
+  uint64_t Digest() const { return state_; }
+
+ private:
+  uint64_t state_ = kOffsetBasis;
+};
+
+/// One-shot digest of a byte range.
+inline uint64_t FingerprintBytes(const void* data, size_t size) {
+  Fingerprint fp;
+  fp.Update(data, size);
+  return fp.Digest();
+}
+
+}  // namespace rwdom
+
+#endif  // RWDOM_UTIL_FINGERPRINT_H_

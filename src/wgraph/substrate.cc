@@ -6,6 +6,7 @@
 
 #include "graph/graph_builder.h"
 #include "graph/graph_io.h"
+#include "util/fingerprint.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -104,6 +105,35 @@ Result<LoadedSubstrate> LoadSubstrate(const std::string& path,
   buffer << file.rdbuf();
   if (file.bad()) return Status::IoError("read failed: " + path);
   return ParseSubstrate(buffer.str(), options);
+}
+
+uint64_t SubstrateFingerprint(const GraphSubstrate& substrate) {
+  Fingerprint fp;
+  fp.UpdateString(substrate.kind());
+  fp.UpdatePod(static_cast<int32_t>(substrate.directed() ? 1 : 0));
+  const NodeId n = substrate.num_nodes();
+  fp.UpdatePod(static_cast<int64_t>(n));
+  if (substrate.weighted()) {
+    const WeightedGraph& graph = *substrate.weighted_graph();
+    for (NodeId u = 0; u < n; ++u) {
+      const std::span<const Arc> arcs = graph.out_arcs(u);
+      fp.UpdatePod(static_cast<int64_t>(arcs.size()));
+      for (const Arc& arc : arcs) {
+        fp.UpdatePod(static_cast<int32_t>(arc.target));
+        fp.UpdatePod(arc.weight);  // double bits; weights are finite.
+      }
+    }
+  } else {
+    const Graph& graph = *substrate.graph();
+    for (NodeId u = 0; u < n; ++u) {
+      const auto neighbors = graph.neighbors(u);
+      fp.UpdatePod(static_cast<int64_t>(neighbors.size()));
+      for (NodeId v : neighbors) {
+        fp.UpdatePod(static_cast<int32_t>(v));
+      }
+    }
+  }
+  return fp.Digest();
 }
 
 WeightedGraph AttachRandomWeights(const Graph& graph, uint64_t seed,

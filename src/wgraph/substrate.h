@@ -108,6 +108,16 @@ Result<LoadedSubstrate> ParseSubstrate(const std::string& text,
 Result<LoadedSubstrate> LoadSubstrate(const std::string& path,
                                       const SubstrateOptions& options = {});
 
+/// Content fingerprint of a substrate: a 64-bit digest of everything a
+/// walk-index build reads — storage kind, directedness, node count, and
+/// the full adjacency (targets, and weight bits on the weighted path) in
+/// dense-id order. Two substrates with equal fingerprints drive
+/// bit-identical index builds for any (L, R, seed), which is what lets
+/// the persist layer adopt a snapshot instead of rebuilding; original
+/// (pre-remap) ids are deliberately excluded because the index never
+/// reads them. Stable across releases (see util/fingerprint.h).
+uint64_t SubstrateFingerprint(const GraphSubstrate& substrate);
+
 /// Attaches deterministic pseudo-random weights in [min_weight, max_weight)
 /// to an unweighted topology, producing a weighted substrate stand-in for
 /// experiments. The weight of each edge is a pure function of

@@ -1,0 +1,78 @@
+// ArtifactKey is the one identity every persistence layer speaks; its
+// CanonicalString()/Parse() round-trip and strict rejection of malformed
+// spellings are load-bearing for `rwdom cache rm --key=...` and for the
+// snapshot header.
+#include "service/artifact_key.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace rwdom {
+namespace {
+
+TEST(ArtifactKeyTest, CanonicalStringSpellsEveryField) {
+  ArtifactKey key{6, 100, 42, 0x0123456789abcdefull};
+  EXPECT_EQ(key.CanonicalString(),
+            "L=6,R=100,seed=42,substrate=0123456789abcdef");
+  EXPECT_EQ(key.FileStem(), "idx-L6-R100-s42-0123456789abcdef");
+}
+
+TEST(ArtifactKeyTest, FingerprintIsZeroPaddedTo16Digits) {
+  ArtifactKey key{1, 2, 3, 0xabcull};
+  EXPECT_EQ(key.CanonicalString(),
+            "L=1,R=2,seed=3,substrate=0000000000000abc");
+  EXPECT_EQ(key.FileStem(), "idx-L1-R2-s3-0000000000000abc");
+}
+
+TEST(ArtifactKeyTest, ParseRoundTripsCanonicalString) {
+  const ArtifactKey keys[] = {
+      {6, 100, 42, 0},
+      {1, 1, 0, 0xffffffffffffffffull},
+      {2147483647, 2147483647, 18446744073709551615ull, 0xdeadbeefull},
+  };
+  for (const ArtifactKey& key : keys) {
+    auto parsed = ArtifactKey::Parse(key.CanonicalString());
+    ASSERT_TRUE(parsed.ok()) << key.CanonicalString() << ": "
+                             << parsed.status();
+    EXPECT_EQ(*parsed, key);
+  }
+}
+
+TEST(ArtifactKeyTest, ParseRejectsEveryMalformedSpelling) {
+  const char* bad[] = {
+      "",
+      "L=6",
+      "L=6,R=100,seed=42",                              // missing substrate
+      "R=100,L=6,seed=42,substrate=0",                  // wrong order
+      "L=6,R=100,seed=42,substrate=0,extra=1",          // extra field
+      "L=-1,R=100,seed=42,substrate=0",                 // negative L
+      "L=6,R=100,seed=42,substrate=XYZ",                // non-hex
+      "L=6,R=100,seed=42,substrate=ABCDEF",             // uppercase hex
+      "L=6,R=100,seed=42,substrate=00000000000000000",  // 17 hex digits
+      "L=six,R=100,seed=42,substrate=0",                // non-numeric
+      "L=6,R=100,seed=42,fingerprint=0",                // wrong field name
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ArtifactKey::Parse(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(ArtifactKeyTest, OrderingMakesItAMapKey) {
+  std::map<ArtifactKey, int> cache;
+  cache[{3, 20, 42, 7}] = 1;
+  cache[{4, 20, 42, 7}] = 2;
+  cache[{3, 30, 42, 7}] = 3;
+  cache[{3, 20, 43, 7}] = 4;
+  cache[{3, 20, 42, 8}] = 5;  // Same params, different substrate.
+  EXPECT_EQ(cache.size(), 5u);
+  EXPECT_EQ(cache.count({3, 20, 42, 7}), 1u);
+  ArtifactKey a{3, 20, 42, 7};
+  ArtifactKey b{3, 20, 42, 8};
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace rwdom

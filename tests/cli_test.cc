@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -151,6 +152,79 @@ TEST_F(CliFileTest, SaveIndexWritesLoadableFile) {
   std::ifstream file(index_path, std::ios::binary);
   EXPECT_TRUE(file.good());
   std::remove(index_path.c_str());
+}
+
+TEST_F(CliFileTest, SaveIndexRejectsNonIndexAlgorithms) {
+  std::string flag = GraphFlag();
+  std::string save_flag =
+      "--save_index=" + testing::TempDir() + "/rwdom_cli_never.rwidx";
+  auto [status, out] = RunCli({"select", flag.c_str(), "--algorithm=Degree",
+                               "--k=1", save_flag.c_str()});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("Approx"), std::string::npos) << status;
+}
+
+TEST_F(CliFileTest, CacheCommandListsVerifiesAndRemovesSnapshots) {
+  std::string flag = GraphFlag();
+  const std::string dir = testing::TempDir() + "/rwdom_cli_cache";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  std::string save_flag = "--save_index=" + dir + "/manual.rwidx";
+  std::string dir_flag = "--cache_dir=" + dir;
+  ASSERT_TRUE(RunCli({"select", flag.c_str(), "--algorithm=ApproxF2",
+                      "--k=1", "--L=3", "--R=10", save_flag.c_str()})
+                  .first.ok());
+
+  auto [ls_status, ls_out] = RunCli({"cache", "ls", dir_flag.c_str()});
+  ASSERT_TRUE(ls_status.ok()) << ls_status;
+  EXPECT_NE(ls_out.find("manual.rwidx"), std::string::npos) << ls_out;
+  EXPECT_NE(ls_out.find("v2"), std::string::npos) << ls_out;
+  EXPECT_NE(ls_out.find("L=3,R=10,seed=42,substrate="), std::string::npos)
+      << ls_out;
+
+  auto [verify_status, verify_out] =
+      RunCli({"cache", "verify", dir_flag.c_str()});
+  ASSERT_TRUE(verify_status.ok()) << verify_status;
+  EXPECT_NE(verify_out.find("0 failed"), std::string::npos) << verify_out;
+
+  // rm needs exactly one of --key / --all.
+  EXPECT_EQ(RunCli({"cache", "rm", dir_flag.c_str()}).first.code(),
+            StatusCode::kInvalidArgument);
+  auto [rm_status, rm_out] =
+      RunCli({"cache", "rm", dir_flag.c_str(), "--all=1"});
+  ASSERT_TRUE(rm_status.ok()) << rm_status;
+  EXPECT_NE(rm_out.find("removed 1 snapshot(s)"), std::string::npos)
+      << rm_out;
+  auto [empty_status, empty_out] = RunCli({"cache", "ls", dir_flag.c_str()});
+  ASSERT_TRUE(empty_status.ok()) << empty_status;
+  EXPECT_NE(empty_out.find("0 snapshot(s)"), std::string::npos) << empty_out;
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CliFileTest, CacheVerifyFailsOnAFlippedByte) {
+  std::string flag = GraphFlag();
+  const std::string dir = testing::TempDir() + "/rwdom_cli_cache_bad";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/manual.rwidx";
+  std::string save_flag = "--save_index=" + path;
+  std::string dir_flag = "--cache_dir=" + dir;
+  ASSERT_TRUE(RunCli({"select", flag.c_str(), "--algorithm=ApproxF2",
+                      "--k=1", "--L=3", "--R=10", save_flag.c_str()})
+                  .first.ok());
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(-5, std::ios::end);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte ^= 0x40;
+    file.seekp(-5, std::ios::end);
+    file.write(&byte, 1);
+  }
+  auto [status, out] = RunCli({"cache", "verify", dir_flag.c_str()});
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(out.find("FAIL"), std::string::npos) << out;
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(CliFileTest, KnnExactRanksByHittingTime) {

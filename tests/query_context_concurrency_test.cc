@@ -48,14 +48,17 @@ TEST(QueryContextConcurrencyTest,
   QueryContext context(StarSubstrate());
 
   std::mutex hook_mutex;
-  std::map<WalkIndexKey, int> builds_per_key;
-  context.set_index_build_hook([&](const WalkIndexKey& key) {
-    std::lock_guard<std::mutex> lock(hook_mutex);
-    ++builds_per_key[key];
-  });
+  std::map<ArtifactKey, int> builds_per_key;
+  context.set_index_build_hook(
+      [&](const ArtifactKey& key,
+          const std::shared_ptr<const InvertedWalkIndex>&) {
+        std::lock_guard<std::mutex> lock(hook_mutex);
+        ++builds_per_key[key];
+      });
 
-  const std::vector<WalkIndexKey> keys = {
-      {3, 20, 42}, {4, 20, 42}, {3, 30, 42}, {3, 20, 43}};
+  const std::vector<ArtifactKey> keys = {
+      context.MakeKey(3, 20, 42), context.MakeKey(4, 20, 42),
+      context.MakeKey(3, 30, 42), context.MakeKey(3, 20, 43)};
   const int kThreads = 8;
   const int kItersPerThread = 16;
 
@@ -65,7 +68,7 @@ TEST(QueryContextConcurrencyTest,
       for (int i = 0; i < kItersPerThread; ++i) {
         // Every thread touches every key, phase-shifted so first
         // requests collide across threads.
-        const WalkIndexKey& key = keys[(t + i) % keys.size()];
+        const ArtifactKey& key = keys[(t + i) % keys.size()];
         auto index = context.GetIndex(key);
         ASSERT_NE(index, nullptr);
         EXPECT_GT(index->TotalEntries(), 0);
@@ -97,10 +100,8 @@ TEST(QueryContextConcurrencyTest,
   // cover / stats requests over two index keys, from 8 threads at once.
   std::vector<ServiceRequest> workload;
   for (uint64_t seed : {uint64_t{42}, uint64_t{43}}) {
-    workload.push_back(
-        SelectRequest{"ApproxF2", 2, Params(3, 20, seed), ""});
-    workload.push_back(
-        SelectRequest{"ApproxF1", 2, Params(3, 20, seed), ""});
+    workload.push_back(SelectRequest{"ApproxF2", 2, Params(3, 20, seed)});
+    workload.push_back(SelectRequest{"ApproxF1", 2, Params(3, 20, seed)});
     workload.push_back(EvaluateRequest{{0, 4}, 3, 100, seed});
     workload.push_back(
         KnnRequest{0, 3, KnnRequest::Mode::kSampled, Params(3, 20, seed)});

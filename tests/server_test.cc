@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <regex>
@@ -175,6 +176,51 @@ TEST_F(ServerTest, MultiClientSmokeMatchesColdRunsBitIdentically) {
   ts.server->Shutdown();
 }
 
+TEST_F(ServerTest, GreetingAnnouncesProtocolVersionAndCapabilities) {
+  TestServer ts = StartServer(/*threads=*/1);
+  auto client = QueryClient::Connect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // The greeting is one JSON line, sent before any request: capability
+  // detection without a round trip.
+  const std::string& greeting = client->greeting();
+  EXPECT_NE(greeting.find("\"protocol_version\":2"), std::string::npos)
+      << greeting;
+  for (const char* capability :
+       {"jsonl", "batch_commands", "server_stats", "shutdown"}) {
+    EXPECT_NE(greeting.find(capability), std::string::npos)
+        << capability << " missing from " << greeting;
+  }
+
+  // server_stats repeats the same contract plus the substrate identity.
+  auto stats = client->Roundtrip("{\"command\": \"server_stats\"}");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_NE(stats->find("\"protocol_version\":2"), std::string::npos)
+      << *stats;
+  EXPECT_NE(stats->find("\"capabilities\":["), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"substrate_fingerprint\":\""), std::string::npos)
+      << *stats;
+  EXPECT_NE(stats->find("\"index_recovered\":0"), std::string::npos)
+      << *stats;
+
+  ts.server->Shutdown();
+}
+
+TEST_F(ServerTest, EvenRefusedConnectionsGetTheGreeting) {
+  TestServer ts = StartServer(/*threads=*/1, /*max_connections=*/1);
+  auto first = QueryClient::Connect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(first.ok()) << first.status();
+  // The second connection is over the cap, but Connect still succeeds —
+  // the greeting always arrives before the refusal, so clients never
+  // have to guess whether a line is greeting or error.
+  auto second = QueryClient::Connect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_NE(second->greeting().find("\"protocol_version\""),
+            std::string::npos)
+      << second->greeting();
+  ts.server->Shutdown();
+}
+
 TEST_F(ServerTest, ErrorResponsesKeepTheConnectionOpen) {
   TestServer ts = StartServer(/*threads=*/1);
   auto client = QueryClient::Connect("127.0.0.1", ts.server->port());
@@ -296,6 +342,58 @@ TEST_F(ServerTest, CliServeAndClientRunEndToEnd) {
       << serve_result.second;
   EXPECT_NE(serve_result.second.find("graph loads=1"), std::string::npos)
       << serve_result.second;
+}
+
+TEST_F(ServerTest, CliServeWarmStartsFromCacheDir) {
+  const std::string cache_dir = graph_path_ + "_cache";
+  std::filesystem::remove_all(cache_dir);
+  {
+    std::ofstream script(script_path_, std::ios::trunc);
+    script << kAcceptanceLines[0] << "\n";  // One index-building select.
+    script << "{\"command\": \"shutdown\"}\n";
+    ASSERT_TRUE(script.good());
+  }
+
+  auto serve_once = [&]() -> std::pair<Status, std::string> {
+    std::remove(port_path_.c_str());
+    std::pair<Status, std::string> serve_result;
+    std::thread serve_thread([&] {
+      serve_result =
+          RunCli({"serve", "--graph=" + graph_path_, "--port=0",
+                  "--port_file=" + port_path_, "--threads=2",
+                  "--cache_dir=" + cache_dir});
+    });
+    int port = 0;
+    for (int i = 0; i < 100 && port == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      std::ifstream port_file(port_path_);
+      port_file >> port;
+    }
+    EXPECT_GT(port, 0) << "server never wrote --port_file";
+    auto [client_status, client_out] =
+        RunCli({"client", script_path_, "--port=" + std::to_string(port)});
+    serve_thread.join();
+    EXPECT_TRUE(client_status.ok()) << client_status;
+    return serve_result;
+  };
+
+  // Cold run: one build, one checkpoint into the cache dir.
+  auto [cold_status, cold_out] = serve_once();
+  ASSERT_TRUE(cold_status.ok()) << cold_status;
+  EXPECT_NE(cold_out.find("index builds=1"), std::string::npos) << cold_out;
+  EXPECT_NE(cold_out.find("checkpoints=1"), std::string::npos) << cold_out;
+
+  // Warm restart over the same cache dir: the snapshot is recovered at
+  // boot and the same select never builds — the PR's acceptance pin.
+  auto [warm_status, warm_out] = serve_once();
+  ASSERT_TRUE(warm_status.ok()) << warm_status;
+  EXPECT_NE(warm_out.find("snapshots recovered=1"), std::string::npos)
+      << warm_out;
+  EXPECT_NE(warm_out.find("index builds=0"), std::string::npos) << warm_out;
+  EXPECT_NE(warm_out.find("index recovered=1"), std::string::npos)
+      << warm_out;
+
+  std::filesystem::remove_all(cache_dir);
 }
 
 }  // namespace

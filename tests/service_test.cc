@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 
 #include "core/selector_registry.h"
@@ -41,11 +42,14 @@ TEST(QueryContextTest, ThreeQueryBatchBuildsIndexExactlyOnce) {
   QueryContext context(StarSubstrate());
   int hook_calls = 0;
   context.set_index_build_hook(
-      [&hook_calls](const WalkIndexKey&) { ++hook_calls; });
+      [&hook_calls](const ArtifactKey&,
+                    const std::shared_ptr<const InvertedWalkIndex>&) {
+        ++hook_calls;
+      });
 
   // select + stats(with_index) + cover on the same (L, R, seed): the
   // index-backed trio of a warm batch.
-  SelectRequest select{"ApproxF2", 2, Params(3, 20, 42), ""};
+  SelectRequest select{"ApproxF2", 2, Params(3, 20, 42)};
   ASSERT_TRUE(Select(context, select).ok());
   StatsRequest stats{true, Params(3, 20, 42)};
   ASSERT_TRUE(Stats(context, stats).ok());
@@ -58,38 +62,38 @@ TEST(QueryContextTest, ThreeQueryBatchBuildsIndexExactlyOnce) {
 
 TEST(QueryContextTest, ChangingAnyKeyComponentInvalidatesTheMemo) {
   QueryContext context(StarSubstrate());
-  context.GetIndex({3, 20, 42});
+  context.GetIndex(context.MakeKey(3, 20, 42));
   EXPECT_EQ(context.index_builds(), 1);
-  context.GetIndex({3, 20, 42});  // Hit.
+  context.GetIndex(context.MakeKey(3, 20, 42));  // Hit.
   EXPECT_EQ(context.index_builds(), 1);
-  context.GetIndex({4, 20, 42});  // L changed.
+  context.GetIndex(context.MakeKey(4, 20, 42));  // L changed.
   EXPECT_EQ(context.index_builds(), 2);
-  context.GetIndex({3, 30, 42});  // R changed.
+  context.GetIndex(context.MakeKey(3, 30, 42));  // R changed.
   EXPECT_EQ(context.index_builds(), 3);
-  context.GetIndex({3, 20, 43});  // seed changed.
+  context.GetIndex(context.MakeKey(3, 20, 43));  // seed changed.
   EXPECT_EQ(context.index_builds(), 4);
   // All four keys stay resident; re-requesting any of them is a hit.
-  context.GetIndex({4, 20, 42});
-  context.GetIndex({3, 20, 43});
+  context.GetIndex(context.MakeKey(4, 20, 42));
+  context.GetIndex(context.MakeKey(3, 20, 43));
   EXPECT_EQ(context.index_builds(), 4);
 }
 
 TEST(QueryContextTest, EvictIndexesDropsTheCache) {
   QueryContext context(StarSubstrate());
-  auto held = context.GetIndex({3, 20, 42});
+  auto held = context.GetIndex(context.MakeKey(3, 20, 42));
   EXPECT_EQ(context.MemoryUsage().size(), 2u);  // graph + 1 index.
   context.EvictIndexes();
   EXPECT_EQ(context.MemoryUsage().size(), 1u);
   // Shared ownership keeps a held index alive across eviction.
   EXPECT_GT(held->TotalEntries(), 0);
-  context.GetIndex({3, 20, 42});
+  context.GetIndex(context.MakeKey(3, 20, 42));
   EXPECT_EQ(context.index_builds(), 2);
 }
 
 TEST(QueryContextTest, MemoryUsageAccountsEveryArtifact) {
   QueryContext context(StarSubstrate());
-  context.GetIndex({3, 20, 42});
-  context.GetIndex({4, 20, 42});
+  context.GetIndex(context.MakeKey(3, 20, 42));
+  context.GetIndex(context.MakeKey(4, 20, 42));
   auto usage = context.MemoryUsage();
   ASSERT_EQ(usage.size(), 3u);
   EXPECT_EQ(usage[0].name, "graph");
@@ -127,7 +131,7 @@ TEST(ServiceEngineTest, WarmSelectIsBitIdenticalToColdSelect) {
     // cache hit.
     QueryContext context(weighted ? WeightedDirectedSubstrate()
                                   : StarSubstrate());
-    SelectRequest request{"ApproxF2", 2, params, ""};
+    SelectRequest request{"ApproxF2", 2, params};
     auto first = Select(context, request);
     auto second = Select(context, request);
     ASSERT_TRUE(first.ok());
@@ -189,7 +193,7 @@ TEST(ServiceEngineTest, DispatchRunsEveryAlternative) {
   QueryContext context(StarSubstrate());
   SelectorParams params = Params(3, 20, 42);
   std::vector<ServiceRequest> requests = {
-      SelectRequest{"Degree", 1, params, ""},
+      SelectRequest{"Degree", 1, params},
       EvaluateRequest{{0}, 3, 100, 42},
       KnnRequest{0, 2, KnnRequest::Mode::kExact, params},
       CoverRequest{0.5, params},

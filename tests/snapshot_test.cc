@@ -1,0 +1,290 @@
+// The persist layer's contract: v2 snapshots round-trip bit-exactly
+// under their ArtifactKey, every corruption mode (truncation, flipped
+// checksum bytes, bad magic, trailing garbage, foreign versions) is a
+// kCorruption rejection — never a crash or a silently wrong index — and
+// pre-redesign v1 files still load (minus the key they never carried).
+#include "persist/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "graph/generators.h"
+#include "index/gain_state.h"
+#include "walk/walk_source.h"
+
+namespace rwdom {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+InvertedWalkIndex BuildSampleIndex(uint64_t seed) {
+  static const Graph* const kGraph =
+      new Graph(GenerateBarabasiAlbert(50, 3, 401).value());
+  RandomWalkSource source(kGraph, seed);
+  return InvertedWalkIndex::Build(5, 3, &source);
+}
+
+// The key a context with this sample substrate would mint: L and R must
+// match the index shape (the serializer trusts the key's L for bounds).
+ArtifactKey SampleKey(uint64_t seed) {
+  return ArtifactKey{5, 3, seed, 0xfeedfacecafef00dull};
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SnapshotTest, RoundTripPreservesEveryPostingAndTheKey) {
+  InvertedWalkIndex index = BuildSampleIndex(1);
+  const ArtifactKey key = SampleKey(1);
+  const std::string path = TempPath("rwdom_snapshot_roundtrip.rwidx");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, key, path).ok());
+
+  auto loaded = WalkIndexSerializer::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->version, 2u);
+  ASSERT_TRUE(loaded->key.has_value());
+  EXPECT_EQ(*loaded->key, key);
+  EXPECT_EQ(loaded->key->CanonicalString(), key.CanonicalString());
+  EXPECT_EQ(loaded->index.num_nodes(), index.num_nodes());
+  EXPECT_EQ(loaded->index.length(), index.length());
+  EXPECT_EQ(loaded->index.num_replicates(), index.num_replicates());
+  EXPECT_EQ(loaded->index.TotalEntries(), index.TotalEntries());
+  for (int32_t i = 0; i < index.num_replicates(); ++i) {
+    for (NodeId v = 0; v < index.num_nodes(); ++v) {
+      auto a = index.List(i, v);
+      auto b = loaded->index.List(i, v);
+      ASSERT_EQ(a.size(), b.size()) << i << " " << v;
+      for (size_t j = 0; j < a.size(); ++j) {
+        EXPECT_EQ(a[j].id, b[j].id);
+        EXPECT_EQ(a[j].weight, b[j].weight);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, SaveIsByteDeterministic) {
+  InvertedWalkIndex index = BuildSampleIndex(6);
+  const std::string a = TempPath("rwdom_snapshot_det_a.rwidx");
+  const std::string b = TempPath("rwdom_snapshot_det_b.rwidx");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, SampleKey(6), a).ok());
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, SampleKey(6), b).ok());
+  EXPECT_EQ(ReadBytes(a), ReadBytes(b));
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(SnapshotTest, LoadedIndexDrivesIdenticalGreedy) {
+  InvertedWalkIndex index = BuildSampleIndex(2);
+  const std::string path = TempPath("rwdom_snapshot_greedy.rwidx");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, SampleKey(2), path).ok());
+  auto loaded = WalkIndexSerializer::Load(path);
+  ASSERT_TRUE(loaded.ok());
+
+  GainState original(&index, Problem::kHittingTime);
+  GainState reloaded(&loaded->index, Problem::kHittingTime);
+  for (NodeId u = 0; u < index.num_nodes(); ++u) {
+    EXPECT_DOUBLE_EQ(original.ApproxGain(u), reloaded.ApproxGain(u));
+  }
+  original.Commit(7);
+  reloaded.Commit(7);
+  EXPECT_DOUBLE_EQ(original.EstimatedObjective(),
+                   reloaded.EstimatedObjective());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, MissingFileFails) {
+  auto result = WalkIndexSerializer::Load("/nonexistent/never/index.rwidx");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(SnapshotTest, BadMagicRejected) {
+  const std::string path = TempPath("rwdom_snapshot_badmagic.rwidx");
+  WriteBytes(path, "NOPE garbage");
+  auto result = WalkIndexSerializer::Load(path);
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TruncationRejected) {
+  InvertedWalkIndex index = BuildSampleIndex(3);
+  const std::string path = TempPath("rwdom_snapshot_truncated.rwidx");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, SampleKey(3), path).ok());
+  const std::string bytes = ReadBytes(path);
+  WriteBytes(path, bytes.substr(0, bytes.size() * 6 / 10));
+  auto result = WalkIndexSerializer::Load(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, FlippedPayloadByteFailsTheSectionChecksum) {
+  InvertedWalkIndex index = BuildSampleIndex(4);
+  const std::string path = TempPath("rwdom_snapshot_payload_flip.rwidx");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, SampleKey(4), path).ok());
+  std::string bytes = ReadBytes(path);
+  bytes[bytes.size() - 5] ^= 0x40;  // Inside the last replicate's entries.
+  WriteBytes(path, bytes);
+  auto result = WalkIndexSerializer::Load(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("section checksum"),
+            std::string::npos)
+      << result.status();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, FlippedHeaderByteFailsTheHeaderChecksum) {
+  InvertedWalkIndex index = BuildSampleIndex(4);
+  const std::string path = TempPath("rwdom_snapshot_header_flip.rwidx");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, SampleKey(4), path).ok());
+  std::string bytes = ReadBytes(path);
+  bytes[20] ^= 0x01;  // Inside the checksummed header body [16, 48).
+  WriteBytes(path, bytes);
+  auto result = WalkIndexSerializer::Load(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("header checksum"),
+            std::string::npos)
+      << result.status();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, TrailingGarbageRejected) {
+  InvertedWalkIndex index = BuildSampleIndex(5);
+  const std::string path = TempPath("rwdom_snapshot_trailing.rwidx");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, SampleKey(5), path).ok());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra";
+  }
+  auto result = WalkIndexSerializer::Load(path);
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, ForeignVersionRejectedWithItsNumber) {
+  const std::string path = TempPath("rwdom_snapshot_v99.rwidx");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("RWDX", 4);
+    const uint32_t version = 99;
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  }
+  auto result = WalkIndexSerializer::Load(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("99"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// Writes a tiny hand-rolled v1 file: 2 nodes, L=3, one replicate with
+// one posting per node — the pre-redesign --save_index layout.
+std::string WriteV1Sample(const char* name) {
+  const std::string path = TempPath(name);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  auto pod = [&out](const auto& value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  };
+  out.write("RWDX", 4);
+  pod(uint32_t{1});  // version
+  pod(int32_t{2});   // num_nodes
+  pod(int32_t{3});   // length
+  pod(int32_t{1});   // replicates
+  for (int64_t offset : {int64_t{0}, int64_t{1}, int64_t{2}}) pod(offset);
+  pod(int64_t{2});  // entry_count
+  pod(int32_t{1});  // entries[0] = {id 1, weight 1} (node 0's posting)
+  pod(int32_t{1});
+  pod(int32_t{0});  // entries[1] = {id 0, weight 2} (node 1's posting)
+  pod(int32_t{2});
+  return path;
+}
+
+TEST(SnapshotTest, LegacyV1FilesStillLoadWithoutAKey) {
+  const std::string path = WriteV1Sample("rwdom_snapshot_v1.rwidx");
+  auto loaded = WalkIndexSerializer::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->version, 1u);
+  EXPECT_FALSE(loaded->key.has_value());
+  EXPECT_EQ(loaded->index.num_nodes(), 2);
+  EXPECT_EQ(loaded->index.length(), 3);
+  EXPECT_EQ(loaded->index.num_replicates(), 1);
+  ASSERT_EQ(loaded->index.List(0, 0).size(), 1u);
+  EXPECT_EQ(loaded->index.List(0, 0)[0].id, 1);
+  EXPECT_EQ(loaded->index.List(0, 0)[0].weight, 1);
+  ASSERT_EQ(loaded->index.List(0, 1).size(), 1u);
+  EXPECT_EQ(loaded->index.List(0, 1)[0].id, 0);
+  EXPECT_EQ(loaded->index.List(0, 1)[0].weight, 2);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, InspectReportsShapeCheaplyAndVerifiesDeeply) {
+  InvertedWalkIndex index = BuildSampleIndex(7);
+  const ArtifactKey key = SampleKey(7);
+  const std::string path = TempPath("rwdom_snapshot_inspect.rwidx");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, key, path).ok());
+
+  for (bool verify : {false, true}) {
+    auto meta = WalkIndexSerializer::Inspect(path, verify);
+    ASSERT_TRUE(meta.ok()) << meta.status();
+    EXPECT_EQ(meta->version, 2u);
+    ASSERT_TRUE(meta->key.has_value());
+    EXPECT_EQ(*meta->key, key);
+    EXPECT_EQ(meta->num_nodes, index.num_nodes());
+    EXPECT_EQ(meta->length, index.length());
+    EXPECT_EQ(meta->num_replicates, index.num_replicates());
+    EXPECT_EQ(meta->total_entries, index.TotalEntries());
+    EXPECT_GT(meta->file_bytes, 48);
+  }
+
+  // A payload flip passes the cheap skim but fails the deep verify.
+  std::string bytes = ReadBytes(path);
+  bytes[bytes.size() - 5] ^= 0x40;
+  WriteBytes(path, bytes);
+  EXPECT_TRUE(WalkIndexSerializer::Inspect(path, false).ok());
+  auto deep = WalkIndexSerializer::Inspect(path, true);
+  ASSERT_FALSE(deep.ok());
+  EXPECT_EQ(deep.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, InspectOnV1ReportsShapeButRefusesVerify) {
+  const std::string path = WriteV1Sample("rwdom_snapshot_v1_inspect.rwidx");
+  auto meta = WalkIndexSerializer::Inspect(path, /*verify=*/false);
+  ASSERT_TRUE(meta.ok()) << meta.status();
+  EXPECT_EQ(meta->version, 1u);
+  EXPECT_FALSE(meta->key.has_value());
+  EXPECT_EQ(meta->num_nodes, 2);
+  EXPECT_EQ(meta->total_entries, 2);
+  auto verified = WalkIndexSerializer::Inspect(path, /*verify=*/true);
+  EXPECT_EQ(verified.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, SaveLeavesNoTempFileBehind) {
+  InvertedWalkIndex index = BuildSampleIndex(8);
+  const std::string path = TempPath("rwdom_snapshot_atomic.rwidx");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, SampleKey(8), path).ok());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good()) << "temp file must be renamed away";
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rwdom
