@@ -5,6 +5,7 @@
 
 #include "cli/command_registry.h"
 #include "cli/flag_parsing.h"
+#include "util/fault.h"
 #include "util/parallel.h"
 #include "util/strings.h"
 
@@ -101,6 +102,13 @@ Status RunCliCommand(const CliInvocation& invocation, std::ostream& out) {
 }
 
 int CliMain(int argc, const char* const* argv) {
+  // Fault-injection schedules ride in on the environment so child
+  // processes under test (crash-consistency, bench_degradation) can be
+  // armed without touching their command lines. No-op when unset.
+  if (Status faults = ArmFaultsFromEnv(); !faults.ok()) {
+    std::fprintf(stderr, "RWDOM_FAULTS: %s\n", faults.ToString().c_str());
+    return 2;
+  }
   Result<CliInvocation> invocation = ParseCliArgs(argc, argv);
   if (!invocation.ok()) {
     std::fprintf(stderr, "%s\n%s", invocation.status().ToString().c_str(),

@@ -20,23 +20,54 @@ Status RunClient(const CommandEnv& env) {
         "--port=N (1..65535) of a running `rwdom serve` is required");
   }
   const std::string host = FlagOr(env.invocation, "host", "127.0.0.1");
-  RWDOM_ASSIGN_OR_RETURN(
-      QueryClient client,
-      QueryClient::Connect(host, static_cast<int>(port)));
+  RWDOM_ASSIGN_OR_RETURN(int64_t retries,
+                         IntFlagOr(env.invocation, "retries", 0));
+  if (retries < 0 || retries > 100) {
+    return Status::InvalidArgument("--retries must be in [0, 100]");
+  }
+  RWDOM_ASSIGN_OR_RETURN(int64_t retry_base_ms,
+                         IntFlagOr(env.invocation, "retry_base_ms", 100));
+  if (retry_base_ms < 0) {
+    return Status::InvalidArgument("--retry_base_ms must be >= 0");
+  }
+  RWDOM_ASSIGN_OR_RETURN(int64_t retry_seed,
+                         IntFlagOr(env.invocation, "retry_seed", 0));
 
   int64_t queries = 0;
-  if (env.invocation.positionals.empty()) {
-    RWDOM_RETURN_IF_ERROR(
-        StreamQueryScript(client, std::cin, env.out, &queries));
-  } else {
-    const std::string& script_path = env.invocation.positionals.front();
-    std::ifstream file(script_path);
-    if (!file) {
-      return Status::IoError("cannot read query script: " + script_path);
+  Status streamed;
+  if (retries > 0) {
+    RetryPolicy policy;
+    policy.max_retries = static_cast<int>(retries);
+    policy.base_ms = static_cast<int>(retry_base_ms);
+    policy.jitter_seed = static_cast<uint64_t>(retry_seed);
+    RetryingClient client(host, static_cast<int>(port), policy);
+    if (env.invocation.positionals.empty()) {
+      streamed = StreamQueryScriptWithRetry(client, std::cin, env.out,
+                                            &queries);
+    } else {
+      const std::string& script_path = env.invocation.positionals.front();
+      std::ifstream file(script_path);
+      if (!file) {
+        return Status::IoError("cannot read query script: " + script_path);
+      }
+      streamed = StreamQueryScriptWithRetry(client, file, env.out, &queries);
     }
-    RWDOM_RETURN_IF_ERROR(
-        StreamQueryScript(client, file, env.out, &queries));
+  } else {
+    RWDOM_ASSIGN_OR_RETURN(
+        QueryClient client,
+        QueryClient::Connect(host, static_cast<int>(port)));
+    if (env.invocation.positionals.empty()) {
+      streamed = StreamQueryScript(client, std::cin, env.out, &queries);
+    } else {
+      const std::string& script_path = env.invocation.positionals.front();
+      std::ifstream file(script_path);
+      if (!file) {
+        return Status::IoError("cannot read query script: " + script_path);
+      }
+      streamed = StreamQueryScript(client, file, env.out, &queries);
+    }
   }
+  RWDOM_RETURN_IF_ERROR(streamed);
   if (queries == 0) {
     return Status::InvalidArgument(
         "no query lines sent (script was empty/comments only)");
@@ -57,6 +88,13 @@ CommandDef MakeClientCommand() {
   def.flags = {
       {"port", "P", "port of the running server (required)"},
       {"host", "ADDR", "server address (default 127.0.0.1)"},
+      {"retries", "N",
+       "retry connect failures and Unavailable refusals up to N times "
+       "with exponential backoff (default 0 = fail fast)"},
+      {"retry_base_ms", "N",
+       "first retry backoff; doubles per attempt, jittered (default 100)"},
+      {"retry_seed", "S",
+       "seed for the deterministic backoff jitter (default 0)"},
   };
   def.max_positionals = 1;
   def.positional_hint = "[SCRIPT.jsonl]";

@@ -40,8 +40,9 @@ Status RunSelect(const CommandEnv& env) {
     const ArtifactKey key =
         context->MakeKey(request.params.length, request.params.num_samples,
                          request.params.seed);
-    RWDOM_RETURN_IF_ERROR(
-        WalkIndexSerializer::Save(*context->GetIndex(key), key, save_index));
+    RWDOM_ASSIGN_OR_RETURN(std::shared_ptr<const InvertedWalkIndex> index,
+                           context->GetIndex(key));
+    RWDOM_RETURN_IF_ERROR(WalkIndexSerializer::Save(*index, key, save_index));
     response.index_saved = save_index;
   }
 

@@ -77,6 +77,44 @@ Status RunServe(const CommandEnv& env) {
   // size: one knob for "how parallel is this process". Within a worker,
   // nested compute parallelism shares the one process-wide pool.
   options.threads = NumThreads();
+  RWDOM_ASSIGN_OR_RETURN(int64_t request_timeout_ms,
+                         IntFlagOr(env.invocation, "request_timeout_ms", 0));
+  if (request_timeout_ms < 0) {
+    return Status::InvalidArgument("--request_timeout_ms must be >= 0");
+  }
+  options.request_timeout_ms = static_cast<int>(request_timeout_ms);
+  RWDOM_ASSIGN_OR_RETURN(
+      int64_t write_timeout_ms,
+      IntFlagOr(env.invocation, "write_timeout_ms", 30'000));
+  if (write_timeout_ms < 0) {
+    return Status::InvalidArgument("--write_timeout_ms must be >= 0");
+  }
+  options.write_timeout_ms = static_cast<int>(write_timeout_ms);
+  RWDOM_ASSIGN_OR_RETURN(
+      int64_t max_request_bytes,
+      IntFlagOr(env.invocation, "max_request_bytes",
+                static_cast<int64_t>(LineReader::kDefaultMaxLineBytes)));
+  if (max_request_bytes < 64) {
+    return Status::InvalidArgument("--max_request_bytes must be >= 64");
+  }
+  options.max_request_bytes = static_cast<size_t>(max_request_bytes);
+  RWDOM_ASSIGN_OR_RETURN(int64_t max_queue_depth,
+                         IntFlagOr(env.invocation, "max_queue_depth", 0));
+  if (max_queue_depth < 0) {
+    return Status::InvalidArgument("--max_queue_depth must be >= 0");
+  }
+  options.max_queue_depth = static_cast<int>(max_queue_depth);
+  RWDOM_ASSIGN_OR_RETURN(int64_t retry_after_ms,
+                         IntFlagOr(env.invocation, "retry_after_ms", 250));
+  if (retry_after_ms < 0) {
+    return Status::InvalidArgument("--retry_after_ms must be >= 0");
+  }
+  options.retry_after_ms = static_cast<int>(retry_after_ms);
+  RWDOM_ASSIGN_OR_RETURN(int64_t max_cache_bytes,
+                         IntFlagOr(env.invocation, "max_cache_bytes", 0));
+  if (max_cache_bytes < 0) {
+    return Status::InvalidArgument("--max_cache_bytes must be >= 0");
+  }
   const std::string port_file = FlagOr(env.invocation, "port_file", "");
   const std::string cache_dir = FlagOr(env.invocation, "cache_dir", "");
   if (!cache_dir.empty()) options.capabilities.push_back("cache");
@@ -84,6 +122,8 @@ Status RunServe(const CommandEnv& env) {
   RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
                          ResolveSubstrate(env.invocation));
   QueryContext context(std::move(loaded));
+  // Budget set before recovery, so adoption respects it from byte one.
+  context.set_max_cache_bytes(max_cache_bytes);
 
   // Declared after the context and before the server, so destruction
   // runs server (workers join, no more builds) -> cache (writer drains)
@@ -218,6 +258,23 @@ CommandDef MakeServeCommand() {
                        "expose beyond localhost)"},
       {"max_connections", "N",
        "open-connection cap; excess connections are refused (default 64)"},
+      {"request_timeout_ms", "N",
+       "per-request deadline; late requests answer a DeadlineExceeded "
+       "error (default 0 = unlimited)"},
+      {"write_timeout_ms", "N",
+       "drop a connection whose client stops reading responses for this "
+       "long (default 30000; 0 = unlimited)"},
+      {"max_request_bytes", "N",
+       "per-request-line byte cap; overlong lines answer InvalidArgument "
+       "(default 1048576)"},
+      {"max_queue_depth", "N",
+       "shed connections (Unavailable + retry_after_ms) when more than N "
+       "wait for a worker (default 0 = unbounded)"},
+      {"retry_after_ms", "N",
+       "backoff hint carried in shed/refusal errors (default 250)"},
+      {"max_cache_bytes", "N",
+       "index-cache memory budget: LRU-evict under pressure, refuse "
+       "builds that can never fit (default 0 = unlimited)"},
       {"port_file", "FILE", "write the bound port here once listening "
                             "(handshake for scripts/tests)"},
       {"cache_dir", "DIR",

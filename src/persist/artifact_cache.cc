@@ -191,6 +191,14 @@ void ArtifactCache::WriterLoop() {
       if (context_ != nullptr) context_->RecordCheckpointWritten();
       RWDOM_LOG(INFO) << "cache: checkpointed " << key.CanonicalString();
     } else {
+      // A failed checkpoint is a degraded-but-alive condition: serving
+      // continues from memory, the next build retries, and the failure
+      // is counted where server_stats can surface it.
+      if (context_ != nullptr) {
+        context_->RecordCheckpointFailed("checkpoint " +
+                                         key.CanonicalString() + ": " +
+                                         status.message());
+      }
       RWDOM_LOG(WARNING) << "cache: checkpoint failed for "
                          << key.CanonicalString() << ": "
                          << status.message();

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/fault.h"
 #include "util/fingerprint.h"
 #include "util/strings.h"
 
@@ -195,6 +196,7 @@ Status WalkIndexSerializer::Save(const InvertedWalkIndex& index,
                                  const std::string& path) {
   const std::string tmp_path = path + ".tmp";
   {
+    RWDOM_RETURN_IF_ERROR(FaultPoint("persist.open"));
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out) return Status::IoError("cannot open for writing: " + tmp_path);
 
@@ -234,12 +236,28 @@ Status WalkIndexSerializer::Save(const InvertedWalkIndex& index,
                 static_cast<std::streamsize>(
                     rep.entries.size() * sizeof(InvertedWalkIndex::Entry)));
     }
-    out.flush();
-    if (!out) {
+    // The fault point sits between body write and flush/close: a fire
+    // here leaves a plausible torn .tmp on disk, exactly what a full
+    // disk or a crash would. Callers must see the failure (and the .tmp
+    // must be deleted) — never a published torn snapshot.
+    if (Status injected = FaultPoint("persist.write"); !injected.ok()) {
       out.close();
+      std::remove(tmp_path.c_str());
+      return injected;
+    }
+    out.flush();
+    // close() flushes the last buffered bytes; ENOSPC commonly surfaces
+    // only here, so its failure is a write failure like any other.
+    const bool flushed = static_cast<bool>(out);
+    out.close();
+    if (!flushed || out.fail()) {
       std::remove(tmp_path.c_str());
       return Status::IoError("write failed: " + tmp_path);
     }
+  }
+  if (Status injected = FaultPoint("persist.rename"); !injected.ok()) {
+    std::remove(tmp_path.c_str());
+    return injected;
   }
   // The snapshot only appears under its published name fully written:
   // rename is atomic within a filesystem, so readers see the old file,

@@ -1,10 +1,38 @@
 #include "server/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "util/json.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace rwdom {
+namespace {
+
+/// If `response` is an {"error": {"code": "Unavailable", ...}} line,
+/// returns its retry_after_ms hint (or 0 when absent). Anything else —
+/// success, other errors, unparseable — is not retryable.
+std::optional<int> UnavailableHintMs(const std::string& response) {
+  auto parsed = ParseJson(response);
+  if (!parsed.ok() || !parsed->is_object()) return std::nullopt;
+  const JsonValue* error = parsed->Find("error");
+  if (error == nullptr || !error->is_object()) return std::nullopt;
+  const JsonValue* code = error->Find("code");
+  if (code == nullptr || !code->is_string() ||
+      code->string_value() != "Unavailable") {
+    return std::nullopt;
+  }
+  const JsonValue* hint = error->Find("retry_after_ms");
+  if (hint != nullptr && hint->is_number() && hint->number_value() >= 0) {
+    return static_cast<int>(hint->number_value());
+  }
+  return 0;
+}
+
+}  // namespace
 
 QueryClient::QueryClient(UniqueFd connection)
     : connection_(std::make_shared<UniqueFd>(std::move(connection))),
@@ -35,8 +63,98 @@ Result<std::string> QueryClient::Roundtrip(const std::string& line) {
   return response;
 }
 
+RetryingClient::RetryingClient(std::string host, int port, RetryPolicy policy)
+    : host_(std::move(host)),
+      port_(port),
+      policy_(std::move(policy)),
+      jitter_state_(policy_.jitter_seed) {
+  if (!policy_.sleeper) {
+    policy_.sleeper = [](int millis) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+    };
+  }
+}
+
+Status RetryingClient::Backoff(int attempt, int server_hint_ms) {
+  if (attempt >= policy_.max_retries) {
+    return Status::Unavailable(
+        StrFormat("server unavailable after %d attempt(s)",
+                  policy_.max_retries + 1));
+  }
+  // Exponential base with deterministic jitter in [base/2, base]: the
+  // usual thundering-herd spreader, but reproducible — the SplitMix64
+  // stream makes run N's waits identical to every other run N.
+  int64_t base = policy_.base_ms;
+  for (int i = 0; i < attempt && base < policy_.max_backoff_ms; ++i) {
+    base *= 2;
+  }
+  base = std::min<int64_t>(base, policy_.max_backoff_ms);
+  const int64_t half = base / 2;
+  const int64_t jittered =
+      half + (half > 0
+                  ? static_cast<int64_t>(SplitMix64(&jitter_state_) %
+                                         static_cast<uint64_t>(half + 1))
+                  : 0);
+  const int wait_ms =
+      static_cast<int>(std::max<int64_t>(jittered, server_hint_ms));
+  ++retries_performed_;
+  if (wait_ms > 0) policy_.sleeper(wait_ms);
+  return Status::OK();
+}
+
+Status RetryingClient::EnsureConnected() {
+  if (client_.has_value()) return Status::OK();
+  RWDOM_ASSIGN_OR_RETURN(QueryClient fresh,
+                         QueryClient::Connect(host_, port_));
+  greeting_ = fresh.greeting();
+  client_.emplace(std::move(fresh));
+  return Status::OK();
+}
+
+Result<std::string> RetryingClient::Roundtrip(const std::string& line) {
+  for (int attempt = 0;; ++attempt) {
+    Status connected = EnsureConnected();
+    if (!connected.ok()) {
+      // Connect failures are always safe to retry: no request was sent.
+      RWDOM_RETURN_IF_ERROR(Backoff(attempt, 0));
+      continue;
+    }
+    Result<std::string> response = client_->Roundtrip(line);
+    if (!response.ok()) {
+      // A transport error mid-request: the server may or may not have
+      // executed the line, so replaying it is not safe. Drop the dead
+      // connection (the *next* Roundtrip starts fresh) and report.
+      client_.reset();
+      return response.status();
+    }
+    const std::optional<int> hint = UnavailableHintMs(*response);
+    if (!hint.has_value()) return response;
+    // A complete Unavailable response: the server refused before doing
+    // any work (shed or at capacity) and is about to close this
+    // connection — reconnect after the hinted/backed-off wait.
+    client_.reset();
+    RWDOM_RETURN_IF_ERROR(Backoff(attempt, *hint));
+  }
+}
+
 Status StreamQueryScript(QueryClient& client, std::istream& script,
                          std::ostream& out, int64_t* queries) {
+  if (queries != nullptr) *queries = 0;
+  std::string line;
+  while (std::getline(script, line)) {
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    RWDOM_ASSIGN_OR_RETURN(std::string response,
+                           client.Roundtrip(std::string(trimmed)));
+    out << response << "\n";
+    if (queries != nullptr) ++*queries;
+  }
+  return Status::OK();
+}
+
+Status StreamQueryScriptWithRetry(RetryingClient& client,
+                                  std::istream& script, std::ostream& out,
+                                  int64_t* queries) {
   if (queries != nullptr) *queries = 0;
   std::string line;
   while (std::getline(script, line)) {

@@ -5,8 +5,11 @@
 #ifndef RWDOM_SERVER_CLIENT_H_
 #define RWDOM_SERVER_CLIENT_H_
 
+#include <cstdint>
+#include <functional>
 #include <istream>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -44,6 +47,61 @@ class QueryClient {
   std::string greeting_;
 };
 
+/// How a RetryingClient paces reconnect attempts. Backoff for attempt k
+/// is exponential (base_ms * 2^k, capped at max_backoff_ms) with
+/// deterministic jitter drawn from a SplitMix64 stream seeded by
+/// jitter_seed — the same seed and the same failure sequence wait the
+/// same milliseconds every run. A server-provided retry_after_ms hint
+/// acts as a floor on the wait.
+struct RetryPolicy {
+  int max_retries = 0;       ///< Extra attempts after the first (0 = off).
+  int base_ms = 100;         ///< First backoff; doubles per attempt.
+  int max_backoff_ms = 5000;
+  uint64_t jitter_seed = 0;
+  /// Injected wait (tests pass a recorder / fast-forward). Defaults to
+  /// std::this_thread::sleep_for.
+  std::function<void(int /*millis*/)> sleeper;
+};
+
+/// QueryClient wrapper that transparently survives an overloaded or
+/// restarting server. Retries exactly two failure shapes:
+///   - connect failures (refused, greeting EOF), and
+///   - complete Unavailable error responses (shed / at capacity).
+/// It never retries after a partial response or a mid-request transport
+/// error — the request may have executed, and replaying a non-idempotent
+/// line (e.g. shutdown) would be wrong. Non-Unavailable error responses
+/// are returned to the caller as-is (they are answers, not outages).
+class RetryingClient {
+ public:
+  RetryingClient(std::string host, int port, RetryPolicy policy);
+
+  /// Sends one line, reconnecting/backing off per the policy. Connects
+  /// lazily on first use.
+  Result<std::string> Roundtrip(const std::string& line);
+
+  /// Greeting of the current connection (empty before the first
+  /// successful connect).
+  const std::string& greeting() const { return greeting_; }
+
+  /// Total backoff-and-retry cycles performed (tests assert the shed →
+  /// retry → served sequence happened).
+  int64_t retries_performed() const { return retries_performed_; }
+
+ private:
+  Status EnsureConnected();
+  /// Waits out attempt `attempt`'s backoff (or the server's hint if
+  /// larger). Fails when the policy is out of retries.
+  Status Backoff(int attempt, int server_hint_ms);
+
+  const std::string host_;
+  const int port_;
+  RetryPolicy policy_;
+  uint64_t jitter_state_;
+  std::optional<QueryClient> client_;
+  std::string greeting_;
+  int64_t retries_performed_ = 0;
+};
+
 /// Sends every request line of `script` (blank lines and #-comments
 /// skipped — the batch-script conventions) over one connection and
 /// writes each response line to `out`. Returns the responses' count via
@@ -52,6 +110,12 @@ class QueryClient {
 /// (the server keeps the connection open for them).
 Status StreamQueryScript(QueryClient& client, std::istream& script,
                          std::ostream& out, int64_t* queries = nullptr);
+
+/// StreamQueryScript over a RetryingClient: same framing, but shed
+/// connections and connect failures back off and retry per the policy.
+Status StreamQueryScriptWithRetry(RetryingClient& client,
+                                  std::istream& script, std::ostream& out,
+                                  int64_t* queries = nullptr);
 
 /// Convenience for tests and benches: connect, send `lines`, return the
 /// response lines (1:1 with the request lines).

@@ -9,12 +9,16 @@
 namespace rwdom {
 namespace {
 
-std::string ErrorLine(std::string_view code, const std::string& message) {
+/// retry_after_ms >= 0 adds the backoff hint clients use to pace
+/// reconnects (only Unavailable-class errors carry it).
+std::string ErrorLine(std::string_view code, const std::string& message,
+                      int retry_after_ms = -1) {
   JsonWriter json;
   json.BeginObject();
   json.Key("error").BeginObject();
   json.Key("code").String(std::string(code));
   json.Key("message").String(message);
+  if (retry_after_ms >= 0) json.Key("retry_after_ms").Int(retry_after_ms);
   json.EndObject();
   json.EndObject();
   return json.ToString();
@@ -111,21 +115,47 @@ void QueryServer::AcceptLoop() {
     // about to be refused — so a client can unconditionally consume
     // exactly one greeting line before its first response (a refusal
     // then arrives as the first "response").
-    (void)SendAll(connection.get(), greeting_line_ + "\n");
+    if (!SendAll(connection.get(), greeting_line_ + "\n").ok()) {
+      // A connection we cannot even greet is dropped: the close reaches
+      // the client more reliably than any further byte would, and the
+      // greeting contract ("exactly one line before the first response")
+      // stays intact for everyone else.
+      continue;
+    }
     if (active_connections_.load() >= options_.max_connections) {
       connections_rejected_.fetch_add(1);
       // Best-effort refusal line; the close is the real signal.
       (void)SendAll(connection.get(),
                     ErrorLine("Unavailable",
                               StrFormat("server at --max_connections=%d",
-                                        options_.max_connections)) +
+                                        options_.max_connections),
+                              options_.retry_after_ms) +
                         "\n");
       continue;
     }
-    active_connections_.fetch_add(1);
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
-      pending_.push_back(std::move(connection));
+      // Shed-on-overflow: a queue deeper than the cap means every worker
+      // is busy and the backlog is growing — refusing *now* with a
+      // backoff hint beats accepting work that will time out anyway.
+      if (options_.max_queue_depth > 0 &&
+          static_cast<int>(pending_.size()) >= options_.max_queue_depth) {
+        requests_shed_.fetch_add(1);
+        // `connection` stays valid; the shed reply happens off-lock.
+      } else {
+        active_connections_.fetch_add(1);
+        pending_.push_back(std::move(connection));
+        connection = UniqueFd();
+      }
+    }
+    if (connection.valid()) {
+      (void)SendAll(connection.get(),
+                    ErrorLine("Unavailable",
+                              StrFormat("server overloaded (queue depth %d)",
+                                        options_.max_queue_depth),
+                              options_.retry_after_ms) +
+                        "\n");
+      continue;
     }
     queue_cv_.notify_one();
   }
@@ -164,23 +194,55 @@ void QueryServer::WorkerLoop() {
 }
 
 void QueryServer::ServeConnection(UniqueFd connection) {
-  LineReader reader(connection.get());
+  LineReader reader(connection.get(), options_.max_request_bytes);
   std::string line;
   const auto cancelled = [this] { return stopping_.load(); };
   for (;;) {
     auto outcome = reader.ReadLine(&line, cancelled, /*poll_interval_ms=*/50);
-    if (!outcome.ok() || *outcome != LineReader::Outcome::kLine) break;
-    std::string_view trimmed = StripWhitespace(line);
-    if (trimmed.empty() || trimmed.front() == '#') continue;
-    const std::string response = HandleLine(std::string(trimmed));
+    if (!outcome.ok()) break;
+    std::string response;
+    if (*outcome == LineReader::Outcome::kOverflow) {
+      // The reader already resynced at the next newline; answer the
+      // oversized request with a typed error and keep serving.
+      oversized_requests_.fetch_add(1);
+      response = ErrorLine(
+          "InvalidArgument",
+          StrFormat("request line exceeds --max_request_bytes=%zu",
+                    options_.max_request_bytes));
+      queries_error_.fetch_add(1);
+    } else if (*outcome != LineReader::Outcome::kLine) {
+      break;
+    } else {
+      std::string_view trimmed = StripWhitespace(line);
+      if (trimmed.empty() || trimmed.front() == '#') continue;
+      // The request's clock starts when its line arrives, not when a
+      // worker gets to it — queueing time counts against the budget.
+      const Deadline deadline =
+          options_.request_timeout_ms > 0
+              ? Deadline::AfterMillis(clock(), options_.request_timeout_ms)
+              : Deadline::Infinite();
+      response = HandleLine(std::string(trimmed), deadline);
+    }
     // The in-flight request's response is sent even mid-shutdown; only
     // *further* requests on this connection are cut off.
-    if (!SendAll(connection.get(), response + "\n").ok()) break;
+    const Status sent = SendAllWithin(connection.get(), response + "\n",
+                                      options_.write_timeout_ms);
+    if (!sent.ok()) {
+      if (sent.code() == StatusCode::kDeadlineExceeded) {
+        // A peer that stopped draining its socket does not get to pin
+        // this worker; drop the connection and move on.
+        write_timeouts_.fetch_add(1);
+        RWDOM_LOG(WARNING) << "rwdom serve: dropped stalled client: "
+                           << sent.message();
+      }
+      break;
+    }
     if (stopping_.load()) break;
   }
 }
 
-std::string QueryServer::HandleLine(const std::string& line) {
+std::string QueryServer::HandleLine(const std::string& line,
+                                    const Deadline& deadline) {
   // Peek at the command for the two admin requests the server answers
   // itself; anything else (including unparseable lines) goes through the
   // injected executor so errors read exactly like batch-script errors.
@@ -204,8 +266,30 @@ std::string QueryServer::HandleLine(const std::string& line) {
       }
     }
   }
+  // Dispatch boundary 1: a request that waited out its whole budget in
+  // the queue is answered without doing the work it is too late for.
+  if (deadline.Expired(clock())) {
+    deadline_exceeded_.fetch_add(1);
+    queries_error_.fetch_add(1);
+    return ErrorLine(
+        "DeadlineExceeded",
+        StrFormat("request exceeded --request_timeout_ms=%d before dispatch",
+                  options_.request_timeout_ms));
+  }
   std::string response;
   Status status = executor_(line, &response);
+  // Dispatch boundary 2: the work ran long. The answer is correct but
+  // contractually late — the client asked for a bounded wait, so late
+  // is an error (and the index the work warmed stays cached, so a retry
+  // without the deadline pressure is cheap).
+  if (status.ok() && deadline.Expired(clock())) {
+    deadline_exceeded_.fetch_add(1);
+    queries_error_.fetch_add(1);
+    return ErrorLine(
+        "DeadlineExceeded",
+        StrFormat("request exceeded --request_timeout_ms=%d during execution",
+                  options_.request_timeout_ms));
+  }
   if (!status.ok()) {
     queries_error_.fetch_add(1);
     return ErrorLine(StatusCodeToString(status.code()), status.message());
@@ -221,11 +305,26 @@ ServerStats QueryServer::stats() const {
   stats.active_connections = active_connections_.load();
   stats.queries_ok = queries_ok_.load();
   stats.queries_error = queries_error_.load();
+  stats.requests_shed = requests_shed_.load();
+  stats.deadline_exceeded = deadline_exceeded_.load();
+  stats.oversized_requests = oversized_requests_.load();
+  stats.write_timeouts = write_timeouts_.load();
   stats.index_builds = context_->index_builds();
   stats.index_hits = context_->index_hits();
   stats.index_recovered = context_->index_recovered();
+  stats.index_evictions = context_->index_evictions();
+  stats.admission_rejections = context_->admission_rejections();
   stats.cached_bytes = context_->TotalMemoryBytes();
   stats.persistence = context_->persistence();
+  // Health latch: "degraded" while the degradation counters are moving,
+  // back to "ok" after one quiet interval. Reading advances the latch.
+  const int64_t degradation_sum =
+      stats.requests_shed + stats.deadline_exceeded +
+      stats.oversized_requests + stats.write_timeouts +
+      stats.index_evictions + stats.admission_rejections +
+      stats.persistence.checkpoint_failures + stats.connections_rejected;
+  const int64_t previous = last_degradation_sum_.exchange(degradation_sum);
+  stats.health = degradation_sum > previous ? "degraded" : "ok";
   return stats;
 }
 
@@ -255,6 +354,7 @@ std::string QueryServer::StatsResponseLine() const {
   json.Key("snapshots_recovered").Int(stats.persistence.snapshots_recovered);
   json.Key("snapshots_rejected").Int(stats.persistence.snapshots_rejected);
   json.Key("checkpoints_written").Int(stats.persistence.checkpoints_written);
+  json.Key("checkpoint_failures").Int(stats.persistence.checkpoint_failures);
   json.Key("snapshot_rejections").BeginArray();
   for (const std::string& reason : stats.persistence.rejections) {
     json.String(reason);
@@ -265,6 +365,13 @@ std::string QueryServer::StatsResponseLine() const {
   json.Key("connections_accepted").Int(stats.connections_accepted);
   json.Key("connections_rejected").Int(stats.connections_rejected);
   json.Key("active_connections").Int(stats.active_connections);
+  json.Key("health").String(stats.health);
+  json.Key("requests_shed").Int(stats.requests_shed);
+  json.Key("deadline_exceeded").Int(stats.deadline_exceeded);
+  json.Key("oversized_requests").Int(stats.oversized_requests);
+  json.Key("write_timeouts").Int(stats.write_timeouts);
+  json.Key("index_evictions").Int(stats.index_evictions);
+  json.Key("admission_rejections").Int(stats.admission_rejections);
   json.EndObject();
   json.EndObject();
   return json.ToString();

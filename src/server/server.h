@@ -40,6 +40,7 @@
 
 #include "server/protocol.h"
 #include "service/query_context.h"
+#include "util/clock.h"
 #include "util/socket.h"
 #include "util/status.h"
 
@@ -53,6 +54,25 @@ struct ServerOptions {
   int threads = 4;           ///< Worker pool size (concurrent connections).
   int max_connections = 64;  ///< Open-connection cap; excess are refused
                              ///< with an {"error": ...} line.
+  /// Per-request wall-clock budget, checked at dispatch boundaries via
+  /// `clock`: a request found past its deadline answers a
+  /// DeadlineExceeded error line (connection stays open). 0 = no limit.
+  int request_timeout_ms = 0;
+  /// Budget for writing one response to a slow/stalled client; past it
+  /// the connection is dropped (write_timeouts counter). 0 = no limit.
+  int write_timeout_ms = 30'000;
+  /// Per-request-line byte cap; overlong lines answer InvalidArgument
+  /// and the stream resyncs at the next newline.
+  size_t max_request_bytes = LineReader::kDefaultMaxLineBytes;
+  /// Accepted-but-unserved connection cap. When more than this many
+  /// connections wait for a worker, new ones are shed: an Unavailable
+  /// error line carrying retry_after_ms, then close. 0 = unbounded.
+  int max_queue_depth = 0;
+  /// The backoff hint sent in shed/refusal error bodies.
+  int retry_after_ms = 250;
+  /// Deadline clock; nullptr means the real monotonic clock. Tests
+  /// inject a FakeClock to expire deadlines deterministically.
+  const Clock* clock = nullptr;
   /// Capability tags announced in the greeting and in `server_stats`.
   /// Callers with extra features (e.g. `serve --cache_dir`) append to
   /// the base list before constructing the server.
@@ -66,6 +86,17 @@ struct ServerStats {
   int64_t active_connections = 0;  ///< Open right now (queued + serving).
   int64_t queries_ok = 0;
   int64_t queries_error = 0;
+  // Overload / robustness counters.
+  int64_t requests_shed = 0;       ///< Connections shed at the queue cap.
+  int64_t deadline_exceeded = 0;   ///< Requests past --request_timeout_ms.
+  int64_t oversized_requests = 0;  ///< Lines over --max_request_bytes.
+  int64_t write_timeouts = 0;      ///< Responses dropped on stalled peers.
+  int64_t index_evictions = 0;     ///< Cache entries evicted under budget.
+  int64_t admission_rejections = 0;  ///< Builds refused by the budget.
+  /// "ok", or "degraded" when any overload/failure counter moved since
+  /// the previous stats() snapshot (a read-and-reset latch: one healthy
+  /// interval returns the report to "ok").
+  std::string health = "ok";
   // Warm-context amortization receipt (graph loads is 1 by construction:
   // the substrate is loaded once, before the server starts).
   int64_t graph_loads = 1;
@@ -121,8 +152,13 @@ class QueryServer {
   void WorkerLoop();
   void ServeConnection(UniqueFd connection);
   /// One request line -> one response line (admin or via executor_).
-  std::string HandleLine(const std::string& line);
+  /// `deadline` is the request's budget (started when its line arrived);
+  /// a request past it answers DeadlineExceeded instead of executing.
+  std::string HandleLine(const std::string& line, const Deadline& deadline);
   std::string StatsResponseLine() const;
+  const Clock& clock() const {
+    return options_.clock != nullptr ? *options_.clock : *SystemClock::Get();
+  }
   void Join();
 
   QueryContext* const context_;
@@ -156,6 +192,13 @@ class QueryServer {
   std::atomic<int64_t> active_connections_{0};
   std::atomic<int64_t> queries_ok_{0};
   std::atomic<int64_t> queries_error_{0};
+  std::atomic<int64_t> requests_shed_{0};
+  std::atomic<int64_t> deadline_exceeded_{0};
+  std::atomic<int64_t> oversized_requests_{0};
+  std::atomic<int64_t> write_timeouts_{0};
+  /// Sum of the degradation counters at the previous stats() call — the
+  /// health latch's memory (mutable: reading health advances it).
+  mutable std::atomic<int64_t> last_degradation_sum_{0};
 };
 
 }  // namespace rwdom

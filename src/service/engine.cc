@@ -48,7 +48,9 @@ Result<SelectResponse> Select(QueryContext& context,
   // context answers repeated selects without re-materializing walks.
   auto* approx = dynamic_cast<ApproxGreedy*>(selector.get());
   if (approx != nullptr) {
-    approx->UsePrebuiltIndex(context.GetIndex(KeyOf(context, request.params)));
+    RWDOM_ASSIGN_OR_RETURN(std::shared_ptr<const InvertedWalkIndex> index,
+                           context.GetIndex(KeyOf(context, request.params)));
+    approx->UsePrebuiltIndex(std::move(index));
   }
 
   SelectionResult result = selector->Select(request.k);
@@ -113,8 +115,8 @@ Result<CoverResponse> Cover(QueryContext& context,
                               .num_replicates = request.params.num_samples,
                               .seed = request.params.seed,
                               .lazy = true};
-  std::shared_ptr<const InvertedWalkIndex> index =
-      context.GetIndex(KeyOf(context, request.params));
+  RWDOM_ASSIGN_OR_RETURN(std::shared_ptr<const InvertedWalkIndex> index,
+                         context.GetIndex(KeyOf(context, request.params)));
   MinSeedCoverResult cover = MinSeedCover(context.substrate().model(),
                                           request.alpha, options,
                                           index.get());
@@ -134,8 +136,8 @@ Result<StatsResponse> Stats(QueryContext& context,
   response.stats = context.Stats();
   response.with_index = request.with_index;
   if (request.with_index) {
-    std::shared_ptr<const InvertedWalkIndex> index =
-        context.GetIndex(KeyOf(context, request.params));
+    RWDOM_ASSIGN_OR_RETURN(std::shared_ptr<const InvertedWalkIndex> index,
+                           context.GetIndex(KeyOf(context, request.params)));
     response.index_length = request.params.length;
     response.index_samples = request.params.num_samples;
     response.index_bytes = index->MemoryUsageBytes();

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "graph/clustering.h"
+#include "util/fault.h"
 #include "util/strings.h"
 #include "walk/walk_source.h"
 
@@ -17,47 +18,114 @@ QueryContext::QueryContext(GraphSubstrate substrate)
     : loaded_{std::move(substrate), {}},
       substrate_fingerprint_(SubstrateFingerprint(loaded_.substrate)) {}
 
-std::shared_ptr<const InvertedWalkIndex> QueryContext::GetIndex(
+int64_t QueryContext::EstimatedIndexBytes(const ArtifactKey& key) const {
+  const int64_t n = substrate().num_nodes();
+  const int64_t offsets = (n + 1) * static_cast<int64_t>(sizeof(int64_t));
+  const int64_t entries =
+      n * key.length * static_cast<int64_t>(sizeof(InvertedWalkIndex::Entry));
+  return key.num_samples * (offsets + entries);
+}
+
+int64_t QueryContext::CachedBytesLocked() const {
+  int64_t total = 0;
+  for (const auto& [_, entry] : index_cache_) {
+    total += entry.index->MemoryUsageBytes();
+  }
+  return total;
+}
+
+void QueryContext::TrimToFitLocked(int64_t incoming_bytes, int64_t budget,
+                                   const ArtifactKey* protect) {
+  while (!index_cache_.empty() &&
+         CachedBytesLocked() + incoming_bytes > budget) {
+    auto victim = index_cache_.end();
+    uint64_t oldest = 0;
+    for (auto it = index_cache_.begin(); it != index_cache_.end(); ++it) {
+      if (protect != nullptr && it->first == *protect) continue;
+      const uint64_t use = it->second.last_use.load();
+      if (victim == index_cache_.end() || use < oldest) {
+        victim = it;
+        oldest = use;
+      }
+    }
+    if (victim == index_cache_.end()) return;  // Only the protectee left.
+    index_cache_.erase(victim);
+    ++index_evictions_;
+  }
+}
+
+Result<std::shared_ptr<const InvertedWalkIndex>> QueryContext::GetIndex(
     const ArtifactKey& key) {
   {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     auto it = index_cache_.find(key);
     if (it != index_cache_.end()) {
       ++index_hits_;
-      return it->second;
+      it->second.last_use.store(lru_tick_.fetch_add(1) + 1);
+      return it->second.index;
     }
   }
   // Cache miss: coalesce concurrent misses on the same key into one
-  // build (waiters block on the leader), with the build itself running
-  // unlocked so distinct keys build in parallel. The build is a pure
-  // function of the key (which names the substrate by fingerprint),
-  // which is what makes warm — and concurrent — results bit-identical
-  // to cold ones.
-  bool built = false;
-  auto index = index_flights_.Do(key, [&]() {
+  // build (waiters block on the leader and share its outcome — including
+  // a failure), with the build itself running unlocked so distinct keys
+  // build in parallel. The build is a pure function of the key (which
+  // names the substrate by fingerprint), which is what makes warm — and
+  // concurrent — results bit-identical to cold ones.
+  auto outcome = index_flights_.Do(key, [&]() {
+    auto result = std::make_shared<BuildOutcome>();
     {
       // A flight for this key may have completed and retired between the
       // lookup above and becoming leader here; re-check before building.
       std::shared_lock<std::shared_mutex> lock(mutex_);
       auto it = index_cache_.find(key);
-      if (it != index_cache_.end()) return it->second;
+      if (it != index_cache_.end()) {
+        result->index = it->second.index;
+        return std::shared_ptr<const BuildOutcome>(result);
+      }
     }
-    built = true;
+    result->status = FaultPoint("index.build");
+    if (!result->status.ok()) {
+      return std::shared_ptr<const BuildOutcome>(result);
+    }
+    const int64_t budget = max_cache_bytes_.load();
+    if (budget > 0) {
+      const int64_t estimate = EstimatedIndexBytes(key);
+      if (estimate > budget) {
+        // Evicting everything still would not make room — refuse before
+        // allocating, instead of OOM-ing mid-build.
+        ++admission_rejections_;
+        result->status = Status::ResourceExhausted(StrFormat(
+            "index(L=%d,R=%d) needs ~%lld bytes but --max_cache_bytes=%lld",
+            key.length, key.num_samples,
+            static_cast<long long>(estimate), static_cast<long long>(budget)));
+        return std::shared_ptr<const BuildOutcome>(result);
+      }
+      std::unique_lock<std::shared_mutex> lock(mutex_);
+      TrimToFitLocked(estimate, budget, /*protect=*/nullptr);
+    }
+    result->built = true;
     TransitionWalkSource source(&substrate().model(), key.seed);
     auto fresh = std::make_shared<const InvertedWalkIndex>(
         InvertedWalkIndex::Build(key.length, key.num_samples, &source));
     ++index_builds_;
     if (index_build_hook_) index_build_hook_(key, fresh);
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    index_cache_.emplace(key, fresh);
-    return std::shared_ptr<const InvertedWalkIndex>(fresh);
+    {
+      std::unique_lock<std::shared_mutex> lock(mutex_);
+      index_cache_.try_emplace(key, fresh, lru_tick_.fetch_add(1) + 1);
+      // Concurrent admissions may have raced past the same headroom;
+      // re-trim with real sizes, never evicting what we just inserted.
+      if (budget > 0) TrimToFitLocked(0, budget, &key);
+    }
+    result->index = std::move(fresh);
+    return std::shared_ptr<const BuildOutcome>(result);
   });
-  // Every call that did not itself build — fast-path lookups above,
-  // flight waiters, and leaders whose re-check found the index — was
-  // served from the cache, so hits + builds == total GetIndex calls
-  // (deterministic, however the timing fell out).
-  if (!built) ++index_hits_;
-  return index;
+  if (!outcome->status.ok()) return outcome->status;
+  // Every successful call that did not itself build — fast-path lookups
+  // above, flight waiters, and leaders whose re-check found the index —
+  // was served from the cache, so hits + builds == successful GetIndex
+  // calls (deterministic, however the timing fell out).
+  if (!outcome->built) ++index_hits_;
+  return outcome->index;
 }
 
 bool QueryContext::AdoptIndex(const ArtifactKey& key,
@@ -66,9 +134,17 @@ bool QueryContext::AdoptIndex(const ArtifactKey& key,
   // A snapshot built over a different substrate would serve wrong
   // answers bit-for-bit confidently; the fingerprint is the guard.
   if (key.substrate_fingerprint != substrate_fingerprint_) return false;
+  const int64_t budget = max_cache_bytes_.load();
+  if (budget > 0 && index->MemoryUsageBytes() > budget) return false;
   std::unique_lock<std::shared_mutex> lock(mutex_);
-  const bool adopted = index_cache_.emplace(key, std::move(index)).second;
-  if (adopted) ++index_recovered_;
+  const bool adopted =
+      index_cache_
+          .try_emplace(key, std::move(index), lru_tick_.fetch_add(1) + 1)
+          .second;
+  if (adopted) {
+    ++index_recovered_;
+    if (budget > 0) TrimToFitLocked(0, budget, &key);
+  }
   return adopted;
 }
 
@@ -76,8 +152,17 @@ std::vector<std::pair<ArtifactKey, std::shared_ptr<const InvertedWalkIndex>>>
 QueryContext::CachedIndexes() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::pair<ArtifactKey, std::shared_ptr<const InvertedWalkIndex>>>
-      entries(index_cache_.begin(), index_cache_.end());
+      entries;
+  entries.reserve(index_cache_.size());
+  for (const auto& [key, entry] : index_cache_) {
+    entries.emplace_back(key, entry.index);
+  }
   return entries;
+}
+
+void QueryContext::EvictIndexes() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  index_cache_.clear();
 }
 
 const SubstrateStats& QueryContext::Stats() {
@@ -125,11 +210,11 @@ std::vector<ArtifactUsage> QueryContext::MemoryUsage() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<ArtifactUsage> usage;
   usage.push_back({"graph", substrate().MemoryUsageBytes()});
-  for (const auto& [key, index] : index_cache_) {
+  for (const auto& [key, entry] : index_cache_) {
     usage.push_back(
         {StrFormat("index(L=%d,R=%d,seed=%llu)", key.length, key.num_samples,
                    static_cast<unsigned long long>(key.seed)),
-         index->MemoryUsageBytes()});
+         entry.index->MemoryUsageBytes()});
   }
   return usage;
 }
@@ -166,6 +251,12 @@ void QueryContext::RecordSnapshotRejected(std::string reason) {
 void QueryContext::RecordCheckpointWritten() {
   std::lock_guard<std::mutex> lock(persist_mutex_);
   ++persistence_.checkpoints_written;
+}
+
+void QueryContext::RecordCheckpointFailed(std::string reason) {
+  std::lock_guard<std::mutex> lock(persist_mutex_);
+  ++persistence_.checkpoint_failures;
+  persistence_.rejections.push_back(std::move(reason));
 }
 
 }  // namespace rwdom

@@ -52,6 +52,7 @@
 #include "index/inverted_walk_index.h"
 #include "service/artifact_key.h"
 #include "util/single_flight.h"
+#include "util/status.h"
 #include "wgraph/substrate.h"
 
 namespace rwdom {
@@ -94,6 +95,7 @@ struct PersistenceInfo {
   int64_t snapshots_recovered = 0;  ///< Adopted at boot.
   int64_t snapshots_rejected = 0;   ///< Stale/corrupt/truncated at boot.
   int64_t checkpoints_written = 0;  ///< Background checkpoints published.
+  int64_t checkpoint_failures = 0;  ///< Write/rename failures (no publish).
   /// Human-readable reason per rejected snapshot, in discovery order
   /// (e.g. "idx-...rwidx: substrate fingerprint mismatch").
   std::vector<std::string> rejections;
@@ -144,11 +146,17 @@ class QueryContext {
 
   /// The inverted walk index for `key`, building and caching it on the
   /// first request. Concurrent callers with the same key share one build
-  /// (single flight). The returned pointer stays valid for the context's
-  /// lifetime (shared ownership: selectors may hold it across evictions).
-  /// `key` should come from MakeKey (a foreign fingerprint would name an
-  /// index this substrate cannot build).
-  std::shared_ptr<const InvertedWalkIndex> GetIndex(const ArtifactKey& key);
+  /// (single flight). The returned pointer stays valid as long as the
+  /// caller holds it (shared ownership: selectors keep their index alive
+  /// across evictions). `key` should come from MakeKey (a foreign
+  /// fingerprint would name an index this substrate cannot build).
+  ///
+  /// Errors: ResourceExhausted when a memory budget is set and the index
+  /// could never fit (see set_max_cache_bytes); IoError when a fault site
+  /// fires. A failed call caches nothing — once the condition clears the
+  /// next call builds normally.
+  Result<std::shared_ptr<const InvertedWalkIndex>> GetIndex(
+      const ArtifactKey& key);
 
   /// Seeds the cache with an already-built index (snapshot recovery).
   /// Refuses keys whose substrate fingerprint is not this substrate's,
@@ -185,12 +193,30 @@ class QueryContext {
   std::vector<std::pair<ArtifactKey, std::shared_ptr<const InvertedWalkIndex>>>
   CachedIndexes() const;
 
-  /// Drops all cached indexes (admission-control hook; existing
-  /// shared_ptr holders keep their index alive until they release it).
-  void EvictIndexes() {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    index_cache_.clear();
-  }
+  /// Drops all cached indexes (admin surface; existing shared_ptr
+  /// holders keep their index alive until they release it).
+  void EvictIndexes();
+
+  // --- Memory governance. ---
+
+  /// Caps the bytes of cached indexes (0 = unlimited, the default).
+  /// Admission runs before each build: an index that could never fit is
+  /// rejected with ResourceExhausted; one that fits evicts
+  /// least-recently-used entries until there is room. The cap covers
+  /// cached indexes only — the substrate is always resident.
+  void set_max_cache_bytes(int64_t bytes) { max_cache_bytes_.store(bytes); }
+  int64_t max_cache_bytes() const { return max_cache_bytes_.load(); }
+
+  /// Conservative (upper-bound) size of the index `key` would build:
+  /// R * (offsets + n*L postings). Used for admission, deliberately
+  /// pessimistic — admitting then OOM-ing is the failure mode to avoid.
+  int64_t EstimatedIndexBytes(const ArtifactKey& key) const;
+
+  /// Entries evicted under memory pressure (not via EvictIndexes()).
+  int64_t index_evictions() const { return index_evictions_.load(); }
+
+  /// Builds refused because the estimate exceeded the budget outright.
+  int64_t admission_rejections() const { return admission_rejections_.load(); }
 
   /// The memoized structural summary, computing it on first use.
   const SubstrateStats& Stats();
@@ -212,20 +238,49 @@ class QueryContext {
   void RecordSnapshotRecovered();
   void RecordSnapshotRejected(std::string reason);
   void RecordCheckpointWritten();
+  void RecordCheckpointFailed(std::string reason);
 
  private:
+  /// A cached index plus its LRU stamp. The stamp is atomic so cache
+  /// hits (shared lock) can touch it without write-locking the map.
+  struct CacheEntry {
+    CacheEntry(std::shared_ptr<const InvertedWalkIndex> idx, uint64_t tick)
+        : index(std::move(idx)), last_use(tick) {}
+    std::shared_ptr<const InvertedWalkIndex> index;
+    mutable std::atomic<uint64_t> last_use;
+  };
+
+  /// What one single-flight build produced: the index, or why not.
+  /// (The flight shares errors with its waiters exactly like values.)
+  struct BuildOutcome {
+    std::shared_ptr<const InvertedWalkIndex> index;
+    Status status;
+    bool built = false;
+  };
+
+  /// Sum of cached index bytes. Caller holds mutex_ (any mode).
+  int64_t CachedBytesLocked() const;
+
+  /// Evicts LRU entries (never `protect`) until cached bytes +
+  /// incoming_bytes fit in budget. Caller holds mutex_ exclusively.
+  void TrimToFitLocked(int64_t incoming_bytes, int64_t budget,
+                       const ArtifactKey* protect);
+
   LoadedSubstrate loaded_;
   uint64_t substrate_fingerprint_ = 0;
   /// Guards index_cache_ and stats_ (readers shared, writers exclusive).
   /// Never held across an index build — single-flight coalescing means
   /// the build runs unlocked without duplicating work.
   mutable std::shared_mutex mutex_;
-  std::map<ArtifactKey, std::shared_ptr<const InvertedWalkIndex>>
-      index_cache_;
-  SingleFlightGroup<ArtifactKey, const InvertedWalkIndex> index_flights_;
+  std::map<ArtifactKey, CacheEntry> index_cache_;
+  SingleFlightGroup<ArtifactKey, const BuildOutcome> index_flights_;
   std::atomic<int64_t> index_builds_{0};
   std::atomic<int64_t> index_hits_{0};
   std::atomic<int64_t> index_recovered_{0};
+  std::atomic<int64_t> index_evictions_{0};
+  std::atomic<int64_t> admission_rejections_{0};
+  std::atomic<int64_t> max_cache_bytes_{0};
+  std::atomic<uint64_t> lru_tick_{0};
   IndexBuildHook index_build_hook_;
   std::optional<SubstrateStats> stats_;
   /// Guards persistence_ (low-traffic control-plane data; separate from

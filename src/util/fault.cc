@@ -1,0 +1,247 @@
+#include "util/fault.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace rwdom {
+namespace {
+
+struct SiteState {
+  FaultSpec spec;
+  bool armed = false;
+  int64_t hits = 0;
+  int64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  // Keyed by the catalog entries; populated lazily on first touch.
+  std::map<std::string, SiteState, std::less<>> sites;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+bool KnownSite(std::string_view site) {
+  for (std::string_view known : kFaultSites) {
+    if (known == site) return true;
+  }
+  return false;
+}
+
+void RecomputeArmedFlag(Registry& registry) {
+  bool any = false;
+  for (const auto& [_, state] : registry.sites) {
+    if (state.armed) {
+      any = true;
+      break;
+    }
+  }
+  FaultsArmedFlag().store(any, std::memory_order_relaxed);
+}
+
+// Symbolic errno names accepted in RWDOM_FAULTS specs. Raw integers are
+// also accepted; this list just covers the failures worth simulating.
+bool ParseErrno(std::string_view text, int* out) {
+  static constexpr std::pair<std::string_view, int> kNames[] = {
+      {"EIO", EIO},           {"ENOSPC", ENOSPC},
+      {"EPIPE", EPIPE},       {"ECONNRESET", ECONNRESET},
+      {"EMSGSIZE", EMSGSIZE}, {"ENOMEM", ENOMEM},
+      {"EDQUOT", EDQUOT},     {"ETIMEDOUT", ETIMEDOUT},
+  };
+  for (const auto& [name, value] : kNames) {
+    if (name == text) {
+      *out = value;
+      return true;
+    }
+  }
+  int value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  if (text.empty() || value <= 0) return false;
+  *out = value;
+  return true;
+}
+
+Status ParseOneFault(std::string_view entry, std::string* site,
+                     FaultSpec* spec) {
+  std::vector<std::string_view> fields;
+  while (!entry.empty()) {
+    const size_t colon = entry.find(':');
+    fields.push_back(entry.substr(0, colon));
+    if (colon == std::string_view::npos) break;
+    entry.remove_prefix(colon + 1);
+  }
+  if (fields.size() < 2 || fields.size() > 3) {
+    return Status::InvalidArgument(
+        "fault spec entry must be site:trigger[:errno]");
+  }
+  if (!KnownSite(fields[0])) {
+    return Status::InvalidArgument("unknown fault site '" +
+                                   std::string(fields[0]) + "'");
+  }
+  *site = std::string(fields[0]);
+
+  *spec = FaultSpec{};
+  std::string_view trigger = fields[1];
+  bool periodic = false;
+  if (!trigger.empty() && trigger.front() == '%') {
+    periodic = true;
+    trigger.remove_prefix(1);
+  }
+  int64_t count = 0;
+  for (char c : trigger) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad fault trigger '" +
+                                     std::string(fields[1]) + "'");
+    }
+    count = count * 10 + (c - '0');
+  }
+  if (trigger.empty() || count <= 0) {
+    return Status::InvalidArgument("bad fault trigger '" +
+                                   std::string(fields[1]) + "'");
+  }
+  if (periodic) {
+    spec->every = count;
+  } else {
+    spec->nth = count;
+  }
+
+  if (fields.size() == 3) {
+    if (fields[2] == "stall") {
+      spec->stall = true;
+    } else if (!ParseErrno(fields[2], &spec->error)) {
+      return Status::InvalidArgument("bad fault errno '" +
+                                     std::string(fields[2]) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace fault_internal {
+
+Status Fire(std::string_view site) {
+  bool due = false;
+  bool stall = false;
+  int error = EIO;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.sites.find(site);
+    if (it == registry.sites.end() || !it->second.armed) return Status::OK();
+    SiteState& state = it->second;
+    ++state.hits;
+    if (state.spec.every > 0) {
+      due = (state.hits % state.spec.every) == 0;
+    } else if (state.hits == state.spec.nth) {
+      due = true;
+      state.armed = false;  // one-shot
+      RecomputeArmedFlag(registry);
+    }
+    if (due) {
+      ++state.fires;
+      stall = state.spec.stall;
+      error = state.spec.error;
+    }
+  }
+  if (!due) return Status::OK();
+  if (stall) {
+    // Long enough that a crash test reliably lands its SIGKILL inside the
+    // window; short enough that a leaked stall cannot hang CI forever.
+    std::this_thread::sleep_for(std::chrono::seconds(30));
+    return Status::OK();
+  }
+  return Status::IoError("injected fault at " + std::string(site) + " (" +
+                         std::strerror(error) + ")");
+}
+
+}  // namespace fault_internal
+
+Status ArmFault(std::string_view site, const FaultSpec& spec) {
+  if (!KnownSite(site)) {
+    return Status::InvalidArgument("unknown fault site '" + std::string(site) +
+                                   "'");
+  }
+  if (spec.every < 0 || (spec.every == 0 && spec.nth <= 0)) {
+    return Status::InvalidArgument("fault trigger must be positive");
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  SiteState& state = registry.sites[std::string(site)];
+  state.spec = spec;
+  state.armed = true;
+  state.hits = 0;
+  FaultsArmedFlag().store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void DisarmFault(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  if (it != registry.sites.end()) it->second.armed = false;
+  RecomputeArmedFlag(registry);
+}
+
+void ClearFaults() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.sites.clear();
+  FaultsArmedFlag().store(false, std::memory_order_relaxed);
+}
+
+Status ArmFaultsFromSpec(std::string_view spec) {
+  // Two passes: validate everything, then arm, so a typo arms nothing.
+  std::vector<std::pair<std::string, FaultSpec>> parsed;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    std::string_view entry = rest.substr(0, comma);
+    if (!entry.empty()) {
+      std::string site;
+      FaultSpec one;
+      RWDOM_RETURN_IF_ERROR(ParseOneFault(entry, &site, &one));
+      parsed.emplace_back(std::move(site), one);
+    }
+    if (comma == std::string_view::npos) break;
+    rest.remove_prefix(comma + 1);
+  }
+  for (const auto& [site, one] : parsed) {
+    RWDOM_RETURN_IF_ERROR(ArmFault(site, one));
+  }
+  return Status::OK();
+}
+
+Status ArmFaultsFromEnv() {
+  const char* env = std::getenv("RWDOM_FAULTS");
+  if (env == nullptr || env[0] == '\0') return Status::OK();
+  return ArmFaultsFromSpec(env);
+}
+
+int64_t FaultHitCount(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultFireCount(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.sites.find(site);
+  return it == registry.sites.end() ? 0 : it->second.fires;
+}
+
+}  // namespace rwdom

@@ -10,8 +10,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
 
+#include "util/fault.h"
 #include "util/strings.h"
 
 namespace rwdom {
@@ -128,6 +130,7 @@ Result<std::optional<UniqueFd>> AcceptWithWake(int listen_fd, int wake_fd) {
 }
 
 Status SendAll(int fd, std::string_view data) {
+  RWDOM_RETURN_IF_ERROR(FaultPoint("socket.send"));
   while (!data.empty()) {
     ssize_t sent = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (sent < 0) {
@@ -139,16 +142,66 @@ Status SendAll(int fd, std::string_view data) {
   return Status::OK();
 }
 
+Status SendAllWithin(int fd, std::string_view data, int timeout_ms) {
+  if (timeout_ms <= 0) return SendAll(fd, data);
+  RWDOM_RETURN_IF_ERROR(FaultPoint("socket.send"));
+  // OS clock by necessity: poll() timeouts are kernel time. Budget is
+  // total across the whole payload, not per write.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (!data.empty()) {
+    ssize_t sent =
+        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (sent > 0) {
+      data.remove_prefix(static_cast<size_t>(sent));
+      continue;
+    }
+    if (sent < 0 && errno != EINTR && errno != EAGAIN &&
+        errno != EWOULDBLOCK) {
+      return Errno("send");
+    }
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (remaining.count() <= 0) {
+      return Status::DeadlineExceeded(
+          StrFormat("send stalled past %d ms write timeout", timeout_ms));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    int rc = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+    if (rc < 0 && errno != EINTR) return Errno("poll");
+  }
+  return Status::OK();
+}
+
 Result<LineReader::Outcome> LineReader::ReadLine(
     std::string* line, const std::function<bool()>& cancelled,
     int poll_interval_ms) {
   for (;;) {
     size_t newline = buffer_.find('\n');
-    if (newline != std::string::npos) {
+    if (discarding_) {
+      // Resync after an overlong line: drop bytes through its newline.
+      if (newline != std::string::npos) {
+        buffer_.erase(0, newline + 1);
+        discarding_ = false;
+        continue;
+      }
+      buffer_.clear();
+      if (eof_) return Outcome::kEof;
+    } else if (newline != std::string::npos) {
+      if (newline > max_line_bytes_) {
+        buffer_.erase(0, newline + 1);
+        return Outcome::kOverflow;
+      }
       *line = buffer_.substr(0, newline);
       buffer_.erase(0, newline + 1);
       if (!line->empty() && line->back() == '\r') line->pop_back();
       return Outcome::kLine;
+    } else if (buffer_.size() > max_line_bytes_) {
+      // No newline yet and already over budget: report the overflow now
+      // and discard until the line eventually terminates.
+      buffer_.clear();
+      discarding_ = true;
+      return Outcome::kOverflow;
     }
     if (eof_) {
       if (buffer_.empty()) return Outcome::kEof;

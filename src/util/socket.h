@@ -82,14 +82,31 @@ Result<std::optional<UniqueFd>> AcceptWithWake(int listen_fd, int wake_fd);
 /// (a dead peer surfaces as an IoError).
 Status SendAll(int fd, std::string_view data);
 
+/// SendAll with a wall-clock budget: if the peer stops draining and the
+/// kernel buffer stays full past timeout_ms, gives up with
+/// DeadlineExceeded (partial bytes may have been sent — the connection
+/// is unusable afterwards and should be closed). timeout_ms <= 0 means
+/// no timeout. This is the guard that keeps a stalled client from
+/// pinning a server worker forever.
+Status SendAllWithin(int fd, std::string_view data, int timeout_ms);
+
 /// Buffered newline framing over one socket: each ReadLine returns the
 /// next '\n'-terminated line with the newline (and any trailing '\r')
 /// stripped. A final unterminated line before EOF is still delivered.
+///
+/// Lines are capped at max_line_bytes (default 1 MiB): an overlong line
+/// yields kOverflow exactly once, the offending bytes are discarded
+/// through the terminating newline (resynchronising the stream), and
+/// the next call reads the following line normally. The cap bounds
+/// per-connection memory no matter what the peer sends.
 class LineReader {
  public:
-  enum class Outcome { kLine, kEof, kCancelled };
+  enum class Outcome { kLine, kEof, kCancelled, kOverflow };
 
-  explicit LineReader(int fd) : fd_(fd) {}
+  static constexpr size_t kDefaultMaxLineBytes = 1 << 20;
+
+  explicit LineReader(int fd, size_t max_line_bytes = kDefaultMaxLineBytes)
+      : fd_(fd), max_line_bytes_(max_line_bytes) {}
 
   /// Blocks for the next line. `cancelled` (optional) is polled every
   /// poll_interval_ms; when it returns true the read gives up with
@@ -100,8 +117,10 @@ class LineReader {
 
  private:
   int fd_;
+  size_t max_line_bytes_;
   std::string buffer_;
   bool eof_ = false;
+  bool discarding_ = false;  // Inside an overlong line, seeking its '\n'.
 };
 
 }  // namespace rwdom

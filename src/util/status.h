@@ -22,6 +22,9 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -62,6 +65,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -76,14 +76,14 @@ TEST(ArtifactCacheTest, CheckpointThenRecoverServesWithoutRebuilding) {
   EXPECT_EQ(*recovered, 2);
   EXPECT_EQ(warm.index_recovered(), 2);
 
-  auto index = warm.GetIndex(key);
+  auto index = *warm.GetIndex(key);
   ASSERT_NE(index, nullptr);
   EXPECT_EQ(warm.index_builds(), 0);
   EXPECT_EQ(warm.index_hits(), 1);
 
   // The adopted index carries the same bits a rebuild would produce.
   QueryContext rebuilt(StarSubstrate());
-  auto fresh = rebuilt.GetIndex(key);
+  auto fresh = *rebuilt.GetIndex(key);
   ASSERT_EQ(index->TotalEntries(), fresh->TotalEntries());
   for (int32_t i = 0; i < index->num_replicates(); ++i) {
     for (NodeId v = 0; v < index->num_nodes(); ++v) {
@@ -124,7 +124,7 @@ TEST(ArtifactCacheTest, ForeignSubstrateSnapshotsAreRejectedNotAdopted) {
 
   // The engine just rebuilds — a stale cache is a perf event, not an
   // error.
-  EXPECT_NE(path_graph.GetIndex(path_graph.MakeKey(3, 20, 42)), nullptr);
+  EXPECT_NE(*path_graph.GetIndex(path_graph.MakeKey(3, 20, 42)), nullptr);
   EXPECT_EQ(path_graph.index_builds(), 1);
 }
 
@@ -187,7 +187,7 @@ TEST(ArtifactCacheTest, CorruptTruncatedAndTempFilesAllDegradeToRebuild) {
   EXPECT_TRUE(saw_tmp);
 
   // And the engine still answers by rebuilding.
-  EXPECT_NE(warm.GetIndex(warm.MakeKey(3, 20, 42)), nullptr);
+  EXPECT_NE(*warm.GetIndex(warm.MakeKey(3, 20, 42)), nullptr);
   EXPECT_EQ(warm.index_builds(), 1);
 }
 
@@ -225,7 +225,7 @@ TEST(ArtifactCacheTest, LegacyV1SnapshotIsRejectedForLackingAKey) {
 
 TEST(ArtifactCacheTest, AdoptIndexRefusesForeignFingerprints) {
   QueryContext context(StarSubstrate());
-  auto index = context.GetIndex(context.MakeKey(3, 20, 42));
+  auto index = *context.GetIndex(context.MakeKey(3, 20, 42));
   ASSERT_NE(index, nullptr);
 
   ArtifactKey foreign = context.MakeKey(5, 20, 42);

@@ -1,0 +1,107 @@
+// FakeClock and Deadline are the substrate every deadline test builds
+// on; these pins make sure the substrate itself is trustworthy — fake
+// time only moves when told to, auto-advance models "work took N ms",
+// and Deadline's expiry math matches its documentation exactly.
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <thread>
+#include <vector>
+
+namespace rwdom {
+namespace {
+
+TEST(ClockTest, SystemClockIsMonotonicNonDecreasing) {
+  const Clock* clock = SystemClock::Get();
+  int64_t previous = clock->NowNanos();
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t now = clock->NowNanos();
+    ASSERT_GE(now, previous);
+    previous = now;
+  }
+}
+
+TEST(ClockTest, FakeClockOnlyMovesWhenAdvanced) {
+  FakeClock clock(1'000);
+  EXPECT_EQ(clock.NowNanos(), 1'000);
+  EXPECT_EQ(clock.NowNanos(), 1'000);  // Reads do not move fake time.
+  clock.AdvanceMillis(3);
+  EXPECT_EQ(clock.NowNanos(), 1'000 + 3 * 1'000'000);
+}
+
+TEST(ClockTest, FakeClockAutoAdvanceTicksPerRead) {
+  FakeClock clock;
+  clock.set_auto_advance_millis(10);
+  // fetch_add semantics: each read returns the pre-advance instant, so
+  // the Nth read observes (N-1) * 10ms of elapsed "work".
+  EXPECT_EQ(clock.NowNanos(), 0);
+  EXPECT_EQ(clock.NowNanos(), 10 * 1'000'000);
+  EXPECT_EQ(clock.NowNanos(), 20 * 1'000'000);
+  clock.set_auto_advance_millis(0);
+  const int64_t frozen = clock.NowNanos();
+  EXPECT_EQ(clock.NowNanos(), frozen);
+}
+
+TEST(ClockTest, FakeClockAdvanceIsThreadSafe) {
+  FakeClock clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < 1000; ++i) clock.AdvanceMillis(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(clock.NowNanos(), int64_t{8} * 1000 * 1'000'000);
+}
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  FakeClock clock;
+  Deadline deadline = Deadline::Infinite();
+  EXPECT_TRUE(deadline.infinite());
+  clock.AdvanceMillis(1'000'000'000);
+  EXPECT_FALSE(deadline.Expired(clock));
+  EXPECT_EQ(deadline.RemainingMillis(clock),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(DeadlineTest, AfterMillisExpiresExactlyOnTheBoundary) {
+  FakeClock clock;
+  Deadline deadline = Deadline::AfterMillis(clock, 50);
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_FALSE(deadline.Expired(clock));
+  EXPECT_EQ(deadline.RemainingMillis(clock), 50);
+
+  clock.AdvanceMillis(49);
+  EXPECT_FALSE(deadline.Expired(clock));
+  EXPECT_EQ(deadline.RemainingMillis(clock), 1);
+
+  clock.AdvanceMillis(1);  // now == deadline instant: expired.
+  EXPECT_TRUE(deadline.Expired(clock));
+  EXPECT_EQ(deadline.RemainingMillis(clock), 0);
+
+  clock.AdvanceMillis(1'000);  // Stays expired, remaining floors at 0.
+  EXPECT_TRUE(deadline.Expired(clock));
+  EXPECT_EQ(deadline.RemainingMillis(clock), 0);
+}
+
+TEST(DeadlineTest, NonPositiveMillisIsBornExpired) {
+  FakeClock clock(5'000'000);
+  EXPECT_TRUE(Deadline::AfterMillis(clock, 0).Expired(clock));
+  EXPECT_TRUE(Deadline::AfterMillis(clock, -10).Expired(clock));
+}
+
+TEST(DeadlineTest, DeadlineIsDataCluesComeFromTheCallerClock) {
+  // The same Deadline value judged by two clocks gives two answers —
+  // the deadline captures an instant, not a clock.
+  FakeClock early(0);
+  FakeClock late(0);
+  Deadline deadline = Deadline::AfterMillis(early, 100);
+  late.AdvanceMillis(200);
+  EXPECT_FALSE(deadline.Expired(early));
+  EXPECT_TRUE(deadline.Expired(late));
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,198 @@
+// Crash consistency, end to end on the real binary: a `rwdom serve
+// --cache_dir` process is SIGKILLed in the middle of writing a
+// checkpoint (a persist.write stall holds the tmp file open), and the
+// restarted server must (a) sweep the torn tmp file, (b) report the
+// rejection in server_stats, and (c) serve byte-identical answers by
+// rebuilding — a crash costs warmth, never correctness.
+//
+// The child is the actual installed CLI (fork + exec of
+// RWDOM_MAIN_BINARY), with the fault schedule riding in on RWDOM_FAULTS,
+// so the process that dies is the same binary an operator runs.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+
+namespace rwdom {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string NormalizeSeconds(std::string text) {
+  return std::regex_replace(
+      std::move(text), std::regex(R"("seconds":[-+0-9.eE]+)"),
+      "\"seconds\":<T>");
+}
+
+const char kSelectLine[] =
+    "{\"command\": \"select\", \"flags\": {\"problem\": \"F2\", "
+    "\"method\": \"index-celf\", \"k\": 2, \"L\": 3, \"R\": 40, "
+    "\"seed\": 42}}";
+
+class CrashConsistencyTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string stem = testing::TempDir() + "/rwdom_crash";
+    graph_path_ = stem + "_graph.txt";
+    port_path_ = stem + "_port.txt";
+    cache_dir_ = stem + "_cache";
+    fs::remove_all(cache_dir_);
+    std::remove(port_path_.c_str());
+    std::ofstream file(graph_path_, std::ios::trunc);
+    file << "0 1\n0 2\n0 3\n0 4\n4 5\n";
+    ASSERT_TRUE(file.good());
+  }
+
+  void TearDown() override {
+    if (child_ > 0) {
+      ::kill(child_, SIGKILL);
+      ::waitpid(child_, nullptr, 0);
+      child_ = -1;
+    }
+    fs::remove_all(cache_dir_);
+    std::remove(graph_path_.c_str());
+    std::remove(port_path_.c_str());
+  }
+
+  /// Forks and execs `rwdom serve` over the test graph and cache dir.
+  /// `faults` (may be empty) becomes the child's RWDOM_FAULTS schedule.
+  void SpawnServe(const std::string& faults) {
+    std::remove(port_path_.c_str());
+    const std::string graph_flag = "--graph=" + graph_path_;
+    const std::string port_file_flag = "--port_file=" + port_path_;
+    const std::string cache_flag = "--cache_dir=" + cache_dir_;
+    child_ = ::fork();
+    ASSERT_GE(child_, 0) << "fork failed";
+    if (child_ == 0) {
+      if (faults.empty()) {
+        ::unsetenv("RWDOM_FAULTS");
+      } else {
+        ::setenv("RWDOM_FAULTS", faults.c_str(), 1);
+      }
+      // The child's chatter (serve summary, WARNING logs) is not part of
+      // this test's output.
+      std::freopen("/dev/null", "w", stdout);
+      std::freopen("/dev/null", "w", stderr);
+      ::execl(RWDOM_MAIN_BINARY, "rwdom", "serve", graph_flag.c_str(),
+              "--port=0", port_file_flag.c_str(), cache_flag.c_str(),
+              "--threads=2", static_cast<char*>(nullptr));
+      _exit(127);  // exec failed.
+    }
+  }
+
+  /// The --port_file readiness handshake, same as the CLI smoke tests.
+  int AwaitPort() {
+    int port = 0;
+    for (int i = 0; i < 300 && port == 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      std::ifstream port_file(port_path_);
+      port_file >> port;
+    }
+    EXPECT_GT(port, 0) << "server never wrote --port_file";
+    return port;
+  }
+
+  std::vector<fs::path> TmpFilesInCache() {
+    std::vector<fs::path> tmps;
+    if (!fs::exists(cache_dir_)) return tmps;
+    for (const auto& entry : fs::directory_iterator(cache_dir_)) {
+      if (entry.path().extension() == ".tmp") tmps.push_back(entry.path());
+    }
+    return tmps;
+  }
+
+  std::string graph_path_;
+  std::string port_path_;
+  std::string cache_dir_;
+  pid_t child_ = -1;
+};
+
+TEST_F(CrashConsistencyTest, SigkillMidCheckpointCostsWarmthNeverAnswers) {
+  // Phase 1: serve with the checkpoint writer armed to stall inside the
+  // tmp file — the widest possible crash window between "tmp exists"
+  // and "rename published".
+  SpawnServe("persist.write:1:stall");
+  const int port = AwaitPort();
+  ASSERT_GT(port, 0);
+
+  std::string reference;
+  {
+    auto client = QueryClient::Connect("127.0.0.1", port);
+    ASSERT_TRUE(client.ok()) << client.status();
+    auto response = client->Roundtrip(kSelectLine);
+    ASSERT_TRUE(response.ok()) << response.status();
+    reference = NormalizeSeconds(*response);
+    ASSERT_NE(reference.find("\"command\":\"select\""), std::string::npos)
+        << reference;
+  }
+
+  // The background checkpoint is now stalled with its tmp file open;
+  // wait for the tmp to appear, then kill the process mid-write.
+  bool tmp_seen = false;
+  for (int i = 0; i < 200 && !tmp_seen; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    tmp_seen = !TmpFilesInCache().empty();
+  }
+  ASSERT_TRUE(tmp_seen) << "checkpoint never reached its tmp file";
+  ASSERT_EQ(::kill(child_, SIGKILL), 0);
+  int wait_status = 0;
+  ASSERT_EQ(::waitpid(child_, &wait_status, 0), child_);
+  child_ = -1;
+  ASSERT_TRUE(WIFSIGNALED(wait_status));
+
+  // The crash left torn state on disk — exactly what recovery must
+  // reject — and no published snapshot.
+  ASSERT_FALSE(TmpFilesInCache().empty());
+
+  // Phase 2: restart clean over the same cache dir.
+  SpawnServe("");
+  const int warm_port = AwaitPort();
+  ASSERT_GT(warm_port, 0);
+  auto client = QueryClient::Connect("127.0.0.1", warm_port);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // Recovery rejected (and swept) the torn file, counted and named it.
+  auto stats = client->Roundtrip("{\"command\": \"server_stats\"}");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_NE(stats->find("\"snapshots_recovered\":0"), std::string::npos)
+      << *stats;
+  EXPECT_NE(stats->find("\"snapshots_rejected\":1"), std::string::npos)
+      << *stats;
+  EXPECT_NE(stats->find("interrupted checkpoint"), std::string::npos)
+      << *stats;
+  EXPECT_TRUE(TmpFilesInCache().empty());
+
+  // The same query answers byte-identically — by rebuilding, since the
+  // crash forfeited the snapshot.
+  auto rebuilt = client->Roundtrip(kSelectLine);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status();
+  EXPECT_EQ(NormalizeSeconds(*rebuilt), reference);
+  auto after = client->Roundtrip("{\"command\": \"server_stats\"}");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_NE(after->find("\"index_builds\":1"), std::string::npos) << *after;
+  EXPECT_NE(after->find("\"index_recovered\":0"), std::string::npos)
+      << *after;
+
+  auto bye = client->Roundtrip("{\"command\": \"shutdown\"}");
+  ASSERT_TRUE(bye.ok()) << bye.status();
+  ASSERT_EQ(::waitpid(child_, &wait_status, 0), child_);
+  child_ = -1;
+  EXPECT_TRUE(WIFEXITED(wait_status));
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,146 @@
+// The fault registry's own contract: spec parsing (all-or-nothing),
+// one-shot vs periodic triggers, symbolic errnos, counters, and the
+// unarmed fast path. Every robustness test downstream assumes these
+// semantics, so they get pinned here first.
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <string>
+
+namespace rwdom {
+namespace {
+
+// Each test starts and ends with a clean registry: the registry is
+// process-global by design (schedules ride environment variables into
+// child processes), so tests must not leak arms into each other.
+class FaultTest : public testing::Test {
+ protected:
+  void SetUp() override { ClearFaults(); }
+  void TearDown() override { ClearFaults(); }
+};
+
+TEST_F(FaultTest, UnarmedSitesAlwaysSucceed) {
+  EXPECT_FALSE(FaultsArmedFlag().load());
+  for (std::string_view site : kFaultSites) {
+    EXPECT_TRUE(FaultPoint(site).ok()) << site;
+  }
+  // Unarmed hits are not counted — the fast path takes no locks.
+  EXPECT_EQ(FaultHitCount("persist.write"), 0);
+}
+
+TEST_F(FaultTest, ArmingUnknownSiteIsAnError) {
+  Status status = ArmFault("persist.wirte", FaultSpec{});
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("persist.wirte"), std::string::npos)
+      << status;
+  EXPECT_FALSE(FaultsArmedFlag().load());
+}
+
+TEST_F(FaultTest, OneShotFiresOnTheNthHitThenDisarms) {
+  FaultSpec spec;
+  spec.nth = 3;
+  spec.error = ENOSPC;
+  ASSERT_TRUE(ArmFault("persist.write", spec).ok());
+  EXPECT_TRUE(FaultsArmedFlag().load());
+
+  EXPECT_TRUE(FaultPoint("persist.write").ok());  // hit 1
+  EXPECT_TRUE(FaultPoint("persist.write").ok());  // hit 2
+  Status fired = FaultPoint("persist.write");     // hit 3: fires
+  ASSERT_FALSE(fired.ok());
+  EXPECT_NE(fired.message().find("injected fault at persist.write"),
+            std::string::npos)
+      << fired;
+
+  // One-shot: the site disarmed itself; later hits pass and the armed
+  // flag dropped (no other site was armed).
+  EXPECT_TRUE(FaultPoint("persist.write").ok());
+  EXPECT_FALSE(FaultsArmedFlag().load());
+  EXPECT_EQ(FaultHitCount("persist.write"), 3);
+  EXPECT_EQ(FaultFireCount("persist.write"), 1);
+}
+
+TEST_F(FaultTest, PeriodicFiresOnEveryKthHitForever) {
+  FaultSpec spec;
+  spec.every = 3;
+  ASSERT_TRUE(ArmFault("socket.send", spec).ok());
+  int fires = 0;
+  for (int hit = 1; hit <= 12; ++hit) {
+    const bool failed = !FaultPoint("socket.send").ok();
+    EXPECT_EQ(failed, hit % 3 == 0) << "hit " << hit;
+    fires += failed ? 1 : 0;
+  }
+  EXPECT_EQ(fires, 4);
+  EXPECT_EQ(FaultFireCount("socket.send"), 4);
+  EXPECT_TRUE(FaultsArmedFlag().load());  // Periodic never self-disarms.
+}
+
+TEST_F(FaultTest, ArmResetsTheHitCounterDisarmKeepsIt) {
+  FaultSpec spec;
+  spec.nth = 2;
+  ASSERT_TRUE(ArmFault("index.build", spec).ok());
+  EXPECT_TRUE(FaultPoint("index.build").ok());
+  EXPECT_EQ(FaultHitCount("index.build"), 1);
+
+  DisarmFault("index.build");
+  EXPECT_TRUE(FaultPoint("index.build").ok());  // Disarmed: no fire...
+  EXPECT_EQ(FaultHitCount("index.build"), 1);   // ...and no counting.
+
+  // Re-arming starts a fresh countdown.
+  ASSERT_TRUE(ArmFault("index.build", spec).ok());
+  EXPECT_EQ(FaultHitCount("index.build"), 0);
+  EXPECT_TRUE(FaultPoint("index.build").ok());
+  EXPECT_FALSE(FaultPoint("index.build").ok());
+}
+
+TEST_F(FaultTest, SpecStringParsesTriggersAndSymbolicErrnos) {
+  ASSERT_TRUE(
+      ArmFaultsFromSpec("persist.write:1:ENOSPC,socket.send:%2:EPIPE")
+          .ok());
+
+  Status write_fault = FaultPoint("persist.write");
+  ASSERT_FALSE(write_fault.ok());
+  EXPECT_NE(write_fault.message().find("persist.write"), std::string::npos)
+      << write_fault;
+
+  EXPECT_TRUE(FaultPoint("socket.send").ok());
+  EXPECT_FALSE(FaultPoint("socket.send").ok());
+  EXPECT_TRUE(FaultPoint("socket.send").ok());
+  EXPECT_FALSE(FaultPoint("socket.send").ok());
+}
+
+TEST_F(FaultTest, SpecParsingIsAllOrNothing) {
+  // The second entry is garbage: the first must not be armed either.
+  Status status = ArmFaultsFromSpec("persist.write:1,nonsense-site:1");
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(FaultsArmedFlag().load());
+  EXPECT_TRUE(FaultPoint("persist.write").ok());
+
+  EXPECT_FALSE(ArmFaultsFromSpec("persist.write").ok());     // No trigger.
+  EXPECT_FALSE(ArmFaultsFromSpec("persist.write:0").ok());   // Bad count.
+  EXPECT_FALSE(ArmFaultsFromSpec("persist.write:%0").ok());  // Bad period.
+  EXPECT_FALSE(
+      ArmFaultsFromSpec("persist.write:1:EWHATEVER").ok());  // Bad errno.
+  EXPECT_FALSE(FaultsArmedFlag().load());
+}
+
+TEST_F(FaultTest, RawIntegerErrnoIsAccepted) {
+  ASSERT_TRUE(ArmFaultsFromSpec("persist.rename:1:28").ok());  // ENOSPC.
+  Status fired = FaultPoint("persist.rename");
+  ASSERT_FALSE(fired.ok());
+  EXPECT_NE(fired.message().find("persist.rename"), std::string::npos);
+}
+
+TEST_F(FaultTest, ClearFaultsWipesSpecsAndCounters) {
+  ASSERT_TRUE(ArmFaultsFromSpec("persist.write:%1").ok());
+  EXPECT_FALSE(FaultPoint("persist.write").ok());
+  ClearFaults();
+  EXPECT_FALSE(FaultsArmedFlag().load());
+  EXPECT_TRUE(FaultPoint("persist.write").ok());
+  EXPECT_EQ(FaultHitCount("persist.write"), 0);
+  EXPECT_EQ(FaultFireCount("persist.write"), 0);
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -69,7 +69,7 @@ TEST(QueryContextConcurrencyTest,
         // Every thread touches every key, phase-shifted so first
         // requests collide across threads.
         const ArtifactKey& key = keys[(t + i) % keys.size()];
-        auto index = context.GetIndex(key);
+        auto index = *context.GetIndex(key);
         ASSERT_NE(index, nullptr);
         EXPECT_GT(index->TotalEntries(), 0);
       }
@@ -89,8 +89,8 @@ TEST(QueryContextConcurrencyTest,
                 static_cast<int64_t>(keys.size()));
 
   // A later request is a pure hit and returns the same index object.
-  auto held = context.GetIndex(keys[0]);
-  EXPECT_EQ(held, context.GetIndex(keys[0]));
+  auto held = *context.GetIndex(keys[0]);
+  EXPECT_EQ(held, *context.GetIndex(keys[0]));
   EXPECT_EQ(context.index_builds(), static_cast<int64_t>(keys.size()));
 }
 

@@ -80,7 +80,7 @@ TEST(QueryContextTest, ChangingAnyKeyComponentInvalidatesTheMemo) {
 
 TEST(QueryContextTest, EvictIndexesDropsTheCache) {
   QueryContext context(StarSubstrate());
-  auto held = context.GetIndex(context.MakeKey(3, 20, 42));
+  auto held = *context.GetIndex(context.MakeKey(3, 20, 42));
   EXPECT_EQ(context.MemoryUsage().size(), 2u);  // graph + 1 index.
   context.EvictIndexes();
   EXPECT_EQ(context.MemoryUsage().size(), 1u);

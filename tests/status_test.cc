@@ -24,7 +24,9 @@ TEST(StatusTest, AllCodesHaveNames) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kIoError, StatusCode::kCorruption, StatusCode::kOutOfRange,
-        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
+        StatusCode::kUnavailable}) {
     EXPECT_FALSE(StatusCodeToString(code).empty());
     EXPECT_NE(StatusCodeToString(code), "Unknown");
   }
