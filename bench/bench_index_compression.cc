@@ -1,0 +1,170 @@
+// Compression receipt for the inverted walk index: bytes/entry of the
+// delta+varint posting layout vs. the former raw CSR, plus the decode +
+// tally scan cost at scalar and best-SIMD kernel levels.
+//
+// This is a gate, not just a report. The binary exits non-zero if
+//   - any decoded posting list diverges from a brute-force inversion of
+//     the identical walk streams (the codec must be lossless), or
+//   - the compression ratio falls under 2x on the CAGrQc stand-in (the
+//     layout's reason to exist).
+// Ratio and bytes/entry are correctness-tier JSON fields (the bench
+// gate holds them within tolerance); *_seconds fields are informational.
+// JSON output: BENCH_index_compression.json via --json_dir.
+#include <cstdio>
+#include <vector>
+
+#include "harness/dataset_registry.h"
+#include "harness/experiment.h"
+#include "index/gain_state.h"
+#include "index/inverted_walk_index.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/simd.h"
+#include "util/timer.h"
+#include "walk/walk_source.h"
+
+namespace rwdom {
+namespace {
+
+// Replays the exact (node, replicate) walk streams Build() consumed and
+// inverts them by hand; any divergence from DecodeList is a codec bug.
+bool VerifyLossless(const InvertedWalkIndex& index, const Graph& graph,
+                    uint64_t seed) {
+  RandomWalkSource replay(&graph, seed);
+  const NodeId n = graph.num_nodes();
+  std::vector<NodeId> walk;
+  for (int32_t i = 0; i < index.num_replicates(); ++i) {
+    std::vector<std::vector<InvertedWalkIndex::Entry>> expected(
+        static_cast<size_t>(n));
+    std::vector<bool> visited(static_cast<size_t>(n));
+    for (NodeId w = 0; w < n; ++w) {
+      replay.SampleWalkStream(w, static_cast<uint64_t>(i), index.length(),
+                              &walk);
+      visited.assign(static_cast<size_t>(n), false);
+      visited[static_cast<size_t>(walk[0])] = true;
+      for (size_t j = 1; j < walk.size(); ++j) {
+        if (visited[static_cast<size_t>(walk[j])]) continue;
+        visited[static_cast<size_t>(walk[j])] = true;
+        expected[static_cast<size_t>(walk[j])].push_back(
+            {w, static_cast<int32_t>(j)});
+      }
+    }
+    for (NodeId v = 0; v < n; ++v) {
+      if (index.DecodeList(i, v) != expected[static_cast<size_t>(v)]) {
+        std::fprintf(stderr, "DECODE MISMATCH replicate=%d node=%d\n", i,
+                     v);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Full decode + savings-tally sweep over every list — the CELF hot loop's
+// memory-access shape — at the currently bound kernel level.
+double TimeScanTally(const InvertedWalkIndex& index, int rounds) {
+  std::vector<int32_t> d(static_cast<size_t>(index.num_nodes()),
+                         index.length());
+  WallTimer timer;
+  int64_t total = 0;
+  for (int round = 0; round < rounds; ++round) {
+    for (int32_t i = 0; i < index.num_replicates(); ++i) {
+      for (NodeId v = 0; v < index.num_nodes(); ++v) {
+        for (auto cursor = index.List(i, v); cursor.Next();) {
+          total += TallySavings(d.data(), cursor.ids(), cursor.weights(),
+                                cursor.count());
+        }
+      }
+    }
+  }
+  const double seconds = timer.Seconds();
+  RWDOM_CHECK_GE(total, 0);  // Keep the sweep observable.
+  return seconds / rounds;
+}
+
+int Run(int argc, char** argv) {
+  BenchArgs args = ParseBenchArgs(argc, argv);
+  PrintBanner("index_compression",
+              "compressed posting layout: bytes/entry, ratio, scan cost",
+              args);
+
+  const double scale = args.full ? 1.0 : 0.05;
+  auto dataset =
+      LoadOrSynthesizeScaledDataset("CAGrQc", args.data_dir, scale);
+  RWDOM_CHECK(dataset.ok()) << dataset.status();
+  const Graph& graph = dataset->graph;
+  const int32_t length = 6;
+  const int32_t replicates = args.full ? 100 : 50;
+  std::printf("dataset=%s n=%d m=%lld L=%d R=%d (scale=%.2f)\n\n",
+              dataset->name.c_str(), graph.num_nodes(),
+              static_cast<long long>(graph.num_edges()), length, replicates,
+              scale);
+
+  WallTimer build_timer;
+  RandomWalkSource source(&graph, args.seed);
+  InvertedWalkIndex index =
+      InvertedWalkIndex::Build(length, replicates, &source);
+  const double build_seconds = build_timer.Seconds();
+
+  const bool lossless = VerifyLossless(index, graph, args.seed);
+
+  const int64_t entries = index.TotalEntries();
+  const int64_t compressed = index.MemoryUsageBytes();
+  const int64_t raw = index.UncompressedBytes();
+  const double bpe_compressed =
+      static_cast<double>(compressed) / static_cast<double>(entries);
+  const double bpe_raw =
+      static_cast<double>(raw) / static_cast<double>(entries);
+  const double ratio =
+      static_cast<double>(raw) / static_cast<double>(compressed);
+
+  const int rounds = args.full ? 20 : 5;
+  SetSimdLevelForTest(SimdLevel::kScalar);
+  const double scalar_seconds = TimeScanTally(index, rounds);
+  const SimdLevel best = SetSimdLevelForTest(MaxSupportedSimdLevel());
+  const double simd_seconds = TimeScanTally(index, rounds);
+
+  std::printf("entries=%lld compressed=%lld bytes raw=%lld bytes\n",
+              static_cast<long long>(entries),
+              static_cast<long long>(compressed),
+              static_cast<long long>(raw));
+  std::printf("bytes/entry: compressed=%.3f raw=%.3f ratio=%.2fx\n",
+              bpe_compressed, bpe_raw, ratio);
+  std::printf("scan+tally: scalar=%.3f ms %s=%.3f ms (%.2fx)\n",
+              scalar_seconds * 1e3, SimdLevelName(best),
+              simd_seconds * 1e3,
+              simd_seconds > 0.0 ? scalar_seconds / simd_seconds : 0.0);
+  std::printf("build=%.3f ms; postings %s; ratio %s 2x target\n",
+              build_seconds * 1e3,
+              lossless ? "lossless" : "MISMATCH",
+              ratio >= 2.0 ? "meets" : "MISSES");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench").String("index_compression");
+  json.Key("dataset").String(dataset->name);
+  json.Key("n").Int(graph.num_nodes());
+  json.Key("L").Int(length);
+  json.Key("R").Int(replicates);
+  json.Key("seed").Int(static_cast<int64_t>(args.seed));
+  json.Key("entries").Int(entries);
+  json.Key("compressed_bytes").Int(compressed);
+  json.Key("raw_bytes").Int(raw);
+  json.Key("bytes_per_entry_compressed").Number(bpe_compressed);
+  json.Key("bytes_per_entry_raw").Number(bpe_raw);
+  json.Key("compression_ratio").Number(ratio);
+  json.Key("lossless").Bool(lossless);
+  json.Key("simd_level").String(SimdLevelName(best));
+  json.Key("build_seconds").Number(build_seconds);
+  json.Key("scan_scalar_seconds").Number(scalar_seconds);
+  json.Key("scan_simd_seconds").Number(simd_seconds);
+  json.EndObject();
+  MaybeDumpJson(args, "index_compression", json.ToString());
+
+  return (lossless && ratio >= 2.0) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rwdom
+
+int main(int argc, char** argv) { return rwdom::Run(argc, argv); }

@@ -10,6 +10,7 @@
 #include "index/gain_state.h"
 #include "index/inverted_walk_index.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 #include "walk/hit_probability_dp.h"
 #include "walk/hitting_time_dp.h"
 #include "walk/sampled_evaluator.h"
@@ -146,6 +147,116 @@ void BM_SampledEvaluator(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * graph.num_nodes() * samples);
 }
 BENCHMARK(BM_SampledEvaluator)->Arg(10)->Arg(50);
+
+// --- Posting decode + tally kernels (the compressed-index hot loop) ---
+
+const InvertedWalkIndex& BenchIndex() {
+  static const InvertedWalkIndex* const kIndex = [] {
+    RandomWalkSource source(&BenchGraph(), 3);
+    return new InvertedWalkIndex(InvertedWalkIndex::Build(6, 50, &source));
+  }();
+  return *kIndex;
+}
+
+// Block-decode every list and run the savings tally, at the SIMD level
+// named by the benchmark argument (0=scalar, 1=sse42, 2=avx2; levels the
+// CPU lacks silently clamp, so cross-machine JSON stays comparable).
+void BM_CompressedScanTally(benchmark::State& state) {
+  const InvertedWalkIndex& index = BenchIndex();
+  const SimdLevel requested = static_cast<SimdLevel>(state.range(0));
+  const SimdLevel bound = SetSimdLevelForTest(requested);
+  if (bound != requested) {
+    state.SkipWithError("SIMD level unsupported on this CPU");
+    SetSimdLevelForTest(ActiveSimdLevel());
+    return;
+  }
+  std::vector<int32_t> d(static_cast<size_t>(index.num_nodes()),
+                         index.length());
+  for (auto _ : state) {
+    int64_t total = 0;
+    for (int32_t i = 0; i < index.num_replicates(); ++i) {
+      for (NodeId v = 0; v < index.num_nodes(); ++v) {
+        for (auto cursor = index.List(i, v); cursor.Next();) {
+          total += TallySavings(d.data(), cursor.ids(), cursor.weights(),
+                                cursor.count());
+        }
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * index.TotalEntries());
+  SetSimdLevelForTest(MaxSupportedSimdLevel());
+}
+BENCHMARK(BM_CompressedScanTally)->Arg(0)->Arg(1)->Arg(2);
+
+// The same tally over pre-decoded (raw CSR) arrays — isolates the decode
+// cost the compressed layout adds and the bandwidth it saves.
+void BM_RawScanTally(benchmark::State& state) {
+  const InvertedWalkIndex& index = BenchIndex();
+  const SimdLevel requested = static_cast<SimdLevel>(state.range(0));
+  const SimdLevel bound = SetSimdLevelForTest(requested);
+  if (bound != requested) {
+    state.SkipWithError("SIMD level unsupported on this CPU");
+    SetSimdLevelForTest(ActiveSimdLevel());
+    return;
+  }
+  // Flatten to one ids/weights pair per replicate (list bounds dropped:
+  // the savings tally is list-oblivious).
+  std::vector<std::vector<int32_t>> ids(
+      static_cast<size_t>(index.num_replicates()));
+  std::vector<std::vector<int32_t>> weights(ids.size());
+  for (int32_t i = 0; i < index.num_replicates(); ++i) {
+    for (NodeId v = 0; v < index.num_nodes(); ++v) {
+      for (const auto& e : index.DecodeList(i, v)) {
+        ids[static_cast<size_t>(i)].push_back(e.id);
+        weights[static_cast<size_t>(i)].push_back(e.weight);
+      }
+    }
+  }
+  std::vector<int32_t> d(static_cast<size_t>(index.num_nodes()),
+                         index.length());
+  for (auto _ : state) {
+    int64_t total = 0;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      total += TallySavings(d.data(), ids[i].data(), weights[i].data(),
+                            static_cast<int32_t>(ids[i].size()));
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() * index.TotalEntries());
+  SetSimdLevelForTest(MaxSupportedSimdLevel());
+}
+BENCHMARK(BM_RawScanTally)->Arg(0)->Arg(2);
+
+void BM_FirstHitBatch(benchmark::State& state) {
+  const Graph& graph = BenchGraph();
+  const SimdLevel requested = static_cast<SimdLevel>(state.range(0));
+  const SimdLevel bound = SetSimdLevelForTest(requested);
+  if (bound != requested) {
+    state.SkipWithError("SIMD level unsupported on this CPU");
+    SetSimdLevelForTest(ActiveSimdLevel());
+    return;
+  }
+  const int32_t row_len = 7;
+  const int64_t rows = 512;
+  NodeFlagSet targets(graph.num_nodes(), {1, 5, 9, 42, 137});
+  std::vector<int32_t> matrix(static_cast<size_t>(rows) * row_len);
+  uint64_t x = 1;
+  for (int32_t& id : matrix) {  // xorshift-filled node ids
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    id = static_cast<int32_t>(x % static_cast<uint64_t>(graph.num_nodes()));
+  }
+  for (auto _ : state) {
+    FirstHitTally tally =
+        TallyFirstHits(targets.flags_data(), matrix.data(), rows, row_len);
+    benchmark::DoNotOptimize(tally.hits);
+  }
+  state.SetItemsProcessed(state.iterations() * rows * row_len);
+  SetSimdLevelForTest(MaxSupportedSimdLevel());
+}
+BENCHMARK(BM_FirstHitBatch)->Arg(0)->Arg(2);
 
 void BM_GeneratePowerLaw(benchmark::State& state) {
   const NodeId n = static_cast<NodeId>(state.range(0));

@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
       uint64_t index_hash = kFnvOffset;
       for (int32_t i = 0; i < index.num_replicates(); ++i) {
         for (NodeId v = 0; v < index.num_nodes(); ++v) {
-          for (const InvertedWalkIndex::Entry& e : index.List(i, v)) {
+          for (const InvertedWalkIndex::Entry& e : index.DecodeList(i, v)) {
             index_hash = mix(index_hash,
                              (static_cast<uint64_t>(static_cast<uint32_t>(
                                   e.id))

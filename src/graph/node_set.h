@@ -8,6 +8,7 @@
 
 #include "graph/graph.h"
 #include "util/logging.h"
+#include "util/simd.h"
 
 namespace rwdom {
 
@@ -15,9 +16,14 @@ namespace rwdom {
 /// greedy algorithms only ever grow S.
 class NodeFlagSet {
  public:
-  /// Empty set over a universe of `universe_size` nodes.
+  /// Empty set over a universe of `universe_size` nodes. The flag array
+  /// carries kFlagsPadBytes of zeroed slack so SIMD gathers over
+  /// flags_data() may read past the last node (util/simd.h contract).
   explicit NodeFlagSet(NodeId universe_size)
-      : flags_(static_cast<size_t>(universe_size), 0) {
+      : universe_(universe_size),
+        flags_(static_cast<size_t>(universe_size) +
+                   static_cast<size_t>(kFlagsPadBytes),
+               0) {
     RWDOM_CHECK_GE(universe_size, 0);
   }
 
@@ -29,7 +35,7 @@ class NodeFlagSet {
 
   /// Adds `u`; returns false if already present.
   bool Insert(NodeId u) {
-    RWDOM_DCHECK(u >= 0 && static_cast<size_t>(u) < flags_.size());
+    RWDOM_DCHECK(u >= 0 && u < universe_);
     if (flags_[static_cast<size_t>(u)]) return false;
     flags_[static_cast<size_t>(u)] = 1;
     members_.push_back(u);
@@ -37,18 +43,24 @@ class NodeFlagSet {
   }
 
   bool Contains(NodeId u) const {
-    RWDOM_DCHECK(u >= 0 && static_cast<size_t>(u) < flags_.size());
+    RWDOM_DCHECK(u >= 0 && u < universe_);
     return flags_[static_cast<size_t>(u)] != 0;
   }
 
-  NodeId universe_size() const { return static_cast<NodeId>(flags_.size()); }
+  NodeId universe_size() const { return universe_; }
   size_t size() const { return members_.size(); }
   bool empty() const { return members_.empty(); }
+
+  /// Raw 0/1 flag bytes, one per node, with kFlagsPadBytes of readable
+  /// (zero) slack after the last — the layout the SIMD first-hit kernel
+  /// gathers from.
+  const uint8_t* flags_data() const { return flags_.data(); }
 
   /// Members in insertion order.
   const std::vector<NodeId>& members() const { return members_; }
 
  private:
+  NodeId universe_ = 0;
   std::vector<uint8_t> flags_;
   std::vector<NodeId> members_;
 };

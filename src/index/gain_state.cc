@@ -2,6 +2,7 @@
 
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 
 namespace rwdom {
 
@@ -19,33 +20,37 @@ GainState::GainState(const InvertedWalkIndex* index, Problem problem)
 double GainState::ApproxGain(NodeId u) const {
   RWDOM_DCHECK(u >= 0 && u < index_.num_nodes());
   const int32_t replicates = index_.num_replicates();
-  double gain = 0.0;
+  const size_t n = static_cast<size_t>(index_.num_nodes());
+  // Every summand is an integer bounded by L, so the whole gain
+  // accumulates exactly in int64 and converts to double once — which is
+  // why scalar and SIMD tallies (and any thread count) agree bit for bit.
+  int64_t total = 0;
   if (problem_ == Problem::kHittingTime) {
     for (int32_t i = 0; i < replicates; ++i) {
+      const int32_t* d_row = d_.data() + static_cast<size_t>(i) * n;
       // u's own contribution: adding u zeroes h_uS, saving D[i][u].
-      double sigma = static_cast<double>(d_[DIndex(i, u)]);
+      int64_t sigma = d_row[static_cast<size_t>(u)];
       // Every walk that reaches u at hop j earlier than its current hit of
       // S improves by D[i][w] - j.
-      for (const InvertedWalkIndex::Entry& entry : index_.List(i, u)) {
-        const int32_t current = d_[DIndex(i, entry.id)];
-        if (entry.weight < current) {
-          sigma += static_cast<double>(current - entry.weight);
-        }
+      for (auto cursor = index_.List(i, u); cursor.Next();) {
+        sigma += TallySavings(d_row, cursor.ids(), cursor.weights(),
+                              cursor.count());
       }
-      gain += sigma;
+      total += sigma;
     }
   } else {
     for (int32_t i = 0; i < replicates; ++i) {
+      const int32_t* d_row = d_.data() + static_cast<size_t>(i) * n;
       // u's own contribution: it becomes dominated with probability 1.
-      double rho = static_cast<double>(1 - d_[DIndex(i, u)]);
+      int64_t rho = 1 - d_row[static_cast<size_t>(u)];
       // Every walk that reaches u but does not yet hit S becomes a hit.
-      for (const InvertedWalkIndex::Entry& entry : index_.List(i, u)) {
-        if (d_[DIndex(i, entry.id)] == 0) rho += 1.0;
+      for (auto cursor = index_.List(i, u); cursor.Next();) {
+        rho += TallyZeros(d_row, cursor.ids(), cursor.count());
       }
-      gain += rho;
+      total += rho;
     }
   }
-  return gain / static_cast<double>(replicates);
+  return static_cast<double>(total) / static_cast<double>(replicates);
 }
 
 void GainState::ApproxGainAll(std::vector<double>* gains) const {
@@ -60,19 +65,29 @@ void GainState::Commit(NodeId u) {
   RWDOM_CHECK(u >= 0 && u < index_.num_nodes());
   RWDOM_CHECK(selected_.Insert(u)) << "node " << u << " committed twice";
   const int32_t replicates = index_.num_replicates();
+  const size_t n = static_cast<size_t>(index_.num_nodes());
   if (problem_ == Problem::kHittingTime) {
     for (int32_t i = 0; i < replicates; ++i) {
-      d_[DIndex(i, u)] = 0;  // h_{u,S∪{u}} = 0.
-      for (const InvertedWalkIndex::Entry& entry : index_.List(i, u)) {
-        int32_t& current = d_[DIndex(i, entry.id)];
-        if (entry.weight < current) current = entry.weight;
+      int32_t* d_row = d_.data() + static_cast<size_t>(i) * n;
+      d_row[static_cast<size_t>(u)] = 0;  // h_{u,S∪{u}} = 0.
+      for (auto cursor = index_.List(i, u); cursor.Next();) {
+        const int32_t* ids = cursor.ids();
+        const int32_t* weights = cursor.weights();
+        for (int32_t k = 0; k < cursor.count(); ++k) {
+          int32_t& current = d_row[static_cast<size_t>(ids[k])];
+          if (weights[k] < current) current = weights[k];
+        }
       }
     }
   } else {
     for (int32_t i = 0; i < replicates; ++i) {
-      d_[DIndex(i, u)] = 1;
-      for (const InvertedWalkIndex::Entry& entry : index_.List(i, u)) {
-        d_[DIndex(i, entry.id)] = 1;
+      int32_t* d_row = d_.data() + static_cast<size_t>(i) * n;
+      d_row[static_cast<size_t>(u)] = 1;
+      for (auto cursor = index_.List(i, u); cursor.Next();) {
+        const int32_t* ids = cursor.ids();
+        for (int32_t k = 0; k < cursor.count(); ++k) {
+          d_row[static_cast<size_t>(ids[k])] = 1;
+        }
       }
     }
   }
@@ -85,11 +100,14 @@ double GainState::EstimatedObjective() const {
   double total = 0.0;
   for (NodeId v = 0; v < n; ++v) {
     if (selected_.Contains(v)) continue;
-    double mean = 0.0;
+    // Exact int64 per-node sum, one double conversion per node — the same
+    // value (bit for bit) the former all-double accumulation produced,
+    // since every partial sum stayed below 2^53.
+    int64_t mean_sum = 0;
     for (int32_t i = 0; i < replicates; ++i) {
-      mean += static_cast<double>(d_[DIndex(i, v)]);
+      mean_sum += d_[DIndex(i, v)];
     }
-    total += mean * r_inv;
+    total += static_cast<double>(mean_sum) * r_inv;
   }
   if (problem_ == Problem::kHittingTime) {
     // F̂1 = nL - sum_{v not in S} ĥ_vS.

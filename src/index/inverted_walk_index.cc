@@ -1,6 +1,7 @@
 #include "index/inverted_walk_index.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -55,21 +56,64 @@ void InvertWalkRange(WalkSource* source, int32_t replicate, int32_t length,
 
 }  // namespace
 
+InvertedWalkIndex::Replicate InvertedWalkIndex::Compress(
+    NodeId num_nodes, int32_t weight_bits, const RawReplicate& raw) {
+  constexpr size_t kU32Max = std::numeric_limits<uint32_t>::max();
+  RWDOM_CHECK_LE(raw.entries.size(), kU32Max)
+      << "replicate too large for compressed u32 entry offsets";
+  Replicate rep;
+  rep.entry_offsets.resize(static_cast<size_t>(num_nodes) + 1);
+  rep.byte_offsets.resize(static_cast<size_t>(num_nodes) + 1);
+  // Typical delta+varint output runs 1-2 bytes per posting; reserving 2
+  // avoids most regrowth, shrink_to_fit below returns the slack.
+  rep.data.reserve(raw.entries.size() * 2);
+  for (size_t v = 0; v < static_cast<size_t>(num_nodes); ++v) {
+    rep.entry_offsets[v] = static_cast<uint32_t>(raw.offsets[v]);
+    rep.byte_offsets[v] = static_cast<uint32_t>(rep.data.size());
+    EncodePostingList(
+        raw.entries.data() + raw.offsets[v],
+        static_cast<size_t>(raw.offsets[v + 1] - raw.offsets[v]),
+        weight_bits, &rep.data);
+  }
+  rep.entry_offsets[static_cast<size_t>(num_nodes)] =
+      static_cast<uint32_t>(raw.entries.size());
+  RWDOM_CHECK_LE(rep.data.size(), kU32Max)
+      << "replicate too large for compressed u32 byte offsets";
+  rep.byte_offsets[static_cast<size_t>(num_nodes)] =
+      static_cast<uint32_t>(rep.data.size());
+  rep.data.shrink_to_fit();
+  return rep;
+}
+
+InvertedWalkIndex InvertedWalkIndex::FromRawCsr(
+    NodeId num_nodes, int32_t length, std::vector<RawReplicate> raw) {
+  const int32_t weight_bits = PostingWeightBits(length);
+  std::vector<Replicate> replicates;
+  replicates.reserve(raw.size());
+  for (const RawReplicate& rep : raw) {
+    replicates.push_back(Compress(num_nodes, weight_bits, rep));
+  }
+  return InvertedWalkIndex(num_nodes, length, std::move(replicates));
+}
+
 InvertedWalkIndex InvertedWalkIndex::Build(int32_t length,
                                            int32_t num_replicates,
                                            WalkSource* source) {
   RWDOM_CHECK_GE(length, 0);
   RWDOM_CHECK_GE(num_replicates, 1);
   const NodeId n = source->num_nodes();
+  const int32_t weight_bits = PostingWeightBits(length);
   const bool streams = source->has_deterministic_streams();
 
   std::vector<Replicate> replicates(static_cast<size_t>(num_replicates));
 
   // Counting sort of one replicate's raw postings (in ascending-source
-  // order) into its CSR arrays; `counts` holds per-target totals.
+  // order) into a transient CSR; `counts` holds per-target totals. The
+  // caller compresses the CSR away immediately, so at most one (per
+  // thread) uncompressed replicate is ever resident.
   const auto build_csr = [n](const std::vector<RawPosting>& raw,
                              const std::vector<int64_t>& counts,
-                             Replicate* rep) {
+                             RawReplicate* rep) {
     rep->offsets.assign(static_cast<size_t>(n) + 1, 0);
     for (size_t v = 0; v < static_cast<size_t>(n); ++v) {
       rep->offsets[v + 1] = rep->offsets[v] + counts[v];
@@ -94,12 +138,14 @@ InvertedWalkIndex InvertedWalkIndex::Build(int32_t length,
     std::vector<RawPosting> raw;
     raw.reserve(MaxPostings(n, length, n));
     std::vector<int64_t> counts;
+    RawReplicate csr;
     for (int32_t i = 0; i < num_replicates; ++i) {
       raw.clear();
       counts.assign(static_cast<size_t>(n), 0);
       InvertWalkRange(source, i, length, 0, n, /*use_streams=*/false,
                       &visited_stamp, &stamp, &raw, &counts);
-      build_csr(raw, counts, &replicates[static_cast<size_t>(i)]);
+      build_csr(raw, counts, &csr);
+      replicates[static_cast<size_t>(i)] = Compress(n, weight_bits, csr);
     }
     return InvertedWalkIndex(n, length, std::move(replicates));
   }
@@ -107,7 +153,8 @@ InvertedWalkIndex InvertedWalkIndex::Build(int32_t length,
   if (num_replicates >= NumThreads()) {
     // Whole replicates in parallel: zero serial fraction, and walks come
     // from per-(node, replicate) streams so the result is identical for
-    // any thread count or schedule.
+    // any thread count or schedule. Compression is a pure per-replicate
+    // function, so it parallelizes (and stays deterministic) for free.
     ParallelFor(0, num_replicates, [&](int64_t i) {
       std::vector<int64_t> visited_stamp(static_cast<size_t>(n), -1);
       int64_t stamp = 0;
@@ -117,7 +164,9 @@ InvertedWalkIndex InvertedWalkIndex::Build(int32_t length,
       InvertWalkRange(source, static_cast<int32_t>(i), length, 0, n,
                       /*use_streams=*/true, &visited_stamp, &stamp, &raw,
                       &counts);
-      build_csr(raw, counts, &replicates[static_cast<size_t>(i)]);
+      RawReplicate csr;
+      build_csr(raw, counts, &csr);
+      replicates[static_cast<size_t>(i)] = Compress(n, weight_bits, csr);
     });
     return InvertedWalkIndex(n, length, std::move(replicates));
   }
@@ -126,7 +175,8 @@ InvertedWalkIndex InvertedWalkIndex::Build(int32_t length,
   // chunks. Per-chunk raw vectors concatenate in chunk order, preserving
   // the ascending-source order the counting sort relies on; the CSR fill
   // is parallel too, each chunk writing through its own pre-computed
-  // per-target cursors.
+  // per-target cursors. Compression then runs serially per replicate (its
+  // byte offsets are a prefix scan), still bit-identical by construction.
   const int max_chunks = std::max(MaxChunks(n), 1);
   std::vector<std::vector<RawPosting>> raw(static_cast<size_t>(max_chunks));
   std::vector<std::vector<int64_t>> counts(static_cast<size_t>(max_chunks));
@@ -144,27 +194,27 @@ InvertedWalkIndex InvertedWalkIndex::Build(int32_t length,
                       &visited_stamp, &stamp, &my_raw, &my_counts);
     });
 
-    Replicate& rep = replicates[static_cast<size_t>(i)];
-    rep.offsets.assign(static_cast<size_t>(n) + 1, 0);
+    RawReplicate csr;
+    csr.offsets.assign(static_cast<size_t>(n) + 1, 0);
     size_t total = 0;
     for (int c = 0; c < max_chunks; ++c) {
       if (counts[static_cast<size_t>(c)].empty()) continue;
       total += raw[static_cast<size_t>(c)].size();
       for (size_t v = 0; v < static_cast<size_t>(n); ++v) {
-        rep.offsets[v + 1] += counts[static_cast<size_t>(c)][v];
+        csr.offsets[v + 1] += counts[static_cast<size_t>(c)][v];
       }
     }
     for (size_t v = 1; v <= static_cast<size_t>(n); ++v) {
-      rep.offsets[v] += rep.offsets[v - 1];
+      csr.offsets[v] += csr.offsets[v - 1];
     }
-    rep.entries.resize(total);
+    csr.entries.resize(total);
 
     // chunk_cursor[c][v]: where chunk c's postings for target v start —
     // offsets[v] plus everything earlier chunks contribute to v.
     std::vector<std::vector<int64_t>> chunk_cursor(
         static_cast<size_t>(max_chunks));
-    std::vector<int64_t> running(rep.offsets.begin(),
-                                 rep.offsets.end() - 1);
+    std::vector<int64_t> running(csr.offsets.begin(),
+                                 csr.offsets.end() - 1);
     for (int c = 0; c < max_chunks; ++c) {
       if (counts[static_cast<size_t>(c)].empty()) continue;
       chunk_cursor[static_cast<size_t>(c)] = running;
@@ -176,18 +226,32 @@ InvertedWalkIndex InvertedWalkIndex::Build(int32_t length,
       auto& cursor = chunk_cursor[static_cast<size_t>(c)];
       if (cursor.empty()) return;
       for (const RawPosting& p : raw[static_cast<size_t>(c)]) {
-        rep.entries[static_cast<size_t>(
+        csr.entries[static_cast<size_t>(
             cursor[static_cast<size_t>(p.target)]++)] = {p.source, p.hop};
       }
     });
+    replicates[static_cast<size_t>(i)] = Compress(n, weight_bits, csr);
   }
   return InvertedWalkIndex(n, length, std::move(replicates));
+}
+
+std::vector<InvertedWalkIndex::Entry> InvertedWalkIndex::DecodeList(
+    int32_t replicate, NodeId v) const {
+  std::vector<Entry> entries;
+  PostingCursor cursor = List(replicate, v);
+  entries.reserve(static_cast<size_t>(cursor.total_entries()));
+  while (cursor.Next()) {
+    for (int32_t k = 0; k < cursor.count(); ++k) {
+      entries.push_back({cursor.ids()[k], cursor.weights()[k]});
+    }
+  }
+  return entries;
 }
 
 int64_t InvertedWalkIndex::TotalEntries() const {
   int64_t total = 0;
   for (const Replicate& rep : replicates_) {
-    total += static_cast<int64_t>(rep.entries.size());
+    total += static_cast<int64_t>(rep.entry_offsets.back());
   }
   return total;
 }
@@ -195,10 +259,20 @@ int64_t InvertedWalkIndex::TotalEntries() const {
 int64_t InvertedWalkIndex::MemoryUsageBytes() const {
   int64_t total = 0;
   for (const Replicate& rep : replicates_) {
-    total += static_cast<int64_t>(rep.offsets.capacity() * sizeof(int64_t) +
-                                  rep.entries.capacity() * sizeof(Entry));
+    total += static_cast<int64_t>(
+        rep.entry_offsets.capacity() * sizeof(uint32_t) +
+        rep.byte_offsets.capacity() * sizeof(uint32_t) +
+        rep.data.capacity());
   }
   return total;
+}
+
+int64_t InvertedWalkIndex::UncompressedBytes() const {
+  const int64_t offsets_bytes =
+      (static_cast<int64_t>(num_nodes_) + 1) *
+      static_cast<int64_t>(sizeof(int64_t));
+  return static_cast<int64_t>(replicates_.size()) * offsets_bytes +
+         TotalEntries() * static_cast<int64_t>(sizeof(Entry));
 }
 
 }  // namespace rwdom

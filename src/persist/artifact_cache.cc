@@ -134,7 +134,10 @@ Result<int64_t> ArtifactCache::RecoverInto(QueryContext& context) {
       context.RecordSnapshotRecovered();
       ++adopted;
       RWDOM_LOG(INFO) << "cache: recovered " << key.CanonicalString()
-                      << " from " << name;
+                      << " from " << name
+                      << (snapshot->version < 3
+                              ? " (legacy format, recompressed)"
+                              : "");
     }
   }
   return adopted;

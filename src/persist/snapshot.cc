@@ -1,5 +1,6 @@
 #include "persist/snapshot.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -7,8 +8,10 @@
 #include <utility>
 #include <vector>
 
+#include "index/postings_codec.h"
 #include "util/fault.h"
 #include "util/fingerprint.h"
+#include "util/logging.h"
 #include "util/strings.h"
 
 namespace rwdom {
@@ -16,9 +19,15 @@ namespace {
 
 constexpr char kMagic[4] = {'R', 'W', 'D', 'X'};
 constexpr uint32_t kVersionLegacy = 1;
-constexpr uint32_t kVersion = 2;
-// v2 header bytes [16, 48): the span the header checksum covers.
+constexpr uint32_t kVersionRawCsr = 2;
+constexpr uint32_t kVersion = 3;
+// v2+/v3 header bytes [16, 48): the span the header checksum covers.
 constexpr size_t kHeaderBodyBytes = 32;
+// v3 posting streams are checksummed in independent blocks of this size.
+constexpr uint64_t kDataBlockBytes = 64 * 1024;
+// LEB128 never exceeds 10 bytes, so data_bytes beyond entry_count * 10 is
+// corruption — caught before the allocation it would size.
+constexpr uint64_t kMaxVarintBytes = 10;
 
 template <typename T>
 void WritePod(std::ofstream& out, const T& value) {
@@ -31,14 +40,15 @@ bool ReadPod(std::ifstream& in, T* value) {
   return in.good();
 }
 
-/// Shared structural validation: CSR offsets monotone from 0 to
-/// entry_count, every posting in range. Both format versions must pass —
-/// a snapshot that decodes but violates the index invariants would crash
+/// Structural validation of a legacy raw-CSR replicate: offsets monotone
+/// from 0 to entry_count, every posting in range, ids strictly ascending
+/// within each list (the recompression encoder requires positive deltas).
+/// A snapshot that decodes but violates the index invariants would crash
 /// the selectors later, which is worse than a rejection now.
-Status ValidateReplicate(const std::vector<int64_t>& offsets,
-                         const std::vector<InvertedWalkIndex::Entry>& entries,
-                         int64_t entry_count, NodeId num_nodes,
-                         int32_t length, const std::string& path) {
+Status ValidateRawReplicate(
+    const std::vector<int64_t>& offsets,
+    const std::vector<InvertedWalkIndex::Entry>& entries, int64_t entry_count,
+    NodeId num_nodes, int32_t length, const std::string& path) {
   if (offsets.front() != 0 || offsets.back() != entry_count) {
     return Status::Corruption("offset bounds mismatch: " + path);
   }
@@ -53,6 +63,14 @@ Status ValidateReplicate(const std::vector<int64_t>& offsets,
       return Status::Corruption("entry out of range: " + path);
     }
   }
+  for (size_t v = 0; v + 1 < offsets.size(); ++v) {
+    for (int64_t k = offsets[v] + 1; k < offsets[v + 1]; ++k) {
+      if (entries[static_cast<size_t>(k)].id <=
+          entries[static_cast<size_t>(k - 1)].id) {
+        return Status::Corruption("unsorted posting list: " + path);
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -62,7 +80,7 @@ struct HeaderV2 {
   int32_t num_replicates = 0;
 };
 
-/// Reads + checksums the v2 header body (the magic and version are
+/// Reads + checksums the v2/v3 header body (the magic and version are
 /// already consumed). Shared by Load and Inspect.
 Result<HeaderV2> ReadHeaderV2(std::ifstream& in, const std::string& path) {
   uint64_t header_checksum = 0;
@@ -94,11 +112,43 @@ Result<HeaderV2> ReadHeaderV2(std::ifstream& in, const std::string& path) {
   return header;
 }
 
+/// Per-replicate v3 section preamble.
+struct SectionV3 {
+  uint64_t entry_count = 0;
+  uint64_t data_bytes = 0;
+  uint64_t offsets_checksum = 0;
+};
+
+Result<SectionV3> ReadSectionV3(std::ifstream& in, const HeaderV2& header,
+                                const std::string& path) {
+  SectionV3 section;
+  if (!ReadPod(in, &section.entry_count) ||
+      !ReadPod(in, &section.data_bytes) ||
+      !ReadPod(in, &section.offsets_checksum)) {
+    return Status::Corruption("truncated replicate: " + path);
+  }
+  // Per replicate, every one of n walks indexes at most L nodes — any
+  // larger count is corruption, caught before the allocation it sizes.
+  const uint64_t max_entries = static_cast<uint64_t>(header.num_nodes) *
+                               static_cast<uint64_t>(header.key.length);
+  if (section.entry_count > max_entries) {
+    return Status::Corruption("implausible entry count: " + path);
+  }
+  if (section.data_bytes > section.entry_count * kMaxVarintBytes) {
+    return Status::Corruption("implausible data size: " + path);
+  }
+  return section;
+}
+
+uint64_t NumDataBlocks(uint64_t data_bytes) {
+  return (data_bytes + kDataBlockBytes - 1) / kDataBlockBytes;
+}
+
 }  // namespace
 
 /// The pre-ArtifactKey format: bare (num_nodes, length, replicates)
 /// header, no key, no checksums. Kept loadable so old --save_index files
-/// survive the redesign.
+/// survive the redesign; postings recompress into the current layout.
 Result<LoadedSnapshot> WalkIndexSerializer::LoadV1(std::ifstream& in,
                                                    const std::string& path) {
   NodeId num_nodes = 0;
@@ -112,7 +162,7 @@ Result<LoadedSnapshot> WalkIndexSerializer::LoadV1(std::ifstream& in,
     return Status::Corruption("implausible header fields: " + path);
   }
 
-  std::vector<InvertedWalkIndex::Replicate> reps(
+  std::vector<InvertedWalkIndex::RawReplicate> reps(
       static_cast<size_t>(replicates));
   for (auto& rep : reps) {
     rep.offsets.resize(static_cast<size_t>(num_nodes) + 1);
@@ -130,26 +180,29 @@ Result<LoadedSnapshot> WalkIndexSerializer::LoadV1(std::ifstream& in,
     if (!in.good() && entry_count > 0) {
       return Status::Corruption("truncated entries: " + path);
     }
-    RWDOM_RETURN_IF_ERROR(ValidateReplicate(rep.offsets, rep.entries,
-                                            entry_count, num_nodes, length,
-                                            path));
+    RWDOM_RETURN_IF_ERROR(ValidateRawReplicate(rep.offsets, rep.entries,
+                                               entry_count, num_nodes,
+                                               length, path));
   }
   in.peek();
   if (!in.eof()) return Status::Corruption("trailing bytes: " + path);
-  return LoadedSnapshot{InvertedWalkIndex(num_nodes, length, std::move(reps)),
-                        std::nullopt, kVersionLegacy};
+  RWDOM_LOG(INFO) << "snapshot: recompressed legacy v1 postings from "
+                  << path;
+  return LoadedSnapshot{
+      InvertedWalkIndex::FromRawCsr(num_nodes, length, std::move(reps)),
+      std::nullopt, kVersionLegacy};
 }
 
+/// The raw-CSR v2 format: i64 offsets + 8-byte entries per replicate under
+/// one section checksum. Loads recompress into the current layout.
 Result<LoadedSnapshot> WalkIndexSerializer::LoadV2(std::ifstream& in,
                                                    const std::string& path) {
   RWDOM_ASSIGN_OR_RETURN(HeaderV2 header, ReadHeaderV2(in, path));
   const NodeId num_nodes = header.num_nodes;
-  // Per replicate, every one of n walks indexes at most L nodes — any
-  // larger count is corruption, caught before the allocation it sizes.
   const uint64_t max_entries = static_cast<uint64_t>(num_nodes) *
                                static_cast<uint64_t>(header.key.length);
 
-  std::vector<InvertedWalkIndex::Replicate> reps(
+  std::vector<InvertedWalkIndex::RawReplicate> reps(
       static_cast<size_t>(header.num_replicates));
   for (auto& rep : reps) {
     uint64_t entry_count = 0;
@@ -180,9 +233,97 @@ Result<LoadedSnapshot> WalkIndexSerializer::LoadV2(std::ifstream& in,
     if (section.Digest() != section_checksum) {
       return Status::Corruption("section checksum mismatch: " + path);
     }
-    RWDOM_RETURN_IF_ERROR(ValidateReplicate(
+    RWDOM_RETURN_IF_ERROR(ValidateRawReplicate(
         rep.offsets, rep.entries, static_cast<int64_t>(entry_count),
         num_nodes, header.key.length, path));
+  }
+  in.peek();
+  if (!in.eof()) return Status::Corruption("trailing bytes: " + path);
+  RWDOM_LOG(INFO) << "snapshot: recompressed legacy v2 postings from "
+                  << path;
+  return LoadedSnapshot{InvertedWalkIndex::FromRawCsr(
+                            num_nodes, header.key.length, std::move(reps)),
+                        header.key, kVersionRawCsr};
+}
+
+Result<LoadedSnapshot> WalkIndexSerializer::LoadV3(std::ifstream& in,
+                                                   const std::string& path) {
+  RWDOM_ASSIGN_OR_RETURN(HeaderV2 header, ReadHeaderV2(in, path));
+  const NodeId num_nodes = header.num_nodes;
+  const int32_t weight_bits = PostingWeightBits(header.key.length);
+
+  std::vector<InvertedWalkIndex::Replicate> reps(
+      static_cast<size_t>(header.num_replicates));
+  std::vector<PostingEntry> scratch;
+  for (auto& rep : reps) {
+    RWDOM_ASSIGN_OR_RETURN(SectionV3 section,
+                           ReadSectionV3(in, header, path));
+    rep.entry_offsets.resize(static_cast<size_t>(num_nodes) + 1);
+    rep.byte_offsets.resize(static_cast<size_t>(num_nodes) + 1);
+    in.read(reinterpret_cast<char*>(rep.entry_offsets.data()),
+            static_cast<std::streamsize>(rep.entry_offsets.size() *
+                                         sizeof(uint32_t)));
+    in.read(reinterpret_cast<char*>(rep.byte_offsets.data()),
+            static_cast<std::streamsize>(rep.byte_offsets.size() *
+                                         sizeof(uint32_t)));
+    if (!in.good()) return Status::Corruption("truncated offsets: " + path);
+    Fingerprint offsets_sum;
+    offsets_sum.Update(rep.entry_offsets.data(),
+                       rep.entry_offsets.size() * sizeof(uint32_t));
+    offsets_sum.Update(rep.byte_offsets.data(),
+                       rep.byte_offsets.size() * sizeof(uint32_t));
+    if (offsets_sum.Digest() != section.offsets_checksum) {
+      return Status::Corruption("offsets checksum mismatch: " + path);
+    }
+
+    rep.data.resize(static_cast<size_t>(section.data_bytes));
+    const uint64_t num_blocks = NumDataBlocks(section.data_bytes);
+    for (uint64_t b = 0; b < num_blocks; ++b) {
+      uint64_t block_checksum = 0;
+      if (!ReadPod(in, &block_checksum)) {
+        return Status::Corruption("truncated posting block: " + path);
+      }
+      const uint64_t begin = b * kDataBlockBytes;
+      const uint64_t len =
+          std::min(kDataBlockBytes, section.data_bytes - begin);
+      in.read(reinterpret_cast<char*>(rep.data.data() + begin),
+              static_cast<std::streamsize>(len));
+      if (!in.good()) {
+        return Status::Corruption("truncated posting block: " + path);
+      }
+      if (FingerprintBytes(rep.data.data() + begin, len) != block_checksum) {
+        return Status::Corruption(
+            StrFormat("posting block %llu checksum mismatch: %s",
+                      static_cast<unsigned long long>(b), path.c_str()));
+      }
+    }
+
+    // Structural validation: offsets monotone and bounded, and every
+    // list's varint stream decodes to in-range ascending postings while
+    // consuming exactly its byte span.
+    if (rep.entry_offsets.front() != 0 ||
+        rep.entry_offsets.back() != section.entry_count ||
+        rep.byte_offsets.front() != 0 ||
+        rep.byte_offsets.back() != section.data_bytes) {
+      return Status::Corruption("offset bounds mismatch: " + path);
+    }
+    for (size_t v = 1; v < rep.entry_offsets.size(); ++v) {
+      if (rep.entry_offsets[v] < rep.entry_offsets[v - 1] ||
+          rep.byte_offsets[v] < rep.byte_offsets[v - 1]) {
+        return Status::Corruption("non-monotone offsets: " + path);
+      }
+    }
+    for (size_t v = 0; v + 1 < rep.entry_offsets.size(); ++v) {
+      const int64_t count =
+          static_cast<int64_t>(rep.entry_offsets[v + 1]) -
+          static_cast<int64_t>(rep.entry_offsets[v]);
+      if (!DecodePostingListChecked(
+              rep.data.data() + rep.byte_offsets[v],
+              rep.data.data() + rep.byte_offsets[v + 1], count, weight_bits,
+              num_nodes, header.key.length, &scratch)) {
+        return Status::Corruption("malformed posting list: " + path);
+      }
+    }
   }
   in.peek();
   if (!in.eof()) return Status::Corruption("trailing bytes: " + path);
@@ -221,20 +362,30 @@ Status WalkIndexSerializer::Save(const InvertedWalkIndex& index,
     out.write(body, sizeof(body));
 
     for (const auto& rep : index.replicates_) {
-      const uint64_t entry_count = rep.entries.size();
-      Fingerprint section;
-      section.Update(rep.offsets.data(),
-                     rep.offsets.size() * sizeof(int64_t));
-      section.Update(rep.entries.data(),
-                     rep.entries.size() * sizeof(InvertedWalkIndex::Entry));
+      const uint64_t entry_count = rep.entry_offsets.back();
+      const uint64_t data_bytes = rep.data.size();
+      Fingerprint offsets_sum;
+      offsets_sum.Update(rep.entry_offsets.data(),
+                         rep.entry_offsets.size() * sizeof(uint32_t));
+      offsets_sum.Update(rep.byte_offsets.data(),
+                         rep.byte_offsets.size() * sizeof(uint32_t));
       WritePod(out, entry_count);
-      WritePod(out, section.Digest());
-      out.write(reinterpret_cast<const char*>(rep.offsets.data()),
-                static_cast<std::streamsize>(rep.offsets.size() *
-                                             sizeof(int64_t)));
-      out.write(reinterpret_cast<const char*>(rep.entries.data()),
-                static_cast<std::streamsize>(
-                    rep.entries.size() * sizeof(InvertedWalkIndex::Entry)));
+      WritePod(out, data_bytes);
+      WritePod(out, offsets_sum.Digest());
+      out.write(reinterpret_cast<const char*>(rep.entry_offsets.data()),
+                static_cast<std::streamsize>(rep.entry_offsets.size() *
+                                             sizeof(uint32_t)));
+      out.write(reinterpret_cast<const char*>(rep.byte_offsets.data()),
+                static_cast<std::streamsize>(rep.byte_offsets.size() *
+                                             sizeof(uint32_t)));
+      const uint64_t num_blocks = NumDataBlocks(data_bytes);
+      for (uint64_t b = 0; b < num_blocks; ++b) {
+        const uint64_t begin = b * kDataBlockBytes;
+        const uint64_t len = std::min(kDataBlockBytes, data_bytes - begin);
+        WritePod(out, FingerprintBytes(rep.data.data() + begin, len));
+        out.write(reinterpret_cast<const char*>(rep.data.data() + begin),
+                  static_cast<std::streamsize>(len));
+      }
     }
     // The fault point sits between body write and flush/close: a fire
     // here leaves a plausible torn .tmp on disk, exactly what a full
@@ -283,7 +434,8 @@ Result<LoadedSnapshot> WalkIndexSerializer::Load(const std::string& path) {
     return Status::Corruption("truncated header: " + path);
   }
   if (version == kVersionLegacy) return LoadV1(in, path);
-  if (version == kVersion) return LoadV2(in, path);
+  if (version == kVersionRawCsr) return LoadV2(in, path);
+  if (version == kVersion) return LoadV3(in, path);
   return Status::Corruption(
       StrFormat("unsupported snapshot version %u: %s", version,
                 path.c_str()));
@@ -351,7 +503,7 @@ Result<SnapshotMeta> WalkIndexSerializer::Inspect(const std::string& path,
     return meta;
   }
 
-  if (version != kVersion) {
+  if (version != kVersionRawCsr && version != kVersion) {
     return Status::Corruption(
         StrFormat("unsupported snapshot version %u: %s", version,
                   path.c_str()));
@@ -364,35 +516,97 @@ Result<SnapshotMeta> WalkIndexSerializer::Inspect(const std::string& path,
   meta.num_replicates = header.num_replicates;
 
   const int64_t offsets_count = static_cast<int64_t>(meta.num_nodes) + 1;
-  const uint64_t max_entries = static_cast<uint64_t>(meta.num_nodes) *
-                               static_cast<uint64_t>(meta.length);
+
+  if (version == kVersionRawCsr) {
+    const uint64_t max_entries = static_cast<uint64_t>(meta.num_nodes) *
+                                 static_cast<uint64_t>(meta.length);
+    std::vector<char> buffer;
+    for (int32_t i = 0; i < header.num_replicates; ++i) {
+      uint64_t entry_count = 0;
+      uint64_t section_checksum = 0;
+      if (!ReadPod(in, &entry_count) || !ReadPod(in, &section_checksum)) {
+        return Status::Corruption("truncated replicate: " + path);
+      }
+      if (entry_count > max_entries) {
+        return Status::Corruption("implausible entry count: " + path);
+      }
+      const int64_t section_bytes =
+          offsets_count * static_cast<int64_t>(sizeof(int64_t)) +
+          static_cast<int64_t>(entry_count) *
+              static_cast<int64_t>(sizeof(InvertedWalkIndex::Entry));
+      meta.total_entries += static_cast<int64_t>(entry_count);
+      if (verify) {
+        buffer.resize(static_cast<size_t>(section_bytes));
+        in.read(buffer.data(), static_cast<std::streamsize>(section_bytes));
+        if (!in.good() && section_bytes > 0) {
+          return Status::Corruption("truncated entries: " + path);
+        }
+        if (FingerprintBytes(buffer.data(), buffer.size()) !=
+            section_checksum) {
+          return Status::Corruption("section checksum mismatch: " + path);
+        }
+      } else {
+        in.seekg(static_cast<std::streamsize>(section_bytes), std::ios::cur);
+        in.peek();
+        if (in.fail() && !(in.eof() && i + 1 == header.num_replicates)) {
+          return Status::Corruption("truncated entries: " + path);
+        }
+      }
+    }
+    if (verify) {
+      in.peek();
+      if (!in.eof()) return Status::Corruption("trailing bytes: " + path);
+    }
+    return meta;
+  }
+
+  // v3: u32 offset arrays, then the posting stream in checksummed blocks.
+  std::vector<uint32_t> offsets;
   std::vector<char> buffer;
   for (int32_t i = 0; i < header.num_replicates; ++i) {
-    uint64_t entry_count = 0;
-    uint64_t section_checksum = 0;
-    if (!ReadPod(in, &entry_count) || !ReadPod(in, &section_checksum)) {
-      return Status::Corruption("truncated replicate: " + path);
-    }
-    if (entry_count > max_entries) {
-      return Status::Corruption("implausible entry count: " + path);
-    }
-    const int64_t section_bytes =
-        offsets_count * static_cast<int64_t>(sizeof(int64_t)) +
-        static_cast<int64_t>(entry_count) *
-            static_cast<int64_t>(sizeof(InvertedWalkIndex::Entry));
-    meta.total_entries += static_cast<int64_t>(entry_count);
+    RWDOM_ASSIGN_OR_RETURN(SectionV3 section,
+                           ReadSectionV3(in, header, path));
+    meta.total_entries += static_cast<int64_t>(section.entry_count);
+    const int64_t offsets_bytes =
+        2 * offsets_count * static_cast<int64_t>(sizeof(uint32_t));
     if (verify) {
-      buffer.resize(static_cast<size_t>(section_bytes));
-      in.read(buffer.data(), static_cast<std::streamsize>(section_bytes));
-      if (!in.good() && section_bytes > 0) {
-        return Status::Corruption("truncated entries: " + path);
+      offsets.resize(static_cast<size_t>(2 * offsets_count));
+      in.read(reinterpret_cast<char*>(offsets.data()),
+              static_cast<std::streamsize>(offsets_bytes));
+      if (!in.good()) {
+        return Status::Corruption("truncated offsets: " + path);
       }
-      if (FingerprintBytes(buffer.data(), buffer.size()) !=
-          section_checksum) {
-        return Status::Corruption("section checksum mismatch: " + path);
+      if (FingerprintBytes(offsets.data(), static_cast<size_t>(offsets_bytes)) !=
+          section.offsets_checksum) {
+        return Status::Corruption("offsets checksum mismatch: " + path);
+      }
+      const uint64_t num_blocks = NumDataBlocks(section.data_bytes);
+      for (uint64_t b = 0; b < num_blocks; ++b) {
+        uint64_t block_checksum = 0;
+        if (!ReadPod(in, &block_checksum)) {
+          return Status::Corruption("truncated posting block: " + path);
+        }
+        const uint64_t begin = b * kDataBlockBytes;
+        const uint64_t len =
+            std::min(kDataBlockBytes, section.data_bytes - begin);
+        buffer.resize(static_cast<size_t>(len));
+        in.read(buffer.data(), static_cast<std::streamsize>(len));
+        if (!in.good()) {
+          return Status::Corruption("truncated posting block: " + path);
+        }
+        if (FingerprintBytes(buffer.data(), buffer.size()) !=
+            block_checksum) {
+          return Status::Corruption(
+              StrFormat("posting block %llu checksum mismatch: %s",
+                        static_cast<unsigned long long>(b), path.c_str()));
+        }
       }
     } else {
-      in.seekg(static_cast<std::streamsize>(section_bytes), std::ios::cur);
+      const uint64_t num_blocks = NumDataBlocks(section.data_bytes);
+      const int64_t body_bytes =
+          offsets_bytes + static_cast<int64_t>(num_blocks) * 8 +
+          static_cast<int64_t>(section.data_bytes);
+      in.seekg(static_cast<std::streamsize>(body_bytes), std::ios::cur);
       in.peek();
       if (in.fail() && !(in.eof() && i + 1 == header.num_replicates)) {
         return Status::Corruption("truncated entries: " + path);

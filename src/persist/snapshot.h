@@ -7,12 +7,15 @@
 // (substrate fingerprint, L, R, seed) — persisting it lets a restarted
 // server answer its first query without re-materializing a single walk.
 //
-// Format v2 (little-endian, fixed-width, 8-byte-aligned sections):
+// Format v3 (little-endian, fixed-width) stores the index's compressed
+// posting layout verbatim — delta + varint streams under two u32 offset
+// arrays per replicate (index/postings_codec.h) — so snapshots shrink
+// with the in-memory index and loads skip recompression:
 //
 //   offset  size  field
 //   ------  ----  -----------------------------------------------------
 //        0     4  magic "RWDX"
-//        4     4  u32 format version (2)
+//        4     4  u32 format version (3)
 //        8     8  u64 header checksum: FNV-1a over bytes [16, 48)
 //       16     4  i32 key.length (L)
 //       20     4  i32 key.num_samples (R)
@@ -22,19 +25,27 @@
 //       44     4  i32 num_replicates
 //   then per replicate (num_replicates times):
 //       +0     8  u64 entry_count
-//       +8     8  u64 section checksum: FNV-1a over the offsets +
-//                 entries bytes that follow
-//      +16        i64 offsets[num_nodes + 1]   (CSR row starts)
-//       ...       Entry entries[entry_count]   (i32 id, i32 weight)
+//       +8     8  u64 data_bytes (compressed posting stream length)
+//      +16     8  u64 offsets checksum: FNV-1a over the two offset arrays
+//      +24        u32 entry_offsets[num_nodes + 1]  (postings before v)
+//       ...        u32 byte_offsets[num_nodes + 1]  (stream position of v)
+//   then the posting stream in 64 KiB blocks, each independently
+//   checksummed (a flipped byte pinpoints one block, and `rwdom cache
+//   verify` streams block-at-a-time):
+//       +0     8  u64 block checksum: FNV-1a over the block's bytes
+//       +8        u8 block[min(65536, remaining data_bytes)]
 //
-// Every section is contiguous, aligned and checksummed, so a loader may
-// mmap the file and point CSR spans straight at it; the current loader
-// copies into vectors (InvertedWalkIndex owns its storage) but the
-// layout commits to zero-copy.
+// Loads fully validate structure before adoption: offset monotonicity,
+// per-list checked varint decode (ascending in-range ids, in-range
+// weights, exact byte consumption) — a rejected file is never partially
+// adopted.
 //
-// Version 1 files (the pre-ArtifactKey `--save_index` format: bare
-// num_nodes/length/replicates header, no key, no checksums) still load;
-// Load reports them with no key, and the artifact cache rejects them as
+// Version 2 files (raw CSR sections: i64 offsets + 8-byte entries under
+// per-replicate section checksums) and version 1 files (the
+// pre-ArtifactKey `--save_index` format: bare header, no key, no
+// checksums) still load; legacy postings are transparently recompressed
+// into the v3 in-memory layout (logged, never a client error). Load
+// reports v1 files with no key, and the artifact cache rejects those as
 // unverifiable rather than trusting them.
 //
 // Atomic publish rule: Save writes to `path + ".tmp"` and renames into
@@ -78,20 +89,23 @@ struct SnapshotMeta {
 /// Stateless save/load for InvertedWalkIndex snapshots.
 class WalkIndexSerializer {
  public:
-  /// Writes `index` under identity `key` to `path` in format v2, via
+  /// Writes `index` under identity `key` to `path` in format v3, via
   /// write-temp-then-atomic-rename (see the publish rule above).
   static Status Save(const InvertedWalkIndex& index, const ArtifactKey& key,
                      const std::string& path);
 
-  /// Loads a snapshot written by Save (v2) or by the legacy v1 writer.
-  /// Validates magic, version, checksums (v2) and structural invariants
-  /// (monotone offsets, in-range ids/weights); returns Corruption on any
-  /// mismatch — a rejected file is never partially adopted.
+  /// Loads a snapshot written by Save (v3) or by the legacy v2/v1
+  /// writers (recompressing their raw CSR postings). Validates magic,
+  /// version, checksums (v2/v3) and structural invariants (monotone
+  /// offsets, in-range ids/weights, exact varint consumption); returns
+  /// Corruption on any mismatch — a rejected file is never partially
+  /// adopted.
   static Result<LoadedSnapshot> Load(const std::string& path);
 
-  /// Reads the header only (both versions). With `verify` set, also
-  /// streams the body to recompute v2 checksums — the `rwdom cache
-  /// verify` deep check (v1 files fail verify: nothing to check against).
+  /// Reads the header only (all versions). With `verify` set, also
+  /// streams the body to recompute v3 per-block (or v2 per-section)
+  /// checksums — the `rwdom cache verify` deep check (v1 files fail
+  /// verify: nothing to check against).
   static Result<SnapshotMeta> Inspect(const std::string& path, bool verify);
 
  private:
@@ -101,6 +115,8 @@ class WalkIndexSerializer {
   static Result<LoadedSnapshot> LoadV1(std::ifstream& in,
                                        const std::string& path);
   static Result<LoadedSnapshot> LoadV2(std::ifstream& in,
+                                       const std::string& path);
+  static Result<LoadedSnapshot> LoadV3(std::ifstream& in,
                                        const std::string& path);
 };
 

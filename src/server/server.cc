@@ -315,6 +315,10 @@ ServerStats QueryServer::stats() const {
   stats.index_evictions = context_->index_evictions();
   stats.admission_rejections = context_->admission_rejections();
   stats.cached_bytes = context_->TotalMemoryBytes();
+  for (const auto& [key, index] : context_->CachedIndexes()) {
+    stats.cached_index_bytes += index->MemoryUsageBytes();
+    stats.cached_index_raw_bytes += index->UncompressedBytes();
+  }
   stats.persistence = context_->persistence();
   // Health latch: "degraded" while the degradation counters are moving,
   // back to "ok" after one quiet interval. Reading advances the latch.
@@ -350,6 +354,8 @@ std::string QueryServer::StatsResponseLine() const {
   json.Key("index_hits").Int(stats.index_hits);
   json.Key("index_recovered").Int(stats.index_recovered);
   json.Key("cached_bytes").Int(stats.cached_bytes);
+  json.Key("cached_index_bytes").Int(stats.cached_index_bytes);
+  json.Key("cached_index_raw_bytes").Int(stats.cached_index_raw_bytes);
   json.Key("cache_dir").String(stats.persistence.cache_dir);
   json.Key("snapshots_recovered").Int(stats.persistence.snapshots_recovered);
   json.Key("snapshots_rejected").Int(stats.persistence.snapshots_rejected);

@@ -104,6 +104,11 @@ struct ServerStats {
   int64_t index_hits = 0;
   int64_t index_recovered = 0;  ///< Indexes adopted from disk snapshots.
   int64_t cached_bytes = 0;
+  /// What the cached indexes would occupy in the former raw-CSR layout
+  /// (graph excluded) — together with cached_index_bytes it yields the
+  /// live compression ratio.
+  int64_t cached_index_bytes = 0;
+  int64_t cached_index_raw_bytes = 0;
   /// Persistence block, mirrored from QueryContext::persistence() (all
   /// zeros / empty when the server runs without --cache_dir).
   PersistenceInfo persistence;

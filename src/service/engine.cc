@@ -141,6 +141,7 @@ Result<StatsResponse> Stats(QueryContext& context,
     response.index_length = request.params.length;
     response.index_samples = request.params.num_samples;
     response.index_bytes = index->MemoryUsageBytes();
+    response.index_raw_bytes = index->UncompressedBytes();
     response.index_entries = index->TotalEntries();
   }
   return response;

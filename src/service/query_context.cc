@@ -20,10 +20,17 @@ QueryContext::QueryContext(GraphSubstrate substrate)
 
 int64_t QueryContext::EstimatedIndexBytes(const ArtifactKey& key) const {
   const int64_t n = substrate().num_nodes();
-  const int64_t offsets = (n + 1) * static_cast<int64_t>(sizeof(int64_t));
-  const int64_t entries =
-      n * key.length * static_cast<int64_t>(sizeof(InvertedWalkIndex::Entry));
-  return key.num_samples * (offsets + entries);
+  // Two u32 offset arrays per replicate, plus at most n*L postings, each
+  // at most the varint length of the largest encodable value (delta = n,
+  // weight = L) — an upper bound on any real compressed replicate.
+  const int32_t weight_bits = PostingWeightBits(key.length);
+  const uint64_t vmax =
+      (static_cast<uint64_t>(n) << weight_bits) |
+      ((weight_bits > 0 ? (1ull << weight_bits) : 1ull) - 1ull);
+  const int64_t offsets = 2 * (n + 1) * static_cast<int64_t>(sizeof(uint32_t));
+  const int64_t postings =
+      n * key.length * static_cast<int64_t>(Varint64Length(vmax));
+  return key.num_samples * (offsets + postings);
 }
 
 int64_t QueryContext::CachedBytesLocked() const {
@@ -71,7 +78,9 @@ Result<std::shared_ptr<const InvertedWalkIndex>> QueryContext::GetIndex(
   // build in parallel. The build is a pure function of the key (which
   // names the substrate by fingerprint), which is what makes warm — and
   // concurrent — results bit-identical to cold ones.
+  bool led_flight = false;  // The producer runs only on the leader.
   auto outcome = index_flights_.Do(key, [&]() {
+    led_flight = true;
     auto result = std::make_shared<BuildOutcome>();
     {
       // A flight for this key may have completed and retired between the
@@ -121,10 +130,13 @@ Result<std::shared_ptr<const InvertedWalkIndex>> QueryContext::GetIndex(
   });
   if (!outcome->status.ok()) return outcome->status;
   // Every successful call that did not itself build — fast-path lookups
-  // above, flight waiters, and leaders whose re-check found the index —
-  // was served from the cache, so hits + builds == successful GetIndex
-  // calls (deterministic, however the timing fell out).
-  if (!outcome->built) ++index_hits_;
+  // above, flight waiters (even on a flight whose leader built), and
+  // leaders whose re-check found the index — was served from the cache,
+  // so hits + builds == successful GetIndex calls (deterministic,
+  // however the timing fell out). `outcome->built` alone cannot decide
+  // this: waiters share the leader's outcome, so a waiter on a building
+  // flight would otherwise count as neither.
+  if (!(led_flight && outcome->built)) ++index_hits_;
   return outcome->index;
 }
 

@@ -208,8 +208,9 @@ class QueryContext {
   int64_t max_cache_bytes() const { return max_cache_bytes_.load(); }
 
   /// Conservative (upper-bound) size of the index `key` would build:
-  /// R * (offsets + n*L postings). Used for admission, deliberately
-  /// pessimistic — admitting then OOM-ing is the failure mode to avoid.
+  /// R * (two u32 offset arrays + n*L postings at worst-case varint
+  /// width). Used for admission, deliberately pessimistic — admitting
+  /// then OOM-ing is the failure mode to avoid.
   int64_t EstimatedIndexBytes(const ArtifactKey& key) const;
 
   /// Entries evicted under memory pressure (not via EvictIndexes()).

@@ -92,6 +92,8 @@ void RenderText(const StatsResponse& response, std::ostream& out) {
       static_cast<double>(stats.graph_bytes) / links,
       stats.weighted ? "arc" : "edge");
   if (response.with_index) {
+    const double entries =
+        std::max<double>(1.0, static_cast<double>(response.index_entries));
     out << StrFormat(
         "memory: index=%lld bytes (L=%d R=%d, %lld entries, "
         "%.1f bytes/node, %.2f bytes/entry)\n",
@@ -99,9 +101,15 @@ void RenderText(const StatsResponse& response, std::ostream& out) {
         response.index_samples,
         static_cast<long long>(response.index_entries),
         static_cast<double>(response.index_bytes) / n,
-        static_cast<double>(response.index_bytes) /
+        static_cast<double>(response.index_bytes) / entries);
+    out << StrFormat(
+        "memory: index_raw=%lld bytes (%.2f bytes/entry, "
+        "compression=%.2fx)\n",
+        static_cast<long long>(response.index_raw_bytes),
+        static_cast<double>(response.index_raw_bytes) / entries,
+        static_cast<double>(response.index_raw_bytes) /
             std::max<double>(1.0,
-                             static_cast<double>(response.index_entries)));
+                             static_cast<double>(response.index_bytes)));
   }
 }
 
@@ -204,6 +212,11 @@ void AppendJson(const StatsResponse& response, JsonWriter& json) {
     json.Key("L").Int(response.index_length);
     json.Key("R").Int(response.index_samples);
     json.Key("bytes").Int(response.index_bytes);
+    json.Key("raw_bytes").Int(response.index_raw_bytes);
+    json.Key("compression_ratio")
+        .Number(static_cast<double>(response.index_raw_bytes) /
+                std::max<double>(
+                    1.0, static_cast<double>(response.index_bytes)));
     json.Key("entries").Int(response.index_entries);
     json.EndObject();
   }

@@ -112,7 +112,8 @@ struct StatsResponse {
   // Index block, filled when with_index.
   int32_t index_length = 0;
   int32_t index_samples = 0;
-  int64_t index_bytes = 0;
+  int64_t index_bytes = 0;      ///< Resident (compressed) footprint.
+  int64_t index_raw_bytes = 0;  ///< Former raw-CSR footprint, for the ratio.
   int64_t index_entries = 0;
 };
 

@@ -1,0 +1,320 @@
+#include "util/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define RWDOM_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define RWDOM_SIMD_X86 0
+#endif
+
+namespace rwdom {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels: the semantics every vector variant must match
+// bit for bit (trivially so — all accumulation is integral).
+// ---------------------------------------------------------------------------
+
+int64_t TallySavingsScalar(const int32_t* d_row, const int32_t* ids,
+                           const int32_t* weights, int32_t count) {
+  int64_t total = 0;
+  for (int32_t k = 0; k < count; ++k) {
+    const int32_t diff = d_row[ids[k]] - weights[k];
+    if (diff > 0) total += diff;
+  }
+  return total;
+}
+
+int64_t TallyZerosScalar(const int32_t* d_row, const int32_t* ids,
+                         int32_t count) {
+  int64_t total = 0;
+  for (int32_t k = 0; k < count; ++k) {
+    if (d_row[ids[k]] == 0) ++total;
+  }
+  return total;
+}
+
+FirstHitTally TallyFirstHitsScalar(const uint8_t* flags, const int32_t* rows,
+                                   int64_t num_rows, int32_t row_len) {
+  FirstHitTally tally;
+  for (int64_t r = 0; r < num_rows; ++r) {
+    const int32_t* row = rows + r * row_len;
+    for (int32_t t = 0; t < row_len; ++t) {
+      if (flags[row[t]] != 0) {
+        ++tally.hits;
+        tally.hit_time_sum += t;
+        break;
+      }
+    }
+  }
+  return tally;
+}
+
+#if RWDOM_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// SSE4.2: 4-wide with scalar gathers (no gather instruction before AVX2).
+// Full 16-byte lanes only; the tail runs scalar, so no masked loads and
+// nothing for UBSan/ASan to object to.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("sse4.2"))) int64_t TallySavingsSse42(
+    const int32_t* d_row, const int32_t* ids, const int32_t* weights,
+    int32_t count) {
+  __m128i acc = _mm_setzero_si128();  // 2 x int64
+  const __m128i zero = _mm_setzero_si128();
+  int32_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const __m128i dv =
+        _mm_set_epi32(d_row[ids[k + 3]], d_row[ids[k + 2]],
+                      d_row[ids[k + 1]], d_row[ids[k]]);
+    const __m128i wv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(weights + k));
+    // Saved hops per posting, clamped at 0; widen to int64 before
+    // accumulating so arbitrarily long scans cannot overflow a lane.
+    const __m128i pos = _mm_max_epi32(_mm_sub_epi32(dv, wv), zero);
+    acc = _mm_add_epi64(acc, _mm_cvtepi32_epi64(pos));
+    acc = _mm_add_epi64(acc,
+                        _mm_cvtepi32_epi64(_mm_srli_si128(pos, 8)));
+  }
+  int64_t lanes[2];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  int64_t total = lanes[0] + lanes[1];
+  for (; k < count; ++k) {
+    const int32_t diff = d_row[ids[k]] - weights[k];
+    if (diff > 0) total += diff;
+  }
+  return total;
+}
+
+__attribute__((target("sse4.2"))) int64_t TallyZerosSse42(
+    const int32_t* d_row, const int32_t* ids, int32_t count) {
+  const __m128i zero = _mm_setzero_si128();
+  int64_t total = 0;
+  int32_t k = 0;
+  for (; k + 4 <= count; k += 4) {
+    const __m128i dv =
+        _mm_set_epi32(d_row[ids[k + 3]], d_row[ids[k + 2]],
+                      d_row[ids[k + 1]], d_row[ids[k]]);
+    const int mask =
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(dv, zero)));
+    total += __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  for (; k < count; ++k) {
+    if (d_row[ids[k]] == 0) ++total;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2: 8-wide with hardware gathers. TallyFirstHits walks 8 rows in
+// lockstep down the time axis — the flag bytes are gathered as 4-byte
+// lanes (hence kFlagsPadBytes) and each lane latches the first hit time.
+// ---------------------------------------------------------------------------
+
+__attribute__((target("avx2"))) int64_t TallySavingsAvx2(
+    const int32_t* d_row, const int32_t* ids, const int32_t* weights,
+    int32_t count) {
+  __m256i acc = _mm256_setzero_si256();  // 4 x int64
+  const __m256i zero = _mm256_setzero_si256();
+  int32_t k = 0;
+  for (; k + 8 <= count; k += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + k));
+    const __m256i dv = _mm256_i32gather_epi32(d_row, idx, 4);
+    const __m256i wv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(weights + k));
+    const __m256i pos = _mm256_max_epi32(_mm256_sub_epi32(dv, wv), zero);
+    acc = _mm256_add_epi64(
+        acc, _mm256_cvtepi32_epi64(_mm256_castsi256_si128(pos)));
+    acc = _mm256_add_epi64(
+        acc, _mm256_cvtepi32_epi64(_mm256_extracti128_si256(pos, 1)));
+  }
+  int64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  int64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; k < count; ++k) {
+    const int32_t diff = d_row[ids[k]] - weights[k];
+    if (diff > 0) total += diff;
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) int64_t TallyZerosAvx2(const int32_t* d_row,
+                                                       const int32_t* ids,
+                                                       int32_t count) {
+  const __m256i zero = _mm256_setzero_si256();
+  int64_t total = 0;
+  int32_t k = 0;
+  for (; k + 8 <= count; k += 8) {
+    const __m256i idx =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + k));
+    const __m256i dv = _mm256_i32gather_epi32(d_row, idx, 4);
+    const int mask =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(dv, zero)));
+    total += __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  for (; k < count; ++k) {
+    if (d_row[ids[k]] == 0) ++total;
+  }
+  return total;
+}
+
+__attribute__((target("avx2"))) FirstHitTally TallyFirstHitsAvx2(
+    const uint8_t* flags, const int32_t* rows, int64_t num_rows,
+    int32_t row_len) {
+  FirstHitTally tally;
+  const __m256i byte_mask = _mm256_set1_epi32(0xFF);
+  const __m256i sentinel = _mm256_set1_epi32(row_len);
+  int64_t r = 0;
+  for (; r + 8 <= num_rows; r += 8) {
+    // Lane l walks row r + l; `first` latches the earliest flagged t and
+    // stays at the row_len sentinel for rows that never hit.
+    __m256i row_start = _mm256_mullo_epi32(
+        _mm256_add_epi32(_mm256_set1_epi32(static_cast<int32_t>(r)),
+                         _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7)),
+        _mm256_set1_epi32(row_len));
+    __m256i first = sentinel;
+    for (int32_t t = 0; t < row_len; ++t) {
+      const __m256i idx =
+          _mm256_add_epi32(row_start, _mm256_set1_epi32(t));
+      const __m256i node = _mm256_i32gather_epi32(rows, idx, 4);
+      // Gather one flag byte per lane (reads up to 3 bytes past the last
+      // node's flag — the kFlagsPadBytes contract) and mask to 8 bits.
+      const __m256i flag = _mm256_and_si256(
+          _mm256_i32gather_epi32(reinterpret_cast<const int32_t*>(flags),
+                                 node, 1),
+          byte_mask);
+      const __m256i unseen = _mm256_cmpeq_epi32(first, sentinel);
+      const __m256i hit_now = _mm256_andnot_si256(
+          _mm256_cmpeq_epi32(flag, _mm256_setzero_si256()), unseen);
+      first = _mm256_blendv_epi8(first, _mm256_set1_epi32(t), hit_now);
+      // All lanes latched: the rest of the rows cannot change anything.
+      const __m256i still_unseen = _mm256_cmpeq_epi32(first, sentinel);
+      if (_mm256_testz_si256(still_unseen, still_unseen)) break;
+    }
+    int32_t first_lanes[8];
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(first_lanes), first);
+    for (int l = 0; l < 8; ++l) {
+      if (first_lanes[l] < row_len) {
+        ++tally.hits;
+        tally.hit_time_sum += first_lanes[l];
+      }
+    }
+  }
+  const FirstHitTally tail =
+      TallyFirstHitsScalar(flags, rows + r * row_len, num_rows - r, row_len);
+  tally.hits += tail.hits;
+  tally.hit_time_sum += tail.hit_time_sum;
+  return tally;
+}
+
+#endif  // RWDOM_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch: one table of function pointers, bound at first use from
+// RWDOM_SIMD clamped to CPU support, rebindable for tests.
+// ---------------------------------------------------------------------------
+
+struct KernelTable {
+  SimdLevel level = SimdLevel::kScalar;
+  int64_t (*savings)(const int32_t*, const int32_t*, const int32_t*,
+                     int32_t) = &TallySavingsScalar;
+  int64_t (*zeros)(const int32_t*, const int32_t*,
+                   int32_t) = &TallyZerosScalar;
+  FirstHitTally (*first_hits)(const uint8_t*, const int32_t*, int64_t,
+                              int32_t) = &TallyFirstHitsScalar;
+};
+
+KernelTable MakeTable(SimdLevel level) {
+  KernelTable table;
+  table.level = level;
+#if RWDOM_SIMD_X86
+  if (level == SimdLevel::kSse42) {
+    table.savings = &TallySavingsSse42;
+    table.zeros = &TallyZerosSse42;
+    // No pre-AVX2 gather: the batched first-hit scan stays scalar here.
+    table.first_hits = &TallyFirstHitsScalar;
+  } else if (level == SimdLevel::kAvx2) {
+    table.savings = &TallySavingsAvx2;
+    table.zeros = &TallyZerosAvx2;
+    table.first_hits = &TallyFirstHitsAvx2;
+  }
+#endif
+  return table;
+}
+
+SimdLevel ClampToCpu(SimdLevel level) {
+  const SimdLevel max = MaxSupportedSimdLevel();
+  return level > max ? max : level;
+}
+
+SimdLevel LevelFromEnv() {
+  const char* env = std::getenv("RWDOM_SIMD");
+  if (env == nullptr || env[0] == '\0' || std::strcmp(env, "auto") == 0) {
+    return MaxSupportedSimdLevel();
+  }
+  if (std::strcmp(env, "scalar") == 0) return SimdLevel::kScalar;
+  if (std::strcmp(env, "sse42") == 0 || std::strcmp(env, "sse4.2") == 0) {
+    return ClampToCpu(SimdLevel::kSse42);
+  }
+  if (std::strcmp(env, "avx2") == 0) return ClampToCpu(SimdLevel::kAvx2);
+  RWDOM_LOG(WARNING) << "unknown RWDOM_SIMD value \"" << env
+                     << "\" (want scalar|sse42|avx2|auto); using auto";
+  return MaxSupportedSimdLevel();
+}
+
+KernelTable& ActiveTable() {
+  static KernelTable table = MakeTable(LevelFromEnv());
+  return table;
+}
+
+}  // namespace
+
+SimdLevel MaxSupportedSimdLevel() {
+#if RWDOM_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return SimdLevel::kSse42;
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel ActiveSimdLevel() { return ActiveTable().level; }
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kSse42:
+      return "sse42";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+SimdLevel SetSimdLevelForTest(SimdLevel level) {
+  ActiveTable() = MakeTable(ClampToCpu(level));
+  return ActiveTable().level;
+}
+
+int64_t TallySavings(const int32_t* d_row, const int32_t* ids,
+                     const int32_t* weights, int32_t count) {
+  return ActiveTable().savings(d_row, ids, weights, count);
+}
+
+int64_t TallyZeros(const int32_t* d_row, const int32_t* ids, int32_t count) {
+  return ActiveTable().zeros(d_row, ids, count);
+}
+
+FirstHitTally TallyFirstHits(const uint8_t* flags, const int32_t* rows,
+                             int64_t num_rows, int32_t row_len) {
+  return ActiveTable().first_hits(flags, rows, num_rows, row_len);
+}
+
+}  // namespace rwdom

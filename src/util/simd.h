@@ -1,0 +1,67 @@
+// SIMD tally kernels for the posting-scan hot paths, behind a runtime
+// dispatch seam.
+//
+// Three kernels cover every postings consumer:
+//   TallySavings   - Problem 1 gain:  sum_k max(0, d[ids[k]] - weights[k])
+//   TallyZeros     - Problem 2 gain:  #{k : d[ids[k]] == 0}
+//   TallyFirstHits - sampled eval:    first flagged position per walk row
+//
+// All accumulation is integral (int64), so scalar, SSE4.2 and AVX2
+// variants return bit-identical results by construction — the consumers
+// convert to double exactly once per aggregate. The implementation level
+// is picked once at first use: the RWDOM_SIMD environment variable
+// (scalar | sse42 | avx2 | auto, default auto) clamped to what the CPU
+// supports; non-x86 builds always run scalar. SetSimdLevelForTest rebinds
+// the kernels mid-process for differential tests and benchmarks.
+#ifndef RWDOM_UTIL_SIMD_H_
+#define RWDOM_UTIL_SIMD_H_
+
+#include <cstdint>
+
+namespace rwdom {
+
+enum class SimdLevel { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+
+/// The level the kernels below currently run at.
+SimdLevel ActiveSimdLevel();
+
+/// "scalar", "sse42" or "avx2".
+const char* SimdLevelName(SimdLevel level);
+
+/// Highest level this CPU supports (compile-time scalar on non-x86).
+SimdLevel MaxSupportedSimdLevel();
+
+/// Rebinds the kernels to `level` (clamped to CPU support; returns the
+/// level actually bound). Test/bench hook — not thread-safe against
+/// concurrent kernel calls.
+SimdLevel SetSimdLevelForTest(SimdLevel level);
+
+/// sum over k in [0, count) of max(0, d_row[ids[k]] - weights[k]).
+/// Every ids[k] must index into d_row; values are int32, sum is exact.
+int64_t TallySavings(const int32_t* d_row, const int32_t* ids,
+                     const int32_t* weights, int32_t count);
+
+/// Number of k in [0, count) with d_row[ids[k]] == 0.
+int64_t TallyZeros(const int32_t* d_row, const int32_t* ids, int32_t count);
+
+/// Result of a first-hit scan over a batch of walks.
+struct FirstHitTally {
+  int64_t hits = 0;          ///< Rows with at least one flagged position.
+  int64_t hit_time_sum = 0;  ///< Sum of first flagged indices over hit rows.
+};
+
+/// Bytes past the last valid node id that `flags` must keep readable:
+/// the AVX2 variant gathers 4-byte lanes from a byte array.
+/// NodeFlagSet::flags_data() guarantees this padding.
+inline constexpr int32_t kFlagsPadBytes = 3;
+
+/// Scans `num_rows` rows of `row_len` node ids each (row-major, rows[r *
+/// row_len + t]): per row, the first t with flags[row[t]] != 0 counts as a
+/// hit at time t. Rows and flags are read-only; every id must be a valid
+/// flags index (with kFlagsPadBytes of readable slack after the last).
+FirstHitTally TallyFirstHits(const uint8_t* flags, const int32_t* rows,
+                             int64_t num_rows, int32_t row_len);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_UTIL_SIMD_H_

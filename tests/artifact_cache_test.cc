@@ -87,8 +87,8 @@ TEST(ArtifactCacheTest, CheckpointThenRecoverServesWithoutRebuilding) {
   ASSERT_EQ(index->TotalEntries(), fresh->TotalEntries());
   for (int32_t i = 0; i < index->num_replicates(); ++i) {
     for (NodeId v = 0; v < index->num_nodes(); ++v) {
-      auto a = index->List(i, v);
-      auto b = fresh->List(i, v);
+      auto a = index->DecodeList(i, v);
+      auto b = fresh->DecodeList(i, v);
       ASSERT_EQ(a.size(), b.size());
       for (size_t j = 0; j < a.size(); ++j) {
         EXPECT_EQ(a[j].id, b[j].id);

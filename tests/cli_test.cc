@@ -178,7 +178,7 @@ TEST_F(CliFileTest, CacheCommandListsVerifiesAndRemovesSnapshots) {
   auto [ls_status, ls_out] = RunCli({"cache", "ls", dir_flag.c_str()});
   ASSERT_TRUE(ls_status.ok()) << ls_status;
   EXPECT_NE(ls_out.find("manual.rwidx"), std::string::npos) << ls_out;
-  EXPECT_NE(ls_out.find("v2"), std::string::npos) << ls_out;
+  EXPECT_NE(ls_out.find("v3"), std::string::npos) << ls_out;
   EXPECT_NE(ls_out.find("L=3,R=10,seed=42,substrate="), std::string::npos)
       << ls_out;
 

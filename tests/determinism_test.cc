@@ -41,7 +41,7 @@ std::vector<std::vector<std::pair<NodeId, int32_t>>> Flatten(
   for (int32_t i = 0; i < index.num_replicates(); ++i) {
     for (NodeId v = 0; v < index.num_nodes(); ++v) {
       auto& list = lists.emplace_back();
-      for (const InvertedWalkIndex::Entry& e : index.List(i, v)) {
+      for (const InvertedWalkIndex::Entry& e : index.DecodeList(i, v)) {
         list.emplace_back(e.id, e.weight);
       }
     }

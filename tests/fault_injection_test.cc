@@ -82,8 +82,8 @@ TEST_F(FaultInjectionTest, IndexBuildFaultIsATypedErrorAndTheNextCallHeals) {
   ASSERT_EQ((*healed)->TotalEntries(), reference->TotalEntries());
   for (int32_t r = 0; r < reference->num_replicates(); ++r) {
     for (NodeId v = 0; v < reference->num_nodes(); ++v) {
-      auto a = (*healed)->List(r, v);
-      auto b = reference->List(r, v);
+      auto a = (*healed)->DecodeList(r, v);
+      auto b = reference->DecodeList(r, v);
       ASSERT_EQ(a.size(), b.size());
       for (size_t j = 0; j < a.size(); ++j) {
         EXPECT_EQ(a[j].id, b[j].id);

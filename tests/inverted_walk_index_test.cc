@@ -29,7 +29,7 @@ using Entry = InvertedWalkIndex::Entry;
 std::vector<std::pair<NodeId, int32_t>> ListOf(const InvertedWalkIndex& index,
                                                int32_t replicate, NodeId v) {
   std::vector<std::pair<NodeId, int32_t>> out;
-  for (const Entry& e : index.List(replicate, v)) {
+  for (const Entry& e : index.DecodeList(replicate, v)) {
     out.emplace_back(e.id, e.weight);
   }
   return out;
@@ -142,8 +142,42 @@ TEST(InvertedWalkIndexTest, EntryBoundAndMemoryAccounting) {
   // At most n * R * L postings, at least one per walk on a connected graph.
   EXPECT_LE(index.TotalEntries(), 50 * 4 * 5);
   EXPECT_GE(index.TotalEntries(), 50 * 4);
-  EXPECT_GE(index.MemoryUsageBytes(),
-            index.TotalEntries() * static_cast<int64_t>(sizeof(Entry)));
+  // The compressed layout has to beat the raw one by at least 2x: raw
+  // spends 8 bytes per posting, the codec 1-2 plus two u32 offset arrays.
+  EXPECT_GT(index.MemoryUsageBytes(), 0);
+  EXPECT_EQ(index.UncompressedBytes(),
+            4 * (50 + 1) * 8 + index.TotalEntries() * 8);
+  EXPECT_GE(index.UncompressedBytes(), 2 * index.MemoryUsageBytes());
+}
+
+TEST(InvertedWalkIndexTest, CursorBlocksConcatenateToDecodeList) {
+  // On a star every leaf walk hits the hub at hop 1, so the hub's list
+  // holds n - 1 = 299 postings — guaranteed past kPostingBlockEntries,
+  // forcing the cursor to take multiple steps.
+  Graph graph = GenerateStar(300);
+  RandomWalkSource source(&graph, 17);
+  InvertedWalkIndex index = InvertedWalkIndex::Build(4, 1, &source);
+  int64_t multi_block_lists = 0;
+  for (NodeId v = 0; v < index.num_nodes(); ++v) {
+    const std::vector<Entry> whole = index.DecodeList(0, v);
+    std::vector<Entry> stitched;
+    for (auto cursor = index.List(0, v); cursor.Next();) {
+      for (int32_t k = 0; k < cursor.count(); ++k) {
+        stitched.push_back({cursor.ids()[k], cursor.weights()[k]});
+      }
+    }
+    ASSERT_EQ(stitched.size(), whole.size()) << "node " << v;
+    for (size_t k = 0; k < whole.size(); ++k) {
+      EXPECT_EQ(stitched[k], whole[k]) << "node " << v << " entry " << k;
+    }
+    EXPECT_EQ(index.ListEntries(0, v),
+              static_cast<int64_t>(whole.size()));
+    if (whole.size() > static_cast<size_t>(kPostingBlockEntries)) {
+      ++multi_block_lists;
+    }
+  }
+  EXPECT_GT(multi_block_lists, 0)
+      << "substrate too small to exercise multi-block cursors";
 }
 
 TEST(InvertedWalkIndexTest, WeightsAreWithinBudget) {
@@ -154,7 +188,7 @@ TEST(InvertedWalkIndexTest, WeightsAreWithinBudget) {
   InvertedWalkIndex index = InvertedWalkIndex::Build(length, 2, &source);
   for (int32_t i = 0; i < index.num_replicates(); ++i) {
     for (NodeId v = 0; v < index.num_nodes(); ++v) {
-      for (const Entry& e : index.List(i, v)) {
+      for (const Entry& e : index.DecodeList(i, v)) {
         EXPECT_GE(e.weight, 1);
         EXPECT_LE(e.weight, length);
         EXPECT_NE(e.id, v);  // A walk never indexes its own start.

@@ -1,0 +1,221 @@
+// The delta + varint posting codec: boundary varints round-trip, lists of
+// every shape (empty, singleton, one block, many blocks) survive
+// encode/decode, the checked decoder rejects each malformation class, and
+// compressed lists decode to exactly what a raw CSR build produces.
+#include "index/postings_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "graph/generators.h"
+#include "index/inverted_walk_index.h"
+#include "walk/walk_source.h"
+
+namespace rwdom {
+namespace {
+
+TEST(PostingsCodecTest, VarintBoundaryValuesRoundTrip) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            129,
+                            (1u << 14) - 1,
+                            1u << 14,
+                            (1u << 14) + 1,
+                            (1u << 21) - 1,
+                            1u << 21,
+                            static_cast<uint64_t>(
+                                std::numeric_limits<NodeId>::max()),
+                            std::numeric_limits<uint64_t>::max()};
+  for (uint64_t value : cases) {
+    std::vector<uint8_t> bytes;
+    AppendVarint64(value, &bytes);
+    EXPECT_EQ(static_cast<int32_t>(bytes.size()), Varint64Length(value))
+        << value;
+    uint64_t decoded = 0;
+    const uint8_t* end = DecodeVarint64(bytes.data(), &decoded);
+    EXPECT_EQ(decoded, value);
+    EXPECT_EQ(end, bytes.data() + bytes.size());
+    decoded = 0;
+    const uint8_t* checked_end = DecodeVarint64Checked(
+        bytes.data(), bytes.data() + bytes.size(), &decoded);
+    ASSERT_NE(checked_end, nullptr) << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_EQ(checked_end, bytes.data() + bytes.size());
+  }
+}
+
+TEST(PostingsCodecTest, CheckedVarintRejectsTruncationAndOverlength) {
+  std::vector<uint8_t> bytes;
+  AppendVarint64(std::numeric_limits<uint64_t>::max(), &bytes);
+  ASSERT_EQ(bytes.size(), 10u);
+  uint64_t out = 0;
+  // Every proper prefix is a truncation.
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_EQ(DecodeVarint64Checked(bytes.data(), bytes.data() + len, &out),
+              nullptr)
+        << len;
+  }
+  // An 11-byte varint (ten continuation bytes) is over-length.
+  std::vector<uint8_t> overlong(11, 0x80);
+  overlong.back() = 0x01;
+  EXPECT_EQ(DecodeVarint64Checked(overlong.data(),
+                                  overlong.data() + overlong.size(), &out),
+            nullptr);
+}
+
+TEST(PostingsCodecTest, WeightBitsMatchesLengthBudget) {
+  EXPECT_EQ(PostingWeightBits(0), 0);
+  EXPECT_EQ(PostingWeightBits(1), 0);
+  EXPECT_EQ(PostingWeightBits(2), 1);
+  EXPECT_EQ(PostingWeightBits(3), 2);
+  EXPECT_EQ(PostingWeightBits(4), 2);
+  EXPECT_EQ(PostingWeightBits(5), 3);
+  EXPECT_EQ(PostingWeightBits(8), 3);
+  EXPECT_EQ(PostingWeightBits(9), 4);
+}
+
+std::vector<PostingEntry> RoundTrip(const std::vector<PostingEntry>& list,
+                                    int32_t weight_bits, NodeId num_nodes,
+                                    int32_t length) {
+  std::vector<uint8_t> bytes;
+  EncodePostingList(list.data(), list.size(), weight_bits, &bytes);
+  std::vector<PostingEntry> decoded;
+  EXPECT_TRUE(DecodePostingListChecked(
+      bytes.data(), bytes.data() + bytes.size(),
+      static_cast<int64_t>(list.size()), weight_bits, num_nodes, length,
+      &decoded));
+  return decoded;
+}
+
+TEST(PostingsCodecTest, ListShapesRoundTrip) {
+  const int32_t length = 6;
+  const int32_t weight_bits = PostingWeightBits(length);
+  const NodeId num_nodes = 100000;
+
+  EXPECT_EQ(RoundTrip({}, weight_bits, num_nodes, length).size(), 0u);
+
+  const std::vector<PostingEntry> singleton = {{0, 1}};
+  EXPECT_EQ(RoundTrip(singleton, weight_bits, num_nodes, length), singleton);
+
+  // Exactly one block, exactly a block boundary, and several blocks.
+  for (int32_t count :
+       {kPostingBlockEntries - 1, kPostingBlockEntries,
+        kPostingBlockEntries + 1, 5 * kPostingBlockEntries + 17}) {
+    std::vector<PostingEntry> list;
+    for (int32_t k = 0; k < count; ++k) {
+      list.push_back({k * 3 + (k % 2), 1 + (k % length)});
+    }
+    EXPECT_EQ(RoundTrip(list, weight_bits, num_nodes, length), list)
+        << count;
+  }
+
+  // Extreme ids: 0 and the largest NodeId, with a maximal delta between.
+  const NodeId max_id = std::numeric_limits<NodeId>::max() - 1;
+  const std::vector<PostingEntry> extremes = {{0, length}, {max_id, 1}};
+  EXPECT_EQ(RoundTrip(extremes, weight_bits,
+                      std::numeric_limits<NodeId>::max(), length),
+            extremes);
+}
+
+TEST(PostingsCodecTest, CheckedDecodeRejectsMalformedLists) {
+  const int32_t length = 6;
+  const int32_t weight_bits = PostingWeightBits(length);
+  const std::vector<PostingEntry> list = {{3, 2}, {9, 6}, {20, 1}};
+  std::vector<uint8_t> bytes;
+  EncodePostingList(list.data(), list.size(), weight_bits, &bytes);
+  std::vector<PostingEntry> out;
+
+  // Wrong count: too few and too many entries for the byte span.
+  EXPECT_FALSE(DecodePostingListChecked(bytes.data(),
+                                        bytes.data() + bytes.size(), 2,
+                                        weight_bits, 100, length, &out));
+  EXPECT_FALSE(DecodePostingListChecked(bytes.data(),
+                                        bytes.data() + bytes.size(), 4,
+                                        weight_bits, 100, length, &out));
+  // An id past the universe.
+  EXPECT_FALSE(DecodePostingListChecked(bytes.data(),
+                                        bytes.data() + bytes.size(), 3,
+                                        weight_bits, 20, length, &out));
+  // A weight past the budget: the middle entry's hop 6 under length 5.
+  EXPECT_FALSE(DecodePostingListChecked(bytes.data(),
+                                        bytes.data() + bytes.size(), 3,
+                                        weight_bits, 100, 5, &out));
+  // Truncated stream.
+  EXPECT_FALSE(DecodePostingListChecked(bytes.data(),
+                                        bytes.data() + bytes.size() - 1, 3,
+                                        weight_bits, 100, length, &out));
+  // A zero delta (ids must strictly ascend): hand-craft value 0.
+  std::vector<uint8_t> zero_delta;
+  AppendVarint64(0, &zero_delta);
+  EXPECT_FALSE(DecodePostingListChecked(
+      zero_delta.data(), zero_delta.data() + zero_delta.size(), 1,
+      weight_bits, 100, length, &out));
+  // The well-formed original still passes.
+  EXPECT_TRUE(DecodePostingListChecked(bytes.data(),
+                                       bytes.data() + bytes.size(), 3,
+                                       weight_bits, 100, length, &out));
+  EXPECT_EQ(out, list);
+}
+
+TEST(PostingsCodecTest, RandomListsRoundTripDifferentially) {
+  std::mt19937_64 rng(20140401);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int32_t length = 1 + static_cast<int32_t>(rng() % 12);
+    const int32_t weight_bits = PostingWeightBits(length);
+    const NodeId num_nodes = 1 + static_cast<NodeId>(rng() % 5000);
+    std::vector<PostingEntry> list;
+    NodeId id = -1;
+    while (true) {
+      id += 1 + static_cast<NodeId>(rng() % 40);
+      if (id >= num_nodes) break;
+      list.push_back({id, 1 + static_cast<int32_t>(rng() % length)});
+    }
+    EXPECT_EQ(RoundTrip(list, weight_bits, num_nodes, length), list)
+        << "trial " << trial;
+  }
+}
+
+// The compressed index decodes to exactly what a brute-force inversion
+// of the same deterministic walk streams yields — cross-checked through
+// the public DecodeList surface on a real substrate.
+TEST(PostingsCodecTest, CompressedIndexMatchesRawInversion) {
+  auto graph = GenerateBarabasiAlbert(120, 3, 91);
+  ASSERT_TRUE(graph.ok());
+  const int32_t length = 7;
+  const int32_t replicates = 2;
+  RandomWalkSource source(&*graph, 5);
+  InvertedWalkIndex index =
+      InvertedWalkIndex::Build(length, replicates, &source);
+
+  // Replay the identical walks (stream sampling is (node, replicate)
+  // addressable and deterministic) and invert them by hand.
+  RandomWalkSource replay(&*graph, 5);
+  std::vector<NodeId> walk;
+  for (int32_t i = 0; i < replicates; ++i) {
+    std::vector<std::vector<PostingEntry>> expected(120);
+    for (NodeId w = 0; w < 120; ++w) {
+      replay.SampleWalkStream(w, static_cast<uint64_t>(i), length, &walk);
+      std::vector<bool> visited(120, false);
+      visited[static_cast<size_t>(walk[0])] = true;
+      for (size_t j = 1; j < walk.size(); ++j) {
+        if (visited[static_cast<size_t>(walk[j])]) continue;
+        visited[static_cast<size_t>(walk[j])] = true;
+        expected[static_cast<size_t>(walk[j])].push_back(
+            {w, static_cast<int32_t>(j)});
+      }
+    }
+    for (NodeId v = 0; v < 120; ++v) {
+      EXPECT_EQ(index.DecodeList(i, v), expected[static_cast<size_t>(v)])
+          << "replicate " << i << " node " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -1,0 +1,167 @@
+// The SIMD dispatch seam's contract: every kernel returns bit-identical
+// results at every level the CPU supports (the accumulation is integral,
+// so there is no tolerance to hide behind), levels clamp to hardware,
+// and the full gain pipeline agrees scalar-vs-SIMD on a real substrate.
+#include "util/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/node_set.h"
+#include "index/gain_state.h"
+#include "index/inverted_walk_index.h"
+#include "walk/walk_source.h"
+
+namespace rwdom {
+namespace {
+
+std::vector<SimdLevel> SupportedLevels() {
+  std::vector<SimdLevel> levels = {SimdLevel::kScalar};
+  if (MaxSupportedSimdLevel() >= SimdLevel::kSse42) {
+    levels.push_back(SimdLevel::kSse42);
+  }
+  if (MaxSupportedSimdLevel() >= SimdLevel::kAvx2) {
+    levels.push_back(SimdLevel::kAvx2);
+  }
+  return levels;
+}
+
+// Restores the environment-selected level when a test ends.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level)
+      : previous_(ActiveSimdLevel()) {
+    SetSimdLevelForTest(level);
+  }
+  ~ScopedSimdLevel() { SetSimdLevelForTest(previous_); }
+
+ private:
+  SimdLevel previous_;
+};
+
+TEST(SimdKernelsTest, LevelsClampToCpuSupport) {
+  const SimdLevel max = MaxSupportedSimdLevel();
+  ScopedSimdLevel guard(max);
+  EXPECT_EQ(SetSimdLevelForTest(SimdLevel::kScalar), SimdLevel::kScalar);
+  EXPECT_LE(static_cast<int>(SetSimdLevelForTest(SimdLevel::kAvx2)),
+            static_cast<int>(max));
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kSse42), "sse42");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(SimdKernelsTest, TallySavingsAndZerosAgreeAcrossLevels) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int32_t n = 1 + static_cast<int32_t>(rng() % 500);
+    // Lengths straddling every lane-width boundary, including 0.
+    const int32_t count = static_cast<int32_t>(rng() % 130);
+    std::vector<int32_t> d_row(static_cast<size_t>(n));
+    for (int32_t& d : d_row) d = static_cast<int32_t>(rng() % 12);
+    std::vector<int32_t> ids(static_cast<size_t>(count));
+    std::vector<int32_t> weights(static_cast<size_t>(count));
+    for (int32_t k = 0; k < count; ++k) {
+      ids[static_cast<size_t>(k)] = static_cast<int32_t>(rng() % n);
+      weights[static_cast<size_t>(k)] = 1 + static_cast<int32_t>(rng() % 11);
+    }
+
+    int64_t expected_savings = 0;
+    int64_t expected_zeros = 0;
+    {
+      ScopedSimdLevel guard(SimdLevel::kScalar);
+      expected_savings = TallySavings(d_row.data(), ids.data(),
+                                      weights.data(), count);
+      expected_zeros = TallyZeros(d_row.data(), ids.data(), count);
+    }
+    for (SimdLevel level : SupportedLevels()) {
+      ScopedSimdLevel guard(level);
+      EXPECT_EQ(TallySavings(d_row.data(), ids.data(), weights.data(),
+                             count),
+                expected_savings)
+          << SimdLevelName(level) << " trial " << trial;
+      EXPECT_EQ(TallyZeros(d_row.data(), ids.data(), count),
+                expected_zeros)
+          << SimdLevelName(level) << " trial " << trial;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, TallyFirstHitsAgreesAcrossLevels) {
+  std::mt19937_64 rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int32_t n = 2 + static_cast<int32_t>(rng() % 300);
+    const int32_t row_len = 1 + static_cast<int32_t>(rng() % 9);
+    const int64_t num_rows = static_cast<int64_t>(rng() % 40);
+    NodeFlagSet flags(n);
+    const int32_t num_flagged = static_cast<int32_t>(rng() % (n / 2 + 1));
+    for (int32_t k = 0; k < num_flagged; ++k) {
+      flags.Insert(static_cast<NodeId>(rng() % n));
+    }
+    std::vector<int32_t> rows(static_cast<size_t>(num_rows) *
+                              static_cast<size_t>(row_len));
+    for (int32_t& id : rows) id = static_cast<int32_t>(rng() % n);
+
+    FirstHitTally expected;
+    {
+      ScopedSimdLevel guard(SimdLevel::kScalar);
+      expected = TallyFirstHits(flags.flags_data(), rows.data(), num_rows,
+                                row_len);
+    }
+    for (SimdLevel level : SupportedLevels()) {
+      ScopedSimdLevel guard(level);
+      const FirstHitTally got = TallyFirstHits(flags.flags_data(),
+                                               rows.data(), num_rows,
+                                               row_len);
+      EXPECT_EQ(got.hits, expected.hits)
+          << SimdLevelName(level) << " trial " << trial;
+      EXPECT_EQ(got.hit_time_sum, expected.hit_time_sum)
+          << SimdLevelName(level) << " trial " << trial;
+    }
+  }
+}
+
+// End-to-end: the greedy gain pipeline over a real compressed index
+// produces byte-identical doubles at every level.
+TEST(SimdKernelsTest, GainPipelineIsLevelInvariant) {
+  auto graph = GenerateBarabasiAlbert(80, 3, 19);
+  ASSERT_TRUE(graph.ok());
+  RandomWalkSource source(&*graph, 3);
+  InvertedWalkIndex index = InvertedWalkIndex::Build(6, 3, &source);
+
+  for (Problem problem :
+       {Problem::kHittingTime, Problem::kDominatedCount}) {
+    std::vector<double> reference_gains;
+    double reference_objective = 0.0;
+    {
+      ScopedSimdLevel guard(SimdLevel::kScalar);
+      GainState state(&index, problem);
+      state.ApproxGainAll(&reference_gains);
+      state.Commit(5);
+      state.Commit(17);
+      reference_objective = state.EstimatedObjective();
+    }
+    for (SimdLevel level : SupportedLevels()) {
+      ScopedSimdLevel guard(level);
+      GainState state(&index, problem);
+      std::vector<double> gains;
+      state.ApproxGainAll(&gains);
+      ASSERT_EQ(gains.size(), reference_gains.size());
+      for (size_t u = 0; u < gains.size(); ++u) {
+        // EXPECT_EQ, not NEAR: integer-exact accumulation is the claim.
+        EXPECT_EQ(gains[u], reference_gains[u])
+            << SimdLevelName(level) << " node " << u;
+      }
+      state.Commit(5);
+      state.Commit(17);
+      EXPECT_EQ(state.EstimatedObjective(), reference_objective)
+          << SimdLevelName(level);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rwdom

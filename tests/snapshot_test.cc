@@ -1,8 +1,9 @@
-// The persist layer's contract: v2 snapshots round-trip bit-exactly
+// The persist layer's contract: v3 snapshots round-trip bit-exactly
 // under their ArtifactKey, every corruption mode (truncation, flipped
 // checksum bytes, bad magic, trailing garbage, foreign versions) is a
 // kCorruption rejection — never a crash or a silently wrong index — and
-// pre-redesign v1 files still load (minus the key they never carried).
+// legacy v2/v1 files still load, transparently recompressed (v1 minus
+// the key it never carried).
 #include "persist/snapshot.h"
 
 #include <gtest/gtest.h>
@@ -12,9 +13,11 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "graph/generators.h"
 #include "index/gain_state.h"
+#include "util/fingerprint.h"
 #include "walk/walk_source.h"
 
 namespace rwdom {
@@ -56,7 +59,7 @@ TEST(SnapshotTest, RoundTripPreservesEveryPostingAndTheKey) {
 
   auto loaded = WalkIndexSerializer::Load(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status();
-  EXPECT_EQ(loaded->version, 2u);
+  EXPECT_EQ(loaded->version, 3u);
   ASSERT_TRUE(loaded->key.has_value());
   EXPECT_EQ(*loaded->key, key);
   EXPECT_EQ(loaded->key->CanonicalString(), key.CanonicalString());
@@ -66,8 +69,8 @@ TEST(SnapshotTest, RoundTripPreservesEveryPostingAndTheKey) {
   EXPECT_EQ(loaded->index.TotalEntries(), index.TotalEntries());
   for (int32_t i = 0; i < index.num_replicates(); ++i) {
     for (NodeId v = 0; v < index.num_nodes(); ++v) {
-      auto a = index.List(i, v);
-      auto b = loaded->index.List(i, v);
+      auto a = index.DecodeList(i, v);
+      auto b = loaded->index.DecodeList(i, v);
       ASSERT_EQ(a.size(), b.size()) << i << " " << v;
       for (size_t j = 0; j < a.size(); ++j) {
         EXPECT_EQ(a[j].id, b[j].id);
@@ -134,17 +137,36 @@ TEST(SnapshotTest, TruncationRejected) {
   std::remove(path.c_str());
 }
 
-TEST(SnapshotTest, FlippedPayloadByteFailsTheSectionChecksum) {
+TEST(SnapshotTest, FlippedPayloadByteFailsTheBlockChecksum) {
   InvertedWalkIndex index = BuildSampleIndex(4);
   const std::string path = TempPath("rwdom_snapshot_payload_flip.rwidx");
   ASSERT_TRUE(WalkIndexSerializer::Save(index, SampleKey(4), path).ok());
   std::string bytes = ReadBytes(path);
-  bytes[bytes.size() - 5] ^= 0x40;  // Inside the last replicate's entries.
+  bytes[bytes.size() - 5] ^= 0x40;  // Inside the last posting block.
   WriteBytes(path, bytes);
   auto result = WalkIndexSerializer::Load(path);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
-  EXPECT_NE(result.status().message().find("section checksum"),
+  EXPECT_NE(result.status().message().find("block"), std::string::npos)
+      << result.status();
+  EXPECT_NE(result.status().message().find("checksum"), std::string::npos)
+      << result.status();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, FlippedOffsetByteFailsTheOffsetsChecksum) {
+  InvertedWalkIndex index = BuildSampleIndex(4);
+  const std::string path = TempPath("rwdom_snapshot_offsets_flip.rwidx");
+  ASSERT_TRUE(WalkIndexSerializer::Save(index, SampleKey(4), path).ok());
+  std::string bytes = ReadBytes(path);
+  // First replicate's entry_offsets start right after the 48-byte header
+  // and the 24-byte section preamble.
+  bytes[48 + 24 + 2] ^= 0x20;
+  WriteBytes(path, bytes);
+  auto result = WalkIndexSerializer::Load(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("offsets checksum"),
             std::string::npos)
       << result.status();
   std::remove(path.c_str());
@@ -225,12 +247,111 @@ TEST(SnapshotTest, LegacyV1FilesStillLoadWithoutAKey) {
   EXPECT_EQ(loaded->index.num_nodes(), 2);
   EXPECT_EQ(loaded->index.length(), 3);
   EXPECT_EQ(loaded->index.num_replicates(), 1);
-  ASSERT_EQ(loaded->index.List(0, 0).size(), 1u);
-  EXPECT_EQ(loaded->index.List(0, 0)[0].id, 1);
-  EXPECT_EQ(loaded->index.List(0, 0)[0].weight, 1);
-  ASSERT_EQ(loaded->index.List(0, 1).size(), 1u);
-  EXPECT_EQ(loaded->index.List(0, 1)[0].id, 0);
-  EXPECT_EQ(loaded->index.List(0, 1)[0].weight, 2);
+  ASSERT_EQ(loaded->index.DecodeList(0, 0).size(), 1u);
+  EXPECT_EQ(loaded->index.DecodeList(0, 0)[0].id, 1);
+  EXPECT_EQ(loaded->index.DecodeList(0, 0)[0].weight, 1);
+  ASSERT_EQ(loaded->index.DecodeList(0, 1).size(), 1u);
+  EXPECT_EQ(loaded->index.DecodeList(0, 1)[0].id, 0);
+  EXPECT_EQ(loaded->index.DecodeList(0, 1)[0].weight, 2);
+  std::remove(path.c_str());
+}
+
+// Writes a hand-rolled v2 file (raw CSR sections under per-section
+// checksums): 2 nodes, L=3, R=1 — byte-for-byte what the
+// pre-compression serializer emitted. `entries` is interleaved
+// (id, weight) pairs, one per node by default via `offsets`.
+std::string WriteV2SampleWith(const char* name, const ArtifactKey& key,
+                              const std::vector<int64_t>& offsets,
+                              const std::vector<int32_t>& entries) {
+  const std::string path = TempPath(name);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  auto pod = [&out](const auto& value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+  };
+  char body[32];
+  size_t at = 0;
+  auto put = [&](const void* data, size_t size) {
+    std::memcpy(body + at, data, size);
+    at += size;
+  };
+  const int32_t num_nodes = 2;
+  const int32_t num_replicates = 1;
+  put(&key.length, sizeof(int32_t));
+  put(&key.num_samples, sizeof(int32_t));
+  put(&key.seed, sizeof(uint64_t));
+  put(&key.substrate_fingerprint, sizeof(uint64_t));
+  put(&num_nodes, sizeof(int32_t));
+  put(&num_replicates, sizeof(int32_t));
+  out.write("RWDX", 4);
+  pod(uint32_t{2});  // version
+  pod(FingerprintBytes(body, sizeof(body)));
+  out.write(body, sizeof(body));
+
+  Fingerprint section;
+  section.Update(offsets.data(), offsets.size() * sizeof(int64_t));
+  section.Update(entries.data(), entries.size() * sizeof(int32_t));
+  pod(static_cast<uint64_t>(entries.size() / 2));  // entry_count
+  pod(section.Digest());
+  out.write(reinterpret_cast<const char*>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() * sizeof(int64_t)));
+  out.write(reinterpret_cast<const char*>(entries.data()),
+            static_cast<std::streamsize>(entries.size() * sizeof(int32_t)));
+  return path;
+}
+
+std::string WriteV2Sample(const char* name, const ArtifactKey& key) {
+  return WriteV2SampleWith(name, key, {0, 1, 2},
+                           {1, 1,   // node 0: {id 1, hop 1}
+                            0, 2});  // node 1: {id 0, hop 2}
+}
+
+TEST(SnapshotTest, LegacyV2FilesLoadRecompressedWithTheirKey) {
+  const ArtifactKey key{3, 1, 77, 0x1122334455667788ull};
+  const std::string path = WriteV2Sample("rwdom_snapshot_v2.rwidx", key);
+  auto loaded = WalkIndexSerializer::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->version, 2u);
+  ASSERT_TRUE(loaded->key.has_value());
+  EXPECT_EQ(*loaded->key, key);
+  EXPECT_EQ(loaded->index.num_nodes(), 2);
+  EXPECT_EQ(loaded->index.length(), 3);
+  EXPECT_EQ(loaded->index.num_replicates(), 1);
+  ASSERT_EQ(loaded->index.DecodeList(0, 0).size(), 1u);
+  EXPECT_EQ(loaded->index.DecodeList(0, 0)[0].id, 1);
+  EXPECT_EQ(loaded->index.DecodeList(0, 0)[0].weight, 1);
+  ASSERT_EQ(loaded->index.DecodeList(0, 1).size(), 1u);
+  EXPECT_EQ(loaded->index.DecodeList(0, 1)[0].id, 0);
+  EXPECT_EQ(loaded->index.DecodeList(0, 1)[0].weight, 2);
+  // Inspect still understands the legacy layout, deep verify included.
+  auto meta = WalkIndexSerializer::Inspect(path, /*verify=*/true);
+  ASSERT_TRUE(meta.ok()) << meta.status();
+  EXPECT_EQ(meta->version, 2u);
+  EXPECT_EQ(meta->total_entries, 2);
+  // Saving the recompressed index re-publishes it as v3.
+  const std::string resaved = TempPath("rwdom_snapshot_v2_resave.rwidx");
+  ASSERT_TRUE(
+      WalkIndexSerializer::Save(loaded->index, key, resaved).ok());
+  auto reloaded = WalkIndexSerializer::Load(resaved);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded->version, 3u);
+  EXPECT_EQ(reloaded->index.TotalEntries(), 2);
+  std::remove(path.c_str());
+  std::remove(resaved.c_str());
+}
+
+TEST(SnapshotTest, LegacyV2WithUnsortedListRejected) {
+  // Node 0's list holds ids {1, 1} — checksummed correctly, but not
+  // strictly ascending. Recompression requires positive deltas, so
+  // structural validation must catch what the checksum cannot.
+  const ArtifactKey key{3, 1, 78, 0x1122334455667788ull};
+  const std::string path = WriteV2SampleWith(
+      "rwdom_snapshot_v2_unsorted.rwidx", key, {0, 2, 2},
+      {1, 1, 1, 2});
+  auto result = WalkIndexSerializer::Load(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("unsorted"), std::string::npos)
+      << result.status();
   std::remove(path.c_str());
 }
 
@@ -243,7 +364,7 @@ TEST(SnapshotTest, InspectReportsShapeCheaplyAndVerifiesDeeply) {
   for (bool verify : {false, true}) {
     auto meta = WalkIndexSerializer::Inspect(path, verify);
     ASSERT_TRUE(meta.ok()) << meta.status();
-    EXPECT_EQ(meta->version, 2u);
+    EXPECT_EQ(meta->version, 3u);
     ASSERT_TRUE(meta->key.has_value());
     EXPECT_EQ(*meta->key, key);
     EXPECT_EQ(meta->num_nodes, index.num_nodes());
