@@ -2,7 +2,10 @@
 // by a well-provisioned server, (b) by a deliberately starved server
 // (one worker, queue depth one) with retrying clients riding out the
 // shedding, and (c) under a deterministic 10% socket-send fault
-// schedule with reconnecting clients.
+// schedule with reconnecting clients. The degraded phases (b) and (c)
+// run once per serving core (--io=threaded and --io=epoll): shedding,
+// retry hints and fault handling must degrade identically whichever
+// core is under the protocol.
 //
 // The point is not the absolute numbers — overload throughput depends
 // on backoff sleeps — but the two gates every phase shares:
@@ -25,6 +28,7 @@
 #include "graph/generators.h"
 #include "harness/experiment.h"
 #include "server/client.h"
+#include "server/event_loop.h"
 #include "server/server.h"
 #include "service/query_context.h"
 #include "util/fault.h"
@@ -184,12 +188,16 @@ int Run(int argc, char** argv) {
     rows.push_back(row);
   }
 
-  // Phase B: starved — one worker, queue depth one, so most connects are
-  // shed with a retry hint. Retrying clients must still deliver every
-  // query, and every delivered byte must match the cold reference.
-  {
+  // Phase B: starved — one worker (or shard), queue depth one, so most
+  // connects are shed with a retry hint. Retrying clients must still
+  // deliver every query, and every delivered byte must match the cold
+  // reference — under either serving core.
+  for (IoMode io : {IoMode::kThreaded, IoMode::kEpoll}) {
+    const std::string phase =
+        StrFormat("overload_shed_retry_%s", IoModeName(io));
     QueryContext context{GraphSubstrate(Graph(graph))};
     ServerOptions options;
+    options.io = io;
     options.threads = 1;
     options.max_queue_depth = 1;
     options.retry_after_ms = 2;
@@ -215,7 +223,7 @@ int Run(int argc, char** argv) {
           auto response = client.Roundtrip(lines[i]);
           RWDOM_CHECK(response.ok()) << "client " << c << ": "
                                      << response.status();
-          check("overload_shed_retry", i, *response);
+          check(phase, i, *response);
           delivered.fetch_add(1);
         }
         retries.fetch_add(client.retries_performed());
@@ -227,19 +235,19 @@ int Run(int argc, char** argv) {
     server->Shutdown();
 
     Row row;
-    row.phase = "overload_shed_retry";
+    row.phase = phase;
     row.clients = kClients;
     row.queries = delivered.load();
     row.retries = retries.load();
     row.seconds = seconds;
     row.qps = seconds > 0.0 ? row.queries / seconds : 0.0;
     rows.push_back(row);
-    std::printf("overload phase: %lld connections shed by the server\n",
+    std::printf("%s: %lld connections shed by the server\n", phase.c_str(),
                 static_cast<long long>(stats.requests_shed));
     if (row.queries !=
         static_cast<int64_t>(kClients) * kQueriesPerClient) {
       deterministic = false;
-      std::fprintf(stderr, "overload phase lost queries: %lld of %lld\n",
+      std::fprintf(stderr, "%s lost queries: %lld of %lld\n", phase.c_str(),
                    static_cast<long long>(row.queries),
                    static_cast<long long>(kClients * kQueriesPerClient));
     }
@@ -248,10 +256,14 @@ int Run(int argc, char** argv) {
   // Phase C: every 10th send (greeting, request or response — client and
   // server share the process-wide fault site) fails with EPIPE. One
   // client reconnects through the carnage until every query is answered;
-  // the answers must still be the cold bytes.
-  {
+  // the answers must still be the cold bytes — under either serving core
+  // (the epoll loop arms the same fault site per queued response).
+  for (IoMode io : {IoMode::kThreaded, IoMode::kEpoll}) {
+    const std::string phase =
+        StrFormat("fault_10pct_sends_%s", IoModeName(io));
     QueryContext context{GraphSubstrate(Graph(graph))};
     ServerOptions options;
+    options.io = io;
     options.threads = 2;
     auto server = make_server(&context, options);
     Status started = server->Start();
@@ -281,7 +293,7 @@ int Run(int argc, char** argv) {
           ++reconnects;
           break;  // Connection is dead; re-send this query on a new one.
         }
-        check("fault_10pct_sends", next_query, *response);
+        check(phase, next_query, *response);
         next_query = (next_query + 1) % lines.size();
         ++delivered;
       }
@@ -291,7 +303,7 @@ int Run(int argc, char** argv) {
     server->Shutdown();
 
     Row row;
-    row.phase = "fault_10pct_sends";
+    row.phase = phase;
     row.clients = 1;
     row.queries = delivered;
     row.retries = reconnects;
@@ -300,14 +312,14 @@ int Run(int argc, char** argv) {
     rows.push_back(row);
     if (delivered != target) {
       deterministic = false;
-      std::fprintf(stderr, "fault phase lost queries: %lld of %lld\n",
+      std::fprintf(stderr, "%s lost queries: %lld of %lld\n", phase.c_str(),
                    static_cast<long long>(delivered),
                    static_cast<long long>(target));
     }
     if (reconnects == 0) {
       deterministic = false;
-      std::fprintf(stderr,
-                   "fault phase saw no failures — schedule never fired\n");
+      std::fprintf(stderr, "%s saw no failures — schedule never fired\n",
+                   phase.c_str());
     }
   }
   SetNumThreads(0);

@@ -73,9 +73,10 @@ Status RunServe(const CommandEnv& env) {
         "--max_connections must be in [1, 65536]");
   }
   options.max_connections = static_cast<int>(max_connections);
-  // The global --threads (or RWDOM_THREADS) doubles as the worker-pool
-  // size: one knob for "how parallel is this process". Within a worker,
-  // nested compute parallelism shares the one process-wide pool.
+  // The global --threads (or RWDOM_THREADS) doubles as the serving
+  // width — worker-pool size or event-loop shard count, per --io: one
+  // knob for "how parallel is this process". Within a dispatch, nested
+  // compute parallelism shares the one process-wide pool.
   options.threads = NumThreads();
   RWDOM_ASSIGN_OR_RETURN(int64_t request_timeout_ms,
                          IntFlagOr(env.invocation, "request_timeout_ms", 0));
@@ -110,6 +111,18 @@ Status RunServe(const CommandEnv& env) {
     return Status::InvalidArgument("--retry_after_ms must be >= 0");
   }
   options.retry_after_ms = static_cast<int>(retry_after_ms);
+  const std::string io = FlagOr(env.invocation, "io", "");
+  if (!io.empty()) {
+    RWDOM_ASSIGN_OR_RETURN(options.io, ParseIoMode(io));
+  }
+  RWDOM_ASSIGN_OR_RETURN(
+      int64_t write_buffer_bytes,
+      IntFlagOr(env.invocation, "write_buffer_bytes",
+                static_cast<int64_t>(options.write_buffer_bytes)));
+  if (write_buffer_bytes < 1024) {
+    return Status::InvalidArgument("--write_buffer_bytes must be >= 1024");
+  }
+  options.write_buffer_bytes = static_cast<size_t>(write_buffer_bytes);
   RWDOM_ASSIGN_OR_RETURN(int64_t max_cache_bytes,
                          IntFlagOr(env.invocation, "max_cache_bytes", 0));
   if (max_cache_bytes < 0) {
@@ -169,11 +182,11 @@ Status RunServe(const CommandEnv& env) {
   }
 
   env.out << StrFormat(
-      "serving %s substrate on %s:%d (threads=%d, max_connections=%d, "
-      "protocol_version=%d)\n",
+      "serving %s substrate on %s:%d (io=%s, threads=%d, "
+      "max_connections=%d, protocol_version=%d)\n",
       context.substrate().kind().c_str(), options.host.c_str(),
-      server.port(), options.threads, options.max_connections,
-      kProtocolVersion);
+      server.port(), IoModeName(options.io), options.threads,
+      options.max_connections, kProtocolVersion);
   if (cache.has_value()) {
     const PersistenceInfo persistence = context.persistence();
     env.out << StrFormat(
@@ -272,6 +285,14 @@ CommandDef MakeServeCommand() {
        "wait for a worker (default 0 = unbounded)"},
       {"retry_after_ms", "N",
        "backoff hint carried in shed/refusal errors (default 250)"},
+      {"io", "MODE",
+       "serving core: 'epoll' (non-blocking event loop with pipelining "
+       "and backpressure; Linux default) or 'threaded' (blocking worker "
+       "pool); RWDOM_IO overrides the default"},
+      {"write_buffer_bytes", "N",
+       "epoll mode: per-connection cap on buffered response bytes; a "
+       "peer that stops draining past it is paused (backpressure) "
+       "(default 262144)"},
       {"max_cache_bytes", "N",
        "index-cache memory budget: LRU-evict under pressure, refuse "
        "builds that can never fit (default 0 = unlimited)"},

@@ -1,0 +1,359 @@
+#include "server/event_loop.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "util/fault.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace rwdom {
+
+const char* IoModeName(IoMode mode) {
+  return mode == IoMode::kEpoll ? "epoll" : "threaded";
+}
+
+Result<IoMode> ParseIoMode(std::string_view name) {
+  if (name == "threaded") return IoMode::kThreaded;
+  if (name == "epoll") return IoMode::kEpoll;
+  return Status::InvalidArgument(
+      StrFormat("unknown io mode '%s' (want threaded|epoll)",
+                std::string(name).c_str()));
+}
+
+IoMode DefaultIoMode() {
+  const char* env = std::getenv("RWDOM_IO");
+  if (env != nullptr && *env != '\0') {
+    auto parsed = ParseIoMode(env);
+    if (parsed.ok()) return *parsed;
+    RWDOM_LOG(WARNING) << "ignoring unrecognized RWDOM_IO='" << env
+                       << "' (want threaded|epoll)";
+  }
+#ifdef __linux__
+  return IoMode::kEpoll;
+#else
+  return IoMode::kThreaded;
+#endif
+}
+
+EventLoopShard::EventLoopShard(EventLoopConfig config, EventLoopHooks hooks)
+    : config_(config), hooks_(std::move(hooks)) {
+  RWDOM_CHECK(hooks_.handle_line != nullptr);
+  RWDOM_CHECK(hooks_.oversized_response != nullptr);
+}
+
+EventLoopShard::~EventLoopShard() {
+  Stop();
+  Join();
+}
+
+Status EventLoopShard::Start() {
+  RWDOM_ASSIGN_OR_RETURN(epoll_, EpollSet::Create());
+  RWDOM_ASSIGN_OR_RETURN(wake_, MakeWakePipe());
+  // Non-blocking read end so DrainWakePipe can collapse queued pokes.
+  RWDOM_RETURN_IF_ERROR(SetNonBlocking(wake_.read_end.get()));
+  RWDOM_RETURN_IF_ERROR(
+      epoll_.Add(wake_.read_end.get(), /*want_read=*/true,
+                 /*want_write=*/false));
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void EventLoopShard::Adopt(UniqueFd connection) {
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    inbox_.push_back(std::move(connection));
+  }
+  if (wake_.write_end.valid()) PokeWakePipe(wake_.write_end.get());
+}
+
+void EventLoopShard::Stop() {
+  stopping_.store(true);
+  if (wake_.write_end.valid()) PokeWakePipe(wake_.write_end.get());
+}
+
+void EventLoopShard::Join() {
+  if (thread_.joinable()) thread_.join();
+  // Connections adopted after the loop exited never got service; their
+  // fds close here and the accept thread's active-connection increment
+  // is balanced, like a queued-but-never-served worker-pool connection.
+  std::vector<UniqueFd> orphans;
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    orphans.swap(inbox_);
+  }
+  for ([[maybe_unused]] UniqueFd& orphan : orphans) {
+    if (hooks_.on_connection_closed) hooks_.on_connection_closed();
+  }
+}
+
+void EventLoopShard::Run() {
+  std::vector<ReadyEvent> events;
+  for (;;) {
+    if (stopping_.load() && !draining_) EnterDrainMode();
+    if (draining_ && connections_.empty()) {
+      AdoptPending();  // Late arrivals are closed unserved while draining.
+      if (connections_.empty()) break;
+    }
+    auto waited = epoll_.Wait(&events, NextTimeoutMs());
+    if (!waited.ok()) {
+      RWDOM_LOG(WARNING) << "rwdom serve: event loop wait failed: "
+                         << waited.status();
+      break;
+    }
+    bool woken = false;
+    for (const ReadyEvent& event : events) {
+      if (event.fd == wake_.read_end.get()) {
+        woken = true;
+        continue;
+      }
+      ServiceConnection(event);
+    }
+    if (woken) {
+      DrainWakePipe(wake_.read_end.get());
+      if (stopping_.load() && !draining_) EnterDrainMode();
+      AdoptPending();
+    }
+    SweepWriteStalls();
+  }
+  while (!connections_.empty()) CloseConnection(connections_.begin()->first);
+}
+
+void EventLoopShard::AdoptPending() {
+  std::vector<UniqueFd> adopted;
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    adopted.swap(inbox_);
+  }
+  for (UniqueFd& connection : adopted) {
+    if (draining_ || !SetNonBlocking(connection.get()).ok()) {
+      if (hooks_.on_connection_closed) hooks_.on_connection_closed();
+      continue;  // UniqueFd closes the socket on scope exit.
+    }
+    const int fd = connection.get();
+    auto [it, inserted] = connections_.try_emplace(
+        fd, Connection(std::move(connection), config_.max_request_bytes));
+    RWDOM_CHECK(inserted);
+    if (!epoll_.Add(fd, /*want_read=*/true, /*want_write=*/false).ok()) {
+      connections_.erase(it);
+      if (hooks_.on_connection_closed) hooks_.on_connection_closed();
+    }
+  }
+}
+
+void EventLoopShard::ServiceConnection(const ReadyEvent& event) {
+  auto it = connections_.find(event.fd);
+  if (it == connections_.end()) return;  // Closed earlier in this batch.
+  Connection& conn = it->second;
+  if (event.error) {
+    CloseConnection(event.fd);
+    return;
+  }
+  bool alive = true;
+  if (event.readable && !conn.paused && !conn.saw_eof && !draining_ &&
+      !conn.close_after_flush) {
+    alive = ReadAndDecode(conn);
+  }
+  if (alive) alive = Flush(conn);
+  if (!alive) {
+    CloseConnection(event.fd);
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+bool EventLoopShard::ReadAndDecode(Connection& conn) {
+  char buf[16384];
+  for (;;) {
+    bool eof = false;
+    auto got = RecvSome(conn.fd.get(), buf, sizeof(buf), &eof);
+    if (!got.ok()) return false;
+    if (eof) {
+      conn.saw_eof = true;
+      conn.decoder.NotifyEof();
+      ProcessDecoded(conn);
+      return true;
+    }
+    if (*got == 0) return true;  // Socket drained; level-trigger re-arms.
+    conn.decoder.Append(std::string_view(buf, *got));
+    ProcessDecoded(conn);
+    if (conn.paused || conn.close_after_flush || draining_) return true;
+  }
+}
+
+void EventLoopShard::ProcessDecoded(Connection& conn) {
+  std::string line;
+  for (;;) {
+    if (conn.close_after_flush) return;
+    if (conn.outbuf.size() - conn.out_offset >= config_.write_buffer_bytes) {
+      // Backpressure: the peer is not draining its responses, so this
+      // connection stops being read (and its remaining decoded lines
+      // stay buffered) until the write side catches up. Other
+      // connections on the shard are unaffected.
+      if (!conn.paused) {
+        conn.paused = true;
+        if (hooks_.on_backpressure_pause) hooks_.on_backpressure_pause();
+      }
+      return;
+    }
+    if (draining_) {
+      conn.close_after_flush = true;
+      return;
+    }
+    switch (conn.decoder.Next(&line)) {
+      case LineDecoder::Event::kNeedMore:
+        if (conn.saw_eof && conn.decoder.finished()) {
+          conn.close_after_flush = true;
+        }
+        return;
+      case LineDecoder::Event::kOverflow:
+        if (!EnqueueResponse(conn, hooks_.oversized_response())) return;
+        break;
+      case LineDecoder::Event::kLine: {
+        std::string_view trimmed = StripWhitespace(line);
+        if (trimmed.empty() || trimmed.front() == '#') break;
+        const std::string response = hooks_.handle_line(std::string(trimmed));
+        if (!EnqueueResponse(conn, response)) return;
+        // Mirrors the threaded path's post-response stopping_ check: the
+        // in-flight response is delivered even mid-shutdown, further
+        // pipelined requests on this connection are cut off.
+        if (stopping_.load()) {
+          conn.close_after_flush = true;
+          return;
+        }
+        break;
+      }
+    }
+  }
+}
+
+bool EventLoopShard::EnqueueResponse(Connection& conn,
+                                     const std::string& response) {
+  // The fault site fires once per response message — the same cadence
+  // as the blocking SendAll path — so one RWDOM_FAULTS schedule counts
+  // identical sends in both io modes.
+  if (!FaultPoint("socket.send").ok()) {
+    // The blocking path drops the connection on a send fault; here the
+    // responses already queued ahead of this one were genuinely "sent"
+    // earlier in the blocking path's terms, so they still flush.
+    conn.close_after_flush = true;
+    return false;
+  }
+  if (conn.outbuf.size() == conn.out_offset) {
+    conn.stall_since = std::chrono::steady_clock::now();
+  }
+  conn.outbuf.append(response);
+  conn.outbuf.push_back('\n');
+  return true;
+}
+
+bool EventLoopShard::FlushWrites(Connection& conn) {
+  while (conn.out_offset < conn.outbuf.size()) {
+    auto sent = SendSome(
+        conn.fd.get(),
+        std::string_view(conn.outbuf).substr(conn.out_offset));
+    if (!sent.ok()) return false;
+    if (*sent == 0) break;  // Kernel buffer full; EPOLLOUT will re-arm.
+    conn.out_offset += *sent;
+    // Any progress re-arms the stall clock: the timeout catches peers
+    // that stopped draining, not peers that drain slowly.
+    conn.stall_since = std::chrono::steady_clock::now();
+  }
+  if (conn.out_offset == conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.out_offset = 0;
+  } else if (conn.out_offset > (1u << 16)) {
+    conn.outbuf.erase(0, conn.out_offset);
+    conn.out_offset = 0;
+  }
+  return true;
+}
+
+bool EventLoopShard::Flush(Connection& conn) {
+  for (;;) {
+    if (!FlushWrites(conn)) return false;
+    const size_t pending = conn.outbuf.size() - conn.out_offset;
+    if (pending == 0 && conn.close_after_flush) return false;
+    if (conn.paused && !conn.close_after_flush && !draining_ &&
+        pending <= config_.write_buffer_bytes / 2) {
+      // The peer caught up: resume dispatching the lines that were
+      // decoded (or still sit undecoded) before the pause. EPOLLIN
+      // comes back via UpdateInterest once we return.
+      conn.paused = false;
+      ProcessDecoded(conn);
+      if (conn.outbuf.size() - conn.out_offset != pending) continue;
+    }
+    return true;
+  }
+}
+
+void EventLoopShard::UpdateInterest(Connection& conn) {
+  const bool want_read = !conn.paused && !conn.saw_eof && !draining_ &&
+                         !conn.close_after_flush;
+  const bool want_write = conn.out_offset < conn.outbuf.size();
+  if (want_read == conn.want_read && want_write == conn.want_write) return;
+  conn.want_read = want_read;
+  conn.want_write = want_write;
+  (void)epoll_.Modify(conn.fd.get(), want_read, want_write);
+}
+
+void EventLoopShard::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  (void)epoll_.Remove(fd);
+  connections_.erase(it);  // UniqueFd closes the socket.
+  if (hooks_.on_connection_closed) hooks_.on_connection_closed();
+}
+
+int EventLoopShard::NextTimeoutMs() const {
+  if (config_.write_timeout_ms <= 0) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  int best = -1;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn.out_offset == conn.outbuf.size()) continue;
+    const auto expiry =
+        conn.stall_since + std::chrono::milliseconds(config_.write_timeout_ms);
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(expiry - now)
+            .count();
+    const int ms = remaining <= 0 ? 0 : static_cast<int>(remaining) + 1;
+    if (best < 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+void EventLoopShard::SweepWriteStalls() {
+  if (config_.write_timeout_ms <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<int> stalled;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn.out_offset == conn.outbuf.size()) continue;
+    if (now - conn.stall_since >=
+        std::chrono::milliseconds(config_.write_timeout_ms)) {
+      stalled.push_back(fd);
+    }
+  }
+  for (int fd : stalled) {
+    if (hooks_.on_write_timeout) hooks_.on_write_timeout();
+    RWDOM_LOG(WARNING) << "rwdom serve: dropped stalled client (write "
+                       << "buffer idle past " << config_.write_timeout_ms
+                       << " ms)";
+    CloseConnection(fd);
+  }
+}
+
+void EventLoopShard::EnterDrainMode() {
+  draining_ = true;
+  std::vector<int> drained;
+  for (auto& [fd, conn] : connections_) {
+    if (conn.out_offset == conn.outbuf.size()) {
+      drained.push_back(fd);
+    } else {
+      conn.close_after_flush = true;
+      UpdateInterest(conn);
+    }
+  }
+  for (int fd : drained) CloseConnection(fd);
+}
+
+}  // namespace rwdom

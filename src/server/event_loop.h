@@ -1,0 +1,200 @@
+// The non-blocking serving core behind `rwdom serve --io=epoll`: N
+// independent event-loop shards, each owning an epoll set and a slice
+// of the accepted connections. Compared to the worker-pool path a
+// shard never parks a thread on one peer's socket, which buys two
+// things the blocking design cannot express:
+//
+//   * Request pipelining — a connection may have any number of JSONL
+//     request lines in flight; responses are computed and written in
+//     request order (dispatch itself stays synchronous inside the
+//     shard, so ordering is by construction, not by sequence numbers).
+//   * Per-connection backpressure — each connection's pending output
+//     lives in a bounded write buffer. When a peer stops draining and
+//     the buffer crosses its cap, the shard *stops reading* from that
+//     connection (EPOLLIN off) instead of buffering without bound;
+//     reading resumes once the buffer drains below half the cap. A
+//     peer stalled past --write_timeout_ms is dropped, exactly like
+//     the threaded path.
+//
+// Division of labor: the accept thread (owned by QueryServer in both
+// io modes) still greets, refuses and sheds connections — by the time
+// a shard adopts a connection it is a fully admitted peer. The shard
+// handles framing (util/socket.h's LineDecoder), dispatch via hooks
+// into the server (deadlines, admin commands, counters all live
+// there), buffered writes, and the `socket.send` fault site (armed
+// once per response message, matching the blocking sender's cadence).
+//
+// Shutdown: Stop() flips a flag and pokes the shard's wake pipe. The
+// shard then stops reading everywhere, finishes writing what is
+// already buffered (an in-flight response is delivered even
+// mid-shutdown; further pipelined requests are cut off), closes each
+// connection as it drains, and exits.
+#ifndef RWDOM_SERVER_EVENT_LOOP_H_
+#define RWDOM_SERVER_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/socket.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+/// Which serving core `QueryServer` runs. Both speak the identical wire
+/// protocol; the threaded path is kept as the diff-testing reference
+/// (and the only option off-Linux).
+enum class IoMode {
+  kThreaded,  ///< Accept thread + worker pool, blocking sockets.
+  kEpoll,     ///< Event-loop shards, non-blocking sockets (Linux).
+};
+
+const char* IoModeName(IoMode mode);
+Result<IoMode> ParseIoMode(std::string_view name);
+
+/// The build/platform default: epoll on Linux, threaded elsewhere. The
+/// `RWDOM_IO` environment variable ("epoll"/"threaded") overrides —
+/// that is how CI lanes run one binary's test suite under both cores.
+IoMode DefaultIoMode();
+
+struct EventLoopConfig {
+  /// Budget for a peer that stops draining its socket while responses
+  /// are pending; past it the connection is dropped. 0 = no limit.
+  int write_timeout_ms = 30'000;
+  /// Per-request-line byte cap (the LineDecoder's max_line_bytes).
+  size_t max_request_bytes = LineDecoder::kDefaultMaxLineBytes;
+  /// Backpressure cap on a connection's buffered, unsent output.
+  /// Crossing it pauses reads from that connection; reads resume below
+  /// half of it.
+  size_t write_buffer_bytes = 256 * 1024;
+};
+
+/// The shard's upcalls into QueryServer. All counters, deadlines and
+/// response formatting live server-side so the two io modes cannot
+/// drift; the shard only frames, orders and buffers. Every hook is
+/// called from the shard's own thread (but different shards call
+/// concurrently — the server side must be thread-safe, which it
+/// already is for the worker pool).
+struct EventLoopHooks {
+  /// One trimmed, non-empty, non-comment request line -> exactly one
+  /// JSON response line (no trailing newline). The server wraps its
+  /// HandleLine: the request's deadline starts here, at dispatch —
+  /// which under this core is also arrival, since decoded lines are
+  /// dispatched immediately.
+  std::function<std::string(const std::string& line)> handle_line;
+  /// An over-cap request line was discarded (stream already resynced);
+  /// returns the error response line to send in its place.
+  std::function<std::string()> oversized_response;
+  /// A connection was dropped for stalling past write_timeout_ms.
+  std::function<void()> on_write_timeout;
+  /// A connection's reads were paused at the write-buffer cap.
+  std::function<void()> on_backpressure_pause;
+  /// Any connection closed, for whatever reason (balances the accept
+  /// thread's active-connection increment).
+  std::function<void()> on_connection_closed;
+};
+
+/// One event-loop thread and the connections it owns. Connections
+/// enter via Adopt (any thread) and never migrate between shards.
+class EventLoopShard {
+ public:
+  EventLoopShard(EventLoopConfig config, EventLoopHooks hooks);
+  ~EventLoopShard();
+
+  EventLoopShard(const EventLoopShard&) = delete;
+  EventLoopShard& operator=(const EventLoopShard&) = delete;
+
+  /// Creates the epoll set + wake pipe and spawns the loop thread.
+  Status Start();
+
+  /// Hands a freshly accepted (already greeted) connection to this
+  /// shard. Thread-safe. A connection adopted after Stop() is closed
+  /// without service, like a queued-but-never-served connection in the
+  /// threaded path.
+  void Adopt(UniqueFd connection);
+
+  /// Begins drain-and-exit (see file comment). Async-safe enough for
+  /// any thread; idempotent.
+  void Stop();
+
+  /// Joins the loop thread. Call after Stop().
+  void Join();
+
+ private:
+  struct Connection {
+    UniqueFd fd;
+    LineDecoder decoder;
+    /// Pending output; [out_offset, size) is unsent. Compacted rather
+    /// than erased per send so a slow drain is not quadratic.
+    std::string outbuf;
+    size_t out_offset = 0;
+    // Current epoll interest, to skip no-op EPOLL_CTL_MODs.
+    bool want_read = true;
+    bool want_write = false;
+    bool paused = false;     ///< Reads off at the write-buffer cap.
+    bool saw_eof = false;    ///< Peer half-closed; flush, then close.
+    bool close_after_flush = false;
+    /// Set while outbuf is non-empty; re-armed on any write progress,
+    /// so it times out stalls, not slow-but-moving drains. OS clock by
+    /// necessity, like SendAllWithin's budget.
+    std::chrono::steady_clock::time_point stall_since{};
+
+    explicit Connection(UniqueFd fd_in, size_t max_line_bytes)
+        : fd(std::move(fd_in)), decoder(max_line_bytes) {}
+  };
+
+  void Run();
+  void AdoptPending();
+  /// Full service of one readiness event: read + decode + dispatch +
+  /// flush + interest re-arm; closes the connection when it dies.
+  void ServiceConnection(const ReadyEvent& event);
+  /// Reads until EAGAIN/EOF (or backpressure pauses the connection),
+  /// dispatching decoded lines as they complete. Returns false on a
+  /// hard socket error.
+  bool ReadAndDecode(Connection& conn);
+  /// Drains decoded lines into dispatch + the write buffer, honoring
+  /// backpressure and shutdown.
+  void ProcessDecoded(Connection& conn);
+  /// Queues one response message (arming the socket.send fault site).
+  /// Returns false on an injected fault: flush what was already
+  /// queued, then close — the blocking path's "drop on send error".
+  bool EnqueueResponse(Connection& conn, const std::string& response);
+  /// One pass of non-blocking sends. Returns false on a hard error.
+  bool FlushWrites(Connection& conn);
+  /// Flush + backpressure resume + close-after-flush. Returns false
+  /// when the connection should close now.
+  bool Flush(Connection& conn);
+  void UpdateInterest(Connection& conn);
+  void CloseConnection(int fd);
+  /// The epoll_wait budget: -1, or the nearest write-stall deadline.
+  int NextTimeoutMs() const;
+  /// Drops connections whose write buffer made no progress past
+  /// write_timeout_ms.
+  void SweepWriteStalls();
+  void EnterDrainMode();
+
+  const EventLoopConfig config_;
+  const EventLoopHooks hooks_;
+
+  EpollSet epoll_;
+  WakePipe wake_;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex inbox_mutex_;
+  std::vector<UniqueFd> inbox_;
+
+  std::unordered_map<int, Connection> connections_;
+  bool draining_ = false;  ///< Loop-thread view of stopping_.
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_SERVER_EVENT_LOOP_H_

@@ -70,11 +70,51 @@ Status QueryServer::Start() {
       TcpListen(options_.host, options_.port,
                 /*backlog=*/options_.max_connections));
   RWDOM_ASSIGN_OR_RETURN(port_, LocalPort(listener_.get()));
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  workers_.reserve(static_cast<size_t>(options_.threads));
-  for (int i = 0; i < options_.threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+  // The serving core starts before the accept thread so an adopted
+  // connection always has a live shard/pool behind it.
+  if (options_.io == IoMode::kEpoll) {
+    EventLoopConfig config;
+    config.write_timeout_ms = options_.write_timeout_ms;
+    config.max_request_bytes = options_.max_request_bytes;
+    config.write_buffer_bytes = options_.write_buffer_bytes;
+    EventLoopHooks hooks;
+    hooks.handle_line = [this](const std::string& line) {
+      // Same clock-read cadence as the threaded path: the deadline
+      // starts when the line is dispatched, which under the event loop
+      // is also when its bytes arrived.
+      const Deadline deadline =
+          options_.request_timeout_ms > 0
+              ? Deadline::AfterMillis(clock(), options_.request_timeout_ms)
+              : Deadline::Infinite();
+      return HandleLine(line, deadline);
+    };
+    hooks.oversized_response = [this] {
+      oversized_requests_.fetch_add(1);
+      queries_error_.fetch_add(1);
+      return ErrorLine(
+          "InvalidArgument",
+          StrFormat("request line exceeds --max_request_bytes=%zu",
+                    options_.max_request_bytes));
+    };
+    hooks.on_write_timeout = [this] { write_timeouts_.fetch_add(1); };
+    hooks.on_backpressure_pause = [this] {
+      backpressure_pauses_.fetch_add(1);
+    };
+    hooks.on_connection_closed = [this] {
+      active_connections_.fetch_sub(1);
+    };
+    shards_.reserve(static_cast<size_t>(options_.threads));
+    for (int i = 0; i < options_.threads; ++i) {
+      shards_.push_back(std::make_unique<EventLoopShard>(config, hooks));
+      RWDOM_RETURN_IF_ERROR(shards_.back()->Start());
+    }
+  } else {
+    workers_.reserve(static_cast<size_t>(options_.threads));
+    for (int i = 0; i < options_.threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
   }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
 }
 
@@ -88,6 +128,9 @@ void QueryServer::BeginShutdown() {
   if (stopping_.exchange(true)) return;
   // Wake the accept loop (idempotent) and every idle worker.
   if (wake_.write_end.valid()) PokeWakePipe(wake_.write_end.get());
+  // Non-blocking, so safe even when a shard's own dispatch (the
+  // `shutdown` admin request) is what got us here.
+  for (auto& shard : shards_) shard->Stop();
   {
     // Empty critical section: a worker that read stopping_=false in its
     // wait predicate still holds queue_mutex_ until it blocks, so
@@ -131,6 +174,28 @@ void QueryServer::AcceptLoop() {
                                         options_.max_connections),
                               options_.retry_after_ms) +
                         "\n");
+      continue;
+    }
+    if (options_.io == IoMode::kEpoll) {
+      // Shed-on-overflow, epoll spelling: with `threads` shards there
+      // is no pending queue, but the equivalent backlog bound is open
+      // connections beyond what `threads` workers plus a queue of
+      // max_queue_depth would have admitted — the same threshold the
+      // threaded path enforces at saturation.
+      if (options_.max_queue_depth > 0 &&
+          active_connections_.load() >=
+              options_.threads + options_.max_queue_depth) {
+        requests_shed_.fetch_add(1);
+        (void)SendAll(connection.get(),
+                      ErrorLine("Unavailable",
+                                StrFormat("server overloaded (queue depth %d)",
+                                          options_.max_queue_depth),
+                                options_.retry_after_ms) +
+                          "\n");
+        continue;
+      }
+      active_connections_.fetch_add(1);
+      shards_[next_shard_++ % shards_.size()]->Adopt(std::move(connection));
       continue;
     }
     {
@@ -309,6 +374,7 @@ ServerStats QueryServer::stats() const {
   stats.deadline_exceeded = deadline_exceeded_.load();
   stats.oversized_requests = oversized_requests_.load();
   stats.write_timeouts = write_timeouts_.load();
+  stats.backpressure_pauses = backpressure_pauses_.load();
   stats.index_builds = context_->index_builds();
   stats.index_hits = context_->index_hits();
   stats.index_recovered = context_->index_recovered();
@@ -348,6 +414,7 @@ std::string QueryServer::StatsResponseLine() const {
       .String(StrFormat("%016llx", static_cast<unsigned long long>(
                                        context_->substrate_fingerprint())));
   json.Key("threads").Int(options_.threads);
+  json.Key("io").String(IoModeName(options_.io));
   json.Key("max_connections").Int(options_.max_connections);
   json.Key("graph_loads").Int(stats.graph_loads);
   json.Key("index_builds").Int(stats.index_builds);
@@ -376,6 +443,7 @@ std::string QueryServer::StatsResponseLine() const {
   json.Key("deadline_exceeded").Int(stats.deadline_exceeded);
   json.Key("oversized_requests").Int(stats.oversized_requests);
   json.Key("write_timeouts").Int(stats.write_timeouts);
+  json.Key("backpressure_pauses").Int(stats.backpressure_pauses);
   json.Key("index_evictions").Int(stats.index_evictions);
   json.Key("admission_rejections").Int(stats.admission_rejections);
   json.EndObject();
@@ -417,8 +485,12 @@ void QueryServer::Join() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  for (auto& shard : shards_) {
+    shard->Stop();
+    shard->Join();
+  }
   // Connections still queued were closed by their UniqueFd destructors
-  // as workers drained; the listener closes with the server.
+  // as workers/shards drained; the listener closes with the server.
   joined_ = true;
 }
 

@@ -16,11 +16,20 @@
 //   {"command": "server_stats"}  -> cache/traffic counters
 //   {"command": "shutdown"}      -> acknowledge, then graceful shutdown
 //
-// Concurrency: one accept thread feeds a fixed pool of worker threads;
-// each worker serves one connection at a time to completion. All workers
-// share the one QueryContext, whose shared_mutex + single-flight cache
-// makes concurrent index builds safe and deduplicated — concurrent
-// responses are bit-identical to cold CLI runs.
+// Concurrency: one accept thread greets, refuses and sheds; admitted
+// connections are served by one of two interchangeable cores selected
+// with ServerOptions::io (`serve --io=threaded|epoll`):
+//
+//   * threaded — a fixed pool of worker threads, each serving one
+//     connection at a time to completion over blocking sockets.
+//   * epoll (default on Linux) — `threads` non-blocking event-loop
+//     shards (server/event_loop.h) with request pipelining and
+//     per-connection backpressure.
+//
+// Both cores share the one QueryContext, whose shared_mutex +
+// single-flight cache makes concurrent index builds safe and
+// deduplicated — concurrent responses are bit-identical to cold CLI
+// runs, and byte-identical between the two cores.
 //
 // Shutdown: NotifyShutdown() is async-signal-safe (a SIGINT handler may
 // call it); in-flight requests finish and get their response, idle and
@@ -33,11 +42,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "server/event_loop.h"
 #include "server/protocol.h"
 #include "service/query_context.h"
 #include "util/clock.h"
@@ -70,6 +81,14 @@ struct ServerOptions {
   int max_queue_depth = 0;
   /// The backoff hint sent in shed/refusal error bodies.
   int retry_after_ms = 250;
+  /// Which serving core runs behind the accept thread (`--io`). The
+  /// default is epoll on Linux, threaded elsewhere; `RWDOM_IO` in the
+  /// environment overrides the default (see DefaultIoMode).
+  IoMode io = DefaultIoMode();
+  /// Epoll mode only: per-connection cap on buffered, unsent response
+  /// bytes. Crossing it pauses reads from that connection
+  /// (backpressure) until the peer drains below half the cap.
+  size_t write_buffer_bytes = 256 * 1024;
   /// Deadline clock; nullptr means the real monotonic clock. Tests
   /// inject a FakeClock to expire deadlines deterministically.
   const Clock* clock = nullptr;
@@ -91,6 +110,10 @@ struct ServerStats {
   int64_t deadline_exceeded = 0;   ///< Requests past --request_timeout_ms.
   int64_t oversized_requests = 0;  ///< Lines over --max_request_bytes.
   int64_t write_timeouts = 0;      ///< Responses dropped on stalled peers.
+  /// Connections whose reads were paused at the write-buffer cap (epoll
+  /// mode). Normal flow control, not degradation: it does not move the
+  /// health latch.
+  int64_t backpressure_pauses = 0;
   int64_t index_evictions = 0;     ///< Cache entries evicted under budget.
   int64_t admission_rejections = 0;  ///< Builds refused by the budget.
   /// "ok", or "degraded" when any overload/failure counter moved since
@@ -179,7 +202,12 @@ class QueryServer {
 
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::vector<std::thread> workers_;
+  std::vector<std::thread> workers_;  ///< Threaded mode only.
+  /// Epoll mode only: the event-loop shards; the accept thread deals
+  /// admitted connections round-robin. unique_ptr because shards hold
+  /// a std::thread and self-referencing lambdas — they must not move.
+  std::vector<std::unique_ptr<EventLoopShard>> shards_;
+  size_t next_shard_ = 0;  ///< Accept thread only.
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
@@ -201,6 +229,7 @@ class QueryServer {
   std::atomic<int64_t> deadline_exceeded_{0};
   std::atomic<int64_t> oversized_requests_{0};
   std::atomic<int64_t> write_timeouts_{0};
+  std::atomic<int64_t> backpressure_pauses_{0};
   /// Sum of the degradation counters at the previous stats() call — the
   /// health latch's memory (mutable: reading health advances it).
   mutable std::atomic<int64_t> last_degradation_sum_{0};

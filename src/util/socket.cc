@@ -10,6 +10,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
 #include <chrono>
 #include <cstdint>
 
@@ -59,6 +63,12 @@ void PokeWakePipe(int write_fd) {
   // pends) and EINTR needs no retry for the same reason.
   const char byte = 'w';
   [[maybe_unused]] ssize_t ignored = ::write(write_fd, &byte, 1);
+}
+
+void DrainWakePipe(int read_fd) {
+  char buf[64];
+  while (::read(read_fd, buf, sizeof(buf)) > 0) {
+  }
 }
 
 Result<UniqueFd> TcpListen(const std::string& host, int port, int backlog) {
@@ -160,8 +170,9 @@ Status SendAllWithin(int fd, std::string_view data, int timeout_ms) {
         errno != EWOULDBLOCK) {
       return Errno("send");
     }
-    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-        deadline - std::chrono::steady_clock::now());
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
     if (remaining.count() <= 0) {
       return Status::DeadlineExceeded(
           StrFormat("send stalled past %d ms write timeout", timeout_ms));
@@ -173,43 +184,179 @@ Status SendAllWithin(int fd, std::string_view data, int timeout_ms) {
   return Status::OK();
 }
 
-Result<LineReader::Outcome> LineReader::ReadLine(
-    std::string* line, const std::function<bool()>& cancelled,
-    int poll_interval_ms) {
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+Result<size_t> SendSome(int fd, std::string_view data) {
+  for (;;) {
+    ssize_t sent =
+        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (sent >= 0) return static_cast<size_t>(sent);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return Errno("send");
+  }
+}
+
+Result<size_t> RecvSome(int fd, char* buf, size_t capacity, bool* eof) {
+  *eof = false;
+  for (;;) {
+    ssize_t got = ::recv(fd, buf, capacity, MSG_DONTWAIT);
+    if (got > 0) return static_cast<size_t>(got);
+    if (got == 0) {
+      *eof = true;
+      return size_t{0};
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return Errno("recv");
+  }
+}
+
+#ifdef __linux__
+
+Result<EpollSet> EpollSet::Create() {
+  int fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (fd < 0) return Errno("epoll_create1");
+  return EpollSet(UniqueFd(fd));
+}
+
+namespace {
+
+uint32_t InterestMask(bool want_read, bool want_write) {
+  uint32_t mask = 0;
+  if (want_read) mask |= EPOLLIN;
+  if (want_write) mask |= EPOLLOUT;
+  return mask;
+}
+
+Status EpollCtl(int epoll_fd, int op, int fd, uint32_t events,
+                const char* what) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd, op, fd, &ev) != 0) return Errno(what);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EpollSet::Add(int fd, bool want_read, bool want_write) {
+  return EpollCtl(epoll_fd_.get(), EPOLL_CTL_ADD, fd,
+                  InterestMask(want_read, want_write), "epoll_ctl(ADD)");
+}
+
+Status EpollSet::Modify(int fd, bool want_read, bool want_write) {
+  return EpollCtl(epoll_fd_.get(), EPOLL_CTL_MOD, fd,
+                  InterestMask(want_read, want_write), "epoll_ctl(MOD)");
+}
+
+Status EpollSet::Remove(int fd) {
+  epoll_event ev{};  // Ignored for DEL, but pre-2.6.9 kernels want it.
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, &ev) != 0) {
+    return Errno("epoll_ctl(DEL)");
+  }
+  return Status::OK();
+}
+
+Result<int> EpollSet::Wait(std::vector<ReadyEvent>* out, int timeout_ms) {
+  epoll_event events[64];
+  int n;
+  do {
+    n = ::epoll_wait(epoll_fd_.get(), events, 64, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return Errno("epoll_wait");
+  out->clear();
+  for (int i = 0; i < n; ++i) {
+    ReadyEvent ready;
+    ready.fd = events[i].data.fd;
+    ready.readable = (events[i].events & EPOLLIN) != 0;
+    ready.writable = (events[i].events & EPOLLOUT) != 0;
+    ready.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+    out->push_back(ready);
+  }
+  return n;
+}
+
+#else  // !__linux__
+
+Result<EpollSet> EpollSet::Create() {
+  return Status::Unimplemented("epoll is Linux-only; use --io=threaded");
+}
+Status EpollSet::Add(int, bool, bool) {
+  return Status::Unimplemented("epoll is Linux-only");
+}
+Status EpollSet::Modify(int, bool, bool) {
+  return Status::Unimplemented("epoll is Linux-only");
+}
+Status EpollSet::Remove(int) {
+  return Status::Unimplemented("epoll is Linux-only");
+}
+Result<int> EpollSet::Wait(std::vector<ReadyEvent>*, int) {
+  return Status::Unimplemented("epoll is Linux-only");
+}
+
+#endif  // __linux__
+
+LineDecoder::Event LineDecoder::Next(std::string* line) {
   for (;;) {
     size_t newline = buffer_.find('\n');
     if (discarding_) {
       // Resync after an overlong line: drop bytes through its newline.
-      if (newline != std::string::npos) {
-        buffer_.erase(0, newline + 1);
-        discarding_ = false;
-        continue;
+      if (newline == std::string::npos) {
+        buffer_.clear();
+        return Event::kNeedMore;
       }
-      buffer_.clear();
-      if (eof_) return Outcome::kEof;
-    } else if (newline != std::string::npos) {
+      buffer_.erase(0, newline + 1);
+      discarding_ = false;
+      continue;
+    }
+    if (newline != std::string::npos) {
       if (newline > max_line_bytes_) {
         buffer_.erase(0, newline + 1);
-        return Outcome::kOverflow;
+        return Event::kOverflow;
       }
       *line = buffer_.substr(0, newline);
       buffer_.erase(0, newline + 1);
       if (!line->empty() && line->back() == '\r') line->pop_back();
-      return Outcome::kLine;
-    } else if (buffer_.size() > max_line_bytes_) {
+      return Event::kLine;
+    }
+    if (buffer_.size() > max_line_bytes_) {
       // No newline yet and already over budget: report the overflow now
       // and discard until the line eventually terminates.
       buffer_.clear();
       discarding_ = true;
-      return Outcome::kOverflow;
+      return Event::kOverflow;
     }
-    if (eof_) {
-      if (buffer_.empty()) return Outcome::kEof;
-      // Unterminated trailing line: deliver it, then EOF next call.
+    if (eof_ && !buffer_.empty()) {
+      // Unterminated trailing line: deliver it, then finished() holds.
       *line = std::move(buffer_);
       buffer_.clear();
-      return Outcome::kLine;
+      return Event::kLine;
     }
+    return Event::kNeedMore;
+  }
+}
+
+Result<LineReader::Outcome> LineReader::ReadLine(
+    std::string* line, const std::function<bool()>& cancelled,
+    int poll_interval_ms) {
+  for (;;) {
+    switch (decoder_.Next(line)) {
+      case LineDecoder::Event::kLine:
+        return Outcome::kLine;
+      case LineDecoder::Event::kOverflow:
+        return Outcome::kOverflow;
+      case LineDecoder::Event::kNeedMore:
+        break;
+    }
+    if (decoder_.finished()) return Outcome::kEof;
     if (cancelled) {
       pollfd pfd{fd_, POLLIN, 0};
       int rc = ::poll(&pfd, 1, poll_interval_ms);
@@ -224,10 +371,10 @@ Result<LineReader::Outcome> LineReader::ReadLine(
       return Errno("recv");
     }
     if (got == 0) {
-      eof_ = true;
+      decoder_.NotifyEof();
       continue;
     }
-    buffer_.append(chunk, static_cast<size_t>(got));
+    decoder_.Append(std::string_view(chunk, static_cast<size_t>(got)));
   }
 }
 

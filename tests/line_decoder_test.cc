@@ -1,0 +1,178 @@
+// Framing-equivalence pins for LineDecoder, the push-driven state
+// machine under the epoll event loop: any chunking of a byte stream —
+// 1-byte drips, splits mid-"\r\n", oversized lines straddling chunk
+// boundaries — must produce the exact event sequence the blocking
+// LineReader yields for the same stream, including the
+// overflow-once-then-resync contract and the bounded-buffer guarantee.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/socket.h"
+
+namespace rwdom {
+namespace {
+
+// One framing event: {'L', line} or {'O', ""} (overflow carries no
+// bytes — neither front-end may leak partial content).
+using FramingEvent = std::pair<char, std::string>;
+
+std::vector<FramingEvent> DecodeInChunks(const std::string& session,
+                                         size_t chunk_bytes, size_t cap) {
+  LineDecoder decoder(cap);
+  std::vector<FramingEvent> events;
+  std::string line;
+  const auto drain = [&] {
+    for (;;) {
+      switch (decoder.Next(&line)) {
+        case LineDecoder::Event::kLine:
+          events.emplace_back('L', line);
+          break;
+        case LineDecoder::Event::kOverflow:
+          events.emplace_back('O', "");
+          break;
+        case LineDecoder::Event::kNeedMore:
+          return;
+      }
+    }
+  };
+  for (size_t i = 0; i < session.size(); i += chunk_bytes) {
+    decoder.Append(
+        std::string_view(session).substr(i, chunk_bytes));
+    drain();
+    // The bounded-memory guarantee, checked at every chunk boundary: a
+    // drained decoder never holds more than one under-cap partial line.
+    EXPECT_LE(decoder.buffered_bytes(), cap);
+  }
+  decoder.NotifyEof();
+  drain();
+  EXPECT_TRUE(decoder.finished());
+  EXPECT_EQ(decoder.Next(&line), LineDecoder::Event::kNeedMore);
+  return events;
+}
+
+// The blocking reference: the same bytes through LineReader over an
+// AF_UNIX socketpair (written whole, then EOF).
+std::vector<FramingEvent> ReadBlocking(const std::string& session,
+                                       size_t cap) {
+  int fds[2] = {-1, -1};
+  RWDOM_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0);
+  UniqueFd writer(fds[0]);
+  UniqueFd reader_fd(fds[1]);
+  RWDOM_CHECK(SendAll(writer.get(), session).ok());
+  writer.reset();  // EOF.
+
+  LineReader reader(reader_fd.get(), cap);
+  std::vector<FramingEvent> events;
+  std::string line;
+  for (;;) {
+    auto outcome = reader.ReadLine(&line);
+    RWDOM_CHECK(outcome.ok()) << outcome.status();
+    if (*outcome == LineReader::Outcome::kEof) return events;
+    if (*outcome == LineReader::Outcome::kLine) {
+      events.emplace_back('L', line);
+    } else {
+      RWDOM_CHECK(*outcome == LineReader::Outcome::kOverflow);
+      events.emplace_back('O', "");
+    }
+  }
+}
+
+void ExpectChunkingInvariant(const std::string& session, size_t cap) {
+  const std::vector<FramingEvent> reference = ReadBlocking(session, cap);
+  const size_t chunkings[] = {1, 2, 3, 5, 7, 8, 13, 64, session.size()};
+  for (size_t chunk : chunkings) {
+    if (chunk == 0) continue;
+    EXPECT_EQ(DecodeInChunks(session, chunk, cap), reference)
+        << "chunk_bytes=" << chunk << " cap=" << cap;
+  }
+}
+
+TEST(LineDecoderTest, RecordedJsonlSessionFramesIdenticallyUnderAnyChunking) {
+  // A realistic serve session: requests, a blank keep-alive line, a
+  // comment, CRLF framing from a Windows-ish client, and a trailing
+  // unterminated line (the peer died mid-request).
+  const std::string session =
+      "{\"command\": \"select\", \"flags\": {\"problem\": \"F2\", "
+      "\"k\": 2, \"L\": 3, \"R\": 40, \"seed\": 42}}\n"
+      "\n"
+      "# warmup done\r\n"
+      "{\"command\": \"evaluate\", \"flags\": {\"seeds\": \"0,4\", "
+      "\"L\": 3, \"R\": 200, \"seed\": 42}}\r\n"
+      "{\"command\": \"server_stats\"}\n"
+      "{\"command\": \"knn\", \"flags\": {\"que";
+  ExpectChunkingInvariant(session, LineDecoder::kDefaultMaxLineBytes);
+}
+
+TEST(LineDecoderTest, OversizedLinesOverflowOnceAndResyncUnderAnyChunking) {
+  // Every adversarial shape at a tiny cap: over-cap with terminator
+  // (straddles every chunk size), exactly-at-cap (must fit), one byte
+  // over, a monster with no terminator until much later, and a healthy
+  // line after each to prove resync.
+  const std::string session = std::string(100, 'a') + "\n" +  // Overflow.
+                              "exactly16bytes__\n" +          // At cap: fits.
+                              "seventeen bytes!!\n" +         // Overflow.
+                              "ok\r\n" +                      // Healthy CRLF.
+                              std::string(200, 'b') + "\n" +  // Monster.
+                              "tail";  // Unterminated final line.
+  ExpectChunkingInvariant(session, /*cap=*/16);
+}
+
+TEST(LineDecoderTest, SplitMidCrlfNeverLeaksTheCarriageReturn) {
+  // The poison split: "...\r" arrives in one chunk, "\n..." in the
+  // next. The decoder must not deliver the line until the '\n' and
+  // must still strip the '\r'.
+  LineDecoder decoder(64);
+  std::string line;
+  decoder.Append("alpha\r");
+  EXPECT_EQ(decoder.Next(&line), LineDecoder::Event::kNeedMore);
+  decoder.Append("\nbeta");
+  ASSERT_EQ(decoder.Next(&line), LineDecoder::Event::kLine);
+  EXPECT_EQ(line, "alpha");
+  EXPECT_EQ(decoder.Next(&line), LineDecoder::Event::kNeedMore);
+  decoder.NotifyEof();
+  ASSERT_EQ(decoder.Next(&line), LineDecoder::Event::kLine);
+  EXPECT_EQ(line, "beta");
+  EXPECT_TRUE(decoder.finished());
+}
+
+TEST(LineDecoderTest, EndlessUnterminatedStreamStaysBoundedMemory) {
+  LineDecoder decoder(/*max_line_bytes=*/8);
+  std::string line;
+  bool overflowed = false;
+  for (int i = 0; i < 1000; ++i) {
+    decoder.Append("xxxxxxx");  // Never a newline.
+    for (;;) {
+      const auto event = decoder.Next(&line);
+      if (event == LineDecoder::Event::kNeedMore) break;
+      ASSERT_EQ(event, LineDecoder::Event::kOverflow);
+      // Exactly one overflow for the whole monster line.
+      EXPECT_FALSE(overflowed);
+      overflowed = true;
+    }
+    ASSERT_LE(decoder.buffered_bytes(), 8u);
+  }
+  EXPECT_TRUE(overflowed);
+  // The monster finally terminates; the stream is healthy again.
+  decoder.Append("\nfresh\n");
+  ASSERT_EQ(decoder.Next(&line), LineDecoder::Event::kLine);
+  EXPECT_EQ(line, "fresh");
+}
+
+TEST(LineDecoderTest, EofWhileDiscardingTheMonsterFinishesCleanly) {
+  LineDecoder decoder(/*max_line_bytes=*/8);
+  std::string line;
+  decoder.Append(std::string(64, 'x'));
+  ASSERT_EQ(decoder.Next(&line), LineDecoder::Event::kOverflow);
+  decoder.NotifyEof();
+  EXPECT_EQ(decoder.Next(&line), LineDecoder::Event::kNeedMore);
+  EXPECT_TRUE(decoder.finished());
+}
+
+}  // namespace
+}  // namespace rwdom
