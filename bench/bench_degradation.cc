@@ -30,6 +30,7 @@
 #include "server/client.h"
 #include "server/event_loop.h"
 #include "server/server.h"
+#include "service/graph_registry.h"
 #include "service/query_context.h"
 #include "util/fault.h"
 #include "util/json.h"
@@ -130,21 +131,18 @@ int Run(int argc, char** argv) {
     }
   };
 
-  auto make_server = [&](QueryContext* context, ServerOptions options) {
+  auto make_registry = [&]() {
+    auto registry = std::make_unique<GraphRegistry>();
+    Status added = registry->Add(
+        kDefaultGraphName,
+        std::make_unique<QueryContext>(GraphSubstrate(Graph(graph))));
+    RWDOM_CHECK(added.ok()) << added;
+    return registry;
+  };
+  auto make_server = [&](GraphRegistry* registry, ServerOptions options) {
     options.port = 0;
     return std::make_unique<QueryServer>(
-        context,
-        [context](const std::string& line, std::string* response) {
-          std::ostringstream out;
-          RWDOM_RETURN_IF_ERROR(
-              ExecuteQueryLine(line, *context, OutputFormat::kJson, out));
-          *response = out.str();
-          while (!response->empty() && response->back() == '\n') {
-            response->pop_back();
-          }
-          return Status::OK();
-        },
-        options);
+        registry, ExecuteRequestToJsonLine, options);
   };
 
   std::vector<Row> rows;
@@ -152,10 +150,10 @@ int Run(int argc, char** argv) {
   // Phase A: well provisioned — enough workers for every client. The
   // healthy-path yardstick the degraded phases are read against.
   {
-    QueryContext context{GraphSubstrate(Graph(graph))};
+    auto registry = make_registry();
     ServerOptions options;
     options.threads = kClients;
-    auto server = make_server(&context, options);
+    auto server = make_server(registry.get(), options);
     Status started = server->Start();
     RWDOM_CHECK(started.ok()) << started;
 
@@ -195,13 +193,13 @@ int Run(int argc, char** argv) {
   for (IoMode io : {IoMode::kThreaded, IoMode::kEpoll}) {
     const std::string phase =
         StrFormat("overload_shed_retry_%s", IoModeName(io));
-    QueryContext context{GraphSubstrate(Graph(graph))};
+    auto registry = make_registry();
     ServerOptions options;
     options.io = io;
     options.threads = 1;
     options.max_queue_depth = 1;
     options.retry_after_ms = 2;
-    auto server = make_server(&context, options);
+    auto server = make_server(registry.get(), options);
     Status started = server->Start();
     RWDOM_CHECK(started.ok()) << started;
 
@@ -261,11 +259,11 @@ int Run(int argc, char** argv) {
   for (IoMode io : {IoMode::kThreaded, IoMode::kEpoll}) {
     const std::string phase =
         StrFormat("fault_10pct_sends_%s", IoModeName(io));
-    QueryContext context{GraphSubstrate(Graph(graph))};
+    auto registry = make_registry();
     ServerOptions options;
     options.io = io;
     options.threads = 2;
-    auto server = make_server(&context, options);
+    auto server = make_server(registry.get(), options);
     Status started = server->Start();
     RWDOM_CHECK(started.ok()) << started;
 

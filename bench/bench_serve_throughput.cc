@@ -29,6 +29,7 @@
 #include "harness/experiment.h"
 #include "server/event_loop.h"
 #include "server/server.h"
+#include "service/graph_registry.h"
 #include "service/query_context.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -180,25 +181,18 @@ int Run(int argc, char** argv) {
                                            static_cast<size_t>(
                                                queries_per_client)));
 
-      QueryContext context{GraphSubstrate(Graph(graph))};
+      GraphRegistry registry;
+      Status added = registry.Add(
+          kDefaultGraphName, std::make_unique<QueryContext>(
+                                 GraphSubstrate(Graph(graph))));
+      RWDOM_CHECK(added.ok()) << added;
+      QueryContext& context = *registry.default_context();
       ServerOptions options;
       options.port = 0;
       options.io = io;
       options.threads = kServerThreads;
       options.max_connections = connections + 1;
-      QueryServer server(
-          &context,
-          [&context](const std::string& line, std::string* response) {
-            std::ostringstream out;
-            RWDOM_RETURN_IF_ERROR(
-                ExecuteQueryLine(line, context, OutputFormat::kJson, out));
-            *response = out.str();
-            while (!response->empty() && response->back() == '\n') {
-              response->pop_back();
-            }
-            return Status::OK();
-          },
-          options);
+      QueryServer server(&registry, ExecuteRequestToJsonLine, options);
       Status started = server.Start();
       RWDOM_CHECK(started.ok()) << started;
 

@@ -67,8 +67,10 @@ Result<CliInvocation> ParseCliArgs(int argc, const char* const* argv) {
       return Status::InvalidArgument("flag needs a value: --" +
                                      std::string(arg));
     }
-    invocation.flags[std::string(arg.substr(0, eq))] =
-        std::string(arg.substr(eq + 1));
+    std::string key(arg.substr(0, eq));
+    std::string value(arg.substr(eq + 1));
+    invocation.ordered_flags.emplace_back(key, value);
+    invocation.flags[std::move(key)] = std::move(value);
   }
   return invocation;
 }

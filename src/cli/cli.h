@@ -19,6 +19,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -30,7 +31,12 @@ namespace rwdom {
 struct CliInvocation {
   std::string command;
   std::vector<std::string> positionals;
+  /// Last occurrence wins — the lookup every single-valued flag uses.
   std::map<std::string, std::string> flags;
+  /// Every --key=value occurrence in source order, for repeatable flags
+  /// (`serve --graph NAME=PATH --graph ...`, `route --backend ...`).
+  /// Parallel to `flags`; commands that repeat a flag read this.
+  std::vector<std::pair<std::string, std::string>> ordered_flags;
 };
 
 /// Parses argv[1..); rejects malformed flags (--flag without =value).

@@ -8,8 +8,16 @@
 //   rm      delete by --key=CANONICAL (the exact string `ls` and
 //           server_stats print) or --all.
 //
-// The command never needs the graph: snapshots carry their identity in
-// the ArtifactKey header, which is the point of the key redesign.
+// Multi-graph caches (a `serve --graph NAME=PATH` fleet) lay named
+// tenants out under one level of subdirectories; every subcommand walks
+// the whole tree and accepts --graph=NAME to scope to one tenant. The
+// graph column/key appears only when the cache is tenant-aware (named
+// subdirectories exist or --graph was passed), so single-tenant output
+// is byte-identical to the pre-tenancy format.
+//
+// The command never needs the graph data: snapshots carry their
+// identity in the ArtifactKey header, which is the point of the key
+// redesign.
 #include <cstdint>
 #include <filesystem>
 #include <string>
@@ -20,6 +28,7 @@
 #include "cli/flag_parsing.h"
 #include "persist/artifact_cache.h"
 #include "persist/snapshot.h"
+#include "service/graph_registry.h"
 #include "util/json.h"
 #include "util/strings.h"
 
@@ -33,20 +42,57 @@ std::string KeyLabel(const SnapshotMeta& meta) {
                               : "(v1: no artifact key)";
 }
 
+/// The filtered tree plus whether output should carry the graph
+/// dimension at all (the v2 byte-identity gate).
+struct CacheView {
+  std::vector<CacheTreeEntry> entries;
+  bool tenant_aware = false;
+};
+
+std::string EntryPath(const std::string& dir, const CacheTreeEntry& entry) {
+  if (entry.graph == kDefaultGraphName) {
+    return (fs::path(dir) / entry.file).string();
+  }
+  return (fs::path(dir) / entry.graph / entry.file).string();
+}
+
+Result<CacheView> ResolveCacheView(const std::string& dir,
+                                   const CommandEnv& env) {
+  CacheView view;
+  RWDOM_ASSIGN_OR_RETURN(view.entries, ListSnapshotTree(dir));
+  for (const CacheTreeEntry& entry : view.entries) {
+    if (entry.graph != kDefaultGraphName) view.tenant_aware = true;
+  }
+  const std::string filter = FlagOr(env.invocation, "graph", "");
+  if (!filter.empty()) {
+    if (!IsValidGraphName(filter)) {
+      return Status::InvalidArgument("invalid graph name \"" + filter +
+                                     "\" (use [A-Za-z0-9_.-]+)");
+    }
+    view.tenant_aware = true;
+    std::vector<CacheTreeEntry> kept;
+    for (CacheTreeEntry& entry : view.entries) {
+      if (entry.graph == filter) kept.push_back(std::move(entry));
+    }
+    view.entries = std::move(kept);
+  }
+  return view;
+}
+
 Status RunCacheLs(const std::string& dir, const CommandEnv& env) {
-  RWDOM_ASSIGN_OR_RETURN(std::vector<std::string> names,
-                         ListSnapshotFiles(dir));
+  RWDOM_ASSIGN_OR_RETURN(CacheView view, ResolveCacheView(dir, env));
   if (env.format == OutputFormat::kJson) {
     JsonWriter json;
     json.BeginObject();
     json.Key("cache").BeginObject();
     json.Key("dir").String(dir);
     json.Key("snapshots").BeginArray();
-    for (const std::string& name : names) {
-      const std::string path = (fs::path(dir) / name).string();
-      auto meta = WalkIndexSerializer::Inspect(path, /*verify=*/false);
+    for (const CacheTreeEntry& entry : view.entries) {
+      auto meta = WalkIndexSerializer::Inspect(EntryPath(dir, entry),
+                                               /*verify=*/false);
       json.BeginObject();
-      json.Key("file").String(name);
+      if (view.tenant_aware) json.Key("graph").String(entry.graph);
+      json.Key("file").String(entry.file);
       if (meta.ok()) {
         json.Key("version").Int(meta->version);
         if (meta->key.has_value()) {
@@ -68,18 +114,20 @@ Status RunCacheLs(const std::string& dir, const CommandEnv& env) {
     return Status::OK();
   }
   env.out << StrFormat("cache %s: %lld snapshot(s)\n", dir.c_str(),
-                       static_cast<long long>(names.size()));
-  for (const std::string& name : names) {
-    const std::string path = (fs::path(dir) / name).string();
-    auto meta = WalkIndexSerializer::Inspect(path, /*verify=*/false);
+                       static_cast<long long>(view.entries.size()));
+  for (const CacheTreeEntry& entry : view.entries) {
+    auto meta = WalkIndexSerializer::Inspect(EntryPath(dir, entry),
+                                             /*verify=*/false);
+    const std::string label =
+        view.tenant_aware ? entry.graph + "/" + entry.file : entry.file;
     if (!meta.ok()) {
-      env.out << StrFormat("  %s  UNREADABLE: %s\n", name.c_str(),
+      env.out << StrFormat("  %s  UNREADABLE: %s\n", label.c_str(),
                            meta.status().message().c_str());
       continue;
     }
     env.out << StrFormat(
         "  %s  v%u  %s  nodes=%d replicates=%d entries=%lld bytes=%lld\n",
-        name.c_str(), meta->version, KeyLabel(*meta).c_str(),
+        label.c_str(), meta->version, KeyLabel(*meta).c_str(),
         meta->num_nodes, meta->num_replicates,
         static_cast<long long>(meta->total_entries),
         static_cast<long long>(meta->file_bytes));
@@ -88,8 +136,7 @@ Status RunCacheLs(const std::string& dir, const CommandEnv& env) {
 }
 
 Status RunCacheVerify(const std::string& dir, const CommandEnv& env) {
-  RWDOM_ASSIGN_OR_RETURN(std::vector<std::string> names,
-                         ListSnapshotFiles(dir));
+  RWDOM_ASSIGN_OR_RETURN(CacheView view, ResolveCacheView(dir, env));
   int64_t failed = 0;
   JsonWriter json;
   if (env.format == OutputFormat::kJson) {
@@ -98,12 +145,15 @@ Status RunCacheVerify(const std::string& dir, const CommandEnv& env) {
     json.Key("dir").String(dir);
     json.Key("snapshots").BeginArray();
   }
-  for (const std::string& name : names) {
-    const std::string path = (fs::path(dir) / name).string();
-    auto meta = WalkIndexSerializer::Inspect(path, /*verify=*/true);
+  for (const CacheTreeEntry& entry : view.entries) {
+    auto meta = WalkIndexSerializer::Inspect(EntryPath(dir, entry),
+                                             /*verify=*/true);
+    const std::string label =
+        view.tenant_aware ? entry.graph + "/" + entry.file : entry.file;
     if (env.format == OutputFormat::kJson) {
       json.BeginObject();
-      json.Key("file").String(name);
+      if (view.tenant_aware) json.Key("graph").String(entry.graph);
+      json.Key("file").String(entry.file);
       json.Key("ok").Bool(meta.ok());
       if (meta.ok()) {
         json.Key("key").String(KeyLabel(*meta));
@@ -112,24 +162,24 @@ Status RunCacheVerify(const std::string& dir, const CommandEnv& env) {
       }
       json.EndObject();
     } else if (meta.ok()) {
-      env.out << StrFormat("  %s  OK  %s\n", name.c_str(),
+      env.out << StrFormat("  %s  OK  %s\n", label.c_str(),
                            KeyLabel(*meta).c_str());
     } else {
-      env.out << StrFormat("  %s  FAIL: %s\n", name.c_str(),
+      env.out << StrFormat("  %s  FAIL: %s\n", label.c_str(),
                            meta.status().message().c_str());
     }
     if (!meta.ok()) ++failed;
   }
   if (env.format == OutputFormat::kJson) {
     json.EndArray();
-    json.Key("checked").Int(static_cast<int64_t>(names.size()));
+    json.Key("checked").Int(static_cast<int64_t>(view.entries.size()));
     json.Key("failed").Int(failed);
     json.EndObject();
     json.EndObject();
     env.out << json.ToString() << "\n";
   } else {
     env.out << StrFormat("verified %lld snapshot(s), %lld failed\n",
-                         static_cast<long long>(names.size()),
+                         static_cast<long long>(view.entries.size()),
                          static_cast<long long>(failed));
   }
   if (failed > 0) {
@@ -148,23 +198,27 @@ Status RunCacheRm(const std::string& dir, const CommandEnv& env) {
     return Status::InvalidArgument(
         "cache rm needs exactly one of --key=CANONICAL or --all");
   }
-  std::vector<std::string> doomed;
+  RWDOM_ASSIGN_OR_RETURN(CacheView view, ResolveCacheView(dir, env));
+  std::vector<CacheTreeEntry> doomed;
   if (all) {
-    RWDOM_ASSIGN_OR_RETURN(doomed, ListSnapshotFiles(dir));
+    doomed = std::move(view.entries);
   } else {
     RWDOM_ASSIGN_OR_RETURN(ArtifactKey key, ArtifactKey::Parse(key_text));
     const std::string name = key.FileStem() + kSnapshotExtension;
-    if (!fs::exists(fs::path(dir) / name)) {
+    for (CacheTreeEntry& entry : view.entries) {
+      if (entry.file == name) doomed.push_back(std::move(entry));
+    }
+    if (doomed.empty()) {
       return Status::NotFound("no snapshot for key " + key_text + " in " +
                               dir);
     }
-    doomed.push_back(name);
   }
-  for (const std::string& name : doomed) {
+  for (const CacheTreeEntry& entry : doomed) {
     std::error_code ec;
-    fs::remove(fs::path(dir) / name, ec);
+    fs::remove(EntryPath(dir, entry), ec);
     if (ec) {
-      return Status::IoError("cannot remove " + name + ": " + ec.message());
+      return Status::IoError("cannot remove " + entry.file + ": " +
+                             ec.message());
     }
   }
   if (env.format == OutputFormat::kJson) {
@@ -205,12 +259,15 @@ CommandDef MakeCacheCommand() {
   def.name = "cache";
   def.summary = "inspect or prune a --cache_dir snapshot directory";
   def.usage =
-      "rwdom cache [ls|verify|rm] --cache_dir=DIR [--key=CANONICAL | "
-      "--all]\n       keys are the canonical artifact-key strings "
-      "server_stats and `cache ls` print, e.g. "
-      "\"L=6,R=100,seed=42,substrate=0123456789abcdef\"";
+      "rwdom cache [ls|verify|rm] --cache_dir=DIR [--graph=NAME] "
+      "[--key=CANONICAL | --all]\n       keys are the canonical "
+      "artifact-key strings server_stats and `cache ls` print, e.g. "
+      "\"L=6,R=100,seed=42,substrate=0123456789abcdef\"; multi-graph "
+      "caches keep named tenants under DIR/NAME/ subdirectories";
   def.flags = {
       {"cache_dir", "DIR", "snapshot directory (same flag `serve` takes)"},
+      {"graph", "NAME", "scope to one tenant of a multi-graph cache "
+                        "(\"default\" = the root-level snapshots)"},
       {"key", "CANONICAL", "for rm: one artifact key, canonical spelling"},
       {"all", "yes|no", "for rm: remove every snapshot (default no)"},
   };

@@ -1,0 +1,191 @@
+// `rwdom route`: the consistent-hash fleet front over `rwdom serve`
+// backends. Speaks the exact JSONL protocol the backends do; each
+// request line is placed on a hash ring by its `"graph"` member
+// (omitted = the default graph) and forwarded byte-for-byte, so
+// routed responses are the backend's own bytes. Admin requests
+// (`server_stats`, `shutdown`) scatter to every backend and gather
+// into one merged {"router": ...} response; `shutdown` also stops the
+// router. SIGINT/SIGTERM shut down gracefully.
+#include <csignal>
+
+#include <atomic>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cli/command_registry.h"
+#include "cli/flag_parsing.h"
+#include "server/protocol.h"
+#include "server/router.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+
+namespace rwdom {
+namespace {
+
+// Same async-signal-safe wiring as `rwdom serve`: the handler only
+// pokes the router's wake pipe.
+std::atomic<QueryRouter*> g_signal_router{nullptr};
+
+void HandleShutdownSignal(int /*signo*/) {
+  QueryRouter* router = g_signal_router.load();
+  if (router != nullptr) router->NotifyShutdown();
+}
+
+class ScopedShutdownSignals {
+ public:
+  explicit ScopedShutdownSignals(QueryRouter* router) {
+    g_signal_router.store(router);
+    struct sigaction action = {};
+    action.sa_handler = HandleShutdownSignal;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, &previous_int_);
+    sigaction(SIGTERM, &action, &previous_term_);
+  }
+  ~ScopedShutdownSignals() {
+    sigaction(SIGINT, &previous_int_, nullptr);
+    sigaction(SIGTERM, &previous_term_, nullptr);
+    g_signal_router.store(nullptr);
+  }
+
+ private:
+  struct sigaction previous_int_ = {};
+  struct sigaction previous_term_ = {};
+};
+
+Status RunRoute(const CommandEnv& env) {
+  const std::vector<std::string> backends =
+      RepeatedFlagValues(env.invocation, "backend");
+  if (backends.empty()) {
+    return Status::InvalidArgument(
+        "route needs at least one --backend=HOST:PORT");
+  }
+  for (const std::string& backend : backends) {
+    const size_t colon = backend.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == backend.size()) {
+      return Status::InvalidArgument("--backend wants HOST:PORT, got: " +
+                                     backend);
+    }
+  }
+
+  RouterOptions options;
+  RWDOM_ASSIGN_OR_RETURN(int64_t port,
+                         IntFlagOr(env.invocation, "port", 7118));
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("--port must be in [0, 65535]");
+  }
+  options.port = static_cast<int>(port);
+  options.host = FlagOr(env.invocation, "bind", "127.0.0.1");
+  RWDOM_ASSIGN_OR_RETURN(int64_t max_connections,
+                         IntFlagOr(env.invocation, "max_connections", 64));
+  if (max_connections < 1 || max_connections > 65536) {
+    return Status::InvalidArgument(
+        "--max_connections must be in [1, 65536]");
+  }
+  options.max_connections = static_cast<int>(max_connections);
+  options.threads = NumThreads();
+  RWDOM_ASSIGN_OR_RETURN(int64_t retry_after_ms,
+                         IntFlagOr(env.invocation, "retry_after_ms", 250));
+  if (retry_after_ms < 0) {
+    return Status::InvalidArgument("--retry_after_ms must be >= 0");
+  }
+  options.retry_after_ms = static_cast<int>(retry_after_ms);
+  RWDOM_ASSIGN_OR_RETURN(
+      int64_t write_timeout_ms,
+      IntFlagOr(env.invocation, "write_timeout_ms", 30'000));
+  if (write_timeout_ms < 0) {
+    return Status::InvalidArgument("--write_timeout_ms must be >= 0");
+  }
+  options.write_timeout_ms = static_cast<int>(write_timeout_ms);
+  RWDOM_ASSIGN_OR_RETURN(
+      int64_t max_request_bytes,
+      IntFlagOr(env.invocation, "max_request_bytes",
+                static_cast<int64_t>(LineReader::kDefaultMaxLineBytes)));
+  if (max_request_bytes < 64) {
+    return Status::InvalidArgument("--max_request_bytes must be >= 64");
+  }
+  options.max_request_bytes = static_cast<size_t>(max_request_bytes);
+  const std::string port_file = FlagOr(env.invocation, "port_file", "");
+
+  QueryRouter router(backends, options);
+  ScopedShutdownSignals signals(&router);
+  RWDOM_RETURN_IF_ERROR(router.Start());
+
+  if (!port_file.empty()) {
+    std::ofstream file(port_file, std::ios::trunc);
+    if (!file) {
+      router.Shutdown();
+      return Status::IoError("cannot write --port_file: " + port_file);
+    }
+    file << router.port() << "\n";
+  }
+
+  std::string backend_list;
+  for (const std::string& backend : backends) {
+    if (!backend_list.empty()) backend_list += ", ";
+    backend_list += backend;
+  }
+  env.out << StrFormat(
+      "routing on %s:%d over %d backend(s): %s (threads=%d, "
+      "max_connections=%d, protocol_version=%d)\n",
+      options.host.c_str(), router.port(),
+      static_cast<int>(backends.size()), backend_list.c_str(),
+      options.threads, options.max_connections, kProtocolVersion);
+  env.out << "placement: consistent hash on the request's \"graph\" "
+             "member; admin requests fan out to every backend\n";
+  env.out.flush();
+
+  router.Wait();
+
+  const RouterStats stats = router.stats();
+  env.out << StrFormat(
+      "route: %lld request(s) proxied (errors=%lld, failovers=%lld, "
+      "admin fanouts=%lld) over %lld connection(s)\n",
+      static_cast<long long>(stats.requests_proxied),
+      static_cast<long long>(stats.requests_error),
+      static_cast<long long>(stats.failovers),
+      static_cast<long long>(stats.admin_fanouts),
+      static_cast<long long>(stats.connections_accepted));
+  return Status::OK();
+}
+
+}  // namespace
+
+CommandDef MakeRouteCommand() {
+  CommandDef def;
+  def.name = "route";
+  def.summary = "front a fleet of serve backends with consistent hashing";
+  def.usage =
+      "rwdom route --backend=HOST:PORT [--backend=HOST:PORT ...] "
+      "[--port=7118] [--max_connections=64]\n       same JSONL protocol "
+      "as `rwdom serve`; each line's \"graph\" member picks its backend "
+      "on a fixed hash ring\n       (unreachable backends are skipped to "
+      "the next ring position; a backend lost mid-request answers "
+      "Unavailable + retry_after_ms)";
+  def.flags = {
+      {"backend", "HOST:PORT",
+       "one serve backend; repeat for the whole fleet (ring order is "
+       "hash-determined, not flag order)"},
+      {"port", "N", "TCP port to listen on; 0 picks an ephemeral port "
+                    "(default 7118)"},
+      {"bind", "ADDR", "bind address (default 127.0.0.1; use 0.0.0.0 to "
+                       "expose beyond localhost)"},
+      {"max_connections", "N",
+       "open-connection cap; excess connections are refused (default 64)"},
+      {"retry_after_ms", "N",
+       "backoff hint carried in Unavailable responses (default 250)"},
+      {"write_timeout_ms", "N",
+       "drop a connection whose client stops reading responses for this "
+       "long (default 30000; 0 = unlimited)"},
+      {"max_request_bytes", "N",
+       "per-request-line byte cap; overlong lines answer InvalidArgument "
+       "(default 1048576)"},
+      {"port_file", "FILE", "write the bound port here once listening "
+                            "(handshake for scripts/tests)"},
+  };
+  def.handler = RunRoute;
+  return def;
+}
+
+}  // namespace rwdom

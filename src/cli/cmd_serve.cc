@@ -1,30 +1,85 @@
-// `rwdom serve`: a long-lived TCP query server over one warm
-// QueryContext — the build-once/query-many economics of `rwdom batch`,
-// made available to many concurrent clients. The substrate is loaded
+// `rwdom serve`: a long-lived TCP query server over warm
+// QueryContexts — the build-once/query-many economics of `rwdom batch`,
+// made available to many concurrent clients. Substrates are loaded
 // once at startup; every connection speaks the JSONL batch-script
 // protocol and gets responses bit-identical to cold
 // `rwdom <command> --format=json` runs. SIGINT/SIGTERM or a
 // {"command": "shutdown"} request shut down gracefully (in-flight
 // requests finish and are answered).
+//
+// Multi-graph tenancy (protocol v3): besides the default substrate
+// (--graph=FILE | --dataset=NAME), repeatable
+// `--graph NAME=PATH[,weighted][,directed]` flags register named
+// tenants; request lines pick theirs with `"graph": "NAME"`. All
+// tenants share one --max_cache_bytes budget (global LRU), and with
+// --cache_dir each named tenant persists under its own subdirectory
+// (the default tenant keeps the v2 flat layout).
 #include <csignal>
 
 #include <atomic>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "cli/command_registry.h"
 #include "cli/flag_parsing.h"
 #include "cli/query_line.h"
 #include "persist/artifact_cache.h"
 #include "server/server.h"
+#include "service/graph_registry.h"
 #include "util/json.h"
 #include "util/parallel.h"
 #include "util/strings.h"
 
 namespace rwdom {
 namespace {
+
+/// One `--graph NAME=PATH[,weighted][,directed]` tenant spec.
+struct TenantSpec {
+  std::string name;
+  std::string path;
+  SubstrateOptions options;
+};
+
+Result<TenantSpec> ParseTenantSpec(const std::string& value) {
+  const size_t eq = value.find('=');
+  TenantSpec spec;
+  spec.name = value.substr(0, eq);
+  if (!IsValidGraphName(spec.name)) {
+    return Status::InvalidArgument(
+        "invalid graph name \"" + spec.name + "\" in --graph=" + value +
+        " (use [A-Za-z0-9_.-]+)");
+  }
+  std::string rest = value.substr(eq + 1);
+  size_t start = 0;
+  bool first = true;
+  while (start <= rest.size()) {
+    size_t comma = rest.find(',', start);
+    if (comma == std::string::npos) comma = rest.size();
+    const std::string token = rest.substr(start, comma - start);
+    if (first) {
+      spec.path = token;
+      first = false;
+    } else if (token == "weighted") {
+      spec.options.weights = SubstrateWeights::kForce;
+    } else if (token == "directed") {
+      spec.options.directed = true;
+    } else {
+      return Status::InvalidArgument(
+          "unknown tenant option \"" + token + "\" in --graph=" + value +
+          " (use weighted and/or directed)");
+    }
+    start = comma + 1;
+  }
+  if (spec.path.empty()) {
+    return Status::InvalidArgument("tenant spec needs a path: --graph=" +
+                                   value);
+  }
+  return spec;
+}
 
 // SIGINT/SIGTERM route through NotifyShutdown, the only QueryServer
 // entry point that is async-signal-safe (it just writes one byte to the
@@ -132,38 +187,75 @@ Status RunServe(const CommandEnv& env) {
   const std::string cache_dir = FlagOr(env.invocation, "cache_dir", "");
   if (!cache_dir.empty()) options.capabilities.push_back("cache");
 
+  // Partition the repeated --graph occurrences: values with '=' are
+  // named tenant specs (NAME=PATH[,weighted][,directed]); a plain value
+  // is the v2 spelling of the default tenant's edge list.
+  std::vector<TenantSpec> tenant_specs;
+  std::string default_graph_file;
+  for (const std::string& value :
+       RepeatedFlagValues(env.invocation, "graph")) {
+    if (value.find('=') != std::string::npos) {
+      RWDOM_ASSIGN_OR_RETURN(TenantSpec spec, ParseTenantSpec(value));
+      tenant_specs.push_back(std::move(spec));
+    } else {
+      default_graph_file = value;
+    }
+  }
+  // The default tenant resolves through the unchanged substrate path
+  // (--graph=FILE | --dataset=NAME), with the tenant specs stripped so
+  // they cannot masquerade as an edge-list path.
+  CliInvocation default_invocation = env.invocation;
+  if (default_graph_file.empty()) {
+    default_invocation.flags.erase("graph");
+  } else {
+    default_invocation.flags["graph"] = default_graph_file;
+  }
+  if (default_invocation.flags.count("graph") == 0 &&
+      default_invocation.flags.count("dataset") == 0) {
+    return Status::InvalidArgument(
+        "serve needs a default substrate (--graph=FILE or --dataset=NAME) "
+        "besides named --graph NAME=PATH tenants");
+  }
   RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate loaded,
-                         ResolveSubstrate(env.invocation));
-  QueryContext context(std::move(loaded));
-  // Budget set before recovery, so adoption respects it from byte one.
-  context.set_max_cache_bytes(max_cache_bytes);
+                         ResolveSubstrate(default_invocation));
 
-  // Declared after the context and before the server, so destruction
-  // runs server (workers join, no more builds) -> cache (writer drains)
-  // -> context — every order-sensitive handoff is scoped.
-  std::optional<ArtifactCache> cache;
-  int64_t recovered = 0;
-  if (!cache_dir.empty()) {
-    cache.emplace(cache_dir);
-    // Warm start: adopt every compatible snapshot before the listener
-    // is up, so even the first query finds the index without building.
-    RWDOM_ASSIGN_OR_RETURN(recovered, cache->RecoverInto(context));
-    cache->AttachCheckpointHook(context);
+  GraphRegistry registry;
+  // Budget set before any tenant loads or recovery, so every adoption
+  // and build respects the fleet-wide cap from byte one.
+  registry.set_max_cache_bytes(max_cache_bytes);
+  RWDOM_RETURN_IF_ERROR(registry.Add(
+      kDefaultGraphName, std::make_unique<QueryContext>(std::move(loaded))));
+  for (const TenantSpec& spec : tenant_specs) {
+    RWDOM_ASSIGN_OR_RETURN(LoadedSubstrate tenant_loaded,
+                           LoadSubstrate(spec.path, spec.options));
+    RWDOM_RETURN_IF_ERROR(registry.Add(
+        spec.name,
+        std::make_unique<QueryContext>(std::move(tenant_loaded))));
   }
 
-  QueryServer server(
-      &context,
-      [&context](const std::string& line, std::string* response) -> Status {
-        std::ostringstream out;
-        RWDOM_RETURN_IF_ERROR(
-            ExecuteQueryLine(line, context, OutputFormat::kJson, out));
-        *response = out.str();
-        while (!response->empty() && response->back() == '\n') {
-          response->pop_back();
-        }
-        return Status::OK();
-      },
-      options);
+  // Declared after the registry and before the server, so destruction
+  // runs server (workers join, no more builds) -> caches (writers
+  // drain) -> contexts — every order-sensitive handoff is scoped. The
+  // default tenant keeps the v2 flat layout at the cache_dir root;
+  // named tenants get their own subdirectory.
+  std::vector<std::unique_ptr<ArtifactCache>> caches;
+  int64_t recovered = 0;
+  if (!cache_dir.empty()) {
+    for (const ResolvedGraph& graph : registry.Graphs()) {
+      const std::string tenant_dir = *graph.name == kDefaultGraphName
+                                         ? cache_dir
+                                         : cache_dir + "/" + *graph.name;
+      caches.push_back(std::make_unique<ArtifactCache>(tenant_dir));
+      // Warm start: adopt every compatible snapshot before the listener
+      // is up, so even the first query finds the index without building.
+      RWDOM_ASSIGN_OR_RETURN(int64_t adopted,
+                             caches.back()->RecoverInto(*graph.context));
+      recovered += adopted;
+      caches.back()->AttachCheckpointHook(*graph.context);
+    }
+  }
+
+  QueryServer server(&registry, ExecuteRequestToJsonLine, options);
   // Handlers go in before the listener is up (and before --port_file
   // announces readiness), so there is no window where a Ctrl-C is
   // dropped; NotifyShutdown is valid from construction.
@@ -184,15 +276,27 @@ Status RunServe(const CommandEnv& env) {
   env.out << StrFormat(
       "serving %s substrate on %s:%d (io=%s, threads=%d, "
       "max_connections=%d, protocol_version=%d)\n",
-      context.substrate().kind().c_str(), options.host.c_str(),
-      server.port(), IoModeName(options.io), options.threads,
-      options.max_connections, kProtocolVersion);
-  if (cache.has_value()) {
-    const PersistenceInfo persistence = context.persistence();
+      registry.default_context()->substrate().kind().c_str(),
+      options.host.c_str(), server.port(), IoModeName(options.io),
+      options.threads, options.max_connections, kProtocolVersion);
+  if (registry.multi_graph()) {
+    std::string names;
+    for (const std::string& name : registry.GraphNames()) {
+      if (!names.empty()) names += ", ";
+      names += name;
+    }
+    env.out << StrFormat("graphs: %s (%d tenants, shared cache budget)\n",
+                         names.c_str(), static_cast<int>(registry.size()));
+  }
+  if (!caches.empty()) {
+    int64_t rejected = 0;
+    for (const ResolvedGraph& graph : registry.Graphs()) {
+      rejected += graph.context->persistence().snapshots_rejected;
+    }
     env.out << StrFormat(
         "cache: %s (snapshots recovered=%lld, rejected=%lld)\n",
         cache_dir.c_str(), static_cast<long long>(recovered),
-        static_cast<long long>(persistence.snapshots_rejected));
+        static_cast<long long>(rejected));
   }
   env.out << "protocol: one JSONL request per line (see `rwdom help "
              "serve`); Ctrl-C or {\"command\": \"shutdown\"} to stop\n";
@@ -202,18 +306,19 @@ Status RunServe(const CommandEnv& env) {
 
   // Publish queued checkpoints before the summary so its counters are
   // the final ones for this run.
-  if (cache.has_value()) cache->Flush();
+  for (const auto& cache : caches) cache->Flush();
   const ServerStats stats = server.stats();
   if (env.format == OutputFormat::kJson) {
     JsonWriter json;
     json.BeginObject();
     json.Key("serve_summary").BeginObject();
-    json.Key("substrate").String(context.substrate().kind());
+    json.Key("substrate")
+        .String(registry.default_context()->substrate().kind());
     json.Key("queries_ok").Int(stats.queries_ok);
     json.Key("queries_error").Int(stats.queries_error);
     json.Key("connections_accepted").Int(stats.connections_accepted);
     json.Key("connections_rejected").Int(stats.connections_rejected);
-    json.Key("graph_loads").Int(1);
+    json.Key("graph_loads").Int(stats.graph_loads);
     json.Key("index_builds").Int(stats.index_builds);
     json.Key("index_hits").Int(stats.index_hits);
     json.Key("index_recovered").Int(stats.index_recovered);
@@ -226,15 +331,24 @@ Status RunServe(const CommandEnv& env) {
     json.EndObject();
     env.out << json.ToString() << "\n";
   } else {
+    // The single-graph wording is the v2 line byte for byte; multi-graph
+    // runs spell out the tenant count instead of "one ... substrate".
+    const std::string substrate_phrase =
+        registry.multi_graph()
+            ? StrFormat("%d substrates", static_cast<int>(registry.size()))
+            : StrFormat(
+                  "one %s substrate",
+                  registry.default_context()->substrate().kind().c_str());
     env.out << StrFormat(
         "serve: %lld queries (ok=%lld, errors=%lld) over %lld connections "
-        "on one %s substrate (graph loads=1, index builds=%lld, "
+        "on %s (graph loads=%lld, index builds=%lld, "
         "index hits=%lld, index recovered=%lld, cached bytes=%lld)\n",
         static_cast<long long>(stats.queries_ok + stats.queries_error),
         static_cast<long long>(stats.queries_ok),
         static_cast<long long>(stats.queries_error),
         static_cast<long long>(stats.connections_accepted),
-        context.substrate().kind().c_str(),
+        substrate_phrase.c_str(),
+        static_cast<long long>(stats.graph_loads),
         static_cast<long long>(stats.index_builds),
         static_cast<long long>(stats.index_hits),
         static_cast<long long>(stats.index_recovered),
@@ -256,14 +370,18 @@ Status RunServe(const CommandEnv& env) {
 CommandDef MakeServeCommand() {
   CommandDef def;
   def.name = "serve";
-  def.summary = "serve JSONL queries over TCP from one warm engine";
+  def.summary = "serve JSONL queries over TCP from warm engines";
   def.usage =
-      "rwdom serve (--graph=FILE | --dataset=NAME) [--port=7117] "
+      "rwdom serve (--graph=FILE | --dataset=NAME) "
+      "[--graph NAME=PATH[,weighted][,directed] ...] [--port=7117] "
       "[--max_connections=64] [--threads=N] [--cache_dir=DIR]\n       "
       "request lines (same "
       "as batch scripts): {\"command\": \"select|evaluate|knn|cover|"
-      "stats\", \"flags\": {...}}\n       admin requests: {\"command\": "
-      "\"server_stats\"} and {\"command\": \"shutdown\"}";
+      "stats\", \"flags\": {...}, \"graph\": \"NAME\"}\n       "
+      "(\"graph\" optional: omitted lines hit the default substrate)\n"
+      "       admin requests: {\"command\": "
+      "\"server_stats\"} (optional \"graph\" filter) and {\"command\": "
+      "\"shutdown\"}";
   def.flags = WithSubstrateFlags({
       {"port", "N", "TCP port to listen on; 0 picks an ephemeral port "
                     "(default 7117)"},
@@ -294,8 +412,9 @@ CommandDef MakeServeCommand() {
        "peer that stops draining past it is paused (backpressure) "
        "(default 262144)"},
       {"max_cache_bytes", "N",
-       "index-cache memory budget: LRU-evict under pressure, refuse "
-       "builds that can never fit (default 0 = unlimited)"},
+       "index-cache memory budget, global across every served graph: "
+       "LRU-evict fleet-wide under pressure, refuse builds that can "
+       "never fit (default 0 = unlimited)"},
       {"port_file", "FILE", "write the bound port here once listening "
                             "(handshake for scripts/tests)"},
       {"cache_dir", "DIR",

@@ -13,8 +13,9 @@ const std::vector<CommandDef>& Commands() {
           MakeGenerateCommand(), MakeSelectCommand(),
           MakeEvaluateCommand(), MakeCoverCommand(),
           MakeKnnCommand(),      MakeBatchCommand(),
-          MakeServeCommand(),    MakeClientCommand(),
-          MakeCacheCommand(),    MakeHelpCommand(),
+          MakeServeCommand(),    MakeRouteCommand(),
+          MakeClientCommand(),   MakeCacheCommand(),
+          MakeHelpCommand(),
       };
   return *kCommands;
 }

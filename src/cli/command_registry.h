@@ -47,6 +47,7 @@ CommandDef MakeCoverCommand();
 CommandDef MakeKnnCommand();
 CommandDef MakeBatchCommand();
 CommandDef MakeServeCommand();
+CommandDef MakeRouteCommand();
 CommandDef MakeClientCommand();
 CommandDef MakeCacheCommand();
 CommandDef MakeHelpCommand();

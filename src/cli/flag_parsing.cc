@@ -14,6 +14,19 @@ std::string FlagOr(const CliInvocation& invocation, const std::string& key,
   return it == invocation.flags.end() ? fallback : it->second;
 }
 
+std::vector<std::string> RepeatedFlagValues(const CliInvocation& invocation,
+                                            const std::string& key) {
+  std::vector<std::string> values;
+  for (const auto& [name, value] : invocation.ordered_flags) {
+    if (name == key) values.push_back(value);
+  }
+  if (values.empty()) {
+    auto it = invocation.flags.find(key);
+    if (it != invocation.flags.end()) values.push_back(it->second);
+  }
+  return values;
+}
+
 Result<int64_t> IntFlagOr(const CliInvocation& invocation,
                           const std::string& key, int64_t fallback) {
   auto it = invocation.flags.find(key);

@@ -23,6 +23,12 @@ namespace rwdom {
 std::string FlagOr(const CliInvocation& invocation, const std::string& key,
                    const std::string& fallback);
 
+/// Every occurrence of --key in source order, for repeatable flags.
+/// Falls back to the single map entry when the invocation was built
+/// without ordered_flags (hand-constructed in tests).
+std::vector<std::string> RepeatedFlagValues(const CliInvocation& invocation,
+                                            const std::string& key);
+
 /// Typed variants; parse errors are InvalidArgument.
 Result<int64_t> IntFlagOr(const CliInvocation& invocation,
                           const std::string& key, int64_t fallback);

@@ -1,70 +1,32 @@
 #include "cli/query_line.h"
 
-#include <cmath>
+#include <sstream>
 #include <utility>
 
 #include "cli/command_registry.h"
 #include "cli/flag_parsing.h"
-#include "util/json.h"
 #include "util/strings.h"
 
 namespace rwdom {
-namespace {
 
-// Renders a JSON flag value with the spelling the flag parsers expect:
-// integral numbers without a decimal point (ParseInt64 must accept
-// them), bools as true/false (BoolFlagOr accepts both).
-Result<std::string> FlagValueToString(const JsonValue& value) {
-  switch (value.type()) {
-    case JsonValue::Type::kString:
-      return value.string_value();
-    case JsonValue::Type::kBool:
-      return std::string(value.bool_value() ? "true" : "false");
-    case JsonValue::Type::kNumber: {
-      const double number = value.number_value();
-      if (std::rint(number) == number &&
-          std::abs(number) <= 9007199254740992.0) {
-        return StrFormat("%lld", static_cast<long long>(number));
-      }
-      return StrFormat("%.17g", number);
-    }
-    default:
-      return Status::InvalidArgument(
-          "flag values must be strings, numbers or booleans");
-  }
-}
-
-}  // namespace
-
-Result<CliInvocation> ParseQueryLine(const std::string& line) {
-  RWDOM_ASSIGN_OR_RETURN(JsonValue root, ParseJson(line));
-  if (!root.is_object()) {
-    return Status::InvalidArgument("script line must be a JSON object");
-  }
-  const JsonValue* command = root.Find("command");
-  if (command == nullptr || !command->is_string()) {
-    return Status::InvalidArgument(
-        "script line needs a string \"command\" member");
-  }
+CliInvocation RequestToInvocation(const ParsedRequest& request) {
   CliInvocation invocation;
-  invocation.command = command->string_value();
-  for (const auto& [key, member] : root.object()) {
-    if (key == "command") continue;
-    if (key == "flags") {
-      if (!member.is_object()) {
-        return Status::InvalidArgument("\"flags\" must be a JSON object");
-      }
-      for (const auto& [flag, value] : member.object()) {
-        RWDOM_ASSIGN_OR_RETURN(std::string text, FlagValueToString(value));
-        invocation.flags[flag] = std::move(text);
-      }
-      continue;
-    }
-    return Status::InvalidArgument(
-        "unknown script member \"" + key +
-        "\" (lines carry \"command\" and \"flags\" only)");
+  invocation.command = request.command;
+  for (const auto& [flag, value] : request.flags) {
+    invocation.ordered_flags.emplace_back(flag, value);
+    invocation.flags[flag] = value;
   }
   return invocation;
+}
+
+Result<CliInvocation> ParseQueryLine(const std::string& line) {
+  RWDOM_ASSIGN_OR_RETURN(ParsedRequest request, ParseRequestLine(line));
+  if (!request.graph.empty()) {
+    return Status::InvalidArgument(
+        "\"graph\" is fixed by the batch invocation and cannot appear in "
+        "script lines");
+  }
+  return RequestToInvocation(request);
 }
 
 Result<const CommandDef*> ResolveQueryLine(const CliInvocation& invocation) {
@@ -97,13 +59,40 @@ Result<const CommandDef*> ResolveQueryLine(const CliInvocation& invocation) {
   return command;
 }
 
-Status ExecuteQueryLine(const std::string& line, QueryContext& context,
-                        OutputFormat format, std::ostream& out) {
-  RWDOM_ASSIGN_OR_RETURN(CliInvocation invocation, ParseQueryLine(line));
+Status ExecuteParsedRequest(const ParsedRequest& request,
+                            QueryContext& context, OutputFormat format,
+                            std::ostream& out) {
+  const CliInvocation invocation = RequestToInvocation(request);
   RWDOM_ASSIGN_OR_RETURN(const CommandDef* command,
                          ResolveQueryLine(invocation));
   CommandEnv env{invocation, out, format, &context};
   return command->handler(env);
+}
+
+Status ExecuteQueryLine(const std::string& line, QueryContext& context,
+                        OutputFormat format, std::ostream& out) {
+  RWDOM_ASSIGN_OR_RETURN(ParsedRequest request, ParseRequestLine(line));
+  if (!request.graph.empty()) {
+    return Status::InvalidArgument(
+        "\"graph\" is fixed by the batch invocation and cannot appear in "
+        "script lines");
+  }
+  return ExecuteParsedRequest(request, context, format, out);
+}
+
+Status ExecuteRequestToJsonLine(const ParsedRequest& request,
+                                QueryContext& context,
+                                std::string* response) {
+  std::ostringstream out;
+  RWDOM_RETURN_IF_ERROR(
+      ExecuteParsedRequest(request, context, OutputFormat::kJson, out));
+  *response = out.str();
+  // Handlers terminate their one JSON line; the server frames lines
+  // itself.
+  while (!response->empty() && response->back() == '\n') {
+    response->pop_back();
+  }
+  return Status::OK();
 }
 
 }  // namespace rwdom

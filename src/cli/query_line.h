@@ -3,12 +3,15 @@
 //
 //   {"command": "select", "flags": {"problem": "F2", "k": 5, "L": 4}}
 //
-// parsed into the exact CliInvocation a one-shot command would see and
-// executed through the same registry handler, so per-line output is
-// bit-identical to running the command cold with the same flags. Lines
-// may only carry query commands (CommandDef::batchable) and may not
-// carry substrate or global flags — the substrate is fixed by whoever
-// owns the warm QueryContext (the batch invocation or the server).
+// parsed once by the service layer's versioned envelope
+// (service/wire.h — also the server's and router's parser, so framing
+// can never drift), turned into the exact CliInvocation a one-shot
+// command would see and executed through the same registry handler, so
+// per-line output is bit-identical to running the command cold with
+// the same flags. Lines may only carry query commands
+// (CommandDef::batchable) and may not carry substrate or global flags —
+// the substrate is fixed by whoever owns the warm QueryContext (the
+// batch invocation or the server's graph registry).
 #ifndef RWDOM_CLI_QUERY_LINE_H_
 #define RWDOM_CLI_QUERY_LINE_H_
 
@@ -17,25 +20,47 @@
 
 #include "cli/command.h"
 #include "service/query_context.h"
+#include "service/wire.h"
 #include "util/status.h"
 
 namespace rwdom {
 
-/// Parses one JSONL line into an invocation (flag values may be JSON
-/// strings, numbers or bools; members other than "command"/"flags" are
-/// rejected).
+/// Parses one JSONL line into an invocation via ParseRequestLine.
+/// Batch scripts fix their substrate up front, so a "graph" member is
+/// rejected here (servers route on it instead — see
+/// ExecuteRequestToJsonLine).
 Result<CliInvocation> ParseQueryLine(const std::string& line);
+
+/// The envelope -> invocation adapter: flags land in both the
+/// last-wins map and ordered_flags, exactly as ParseCliArgs fills them.
+CliInvocation RequestToInvocation(const ParsedRequest& request);
 
 /// Looks up the invocation's command and applies every per-line rule:
 /// known command, batchable, no substrate flags, no global flags, and
 /// the command's own flag validation (with "did you mean" hints).
 Result<const CommandDef*> ResolveQueryLine(const CliInvocation& invocation);
 
+/// Resolve + execute one validated envelope against the warm context,
+/// rendering the response to `out` in `format`. The request's graph
+/// member is ignored — the caller already routed to `context`.
+Status ExecuteParsedRequest(const ParsedRequest& request,
+                            QueryContext& context, OutputFormat format,
+                            std::ostream& out);
+
 /// Parse + resolve + execute one line against the warm context,
 /// rendering the response to `out` in `format`. With OutputFormat::kJson
 /// every successful line produces exactly one JSON line.
 Status ExecuteQueryLine(const std::string& line, QueryContext& context,
                         OutputFormat format, std::ostream& out);
+
+/// QueryServer::LineExecutor-compatible entry point: executes the
+/// envelope in JSON format and fills `response` with exactly one JSON
+/// line (no trailing newline). This is the executor `rwdom serve`
+/// injects, which is what makes served responses byte-identical to
+/// cold `--format=json` runs.
+Status ExecuteRequestToJsonLine(const ParsedRequest& request,
+                                QueryContext& context,
+                                std::string* response);
 
 }  // namespace rwdom
 

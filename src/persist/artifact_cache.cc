@@ -5,6 +5,7 @@
 #include <system_error>
 
 #include "persist/snapshot.h"
+#include "service/graph_registry.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -39,6 +40,39 @@ Result<std::vector<std::string>> ListSnapshotFiles(const std::string& dir) {
   }
   std::sort(names.begin(), names.end());
   return names;
+}
+
+Result<std::vector<CacheTreeEntry>> ListSnapshotTree(const std::string& dir) {
+  std::vector<CacheTreeEntry> entries;
+  RWDOM_ASSIGN_OR_RETURN(std::vector<std::string> root,
+                         ListSnapshotFiles(dir));
+  for (std::string& name : root) {
+    entries.push_back({kDefaultGraphName, std::move(name)});
+  }
+  std::vector<std::string> graphs;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (!ec) {
+    for (const fs::directory_entry& entry : it) {
+      if (!entry.is_directory(ec)) continue;
+      const std::string name = entry.path().filename().string();
+      // The default tenant is flat at the root by construction, so a
+      // "default" subdirectory cannot be one of ours; skip it rather
+      // than listing two tenants under one name.
+      if (!IsValidGraphName(name) || name == kDefaultGraphName) continue;
+      graphs.push_back(name);
+    }
+  }
+  std::sort(graphs.begin(), graphs.end());
+  for (const std::string& graph : graphs) {
+    RWDOM_ASSIGN_OR_RETURN(
+        std::vector<std::string> files,
+        ListSnapshotFiles((fs::path(dir) / graph).string()));
+    for (std::string& file : files) {
+      entries.push_back({graph, std::move(file)});
+    }
+  }
+  return entries;
 }
 
 ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir)) {}

@@ -50,6 +50,22 @@ inline constexpr const char kSnapshotExtension[] = ".rwidx";
 /// error. Does not include ".tmp" leftovers.
 Result<std::vector<std::string>> ListSnapshotFiles(const std::string& dir);
 
+/// One snapshot in a tenant-aware cache tree: which graph owns it and
+/// its file name relative to that graph's directory.
+struct CacheTreeEntry {
+  std::string graph;  ///< kDefaultGraphName for root-level snapshots.
+  std::string file;
+};
+
+/// The multi-graph cache layout: the default tenant's snapshots live
+/// flat at the root of `dir` (byte-compatible with every pre-tenancy
+/// cache), named tenants under one level of `dir/<graph>/`
+/// subdirectories keyed by graph name. Lists the whole tree, default
+/// tenant first, then named tenants sorted by name; files sorted within
+/// each tenant. Subdirectories that are not valid graph names (or that
+/// collide with the reserved default name) are ignored.
+Result<std::vector<CacheTreeEntry>> ListSnapshotTree(const std::string& dir);
+
 /// One snapshot directory. Thread-compatible construction; after
 /// AttachCheckpointHook the internal queue is what the build hook and
 /// the writer thread synchronize on. Destroying the cache drains every

@@ -34,6 +34,25 @@ std::optional<int> UnavailableHintMs(const std::string& response) {
 
 }  // namespace
 
+ServerGreeting ParseServerGreeting(const std::string& greeting_line) {
+  ServerGreeting greeting;
+  auto parsed = ParseJson(greeting_line);
+  if (!parsed.ok() || !parsed->is_object()) return greeting;
+  const JsonValue* body = parsed->Find("rwdom");
+  if (body == nullptr || !body->is_object()) return greeting;
+  const JsonValue* version = body->Find("protocol_version");
+  if (version != nullptr && version->is_number()) {
+    greeting.protocol_version = static_cast<int>(version->number_value());
+  }
+  const JsonValue* capabilities = body->Find("capabilities");
+  if (capabilities != nullptr && capabilities->is_array()) {
+    for (const JsonValue& tag : capabilities->array()) {
+      if (tag.is_string()) greeting.capabilities.push_back(tag.string_value());
+    }
+  }
+  return greeting;
+}
+
 QueryClient::QueryClient(UniqueFd connection)
     : connection_(std::make_shared<UniqueFd>(std::move(connection))),
       reader_(std::make_shared<LineReader>(connection_->get())) {}
@@ -49,6 +68,7 @@ Result<QueryClient> QueryClient::Connect(const std::string& host, int port) {
   if (outcome != LineReader::Outcome::kLine) {
     return Status::IoError("server closed the connection before greeting");
   }
+  client.server_greeting_ = ParseServerGreeting(client.greeting_);
   return client;
 }
 
@@ -107,6 +127,7 @@ Status RetryingClient::EnsureConnected() {
   RWDOM_ASSIGN_OR_RETURN(QueryClient fresh,
                          QueryClient::Connect(host_, port_));
   greeting_ = fresh.greeting();
+  server_greeting_ = fresh.server_greeting();
   client_.emplace(std::move(fresh));
   return Status::OK();
 }

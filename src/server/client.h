@@ -19,6 +19,25 @@
 
 namespace rwdom {
 
+/// The parsed server greeting, for feature detection before the first
+/// request. Tolerant of old servers: an unparseable or absent greeting
+/// body parses as protocol_version 1 with no capabilities.
+struct ServerGreeting {
+  int protocol_version = 1;
+  std::vector<std::string> capabilities;
+
+  bool Has(const std::string& capability) const {
+    for (const std::string& tag : capabilities) {
+      if (tag == capability) return true;
+    }
+    return false;
+  }
+};
+
+/// Parses one greeting line ({"rwdom": {"protocol_version": N,
+/// "capabilities": [...]}}); never fails, see ServerGreeting.
+ServerGreeting ParseServerGreeting(const std::string& greeting_line);
+
 /// One connection to a query server. Requests are strictly
 /// request/response over the connection, matching the server's
 /// per-connection ordering guarantee.
@@ -34,6 +53,11 @@ class QueryClient {
   /// without an extra request.
   const std::string& greeting() const { return greeting_; }
 
+  /// The greeting, parsed once at Connect (protocol_version,
+  /// capability tags). `server_greeting().Has("multi_graph")` is how
+  /// callers feature-detect protocol v3 tenancy.
+  const ServerGreeting& server_greeting() const { return server_greeting_; }
+
   /// Sends one request line and blocks for its response line. An EOF
   /// before the response (server shut down mid-request) is an IoError.
   Result<std::string> Roundtrip(const std::string& line);
@@ -45,6 +69,7 @@ class QueryClient {
   std::shared_ptr<UniqueFd> connection_;
   std::shared_ptr<LineReader> reader_;
   std::string greeting_;
+  ServerGreeting server_greeting_;
 };
 
 /// How a RetryingClient paces reconnect attempts. Backoff for attempt k
@@ -83,6 +108,10 @@ class RetryingClient {
   /// successful connect).
   const std::string& greeting() const { return greeting_; }
 
+  /// Parsed greeting of the current connection (protocol_version 1, no
+  /// capabilities before the first successful connect).
+  const ServerGreeting& server_greeting() const { return server_greeting_; }
+
   /// Total backoff-and-retry cycles performed (tests assert the shed →
   /// retry → served sequence happened).
   int64_t retries_performed() const { return retries_performed_; }
@@ -99,6 +128,7 @@ class RetryingClient {
   uint64_t jitter_state_;
   std::optional<QueryClient> client_;
   std::string greeting_;
+  ServerGreeting server_greeting_;
   int64_t retries_performed_ = 0;
 };
 

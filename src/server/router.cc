@@ -1,0 +1,389 @@
+#include "server/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "server/protocol.h"
+#include "service/graph_registry.h"
+#include "service/wire.h"
+#include "util/fingerprint.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace rwdom {
+namespace {
+
+/// One ring point: the hash of "address#vnode". Length-prefixed string
+/// hashing (UpdateString) keeps "a#11" and "a1#1" distinct.
+uint64_t RingPoint(const std::string& address, int vnode) {
+  Fingerprint fp;
+  fp.UpdateString(address);
+  fp.UpdatePod(static_cast<int64_t>(vnode));
+  return fp.Digest();
+}
+
+uint64_t NameHash(std::string_view name) {
+  Fingerprint fp;
+  fp.UpdateString(name);
+  return fp.Digest();
+}
+
+}  // namespace
+
+HashRing::HashRing(std::vector<std::string> backends)
+    : backends_(std::move(backends)) {
+  points_.reserve(backends_.size() * kVirtualNodesPerBackend);
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    for (int v = 0; v < kVirtualNodesPerBackend; ++v) {
+      points_.emplace_back(RingPoint(backends_[i], v), i);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::vector<const std::string*> HashRing::RouteOrder(
+    std::string_view name) const {
+  std::vector<const std::string*> order;
+  if (points_.empty()) return order;
+  order.reserve(backends_.size());
+  std::vector<bool> seen(backends_.size(), false);
+  const uint64_t hash = NameHash(name);
+  auto start = std::lower_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(hash, static_cast<size_t>(0)));
+  for (size_t walked = 0;
+       walked < points_.size() && order.size() < backends_.size();
+       ++walked) {
+    if (start == points_.end()) start = points_.begin();
+    if (!seen[start->second]) {
+      seen[start->second] = true;
+      order.push_back(&backends_[start->second]);
+    }
+    ++start;
+  }
+  return order;
+}
+
+QueryRouter::QueryRouter(std::vector<std::string> backends,
+                         RouterOptions options)
+    : ring_(std::move(backends)), options_(std::move(options)) {
+  RWDOM_CHECK(!ring_.backends().empty()) << "QueryRouter needs backends";
+  RWDOM_CHECK(options_.threads >= 1);
+  RWDOM_CHECK(options_.max_connections >= 1);
+  auto wake = MakeWakePipe();
+  RWDOM_CHECK(wake.ok()) << wake.status();
+  wake_ = std::move(*wake);
+}
+
+QueryRouter::~QueryRouter() { Shutdown(); }
+
+Status QueryRouter::Start() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    RWDOM_CHECK(!started_) << "QueryRouter::Start called twice";
+    started_ = true;
+  }
+  // Probe the backends for their capability tags (best effort — a down
+  // backend just contributes nothing) and greet clients with the union
+  // plus "router", so feature detection works one hop removed.
+  std::vector<std::string> capabilities;
+  const auto add_capability = [&capabilities](const std::string& tag) {
+    if (std::find(capabilities.begin(), capabilities.end(), tag) ==
+        capabilities.end()) {
+      capabilities.push_back(tag);
+    }
+  };
+  for (const std::string& address : ring_.backends()) {
+    auto probed = BackendClients();
+    auto client = BackendFor(address, probed);
+    if (!client.ok()) continue;
+    for (const std::string& tag : (*client)->server_greeting().capabilities) {
+      add_capability(tag);
+    }
+  }
+  if (capabilities.empty()) capabilities = BaseCapabilities();
+  add_capability("router");
+  {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("rwdom").BeginObject();
+    json.Key("protocol_version").Int(kProtocolVersion);
+    json.Key("capabilities").BeginArray();
+    for (const std::string& tag : capabilities) json.String(tag);
+    json.EndArray();
+    json.EndObject();
+    json.EndObject();
+    greeting_line_ = json.ToString();
+  }
+  RWDOM_ASSIGN_OR_RETURN(
+      listener_,
+      TcpListen(options_.host, options_.port,
+                /*backlog=*/options_.max_connections));
+  RWDOM_ASSIGN_OR_RETURN(port_, LocalPort(listener_.get()));
+  workers_.reserve(static_cast<size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void QueryRouter::NotifyShutdown() {
+  if (wake_.write_end.valid()) PokeWakePipe(wake_.write_end.get());
+}
+
+void QueryRouter::BeginShutdown() {
+  if (stopping_.exchange(true)) return;
+  if (wake_.write_end.valid()) PokeWakePipe(wake_.write_end.get());
+  {
+    // Lost-wakeup bracket, same as QueryServer::BeginShutdown.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+  }
+  queue_cv_.notify_all();
+}
+
+void QueryRouter::AcceptLoop() {
+  for (;;) {
+    if (stopping_.load()) break;
+    auto accepted = AcceptWithWake(listener_.get(), wake_.read_end.get());
+    if (!accepted.ok()) {
+      RWDOM_LOG(WARNING) << "rwdom route: accept failed, shutting down: "
+                         << accepted.status();
+      break;
+    }
+    if (!accepted->has_value()) break;  // Woken: shutdown requested.
+    UniqueFd connection = std::move(**accepted);
+    connections_accepted_.fetch_add(1);
+    if (!SendAll(connection.get(), greeting_line_ + "\n").ok()) continue;
+    if (active_connections_.load() >= options_.max_connections) {
+      connections_rejected_.fetch_add(1);
+      (void)SendAll(connection.get(),
+                    ErrorResponseLine(
+                        "Unavailable",
+                        StrFormat("router at --max_connections=%d",
+                                  options_.max_connections),
+                        options_.retry_after_ms) +
+                        "\n");
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      active_connections_.fetch_add(1);
+      pending_.push_back(std::move(connection));
+    }
+    queue_cv_.notify_one();
+  }
+  BeginShutdown();
+  listener_.reset();
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void QueryRouter::WorkerLoop() {
+  for (;;) {
+    UniqueFd connection;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return stopping_.load() || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // Stopping and drained.
+      connection = std::move(pending_.front());
+      pending_.pop_front();
+      if (stopping_.load()) {
+        active_connections_.fetch_sub(1);
+        continue;
+      }
+    }
+    ServeConnection(std::move(connection));
+    active_connections_.fetch_sub(1);
+  }
+}
+
+void QueryRouter::ServeConnection(UniqueFd connection) {
+  LineReader reader(connection.get(), options_.max_request_bytes);
+  BackendClients clients;
+  std::string line;
+  const auto cancelled = [this] { return stopping_.load(); };
+  for (;;) {
+    auto outcome = reader.ReadLine(&line, cancelled, /*poll_interval_ms=*/50);
+    if (!outcome.ok()) break;
+    std::string response;
+    if (*outcome == LineReader::Outcome::kOverflow) {
+      requests_error_.fetch_add(1);
+      response = ErrorResponseLine(
+          "InvalidArgument",
+          StrFormat("request line exceeds --max_request_bytes=%zu",
+                    options_.max_request_bytes));
+    } else if (*outcome != LineReader::Outcome::kLine) {
+      break;
+    } else {
+      std::string_view trimmed = StripWhitespace(line);
+      if (trimmed.empty() || trimmed.front() == '#') continue;
+      response = RouteLine(std::string(trimmed), clients);
+    }
+    const Status sent = SendAllWithin(connection.get(), response + "\n",
+                                      options_.write_timeout_ms);
+    if (!sent.ok()) break;
+    if (stopping_.load()) break;
+  }
+}
+
+Result<QueryClient*> QueryRouter::BackendFor(const std::string& address,
+                                             BackendClients& clients) {
+  auto it = clients.find(address);
+  if (it != clients.end()) return &it->second;
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("backend address needs HOST:PORT: " +
+                                   address);
+  }
+  RWDOM_ASSIGN_OR_RETURN(int64_t port,
+                         ParseInt64(address.substr(colon + 1)));
+  RWDOM_ASSIGN_OR_RETURN(
+      QueryClient client,
+      QueryClient::Connect(address.substr(0, colon),
+                           static_cast<int>(port)));
+  return &clients.emplace(address, std::move(client)).first->second;
+}
+
+std::string QueryRouter::RouteLine(const std::string& line,
+                                   BackendClients& clients) {
+  // The strict v3 parse runs here too — a malformed line is answered by
+  // the router with the exact wording a backend would use, and the
+  // "graph" member is what the ring hashes.
+  auto parsed = ParseRequestLine(line);
+  if (!parsed.ok()) {
+    requests_error_.fetch_add(1);
+    return ErrorResponseLine(StatusCodeToString(parsed.status().code()),
+                             parsed.status().message());
+  }
+  if (parsed->command == "server_stats" || parsed->command == "shutdown") {
+    return FanOutAdmin(line, clients, parsed->command == "shutdown");
+  }
+  // An explicit {"graph":"default"} and an omitted graph must land on
+  // the same backend, so normalize before hashing.
+  const std::string graph =
+      parsed->graph.empty() ? std::string(kDefaultGraphName) : parsed->graph;
+  for (const std::string* address : ring_.RouteOrder(graph)) {
+    auto client = BackendFor(*address, clients);
+    if (!client.ok()) {
+      // Nothing was sent to this backend; the next ring position is a
+      // safe retry.
+      failovers_.fetch_add(1);
+      continue;
+    }
+    auto response = (*client)->Roundtrip(line);
+    if (!response.ok()) {
+      // Mid-request transport error: the backend may have executed the
+      // line, so replaying it (here or on another backend) is not safe.
+      // Report Unavailable with a backoff hint; the client's retry
+      // policy decides, and its retry reconnects around the dead
+      // backend.
+      clients.erase(*address);
+      requests_error_.fetch_add(1);
+      return ErrorResponseLine(
+          "Unavailable",
+          "backend " + *address +
+              " failed mid-request: " + response.status().message(),
+          options_.retry_after_ms);
+    }
+    requests_proxied_.fetch_add(1);
+    return *response;
+  }
+  requests_error_.fetch_add(1);
+  return ErrorResponseLine(
+      "Unavailable",
+      "no reachable backend for graph \"" + graph + "\"",
+      options_.retry_after_ms);
+}
+
+std::string QueryRouter::FanOutAdmin(const std::string& line,
+                                     BackendClients& clients,
+                                     bool is_shutdown) {
+  admin_fanouts_.fetch_add(1);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("router").BeginObject();
+  json.Key("backends").Int(static_cast<int64_t>(ring_.backends().size()));
+  if (is_shutdown) json.Key("shutting_down").Bool(true);
+  json.Key("responses").BeginObject();
+  for (const std::string& address : ring_.backends()) {
+    json.Key(address);
+    auto client = BackendFor(address, clients);
+    if (!client.ok()) {
+      json.Raw(ErrorResponseLine(
+          StatusCodeToString(client.status().code()),
+          client.status().message()));
+      continue;
+    }
+    auto response = (*client)->Roundtrip(line);
+    if (!response.ok()) {
+      clients.erase(address);
+      json.Raw(ErrorResponseLine("Unavailable",
+                                 "backend " + address + " failed mid-request: " +
+                                     response.status().message(),
+                                 options_.retry_after_ms));
+      continue;
+    }
+    json.Raw(*response);
+  }
+  json.EndObject();
+  json.EndObject();
+  json.EndObject();
+  requests_proxied_.fetch_add(1);
+  // The shutdown response still goes out to this client; the router
+  // stops accepting afterwards, exactly like a backend's own shutdown.
+  if (is_shutdown) BeginShutdown();
+  return json.ToString();
+}
+
+RouterStats QueryRouter::stats() const {
+  RouterStats stats;
+  stats.connections_accepted = connections_accepted_.load();
+  stats.connections_rejected = connections_rejected_.load();
+  stats.active_connections = active_connections_.load();
+  stats.requests_proxied = requests_proxied_.load();
+  stats.requests_error = requests_error_.load();
+  stats.failovers = failovers_.load();
+  stats.admin_fanouts = admin_fanouts_.load();
+  return stats;
+}
+
+void QueryRouter::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (!started_) return;
+  }
+  BeginShutdown();
+  Join();
+}
+
+void QueryRouter::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(lifecycle_mutex_);
+    if (!started_) return;
+    stopped_cv_.wait(lock, [this] { return stopped_; });
+  }
+  Join();
+}
+
+void QueryRouter::Join() {
+  std::lock_guard<std::mutex> lock(join_mutex_);
+  if (joined_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  joined_ = true;
+}
+
+}  // namespace rwdom

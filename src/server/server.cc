@@ -1,5 +1,6 @@
 #include "server/server.h"
 
+#include <tuple>
 #include <utility>
 
 #include "util/json.h"
@@ -7,34 +8,23 @@
 #include "util/strings.h"
 
 namespace rwdom {
-namespace {
 
-/// retry_after_ms >= 0 adds the backoff hint clients use to pace
-/// reconnects (only Unavailable-class errors carry it).
-std::string ErrorLine(std::string_view code, const std::string& message,
-                      int retry_after_ms = -1) {
-  JsonWriter json;
-  json.BeginObject();
-  json.Key("error").BeginObject();
-  json.Key("code").String(std::string(code));
-  json.Key("message").String(message);
-  if (retry_after_ms >= 0) json.Key("retry_after_ms").Int(retry_after_ms);
-  json.EndObject();
-  json.EndObject();
-  return json.ToString();
-}
-
-}  // namespace
-
-QueryServer::QueryServer(QueryContext* context, LineExecutor executor,
+QueryServer::QueryServer(GraphRegistry* registry, LineExecutor executor,
                          ServerOptions options)
-    : context_(context),
+    : registry_(registry),
       executor_(std::move(executor)),
       options_(std::move(options)) {
-  RWDOM_CHECK(context_ != nullptr);
+  RWDOM_CHECK(registry_ != nullptr);
+  RWDOM_CHECK(registry_->default_context() != nullptr)
+      << "QueryServer needs a default graph";
   RWDOM_CHECK(executor_ != nullptr);
   RWDOM_CHECK(options_.threads >= 1);
   RWDOM_CHECK(options_.max_connections >= 1);
+  for (const std::string& name : registry_->GraphNames()) {
+    graph_requests_.emplace(std::piecewise_construct,
+                            std::forward_as_tuple(name),
+                            std::forward_as_tuple(0));
+  }
   {
     JsonWriter json;
     json.BeginObject();
@@ -91,7 +81,7 @@ Status QueryServer::Start() {
     hooks.oversized_response = [this] {
       oversized_requests_.fetch_add(1);
       queries_error_.fetch_add(1);
-      return ErrorLine(
+      return ErrorResponseLine(
           "InvalidArgument",
           StrFormat("request line exceeds --max_request_bytes=%zu",
                     options_.max_request_bytes));
@@ -169,7 +159,7 @@ void QueryServer::AcceptLoop() {
       connections_rejected_.fetch_add(1);
       // Best-effort refusal line; the close is the real signal.
       (void)SendAll(connection.get(),
-                    ErrorLine("Unavailable",
+                    ErrorResponseLine("Unavailable",
                               StrFormat("server at --max_connections=%d",
                                         options_.max_connections),
                               options_.retry_after_ms) +
@@ -187,7 +177,7 @@ void QueryServer::AcceptLoop() {
               options_.threads + options_.max_queue_depth) {
         requests_shed_.fetch_add(1);
         (void)SendAll(connection.get(),
-                      ErrorLine("Unavailable",
+                      ErrorResponseLine("Unavailable",
                                 StrFormat("server overloaded (queue depth %d)",
                                           options_.max_queue_depth),
                                 options_.retry_after_ms) +
@@ -215,7 +205,7 @@ void QueryServer::AcceptLoop() {
     }
     if (connection.valid()) {
       (void)SendAll(connection.get(),
-                    ErrorLine("Unavailable",
+                    ErrorResponseLine("Unavailable",
                               StrFormat("server overloaded (queue depth %d)",
                                         options_.max_queue_depth),
                               options_.retry_after_ms) +
@@ -270,7 +260,7 @@ void QueryServer::ServeConnection(UniqueFd connection) {
       // The reader already resynced at the next newline; answer the
       // oversized request with a typed error and keep serving.
       oversized_requests_.fetch_add(1);
-      response = ErrorLine(
+      response = ErrorResponseLine(
           "InvalidArgument",
           StrFormat("request line exceeds --max_request_bytes=%zu",
                     options_.max_request_bytes));
@@ -308,41 +298,71 @@ void QueryServer::ServeConnection(UniqueFd connection) {
 
 std::string QueryServer::HandleLine(const std::string& line,
                                     const Deadline& deadline) {
-  // Peek at the command for the two admin requests the server answers
-  // itself; anything else (including unparseable lines) goes through the
-  // injected executor so errors read exactly like batch-script errors.
-  auto parsed = ParseJson(line);
-  if (parsed.ok() && parsed->is_object()) {
-    const JsonValue* command = parsed->Find("command");
-    if (command != nullptr && command->is_string()) {
-      if (command->string_value() == "shutdown") {
-        queries_ok_.fetch_add(1);
-        BeginShutdown();
-        JsonWriter json;
-        json.BeginObject();
-        json.Key("ok").Bool(true);
-        json.Key("shutting_down").Bool(true);
-        json.EndObject();
-        return json.ToString();
-      }
-      if (command->string_value() == "server_stats") {
-        queries_ok_.fetch_add(1);
-        return StatsResponseLine();
-      }
+  // One strict parse of the protocol-v3 envelope up front: malformed
+  // lines and unknown members are rejected here with the exact wording
+  // batch scripts print, before any dispatch work.
+  auto parsed = ParseRequestLine(line);
+  if (!parsed.ok()) {
+    queries_error_.fetch_add(1);
+    return ErrorResponseLine(StatusCodeToString(parsed.status().code()),
+                             parsed.status().message());
+  }
+  // The two admin requests the server answers itself.
+  if (parsed->command == "shutdown") {
+    if (!parsed->flags.empty() || !parsed->graph.empty()) {
+      queries_error_.fetch_add(1);
+      return ErrorResponseLine(
+          "InvalidArgument",
+          "shutdown is fleet-wide and takes no \"flags\" or \"graph\"");
     }
+    queries_ok_.fetch_add(1);
+    BeginShutdown();
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("ok").Bool(true);
+    json.Key("shutting_down").Bool(true);
+    json.EndObject();
+    return json.ToString();
+  }
+  if (parsed->command == "server_stats") {
+    if (!parsed->flags.empty()) {
+      queries_error_.fetch_add(1);
+      return ErrorResponseLine(
+          "InvalidArgument",
+          "server_stats takes no \"flags\" (use \"graph\" to filter)");
+    }
+    const std::string* filter = nullptr;
+    if (!parsed->graph.empty()) {
+      auto resolved = registry_->Resolve(parsed->graph);
+      if (!resolved.ok()) {
+        queries_error_.fetch_add(1);
+        return ErrorResponseLine(StatusCodeToString(resolved.status().code()),
+                                 resolved.status().message());
+      }
+      filter = resolved->name;
+    }
+    queries_ok_.fetch_add(1);
+    return StatsResponseLine(filter);
   }
   // Dispatch boundary 1: a request that waited out its whole budget in
   // the queue is answered without doing the work it is too late for.
   if (deadline.Expired(clock())) {
     deadline_exceeded_.fetch_add(1);
     queries_error_.fetch_add(1);
-    return ErrorLine(
+    return ErrorResponseLine(
         "DeadlineExceeded",
         StrFormat("request exceeded --request_timeout_ms=%d before dispatch",
                   options_.request_timeout_ms));
   }
+  auto resolved = registry_->Resolve(parsed->graph);
+  if (!resolved.ok()) {
+    queries_error_.fetch_add(1);
+    return ErrorResponseLine(StatusCodeToString(resolved.status().code()),
+                             resolved.status().message());
+  }
+  graph_requests_.find(*resolved->name)->second.fetch_add(1);
   std::string response;
-  Status status = executor_(line, &response);
+  Status status = executor_(*parsed, *resolved->context, &response);
   // Dispatch boundary 2: the work ran long. The answer is correct but
   // contractually late — the client asked for a bounded wait, so late
   // is an error (and the index the work warmed stays cached, so a retry
@@ -350,14 +370,14 @@ std::string QueryServer::HandleLine(const std::string& line,
   if (status.ok() && deadline.Expired(clock())) {
     deadline_exceeded_.fetch_add(1);
     queries_error_.fetch_add(1);
-    return ErrorLine(
+    return ErrorResponseLine(
         "DeadlineExceeded",
         StrFormat("request exceeded --request_timeout_ms=%d during execution",
                   options_.request_timeout_ms));
   }
   if (!status.ok()) {
     queries_error_.fetch_add(1);
-    return ErrorLine(StatusCodeToString(status.code()), status.message());
+    return ErrorResponseLine(StatusCodeToString(status.code()), status.message());
   }
   queries_ok_.fetch_add(1);
   return response;
@@ -375,17 +395,43 @@ ServerStats QueryServer::stats() const {
   stats.oversized_requests = oversized_requests_.load();
   stats.write_timeouts = write_timeouts_.load();
   stats.backpressure_pauses = backpressure_pauses_.load();
-  stats.index_builds = context_->index_builds();
-  stats.index_hits = context_->index_hits();
-  stats.index_recovered = context_->index_recovered();
-  stats.index_evictions = context_->index_evictions();
-  stats.admission_rejections = context_->admission_rejections();
-  stats.cached_bytes = context_->TotalMemoryBytes();
-  for (const auto& [key, index] : context_->CachedIndexes()) {
-    stats.cached_index_bytes += index->MemoryUsageBytes();
-    stats.cached_index_raw_bytes += index->UncompressedBytes();
+  stats.graph_loads = static_cast<int64_t>(registry_->size());
+  stats.graphs.reserve(registry_->size());
+  for (const ResolvedGraph& graph : registry_->Graphs()) {
+    GraphServeStats slice;
+    slice.name = *graph.name;
+    slice.substrate = graph.context->substrate().kind();
+    slice.substrate_fingerprint = graph.context->substrate_fingerprint();
+    slice.index_hits = graph.context->index_hits();
+    slice.index_builds = graph.context->index_builds();
+    slice.index_evictions = graph.context->index_evictions();
+    slice.admission_rejections = graph.context->admission_rejections();
+    auto requests = graph_requests_.find(*graph.name);
+    slice.requests =
+        requests != graph_requests_.end() ? requests->second.load() : 0;
+    stats.index_builds += slice.index_builds;
+    stats.index_hits += slice.index_hits;
+    stats.index_recovered += graph.context->index_recovered();
+    stats.index_evictions += slice.index_evictions;
+    stats.admission_rejections += slice.admission_rejections;
+    stats.cached_bytes += graph.context->TotalMemoryBytes();
+    for (const auto& [key, index] : graph.context->CachedIndexes()) {
+      slice.cached_index_bytes += index->MemoryUsageBytes();
+      stats.cached_index_raw_bytes += index->UncompressedBytes();
+    }
+    stats.cached_index_bytes += slice.cached_index_bytes;
+    const PersistenceInfo persistence = graph.context->persistence();
+    stats.persistence.snapshots_recovered += persistence.snapshots_recovered;
+    stats.persistence.snapshots_rejected += persistence.snapshots_rejected;
+    stats.persistence.checkpoints_written += persistence.checkpoints_written;
+    stats.persistence.checkpoint_failures += persistence.checkpoint_failures;
+    for (const std::string& reason : persistence.rejections) {
+      stats.persistence.rejections.push_back(reason);
+    }
+    stats.graphs.push_back(std::move(slice));
   }
-  stats.persistence = context_->persistence();
+  stats.persistence.cache_dir =
+      registry_->default_context()->persistence().cache_dir;
   // Health latch: "degraded" while the degradation counters are moving,
   // back to "ok" after one quiet interval. Reading advances the latch.
   const int64_t degradation_sum =
@@ -398,8 +444,10 @@ ServerStats QueryServer::stats() const {
   return stats;
 }
 
-std::string QueryServer::StatsResponseLine() const {
+std::string QueryServer::StatsResponseLine(
+    const std::string* graph_filter) const {
   const ServerStats stats = this->stats();
+  const QueryContext& default_context = *registry_->default_context();
   JsonWriter json;
   json.BeginObject();
   json.Key("server_stats").BeginObject();
@@ -409,10 +457,13 @@ std::string QueryServer::StatsResponseLine() const {
     json.String(capability);
   }
   json.EndArray();
-  json.Key("substrate").String(context_->substrate().kind());
+  // The top-level substrate keys stay the default graph's — exactly the
+  // v2 response shape; named tenants appear in the "graphs" section.
+  json.Key("substrate").String(default_context.substrate().kind());
   json.Key("substrate_fingerprint")
-      .String(StrFormat("%016llx", static_cast<unsigned long long>(
-                                       context_->substrate_fingerprint())));
+      .String(StrFormat("%016llx",
+                        static_cast<unsigned long long>(
+                            default_context.substrate_fingerprint())));
   json.Key("threads").Int(options_.threads);
   json.Key("io").String(IoModeName(options_.io));
   json.Key("max_connections").Int(options_.max_connections);
@@ -446,6 +497,27 @@ std::string QueryServer::StatsResponseLine() const {
   json.Key("backpressure_pauses").Int(stats.backpressure_pauses);
   json.Key("index_evictions").Int(stats.index_evictions);
   json.Key("admission_rejections").Int(stats.admission_rejections);
+  // The per-graph section appears only for multi-graph servers or an
+  // explicit filter, keeping single-graph v2 responses byte-identical.
+  if (registry_->multi_graph() || graph_filter != nullptr) {
+    json.Key("graphs").BeginObject();
+    for (const GraphServeStats& graph : stats.graphs) {
+      if (graph_filter != nullptr && graph.name != *graph_filter) continue;
+      json.Key(graph.name).BeginObject();
+      json.Key("substrate").String(graph.substrate);
+      json.Key("substrate_fingerprint")
+          .String(StrFormat("%016llx", static_cast<unsigned long long>(
+                                           graph.substrate_fingerprint)));
+      json.Key("cached_index_bytes").Int(graph.cached_index_bytes);
+      json.Key("index_hits").Int(graph.index_hits);
+      json.Key("index_builds").Int(graph.index_builds);
+      json.Key("index_evictions").Int(graph.index_evictions);
+      json.Key("admission_rejections").Int(graph.admission_rejections);
+      json.Key("requests").Int(graph.requests);
+      json.EndObject();
+    }
+    json.EndObject();
+  }
   json.EndObject();
   json.EndObject();
   return json.ToString();

@@ -1,19 +1,23 @@
 // The long-lived TCP query server behind `rwdom serve`: many clients,
-// one warm QueryContext.
+// one warm GraphRegistry of named tenants.
 //
 // Protocol: each connection is a bidirectional stream of '\n'-framed
 // JSONL lines. Requests use the exact batch-script format,
 //
 //   {"command": "select", "flags": {"problem": "F2", "k": 5, "L": 4}}
 //
-// and every request line yields exactly one JSON response line — the
-// same line a cold `rwdom <command> --format=json` run prints (the
-// line executor is injected from the CLI layer, so the flag-parsing
-// path is shared byte for byte). Failed requests answer
+// optionally naming a tenant with `"graph": "name"` (protocol v3;
+// omitted = the default graph), and every request line yields exactly
+// one JSON response line — the same line a cold
+// `rwdom <command> --format=json` run prints against that substrate
+// (the line executor is injected from the CLI layer, so the
+// flag-parsing path is shared byte for byte). Failed requests answer
 // {"error": {"code": ..., "message": ...}} and keep the connection
 // open. Two admin requests are handled by the server itself:
 //
-//   {"command": "server_stats"}  -> cache/traffic counters
+//   {"command": "server_stats"}  -> cache/traffic counters; an optional
+//                                   "graph" member filters the
+//                                   per-graph section to one tenant
 //   {"command": "shutdown"}      -> acknowledge, then graceful shutdown
 //
 // Concurrency: one accept thread greets, refuses and sheds; admitted
@@ -26,10 +30,10 @@
 //     shards (server/event_loop.h) with request pipelining and
 //     per-connection backpressure.
 //
-// Both cores share the one QueryContext, whose shared_mutex +
-// single-flight cache makes concurrent index builds safe and
-// deduplicated — concurrent responses are bit-identical to cold CLI
-// runs, and byte-identical between the two cores.
+// Both cores share the one GraphRegistry, whose per-tenant
+// shared_mutex + single-flight caches make concurrent index builds
+// safe and deduplicated — concurrent responses are bit-identical to
+// cold CLI runs, and byte-identical between the two cores.
 //
 // Shutdown: NotifyShutdown() is async-signal-safe (a SIGINT handler may
 // call it); in-flight requests finish and get their response, idle and
@@ -42,6 +46,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,7 +55,9 @@
 
 #include "server/event_loop.h"
 #include "server/protocol.h"
+#include "service/graph_registry.h"
 #include "service/query_context.h"
+#include "service/wire.h"
 #include "util/clock.h"
 #include "util/socket.h"
 #include "util/status.h"
@@ -98,7 +105,23 @@ struct ServerOptions {
   std::vector<std::string> capabilities = BaseCapabilities();
 };
 
+/// One tenant's slice of the cache/traffic counters, the per-graph
+/// section of the `server_stats` response.
+struct GraphServeStats {
+  std::string name;
+  std::string substrate;  ///< Substrate kind ("graph" / "weighted_graph").
+  uint64_t substrate_fingerprint = 0;
+  int64_t cached_index_bytes = 0;
+  int64_t index_hits = 0;
+  int64_t index_builds = 0;
+  int64_t index_evictions = 0;
+  int64_t admission_rejections = 0;
+  int64_t requests = 0;  ///< Non-admin requests dispatched to this graph.
+};
+
 /// Traffic + cache counters, the `server_stats` endpoint's numbers.
+/// Cache counters aggregate over every served graph (the budget is
+/// fleet-wide); `graphs` carries the per-tenant breakdown.
 struct ServerStats {
   int64_t connections_accepted = 0;
   int64_t connections_rejected = 0;
@@ -120,8 +143,9 @@ struct ServerStats {
   /// the previous stats() snapshot (a read-and-reset latch: one healthy
   /// interval returns the report to "ok").
   std::string health = "ok";
-  // Warm-context amortization receipt (graph loads is 1 by construction:
-  // the substrate is loaded once, before the server starts).
+  // Warm-context amortization receipt (graph loads == the number of
+  // served graphs by construction: every substrate is loaded once,
+  // before the server starts).
   int64_t graph_loads = 1;
   int64_t index_builds = 0;
   int64_t index_hits = 0;
@@ -132,23 +156,29 @@ struct ServerStats {
   /// live compression ratio.
   int64_t cached_index_bytes = 0;
   int64_t cached_index_raw_bytes = 0;
-  /// Persistence block, mirrored from QueryContext::persistence() (all
-  /// zeros / empty when the server runs without --cache_dir).
+  /// Persistence block, counters summed over every tenant's
+  /// QueryContext::persistence(); cache_dir is the default tenant's
+  /// (all zeros / empty when the server runs without --cache_dir).
   PersistenceInfo persistence;
+  /// Per-tenant breakdown, one entry per served graph in name order.
+  std::vector<GraphServeStats> graphs;
 };
 
 class QueryServer {
  public:
-  /// Executes one already-trimmed request line against the warm context
-  /// and fills `response` with exactly one JSON line (no trailing
-  /// newline). Injected from the CLI layer (cli/query_line.h) so the
-  /// server speaks the identical flag-parsing path as batch scripts and
-  /// one-shot commands. Must be thread-safe: workers call it
-  /// concurrently against the shared context.
-  using LineExecutor =
-      std::function<Status(const std::string& line, std::string* response)>;
+  /// Executes one validated request envelope against the resolved
+  /// tenant's context and fills `response` with exactly one JSON line
+  /// (no trailing newline). Injected from the CLI layer
+  /// (cli/query_line.h) so the server speaks the identical flag-parsing
+  /// path as batch scripts and one-shot commands. Must be thread-safe:
+  /// workers call it concurrently against shared contexts.
+  using LineExecutor = std::function<Status(
+      const ParsedRequest& request, QueryContext& context,
+      std::string* response)>;
 
-  QueryServer(QueryContext* context, LineExecutor executor,
+  /// The registry must be fully built (every tenant Added) before
+  /// construction and outlive the server; a default tenant is required.
+  QueryServer(GraphRegistry* registry, LineExecutor executor,
               ServerOptions options);
   ~QueryServer();
 
@@ -183,13 +213,16 @@ class QueryServer {
   /// `deadline` is the request's budget (started when its line arrived);
   /// a request past it answers DeadlineExceeded instead of executing.
   std::string HandleLine(const std::string& line, const Deadline& deadline);
-  std::string StatsResponseLine() const;
+  /// `graph_filter` non-null narrows the per-graph section to one
+  /// tenant; the section is emitted only then or when serving more
+  /// than one graph (v2 single-graph responses stay byte-identical).
+  std::string StatsResponseLine(const std::string* graph_filter) const;
   const Clock& clock() const {
     return options_.clock != nullptr ? *options_.clock : *SystemClock::Get();
   }
   void Join();
 
-  QueryContext* const context_;
+  GraphRegistry* const registry_;
   const LineExecutor executor_;
   const ServerOptions options_;
   /// The protocol-v2 hello, built once at construction and sent on every
@@ -230,6 +263,10 @@ class QueryServer {
   std::atomic<int64_t> oversized_requests_{0};
   std::atomic<int64_t> write_timeouts_{0};
   std::atomic<int64_t> backpressure_pauses_{0};
+  /// Per-graph dispatched-request counters, keyed by registered name.
+  /// Fully populated at construction (the registry is immutable by
+  /// then), so workers bump entries lock-free.
+  std::map<std::string, std::atomic<int64_t>, std::less<>> graph_requests_;
   /// Sum of the degradation counters at the previous stats() call — the
   /// health latch's memory (mutable: reading health advances it).
   mutable std::atomic<int64_t> last_degradation_sum_{0};

@@ -1,0 +1,75 @@
+#include "service/cache_budget.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "service/query_context.h"
+
+namespace rwdom {
+
+void CacheBudget::AddPeer(QueryContext* context) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (std::find(peers_.begin(), peers_.end(), context) == peers_.end()) {
+    peers_.push_back(context);
+  }
+}
+
+void CacheBudget::RemovePeer(QueryContext* context) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  peers_.erase(std::remove(peers_.begin(), peers_.end(), context),
+               peers_.end());
+}
+
+int64_t CacheBudget::TotalCachedBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (const QueryContext* peer : peers_) {
+    total += peer->CachedIndexBytes();
+  }
+  return total;
+}
+
+void CacheBudget::TrimToFit(int64_t incoming_bytes,
+                            const QueryContext* protect_owner,
+                            const ArtifactKey* protect_key) {
+  if (max_bytes_.load() <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int64_t budget = max_bytes_.load();
+  if (budget <= 0) return;
+  // Concurrent hits may touch a chosen victim between the scan and the
+  // eviction; a touched victim is skipped and the scan reruns. After a
+  // few such races the entry is evicted regardless — staying under the
+  // cap beats perfect recency under contention.
+  int stale_scans = 0;
+  for (;;) {
+    int64_t total = 0;
+    for (const QueryContext* peer : peers_) {
+      total += peer->CachedIndexBytes();
+    }
+    if (total + incoming_bytes <= budget) return;
+    QueryContext* victim_owner = nullptr;
+    ArtifactKey victim_key{};
+    uint64_t victim_use = 0;
+    for (QueryContext* peer : peers_) {
+      const ArtifactKey* protect =
+          (peer == protect_owner) ? protect_key : nullptr;
+      const auto oldest = peer->OldestCachedEntry(protect);
+      if (!oldest.has_value()) continue;
+      if (victim_owner == nullptr || oldest->last_use < victim_use) {
+        victim_owner = peer;
+        victim_key = oldest->key;
+        victim_use = oldest->last_use;
+      }
+    }
+    if (victim_owner == nullptr) return;  // Only protected entries left.
+    const bool force = stale_scans >= 8;
+    if (victim_owner->EvictCachedEntry(victim_key,
+                                       force ? nullptr : &victim_use)) {
+      stale_scans = 0;
+    } else {
+      ++stale_scans;
+    }
+  }
+}
+
+}  // namespace rwdom

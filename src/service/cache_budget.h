@@ -1,0 +1,74 @@
+// CacheBudget: one index-cache memory budget shared by every tenant of
+// a multi-graph server.
+//
+// `--max_cache_bytes` is a *global* cap: the sum of cached index bytes
+// across every QueryContext registered as a peer must fit under it, and
+// eviction picks the fleet-wide least-recently-used entry regardless of
+// which tenant owns it (the victim's context records the eviction in
+// its own counters). Each QueryContext owns a private budget by default
+// — single-tenant behavior, admission messages and eviction order are
+// exactly what they were before tenancy — and GraphRegistry rebinds its
+// tenants onto one shared budget.
+//
+// Concurrency: max_bytes and the LRU clock are atomics; a mutex guards
+// the peer list and serializes cross-tenant trims (so two tenants
+// admitting at once cannot double-evict). Lock ordering: the budget
+// mutex is always taken *before* any QueryContext's cache mutex —
+// contexts never call back into the budget while holding their own
+// lock.
+#ifndef RWDOM_SERVICE_CACHE_BUDGET_H_
+#define RWDOM_SERVICE_CACHE_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "service/artifact_key.h"
+
+namespace rwdom {
+
+class QueryContext;
+
+class CacheBudget {
+ public:
+  CacheBudget() = default;
+  CacheBudget(const CacheBudget&) = delete;
+  CacheBudget& operator=(const CacheBudget&) = delete;
+
+  /// The cap in bytes over all peers' cached indexes (0 = unlimited).
+  void set_max_bytes(int64_t bytes) { max_bytes_.store(bytes); }
+  int64_t max_bytes() const { return max_bytes_.load(); }
+
+  /// Advances the shared LRU clock; every cache touch in every peer
+  /// stamps entries from this one sequence, which is what makes "oldest
+  /// across the fleet" well defined.
+  uint64_t NextTick() { return tick_.fetch_add(1) + 1; }
+
+  /// (De)registers a context whose cached indexes count against the
+  /// budget. Idempotent; QueryContext calls these from its constructor,
+  /// destructor and set_budget.
+  void AddPeer(QueryContext* context);
+  void RemovePeer(QueryContext* context);
+
+  /// Sum of cached index bytes across every peer.
+  int64_t TotalCachedBytes() const;
+
+  /// Evicts globally-least-recently-used entries (never `protect_key`
+  /// inside `protect_owner`) until total cached bytes + incoming_bytes
+  /// fit under max_bytes(). No-op when unlimited. Victims' contexts
+  /// count the evictions.
+  void TrimToFit(int64_t incoming_bytes, const QueryContext* protect_owner,
+                 const ArtifactKey* protect_key);
+
+ private:
+  std::atomic<int64_t> max_bytes_{0};
+  std::atomic<uint64_t> tick_{0};
+  /// Guards peers_ and serializes TrimToFit (see lock ordering above).
+  mutable std::mutex mutex_;
+  std::vector<QueryContext*> peers_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_SERVICE_CACHE_BUDGET_H_

@@ -176,6 +176,15 @@ Result<ServiceResponse> Dispatch(QueryContext& context,
       request);
 }
 
+Result<ServiceResponse> Dispatch(GraphRegistry& registry,
+                                 const ServiceRequest& request) {
+  const std::string& graph = std::visit(
+      [](const auto& typed) -> const std::string& { return typed.graph; },
+      request);
+  RWDOM_ASSIGN_OR_RETURN(ResolvedGraph resolved, registry.Resolve(graph));
+  return Dispatch(*resolved.context, request);
+}
+
 EvaluateResponse EvaluateOnModel(const TransitionModel& model,
                                  const EvaluateRequest& request) {
   EvaluateResponse response;

@@ -6,6 +6,7 @@
 #ifndef RWDOM_SERVICE_ENGINE_H_
 #define RWDOM_SERVICE_ENGINE_H_
 
+#include "service/graph_registry.h"
 #include "service/query_context.h"
 #include "service/requests.h"
 #include "util/status.h"
@@ -43,6 +44,13 @@ Result<StatsResponse> Stats(QueryContext& context,
 /// Variant entry point: runs whichever request is held and returns the
 /// matching response alternative.
 Result<ServiceResponse> Dispatch(QueryContext& context,
+                                 const ServiceRequest& request);
+
+/// Tenancy-aware entry point (protocol v3): resolves the request's
+/// `graph` member against the registry ("" → default graph) and
+/// dispatches against that tenant's context. Unknown graphs are
+/// NotFound listing the served names.
+Result<ServiceResponse> Dispatch(GraphRegistry& registry,
                                  const ServiceRequest& request);
 
 /// Model-level evaluate, for callers that hold a TransitionModel rather

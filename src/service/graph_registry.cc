@@ -1,0 +1,75 @@
+#include "service/graph_registry.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace rwdom {
+
+bool IsValidGraphName(std::string_view name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  // "." / ".." would escape or alias the cache_dir subdirectory layout.
+  return name != "." && name != "..";
+}
+
+GraphRegistry::GraphRegistry() : budget_(std::make_shared<CacheBudget>()) {}
+
+Status GraphRegistry::Add(const std::string& name,
+                          std::unique_ptr<QueryContext> context) {
+  RWDOM_CHECK(context != nullptr);
+  if (!IsValidGraphName(name)) {
+    return Status::InvalidArgument("invalid graph name \"" + name +
+                                   "\" (use [A-Za-z0-9_.-]+)");
+  }
+  if (contexts_.count(name) > 0) {
+    return Status::InvalidArgument("duplicate graph name \"" + name + "\"");
+  }
+  if (name != kDefaultGraphName) context->set_graph_name(name);
+  context->set_budget(budget_);
+  contexts_.emplace(name, std::move(context));
+  return Status::OK();
+}
+
+Result<ResolvedGraph> GraphRegistry::Resolve(std::string_view graph) const {
+  const std::string_view name = graph.empty() ? kDefaultGraphName : graph;
+  auto it = contexts_.find(name);
+  if (it == contexts_.end()) {
+    std::string known;
+    for (const auto& [served, _] : contexts_) {
+      if (!known.empty()) known += ", ";
+      known += served;
+    }
+    return Status::NotFound("unknown graph \"" + std::string(name) +
+                            "\" (serving: " + known + ")");
+  }
+  return ResolvedGraph{&it->first, it->second.get()};
+}
+
+QueryContext* GraphRegistry::default_context() const {
+  auto it = contexts_.find(kDefaultGraphName);
+  return it == contexts_.end() ? nullptr : it->second.get();
+}
+
+std::vector<ResolvedGraph> GraphRegistry::Graphs() const {
+  std::vector<ResolvedGraph> graphs;
+  graphs.reserve(contexts_.size());
+  for (const auto& [name, context] : contexts_) {
+    graphs.push_back(ResolvedGraph{&name, context.get()});
+  }
+  return graphs;
+}
+
+std::vector<std::string> GraphRegistry::GraphNames() const {
+  std::vector<std::string> names;
+  names.reserve(contexts_.size());
+  for (const auto& [name, _] : contexts_) names.push_back(name);
+  return names;
+}
+
+}  // namespace rwdom

@@ -1,0 +1,91 @@
+// GraphRegistry: the tenant table of a multi-graph server — one named
+// QueryContext per served substrate, all bound to one shared
+// CacheBudget.
+//
+// Protocol v3 request lines name their tenant with an optional
+// `"graph": "name"` member; omitting it (every v2 script) resolves to
+// the default tenant, registered under kDefaultGraphName. Each tenant
+// keeps the full per-context machinery — shared-mutex artifact cache,
+// single-flight builds, persistence counters — untouched; the registry
+// only adds the name → context map and rebinds every tenant onto one
+// budget so `--max_cache_bytes` caps the whole fleet (eviction picks
+// the globally least-recently-used entry, whichever tenant owns it).
+//
+// Thread safety: build the registry completely (Add every tenant, set
+// the budget) before serving starts; after that the table is immutable
+// and Resolve/Graphs are safe from any number of threads concurrently.
+#ifndef RWDOM_SERVICE_GRAPH_REGISTRY_H_
+#define RWDOM_SERVICE_GRAPH_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/cache_budget.h"
+#include "service/query_context.h"
+#include "util/status.h"
+
+namespace rwdom {
+
+/// The name the default tenant is registered under; request lines
+/// without a "graph" member resolve here, and `{"graph": "default"}`
+/// is the same tenant spelled explicitly.
+inline constexpr const char kDefaultGraphName[] = "default";
+
+/// Valid tenant names: [A-Za-z0-9_.-]+, which also makes every name a
+/// safe cache_dir subdirectory component by construction.
+bool IsValidGraphName(std::string_view name);
+
+/// One resolved tenant: the canonical registered name (stable for the
+/// registry's lifetime) and its context.
+struct ResolvedGraph {
+  const std::string* name = nullptr;
+  QueryContext* context = nullptr;
+};
+
+class GraphRegistry {
+ public:
+  GraphRegistry();
+
+  GraphRegistry(const GraphRegistry&) = delete;
+  GraphRegistry& operator=(const GraphRegistry&) = delete;
+
+  /// Registers `context` under `name`, rebinding it onto the shared
+  /// budget. Rejects invalid and duplicate names. Non-default tenants
+  /// get their name stamped on the context so admission errors name
+  /// the offender.
+  Status Add(const std::string& name, std::unique_ptr<QueryContext> context);
+
+  /// Looks up `graph` ("" resolves to the default tenant). Unknown
+  /// names are NotFound listing every served graph.
+  Result<ResolvedGraph> Resolve(std::string_view graph) const;
+
+  /// The default tenant, or nullptr before one is added.
+  QueryContext* default_context() const;
+
+  /// Every tenant, sorted by name (map order).
+  std::vector<ResolvedGraph> Graphs() const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> GraphNames() const;
+
+  size_t size() const { return contexts_.size(); }
+  bool multi_graph() const { return contexts_.size() > 1; }
+
+  /// The fleet-wide index-cache budget every tenant shares.
+  const std::shared_ptr<CacheBudget>& budget() const { return budget_; }
+  void set_max_cache_bytes(int64_t bytes) { budget_->set_max_bytes(bytes); }
+
+ private:
+  /// Declared before contexts_ so tenants (whose destructors deregister
+  /// from the budget) are destroyed while the budget is still alive.
+  std::shared_ptr<CacheBudget> budget_;
+  std::map<std::string, std::unique_ptr<QueryContext>, std::less<>> contexts_;
+};
+
+}  // namespace rwdom
+
+#endif  // RWDOM_SERVICE_GRAPH_REGISTRY_H_

@@ -5,6 +5,7 @@
 
 #include "graph/clustering.h"
 #include "util/fault.h"
+#include "util/logging.h"
 #include "util/strings.h"
 #include "walk/walk_source.h"
 
@@ -12,11 +13,26 @@ namespace rwdom {
 
 QueryContext::QueryContext(LoadedSubstrate loaded)
     : loaded_(std::move(loaded)),
-      substrate_fingerprint_(SubstrateFingerprint(loaded_.substrate)) {}
+      substrate_fingerprint_(SubstrateFingerprint(loaded_.substrate)),
+      budget_(std::make_shared<CacheBudget>()) {
+  budget_->AddPeer(this);
+}
 
 QueryContext::QueryContext(GraphSubstrate substrate)
     : loaded_{std::move(substrate), {}},
-      substrate_fingerprint_(SubstrateFingerprint(loaded_.substrate)) {}
+      substrate_fingerprint_(SubstrateFingerprint(loaded_.substrate)),
+      budget_(std::make_shared<CacheBudget>()) {
+  budget_->AddPeer(this);
+}
+
+QueryContext::~QueryContext() { budget_->RemovePeer(this); }
+
+void QueryContext::set_budget(std::shared_ptr<CacheBudget> budget) {
+  RWDOM_CHECK(budget != nullptr);
+  budget_->RemovePeer(this);
+  budget_ = std::move(budget);
+  budget_->AddPeer(this);
+}
 
 int64_t QueryContext::EstimatedIndexBytes(const ArtifactKey& key) const {
   const int64_t n = substrate().num_nodes();
@@ -41,24 +57,36 @@ int64_t QueryContext::CachedBytesLocked() const {
   return total;
 }
 
-void QueryContext::TrimToFitLocked(int64_t incoming_bytes, int64_t budget,
-                                   const ArtifactKey* protect) {
-  while (!index_cache_.empty() &&
-         CachedBytesLocked() + incoming_bytes > budget) {
-    auto victim = index_cache_.end();
-    uint64_t oldest = 0;
-    for (auto it = index_cache_.begin(); it != index_cache_.end(); ++it) {
-      if (protect != nullptr && it->first == *protect) continue;
-      const uint64_t use = it->second.last_use.load();
-      if (victim == index_cache_.end() || use < oldest) {
-        victim = it;
-        oldest = use;
-      }
+int64_t QueryContext::CachedIndexBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return CachedBytesLocked();
+}
+
+std::optional<QueryContext::LruEntryRef> QueryContext::OldestCachedEntry(
+    const ArtifactKey* protect) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::optional<LruEntryRef> oldest;
+  for (const auto& [key, entry] : index_cache_) {
+    if (protect != nullptr && key == *protect) continue;
+    const uint64_t use = entry.last_use.load();
+    if (!oldest.has_value() || use < oldest->last_use) {
+      oldest = LruEntryRef{key, use};
     }
-    if (victim == index_cache_.end()) return;  // Only the protectee left.
-    index_cache_.erase(victim);
-    ++index_evictions_;
   }
+  return oldest;
+}
+
+bool QueryContext::EvictCachedEntry(const ArtifactKey& key,
+                                    const uint64_t* expected_use) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  auto it = index_cache_.find(key);
+  if (it == index_cache_.end()) return false;
+  if (expected_use != nullptr && it->second.last_use.load() != *expected_use) {
+    return false;  // Touched since the scan; the budget rescans.
+  }
+  index_cache_.erase(it);
+  ++index_evictions_;
+  return true;
 }
 
 Result<std::shared_ptr<const InvertedWalkIndex>> QueryContext::GetIndex(
@@ -68,7 +96,7 @@ Result<std::shared_ptr<const InvertedWalkIndex>> QueryContext::GetIndex(
     auto it = index_cache_.find(key);
     if (it != index_cache_.end()) {
       ++index_hits_;
-      it->second.last_use.store(lru_tick_.fetch_add(1) + 1);
+      it->second.last_use.store(budget_->NextTick());
       return it->second.index;
     }
   }
@@ -96,21 +124,27 @@ Result<std::shared_ptr<const InvertedWalkIndex>> QueryContext::GetIndex(
     if (!result->status.ok()) {
       return std::shared_ptr<const BuildOutcome>(result);
     }
-    const int64_t budget = max_cache_bytes_.load();
+    const int64_t budget = budget_->max_bytes();
     if (budget > 0) {
       const int64_t estimate = EstimatedIndexBytes(key);
       if (estimate > budget) {
-        // Evicting everything still would not make room — refuse before
-        // allocating, instead of OOM-ing mid-build.
+        // Evicting everything — every tenant's everything — still would
+        // not make room; refuse before allocating, instead of OOM-ing
+        // mid-build.
         ++admission_rejections_;
-        result->status = Status::ResourceExhausted(StrFormat(
+        std::string message = StrFormat(
             "index(L=%d,R=%d) needs ~%lld bytes but --max_cache_bytes=%lld",
             key.length, key.num_samples,
-            static_cast<long long>(estimate), static_cast<long long>(budget)));
+            static_cast<long long>(estimate), static_cast<long long>(budget));
+        if (!graph_name_.empty()) {
+          message += StrFormat(" (graph \"%s\")", graph_name_.c_str());
+        }
+        result->status = Status::ResourceExhausted(std::move(message));
         return std::shared_ptr<const BuildOutcome>(result);
       }
-      std::unique_lock<std::shared_mutex> lock(mutex_);
-      TrimToFitLocked(estimate, budget, /*protect=*/nullptr);
+      // Make room fleet-wide before allocating (no context lock held).
+      budget_->TrimToFit(estimate, /*protect_owner=*/nullptr,
+                         /*protect_key=*/nullptr);
     }
     result->built = true;
     TransitionWalkSource source(&substrate().model(), key.seed);
@@ -120,11 +154,11 @@ Result<std::shared_ptr<const InvertedWalkIndex>> QueryContext::GetIndex(
     if (index_build_hook_) index_build_hook_(key, fresh);
     {
       std::unique_lock<std::shared_mutex> lock(mutex_);
-      index_cache_.try_emplace(key, fresh, lru_tick_.fetch_add(1) + 1);
-      // Concurrent admissions may have raced past the same headroom;
-      // re-trim with real sizes, never evicting what we just inserted.
-      if (budget > 0) TrimToFitLocked(0, budget, &key);
+      index_cache_.try_emplace(key, fresh, budget_->NextTick());
     }
+    // Concurrent admissions may have raced past the same headroom;
+    // re-trim with real sizes, never evicting what we just inserted.
+    if (budget > 0) budget_->TrimToFit(0, this, &key);
     result->index = std::move(fresh);
     return std::shared_ptr<const BuildOutcome>(result);
   });
@@ -146,16 +180,18 @@ bool QueryContext::AdoptIndex(const ArtifactKey& key,
   // A snapshot built over a different substrate would serve wrong
   // answers bit-for-bit confidently; the fingerprint is the guard.
   if (key.substrate_fingerprint != substrate_fingerprint_) return false;
-  const int64_t budget = max_cache_bytes_.load();
+  const int64_t budget = budget_->max_bytes();
   if (budget > 0 && index->MemoryUsageBytes() > budget) return false;
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  const bool adopted =
-      index_cache_
-          .try_emplace(key, std::move(index), lru_tick_.fetch_add(1) + 1)
-          .second;
+  bool adopted = false;
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    adopted = index_cache_
+                  .try_emplace(key, std::move(index), budget_->NextTick())
+                  .second;
+  }
   if (adopted) {
     ++index_recovered_;
-    if (budget > 0) TrimToFitLocked(0, budget, &key);
+    if (budget > 0) budget_->TrimToFit(0, this, &key);
   }
   return adopted;
 }

@@ -51,6 +51,7 @@
 #include "graph/properties.h"
 #include "index/inverted_walk_index.h"
 #include "service/artifact_key.h"
+#include "service/cache_budget.h"
 #include "util/single_flight.h"
 #include "util/status.h"
 #include "wgraph/substrate.h"
@@ -119,6 +120,7 @@ class QueryContext {
  public:
   explicit QueryContext(LoadedSubstrate loaded);
   explicit QueryContext(GraphSubstrate substrate);
+  ~QueryContext();
 
   QueryContext(const QueryContext&) = delete;
   QueryContext& operator=(const QueryContext&) = delete;
@@ -203,9 +205,28 @@ class QueryContext {
   /// Admission runs before each build: an index that could never fit is
   /// rejected with ResourceExhausted; one that fits evicts
   /// least-recently-used entries until there is room. The cap covers
-  /// cached indexes only — the substrate is always resident.
-  void set_max_cache_bytes(int64_t bytes) { max_cache_bytes_.store(bytes); }
-  int64_t max_cache_bytes() const { return max_cache_bytes_.load(); }
+  /// cached indexes only — the substrate is always resident. The cap
+  /// lives on this context's CacheBudget: private by default, shared
+  /// fleet-wide when a GraphRegistry rebinds tenants via set_budget (so
+  /// "LRU" means oldest across every tenant, not just this one).
+  void set_max_cache_bytes(int64_t bytes) { budget_->set_max_bytes(bytes); }
+  int64_t max_cache_bytes() const { return budget_->max_bytes(); }
+
+  /// Rebinds this context onto a shared budget (control-plane: call
+  /// before serving starts). Cached bytes immediately count against the
+  /// new budget; the previous budget forgets this context.
+  void set_budget(std::shared_ptr<CacheBudget> budget);
+  const std::shared_ptr<CacheBudget>& budget() const { return budget_; }
+
+  /// The tenant name a GraphRegistry assigned (empty for the default
+  /// tenant and for bare contexts) — admission errors carry it so a
+  /// budget rejection in a multi-graph server names the offender.
+  void set_graph_name(std::string name) { graph_name_ = std::move(name); }
+  const std::string& graph_name() const { return graph_name_; }
+
+  /// Sum of cached index bytes (the substrate excluded) — what this
+  /// context contributes to its budget.
+  int64_t CachedIndexBytes() const;
 
   /// Conservative (upper-bound) size of the index `key` would build:
   /// R * (two u32 offset arrays + n*L postings at worst-case varint
@@ -242,6 +263,8 @@ class QueryContext {
   void RecordCheckpointFailed(std::string reason);
 
  private:
+  friend class CacheBudget;  // Eviction plumbing (OldestCachedEntry etc.).
+
   /// A cached index plus its LRU stamp. The stamp is atomic so cache
   /// hits (shared lock) can touch it without write-locking the map.
   struct CacheEntry {
@@ -262,10 +285,21 @@ class QueryContext {
   /// Sum of cached index bytes. Caller holds mutex_ (any mode).
   int64_t CachedBytesLocked() const;
 
-  /// Evicts LRU entries (never `protect`) until cached bytes +
-  /// incoming_bytes fit in budget. Caller holds mutex_ exclusively.
-  void TrimToFitLocked(int64_t incoming_bytes, int64_t budget,
-                       const ArtifactKey* protect);
+  /// The least-recently-used cached entry (never `protect`), or nullopt
+  /// when only protected entries (or none) remain. CacheBudget compares
+  /// these across peers to pick the fleet-wide victim.
+  struct LruEntryRef {
+    ArtifactKey key;
+    uint64_t last_use = 0;
+  };
+  std::optional<LruEntryRef> OldestCachedEntry(
+      const ArtifactKey* protect) const;
+
+  /// Evicts `key`, counting it in index_evictions(). With expected_use
+  /// set, refuses (returns false) when the entry was touched since the
+  /// caller observed that stamp — the budget then rescans rather than
+  /// evicting a freshly hot entry.
+  bool EvictCachedEntry(const ArtifactKey& key, const uint64_t* expected_use);
 
   LoadedSubstrate loaded_;
   uint64_t substrate_fingerprint_ = 0;
@@ -280,8 +314,9 @@ class QueryContext {
   std::atomic<int64_t> index_recovered_{0};
   std::atomic<int64_t> index_evictions_{0};
   std::atomic<int64_t> admission_rejections_{0};
-  std::atomic<int64_t> max_cache_bytes_{0};
-  std::atomic<uint64_t> lru_tick_{0};
+  /// Never null: private from construction, shared after set_budget.
+  std::shared_ptr<CacheBudget> budget_;
+  std::string graph_name_;
   IndexBuildHook index_build_hook_;
   std::optional<SubstrateStats> stats_;
   /// Guards persistence_ (low-traffic control-plane data; separate from

@@ -1,0 +1,80 @@
+#include "service/wire.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace rwdom {
+namespace {
+
+// Renders a JSON flag value with the spelling the flag parsers expect:
+// integral numbers without a decimal point (ParseInt64 must accept
+// them), bools as true/false (BoolFlagOr accepts both).
+Result<std::string> FlagValueToString(const JsonValue& value) {
+  switch (value.type()) {
+    case JsonValue::Type::kString:
+      return value.string_value();
+    case JsonValue::Type::kBool:
+      return std::string(value.bool_value() ? "true" : "false");
+    case JsonValue::Type::kNumber: {
+      const double number = value.number_value();
+      if (std::rint(number) == number &&
+          std::abs(number) <= 9007199254740992.0) {
+        return StrFormat("%lld", static_cast<long long>(number));
+      }
+      return StrFormat("%.17g", number);
+    }
+    default:
+      return Status::InvalidArgument(
+          "flag values must be strings, numbers or booleans");
+  }
+}
+
+}  // namespace
+
+Result<ParsedRequest> ParseRequestLine(const std::string& line) {
+  RWDOM_ASSIGN_OR_RETURN(JsonValue root, ParseJson(line));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("script line must be a JSON object");
+  }
+  const JsonValue* command = root.Find("command");
+  if (command == nullptr || !command->is_string()) {
+    return Status::InvalidArgument(
+        "script line needs a string \"command\" member");
+  }
+  ParsedRequest request;
+  request.command = command->string_value();
+  for (const auto& [key, member] : root.object()) {
+    if (key == "command") continue;
+    if (key == "flags") {
+      if (!member.is_object()) {
+        return Status::InvalidArgument("\"flags\" must be a JSON object");
+      }
+      for (const auto& [flag, value] : member.object()) {
+        RWDOM_ASSIGN_OR_RETURN(std::string text, FlagValueToString(value));
+        request.flags.emplace_back(flag, std::move(text));
+      }
+      continue;
+    }
+    if (key == "graph") {
+      if (!member.is_string()) {
+        return Status::InvalidArgument(
+            "\"graph\" must be a JSON string naming a served graph");
+      }
+      if (member.string_value().empty()) {
+        return Status::InvalidArgument(
+            "\"graph\" must not be empty (omit it for the default graph)");
+      }
+      request.graph = member.string_value();
+      continue;
+    }
+    return Status::InvalidArgument(
+        "unknown script member \"" + key +
+        "\" (lines carry \"command\", \"flags\" and \"graph\" only)");
+  }
+  return request;
+}
+
+}  // namespace rwdom

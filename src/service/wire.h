@@ -1,0 +1,52 @@
+// The versioned JSONL request envelope — protocol v3's one parsing
+// path, shared verbatim by `rwdom batch`, the server and the router so
+// framing and validation can never drift between them.
+//
+// A request line is one JSON object:
+//
+//   {"command": "select", "graph": "social", "flags": {"k": 5, "L": 4}}
+//
+// with exactly three permitted members:
+//
+//   command  required string — the query or admin command name.
+//   flags    optional object — flag values as JSON strings, numbers or
+//            booleans, rendered to the exact spellings the CLI flag
+//            parsers accept.
+//   graph    optional non-empty string — the named substrate this
+//            request targets (protocol v3). Omitting it targets the
+//            default graph, which is what keeps every v2 script and
+//            golden byte-identical.
+//
+// Any other top-level member is a typed InvalidArgument naming the
+// field (protocol v2 servers silently tolerated extras on admin
+// requests; v3 deliberately does not).
+#ifndef RWDOM_SERVICE_WIRE_H_
+#define RWDOM_SERVICE_WIRE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rwdom {
+
+/// One validated request envelope. `flags` keeps source order (batch
+/// scripts execute flags deterministically in the order written);
+/// repeated flag names keep every occurrence, last-one-wins at the
+/// consumer like repeated CLI flags.
+struct ParsedRequest {
+  std::string command;
+  /// Target graph name; empty means the default graph.
+  std::string graph;
+  std::vector<std::pair<std::string, std::string>> flags;
+};
+
+/// Parses and validates one request line against the envelope contract
+/// above. Rejections are InvalidArgument (unknown member errors name
+/// the offending field).
+Result<ParsedRequest> ParseRequestLine(const std::string& line);
+
+}  // namespace rwdom
+
+#endif  // RWDOM_SERVICE_WIRE_H_

@@ -104,6 +104,16 @@ class JsonWriter {
     return *this;
   }
 
+  /// Splices `json` — which must itself be one complete serialized JSON
+  /// value — verbatim where a value is expected. For embedding already-
+  /// rendered documents (e.g. proxied backend responses) without a
+  /// parse/re-serialize round trip.
+  JsonWriter& Raw(std::string_view json) {
+    BeginValue();
+    out_ += json;
+    return *this;
+  }
+
   /// Serialized document; every Begin* must have been matched.
   std::string ToString() const {
     RWDOM_CHECK(stack_.empty() && !pending_key_)

@@ -20,6 +20,7 @@
 #include "persist/snapshot.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "service/graph_registry.h"
 #include "service/query_context.h"
 #include "util/clock.h"
 #include "util/fault.h"
@@ -215,28 +216,20 @@ TEST_F(FaultInjectionTest, EveryPersistFaultBecomesACountedCheckpointFailure) {
 // --- Server-level behaviours: deadlines, shed, retry, bounded lines. ---
 
 struct TestServer {
-  std::unique_ptr<QueryContext> context;
+  std::unique_ptr<GraphRegistry> registry;
   std::unique_ptr<QueryServer> server;
 };
 
 TestServer StartServer(ServerOptions options) {
   TestServer result;
-  result.context = std::make_unique<QueryContext>(StarSubstrate());
+  result.registry = std::make_unique<GraphRegistry>();
+  Status added = result.registry->Add(
+      kDefaultGraphName,
+      std::make_unique<QueryContext>(StarSubstrate()));
+  RWDOM_CHECK(added.ok()) << added;
   options.port = 0;
-  QueryContext* context = result.context.get();
   result.server = std::make_unique<QueryServer>(
-      context,
-      [context](const std::string& line, std::string* response) {
-        std::ostringstream out;
-        RWDOM_RETURN_IF_ERROR(
-            ExecuteQueryLine(line, *context, OutputFormat::kJson, out));
-        *response = out.str();
-        while (!response->empty() && response->back() == '\n') {
-          response->pop_back();
-        }
-        return Status::OK();
-      },
-      options);
+      result.registry.get(), ExecuteRequestToJsonLine, options);
   Status started = result.server->Start();
   RWDOM_CHECK(started.ok()) << started;
   return result;

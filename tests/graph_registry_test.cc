@@ -1,0 +1,167 @@
+// GraphRegistry + protocol v3 envelope unit tests: tenant naming and
+// resolution rules, the strict request-line contract (unknown members
+// are typed errors naming the field), and the shared CacheBudget that
+// makes --max_cache_bytes a fleet-wide cap — eviction picks the
+// globally least-recently-used entry whichever tenant owns it, and an
+// in-flight shared_ptr outlives its entry's eviction.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/graph_registry.h"
+#include "service/query_context.h"
+#include "service/wire.h"
+#include "util/logging.h"
+#include "wgraph/substrate.h"
+
+namespace rwdom {
+namespace {
+
+GraphSubstrate StarSubstrate() {
+  auto loaded = ParseSubstrate("0 1\n0 2\n0 3\n0 4\n4 5\n");
+  RWDOM_CHECK(loaded.ok());
+  return std::move(loaded->substrate);
+}
+
+std::unique_ptr<QueryContext> StarContext() {
+  return std::make_unique<QueryContext>(StarSubstrate());
+}
+
+TEST(GraphNameTest, ValidatesTheSafeSubdirectoryAlphabet) {
+  for (const char* good :
+       {"default", "social", "web-2024", "a.b_c-d", "G1", "0"}) {
+    EXPECT_TRUE(IsValidGraphName(good)) << good;
+  }
+  for (const char* bad :
+       {"", ".", "..", "a/b", "a b", "a\tb", "ring!", "\xc3\xa9"}) {
+    EXPECT_FALSE(IsValidGraphName(bad)) << bad;
+  }
+}
+
+TEST(GraphRegistryTest, ResolvesDefaultAndNamedTenants) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add(kDefaultGraphName, StarContext()).ok());
+  ASSERT_TRUE(registry.Add("ring", StarContext()).ok());
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_TRUE(registry.multi_graph());
+
+  // "" and "default" are the same tenant, spelled implicitly/explicitly.
+  auto implicit = registry.Resolve("");
+  auto explicit_default = registry.Resolve(kDefaultGraphName);
+  ASSERT_TRUE(implicit.ok());
+  ASSERT_TRUE(explicit_default.ok());
+  EXPECT_EQ(implicit->context, explicit_default->context);
+  EXPECT_EQ(implicit->context, registry.default_context());
+
+  auto named = registry.Resolve("ring");
+  ASSERT_TRUE(named.ok());
+  EXPECT_NE(named->context, registry.default_context());
+  EXPECT_EQ(*named->name, "ring");
+
+  const std::vector<std::string> names = registry.GraphNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "default");
+  EXPECT_EQ(names[1], "ring");
+}
+
+TEST(GraphRegistryTest, UnknownGraphIsNotFoundListingTheServedNames) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add(kDefaultGraphName, StarContext()).ok());
+  ASSERT_TRUE(registry.Add("ring", StarContext()).ok());
+  auto missing = registry.Resolve("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.status().message().find(
+                "unknown graph \"nope\" (serving: default, ring)"),
+            std::string::npos)
+      << missing.status();
+}
+
+TEST(GraphRegistryTest, RejectsInvalidAndDuplicateNames) {
+  GraphRegistry registry;
+  EXPECT_FALSE(registry.Add("a/b", StarContext()).ok());
+  EXPECT_FALSE(registry.Add("", StarContext()).ok());
+  ASSERT_TRUE(registry.Add("ring", StarContext()).ok());
+  EXPECT_FALSE(registry.Add("ring", StarContext()).ok());
+}
+
+TEST(ParseRequestLineTest, AcceptsTheThreePermittedMembers) {
+  auto parsed = ParseRequestLine(
+      "{\"command\": \"select\", \"graph\": \"social\", "
+      "\"flags\": {\"k\": 5, \"L\": 4}}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->command, "select");
+  EXPECT_EQ(parsed->graph, "social");
+  ASSERT_EQ(parsed->flags.size(), 2u);
+  EXPECT_EQ(parsed->flags[0].first, "k");
+  EXPECT_EQ(parsed->flags[0].second, "5");
+
+  // Omitted graph targets the default tenant — the v2 compatibility rule.
+  auto v2 = ParseRequestLine("{\"command\": \"stats\"}");
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  EXPECT_TRUE(v2->graph.empty());
+}
+
+TEST(ParseRequestLineTest, UnknownTopLevelMemberIsATypedErrorNamingIt) {
+  auto rejected = ParseRequestLine(
+      "{\"command\": \"stats\", \"tenant\": \"social\"}");
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("\"tenant\""),
+            std::string::npos)
+      << rejected.status();
+}
+
+TEST(ParseRequestLineTest, GraphMemberMustBeANonEmptyString) {
+  EXPECT_FALSE(
+      ParseRequestLine("{\"command\": \"stats\", \"graph\": \"\"}").ok());
+  EXPECT_FALSE(
+      ParseRequestLine("{\"command\": \"stats\", \"graph\": 3}").ok());
+}
+
+TEST(GraphRegistryTest, BudgetEvictsTheGlobalLruAcrossTenants) {
+  GraphRegistry registry;
+  ASSERT_TRUE(registry.Add(kDefaultGraphName, StarContext()).ok());
+  ASSERT_TRUE(registry.Add("b", StarContext()).ok());
+  QueryContext& a = *registry.Resolve("").value().context;
+  QueryContext& b = *registry.Resolve("b").value().context;
+
+  const ArtifactKey ka = a.MakeKey(3, 10, 42);
+  const ArtifactKey kb = b.MakeKey(4, 10, 42);
+  auto held = *a.GetIndex(ka);  // Built while the budget is unlimited.
+  const int64_t real_a = held->MemoryUsageBytes();
+
+  // Room for tenant a's entry OR tenant b's incoming build, not both:
+  // admitting kb in b must evict ka from a — the cross-tenant LRU.
+  registry.set_max_cache_bytes(real_a + b.EstimatedIndexBytes(kb) - 1);
+  ASSERT_TRUE(b.GetIndex(kb).ok());
+  EXPECT_EQ(a.index_evictions(), 1);
+  EXPECT_TRUE(a.CachedIndexes().empty());
+  ASSERT_EQ(b.CachedIndexes().size(), 1u);
+  EXPECT_EQ(b.CachedIndexes()[0].first, kb);
+
+  // Eviction dropped the cache entry, not the index: the shared_ptr
+  // handed out before the trim still reads fine.
+  EXPECT_GT(held->TotalEntries(), 0);
+}
+
+TEST(GraphRegistryTest, AdmissionRefusalNamesTheOffendingTenant) {
+  GraphRegistry registry;
+  registry.set_max_cache_bytes(100);  // Far below any real index.
+  ASSERT_TRUE(registry.Add(kDefaultGraphName, StarContext()).ok());
+  ASSERT_TRUE(registry.Add("busy", StarContext()).ok());
+  QueryContext& busy = *registry.Resolve("busy").value().context;
+  auto refused = busy.GetIndex(busy.MakeKey(3, 20, 42));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(refused.status().message().find("(graph \"busy\")"),
+            std::string::npos)
+      << refused.status();
+  EXPECT_EQ(busy.admission_rejections(), 1);
+}
+
+}  // namespace
+}  // namespace rwdom

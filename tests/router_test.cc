@@ -1,0 +1,299 @@
+// Fleet-front suite: HashRing placement properties, byte-identical
+// proxying through `rwdom route`, admin scatter-gather, and the
+// asymmetric failover contract — connect failures skip along the ring,
+// mid-request losses answer a complete Unavailable that a
+// RetryingClient rides out end to end. Backend choices are made
+// deterministic by reading the router's own ring (RouteOrder) instead
+// of guessing which ephemeral port a name hashes to.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <regex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cli/query_line.h"
+#include "server/client.h"
+#include "server/router.h"
+#include "server/server.h"
+#include "service/graph_registry.h"
+#include "service/query_context.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "wgraph/substrate.h"
+
+namespace rwdom {
+namespace {
+
+std::string NormalizeSeconds(std::string text) {
+  return std::regex_replace(
+      std::move(text), std::regex(R"("seconds":[-+0-9.eE]+)"),
+      "\"seconds\":<T>");
+}
+
+std::string SelectLine(const std::string& graph) {
+  const std::string suffix =
+      graph.empty() ? "}" : ", \"graph\": \"" + graph + "\"}";
+  return "{\"command\": \"select\", \"flags\": {\"problem\": \"F2\", "
+         "\"method\": \"index-celf\", \"k\": 2, \"L\": 3, \"R\": 40, "
+         "\"seed\": 42}" + suffix;
+}
+
+class RouterTest : public testing::Test {
+ protected:
+  struct Backend {
+    std::unique_ptr<GraphRegistry> registry;
+    std::unique_ptr<QueryServer> server;
+    std::string address;
+  };
+
+  // Every backend serves the same tenant set (the fleet model: the ring
+  // spreads load, not data), so any placement yields the same bytes.
+  Backend StartBackend(const std::vector<std::string>& names) {
+    Backend backend;
+    backend.registry = std::make_unique<GraphRegistry>();
+    for (const std::string& name : names) {
+      auto loaded = ParseSubstrate("0 1\n0 2\n0 3\n0 4\n4 5\n");
+      RWDOM_CHECK(loaded.ok()) << loaded.status();
+      Status added = backend.registry->Add(
+          name, std::make_unique<QueryContext>(
+                    GraphSubstrate(std::move(loaded->substrate))));
+      RWDOM_CHECK(added.ok()) << added;
+    }
+    ServerOptions options;
+    options.port = 0;
+    options.threads = 2;
+    backend.server = std::make_unique<QueryServer>(
+        backend.registry.get(), ExecuteRequestToJsonLine, options);
+    Status started = backend.server->Start();
+    RWDOM_CHECK(started.ok()) << started;
+    backend.address =
+        "127.0.0.1:" + std::to_string(backend.server->port());
+    return backend;
+  }
+
+  void TearDown() override { SetNumThreads(0); }
+
+  static std::vector<std::string> TenantNames() {
+    std::vector<std::string> names = {std::string(kDefaultGraphName)};
+    for (int i = 0; i < 8; ++i) names.push_back("t" + std::to_string(i));
+    return names;
+  }
+
+  // A tenant whose first ring choice is `address` — the deterministic
+  // way to aim a request at a specific backend.
+  static std::string GraphRoutedTo(const QueryRouter& router,
+                                   const std::string& address) {
+    for (const std::string& name : TenantNames()) {
+      if (*router.ring().RouteOrder(name)[0] == address) return name;
+    }
+    RWDOM_CHECK(false) << "no tenant hashes first to " << address;
+    return "";
+  }
+};
+
+TEST(HashRingTest, PlacementIsDeterministicDedupedAndCovering) {
+  const std::vector<std::string> backends = {"a:1", "b:2", "c:3"};
+  HashRing ring(backends);
+  std::set<std::string> firsts;
+  for (int i = 0; i < 512; ++i) {
+    const std::string name = "graph" + std::to_string(i);
+    const auto order = ring.RouteOrder(name);
+    // Every backend exactly once, same order on every call.
+    ASSERT_EQ(order.size(), backends.size());
+    std::set<std::string> seen;
+    for (const std::string* backend : order) seen.insert(*backend);
+    EXPECT_EQ(seen.size(), backends.size());
+    const auto again = ring.RouteOrder(name);
+    for (size_t j = 0; j < order.size(); ++j) {
+      EXPECT_EQ(*order[j], *again[j]);
+    }
+    firsts.insert(*order[0]);
+  }
+  // 512 names spread over 3 backends: each must lead for some name.
+  EXPECT_EQ(firsts.size(), backends.size());
+}
+
+TEST(HashRingTest, RemovingABackendOnlyRemapsItsOwnNames) {
+  const std::vector<std::string> all = {"a:1", "b:2", "c:3"};
+  HashRing full(all);
+  HashRing without_b({"a:1", "c:3"});
+  for (int i = 0; i < 512; ++i) {
+    const std::string name = "graph" + std::to_string(i);
+    const std::string& first = *full.RouteOrder(name)[0];
+    if (first == "b:2") continue;
+    // The consistent-hashing contract: names that never touched b keep
+    // their placement when b leaves the fleet.
+    EXPECT_EQ(*without_b.RouteOrder(name)[0], first) << name;
+  }
+}
+
+TEST_F(RouterTest, ProxiesByteIdenticalAndMergesAdminFanout) {
+  Backend a = StartBackend(TenantNames());
+  Backend b = StartBackend(TenantNames());
+  QueryRouter router({a.address, b.address}, RouterOptions{});
+  ASSERT_TRUE(router.Start().ok());
+
+  // The router's greeting is protocol v3 and advertises both its own
+  // role and the backends' tenancy capability.
+  auto probe = QueryClient::Connect("127.0.0.1", router.port());
+  ASSERT_TRUE(probe.ok()) << probe.status();
+  EXPECT_EQ(probe->server_greeting().protocol_version, kProtocolVersion);
+  EXPECT_TRUE(probe->server_greeting().Has("router"));
+  EXPECT_TRUE(probe->server_greeting().Has("multi_graph"));
+
+  // Routed lines are the backend's own bytes, wherever the ring put
+  // them — compare every tenant against a direct backend answer.
+  for (const std::string& name : TenantNames()) {
+    const std::string line =
+        SelectLine(name == kDefaultGraphName ? "" : name);
+    auto direct = RunQueryLines("127.0.0.1", a.server->port(), {line});
+    auto routed = RunQueryLines("127.0.0.1", router.port(), {line});
+    ASSERT_TRUE(direct.ok() && routed.ok());
+    EXPECT_EQ(NormalizeSeconds(routed->front()),
+              NormalizeSeconds(direct->front()))
+        << name;
+  }
+
+  // Admin requests scatter to every backend and gather the raw lines.
+  auto stats = RunQueryLines("127.0.0.1", router.port(),
+                             {"{\"command\": \"server_stats\"}"});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->front().rfind("{\"router\":{\"backends\":2,", 0), 0u)
+      << stats->front();
+  EXPECT_NE(stats->front().find("\"" + a.address + "\":{"),
+            std::string::npos)
+      << stats->front();
+  EXPECT_NE(stats->front().find("\"" + b.address + "\":{"),
+            std::string::npos)
+      << stats->front();
+  EXPECT_GE(router.stats().admin_fanouts, 1);
+  EXPECT_GE(router.stats().requests_proxied,
+            static_cast<int64_t>(TenantNames().size()));
+
+  router.Shutdown();
+  a.server->Shutdown();
+  b.server->Shutdown();
+}
+
+TEST_F(RouterTest, KilledBackendFailsOverOnConnectAndAnswersMidRequest) {
+  Backend a = StartBackend(TenantNames());
+  Backend b = StartBackend(TenantNames());
+  QueryRouter router({a.address, b.address}, RouterOptions{});
+  ASSERT_TRUE(router.Start().ok());
+  const std::string doomed_graph = GraphRoutedTo(router, a.address);
+  const std::string line =
+      SelectLine(doomed_graph == kDefaultGraphName ? "" : doomed_graph);
+  auto reference = RunQueryLines("127.0.0.1", b.server->port(), {line});
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  // An established connection warms the router's per-connection cache
+  // with a link to backend a...
+  auto warm = QueryClient::Connect("127.0.0.1", router.port());
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  auto before = warm->Roundtrip(line);
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_EQ(NormalizeSeconds(*before),
+            NormalizeSeconds(reference->front()));
+
+  // ...then a dies. The in-flight connection gets NO silent replay —
+  // the request may have executed — just a complete Unavailable with a
+  // backoff hint, per the RetryingClient replay rules.
+  a.server->Shutdown();
+  auto mid_request = warm->Roundtrip(line);
+  ASSERT_TRUE(mid_request.ok()) << mid_request.status();
+  EXPECT_NE(mid_request->find("\"code\":\"Unavailable\""),
+            std::string::npos)
+      << *mid_request;
+  EXPECT_NE(mid_request->find("\"retry_after_ms\":"), std::string::npos)
+      << *mid_request;
+
+  // A fresh connection never reached a, so skipping to b on the ring is
+  // safe — the answer is b's bytes and the failover is counted.
+  auto failed_over = RunQueryLines("127.0.0.1", router.port(), {line});
+  ASSERT_TRUE(failed_over.ok()) << failed_over.status();
+  EXPECT_EQ(NormalizeSeconds(failed_over->front()),
+            NormalizeSeconds(reference->front()));
+  EXPECT_GE(router.stats().failovers, 1);
+
+  // End to end: a RetryingClient whose router-side cache held the dead
+  // backend sees exactly one Unavailable, backs off, reconnects, and is
+  // served by b — the fleet rides out the loss with only a retry
+  // visible to the caller.
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.sleeper = [](int) {};  // No real waiting in tests.
+  RetryingClient retrying("127.0.0.1", router.port(), policy);
+  // (A fresh RetryingClient connects fresh and fails over silently; the
+  // mid-request shape needs its connection warmed before the next send
+  // hits the dead cache entry — covered above. Here we assert the
+  // caller-visible recovery: the line is eventually served correctly.)
+  auto recovered = retrying.Roundtrip(line);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(NormalizeSeconds(*recovered),
+            NormalizeSeconds(reference->front()));
+
+  // The admin fan-out reports the dead backend as an error entry while
+  // the live one still answers.
+  auto stats = RunQueryLines("127.0.0.1", router.port(),
+                             {"{\"command\": \"server_stats\"}"});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_NE(stats->front().find("\"" + b.address + "\":{\"server_stats\":"),
+            std::string::npos)
+      << stats->front();
+  EXPECT_NE(stats->front().find("\"" + a.address + "\":{\"error\":"),
+            std::string::npos)
+      << stats->front();
+
+  router.Shutdown();
+  b.server->Shutdown();
+}
+
+TEST_F(RouterTest, SingleBackendLossAnswersNoReachableBackend) {
+  Backend a = StartBackend({std::string(kDefaultGraphName)});
+  QueryRouter router({a.address}, RouterOptions{});
+  ASSERT_TRUE(router.Start().ok());
+  a.server->Shutdown();
+
+  // Nowhere to fail over: every placement attempt exhausts the ring and
+  // the client gets a complete, typed error line — never a hang or a
+  // dropped connection.
+  auto refused = RunQueryLines("127.0.0.1", router.port(),
+                               {SelectLine("")});
+  ASSERT_TRUE(refused.ok()) << refused.status();
+  EXPECT_NE(refused->front().find("\"code\":\"Unavailable\""),
+            std::string::npos)
+      << refused->front();
+  EXPECT_NE(refused->front().find("no reachable backend"),
+            std::string::npos)
+      << refused->front();
+  EXPECT_GE(router.stats().requests_error, 1);
+
+  router.Shutdown();
+}
+
+TEST_F(RouterTest, ShutdownFansOutStopsBackendsAndTheRouter) {
+  Backend a = StartBackend({std::string(kDefaultGraphName)});
+  QueryRouter router({a.address}, RouterOptions{});
+  ASSERT_TRUE(router.Start().ok());
+
+  auto response = RunQueryLines("127.0.0.1", router.port(),
+                                {"{\"command\": \"shutdown\"}"});
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_NE(response->front().find("\"shutting_down\":true"),
+            std::string::npos)
+      << response->front();
+  EXPECT_NE(response->front().find("\"" + a.address + "\":{"),
+            std::string::npos)
+      << response->front();
+
+  // Both tiers stop: the fan-out shut the backend down, the router
+  // stops itself after answering.
+  router.Wait();
+  a.server->Wait();
+}
+
+}  // namespace
+}  // namespace rwdom

@@ -24,6 +24,7 @@
 
 #include "cli/query_line.h"
 #include "server/server.h"
+#include "service/graph_registry.h"
 #include "util/strings.h"
 #include "wgraph/substrate.h"
 
@@ -73,7 +74,7 @@ class ServerPipeliningTest : public testing::Test {
   void TearDown() override { std::remove(graph_path_.c_str()); }
 
   struct TestServer {
-    std::unique_ptr<QueryContext> context;
+    std::unique_ptr<GraphRegistry> registry;
     std::unique_ptr<QueryServer> server;
   };
 
@@ -81,22 +82,14 @@ class ServerPipeliningTest : public testing::Test {
     TestServer result;
     auto loaded = LoadSubstrate(graph_path_, {});
     RWDOM_CHECK(loaded.ok()) << loaded.status();
-    result.context = std::make_unique<QueryContext>(std::move(*loaded));
+    result.registry = std::make_unique<GraphRegistry>();
+    Status added = result.registry->Add(
+        kDefaultGraphName,
+        std::make_unique<QueryContext>(std::move(*loaded)));
+    RWDOM_CHECK(added.ok()) << added;
     options.port = 0;
-    QueryContext* context = result.context.get();
     result.server = std::make_unique<QueryServer>(
-        context,
-        [context](const std::string& line, std::string* response) {
-          std::ostringstream out;
-          RWDOM_RETURN_IF_ERROR(
-              ExecuteQueryLine(line, *context, OutputFormat::kJson, out));
-          *response = out.str();
-          while (!response->empty() && response->back() == '\n') {
-            response->pop_back();
-          }
-          return Status::OK();
-        },
-        options);
+        result.registry.get(), ExecuteRequestToJsonLine, options);
     Status started = result.server->Start();
     RWDOM_CHECK(started.ok()) << started;
     return result;

@@ -21,6 +21,7 @@
 #include "cli/query_line.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "service/graph_registry.h"
 #include "util/parallel.h"
 #include "util/strings.h"
 #include "wgraph/substrate.h"
@@ -82,33 +83,27 @@ class ServerTest : public testing::Test {
   // An in-process server over the test graph, wired exactly like
   // `rwdom serve`: the line executor is the shared query-line path.
   struct TestServer {
-    std::unique_ptr<QueryContext> context;
+    std::unique_ptr<GraphRegistry> registry;
     std::unique_ptr<QueryServer> server;
+    QueryContext* context = nullptr;
   };
 
   TestServer StartServer(int threads, int max_connections = 64) {
     TestServer result;
     auto loaded = LoadSubstrate(graph_path_, {});
     RWDOM_CHECK(loaded.ok()) << loaded.status();
-    result.context = std::make_unique<QueryContext>(std::move(*loaded));
+    result.registry = std::make_unique<GraphRegistry>();
+    Status added = result.registry->Add(
+        kDefaultGraphName,
+        std::make_unique<QueryContext>(std::move(*loaded)));
+    RWDOM_CHECK(added.ok()) << added;
+    result.context = result.registry->default_context();
     ServerOptions options;
     options.port = 0;
     options.threads = threads;
     options.max_connections = max_connections;
-    QueryContext* context = result.context.get();
     result.server = std::make_unique<QueryServer>(
-        context,
-        [context](const std::string& line, std::string* response) {
-          std::ostringstream out;
-          RWDOM_RETURN_IF_ERROR(
-              ExecuteQueryLine(line, *context, OutputFormat::kJson, out));
-          *response = out.str();
-          while (!response->empty() && response->back() == '\n') {
-            response->pop_back();
-          }
-          return Status::OK();
-        },
-        options);
+        result.registry.get(), ExecuteRequestToJsonLine, options);
     Status started = result.server->Start();
     RWDOM_CHECK(started.ok()) << started;
     return result;
@@ -184,10 +179,11 @@ TEST_F(ServerTest, GreetingAnnouncesProtocolVersionAndCapabilities) {
   // The greeting is one JSON line, sent before any request: capability
   // detection without a round trip.
   const std::string& greeting = client->greeting();
-  EXPECT_NE(greeting.find("\"protocol_version\":2"), std::string::npos)
+  EXPECT_NE(greeting.find("\"protocol_version\":3"), std::string::npos)
       << greeting;
   for (const char* capability :
-       {"jsonl", "batch_commands", "server_stats", "shutdown"}) {
+       {"jsonl", "batch_commands", "multi_graph", "server_stats",
+        "shutdown"}) {
     EXPECT_NE(greeting.find(capability), std::string::npos)
         << capability << " missing from " << greeting;
   }
@@ -195,7 +191,7 @@ TEST_F(ServerTest, GreetingAnnouncesProtocolVersionAndCapabilities) {
   // server_stats repeats the same contract plus the substrate identity.
   auto stats = client->Roundtrip("{\"command\": \"server_stats\"}");
   ASSERT_TRUE(stats.ok()) << stats.status();
-  EXPECT_NE(stats->find("\"protocol_version\":2"), std::string::npos)
+  EXPECT_NE(stats->find("\"protocol_version\":3"), std::string::npos)
       << *stats;
   EXPECT_NE(stats->find("\"capabilities\":["), std::string::npos) << *stats;
   EXPECT_NE(stats->find("\"substrate_fingerprint\":\""), std::string::npos)
